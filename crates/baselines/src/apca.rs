@@ -1,0 +1,192 @@
+//! APCA — Adaptive Piecewise Constant Approximation
+//! (Keogh, Chakrabarti, Pazzani & Mehrotra, SIGMOD 2001 / TODS 2002).
+//!
+//! The `O(n log n)` wavelet algorithm: take the Haar decomposition, keep
+//! the `N` largest normalised coefficients, derive the plateau boundaries
+//! they imply (≤ 3N segments), greedily merge the adjacent pair with the
+//! smallest SSE increase until exactly `N = M/2` segments remain, then
+//! replace each plateau with the exact mean of the original points.
+
+use sapla_core::{ConstantSegment, PiecewiseConstant, Representation, Result, TimeSeries};
+
+use crate::common::Reducer;
+use crate::haar::kept_boundaries;
+
+/// The APCA reducer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Apca;
+
+impl Apca {
+    /// Create an APCA reducer.
+    pub fn new() -> Self {
+        Apca
+    }
+
+    /// Reduce to exactly `k` adaptive constant segments.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::InvalidSegmentCount`] when `k` is zero or
+    /// exceeds the series length.
+    pub fn reduce_to_segments(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+    ) -> Result<PiecewiseConstant> {
+        let n = series.len();
+        if k == 0 || k > n {
+            return Err(sapla_core::Error::InvalidSegmentCount { segments: k, len: n });
+        }
+        let sums = series.prefix_sums();
+
+        // 1. Candidate boundaries from the k largest Haar coefficients.
+        let mut ends = kept_boundaries(series.values(), k);
+
+        // 2. Too few segments (flat series, clipped padding): split the
+        //    longest segments at their midpoint until k are available.
+        while ends.len() < k {
+            let (mut best_len, mut best_idx) = (0usize, usize::MAX);
+            let mut start = 0usize;
+            for (i, &e) in ends.iter().enumerate() {
+                let len = e + 1 - start;
+                if len > best_len {
+                    best_len = len;
+                    best_idx = i;
+                }
+                start = e + 1;
+            }
+            if best_len < 2 {
+                break; // nothing splittable
+            }
+            let seg_start = if best_idx == 0 { 0 } else { ends[best_idx - 1] + 1 };
+            ends.insert(best_idx, seg_start + best_len / 2 - 1);
+        }
+
+        // 3. Too many segments: merge the adjacent pair whose merged SSE
+        //    (around the merged mean) rises least.
+        let sse = |s: usize, e: usize| -> f64 {
+            // Σc² − (Σc)²/l over [s, e] inclusive.
+            let l = (e + 1 - s) as f64;
+            let sm = sums.sum(s, e + 1);
+            sums.sum_sq(s, e + 1) - sm * sm / l
+        };
+        while ends.len() > k {
+            let mut best = (f64::INFINITY, 0usize);
+            let mut start = 0usize;
+            for i in 0..ends.len() - 1 {
+                let mid = ends[i];
+                let end = ends[i + 1];
+                let cost = sse(start, end) - sse(start, mid) - sse(mid + 1, end);
+                if cost < best.0 {
+                    best = (cost, i);
+                }
+                start = mid + 1;
+            }
+            ends.remove(best.1);
+        }
+
+        // 4. Exact means per plateau.
+        let mut segs = Vec::with_capacity(ends.len());
+        let mut start = 0usize;
+        for &e in &ends {
+            segs.push(ConstantSegment {
+                v: sums.sum(start, e + 1) / (e + 1 - start) as f64,
+                r: e,
+            });
+            start = e + 1;
+        }
+        PiecewiseConstant::new(segs)
+    }
+}
+
+impl Reducer for Apca {
+    fn name(&self) -> &'static str {
+        "APCA"
+    }
+
+    fn coeffs_per_segment(&self) -> usize {
+        2 // v_i, r_i (Table 1)
+    }
+
+    fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation> {
+        let k = self.segments_for(m)?;
+        Ok(Representation::Constant(self.reduce_to_segments(series, k)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Paa;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn steps_are_recovered_exactly() {
+        // Three plateaus, three segments → lossless.
+        let mut v = vec![1.0; 10];
+        v.extend(vec![5.0; 14]);
+        v.extend(vec![-2.0; 8]);
+        let s = ts(&v);
+        let rep = Apca.reduce_to_segments(&s, 3).unwrap();
+        assert_eq!(rep.num_segments(), 3);
+        assert!(rep.max_deviation(&s).unwrap() < 1e-9, "plateaus should be exact");
+    }
+
+    #[test]
+    fn segment_count_is_exact() {
+        let v: Vec<f64> = (0..100).map(|t| ((t * 7919) % 97) as f64).collect();
+        let s = ts(&v);
+        for k in [1, 2, 5, 9, 16] {
+            let rep = Apca.reduce_to_segments(&s, k).unwrap();
+            assert_eq!(rep.num_segments(), k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn beats_paa_on_unevenly_detailed_series() {
+        // Flat left half, four plateaus on the right whose edges do not
+        // line up with equal windows — the adaptive method should spend
+        // its segments on the busy region.
+        let mut v = vec![0.0; 32];
+        v.extend(vec![10.0; 8]);
+        v.extend(vec![-10.0; 8]);
+        v.extend(vec![5.0; 8]);
+        v.extend(vec![-5.0; 8]);
+        let s = ts(&v);
+        let apca = Apca.reduce(&s, 10).unwrap(); // N = 5 adaptive: exact
+        let paa = Paa.reduce(&s, 10).unwrap(); // N = 10 equal: misaligned
+        let d_apca = Apca.max_deviation(&s, &apca).unwrap();
+        let d_paa = Paa.max_deviation(&s, &paa).unwrap();
+        assert!(
+            d_apca <= d_paa + 1e-9,
+            "APCA ({d_apca}) should not lose to PAA ({d_paa}) here"
+        );
+    }
+
+    #[test]
+    fn constant_series_still_yields_k_segments() {
+        let s = ts(&vec![7.0; 40]);
+        let rep = Apca.reduce_to_segments(&s, 4).unwrap();
+        assert_eq!(rep.num_segments(), 4);
+        assert!(rep.max_deviation(&s).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn non_pow2_lengths_are_covered() {
+        let v: Vec<f64> = (0..117).map(|t| (t as f64 * 0.2).sin()).collect();
+        let s = ts(&v);
+        let rep = Apca.reduce_to_segments(&s, 6).unwrap();
+        assert_eq!(rep.series_len(), 117);
+        assert_eq!(rep.num_segments(), 6);
+    }
+
+    #[test]
+    fn budget_maps_to_half_segments() {
+        let s = ts(&(0..64).map(|t| t as f64).collect::<Vec<_>>());
+        assert_eq!(Apca.reduce(&s, 12).unwrap().num_segments(), 6);
+        assert!(Apca.reduce(&s, 7).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! APLA — Adaptive Piecewise Linear Approximation by exact dynamic
+//! programming (Ljosa & Singh, ICDE 2007; Section 2 of the SAPLA paper).
+//!
+//! APLA builds the deviation matrix `ϖ[m, t]` — the best cost of covering
+//! points `0..m` with `t` segments — through
+//!
+//! ```text
+//!   ϖ[m, t] = min_α ( ϖ[α, t−1] + ε(α+1 .. m) )
+//! ```
+//!
+//! where `ε` is the max deviation of the least-squares line over the last
+//! segment. The result is the *optimal* `N = M/3` segmentation under the
+//! sum-of-max-deviations objective — the quality gold standard SAPLA is
+//! measured against — at the `O(N n²)` DP cost (plus the `ε` window table)
+//! that motivates SAPLA in the first place. This implementation is
+//! intentionally the faithful slow comparator.
+
+use sapla_core::{
+    LineFit, LinearSegment, PiecewiseLinear, Representation, Result, TimeSeries,
+};
+
+use crate::common::Reducer;
+
+/// The APLA reducer.
+///
+/// ```
+/// use sapla_baselines::Apla;
+/// use sapla_core::TimeSeries;
+///
+/// // Two perfect linear regimes reduce losslessly with two segments.
+/// let mut v: Vec<f64> = (0..20).map(|t| t as f64).collect();
+/// v.extend((0..20).map(|t| 19.0 - t as f64));
+/// let ts = TimeSeries::new(v)?;
+/// let rep = Apla.reduce_to_segments(&ts, 2)?;
+/// assert!(rep.max_deviation(&ts)? < 1e-9);
+/// # Ok::<(), sapla_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Apla;
+
+impl Apla {
+    /// Create an APLA reducer.
+    pub fn new() -> Self {
+        Apla
+    }
+
+    /// Reduce to exactly `k` adaptive linear segments, minimising the sum
+    /// of per-segment max deviations.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::InvalidSegmentCount`] when `k` is zero or
+    /// exceeds the series length.
+    pub fn reduce_to_segments(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+    ) -> Result<PiecewiseLinear> {
+        let n = series.len();
+        if k == 0 || k > n {
+            return Err(sapla_core::Error::InvalidSegmentCount { segments: k, len: n });
+        }
+        let values = series.values();
+        let sums = series.prefix_sums();
+
+        // ε(s .. e): max deviation of the LS fit over [s, e), stored as
+        // err[s][e − s − 1]. Building the table dominates the runtime.
+        let err = window_error_table(values);
+        let eps = |s: usize, e: usize| err[s][e - s - 1];
+
+        // ϖ[t][m]: best cost covering the first m points with t segments.
+        // parent[t][m]: the α achieving it.
+        let mut prev: Vec<f64> = (0..=n).map(|m| if m == 0 { 0.0 } else { eps(0, m) }).collect();
+        let mut parents: Vec<Vec<u32>> = Vec::with_capacity(k);
+        parents.push(vec![0; n + 1]);
+
+        for t in 2..=k {
+            let mut cur = vec![f64::INFINITY; n + 1];
+            let mut par = vec![0u32; n + 1];
+            // m points split as α points + last segment [α, m); need
+            // α ≥ t−1 (each earlier segment ≥ 1 point) and m − α ≥ 1.
+            for m in t..=n {
+                let mut best = f64::INFINITY;
+                let mut best_a = t - 1;
+                #[allow(clippy::needless_range_loop)] // alpha is a split position, not just an index
+                for alpha in (t - 1)..m {
+                    let c = prev[alpha] + eps(alpha, m);
+                    if c < best {
+                        best = c;
+                        best_a = alpha;
+                    }
+                }
+                cur[m] = best;
+                par[m] = best_a as u32;
+            }
+            prev = cur;
+            parents.push(par);
+        }
+
+        // Backtrack the optimal boundaries.
+        let mut cuts = Vec::with_capacity(k);
+        let mut m = n;
+        for t in (1..=k).rev() {
+            cuts.push(m);
+            m = if t == 1 { 0 } else { parents[t - 1][m] as usize };
+        }
+        cuts.reverse();
+
+        let mut segs = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for &end in &cuts {
+            let fit = LineFit::over_window(&sums, start, end)?;
+            segs.push(LinearSegment { a: fit.a, b: fit.b, r: end - 1 });
+            start = end;
+        }
+        PiecewiseLinear::new(segs)
+    }
+}
+
+/// Max deviation of the least-squares line of every window `[s, e)`.
+fn window_error_table(values: &[f64]) -> Vec<Vec<f64>> {
+    let n = values.len();
+    let mut err = Vec::with_capacity(n);
+    for s in 0..n {
+        let mut row = Vec::with_capacity(n - s);
+        let mut stats = sapla_core::SegStats::single(values[s]);
+        row.push(0.0); // single point fits exactly
+        for e in (s + 2)..=n {
+            stats = stats.push_right(values[e - 1]);
+            let fit = stats.fit();
+            let mut max = 0.0f64;
+            for (u, &c) in values[s..e].iter().enumerate() {
+                let d = (c - fit.a * u as f64 - fit.b).abs();
+                if d > max {
+                    max = d;
+                }
+            }
+            row.push(max);
+        }
+        err.push(row);
+    }
+    err
+}
+
+impl Reducer for Apla {
+    fn name(&self) -> &'static str {
+        "APLA"
+    }
+
+    fn coeffs_per_segment(&self) -> usize {
+        3 // a_i, b_i, r_i (Table 1)
+    }
+
+    fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation> {
+        let k = self.segments_for(m)?;
+        Ok(Representation::Linear(self.reduce_to_segments(series, k)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SaplaReducer;
+
+    const FIG1: [f64; 20] = [
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
+        2.0, 9.0, 10.0, 10.0,
+    ];
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    fn sum_of_segment_devs(rep: &PiecewiseLinear, s: &TimeSeries) -> f64 {
+        rep.segment_deviations(s).unwrap().iter().sum()
+    }
+
+    #[test]
+    fn piecewise_linear_input_is_recovered_exactly() {
+        // Two perfect linear pieces, two segments → zero deviation.
+        let mut v: Vec<f64> = (0..12).map(|t| 2.0 * t as f64).collect();
+        v.extend((1..=10).map(|t| 22.0 - 3.0 * t as f64));
+        let s = ts(&v);
+        let rep = Apla.reduce_to_segments(&s, 2).unwrap();
+        assert!(rep.max_deviation(&s).unwrap() < 1e-9);
+        // v[11] = 22 lies on both lines, so cutting after index 10 or 11
+        // are both exact — accept either optimum.
+        assert!(matches!(rep.segments()[0].r, 10 | 11), "r = {}", rep.segments()[0].r);
+    }
+
+    #[test]
+    fn dp_is_no_worse_than_sapla_objective() {
+        // APLA minimises the sum of segment max deviations exactly, so it
+        // can never lose to SAPLA under that objective.
+        let s = ts(&FIG1);
+        let apla = Apla.reduce_to_segments(&s, 4).unwrap();
+        let sapla_rep = SaplaReducer::new().reduce(&s, 12).unwrap();
+        let sapla = sapla_rep.as_linear().unwrap();
+        assert!(
+            sum_of_segment_devs(&apla, &s) <= sum_of_segment_devs(sapla, &s) + 1e-9
+        );
+    }
+
+    #[test]
+    fn dp_beats_every_exhaustive_alternative_on_a_small_case() {
+        // Brute-force all 2-cut segmentations of a 12-point series and
+        // check the DP found the optimum.
+        let v: Vec<f64> = (0..12).map(|t| ((t * t * 13) % 23) as f64).collect();
+        let s = ts(&v);
+        let rep = Apla.reduce_to_segments(&s, 3).unwrap();
+        let dp_cost = sum_of_segment_devs(&rep, &s);
+        let sums = s.prefix_sums();
+        let seg_dev = |st: usize, e: usize| -> f64 {
+            let fit = LineFit::over_window(&sums, st, e).unwrap();
+            fit.max_deviation(&v[st..e])
+        };
+        let mut best = f64::INFINITY;
+        for c1 in 1..11 {
+            for c2 in (c1 + 1)..12 {
+                let cost = seg_dev(0, c1) + seg_dev(c1, c2) + seg_dev(c2, 12);
+                best = best.min(cost);
+            }
+        }
+        assert!((dp_cost - best).abs() < 1e-9, "dp {dp_cost} vs brute {best}");
+    }
+
+    #[test]
+    fn fig1_band() {
+        // Paper Fig. 1b: APLA reaches max deviation ≈ 9.09 with N = 4.
+        let s = ts(&FIG1);
+        let rep = Apla.reduce_to_segments(&s, 4).unwrap();
+        let dev = rep.max_deviation(&s).unwrap();
+        assert!(dev < 12.0, "APLA on Fig.1: {dev}");
+    }
+
+    #[test]
+    fn one_segment_equals_global_fit() {
+        let v: Vec<f64> = (0..9).map(|t| (t as f64).sqrt()).collect();
+        let s = ts(&v);
+        let rep = Apla.reduce_to_segments(&s, 1).unwrap();
+        let fit = LineFit::over_slice(&v);
+        assert!((rep.segments()[0].a - fit.a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_count_boundaries() {
+        let s = ts(&[1.0, 5.0, 2.0]);
+        assert!(Apla.reduce_to_segments(&s, 0).is_err());
+        assert!(Apla.reduce_to_segments(&s, 4).is_err());
+        let rep = Apla.reduce_to_segments(&s, 3).unwrap();
+        assert_eq!(rep.num_segments(), 3);
+        assert!(rep.max_deviation(&s).unwrap() < 1e-12);
+    }
+}

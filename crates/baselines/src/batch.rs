@@ -1,0 +1,117 @@
+//! Batch (and parallel) reduction of whole datasets — the ingest path of
+//! the paper's protocol (117 datasets × 100 series).
+//!
+//! Reduction of independent series is embarrassingly parallel; the
+//! parallel variant stripes the input over crossbeam scoped threads. With
+//! APLA's `O(N n²)` cost this is the difference between minutes and
+//! hours on the full protocol.
+
+use sapla_core::{Representation, Result, TimeSeries};
+
+use crate::common::Reducer;
+
+/// Reduce every series sequentially, preserving order.
+///
+/// # Errors
+///
+/// Returns the first reduction failure.
+pub fn reduce_batch(
+    reducer: &dyn Reducer,
+    series: &[TimeSeries],
+    m: usize,
+) -> Result<Vec<Representation>> {
+    series.iter().map(|s| reducer.reduce(s, m)).collect()
+}
+
+/// Reduce every series using up to `threads` worker threads, preserving
+/// order. `threads = 0` or `1` degrades to the sequential path.
+///
+/// # Errors
+///
+/// Returns the first reduction failure (by input order among failing
+/// stripes).
+pub fn reduce_batch_parallel(
+    reducer: &dyn Reducer,
+    series: &[TimeSeries],
+    m: usize,
+    threads: usize,
+) -> Result<Vec<Representation>> {
+    let threads = threads.max(1).min(series.len().max(1));
+    if threads <= 1 {
+        return reduce_batch(reducer, series, m);
+    }
+    let chunk = series.len().div_ceil(threads);
+    let mut results: Vec<Result<Vec<Representation>>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = series
+            .chunks(chunk)
+            .map(|stripe| {
+                scope.spawn(move |_| {
+                    stripe
+                        .iter()
+                        .map(|s| reducer.reduce(s, m))
+                        .collect::<Result<Vec<_>>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("reduction workers do not panic"));
+        }
+    })
+    .expect("crossbeam scope does not panic");
+
+    let mut out = Vec::with_capacity(series.len());
+    for stripe in results {
+        out.extend(stripe?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Paa, SaplaReducer};
+
+    fn series(count: usize) -> Vec<TimeSeries> {
+        (0..count)
+            .map(|i| {
+                TimeSeries::new(
+                    (0..96).map(|t| ((t + i * 3) as f64 * 0.17).sin() * 2.0).collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let data = series(23);
+        let reducer = SaplaReducer::new();
+        let seq = reduce_batch(&reducer, &data, 12).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let par = reduce_batch_parallel(&reducer, &data, 12, threads).unwrap();
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let reducer = SaplaReducer::new();
+        assert!(reduce_batch_parallel(&reducer, &[], 12, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors_propagate() {
+        // M = 0 fails for every series.
+        let data = series(5);
+        assert!(reduce_batch_parallel(&Paa, &data, 0, 3).is_err());
+        assert!(reduce_batch(&Paa, &data, 0).is_err());
+    }
+
+    #[test]
+    fn more_threads_than_series_is_fine() {
+        let data = series(2);
+        let out = reduce_batch_parallel(&Paa, &data, 8, 16).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,262 @@
+//! CHEBY — polynomial-coefficient dimensionality reduction
+//! (after Cai & Ng, SIGMOD 2004).
+//!
+//! Cai & Ng project onto continuous Chebyshev polynomials after interval
+//! interpolation; we project onto the **orthonormal discrete polynomial
+//! basis** over the sample grid (the Gram / discrete-Chebyshev
+//! polynomials), built with the numerically stable Stieltjes three-term
+//! recurrence. Same model class (degree-`N−1` polynomial approximation,
+//! one coefficient per basis function), and because the basis is
+//! orthonormal the coefficient-space Euclidean distance lower-bounds the
+//! series Euclidean distance exactly (Parseval) — the property the index
+//! needs. See DESIGN.md for the substitution note. `O(N n)`.
+//!
+//! The paper observes CHEBY degrades past `N > 25` ("dimensionality
+//! curse"); the same effect appears here because high-degree polynomial
+//! terms chase noise.
+
+use sapla_core::{Error, PolyCoeffs, Representation, Result, TimeSeries};
+
+use crate::common::Reducer;
+
+/// The CHEBY reducer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cheby;
+
+/// An orthonormal polynomial basis over `n` equally spaced sample points.
+#[derive(Debug, Clone)]
+pub struct PolyBasis {
+    n: usize,
+    /// `vectors[k]` is the degree-`k` orthonormal basis vector (length `n`).
+    vectors: Vec<Vec<f64>>,
+}
+
+impl PolyBasis {
+    /// Build the first `k` orthonormal polynomial basis vectors over `n`
+    /// points via the Stieltjes three-term recurrence
+    /// `p_{j+1}(t) = (t − a_j)·p_j(t) − b_j·p_{j−1}(t)`, normalised at each
+    /// step.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidCoefficientCount`] if `k` is zero or exceeds `n`.
+    pub fn new(n: usize, k: usize) -> Result<Self> {
+        if k == 0 || k > n {
+            return Err(Error::InvalidCoefficientCount {
+                requested: k,
+                reason: "polynomial basis size must be in 1..=n",
+            });
+        }
+        let mut vectors: Vec<Vec<f64>> = Vec::with_capacity(k);
+        // p_0 = 1/√n.
+        vectors.push(vec![1.0 / (n as f64).sqrt(); n]);
+        if k > 1 {
+            // Centred grid keeps the recurrence well conditioned.
+            let ts: Vec<f64> =
+                (0..n).map(|t| t as f64 - (n as f64 - 1.0) / 2.0).collect();
+            for j in 1..k {
+                let prev = &vectors[j - 1];
+                // q = t·p_{j−1}
+                let mut q: Vec<f64> = ts.iter().zip(prev).map(|(&t, &p)| t * p).collect();
+                // Orthogonalise against p_{j−1} and p_{j−2} (exact in real
+                // arithmetic); one extra full re-orthogonalisation pass
+                // keeps high degrees clean in floating point.
+                for back in 1..=2.min(j) {
+                    let basis = &vectors[j - back];
+                    let dot: f64 = q.iter().zip(basis).map(|(a, b)| a * b).sum();
+                    for (x, b) in q.iter_mut().zip(basis) {
+                        *x -= dot * b;
+                    }
+                }
+                for basis in &vectors {
+                    let dot: f64 = q.iter().zip(basis).map(|(a, b)| a * b).sum();
+                    if dot.abs() > 1e-12 {
+                        for (x, b) in q.iter_mut().zip(basis) {
+                            *x -= dot * b;
+                        }
+                    }
+                }
+                let norm: f64 = q.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if norm <= f64::EPSILON {
+                    return Err(Error::InvalidCoefficientCount {
+                        requested: k,
+                        reason: "basis degenerates (k too large for n)",
+                    });
+                }
+                for x in &mut q {
+                    *x /= norm;
+                }
+                vectors.push(q);
+            }
+        }
+        Ok(PolyBasis { n, vectors })
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the basis covers no points (never, for a constructed basis).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of basis vectors.
+    pub fn size(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Project a series onto the basis: `coeffs[k] = ⟨series, p_k⟩`.
+    pub fn project(&self, values: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(values.len(), self.n);
+        self.vectors
+            .iter()
+            .map(|p| p.iter().zip(values).map(|(b, v)| b * v).sum())
+            .collect()
+    }
+
+    /// Synthesise a series from coefficients.
+    pub fn synthesize(&self, coeffs: &[f64]) -> Vec<f64> {
+        debug_assert!(coeffs.len() <= self.vectors.len());
+        let mut out = vec![0.0; self.n];
+        for (c, p) in coeffs.iter().zip(&self.vectors) {
+            for (o, b) in out.iter_mut().zip(p) {
+                *o += c * b;
+            }
+        }
+        out
+    }
+}
+
+impl Cheby {
+    /// Create a CHEBY reducer.
+    pub fn new() -> Self {
+        Cheby
+    }
+
+    /// Reduce to exactly `k` polynomial coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PolyBasis::new`] validation.
+    pub fn reduce_to_coeffs(&self, series: &TimeSeries, k: usize) -> Result<PolyCoeffs> {
+        let basis = PolyBasis::new(series.len(), k)?;
+        Ok(PolyCoeffs { coeffs: basis.project(series.values()), n: series.len() })
+    }
+}
+
+impl Reducer for Cheby {
+    fn name(&self) -> &'static str {
+        "CHEBY"
+    }
+
+    fn coeffs_per_segment(&self) -> usize {
+        1
+    }
+
+    fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation> {
+        let k = self.segments_for(m)?;
+        Ok(Representation::Polynomial(self.reduce_to_coeffs(series, k)?))
+    }
+
+    fn reconstruct(&self, rep: &Representation) -> Result<TimeSeries> {
+        match rep {
+            Representation::Polynomial(p) => {
+                let basis = PolyBasis::new(p.n, p.coeffs.len())?;
+                TimeSeries::new(basis.synthesize(&p.coeffs))
+            }
+            _ => Err(Error::UnsupportedRepresentation { operation: "reconstruct" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn basis_is_orthonormal() {
+        let basis = PolyBasis::new(64, 12).unwrap();
+        for i in 0..12 {
+            for j in 0..12 {
+                let dot: f64 = basis.vectors[i]
+                    .iter()
+                    .zip(&basis.vectors[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-9, "⟨p{i}, p{j}⟩ = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_degree_basis_remains_orthonormal() {
+        // The "dimensionality curse" regime the paper probes (N > 25).
+        let basis = PolyBasis::new(256, 40).unwrap();
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                let dot: f64 = basis.vectors[i]
+                    .iter()
+                    .zip(&basis.vectors[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 1e-7, "⟨p{i}, p{j}⟩ = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_degree_polynomials_are_captured_exactly() {
+        let v: Vec<f64> = (0..50)
+            .map(|t| {
+                let x = t as f64;
+                0.01 * x * x - 0.3 * x + 2.0
+            })
+            .collect();
+        let s = ts(&v);
+        let rep = Cheby.reduce(&s, 3).unwrap();
+        assert!(Cheby.max_deviation(&s, &rep).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_inequality() {
+        let v: Vec<f64> = (0..80).map(|t| (t as f64 * 0.2).sin() + 0.1 * t as f64).collect();
+        let coeffs = Cheby.reduce_to_coeffs(&ts(&v), 10).unwrap();
+        let coeff_energy: f64 = coeffs.coeffs.iter().map(|c| c * c).sum();
+        let series_energy: f64 = v.iter().map(|x| x * x).sum();
+        assert!(coeff_energy <= series_energy + 1e-9);
+    }
+
+    #[test]
+    fn more_coefficients_never_hurt_reconstruction() {
+        let v: Vec<f64> = (0..64).map(|t| ((t * 31) % 17) as f64).collect();
+        let s = ts(&v);
+        let mut last = f64::INFINITY;
+        for k in [2, 4, 8, 16, 32] {
+            let rep = Cheby.reduce(&s, k).unwrap();
+            let rec = Cheby.reconstruct(&rep).unwrap();
+            let sse: f64 = s
+                .values()
+                .iter()
+                .zip(rec.values())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!(sse <= last + 1e-9, "k={k}: sse {sse} > previous {last}");
+            last = sse;
+        }
+    }
+
+    #[test]
+    fn invalid_sizes_rejected() {
+        assert!(PolyBasis::new(8, 0).is_err());
+        assert!(PolyBasis::new(8, 9).is_err());
+        let s = ts(&[1.0, 2.0, 3.0]);
+        assert!(Cheby.reduce(&s, 4).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! The uniform [`Reducer`] interface shared by SAPLA and all baselines.
+
+use sapla_core::sapla::Sapla;
+use sapla_core::{Error, Representation, Result, TimeSeries};
+
+/// Equal-length segmentation boundaries: split `n` points into `k` windows
+/// whose lengths differ by at most one (the convention PAA/PLA/SAX use).
+///
+/// Returns the half-open `[start, end)` windows.
+pub fn equal_windows(n: usize, k: usize) -> Vec<(usize, usize)> {
+    debug_assert!(k >= 1 && k <= n);
+    let mut out = Vec::with_capacity(k);
+    for j in 0..k {
+        let start = j * n / k;
+        let end = (j + 1) * n / k;
+        out.push((start, end));
+    }
+    out
+}
+
+/// A dimensionality reduction method evaluated by the paper.
+///
+/// All methods are parameterised by the representation-coefficient budget
+/// `M` (not the segment count), mirroring the paper's "same `M`, different
+/// `N`" comparison protocol (Fig. 1, Table 1).
+pub trait Reducer: Send + Sync {
+    /// Method name as printed in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Coefficients consumed per segment (Table 1's "Coeffici." column).
+    fn coeffs_per_segment(&self) -> usize;
+
+    /// Reduce a series with coefficient budget `m`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidCoefficientCount`] when `m` is not a positive
+    /// multiple of [`Reducer::coeffs_per_segment`], or the implied segment
+    /// count does not fit the series.
+    fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation>;
+
+    /// Reconstruct an (approximate) series from a representation this
+    /// reducer produced.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnsupportedRepresentation`] if `rep` is a variant this
+    /// reducer never produces.
+    fn reconstruct(&self, rep: &Representation) -> Result<TimeSeries> {
+        match rep {
+            Representation::Linear(r) => Ok(r.reconstruct()),
+            Representation::Constant(r) => Ok(r.reconstruct()),
+            _ => Err(Error::UnsupportedRepresentation { operation: "reconstruct" }),
+        }
+    }
+
+    /// Max deviation of the representation against the original series
+    /// (Definition 3.4), via [`Reducer::reconstruct`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates reconstruction errors and length mismatches.
+    fn max_deviation(&self, series: &TimeSeries, rep: &Representation) -> Result<f64> {
+        let rec = self.reconstruct(rep)?;
+        series.max_abs_diff(&rec)
+    }
+
+    /// The segment count implied by budget `m`, validating divisibility.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidCoefficientCount`] if `m` is zero or not a multiple
+    /// of the per-segment coefficient count.
+    fn segments_for(&self, m: usize) -> Result<usize> {
+        let per = self.coeffs_per_segment();
+        if m == 0 || !m.is_multiple_of(per) {
+            return Err(Error::InvalidCoefficientCount {
+                requested: m,
+                reason: "budget must be a positive multiple of the per-segment count",
+            });
+        }
+        Ok(m / per)
+    }
+}
+
+/// SAPLA behind the [`Reducer`] interface (the paper's headline method).
+#[derive(Debug, Clone, Default)]
+pub struct SaplaReducer {
+    config: sapla_core::sapla::SaplaConfig,
+}
+
+impl SaplaReducer {
+    /// SAPLA with the default (paper) configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// SAPLA with a custom stage configuration (ablations).
+    pub fn with_config(config: sapla_core::sapla::SaplaConfig) -> Self {
+        SaplaReducer { config }
+    }
+}
+
+impl Reducer for SaplaReducer {
+    fn name(&self) -> &'static str {
+        "SAPLA"
+    }
+
+    fn coeffs_per_segment(&self) -> usize {
+        sapla_core::sapla::COEFFS_PER_SEGMENT
+    }
+
+    fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation> {
+        let n = self.segments_for(m)?;
+        let repr = Sapla::with_segments(n).with_config(self.config).reduce(series)?;
+        Ok(Representation::Linear(repr))
+    }
+}
+
+/// All eight methods of Table 1, in the paper's figure order.
+pub fn all_reducers() -> Vec<Box<dyn Reducer>> {
+    vec![
+        Box::new(SaplaReducer::new()),
+        Box::new(crate::Apla::new()),
+        Box::new(crate::Apca::new()),
+        Box::new(crate::Pla::new()),
+        Box::new(crate::Paa::new()),
+        Box::new(crate::Paalm::default()),
+        Box::new(crate::Cheby::new()),
+        Box::new(crate::Sax::default()),
+    ]
+}

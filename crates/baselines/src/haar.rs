@@ -1,0 +1,159 @@
+//! Discrete Haar wavelet machinery used by APCA (Keogh et al., SIGMOD
+//! 2001 / TODS 2002).
+//!
+//! APCA never needs the inverse transform: keeping a detail coefficient
+//! whose support is `[s, e)` can only introduce value discontinuities at
+//! `s`, `(s+e)/2` and `e`, so the *boundary set* of the truncated
+//! reconstruction is derivable directly from which coefficients are kept —
+//! that is why APCA's reconstruction has at most `3N` plateaus.
+
+/// One Haar detail coefficient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HaarCoeff {
+    /// Support start (inclusive), in padded coordinates.
+    pub start: usize,
+    /// Support end (exclusive), in padded coordinates.
+    pub end: usize,
+    /// Raw detail value (half the difference of the child averages).
+    pub detail: f64,
+    /// L2-normalised magnitude `|detail|·√(support/2)` used for ranking.
+    pub weight: f64,
+}
+
+impl HaarCoeff {
+    /// Midpoint of the support — the discontinuity this coefficient adds.
+    #[inline]
+    pub fn mid(&self) -> usize {
+        (self.start + self.end) / 2
+    }
+}
+
+/// Next power of two ≥ `n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Full Haar decomposition of `values` (padded to a power of two by
+/// repeating the last sample, the standard APCA preprocessing).
+///
+/// Returns every detail coefficient with its support and normalised
+/// weight; the top-level average is not returned (it carries no boundary
+/// information).
+pub fn haar_details(values: &[f64]) -> Vec<HaarCoeff> {
+    let n = values.len();
+    let p = next_pow2(n.max(1));
+    let mut level: Vec<f64> = Vec::with_capacity(p);
+    level.extend_from_slice(values);
+    let last = *values.last().expect("haar_details requires a non-empty input");
+    level.resize(p, last);
+
+    let mut out = Vec::with_capacity(p.saturating_sub(1));
+    let mut support = 2usize;
+    while level.len() > 1 {
+        let half = level.len() / 2;
+        let mut next = Vec::with_capacity(half);
+        for i in 0..half {
+            let a = level[2 * i];
+            let b = level[2 * i + 1];
+            let detail = (a - b) / 2.0;
+            next.push((a + b) / 2.0);
+            out.push(HaarCoeff {
+                start: i * support,
+                end: (i + 1) * support,
+                detail,
+                // Normalised Haar magnitude: the unnormalised detail d on a
+                // support of length s contributes d·√(s/2)·ψ̂, so rank by
+                // |d|·√(s/2).
+                weight: detail.abs() * ((support / 2) as f64).sqrt(),
+            });
+        }
+        level = next;
+        support *= 2;
+    }
+    out
+}
+
+/// The plateau boundaries (as inclusive right endpoints within `[0, n)`)
+/// implied by keeping the `keep` largest-weight detail coefficients.
+///
+/// Always contains `n − 1` (the series end); all other candidates are
+/// clipped away when they fall at or beyond `n − 1` (padding region).
+pub fn kept_boundaries(values: &[f64], keep: usize) -> Vec<usize> {
+    let n = values.len();
+    let mut coeffs = haar_details(values);
+    coeffs.sort_by(|x, y| y.weight.total_cmp(&x.weight));
+    coeffs.truncate(keep);
+
+    let mut bounds: Vec<usize> = Vec::with_capacity(3 * keep + 1);
+    for c in &coeffs {
+        // Discontinuities possible at start, mid and end of the support;
+        // expressed as inclusive right endpoints of the plateau that ends
+        // just before each position.
+        for pos in [c.start, c.mid(), c.end] {
+            if pos >= 1 && pos < n {
+                bounds.push(pos - 1);
+            }
+        }
+    }
+    bounds.push(n - 1);
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_helper() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+
+    #[test]
+    fn detail_count_is_p_minus_1() {
+        let v = vec![1.0; 16];
+        assert_eq!(haar_details(&v).len(), 15);
+        let v = vec![1.0; 10]; // padded to 16
+        assert_eq!(haar_details(&v).len(), 15);
+    }
+
+    #[test]
+    fn constant_series_has_zero_details() {
+        let v = vec![3.5; 8];
+        assert!(haar_details(&v).iter().all(|c| c.detail == 0.0));
+    }
+
+    #[test]
+    fn single_step_yields_one_dominant_coefficient() {
+        // Step at the midpoint of a pow2 series: exactly one detail (the
+        // top-level one) is non-zero.
+        let mut v = vec![0.0; 8];
+        v[4..].fill(8.0);
+        let details = haar_details(&v);
+        let nonzero: Vec<_> = details.iter().filter(|c| c.detail != 0.0).collect();
+        assert_eq!(nonzero.len(), 1);
+        assert_eq!((nonzero[0].start, nonzero[0].end), (0, 8));
+        assert_eq!(nonzero[0].mid(), 4);
+    }
+
+    #[test]
+    fn kept_boundaries_find_the_step() {
+        let mut v = vec![0.0; 16];
+        v[8..].fill(5.0);
+        let b = kept_boundaries(&v, 1);
+        assert!(b.contains(&7), "boundaries {b:?} must include the step at 7|8");
+        assert_eq!(*b.last().unwrap(), 15);
+    }
+
+    #[test]
+    fn boundaries_are_clipped_to_series() {
+        let v: Vec<f64> = (0..10).map(|t| t as f64).collect(); // padded to 16
+        let b = kept_boundaries(&v, 6);
+        assert!(b.iter().all(|&x| x < 10));
+        assert_eq!(*b.last().unwrap(), 9);
+    }
+}

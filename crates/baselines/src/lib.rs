@@ -1,0 +1,45 @@
+//! # sapla-baselines
+//!
+//! From-scratch implementations of every dimensionality reduction method
+//! the SAPLA paper (EDBT 2022) compares against, behind a uniform
+//! [`Reducer`] trait:
+//!
+//! | Method | Segment size | Coefficients / segment | Time |
+//! |--------|--------------|------------------------|------|
+//! | [`SaplaReducer`] | adaptive | `a_i, b_i, r_i` (3) | `O(n(N + log n))` |
+//! | [`Apla`]  | adaptive | `a_i, b_i, r_i` (3) | `O(N n²)` |
+//! | [`Apca`]  | adaptive | `v_i, r_i` (2)      | `O(n log n)` |
+//! | [`Pla`]   | equal    | `a_i, b_i` (2)      | `O(n)` |
+//! | [`Paa`]   | equal    | `v_i` (1)           | `O(n)` |
+//! | [`Paalm`] | equal    | `v_i` (1)           | `O(n)` |
+//! | [`Cheby`] | —        | `che_i` (1)         | `O(N n)` |
+//! | [`Sax`]   | equal    | symbol (1)          | `O(n)` |
+//!
+//! All methods take the *same* coefficient budget `M` (Table 1 of the
+//! paper) so comparisons are fair: adaptive linear methods spend three
+//! coefficients per segment (`N = M/3`), constant/linear equal-length
+//! methods two (`N = M/2`) or one (`N = M`).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod apca;
+pub mod batch;
+pub mod apla;
+pub mod cheby;
+pub mod common;
+pub mod haar;
+pub mod paa;
+pub mod paalm;
+pub mod pla;
+pub mod sax;
+
+pub use apca::Apca;
+pub use batch::{reduce_batch, reduce_batch_parallel};
+pub use apla::Apla;
+pub use cheby::Cheby;
+pub use common::{all_reducers, Reducer, SaplaReducer};
+pub use paa::Paa;
+pub use paalm::Paalm;
+pub use pla::Pla;
+pub use sax::Sax;

@@ -1,0 +1,112 @@
+//! PAA — Piecewise Aggregate Approximation
+//! (Keogh et al., KAIS 2001; Yi & Faloutsos, VLDB 2000).
+//!
+//! The series is split into `N = M` equal-length windows, each replaced by
+//! its mean. `O(n)`.
+
+use sapla_core::{ConstantSegment, PiecewiseConstant, Representation, Result, TimeSeries};
+
+use crate::common::{equal_windows, Reducer};
+
+/// The PAA reducer.
+///
+/// ```
+/// use sapla_baselines::Paa;
+/// use sapla_core::TimeSeries;
+///
+/// let ts = TimeSeries::new(vec![1.0, 3.0, 5.0, 7.0])?;
+/// let rep = Paa.reduce_to_segments(&ts, 2)?;
+/// assert_eq!(rep.segments()[0].v, 2.0);
+/// assert_eq!(rep.segments()[1].v, 6.0);
+/// # Ok::<(), sapla_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Paa;
+
+impl Paa {
+    /// Create a PAA reducer.
+    pub fn new() -> Self {
+        Paa
+    }
+
+    /// Reduce to exactly `k` equal-length constant segments.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::InvalidSegmentCount`] when `k` is zero or
+    /// exceeds the series length.
+    pub fn reduce_to_segments(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+    ) -> Result<PiecewiseConstant> {
+        let n = series.len();
+        if k == 0 || k > n {
+            return Err(sapla_core::Error::InvalidSegmentCount { segments: k, len: n });
+        }
+        let sums = series.prefix_sums();
+        let segs = equal_windows(n, k)
+            .into_iter()
+            .map(|(s, e)| ConstantSegment {
+                v: sums.sum(s, e) / (e - s) as f64,
+                r: e - 1,
+            })
+            .collect();
+        PiecewiseConstant::new(segs)
+    }
+}
+
+impl Reducer for Paa {
+    fn name(&self) -> &'static str {
+        "PAA"
+    }
+
+    fn coeffs_per_segment(&self) -> usize {
+        1 // v_i per segment (Table 1)
+    }
+
+    fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation> {
+        let k = self.segments_for(m)?;
+        Ok(Representation::Constant(self.reduce_to_segments(series, k)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn means_are_exact() {
+        let s = ts(&[1.0, 3.0, 5.0, 7.0, 2.0, 4.0]);
+        let rep = Paa.reduce_to_segments(&s, 3).unwrap();
+        let vals: Vec<f64> = rep.segments().iter().map(|c| c.v).collect();
+        assert_eq!(vals, vec![2.0, 6.0, 3.0]);
+        assert_eq!(rep.segments().iter().map(|c| c.r).collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn constant_series_reduces_losslessly() {
+        let s = ts(&vec![4.2; 32]);
+        let rep = Paa.reduce(&s, 8).unwrap();
+        assert!(Paa.max_deviation(&s, &rep).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn budget_equals_segments() {
+        let s = ts(&(0..32).map(|t| t as f64).collect::<Vec<_>>());
+        assert_eq!(Paa.reduce(&s, 12).unwrap().num_segments(), 12);
+        assert!(Paa.reduce(&s, 0).is_err());
+        assert!(Paa.reduce(&s, 33).is_err());
+    }
+
+    #[test]
+    fn paa_mean_minimises_sse_per_window() {
+        let s = ts(&[0.0, 10.0, 0.0, 10.0]);
+        let rep = Paa.reduce_to_segments(&s, 1).unwrap();
+        assert_eq!(rep.segments()[0].v, 5.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! PAALM — PAA with Lagrangian-multiplier pattern smoothing
+//! (after Rezvani, Barnaghi & Enshaeifar, TKDE 2019).
+//!
+//! The SAPLA paper uses PAALM as the "patterns, not max deviation"
+//! comparator: it trades per-window fidelity for continuity between
+//! neighbouring segment values. Our implementation (see DESIGN.md for the
+//! substitution note) minimises
+//!
+//! ```text
+//!   Σ_i Σ_{t ∈ w_i} (c_t − v_i)²  +  λ Σ_{i≥1} (v_i − v_{i−1})²
+//! ```
+//!
+//! over the segment values `v_i` — a Lagrangian smoothing of PAA solved
+//! exactly by one tridiagonal (Thomas) solve, `O(n)` overall. With `λ = 0`
+//! it degenerates to PAA; the default `λ = n/N` (one window's worth of
+//! weight) produces the visibly smoothed, worse-max-deviation behaviour
+//! the paper reports in Figs. 12–13.
+
+use sapla_core::{ConstantSegment, PiecewiseConstant, Representation, Result, TimeSeries};
+
+use crate::common::{equal_windows, Reducer};
+
+/// The PAALM reducer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Paalm {
+    /// Smoothing weight `λ`; `None` selects the default `n / N`.
+    pub lambda: Option<f64>,
+}
+
+
+impl Paalm {
+    /// PAALM with an explicit smoothing weight.
+    pub fn with_lambda(lambda: f64) -> Self {
+        Paalm { lambda: Some(lambda) }
+    }
+
+    /// Reduce to exactly `k` smoothed equal-length constant segments.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::InvalidSegmentCount`] when `k` is zero or
+    /// exceeds the series length.
+    pub fn reduce_to_segments(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+    ) -> Result<PiecewiseConstant> {
+        let n = series.len();
+        if k == 0 || k > n {
+            return Err(sapla_core::Error::InvalidSegmentCount { segments: k, len: n });
+        }
+        let lambda = self.lambda.unwrap_or(n as f64 / k as f64).max(0.0);
+        let sums = series.prefix_sums();
+        let windows = equal_windows(n, k);
+
+        // Normal equations: for each i,
+        //   (l_i + λ·deg_i)·v_i − λ·v_{i−1} − λ·v_{i+1} = l_i·mean_i
+        // where deg_i counts the smoothness terms touching v_i (1 at the
+        // ends, 2 in the middle). Tridiagonal; solve with the Thomas
+        // algorithm.
+        let mut diag = Vec::with_capacity(k);
+        let mut rhs = Vec::with_capacity(k);
+        for (i, &(s, e)) in windows.iter().enumerate() {
+            let l = (e - s) as f64;
+            let deg = if k == 1 {
+                0.0
+            } else if i == 0 || i == k - 1 {
+                1.0
+            } else {
+                2.0
+            };
+            diag.push(l + lambda * deg);
+            rhs.push(sums.sum(s, e));
+        }
+        let off = -lambda;
+
+        // Thomas forward sweep.
+        let mut c_prime = vec![0.0; k];
+        let mut d_prime = vec![0.0; k];
+        c_prime[0] = off / diag[0];
+        d_prime[0] = rhs[0] / diag[0];
+        for i in 1..k {
+            let denom = diag[i] - off * c_prime[i - 1];
+            c_prime[i] = off / denom;
+            d_prime[i] = (rhs[i] - off * d_prime[i - 1]) / denom;
+        }
+        // Back substitution.
+        let mut v = vec![0.0; k];
+        v[k - 1] = d_prime[k - 1];
+        for i in (0..k - 1).rev() {
+            v[i] = d_prime[i] - c_prime[i] * v[i + 1];
+        }
+
+        let segs = windows
+            .iter()
+            .zip(v)
+            .map(|(&(_, e), v)| ConstantSegment { v, r: e - 1 })
+            .collect();
+        PiecewiseConstant::new(segs)
+    }
+}
+
+impl Reducer for Paalm {
+    fn name(&self) -> &'static str {
+        "PAALM"
+    }
+
+    fn coeffs_per_segment(&self) -> usize {
+        1
+    }
+
+    fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation> {
+        let k = self.segments_for(m)?;
+        Ok(Representation::Constant(self.reduce_to_segments(series, k)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Paa;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    fn sq_series() -> TimeSeries {
+        ts(&(0..32).map(|t| if (t / 8) % 2 == 0 { 0.0 } else { 10.0 }).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn lambda_zero_equals_paa() {
+        let s = sq_series();
+        let paalm = Paalm::with_lambda(0.0).reduce_to_segments(&s, 4).unwrap();
+        let paa = Paa.reduce_to_segments(&s, 4).unwrap();
+        for (a, b) in paalm.segments().iter().zip(paa.segments()) {
+            assert!((a.v - b.v).abs() < 1e-10);
+            assert_eq!(a.r, b.r);
+        }
+    }
+
+    #[test]
+    fn smoothing_pulls_neighbours_together() {
+        let s = sq_series();
+        let paa = Paa.reduce_to_segments(&s, 4).unwrap();
+        let paalm = Paalm::default().reduce_to_segments(&s, 4).unwrap();
+        let spread = |r: &PiecewiseConstant| -> f64 {
+            r.segments().windows(2).map(|w| (w[1].v - w[0].v).abs()).sum()
+        };
+        assert!(spread(&paalm) < spread(&paa), "smoothing must shrink jumps");
+    }
+
+    #[test]
+    fn smoothing_worsens_max_deviation() {
+        // The paper's point: PAALM has the worst max deviation of the
+        // evaluated field.
+        let s = sq_series();
+        let paa = Paa.reduce(&s, 4).unwrap();
+        let paalm = Paalm::default().reduce(&s, 4).unwrap();
+        let d_paa = Paa.max_deviation(&s, &paa).unwrap();
+        let d_paalm = Paalm::default().max_deviation(&s, &paalm).unwrap();
+        assert!(d_paalm > d_paa);
+    }
+
+    #[test]
+    fn value_mass_is_preserved_in_the_large_lambda_limit() {
+        // As λ → ∞ all v_i converge to the global mean.
+        let s = ts(&[0.0, 4.0, 8.0, 12.0]);
+        let r = Paalm::with_lambda(1e9).reduce_to_segments(&s, 4).unwrap();
+        for seg in r.segments() {
+            assert!((seg.v - 6.0).abs() < 1e-3, "v={}", seg.v);
+        }
+    }
+
+    #[test]
+    fn single_segment_is_global_mean() {
+        let s = ts(&[1.0, 2.0, 3.0]);
+        let r = Paalm::default().reduce_to_segments(&s, 1).unwrap();
+        assert!((r.segments()[0].v - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! PLA — equal-length Piecewise Linear Approximation
+//! (Chen et al., VLDB 2007; Eq. 1 of the SAPLA paper).
+//!
+//! The series is split into `N = M/2` equal-length windows and each window
+//! is replaced by its least-squares line `⟨a_i, b_i⟩`. `O(n)` total.
+
+use sapla_core::{LinearSegment, PiecewiseLinear, Representation, Result, TimeSeries};
+
+use crate::common::{equal_windows, Reducer};
+
+/// The PLA reducer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pla;
+
+impl Pla {
+    /// Create a PLA reducer.
+    pub fn new() -> Self {
+        Pla
+    }
+
+    /// Reduce to exactly `k` equal-length linear segments.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::InvalidSegmentCount`] when `k` exceeds the
+    /// series length or is zero.
+    pub fn reduce_to_segments(
+        &self,
+        series: &TimeSeries,
+        k: usize,
+    ) -> Result<PiecewiseLinear> {
+        let n = series.len();
+        if k == 0 || k > n {
+            return Err(sapla_core::Error::InvalidSegmentCount { segments: k, len: n });
+        }
+        let sums = series.prefix_sums();
+        let mut segs = Vec::with_capacity(k);
+        for (start, end) in equal_windows(n, k) {
+            let fit = sapla_core::LineFit::over_window(&sums, start, end)?;
+            segs.push(LinearSegment { a: fit.a, b: fit.b, r: end - 1 });
+        }
+        PiecewiseLinear::new(segs)
+    }
+}
+
+impl Reducer for Pla {
+    fn name(&self) -> &'static str {
+        "PLA"
+    }
+
+    fn coeffs_per_segment(&self) -> usize {
+        2 // a_i, b_i — equal-length, so no endpoint coefficient (Table 1)
+    }
+
+    fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation> {
+        let k = self.segments_for(m)?;
+        Ok(Representation::Linear(self.reduce_to_segments(series, k)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn windows_are_balanced() {
+        assert_eq!(equal_windows(10, 3), vec![(0, 3), (3, 6), (6, 10)]);
+        assert_eq!(equal_windows(8, 4), vec![(0, 2), (2, 4), (4, 6), (6, 8)]);
+        let w = equal_windows(1024, 6);
+        assert_eq!(w.len(), 6);
+        assert_eq!(w.last().unwrap().1, 1024);
+        for (s, e) in &w {
+            let l = e - s;
+            assert!(l == 170 || l == 171);
+        }
+    }
+
+    #[test]
+    fn exact_line_has_zero_deviation() {
+        let v: Vec<f64> = (0..20).map(|t| 1.5 * t as f64 + 2.0).collect();
+        let s = ts(&v);
+        let rep = Pla.reduce(&s, 8).unwrap();
+        assert!(Pla.max_deviation(&s, &rep).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn budget_maps_to_half_as_many_segments() {
+        let s = ts(&(0..24).map(|t| t as f64).collect::<Vec<_>>());
+        let rep = Pla.reduce(&s, 12).unwrap();
+        assert_eq!(rep.num_segments(), 6);
+        assert!(Pla.reduce(&s, 13).is_err()); // not a multiple of 2
+        assert!(Pla.reduce(&s, 0).is_err());
+    }
+
+    #[test]
+    fn fig1_example_value() {
+        // Fig. 1 compares the *sum of per-segment max deviations*: PLA
+        // (N = 6, M = 12) scores ≈ 19.4 there while SAPLA (N = 4) scores
+        // ≈ 9.3. On the printed series our implementations give
+        // PLA ≈ 18.0 vs SAPLA ≈ 10.4 — same ordering, same rough ratio.
+        let fig1 = ts(&[
+            7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0,
+            9.0, 2.0, 9.0, 10.0, 10.0,
+        ]);
+        let pla = Pla.reduce_to_segments(&fig1, 6).unwrap();
+        let sapla_rep = crate::SaplaReducer::new().reduce(&fig1, 12).unwrap();
+        let sapla = sapla_rep.as_linear().unwrap();
+        let sum = |r: &PiecewiseLinear| -> f64 {
+            r.segment_deviations(&fig1).unwrap().iter().sum()
+        };
+        let (s_pla, s_sapla) = (sum(&pla), sum(sapla));
+        assert!(
+            s_sapla < s_pla,
+            "SAPLA sum-of-deviations ({s_sapla}) should beat PLA ({s_pla})"
+        );
+        assert!(s_pla > 15.0 && s_pla < 22.0, "PLA sum {s_pla} out of Fig.1 band");
+    }
+
+    #[test]
+    fn single_segment_is_global_fit() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let s = ts(&v);
+        let rep = Pla.reduce_to_segments(&s, 1).unwrap();
+        let direct = sapla_core::LineFit::over_slice(&v);
+        let seg = rep.segments()[0];
+        assert!((seg.a - direct.a).abs() < 1e-12);
+        assert!((seg.b - direct.b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,242 @@
+//! SAX — Symbolic Aggregate approXimation
+//! (Lin, Keogh, Lonardi & Chiu, DMKD 2003/2007).
+//!
+//! SAX computes a PAA reduction (`N = M` equal windows) and discretises
+//! each mean into one of `α` symbols using breakpoints that split the
+//! standard normal distribution into equiprobable regions (SAX assumes
+//! z-normalised input). Reconstruction maps each symbol back to the
+//! centroid of its region; `sapla-distance` provides the classic MINDIST
+//! lower bound over the symbol table.
+
+use sapla_core::{Error, Representation, Result, SymbolicWord, TimeSeries};
+
+use crate::common::{equal_windows, Reducer};
+
+/// Default alphabet size (a common SAX configuration).
+pub const DEFAULT_ALPHABET: usize = 8;
+
+/// The SAX reducer.
+#[derive(Debug, Clone, Copy)]
+pub struct Sax {
+    /// Alphabet size `α ≥ 2`.
+    pub alphabet_size: usize,
+}
+
+impl Default for Sax {
+    fn default() -> Self {
+        Sax { alphabet_size: DEFAULT_ALPHABET }
+    }
+}
+
+/// The `α − 1` breakpoints splitting `N(0, 1)` into `α` equiprobable
+/// regions (Table 3 of the SAX papers, computed for any `α` via the
+/// inverse normal CDF).
+pub fn gaussian_breakpoints(alphabet_size: usize) -> Vec<f64> {
+    debug_assert!(alphabet_size >= 2);
+    (1..alphabet_size)
+        .map(|i| inverse_normal_cdf(i as f64 / alphabet_size as f64))
+        .collect()
+}
+
+/// Acklam's rational approximation of the standard normal quantile
+/// function (relative error < 1.15e−9 — far below what symbol
+/// discretisation can observe).
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inverse_normal_cdf(1.0 - p)
+    }
+}
+
+impl Sax {
+    /// SAX with a custom alphabet size (`≥ 2`).
+    pub fn with_alphabet(alphabet_size: usize) -> Self {
+        Sax { alphabet_size: alphabet_size.max(2) }
+    }
+
+    /// Reduce to exactly `k` symbols.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSegmentCount`] when `k` is zero or exceeds the
+    /// series length.
+    pub fn reduce_to_word(&self, series: &TimeSeries, k: usize) -> Result<SymbolicWord> {
+        let n = series.len();
+        if k == 0 || k > n {
+            return Err(Error::InvalidSegmentCount { segments: k, len: n });
+        }
+        let breakpoints = gaussian_breakpoints(self.alphabet_size);
+        let sums = series.prefix_sums();
+        let symbols = equal_windows(n, k)
+            .into_iter()
+            .map(|(s, e)| {
+                let mean = sums.sum(s, e) / (e - s) as f64;
+                breakpoints.partition_point(|&b| b < mean) as u8
+            })
+            .collect();
+        Ok(SymbolicWord { symbols, alphabet_size: self.alphabet_size, n })
+    }
+
+    /// Centroid values of each symbol region (used for reconstruction):
+    /// the expected value of a standard normal conditioned on the region.
+    pub fn symbol_centroids(&self) -> Vec<f64> {
+        let alpha = self.alphabet_size;
+        let bp = gaussian_breakpoints(alpha);
+        // E[Z | a < Z < b] = (φ(a) − φ(b)) / (Φ(b) − Φ(a)); regions are
+        // equiprobable so the denominator is 1/α.
+        let phi = |x: f64| (-x * x / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        (0..alpha)
+            .map(|i| {
+                let lo = if i == 0 { f64::NEG_INFINITY } else { bp[i - 1] };
+                let hi = if i == alpha - 1 { f64::INFINITY } else { bp[i] };
+                let phi_lo = if lo.is_finite() { phi(lo) } else { 0.0 };
+                let phi_hi = if hi.is_finite() { phi(hi) } else { 0.0 };
+                (phi_lo - phi_hi) * alpha as f64
+            })
+            .collect()
+    }
+}
+
+impl Reducer for Sax {
+    fn name(&self) -> &'static str {
+        "SAX"
+    }
+
+    fn coeffs_per_segment(&self) -> usize {
+        1
+    }
+
+    fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation> {
+        let k = self.segments_for(m)?;
+        Ok(Representation::Symbolic(self.reduce_to_word(series, k)?))
+    }
+
+    fn reconstruct(&self, rep: &Representation) -> Result<TimeSeries> {
+        match rep {
+            Representation::Symbolic(w) => {
+                let centroids = Sax::with_alphabet(w.alphabet_size).symbol_centroids();
+                let mut out = vec![0.0; w.n];
+                for ((s, e), &sym) in
+                    equal_windows(w.n, w.symbols.len()).into_iter().zip(&w.symbols)
+                {
+                    out[s..e].fill(centroids[sym as usize]);
+                }
+                TimeSeries::new(out)
+            }
+            _ => Err(Error::UnsupportedRepresentation { operation: "reconstruct" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn inverse_normal_cdf_matches_known_quantiles() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-4);
+        assert!((inverse_normal_cdf(0.8413447) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn breakpoints_match_sax_table() {
+        // Classic SAX table for α = 4: (−0.67, 0, 0.67).
+        let bp = gaussian_breakpoints(4);
+        assert!((bp[0] + 0.6745).abs() < 1e-3);
+        assert!(bp[1].abs() < 1e-9);
+        assert!((bp[2] - 0.6745).abs() < 1e-3);
+        // α = 3: (−0.43, 0.43).
+        let bp = gaussian_breakpoints(3);
+        assert!((bp[0] + 0.4307).abs() < 1e-3);
+    }
+
+    #[test]
+    fn symbols_are_monotone_in_value() {
+        let s = ts(&[-2.0, -2.0, -0.5, -0.5, 0.5, 0.5, 2.0, 2.0]);
+        let w = Sax::with_alphabet(4).reduce_to_word(&s, 4).unwrap();
+        assert_eq!(w.symbols.len(), 4);
+        for pair in w.symbols.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert_eq!(w.symbols[0], 0);
+        assert_eq!(w.symbols[3], 3);
+    }
+
+    #[test]
+    fn centroids_are_ordered_and_zero_mean() {
+        let c = Sax::with_alphabet(8).symbol_centroids();
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+        let mean: f64 = c.iter().sum::<f64>() / c.len() as f64;
+        assert!(mean.abs() < 1e-9, "equiprobable centroids average to 0, got {mean}");
+    }
+
+    #[test]
+    fn reconstruction_is_coarser_than_paa() {
+        // The paper's reason for excluding SAX from the max-deviation
+        // comparison: symbol → number loses accuracy vs PAA.
+        let v: Vec<f64> = (0..64).map(|t| (t as f64 * 0.2).sin()).collect();
+        let s = ts(&v).znormalized();
+        let sax = Sax::default();
+        let w = sax.reduce(&s, 8).unwrap();
+        let paa = crate::Paa.reduce(&s, 8).unwrap();
+        let d_sax = sax.max_deviation(&s, &w).unwrap();
+        let d_paa = crate::Paa.max_deviation(&s, &paa).unwrap();
+        assert!(d_sax >= d_paa - 1e-9);
+    }
+
+    #[test]
+    fn word_respects_alphabet() {
+        let v: Vec<f64> = (0..128).map(|t| ((t * 37) % 19) as f64).collect();
+        let s = ts(&v).znormalized();
+        for alpha in [2, 4, 8, 16] {
+            let w = Sax::with_alphabet(alpha).reduce_to_word(&s, 16).unwrap();
+            assert!(w.symbols.iter().all(|&x| (x as usize) < alpha));
+        }
+    }
+}

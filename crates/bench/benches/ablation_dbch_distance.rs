@@ -1,0 +1,9 @@
+//! ABL2 — DBCH node-distance rule ablation (paper rule vs triangle
+//! inequality).
+
+use sapla_bench::experiments::indexing::ablation_dbch_table;
+use sapla_bench::RunConfig;
+
+fn main() {
+    ablation_dbch_table(&RunConfig::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! ABL1 — SAPLA stage ablation (init / split&merge / endpoint movement /
+//! exact bounds).
+
+use sapla_bench::experiments::reduction::ablation_stages_table;
+use sapla_bench::RunConfig;
+
+fn main() {
+    ablation_stages_table(&RunConfig::from_env()).print();
+}

@@ -1,0 +1,9 @@
+//! Appendix A — empirical validation of Theorems 4.2/4.3: how often do
+//! the O(1) bounds fail to dominate the exact deviations?
+
+use sapla_bench::experiments::theorems::theorems_table;
+use sapla_bench::RunConfig;
+
+fn main() {
+    theorems_table(&RunConfig::from_env()).print();
+}

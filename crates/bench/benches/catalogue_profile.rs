@@ -1,0 +1,45 @@
+//! Substrate documentation: per-family signal statistics of the synthetic
+//! catalogue (the quantitative backing for the UCR-2018 substitution —
+//! families must span distinct signal regimes).
+
+use sapla_bench::{load_datasets, RunConfig, Table};
+use sapla_data::{mean_profile, Protocol};
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let protocol = Protocol {
+        series_len: 512,
+        series_per_dataset: 6,
+        queries_per_dataset: 1,
+    };
+    let datasets = load_datasets(cfg.datasets, &protocol);
+
+    // Group by family prefix.
+    let mut families: Vec<String> = datasets
+        .iter()
+        .map(|d| d.name.split('_').next().unwrap_or(&d.name).to_string())
+        .collect();
+    families.sort();
+    families.dedup();
+
+    let mut table = Table::new(
+        "Catalogue profile — per-family signal statistics",
+        &["family", "lag-1 autocorr", "mean |diff|", "turning rate", "kurtosis"],
+    );
+    for family in &families {
+        let series: Vec<_> = datasets
+            .iter()
+            .filter(|d| d.name.starts_with(family.as_str()))
+            .flat_map(|d| d.series.iter().cloned())
+            .collect();
+        let p = mean_profile(&series);
+        table.row(vec![
+            family.clone(),
+            format!("{:.3}", p.autocorr1),
+            format!("{:.3}", p.mean_abs_diff),
+            format!("{:.3}", p.turning_rate),
+            format!("{:.2}", p.kurtosis),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks: distance-measure costs — `Dist_PAR`'s
+//! `O(N)` vs the `O(n)` of `Dist_LB` / `Dist_AE` / raw Euclidean.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapla_baselines::{Reducer, SaplaReducer};
+use sapla_data::{catalogue, Protocol};
+use sapla_distance::{dist_ae, dist_lb, dist_par, euclidean};
+
+fn bench_distances(c: &mut Criterion) {
+    let protocol = Protocol { series_len: 1024, series_per_dataset: 2, queries_per_dataset: 1 };
+    let ds = catalogue()[0].load(&protocol);
+    let (q, s) = (&ds.queries[0], &ds.series[0]);
+    let reducer = SaplaReducer::new();
+    let q_rep = reducer.reduce(q, 12).unwrap();
+    let s_rep = reducer.reduce(s, 12).unwrap();
+    let q_lin = q_rep.as_linear().unwrap().clone();
+    let s_lin = s_rep.as_linear().unwrap().clone();
+    let q_sums = q.prefix_sums();
+
+    let mut group = c.benchmark_group("distance_n1024");
+    group.bench_function("euclidean", |b| {
+        b.iter(|| euclidean(std::hint::black_box(q), std::hint::black_box(s)).unwrap())
+    });
+    group.bench_function("dist_par", |b| {
+        b.iter(|| {
+            dist_par(std::hint::black_box(&q_lin), std::hint::black_box(&s_lin)).unwrap()
+        })
+    });
+    group.bench_function("dist_lb", |b| {
+        b.iter(|| {
+            dist_lb(std::hint::black_box(&q_sums), std::hint::black_box(&s_lin)).unwrap()
+        })
+    });
+    group.bench_function("dist_ae", |b| {
+        b.iter(|| dist_ae(std::hint::black_box(q), std::hint::black_box(&s_lin)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! FIG1 — the worked example of Figs. 1, 5, 6 and 8.
+
+use sapla_bench::experiments::example::{fig1_table, stages_table};
+
+fn main() {
+    fig1_table().print();
+    stages_table().print();
+}

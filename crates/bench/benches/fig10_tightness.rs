@@ -1,0 +1,8 @@
+//! FIG10-11 — distance tightness and lower-bound violation rates.
+
+use sapla_bench::experiments::tightness::tightness_table;
+use sapla_bench::RunConfig;
+
+fn main() {
+    tightness_table(&RunConfig::from_env()).print();
+}

@@ -1,0 +1,14 @@
+//! FIG12a — mean max deviation per method and budget, plus the
+//! APLA head-to-head under both deviation metrics.
+
+use sapla_bench::experiments::reduction::{
+    max_deviation_apla_table, max_deviation_by_family_table, max_deviation_table,
+};
+use sapla_bench::RunConfig;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    max_deviation_table(&cfg).print();
+    max_deviation_apla_table(&cfg).print();
+    max_deviation_by_family_table(&cfg).print();
+}

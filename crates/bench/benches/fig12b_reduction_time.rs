@@ -1,0 +1,8 @@
+//! FIG12b — mean dimensionality-reduction time per series.
+
+use sapla_bench::experiments::reduction::reduction_time_table;
+use sapla_bench::RunConfig;
+
+fn main() {
+    reduction_time_table(&RunConfig::from_env()).print();
+}

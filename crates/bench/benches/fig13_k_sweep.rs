@@ -1,0 +1,9 @@
+//! FIG13 (K sweep) — SAPLA pruning power and accuracy across the paper's
+//! K ∈ {4, 8, 16, 32, 64} parameter range, R-tree vs DBCH-tree.
+
+use sapla_bench::experiments::indexing::k_sweep_table;
+use sapla_bench::RunConfig;
+
+fn main() {
+    k_sweep_table(&RunConfig::from_env()).print();
+}

@@ -1,0 +1,13 @@
+//! FIG13 — pruning power (Eq. 14) and accuracy (Eq. 15), R-tree vs
+//! DBCH-tree.
+
+use sapla_bench::experiments::indexing::{fig13_tables, run_indexing};
+use sapla_bench::RunConfig;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let (outcomes, _) = run_indexing(&cfg, true);
+    let (a, b) = fig13_tables(&outcomes);
+    a.print();
+    b.print();
+}

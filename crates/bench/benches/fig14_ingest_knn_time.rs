@@ -1,0 +1,12 @@
+//! FIG14 — data ingest time and k-NN CPU time (incl. linear scan).
+
+use sapla_bench::experiments::indexing::{fig14_tables, run_indexing};
+use sapla_bench::RunConfig;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let (outcomes, scan) = run_indexing(&cfg, true);
+    let (a, b) = fig14_tables(&outcomes, scan);
+    a.print();
+    b.print();
+}

@@ -1,0 +1,14 @@
+//! FIG15/FIG16 — tree shape: internal/leaf/total node counts and height.
+
+use sapla_bench::experiments::indexing::{fig15_16_tables, run_indexing};
+use sapla_bench::RunConfig;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let (outcomes, _) = run_indexing(&cfg, false);
+    let (a, b, c, d) = fig15_16_tables(&outcomes);
+    a.print();
+    b.print();
+    c.print();
+    d.print();
+}

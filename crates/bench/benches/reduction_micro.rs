@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks: dimensionality-reduction throughput per
+//! method (the statistical companion to Fig. 12b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sapla_baselines::{all_reducers, Reducer};
+use sapla_data::{catalogue, Protocol};
+
+fn bench_reduction(c: &mut Criterion) {
+    let protocol = Protocol { series_len: 1024, series_per_dataset: 1, queries_per_dataset: 1 };
+    let ds = catalogue()[5].load(&protocol); // a Burst (EOG-like) dataset
+    let series = &ds.series[0];
+    let m = 12;
+
+    let mut group = c.benchmark_group("reduce_n1024_m12");
+    group.sample_size(10);
+    for reducer in all_reducers() {
+        if reducer.name() == "APLA" {
+            continue; // benchmarked separately at a smaller n below
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(reducer.name()),
+            series,
+            |b, s| b.iter(|| reducer.reduce(std::hint::black_box(s), m).unwrap()),
+        );
+    }
+    group.finish();
+
+    // APLA is O(N n²); a 256-point series keeps criterion's sampling
+    // affordable while still showing the gap.
+    let small = Protocol { series_len: 256, series_per_dataset: 1, queries_per_dataset: 1 };
+    let ds_small = catalogue()[5].load(&small);
+    let mut group = c.benchmark_group("reduce_n256_m12");
+    group.sample_size(10);
+    for reducer in all_reducers() {
+        if reducer.name() != "APLA" && reducer.name() != "SAPLA" {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(reducer.name()),
+            &ds_small.series[0],
+            |b, s| b.iter(|| reducer.reduce(std::hint::black_box(s), m).unwrap()),
+        );
+    }
+    group.finish();
+
+    // SAPLA scaling across n (the O(n(N + log n)) claim).
+    let mut group = c.benchmark_group("sapla_scaling");
+    group.sample_size(20);
+    for n in [128usize, 256, 512, 1024, 2048] {
+        let p = Protocol { series_len: n, series_per_dataset: 1, queries_per_dataset: 1 };
+        let ds = catalogue()[0].load(&p);
+        let sapla = sapla_baselines::SaplaReducer::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ds.series[0], |b, s| {
+            b.iter(|| sapla.reduce(std::hint::black_box(s), m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reduction);
+criterion_main!(benches);

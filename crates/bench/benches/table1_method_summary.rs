@@ -1,0 +1,8 @@
+//! TAB1 — Table 1: measured reduction-time scaling per method.
+
+use sapla_bench::experiments::reduction::scaling_table;
+use sapla_bench::RunConfig;
+
+fn main() {
+    scaling_table(&RunConfig::from_env()).print();
+}

@@ -1,0 +1,109 @@
+//! Fig. 1 / Figs. 5, 6, 8 — the paper's 20-point worked example.
+
+use sapla_baselines::{all_reducers, SaplaReducer};
+use sapla_core::sapla::SaplaConfig;
+use sapla_core::{Representation, TimeSeries};
+
+use sapla_baselines::Reducer;
+
+use crate::table::{f, Table};
+
+/// The series printed in Fig. 5a of the paper.
+pub const FIG1_SERIES: [f64; 20] = [
+    7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
+    2.0, 9.0, 10.0, 10.0,
+];
+
+/// The paper's reported sum-of-max-deviations for Fig. 1 (M = 12).
+pub const PAPER_FIG1: [(&str, f64); 4] =
+    [("SAPLA", 9.2727), ("APLA", 9.0909), ("APCA", 18.4167), ("PLA", 19.3999)];
+
+fn sum_dev(rep: &Representation, s: &TimeSeries) -> Option<f64> {
+    let lin = rep.linear_view()?;
+    Some(lin.segment_deviations(s).ok()?.iter().sum())
+}
+
+/// Fig. 1 — every method on the worked example at M = 12, with the
+/// paper's reported numbers alongside.
+pub fn fig1_table() -> Table {
+    let s = TimeSeries::new(FIG1_SERIES.to_vec()).expect("static example");
+    let mut table = Table::new(
+        "Fig. 1 — worked example, M = 12 (sum of per-segment max deviations)",
+        &["method", "N", "max dev", "sum dev", "paper sum dev"],
+    );
+    for reducer in all_reducers() {
+        if reducer.name() == "SAX" {
+            continue;
+        }
+        let rep = reducer.reduce(&s, 12).expect("M = 12 divides all methods");
+        let max = reducer.max_deviation(&s, &rep).expect("same length");
+        let sum = sum_dev(&rep, &s);
+        let paper = PAPER_FIG1
+            .iter()
+            .find(|(n, _)| *n == reducer.name())
+            .map(|&(_, v)| f(v))
+            .unwrap_or_else(|| "-".into());
+        table.row(vec![
+            reducer.name().to_string(),
+            rep.num_segments().to_string(),
+            f(max),
+            sum.map(f).unwrap_or_else(|| "-".into()),
+            paper,
+        ]);
+    }
+    table
+}
+
+/// Figs. 5/6/8 — SAPLA stage by stage on the worked example.
+pub fn stages_table() -> Table {
+    let s = TimeSeries::new(FIG1_SERIES.to_vec()).expect("static example");
+    let stages: Vec<(&str, SaplaConfig)> = vec![
+        (
+            "Fig. 5 init (+count fix)",
+            SaplaConfig {
+                refine_split_merge: false,
+                max_refine_rounds: 0,
+                endpoint_movement: false,
+                ..SaplaConfig::default()
+            },
+        ),
+        (
+            "Fig. 6 split & merge",
+            SaplaConfig { endpoint_movement: false, ..SaplaConfig::default() },
+        ),
+        ("Fig. 8 endpoint movement", SaplaConfig::default()),
+    ];
+    let mut table = Table::new(
+        "Figs. 5/6/8 — SAPLA stages on the worked example (N = 4)",
+        &["stage", "endpoints", "max dev"],
+    );
+    for (name, config) in stages {
+        let rep = SaplaReducer::with_config(config).reduce(&s, 12).expect("valid");
+        let lin = rep.as_linear().expect("SAPLA is linear");
+        table.row(vec![
+            name.to_string(),
+            format!("{:?}", lin.endpoints()),
+            f(lin.max_deviation(&s).expect("same length")),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_table_reproduces_orderings() {
+        let t = fig1_table();
+        assert_eq!(t.len(), 7);
+        let s = t.render();
+        assert!(s.contains("SAPLA"));
+        assert!(s.contains("APLA"));
+    }
+
+    #[test]
+    fn stages_table_has_three_rows() {
+        assert_eq!(stages_table().len(), 3);
+    }
+}

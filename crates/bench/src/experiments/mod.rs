@@ -1,0 +1,7 @@
+//! One module per experiment group; see DESIGN.md's per-experiment index.
+
+pub mod example;
+pub mod indexing;
+pub mod reduction;
+pub mod theorems;
+pub mod tightness;

@@ -1,0 +1,328 @@
+//! Reduction-quality experiments: Fig. 12a (max deviation), Fig. 12b
+//! (dimensionality-reduction time), Table 1 (time scaling vs `n`) and the
+//! stage ablation (ABL1).
+
+use std::time::Duration;
+
+use sapla_baselines::{all_reducers, Reducer, SaplaReducer};
+use sapla_core::sapla::{BoundMode, SaplaConfig};
+use sapla_data::Protocol;
+
+use crate::harness::{load_datasets, time_it, RunConfig};
+use crate::table::{dur, f, Table};
+
+/// Should `method` run on dataset `index` / series `series_idx` under the
+/// APLA affordability caps?
+fn apla_allowed(cfg: &RunConfig, name: &str, dataset_idx: usize, series_idx: usize) -> bool {
+    name != "APLA"
+        || (dataset_idx < cfg.apla_dataset_cap && series_idx < cfg.apla_series_cap)
+}
+
+/// Fig. 12a: mean max deviation per method and coefficient budget `M`,
+/// averaged over the catalogue. SAX is excluded (the paper compares PAA in
+/// its place — symbol→number reconstruction is strictly coarser), and APLA
+/// is reported by the head-to-head companion [`max_deviation_apla_table`]
+/// so every cell here averages the identical full sample.
+pub fn max_deviation_table(cfg: &RunConfig) -> Table {
+    let datasets = load_datasets(cfg.datasets, &cfg.reduction_protocol);
+    let reducers = all_reducers();
+    let m_headers: Vec<String> = cfg.ms.iter().map(|m| format!("M={m}")).collect();
+    let mut headers: Vec<&str> = vec!["method"];
+    headers.extend(m_headers.iter().map(String::as_str));
+    let mut table =
+        Table::new("Fig. 12a — mean max deviation (lower is better)", &headers);
+    for reducer in &reducers {
+        if matches!(reducer.name(), "SAX" | "APLA") {
+            continue;
+        }
+        let mut cells = vec![reducer.name().to_string()];
+        for &m in &cfg.ms {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for ds in &datasets {
+                for series in &ds.series {
+                    let rep = reducer
+                        .reduce(series, m)
+                        .expect("protocol budgets are valid for every method");
+                    sum += reducer.max_deviation(series, &rep).expect("same length");
+                    count += 1;
+                }
+            }
+            cells.push(if count == 0 { "-".into() } else { f(sum / count as f64) });
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// Fig. 12a companion: head-to-head on the APLA-affordable sample, under
+/// both deviation metrics the paper uses — the plain series max deviation
+/// (Definition 3.4 applied to the whole series) and the *sum of
+/// per-segment max deviations* (the quantity Fig. 1 labels "Max
+/// Deviation", for which APLA's dynamic program is provably optimal).
+pub fn max_deviation_apla_table(cfg: &RunConfig) -> Table {
+    let datasets = load_datasets(cfg.datasets, &cfg.reduction_protocol);
+    let m = cfg.ms[0];
+    let mut table = Table::new(
+        &format!(
+            "Fig. 12a (head-to-head, {} datasets x {} series, M = {m})",
+            cfg.apla_dataset_cap, cfg.apla_series_cap
+        ),
+        &["method", "max dev", "sum seg dev"],
+    );
+    for reducer in all_reducers() {
+        if reducer.name() == "SAX" {
+            continue;
+        }
+        let mut max_sum = 0.0;
+        let mut seg_sum = 0.0;
+        let mut seg_count = 0usize;
+        let mut count = 0usize;
+        for ds in datasets.iter().take(cfg.apla_dataset_cap) {
+            for series in ds.series.iter().take(cfg.apla_series_cap) {
+                let rep = reducer.reduce(series, m).expect("valid budget");
+                max_sum += reducer.max_deviation(series, &rep).expect("same length");
+                count += 1;
+                if let Some(lin) = rep.linear_view() {
+                    seg_sum += lin
+                        .segment_deviations(series)
+                        .expect("same length")
+                        .iter()
+                        .sum::<f64>();
+                    seg_count += 1;
+                }
+            }
+        }
+        table.row(vec![
+            reducer.name().to_string(),
+            f(max_sum / count.max(1) as f64),
+            if seg_count == 0 { "-".into() } else { f(seg_sum / seg_count as f64) },
+        ]);
+    }
+    table
+}
+
+/// Fig. 12b: mean dimensionality-reduction time per series (M = first
+/// configured budget).
+pub fn reduction_time_table(cfg: &RunConfig) -> Table {
+    let datasets = load_datasets(cfg.datasets, &cfg.reduction_protocol);
+    let m = cfg.ms[0];
+    let mut table = Table::new(
+        &format!(
+            "Fig. 12b — mean reduction time per series (n = {}, M = {m})",
+            cfg.reduction_protocol.series_len
+        ),
+        &["method", "time/series", "vs SAPLA"],
+    );
+    let reducers = all_reducers();
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for reducer in &reducers {
+        let mut total = Duration::ZERO;
+        let mut count = 0usize;
+        for (di, ds) in datasets.iter().enumerate() {
+            for (si, series) in ds.series.iter().enumerate() {
+                if !apla_allowed(cfg, reducer.name(), di, si) {
+                    continue;
+                }
+                let (_, t) = time_it(|| reducer.reduce(series, m).expect("valid budget"));
+                total += t;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            rows.push((reducer.name().to_string(), total.as_secs_f64() / count as f64));
+        }
+    }
+    let sapla_time = rows
+        .iter()
+        .find(|(n, _)| n == "SAPLA")
+        .map(|&(_, t)| t)
+        .unwrap_or(f64::NAN);
+    for (name, t) in rows {
+        table.row(vec![
+            name,
+            dur(Duration::from_secs_f64(t)),
+            format!("{:.2}x", t / sapla_time),
+        ]);
+    }
+    table
+}
+
+/// Table 1 companion: measured reduction time as `n` grows, demonstrating
+/// each method's complexity class (APLA's quadratic blow-up vs SAPLA's
+/// near-linear growth).
+pub fn scaling_table(cfg: &RunConfig) -> Table {
+    let lens = [128usize, 256, 512, 1024];
+    let m = cfg.ms[0];
+    let mut table = Table::new(
+        "Table 1 — reduction time vs series length n (one series per cell)",
+        &["method", "n=128", "n=256", "n=512", "n=1024", "t(1024)/t(128)"],
+    );
+    for reducer in all_reducers() {
+        let mut cells = vec![reducer.name().to_string()];
+        let mut times = Vec::new();
+        for &n in &lens {
+            let protocol =
+                Protocol { series_len: n, series_per_dataset: 1, queries_per_dataset: 1 };
+            let ds = load_datasets(1, &protocol);
+            let series = &ds[0].series[0];
+            // Median of 3 runs to damp jitter for the fast methods.
+            let mut samples: Vec<f64> = (0..3)
+                .map(|_| {
+                    time_it(|| reducer.reduce(series, m).expect("valid budget"))
+                        .1
+                        .as_secs_f64()
+                })
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            let t = samples[1];
+            times.push(t);
+            cells.push(dur(Duration::from_secs_f64(t)));
+        }
+        cells.push(format!("{:.1}x", times[3] / times[0].max(1e-9)));
+        table.row(cells);
+    }
+    table
+}
+
+/// Fig. 12a per-family breakdown (the paper's technical report drills
+/// per-dataset; we group by generator family): mean max deviation per
+/// method and family at the first budget.
+pub fn max_deviation_by_family_table(cfg: &RunConfig) -> Table {
+    let datasets = load_datasets(cfg.datasets, &cfg.reduction_protocol);
+    let m = cfg.ms[0];
+    let families: Vec<String> = {
+        let mut f: Vec<String> = datasets
+            .iter()
+            .map(|d| d.name.split('_').next().unwrap_or(&d.name).to_string())
+            .collect();
+        f.sort();
+        f.dedup();
+        f
+    };
+    let mut headers: Vec<&str> = vec!["method"];
+    headers.extend(families.iter().map(String::as_str));
+    let mut table = Table::new(
+        &format!("Fig. 12a by family — mean max deviation (M = {m})"),
+        &headers,
+    );
+    for reducer in all_reducers() {
+        if matches!(reducer.name(), "SAX" | "APLA") {
+            continue;
+        }
+        let mut cells = vec![reducer.name().to_string()];
+        for family in &families {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for ds in datasets.iter().filter(|d| d.name.starts_with(family.as_str())) {
+                for series in &ds.series {
+                    let rep = reducer.reduce(series, m).expect("valid budget");
+                    sum += reducer.max_deviation(series, &rep).expect("same length");
+                    count += 1;
+                }
+            }
+            cells.push(if count == 0 { "-".into() } else { f(sum / count as f64) });
+        }
+        table.row(cells);
+    }
+    table
+}
+
+/// ABL1 — stage ablation: SAPLA with stages progressively enabled, and
+/// with the exact (unconditional) bound mode.
+pub fn ablation_stages_table(cfg: &RunConfig) -> Table {
+    let datasets = load_datasets(cfg.datasets, &cfg.reduction_protocol);
+    let m = cfg.ms[0];
+    let variants: Vec<(&str, SaplaConfig)> = vec![
+        (
+            "init only",
+            SaplaConfig {
+                refine_split_merge: false,
+                max_refine_rounds: 0,
+                endpoint_movement: false,
+                ..SaplaConfig::default()
+            },
+        ),
+        (
+            "init + split/merge",
+            SaplaConfig { endpoint_movement: false, ..SaplaConfig::default() },
+        ),
+        ("full (paper)", SaplaConfig::default()),
+        (
+            "full x3 stage loops",
+            SaplaConfig { stage_loops: 3, ..SaplaConfig::default() },
+        ),
+        (
+            "full + exact bounds",
+            SaplaConfig { bound_mode: BoundMode::Exact, ..SaplaConfig::default() },
+        ),
+    ];
+    let mut table = Table::new(
+        &format!("ABL1 — SAPLA stage ablation (M = {m})"),
+        &["variant", "mean max dev", "mean sum dev", "time/series"],
+    );
+    for (name, config) in variants {
+        let reducer = SaplaReducer::with_config(config);
+        let mut dev_sum = 0.0;
+        let mut sumdev_sum = 0.0;
+        let mut time = Duration::ZERO;
+        let mut count = 0usize;
+        for ds in &datasets {
+            for series in &ds.series {
+                let (rep, t) = time_it(|| reducer.reduce(series, m).expect("valid budget"));
+                time += t;
+                let lin = rep.as_linear().expect("SAPLA emits linear representations");
+                dev_sum += lin.max_deviation(series).expect("same length");
+                sumdev_sum += lin
+                    .segment_deviations(series)
+                    .expect("same length")
+                    .iter()
+                    .sum::<f64>();
+                count += 1;
+            }
+        }
+        let c = count as f64;
+        table.row(vec![
+            name.to_string(),
+            f(dev_sum / c),
+            f(sumdev_sum / c),
+            dur(time / count as u32),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_deviation_table_has_six_methods() {
+        let t = max_deviation_table(&RunConfig::tiny());
+        assert_eq!(t.len(), 6); // 8 methods minus SAX and APLA
+    }
+
+    #[test]
+    fn apla_head_to_head_has_seven_methods() {
+        let t = max_deviation_apla_table(&RunConfig::tiny());
+        assert_eq!(t.len(), 7); // 8 methods minus SAX
+    }
+
+    #[test]
+    fn family_breakdown_runs() {
+        let t = max_deviation_by_family_table(&RunConfig::tiny());
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn reduction_time_table_runs() {
+        let t = reduction_time_table(&RunConfig::tiny());
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn ablation_runs() {
+        let t = ablation_stages_table(&RunConfig::tiny());
+        assert_eq!(t.len(), 5);
+    }
+}

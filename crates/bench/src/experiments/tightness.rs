@@ -1,0 +1,113 @@
+//! Fig. 10 / Fig. 11 — distance-measure tightness and the lower-bounding
+//! lemma, measured over the catalogue.
+
+use sapla_baselines::{Reducer, SaplaReducer};
+use sapla_distance::{dist_ae, dist_lb, dist_par};
+
+use crate::harness::{load_datasets, RunConfig};
+use crate::table::{f, Table};
+
+/// Aggregate tightness statistics for one measure.
+#[derive(Debug, Clone, Default)]
+pub struct Tightness {
+    /// Mean ratio `measure / Dist_euclid` (1.0 = perfectly tight).
+    pub mean_ratio: f64,
+    /// Fraction of pairs where the measure exceeded the Euclidean
+    /// distance (lower-bound violations).
+    pub violation_rate: f64,
+    /// Mean relative overshoot among violating pairs.
+    pub mean_violation: f64,
+}
+
+/// Measure `Dist_PAR`, `Dist_LB` and `Dist_AE` against the exact Euclidean
+/// distance over query-database pairs from the catalogue.
+pub fn measure_tightness(cfg: &RunConfig) -> [(&'static str, Tightness); 3] {
+    let datasets = load_datasets(cfg.datasets, &cfg.index_protocol);
+    let m = cfg.ms[0];
+    let reducer = SaplaReducer::new();
+
+    let mut acc = [(0.0f64, 0usize, 0.0f64); 3]; // (ratio sum, violations, overshoot sum)
+    let mut pairs = 0usize;
+    for ds in &datasets {
+        for q in &ds.queries {
+            let q_rep = reducer.reduce(q, m).expect("valid budget");
+            let q_lin = q_rep.as_linear().expect("SAPLA is linear");
+            let q_sums = q.prefix_sums();
+            for s in &ds.series {
+                let c_rep = reducer.reduce(s, m).expect("valid budget");
+                let c_lin = c_rep.as_linear().expect("SAPLA is linear");
+                let exact = q.euclidean(s).expect("same length");
+                if exact <= f64::EPSILON {
+                    continue;
+                }
+                let measures = [
+                    dist_par(q_lin, c_lin).expect("same length"),
+                    dist_lb(&q_sums, c_lin).expect("same length"),
+                    dist_ae(q, c_lin).expect("same length"),
+                ];
+                for (slot, &d) in acc.iter_mut().zip(&measures) {
+                    slot.0 += d / exact;
+                    if d > exact * (1.0 + 1e-12) {
+                        slot.1 += 1;
+                        slot.2 += d / exact - 1.0;
+                    }
+                }
+                pairs += 1;
+            }
+        }
+    }
+    let names = ["Dist_PAR", "Dist_LB", "Dist_AE"];
+    let mut out = [
+        ("Dist_PAR", Tightness::default()),
+        ("Dist_LB", Tightness::default()),
+        ("Dist_AE", Tightness::default()),
+    ];
+    for (i, (ratio, viol, overshoot)) in acc.into_iter().enumerate() {
+        out[i] = (
+            names[i],
+            Tightness {
+                mean_ratio: ratio / pairs.max(1) as f64,
+                violation_rate: viol as f64 / pairs.max(1) as f64,
+                mean_violation: if viol == 0 { 0.0 } else { overshoot / viol as f64 },
+            },
+        );
+    }
+    out
+}
+
+/// Render the Fig. 10 table.
+pub fn tightness_table(cfg: &RunConfig) -> Table {
+    let rows = measure_tightness(cfg);
+    let mut table = Table::new(
+        "Fig. 10 — lower-bound tightness vs Euclidean distance (SAPLA reps)",
+        &["measure", "mean ratio", "violation rate", "mean overshoot"],
+    );
+    for (name, t) in rows {
+        table.row(vec![
+            name.to_string(),
+            f(t.mean_ratio),
+            f(t.violation_rate),
+            f(t.mean_violation),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tightness_orders_as_the_paper_describes() {
+        let cfg = RunConfig::tiny();
+        let [(_, par), (_, lb), (_, ae)] = measure_tightness(&cfg);
+        // Dist_LB is an unconditional lower bound.
+        assert_eq!(lb.violation_rate, 0.0, "Dist_LB must never violate");
+        // Dist_LB ≤ Dist_PAR ≤ ~Dist ≤ ~Dist_AE in the mean.
+        assert!(lb.mean_ratio <= par.mean_ratio + 1e-9);
+        assert!(par.mean_ratio <= 1.05, "Dist_PAR mean ratio {}", par.mean_ratio);
+        assert!(ae.mean_ratio >= par.mean_ratio - 0.05);
+        // Dist_PAR violations are rare and small (the conditional lemma).
+        assert!(par.violation_rate < 0.2, "PAR violations {}", par.violation_rate);
+    }
+}

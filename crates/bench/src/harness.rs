@@ -1,0 +1,180 @@
+//! Run configuration, dataset loading and timing helpers.
+
+use std::time::{Duration, Instant};
+
+use sapla_data::{catalogue, Dataset, Protocol};
+
+/// Scaled run configuration (see the crate docs for the environment
+/// knobs).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// How many catalogue datasets to evaluate (family-balanced prefix).
+    pub datasets: usize,
+    /// Protocol for reduction-quality experiments (Figs. 12, Table 1).
+    pub reduction_protocol: Protocol,
+    /// Protocol for index experiments (Figs. 13–16).
+    pub index_protocol: Protocol,
+    /// Coefficient budgets `M` (paper: 12, 18, 24).
+    pub ms: Vec<usize>,
+    /// k-NN sizes `K` (paper: 4, 8, 16, 32, 64).
+    pub ks: Vec<usize>,
+    /// APLA is `O(N n²)`: cap the datasets it runs on (family-balanced
+    /// prefix) so the suite stays affordable. Other methods always run in
+    /// full.
+    pub apla_dataset_cap: usize,
+    /// … and the series per dataset APLA reduces.
+    pub apla_series_cap: usize,
+    /// R-tree / DBCH-tree minimum fill (paper: 2).
+    pub min_fill: usize,
+    /// R-tree / DBCH-tree maximum fill (paper: 5).
+    pub max_fill: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl RunConfig {
+    /// Read the environment and build the active configuration.
+    pub fn from_env() -> RunConfig {
+        let full = std::env::var("SAPLA_FULL").map(|v| v == "1").unwrap_or(false);
+        if full {
+            let p = Protocol::paper();
+            return RunConfig {
+                datasets: 117,
+                reduction_protocol: p,
+                index_protocol: p,
+                ms: vec![12, 18, 24],
+                ks: vec![4, 8, 16, 32, 64],
+                apla_dataset_cap: 117,
+                apla_series_cap: p.series_per_dataset,
+                min_fill: 2,
+                max_fill: 5,
+            };
+        }
+        let datasets = env_usize("SAPLA_DATASETS", 24).min(117);
+        let series = env_usize("SAPLA_SERIES", 40);
+        let queries = env_usize("SAPLA_QUERIES", 3);
+        let red_len = env_usize("SAPLA_LEN", 1024);
+        let idx_len = env_usize("SAPLA_LEN", 256);
+        RunConfig {
+            datasets,
+            reduction_protocol: Protocol {
+                series_len: red_len,
+                series_per_dataset: series,
+                queries_per_dataset: queries,
+            },
+            index_protocol: Protocol {
+                series_len: idx_len,
+                series_per_dataset: series,
+                queries_per_dataset: queries,
+            },
+            ms: vec![12, 18, 24],
+            ks: vec![4, 8, 16, 32, 64],
+            apla_dataset_cap: 8.min(datasets),
+            apla_series_cap: 2,
+            min_fill: 2,
+            max_fill: 5,
+        }
+    }
+
+    /// A minimal configuration for tests.
+    pub fn tiny() -> RunConfig {
+        let p = Protocol { series_len: 128, series_per_dataset: 10, queries_per_dataset: 2 };
+        RunConfig {
+            datasets: 4,
+            reduction_protocol: p,
+            index_protocol: p,
+            ms: vec![12],
+            ks: vec![4],
+            apla_dataset_cap: 2,
+            apla_series_cap: 2,
+            min_fill: 2,
+            max_fill: 5,
+        }
+    }
+
+    /// k values clipped to the database size.
+    pub fn effective_ks(&self) -> Vec<usize> {
+        self.ks
+            .iter()
+            .copied()
+            .filter(|&k| k <= self.index_protocol.series_per_dataset)
+            .collect()
+    }
+}
+
+/// Load the configured number of datasets under `protocol` — from
+/// `SAPLA_UCR_DIR` when set, otherwise from the synthetic catalogue.
+pub fn load_datasets(count: usize, protocol: &Protocol) -> Vec<Dataset> {
+    if let Some(dir) = sapla_data::ucr::ucr_dir() {
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().is_dir())
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        let loaded: Vec<Dataset> = names
+            .iter()
+            .take(count)
+            .filter_map(|name| {
+                sapla_data::ucr::load_dataset(
+                    &dir,
+                    name,
+                    protocol.series_per_dataset,
+                    protocol.queries_per_dataset,
+                )
+                .ok()
+            })
+            .filter(|d| !d.series.is_empty() && !d.queries.is_empty())
+            .collect();
+        if !loaded.is_empty() {
+            return loaded;
+        }
+        eprintln!("SAPLA_UCR_DIR set but unusable; falling back to the synthetic catalogue");
+    }
+    catalogue().iter().take(count).map(|spec| spec.load(protocol)).collect()
+}
+
+/// Time a closure, returning its result and the elapsed wall time (the
+/// code under test is single-threaded pure CPU, so wall time is CPU time
+/// on an unloaded machine — see DESIGN.md).
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let c = RunConfig::tiny();
+        assert!(c.apla_dataset_cap <= c.datasets);
+        assert_eq!(c.effective_ks(), vec![4]);
+    }
+
+    #[test]
+    fn load_datasets_honours_count_and_protocol() {
+        let p = Protocol { series_len: 64, series_per_dataset: 5, queries_per_dataset: 1 };
+        let ds = load_datasets(3, &p);
+        assert_eq!(ds.len(), 3);
+        for d in &ds {
+            assert_eq!(d.series.len(), 5);
+            assert_eq!(d.queries.len(), 1);
+            assert_eq!(d.series_len(), 64);
+        }
+    }
+
+    #[test]
+    fn timer_measures_something() {
+        let (v, d) = time_it(|| (0..10_000).map(|x| x as f64).sum::<f64>());
+        assert!(v > 0.0);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Minimal aligned-table printer for the figure reproductions.
+
+use std::fmt::Write as _;
+
+/// A printable table: headers plus string rows, column-aligned.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{cell:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout; when `SAPLA_CSV_DIR` is set, also write the table
+    /// as a CSV file (named from the title) for plotting.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        if let Some(dir) = std::env::var_os("SAPLA_CSV_DIR") {
+            let dir = std::path::PathBuf::from(dir);
+            if std::fs::create_dir_all(&dir).is_ok() {
+                let path = dir.join(format!("{}.csv", slug(&self.title)));
+                if let Err(e) = std::fs::write(&path, self.to_csv()) {
+                    eprintln!("could not write {}: {e}", path.display());
+                }
+            }
+        }
+    }
+
+    /// Render as CSV (quoting cells that contain commas or quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let line = |cells: &[String]| -> String {
+            cells.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        };
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// File-name slug of a table title.
+fn slug(title: &str) -> String {
+    title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+/// Format a float with 4 significant decimals.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.5}")
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn dur(d: std::time::Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}us")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.2}s", us / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("longer"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Table::new("Fig. X — demo, with commas", &["name", "value"]);
+        t.row(vec!["a,b".into(), "1".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "name,value");
+        assert!(csv.contains("\"a,b\",1"));
+        assert_eq!(slug("Fig. X — demo, with commas"), "fig_x_demo_with_commas");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.5), "1234");
+        assert_eq!(f(6.54321), "6.543");
+        assert_eq!(f(0.001234), "0.00123");
+        assert!(dur(std::time::Duration::from_micros(500)).ends_with("us"));
+        assert!(dur(std::time::Duration::from_millis(5)).ends_with("ms"));
+        assert!(dur(std::time::Duration::from_secs(2)).ends_with('s'));
+    }
+}

@@ -1,0 +1,251 @@
+//! `sapla` — command-line front end for the SAPLA workspace.
+//!
+//! ```text
+//! sapla reduce <file|-> [--method SAPLA] [--coeffs 12]   reduce a series (one value per line / CSV row)
+//! sapla knn <dataset> [--k 4] [--method SAPLA] [--tree dbch|rtree]
+//! sapla catalogue                                        list the 117 synthetic datasets
+//! sapla demo                                             the paper's Fig. 1 walkthrough
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use sapla_baselines::{all_reducers, Reducer};
+use sapla_core::TimeSeries;
+use sapla_data::{catalogue, Protocol};
+use sapla_index::{scheme_for, DbchTree, Query, RTree};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("reduce") => cmd_reduce(&args[1..]),
+        Some("knn") => cmd_knn(&args[1..]),
+        Some("catalogue") => cmd_catalogue(),
+        Some("demo") => cmd_demo(),
+        Some("mine") => cmd_mine(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: sapla <reduce|knn|mine|catalogue|demo> [options]\n\
+                 \n\
+                 reduce <file|->  [--method NAME] [--coeffs M]\n\
+                 knn <dataset>    [--k K] [--method NAME] [--tree dbch|rtree] [--coeffs M]\n\
+                 mine <discord|motif|segment|forecast|cluster> <dataset> [--k K] [--coeffs M] [--horizon H] [--changes C]\n\
+                 catalogue\n\
+                 demo"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sapla: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn reducer_by_name(name: &str) -> Result<Box<dyn Reducer>, String> {
+    all_reducers()
+        .into_iter()
+        .find(|r| r.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            format!("unknown method {name:?} (try SAPLA, APLA, APCA, PLA, PAA, PAALM, CHEBY, SAX)")
+        })
+}
+
+fn read_series(path: &str) -> Result<TimeSeries, String> {
+    let mut text = String::new();
+    if path == "-" {
+        std::io::stdin().read_to_string(&mut text).map_err(|e| e.to_string())?;
+    } else {
+        text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let values: Result<Vec<f64>, _> = text
+        .split([',', '\n', '\t', ' '])
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(str::parse::<f64>)
+        .collect();
+    let values = values.map_err(|e| format!("parse error: {e}"))?;
+    TimeSeries::new(values).map_err(|e| e.to_string())
+}
+
+fn cmd_reduce(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("reduce: missing input file (or '-')")?;
+    let method = flag(args, "--method", "SAPLA");
+    let m: usize =
+        flag(args, "--coeffs", "12").parse().map_err(|_| "bad --coeffs".to_string())?;
+    let reducer = reducer_by_name(&method)?;
+    let series = read_series(path)?;
+    let rep = reducer.reduce(&series, m).map_err(|e| e.to_string())?;
+    println!("method: {}", reducer.name());
+    println!("series length: {}", series.len());
+    println!("segments: {}", rep.num_segments());
+    match &rep {
+        sapla_core::Representation::Linear(l) => {
+            for (i, s) in l.segments().iter().enumerate() {
+                println!("  seg {i}: a = {:.6}, b = {:.6}, r = {}", s.a, s.b, s.r);
+            }
+        }
+        sapla_core::Representation::Constant(c) => {
+            for (i, s) in c.segments().iter().enumerate() {
+                println!("  seg {i}: v = {:.6}, r = {}", s.v, s.r);
+            }
+        }
+        sapla_core::Representation::Polynomial(p) => {
+            println!("  coefficients: {:?}", p.coeffs);
+        }
+        sapla_core::Representation::Symbolic(w) => {
+            println!("  word: {:?} (alphabet {})", w.symbols, w.alphabet_size);
+        }
+    }
+    let dev = reducer.max_deviation(&series, &rep).map_err(|e| e.to_string())?;
+    println!("max deviation: {dev:.6}");
+    Ok(())
+}
+
+fn cmd_knn(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("knn: missing dataset name (see `sapla catalogue`)")?;
+    let k: usize = flag(args, "--k", "4").parse().map_err(|_| "bad --k".to_string())?;
+    let m: usize =
+        flag(args, "--coeffs", "12").parse().map_err(|_| "bad --coeffs".to_string())?;
+    let method = flag(args, "--method", "SAPLA");
+    let tree_kind = flag(args, "--tree", "dbch");
+    let reducer = reducer_by_name(&method)?;
+    let spec = catalogue()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let ds = spec.load(&Protocol::quick());
+    let scheme = scheme_for(reducer.name());
+    let reps: Result<Vec<_>, _> = ds.series.iter().map(|s| reducer.reduce(s, m)).collect();
+    let reps = reps.map_err(|e| e.to_string())?;
+    let q = Query::new(&ds.queries[0], reducer.as_ref(), m).map_err(|e| e.to_string())?;
+    let stats = match tree_kind.as_str() {
+        "rtree" => {
+            let tree = RTree::build(scheme.as_ref(), reps, 2, 5).map_err(|e| e.to_string())?;
+            tree.knn(&q, k, scheme.as_ref(), &ds.series).map_err(|e| e.to_string())?
+        }
+        _ => {
+            let tree =
+                DbchTree::build(scheme.as_ref(), reps, 2, 5).map_err(|e| e.to_string())?;
+            tree.knn(&q, k, scheme.as_ref(), &ds.series).map_err(|e| e.to_string())?
+        }
+    };
+    let truth = ds.exact_knn(&ds.queries[0], k);
+    println!("dataset: {} ({} series)", ds.name, ds.series.len());
+    println!("method: {} / {}", reducer.name(), tree_kind);
+    println!("retrieved: {:?}", stats.retrieved);
+    println!("exact kNN: {truth:?}");
+    println!("pruning power: {:.3}", stats.pruning_power());
+    println!("accuracy: {:.3}", stats.accuracy(&truth));
+    Ok(())
+}
+
+fn cmd_mine(args: &[String]) -> Result<(), String> {
+    let task = args.first().ok_or("mine: missing task (discord|motif|segment|forecast|cluster)")?;
+    let name = args.get(1).ok_or("mine: missing dataset name (see `sapla catalogue`)")?;
+    let m: usize =
+        flag(args, "--coeffs", "12").parse().map_err(|_| "bad --coeffs".to_string())?;
+    let k: usize = flag(args, "--k", "3").parse().map_err(|_| "bad --k".to_string())?;
+    let spec = catalogue()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let ds = spec.load(&Protocol::quick());
+    let reducer = sapla_baselines::SaplaReducer::new();
+    let reps: Result<Vec<_>, _> = ds.series.iter().map(|s| reducer.reduce(s, m)).collect();
+    let reps = reps.map_err(|e| e.to_string())?;
+
+    match task.as_str() {
+        "discord" => {
+            let top = sapla_mining::top_discords(&reps, k).map_err(|e| e.to_string())?;
+            let scores = sapla_mining::discord_scores(&reps).map_err(|e| e.to_string())?;
+            println!("top-{k} discords of {} ({} series):", ds.name, ds.series.len());
+            for id in top {
+                println!("  series {id:3}  1-NN Dist_PAR = {:.4}", scores[id]);
+            }
+        }
+        "motif" => {
+            let motif =
+                sapla_mining::find_motif(&ds.series, &reps, 1.0).map_err(|e| e.to_string())?;
+            println!(
+                "closest pair in {}: series {} and {} at Euclidean distance {:.4}",
+                ds.name, motif.a, motif.b, motif.distance
+            );
+            println!(
+                "({} of {} pairs needed exact refinement)",
+                motif.refined_pairs,
+                ds.series.len() * (ds.series.len() - 1) / 2
+            );
+        }
+        "segment" => {
+            let changes: usize =
+                flag(args, "--changes", "3").parse().map_err(|_| "bad --changes".to_string())?;
+            let cps = sapla_mining::change_points(&ds.series[0], changes)
+                .map_err(|e| e.to_string())?;
+            println!("change points of {}[0] (n = {}): {cps:?}", ds.name, ds.series_len());
+        }
+        "forecast" => {
+            let horizon: usize =
+                flag(args, "--horizon", "10").parse().map_err(|_| "bad --horizon".to_string())?;
+            let lin = reps[0]
+                .as_linear()
+                .ok_or("forecast requires a linear representation")?;
+            let fc = sapla_mining::extrapolate(lin, horizon).map_err(|e| e.to_string())?;
+            println!("{horizon}-step trend forecast of {}[0]:", ds.name);
+            println!("  {fc:?}");
+        }
+        "cluster" => {
+            let c = sapla_mining::k_medoids(&reps, k, 10).map_err(|e| e.to_string())?;
+            println!("k-medoids (k = {k}) over {}:", ds.name);
+            for (ci, &medoid) in c.medoids.iter().enumerate() {
+                println!(
+                    "  cluster {ci}: medoid series {medoid}, members {:?}",
+                    c.members(ci)
+                );
+            }
+        }
+        other => return Err(format!("unknown mine task {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_catalogue() -> Result<(), String> {
+    for spec in catalogue() {
+        println!("{}", spec.name);
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    let fig1 = TimeSeries::new(vec![
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
+        2.0, 9.0, 10.0, 10.0,
+    ])
+    .map_err(|e| e.to_string())?;
+    println!("The paper's Fig. 1 example series (n = 20, M = 12):\n");
+    for reducer in all_reducers() {
+        if reducer.name() == "SAX" {
+            continue;
+        }
+        let rep = reducer.reduce(&fig1, 12).map_err(|e| e.to_string())?;
+        let dev = reducer.max_deviation(&fig1, &rep).map_err(|e| e.to_string())?;
+        println!(
+            "  {:6}  N = {:2}   max deviation = {:.4}",
+            reducer.name(),
+            rep.num_segments(),
+            dev
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! End-to-end tests of the `sapla` binary (spawned as a subprocess).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn sapla() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sapla"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = sapla().args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (ok, _, err) = run(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage"));
+}
+
+#[test]
+fn demo_prints_all_methods() {
+    let (ok, out, _) = run(&["demo"]);
+    assert!(ok);
+    for m in ["SAPLA", "APLA", "APCA", "PLA", "PAA", "PAALM", "CHEBY"] {
+        assert!(out.contains(m), "missing {m} in demo output");
+    }
+}
+
+#[test]
+fn catalogue_lists_117_datasets() {
+    let (ok, out, _) = run(&["catalogue"]);
+    assert!(ok);
+    assert_eq!(out.lines().count(), 117);
+    assert!(out.contains("Burst_00"));
+}
+
+#[test]
+fn reduce_from_stdin() {
+    let mut child = sapla()
+        .args(["reduce", "-", "--coeffs", "3"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"1\n2\n3\n4\n5\n6\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("segments: 1"));
+    assert!(text.contains("max deviation: 0.000000"), "line fits exactly:\n{text}");
+}
+
+#[test]
+fn reduce_rejects_garbage_input() {
+    let mut child = sapla()
+        .args(["reduce", "-"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child.stdin.as_mut().unwrap().write_all(b"not a number\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn knn_reports_metrics() {
+    let (ok, out, err) = run(&["knn", "Burst_00", "--k", "3"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("pruning power"));
+    assert!(out.contains("accuracy"));
+}
+
+#[test]
+fn knn_unknown_dataset_fails_cleanly() {
+    let (ok, _, err) = run(&["knn", "NoSuchDataset"]);
+    assert!(!ok);
+    assert!(err.contains("unknown dataset"));
+}
+
+#[test]
+fn mine_subcommands_run() {
+    for task in ["discord", "motif", "segment", "cluster"] {
+        let (ok, out, err) = run(&["mine", task, "SmoothPeriodic_00", "--k", "2"]);
+        assert!(ok, "mine {task} failed: {err}");
+        assert!(!out.is_empty());
+    }
+}
+
+#[test]
+fn mine_unknown_task_fails() {
+    let (ok, _, err) = run(&["mine", "teleport", "Burst_00"]);
+    assert!(!ok);
+    assert!(err.contains("unknown mine task") || err.contains("unknown dataset"));
+}
+
+#[test]
+fn reduce_with_unknown_method_fails() {
+    let mut child = sapla()
+        .args(["reduce", "-", "--method", "FFT"])
+        .stdin(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    child.stdin.as_mut().unwrap().write_all(b"1\n2\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown method"));
+}

@@ -1,0 +1,184 @@
+//! Increment Area (Definition 4.1) and Reconstruction Area
+//! (Definition 4.2).
+//!
+//! Both are areas between straight reconstruction lines and are used as
+//! cheap priorities: the initialization stage cuts segments where the
+//! Increment Area spikes, and the split & merge iteration merges the
+//! adjacent pair with the smallest Reconstruction Area.
+//!
+//! Because the two lines of an increment always intersect at most once
+//! (Lemma 4.1), each area reduces to one or two triangles; the general
+//! helper [`area_between_lines`] integrates `|Δa·u + Δb|` exactly over an
+//! interval, which covers the "several triangles or parallelograms" of
+//! Definition 4.2 as well.
+
+use crate::fit::LineFit;
+
+/// Exact area between the lines `a1·u + b1` and `a2·u + b2` over the
+/// continuous interval `[from, to]`:
+/// `∫ |Δa·u + Δb| du` split at the crossing point when one exists.
+pub fn area_between_lines(a1: f64, b1: f64, a2: f64, b2: f64, from: f64, to: f64) -> f64 {
+    debug_assert!(to >= from);
+    let da = a1 - a2;
+    let db = b1 - b2;
+    // Antiderivative of (Δa·u + Δb).
+    let prim = |u: f64| da * u * u / 2.0 + db * u;
+    if da == 0.0 {
+        return db.abs() * (to - from);
+    }
+    let cross = -db / da;
+    if cross > from && cross < to {
+        (prim(cross) - prim(from)).abs() + (prim(to) - prim(cross)).abs()
+    } else {
+        (prim(to) - prim(from)).abs()
+    }
+}
+
+/// Increment Area `ε(Č'_i, Č^e_i)` (Definition 4.1): the area between the
+/// *Increment Segment* (the refit after appending one point, `new_fit`)
+/// and the *Extended Segment* (the previous fit `old_fit` extrapolated one
+/// step), over the `old_fit.len + 1` shared positions `u ∈ [0, l_i]`.
+///
+/// By Lemma 4.1 the two lines intersect exactly once (unless identical),
+/// so the area is the two green triangles of the paper's Fig. 3.
+pub fn increment_area(old_fit: &LineFit, new_fit: &LineFit) -> f64 {
+    debug_assert_eq!(new_fit.len, old_fit.len + 1);
+    area_between_lines(new_fit.a, new_fit.b, old_fit.a, old_fit.b, 0.0, old_fit.len as f64)
+}
+
+/// Reconstruction Area `ε(Č'_{i+1}, Č_i + Č_{i+1})` (Definition 4.2): the
+/// area between the merged segment's line and the two original segments'
+/// lines over their own windows (the four green triangles of Fig. 4).
+///
+/// `merged` must be the fit over the combined window (`left.len +
+/// right.len` points); the right segment's line is shifted into merged
+/// coordinates before integrating.
+pub fn reconstruction_area(left: &LineFit, right: &LineFit, merged: &LineFit) -> f64 {
+    debug_assert_eq!(merged.len, left.len + right.len);
+    let li = left.len as f64;
+    let lm = merged.len as f64;
+    // Right segment's line expressed in merged-local coordinates:
+    // u_merged = u_right + l_i  ⇒  value = a_r·(u − l_i) + b_r.
+    let b_right = right.b - right.a * li;
+    area_between_lines(merged.a, merged.b, left.a, left.b, 0.0, li - 1.0)
+        + area_between_lines(merged.a, merged.b, right.a, b_right, li, lm - 1.0)
+}
+
+/// Convenience: verify Lemma 4.1 — the increment and extended segments of
+/// any increment step intersect at most once, with the sign structure of
+/// Theorem 4.1 (`d₄ ≥ d₁`, `d₄ ≥ d₂`, `d₅ = d₃ + d₄`).
+///
+/// Returns the tuple `(d1, d2, d3, d4, d5)` of Theorem 4.1 for diagnostics
+/// and tests.
+pub fn increment_deviations(old_fit: &LineFit, new_fit: &LineFit, c_new: f64) -> [f64; 5] {
+    debug_assert_eq!(new_fit.len, old_fit.len + 1);
+    let li = old_fit.len as f64;
+    let d1 = (new_fit.b - old_fit.b).abs();
+    let d2 = (new_fit.value_at(old_fit.len - 1) - old_fit.value_at(old_fit.len - 1)).abs();
+    let d3 = (c_new - new_fit.extended_value_at(li)).abs();
+    let d4 = (new_fit.extended_value_at(li) - old_fit.extended_value()).abs();
+    let d5 = (old_fit.extended_value() - c_new).abs();
+    [d1, d2, d3, d4, d5]
+}
+
+impl LineFit {
+    /// Value of the fitted line at a (possibly fractional or out-of-window)
+    /// local position `u`.
+    #[inline]
+    pub fn extended_value_at(&self, u: f64) -> f64 {
+        self.a * u + self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equations::{eq1_fit, eq2_increment, eq3_eq4_merge};
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn parallel_lines_area_is_rectangle() {
+        assert!(approx(area_between_lines(1.0, 0.0, 1.0, 2.0, 0.0, 5.0), 10.0));
+        assert!(approx(area_between_lines(0.0, 3.0, 0.0, 3.0, 0.0, 9.0), 0.0));
+    }
+
+    #[test]
+    fn crossing_lines_area_is_two_triangles() {
+        // Lines y = u and y = 2 − u cross at u = 1 over [0, 2]:
+        // two triangles of area 1 each.
+        assert!(approx(area_between_lines(1.0, 0.0, -1.0, 2.0, 0.0, 2.0), 2.0));
+    }
+
+    #[test]
+    fn crossing_outside_interval_is_trapezoid() {
+        // y = u vs y = u/2 over [2, 4]: ∫ u/2 du = (16−4)/4 = 3.
+        assert!(approx(area_between_lines(1.0, 0.0, 0.5, 0.0, 2.0, 4.0), 3.0));
+    }
+
+    #[test]
+    fn area_is_symmetric_and_nonnegative() {
+        let a = area_between_lines(0.7, -1.0, -0.2, 3.0, 0.0, 11.0);
+        let b = area_between_lines(-0.2, 3.0, 0.7, -1.0, 0.0, 11.0);
+        assert!(approx(a, b));
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn increment_area_zero_when_point_on_line() {
+        // Appending a point that lies exactly on the fitted line leaves the
+        // fit unchanged, so the increment area vanishes.
+        let old = eq1_fit(&[1.0, 3.0, 5.0, 7.0]);
+        let new = eq2_increment(&old, 9.0);
+        assert!(approx(increment_area(&old, &new), 0.0));
+    }
+
+    #[test]
+    fn increment_area_grows_with_surprise() {
+        let old = eq1_fit(&[1.0, 3.0, 5.0, 7.0]);
+        let small = increment_area(&old, &eq2_increment(&old, 10.0));
+        let large = increment_area(&old, &eq2_increment(&old, 30.0));
+        assert!(large > small && small > 0.0);
+    }
+
+    #[test]
+    fn theorem_4_1_sign_structure() {
+        // d₄ ≥ d₁, d₄ ≥ d₂ and d₅ = d₃ + d₄ for arbitrary increments.
+        let windows: [&[f64]; 3] = [
+            &[7.0, 8.0, 20.0, 15.0],
+            &[1.0, 1.0, 1.0],
+            &[5.0, 3.0, 2.0, 2.5, 9.0],
+        ];
+        for w in windows {
+            let old = eq1_fit(w);
+            for c_new in [-4.0, 0.0, 13.0] {
+                let new = eq2_increment(&old, c_new);
+                let [d1, d2, d3, d4, d5] = increment_deviations(&old, &new, c_new);
+                assert!(d4 + 1e-12 >= d1, "d4={d4} d1={d1}");
+                assert!(d4 + 1e-12 >= d2, "d4={d4} d2={d2}");
+                assert!(approx(d5, d3 + d4), "d5={d5} d3+d4={}", d3 + d4);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_area_zero_for_collinear_segments() {
+        let v: Vec<f64> = (0..10).map(|u| 0.5 * u as f64 + 2.0).collect();
+        let left = eq1_fit(&v[..4]);
+        let right = eq1_fit(&v[4..]);
+        let merged = eq3_eq4_merge(&left, &right);
+        assert!(approx(reconstruction_area(&left, &right, &merged), 0.0));
+    }
+
+    #[test]
+    fn reconstruction_area_positive_for_a_corner() {
+        let mut v: Vec<f64> = (0..6).map(|u| u as f64).collect();
+        v.extend((0..6).map(|u| 5.0 - u as f64));
+        let left = eq1_fit(&v[..6]);
+        let right = eq1_fit(&v[6..]);
+        let merged = eq3_eq4_merge(&left, &right);
+        assert!(reconstruction_area(&left, &right, &merged) > 1.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Segment upper bounds `β_i` (Definition 3.5, Sections 4.1.2, 4.1.4,
+//! 4.3.1 and 4.4.1).
+//!
+//! `β_i` bounds a segment's max deviation `ε_i` in `O(1)` by looking only
+//! at a handful of *endpoint* positions: the paper's `get_max()`
+//! (Algorithm 4.1) takes the largest pairwise absolute difference among the
+//! original series, the new reconstruction and the previous reconstruction
+//! at those positions, and scales it by the segment length. The SAPLA
+//! iterations minimise `β = Σ β_i` instead of the exact (O(l)-to-evaluate)
+//! deviations.
+//!
+//! The bound is *conditional* (Theorems 4.2 / 4.3 list the supporting
+//! conditions; the paper's conclusion names this as SAPLA's limitation).
+//! [`exact_beta`] provides the unconditional alternative used by the
+//! `BoundMode::Exact` ablation.
+
+use crate::fit::LineFit;
+
+/// Algorithm 4.1 `get_max()`: largest pairwise absolute difference among
+/// three aligned value triples (original, candidate reconstruction,
+/// reference reconstruction — one triple per inspected position).
+pub fn get_max(triples: &[(f64, f64, f64)]) -> f64 {
+    let mut m = 0.0f64;
+    for &(c, q, t) in triples {
+        m = m.max((c - q).abs()).max((c - t).abs()).max((q - t).abs());
+    }
+    m
+}
+
+/// `β_i` in initialization / endpoint movement (Sections 4.1.2, 4.4.1):
+/// inspect positions `{1, l_i, l'_i}` (paper's 1-based order) of the
+/// original window, the Increment Segment `Č'_i` and the Extended Segment
+/// `Č^e_i`, fold in the running max `max_d`, and scale.
+///
+/// * `c_first`, `c_prev_last`, `c_new` — original values at the window's
+///   first point, previous last point, and the newly appended point.
+/// * `old_fit` — the fit before the increment (length `l_i`).
+/// * `new_fit` — the fit after the increment (length `l'_i = l_i + 1`).
+/// * `max_d` — running maximum of these point differences across the
+///   segment's growth; updated in place.
+pub fn beta_increment(
+    c_first: f64,
+    c_prev_last: f64,
+    c_new: f64,
+    old_fit: &LineFit,
+    new_fit: &LineFit,
+    max_d: &mut f64,
+) -> f64 {
+    debug_assert_eq!(new_fit.len, old_fit.len + 1);
+    let l = old_fit.len;
+    let m = get_max(&[
+        (c_first, new_fit.b, old_fit.b),
+        (c_prev_last, new_fit.value_at(l - 1), old_fit.value_at(l - 1)),
+        (c_new, new_fit.value_at(l), old_fit.extended_value()),
+    ]);
+    *max_d = max_d.max(m);
+    *max_d * (new_fit.len - 1) as f64
+}
+
+/// `β'_{i+1}` for a merge operation (Section 4.1.4): inspect positions
+/// `{1, l_i, l_i + 1, l'_{i+1}}` of the original combined window, the
+/// merged reconstruction `Č'_{i+1}` and the previous two-piece
+/// reconstruction `Č_i + Č_{i+1}`, scaled by `l'_{i+1} − 1`.
+///
+/// `c` is the original combined window (only four positions are read, so
+/// the call is `O(1)`).
+pub fn beta_merge(c: &[f64], left: &LineFit, right: &LineFit, merged: &LineFit) -> f64 {
+    debug_assert_eq!(c.len(), merged.len);
+    debug_assert_eq!(merged.len, left.len + right.len);
+    let li = left.len;
+    let lm = merged.len;
+    let m = get_max(&[
+        (c[0], merged.b, left.b),
+        (c[li - 1], merged.value_at(li - 1), left.value_at(li - 1)),
+        (c[li], merged.value_at(li), right.b),
+        (c[lm - 1], merged.value_at(lm - 1), right.value_at(right.len - 1)),
+    ]);
+    m * (lm - 1) as f64
+}
+
+/// `β_i` for the **left** product of a split operation (Section 4.3.1):
+/// inspect positions `{1, l_i}` of the original left window, the old long
+/// segment's reconstruction and the new left reconstruction, scaled by
+/// `l_i − 1`.
+pub fn beta_split_left(c_first: f64, c_last: f64, merged: &LineFit, left: &LineFit) -> f64 {
+    let m = get_max(&[
+        (c_first, merged.b, left.b),
+        (c_last, merged.value_at(left.len - 1), left.value_at(left.len - 1)),
+    ]);
+    m * (left.len.saturating_sub(1)) as f64
+}
+
+/// `β_{i+1}` for the **right** product of a split operation
+/// (Section 4.3.1). `offset` is the right window's start within the long
+/// segment (the paper's order transformation `[1 − l_i, …, l'_{i+1} − l_i]`).
+pub fn beta_split_right(
+    c_first: f64,
+    c_last: f64,
+    merged: &LineFit,
+    right: &LineFit,
+    offset: usize,
+) -> f64 {
+    let m = get_max(&[
+        (c_first, merged.value_at(offset), right.b),
+        (
+            c_last,
+            merged.value_at(offset + right.len - 1),
+            right.value_at(right.len - 1),
+        ),
+    ]);
+    m * (right.len.saturating_sub(1)) as f64
+}
+
+/// The unconditional alternative to `β`: the segment's **exact** max
+/// deviation, scaled like the paper's bound so the two modes optimise
+/// comparable objectives. `O(l)`.
+pub fn exact_beta(window: &[f64], fit: &LineFit) -> f64 {
+    fit.max_deviation(window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equations::{eq1_fit, eq2_increment, eq3_eq4_merge};
+
+    #[test]
+    fn get_max_covers_all_pairs() {
+        assert_eq!(get_max(&[(0.0, 1.0, 5.0)]), 5.0);
+        assert_eq!(get_max(&[(0.0, 0.0, 0.0), (2.0, -1.0, 0.5)]), 3.0);
+        assert_eq!(get_max(&[]), 0.0);
+    }
+
+    #[test]
+    fn beta_increment_bounds_exact_deviation_on_smooth_data() {
+        // Theorem 4.2's "general case": β_i ≥ ε_i while growing a segment.
+        let v: Vec<f64> = (0..12).map(|t| (t as f64 * 0.4).sin() * 3.0 + t as f64).collect();
+        let mut fit = eq1_fit(&v[..2]);
+        let mut max_d = 0.0f64;
+        for end in 3..=v.len() {
+            let new_fit = eq2_increment(&fit, v[end - 1]);
+            let beta =
+                beta_increment(v[0], v[end - 2], v[end - 1], &fit, &new_fit, &mut max_d);
+            let eps = new_fit.max_deviation(&v[..end]);
+            assert!(beta + 1e-9 >= eps, "end={end}: β={beta} < ε={eps}");
+            fit = new_fit;
+        }
+    }
+
+    #[test]
+    fn beta_merge_bounds_exact_deviation() {
+        let v: Vec<f64> = (0..14)
+            .map(|t| if t < 7 { t as f64 } else { 14.0 - t as f64 })
+            .collect();
+        let left = eq1_fit(&v[..7]);
+        let right = eq1_fit(&v[7..]);
+        let merged = eq3_eq4_merge(&left, &right);
+        let beta = beta_merge(&v, &left, &right, &merged);
+        let eps = merged.max_deviation(&v);
+        assert!(beta >= eps, "β={beta} < ε={eps}");
+    }
+
+    #[test]
+    fn beta_split_sides_are_finite_and_nonnegative() {
+        let v: Vec<f64> = (0..10).map(|t| (t * t) as f64 * 0.1).collect();
+        let merged = eq1_fit(&v);
+        let left = eq1_fit(&v[..4]);
+        let right = eq1_fit(&v[4..]);
+        let bl = beta_split_left(v[0], v[3], &merged, &left);
+        let br = beta_split_right(v[4], v[9], &merged, &right, 4);
+        assert!(bl.is_finite() && bl >= 0.0);
+        assert!(br.is_finite() && br >= 0.0);
+    }
+
+    #[test]
+    fn exact_beta_dominates_exact_deviation() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let fit = eq1_fit(&v);
+        assert!(exact_beta(&v, &fit) >= fit.max_deviation(&v));
+    }
+}

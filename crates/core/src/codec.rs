@@ -1,0 +1,294 @@
+//! Compact binary codec for reduced representations — persist a reduced
+//! database (the index's payload) without keeping raw series around.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! collection := magic "SAPL" | version u8 | count u32 | record*
+//! record     := kind u8 | body
+//! linear     := kind 0 | n_segs u32 | (a f64, b f64, r u64)*
+//! constant   := kind 1 | n_segs u32 | (v f64, r u64)*
+//! polynomial := kind 2 | n u64 | k u32 | coeff f64 * k
+//! symbolic   := kind 3 | n u64 | alphabet u32 | len u32 | symbol u8 * len
+//! ```
+//!
+//! A SAPLA segment costs 24 bytes — a length-1024 series at `N = 4`
+//! persists in 97 bytes, ~84× smaller than the raw `f64` samples.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::{Error, Result};
+use crate::repr::{
+    ConstantSegment, LinearSegment, PiecewiseConstant, PiecewiseLinear, PolyCoeffs,
+    Representation, SymbolicWord,
+};
+
+const MAGIC: &[u8; 4] = b"SAPL";
+const VERSION: u8 = 1;
+
+const KIND_LINEAR: u8 = 0;
+const KIND_CONSTANT: u8 = 1;
+const KIND_POLY: u8 = 2;
+const KIND_SYMBOLIC: u8 = 3;
+
+fn corrupt(reason: &'static str) -> Error {
+    Error::MalformedRepresentation { reason }
+}
+
+/// Encode one representation (no container header).
+pub fn encode_representation(rep: &Representation, out: &mut BytesMut) {
+    match rep {
+        Representation::Linear(l) => {
+            out.put_u8(KIND_LINEAR);
+            out.put_u32_le(l.num_segments() as u32);
+            for seg in l.segments() {
+                out.put_f64_le(seg.a);
+                out.put_f64_le(seg.b);
+                out.put_u64_le(seg.r as u64);
+            }
+        }
+        Representation::Constant(c) => {
+            out.put_u8(KIND_CONSTANT);
+            out.put_u32_le(c.num_segments() as u32);
+            for seg in c.segments() {
+                out.put_f64_le(seg.v);
+                out.put_u64_le(seg.r as u64);
+            }
+        }
+        Representation::Polynomial(p) => {
+            out.put_u8(KIND_POLY);
+            out.put_u64_le(p.n as u64);
+            out.put_u32_le(p.coeffs.len() as u32);
+            for &c in &p.coeffs {
+                out.put_f64_le(c);
+            }
+        }
+        Representation::Symbolic(w) => {
+            out.put_u8(KIND_SYMBOLIC);
+            out.put_u64_le(w.n as u64);
+            out.put_u32_le(w.alphabet_size as u32);
+            out.put_u32_le(w.symbols.len() as u32);
+            out.put_slice(&w.symbols);
+        }
+    }
+}
+
+fn need(buf: &impl Buf, bytes: usize) -> Result<()> {
+    if buf.remaining() < bytes {
+        Err(corrupt("truncated record"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Decode one representation (no container header).
+///
+/// # Errors
+///
+/// [`Error::MalformedRepresentation`] on truncation, unknown kinds, or
+/// structurally invalid payloads (validation is re-run on decode).
+pub fn decode_representation(buf: &mut Bytes) -> Result<Representation> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        KIND_LINEAR => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n.checked_mul(24).ok_or(corrupt("segment count overflow"))?)?;
+            let mut segs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let a = buf.get_f64_le();
+                let b = buf.get_f64_le();
+                let r = buf.get_u64_le() as usize;
+                segs.push(LinearSegment { a, b, r });
+            }
+            Ok(Representation::Linear(PiecewiseLinear::new(segs)?))
+        }
+        KIND_CONSTANT => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n.checked_mul(16).ok_or(corrupt("segment count overflow"))?)?;
+            let mut segs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = buf.get_f64_le();
+                let r = buf.get_u64_le() as usize;
+                segs.push(ConstantSegment { v, r });
+            }
+            Ok(Representation::Constant(PiecewiseConstant::new(segs)?))
+        }
+        KIND_POLY => {
+            need(buf, 12)?;
+            let n = buf.get_u64_le() as usize;
+            let k = buf.get_u32_le() as usize;
+            need(buf, k.checked_mul(8).ok_or(corrupt("coefficient count overflow"))?)?;
+            let coeffs = (0..k).map(|_| buf.get_f64_le()).collect();
+            Ok(Representation::Polynomial(PolyCoeffs { coeffs, n }))
+        }
+        KIND_SYMBOLIC => {
+            need(buf, 16)?;
+            let n = buf.get_u64_le() as usize;
+            let alphabet_size = buf.get_u32_le() as usize;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            let mut symbols = vec![0u8; len];
+            buf.copy_to_slice(&mut symbols);
+            if alphabet_size < 2 || symbols.iter().any(|&s| s as usize >= alphabet_size) {
+                return Err(corrupt("symbol outside alphabet"));
+            }
+            Ok(Representation::Symbolic(SymbolicWord { symbols, alphabet_size, n }))
+        }
+        _ => Err(corrupt("unknown representation kind")),
+    }
+}
+
+/// Encode a whole reduced database.
+///
+/// ```
+/// use sapla_core::codec::{decode_collection, encode_collection};
+/// use sapla_core::sapla::Sapla;
+/// use sapla_core::{Representation, TimeSeries};
+///
+/// let ts = TimeSeries::new((0..256).map(|t| (t as f64 * 0.05).sin()).collect())?;
+/// let rep = Representation::Linear(Sapla::with_segments(4).reduce(&ts)?);
+/// let blob = encode_collection(&[rep.clone()]);
+/// assert!(blob.len() < 256 * 8 / 10, "at least 10x smaller than raw");
+/// assert_eq!(decode_collection(&blob)?, vec![rep]);
+/// # Ok::<(), sapla_core::Error>(())
+/// ```
+pub fn encode_collection(reps: &[Representation]) -> Bytes {
+    let mut out = BytesMut::with_capacity(16 + reps.len() * 128);
+    out.put_slice(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u32_le(reps.len() as u32);
+    for rep in reps {
+        encode_representation(rep, &mut out);
+    }
+    out.freeze()
+}
+
+/// Decode a whole reduced database.
+///
+/// # Errors
+///
+/// [`Error::MalformedRepresentation`] on a bad header or any bad record.
+pub fn decode_collection(data: &[u8]) -> Result<Vec<Representation>> {
+    let mut buf = Bytes::copy_from_slice(data);
+    need(&buf, 9)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    if buf.get_u8() != VERSION {
+        return Err(corrupt("unsupported version"));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        out.push(decode_representation(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(corrupt("trailing bytes after collection"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sapla::Sapla;
+    use crate::series::TimeSeries;
+
+    fn sample_reps() -> Vec<Representation> {
+        let ts = TimeSeries::new(
+            (0..64).map(|t| (t as f64 * 0.2).sin() * 4.0 + 0.01 * t as f64).collect(),
+        )
+        .unwrap();
+        vec![
+            Representation::Linear(Sapla::with_segments(4).reduce(&ts).unwrap()),
+            Representation::Constant(
+                PiecewiseConstant::new(vec![
+                    ConstantSegment { v: 1.5, r: 9 },
+                    ConstantSegment { v: -2.0, r: 63 },
+                ])
+                .unwrap(),
+            ),
+            Representation::Polynomial(PolyCoeffs { coeffs: vec![1.0, -0.5, 0.25], n: 64 }),
+            Representation::Symbolic(SymbolicWord {
+                symbols: vec![0, 3, 7, 2],
+                alphabet_size: 8,
+                n: 64,
+            }),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        let reps = sample_reps();
+        let blob = encode_collection(&reps);
+        let back = decode_collection(&blob).unwrap();
+        assert_eq!(back, reps);
+    }
+
+    #[test]
+    fn compression_ratio_is_large() {
+        let ts = TimeSeries::new((0..1024).map(|t| (t as f64 * 0.01).sin()).collect())
+            .unwrap();
+        let rep = Representation::Linear(Sapla::with_segments(4).reduce(&ts).unwrap());
+        let blob = encode_collection(&[rep]);
+        let raw_bytes = 1024 * 8;
+        assert!(
+            blob.len() * 50 < raw_bytes,
+            "blob {} bytes vs raw {raw_bytes}",
+            blob.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let reps = sample_reps();
+        let blob = encode_collection(&reps);
+        let mut bad = blob.to_vec();
+        bad[0] = b'X';
+        assert!(decode_collection(&bad).is_err());
+        let mut bad = blob.to_vec();
+        bad[4] = 99;
+        assert!(decode_collection(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let reps = sample_reps();
+        let blob = encode_collection(&reps);
+        for cut in [0, 5, 9, 15, blob.len() / 2, blob.len() - 1] {
+            assert!(decode_collection(&blob[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let blob = encode_collection(&sample_reps());
+        let mut padded = blob.to_vec();
+        padded.push(0);
+        assert!(decode_collection(&padded).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_symbols() {
+        let word = Representation::Symbolic(SymbolicWord {
+            symbols: vec![0, 1],
+            alphabet_size: 4,
+            n: 8,
+        });
+        let mut blob = encode_collection(&[word]).to_vec();
+        // Corrupt the last symbol byte to exceed the alphabet.
+        let last = blob.len() - 1;
+        blob[last] = 200;
+        assert!(decode_collection(&blob).is_err());
+    }
+
+    #[test]
+    fn empty_collection_roundtrips() {
+        let blob = encode_collection(&[]);
+        assert_eq!(decode_collection(&blob).unwrap(), vec![]);
+    }
+}

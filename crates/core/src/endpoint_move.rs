@@ -1,0 +1,215 @@
+//! Stage 3 — Segment Endpoint Movement iteration (Algorithms 4.4 & 4.5).
+//!
+//! Taking segments in decreasing order of `β_i`, the stage tries the four
+//! boundary moves of Fig. 9 — grow/shrink the right boundary (affecting
+//! the right neighbour) and grow/shrink the left boundary (affecting the
+//! left neighbour). Each move is hill-climbed one point at a time while
+//! the pair's combined `β` keeps falling (Algorithm 4.5), and the best of
+//! the four (`β^a..β^d`) is applied when it reduces the sum upper bound.
+
+use crate::work::{total_beta, Ctx, Seg};
+
+/// Run endpoint-movement passes until a pass yields no improvement, up to
+/// `max_passes` passes.
+pub(crate) fn endpoint_move(ctx: &Ctx<'_>, segs: &mut [Seg], max_passes: usize) {
+    if segs.len() < 2 {
+        return;
+    }
+    for _ in 0..max_passes {
+        if !one_pass(ctx, segs) {
+            break;
+        }
+    }
+    crate::work::assert_tiling(segs, ctx.values.len());
+}
+
+/// One pass of Algorithm 4.4: visit every segment once, in decreasing
+/// initial `β_i` order (the priority queue `η`). Returns whether any move
+/// was applied.
+fn one_pass(ctx: &Ctx<'_>, segs: &mut [Seg]) -> bool {
+    // Identify segments by their start position; indices shift as moves
+    // are applied, but starts move by at most the hill-climb steps and we
+    // re-locate by nearest start.
+    let mut order: Vec<(f64, usize)> =
+        segs.iter().map(|s| (s.beta, s.start)).collect();
+    order.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    let mut improved = false;
+    for (_, start0) in order {
+        // Re-locate the segment whose window currently contains start0.
+        let i = match segs.iter().position(|s| s.start <= start0 && start0 < s.end) {
+            Some(i) => i,
+            None => continue,
+        };
+        improved |= try_moves(ctx, segs, i);
+    }
+    improved
+}
+
+/// Try the four moves for segment `i`; apply the best strictly-improving
+/// one. Returns whether a move was applied.
+fn try_moves(ctx: &Ctx<'_>, segs: &mut [Seg], i: usize) -> bool {
+    let current = total_beta(segs);
+    let mut best: Option<(usize, Seg, Seg, f64)> = None; // (left idx, new left, new right, β)
+
+    // β^a / β^b operate on the pair (i, i+1); β^c / β^d on (i−1, i).
+    let mut consider = |pair_left: usize, cand: Option<(Seg, Seg)>| {
+        if let Some((l, r)) = cand {
+            let delta = l.beta + r.beta - segs[pair_left].beta - segs[pair_left + 1].beta;
+            let beta = current + delta;
+            if beta < best.as_ref().map_or(current, |b| b.3) - 1e-12 {
+                best = Some((pair_left, l, r, beta));
+            }
+        }
+    };
+
+    if i + 1 < segs.len() {
+        consider(i, climb(ctx, &segs[i], &segs[i + 1], Direction::Right));
+        consider(i, climb(ctx, &segs[i], &segs[i + 1], Direction::Left));
+    }
+    if i > 0 {
+        consider(i - 1, climb(ctx, &segs[i - 1], &segs[i], Direction::Right));
+        consider(i - 1, climb(ctx, &segs[i - 1], &segs[i], Direction::Left));
+    }
+
+    if let Some((j, l, r, _)) = best {
+        segs[j] = l;
+        segs[j + 1] = r;
+        true
+    } else {
+        false
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    /// Move the shared boundary rightward (left segment grows).
+    Right,
+    /// Move the shared boundary leftward (left segment shrinks).
+    Left,
+}
+
+/// Algorithm 4.5: move the shared boundary of `(left, right)` one point
+/// at a time in `dir` while positions remain, keeping the best pair `β`
+/// seen. Every step is `O(1)` (prefix-sum refits and endpoint-difference
+/// bounds — the roles Eq. 2 and Eq. 9–11 play in the paper), and a
+/// segment's boundary can travel its whole span — the paper's complexity
+/// analysis budgets `l_i = n − 2N` movements per segment (Section 4.5).
+///
+/// Returns the best improved pair, or `None` when no position improves.
+fn climb(ctx: &Ctx<'_>, left: &Seg, right: &Seg, dir: Direction) -> Option<(Seg, Seg)> {
+    debug_assert_eq!(left.end, right.start);
+    let mut best_pair: Option<(Seg, Seg)> = None;
+    let mut best_beta = left.beta + right.beta;
+    let mut boundary = left.end;
+
+    loop {
+        let next = match dir {
+            Direction::Right => boundary + 1,
+            Direction::Left => boundary.checked_sub(1)?,
+        };
+        // Both segments must keep at least 2 points (the paper assumes
+        // l ≥ 2 throughout; Algorithm 4.5 guards with l'_{i+1} ≥ 2).
+        if next < left.start + 2 || next + 2 > right.end {
+            break;
+        }
+        let lf = ctx.refit(left.start, next);
+        let rf = ctx.refit(next, right.end);
+        // β with the previous reconstruction as the reference line
+        // (Section 4.4.1): the old left line covers the left window, the
+        // old right line is aligned by its original start offset.
+        let lb = ctx.beta(left.start, next, &lf, Some((&left.fit, 0)));
+        let rb = ctx.beta(
+            next,
+            right.end,
+            &rf,
+            Some((&right.fit, next as isize - right.start as isize)),
+        );
+        let beta = lb + rb;
+        if beta < best_beta - 1e-12 {
+            best_beta = beta;
+            best_pair = Some((
+                Seg { start: left.start, end: next, fit: lf, beta: lb },
+                Seg { start: next, end: right.end, fit: rf, beta: rb },
+            ));
+        }
+        boundary = next;
+    }
+    best_pair
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::initialize;
+    use crate::sapla::BoundMode;
+    use crate::split_merge::split_merge;
+    use crate::work::to_representation;
+
+    const FIG1: [f64; 20] = [
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
+        2.0, 9.0, 10.0, 10.0,
+    ];
+
+    fn ts(v: &[f64]) -> crate::TimeSeries {
+        crate::TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn keeps_tiling_and_count() {
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let mut segs = initialize(&ctx, 4);
+        split_merge(&ctx, &mut segs, 4, 8);
+        endpoint_move(&ctx, &mut segs, 8);
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, FIG1.len());
+    }
+
+    #[test]
+    fn never_increases_total_beta() {
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let mut segs = initialize(&ctx, 4);
+        split_merge(&ctx, &mut segs, 4, 8);
+        let before = total_beta(&segs);
+        endpoint_move(&ctx, &mut segs, 8);
+        assert!(total_beta(&segs) <= before + 1e-9);
+    }
+
+    #[test]
+    fn moves_boundary_toward_true_corner() {
+        // Corner at 12, but the starting segmentation misplaces the
+        // boundary at 9 — movement must drag it toward 12.
+        let mut v: Vec<f64> = (0..12).map(|t| t as f64).collect();
+        v.extend((0..12).map(|t| 11.0 - t as f64));
+        let ctx = Ctx::new(&v, BoundMode::Exact);
+        let mut segs = vec![ctx.make_seg(0, 9), ctx.make_seg(9, 24)];
+        endpoint_move(&ctx, &mut segs, 8);
+        let cut = segs[0].end;
+        assert!(cut > 9, "boundary should move right from 9, got {cut}");
+        assert!((cut as isize - 12).abs() <= 1, "got {cut}, want ≈ 12");
+    }
+
+    #[test]
+    fn fig8_quality_on_paper_example() {
+        // The paper reaches max deviation ≈ 9.27 on the Fig. 1 example
+        // after endpoint movement (from ≈ 10.6). Our pipeline must land in
+        // the same band and never exceed the split&merge result.
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let mut segs = initialize(&ctx, 4);
+        split_merge(&ctx, &mut segs, 4, 8);
+        let before = to_representation(&segs).max_deviation(&ts(&FIG1)).unwrap();
+        endpoint_move(&ctx, &mut segs, 8);
+        let after = to_representation(&segs).max_deviation(&ts(&FIG1)).unwrap();
+        assert!(after <= before + 1e-9, "movement worsened deviation: {before} -> {after}");
+        assert!(after < 12.0, "final deviation {after}");
+    }
+
+    #[test]
+    fn single_segment_is_a_noop() {
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let mut segs = vec![ctx.make_seg(0, FIG1.len())];
+        endpoint_move(&ctx, &mut segs, 4);
+        assert_eq!(segs.len(), 1);
+    }
+}

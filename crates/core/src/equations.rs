@@ -1,0 +1,284 @@
+//! The paper's closed-form `O(1)` coefficient-update equations (Eq. 1–11).
+//!
+//! Each function implements the corresponding numbered equation verbatim and
+//! is property-tested (see the tests below and
+//! `crates/core/tests` drivers) against the exact sufficient-statistics
+//! algebra of [`crate::fit::SegStats`] — both are exact, so they agree to
+//! floating-point rounding.
+//!
+//! One transcription note: Eq. (5) is typographically truncated in our
+//! source copy of the paper, so [`eq5_eq6_split_left`] computes the left
+//! coefficients through the unique algebraic inverse of the merge equations
+//! (Eq. 3–4) — which is what the printed equation necessarily equals —
+//! while Eq. (6) (the `b_i` half, printed intact) is also provided verbatim
+//! as [`eq6_split_left_b`].
+
+use crate::fit::LineFit;
+
+#[cfg(test)]
+use crate::fit::SegStats;
+
+/// Eq. (1): direct least-squares fit of an equal- or adaptive-length
+/// segment, `č_u = a·u + b` for window-local `u ∈ [0, l)`.
+///
+/// `O(l)`; the remaining equations update its result in `O(1)`.
+pub fn eq1_fit(window: &[f64]) -> LineFit {
+    let l = window.len() as f64;
+    if window.len() == 1 {
+        return LineFit { a: 0.0, b: window[0], len: 1 };
+    }
+    // a = 12·Σ(t − (l−1)/2)·c_t / (l(l−1)(l+1))
+    let a = 12.0
+        * window
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| (t as f64 - (l - 1.0) / 2.0) * c)
+            .sum::<f64>()
+        / (l * (l - 1.0) * (l + 1.0));
+    // b = 2·Σ(2l−1−3t)·c_t / (l(l+1))
+    let b = 2.0
+        * window
+            .iter()
+            .enumerate()
+            .map(|(t, &c)| (2.0 * l - 1.0 - 3.0 * t as f64) * c)
+            .sum::<f64>()
+        / (l * (l + 1.0));
+    LineFit { a, b, len: window.len() }
+}
+
+/// Eq. (2): the *increment* — append the next original point `c_new`
+/// (the paper's `c_{r'_i}`) to a fitted segment of length `l ≥ 2`,
+/// producing the fit of length `l + 1` in `O(1)`.
+pub fn eq2_increment(fit: &LineFit, c_new: f64) -> LineFit {
+    debug_assert!(fit.len >= 2);
+    let l = fit.len as f64;
+    let (a, b) = (fit.a, fit.b);
+    let a1 = ((l - 2.0) * (l - 1.0) * a + 6.0 * (c_new - b)) / ((l + 1.0) * (l + 2.0));
+    let b1 =
+        (2.0 * (l - 1.0) * (a * l - c_new) + (l + 5.0) * l * b) / ((l + 1.0) * (l + 2.0));
+    LineFit { a: a1, b: b1, len: fit.len + 1 }
+}
+
+/// Eq. (3)–(4): merge two adjacent fitted segments into the fit of the
+/// combined window in `O(1)`.
+///
+/// Exact, because a least-squares line is a bijection of the window's first
+/// two moments (see [`crate::fit::SegStats`]).
+pub fn eq3_eq4_merge(left: &LineFit, right: &LineFit) -> LineFit {
+    let li = left.len as f64;
+    let lj = right.len as f64;
+    let lm = li + lj;
+    let (ai, bi) = (left.a, left.b);
+    let (aj, bj) = (right.a, right.b);
+    let a = (ai * li * (li - 1.0) * (li + 1.0 - 3.0 * lj) - 6.0 * li * lj * bi
+        + aj * lj * (lj - 1.0) * (lj + 1.0 + 3.0 * li)
+        + 6.0 * li * lj * bj)
+        / (lm * (lm - 1.0) * (lm + 1.0));
+    let b = (bi * li * (li + 1.0)
+        + 2.0 * ai * lj * li * (li - 1.0)
+        + 4.0 * li * lj * bi
+        + bj * lj * (lj + 1.0)
+        - aj * li * lj * (lj - 1.0)
+        - 2.0 * li * lj * bj)
+        / (lm * (lm + 1.0));
+    LineFit { a, b, len: left.len + right.len }
+}
+
+/// Eq. (5)–(6): given the merged fit and the **right** part's fit, recover
+/// the **left** part's fit in `O(1)` (used when splitting a segment,
+/// Section 4.3.2, and when partitioning in `Dist_PAR`, Definition 5.1).
+///
+/// Computed through the exact inverse of Eq. (3)–(4); see the module note
+/// about the printed Eq. (5).
+pub fn eq5_eq6_split_left(merged: &LineFit, right: &LineFit) -> LineFit {
+    debug_assert!(right.len < merged.len);
+    merged.to_stats().split_left(&right.to_stats()).fit()
+}
+
+/// Eq. (6) verbatim: the `b_i` (intercept) half of the left-split.
+pub fn eq6_split_left_b(merged: &LineFit, right: &LineFit) -> f64 {
+    let lm = merged.len as f64;
+    let lj = right.len as f64;
+    let li = lm - lj;
+    let (am, bm) = (merged.a, merged.b);
+    let (aj, bj) = (right.a, right.b);
+    (bm * lm * (lm + 1.0 - 4.0 * lj)
+        + bj * lj * (2.0 * lm + lj - 1.0)
+        + aj * (lm + lj) * lj * (lj - 1.0)
+        - am * 2.0 * lj * lm * (lm - 1.0))
+        / (li * (li + 1.0))
+}
+
+/// Eq. (7)–(8): given the merged fit and the **left** part's fit, recover
+/// the **right** part's fit in `O(1)`.
+///
+/// The printed formula divides by `l_{i+1}(l_{i+1}² − 1)`, which is zero
+/// for a single-point right part; that case falls back to the exact
+/// sufficient-statistics inverse.
+pub fn eq7_eq8_split_right(merged: &LineFit, left: &LineFit) -> LineFit {
+    debug_assert!(left.len < merged.len);
+    if merged.len - left.len == 1 {
+        return merged.to_stats().split_right(&left.to_stats()).fit();
+    }
+    let lm = merged.len as f64;
+    let li = left.len as f64;
+    let lj = lm - li;
+    let (am, bm) = (merged.a, merged.b);
+    let (ai, bi) = (left.a, left.b);
+    let a = (am * lm * (lm - 1.0) * (lm + 1.0 - 3.0 * li)
+        + ai * li * (li - 1.0) * (2.0 * lm + lj - 1.0)
+        + 6.0 * li * lm * (bi - bm))
+        / (lj * (lj * lj - 1.0));
+    let b = (am * li * lm * (lm - 1.0) + bm * lm * (lm + 1.0 + 2.0 * li)
+        - ai * li * (li - 1.0) * (lm + lj)
+        - bi * li * (3.0 * lm + lj + 1.0))
+        / (lj * (lj + 1.0));
+    LineFit { a, b, len: merged.len - left.len }
+}
+
+/// Eq. (9): *decrease the right endpoint* — drop the segment's last point
+/// (whose original value is `c_r`) from a fit of length `l ≥ 3`, in `O(1)`.
+pub fn eq9_decrease_right(fit: &LineFit, c_r: f64) -> LineFit {
+    debug_assert!(fit.len >= 3);
+    let l = fit.len as f64;
+    let (a, b) = (fit.a, fit.b);
+    let a1 = (l + 4.0) * a / (l - 2.0) + 6.0 * (b - c_r) / ((l - 1.0) * (l - 2.0));
+    let b1 = (l - 3.0) * b / (l - 1.0) - 2.0 * a + 2.0 * c_r / (l - 1.0);
+    LineFit { a: a1, b: b1, len: fit.len - 1 }
+}
+
+/// Eq. (10): *decrease the left endpoint* — prepend the point just left of
+/// the segment (the paper's `c_{r_{i−1}}`) to a fit of length `l ≥ 2`,
+/// in `O(1)`. Existing points shift to local positions `u + 1`.
+pub fn eq10_extend_left(fit: &LineFit, c_prev: f64) -> LineFit {
+    debug_assert!(fit.len >= 2);
+    let l = fit.len as f64;
+    let (a, b) = (fit.a, fit.b);
+    let a1 = (a * (l - 1.0) * (l + 4.0) + 6.0 * (b - c_prev)) / ((l + 1.0) * (l + 2.0));
+    let b1 = (2.0 * (2.0 * l + 1.0) * c_prev + l * (l - 1.0) * (b - a))
+        / ((l + 1.0) * (l + 2.0));
+    LineFit { a: a1, b: b1, len: fit.len + 1 }
+}
+
+/// Eq. (11): *increase the left endpoint* — drop the segment's first point
+/// (the paper's `c_{r_{i−1}+1}`) from a fit of length `l ≥ 3`, in `O(1)`.
+/// Remaining points shift to local positions `u − 1`.
+pub fn eq11_shrink_left(fit: &LineFit, c_first: f64) -> LineFit {
+    debug_assert!(fit.len >= 3);
+    let l = fit.len as f64;
+    let (a, b) = (fit.a, fit.b);
+    let a1 = a + 6.0 * (c_first - b) / ((l - 1.0) * (l - 2.0));
+    let b1 = a + ((l + 3.0) * b - 4.0 * c_first) / (l - 1.0);
+    LineFit { a: a1, b: b1, len: fit.len - 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERIES: [f64; 12] =
+        [7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0];
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-8 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn fits_eq(x: &LineFit, y: &LineFit) -> bool {
+        x.len == y.len && approx(x.a, y.a) && approx(x.b, y.b)
+    }
+
+    #[test]
+    fn eq1_matches_prefix_sum_fit() {
+        for start in 0..SERIES.len() - 1 {
+            for end in (start + 1)..=SERIES.len() {
+                let direct = eq1_fit(&SERIES[start..end]);
+                let reference = LineFit::over_slice(&SERIES[start..end]);
+                assert!(fits_eq(&direct, &reference), "[{start},{end})");
+            }
+        }
+    }
+
+    #[test]
+    fn eq2_increments_match_refits() {
+        for start in 0..SERIES.len() - 2 {
+            let mut fit = eq1_fit(&SERIES[start..start + 2]);
+            for end in (start + 3)..=SERIES.len() {
+                fit = eq2_increment(&fit, SERIES[end - 1]);
+                assert!(fits_eq(&fit, &eq1_fit(&SERIES[start..end])), "[{start},{end})");
+            }
+        }
+    }
+
+    #[test]
+    fn eq3_eq4_merges_match_refits() {
+        for start in 0..SERIES.len() - 3 {
+            for mid in (start + 1)..SERIES.len() - 1 {
+                for end in (mid + 1)..=SERIES.len() {
+                    let left = eq1_fit(&SERIES[start..mid]);
+                    let right = eq1_fit(&SERIES[mid..end]);
+                    let merged = eq3_eq4_merge(&left, &right);
+                    assert!(fits_eq(&merged, &eq1_fit(&SERIES[start..end])));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splits_invert_merges() {
+        for mid in 2..SERIES.len() - 2 {
+            let left = eq1_fit(&SERIES[..mid]);
+            let right = eq1_fit(&SERIES[mid..]);
+            let merged = eq1_fit(&SERIES);
+            assert!(fits_eq(&eq5_eq6_split_left(&merged, &right), &left), "mid={mid}");
+            assert!(fits_eq(&eq7_eq8_split_right(&merged, &left), &right), "mid={mid}");
+            // The verbatim Eq. (6) intercept agrees with the inverse algebra.
+            assert!(approx(eq6_split_left_b(&merged, &right), left.b), "mid={mid}");
+        }
+    }
+
+    #[test]
+    fn eq9_drops_right_point() {
+        for end in 3..=SERIES.len() {
+            let fit = eq1_fit(&SERIES[..end]);
+            let shrunk = eq9_decrease_right(&fit, SERIES[end - 1]);
+            assert!(fits_eq(&shrunk, &eq1_fit(&SERIES[..end - 1])), "end={end}");
+        }
+    }
+
+    #[test]
+    fn eq10_prepends_left_point() {
+        for start in (1..SERIES.len() - 1).rev() {
+            let fit = eq1_fit(&SERIES[start..]);
+            let grown = eq10_extend_left(&fit, SERIES[start - 1]);
+            assert!(fits_eq(&grown, &eq1_fit(&SERIES[start - 1..])), "start={start}");
+        }
+    }
+
+    #[test]
+    fn eq11_drops_left_point() {
+        for start in 0..SERIES.len() - 3 {
+            let fit = eq1_fit(&SERIES[start..]);
+            let shrunk = eq11_shrink_left(&fit, SERIES[start]);
+            assert!(fits_eq(&shrunk, &eq1_fit(&SERIES[start + 1..])), "start={start}");
+        }
+    }
+
+    #[test]
+    fn updates_agree_with_segstats_algebra() {
+        // The paper's equations and the sufficient-statistics algebra are
+        // two faces of the same exact update.
+        let stats = SegStats {
+            len: 4,
+            sum_c: SERIES[2..6].iter().sum(),
+            sum_uc: SERIES[2..6].iter().enumerate().map(|(u, &c)| u as f64 * c).sum(),
+        };
+        let fit = stats.fit();
+        assert!(fits_eq(&eq2_increment(&fit, SERIES[6]), &stats.push_right(SERIES[6]).fit()));
+        assert!(fits_eq(
+            &eq9_decrease_right(&fit, SERIES[5]),
+            &stats.pop_right(SERIES[5]).fit()
+        ));
+        assert!(fits_eq(&eq10_extend_left(&fit, SERIES[1]), &stats.push_left(SERIES[1]).fit()));
+        assert!(fits_eq(&eq11_shrink_left(&fit, SERIES[2]), &stats.pop_left(SERIES[2]).fit()));
+    }
+}

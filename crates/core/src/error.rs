@@ -1,0 +1,113 @@
+//! Error type shared by the SAPLA workspace.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the SAPLA core library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A time series was empty where at least one sample is required.
+    EmptySeries,
+    /// A time series contained a non-finite sample (NaN or ±inf).
+    NonFiniteSample {
+        /// Index of the offending sample.
+        index: usize,
+    },
+    /// The requested window `[start, end)` is out of range or inverted.
+    InvalidWindow {
+        /// Window start (inclusive).
+        start: usize,
+        /// Window end (exclusive).
+        end: usize,
+        /// Length of the underlying series.
+        len: usize,
+    },
+    /// The requested number of representation coefficients is invalid for
+    /// the method (e.g. not a multiple of the per-segment coefficient count,
+    /// zero, or larger than the series permits).
+    InvalidCoefficientCount {
+        /// The requested coefficient budget `M`.
+        requested: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The requested segment count cannot be realised on the given series.
+    InvalidSegmentCount {
+        /// The requested number of segments `N`.
+        segments: usize,
+        /// Length of the series being reduced.
+        len: usize,
+    },
+    /// Two representations cover a different number of original points and
+    /// therefore cannot be compared.
+    LengthMismatch {
+        /// Length covered by the left operand.
+        left: usize,
+        /// Length covered by the right operand.
+        right: usize,
+    },
+    /// A representation was structurally invalid (e.g. non-increasing
+    /// endpoints, last endpoint not equal to `n - 1`).
+    MalformedRepresentation {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An operation required a representation variant it does not support.
+    UnsupportedRepresentation {
+        /// The operation that was attempted.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptySeries => write!(f, "time series must contain at least one sample"),
+            Error::NonFiniteSample { index } => {
+                write!(f, "sample at index {index} is not finite")
+            }
+            Error::InvalidWindow { start, end, len } => {
+                write!(f, "window [{start}, {end}) is invalid for series of length {len}")
+            }
+            Error::InvalidCoefficientCount { requested, reason } => {
+                write!(f, "invalid coefficient count {requested}: {reason}")
+            }
+            Error::InvalidSegmentCount { segments, len } => {
+                write!(f, "cannot build {segments} segments over a series of length {len}")
+            }
+            Error::LengthMismatch { left, right } => {
+                write!(f, "operands cover different lengths ({left} vs {right})")
+            }
+            Error::MalformedRepresentation { reason } => {
+                write!(f, "malformed representation: {reason}")
+            }
+            Error::UnsupportedRepresentation { operation } => {
+                write!(f, "representation variant does not support {operation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidWindow { start: 3, end: 2, len: 10 };
+        assert!(e.to_string().contains("[3, 2)"));
+        let e = Error::InvalidCoefficientCount { requested: 7, reason: "not a multiple of 3" };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains("multiple of 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,345 @@
+//! Exact least-squares line fitting in `O(1)` per window.
+//!
+//! A segment of length `l` starting at global index `s` is modelled by the
+//! paper as `č_t = a·u + b` where `u = t − s ∈ [0, l)` is the window-local
+//! position (Eq. 1). Given the prefix sums of the series, the optimal
+//! `(a, b)` for **any** window follows in constant time, which is the
+//! engine behind every `O(1)` claim in Section 4: the paper's closed-form
+//! update equations (Eq. 2–11, see [`crate::equations`]) are algebraic
+//! specialisations of this.
+
+use crate::error::Result;
+use crate::series::PrefixSums;
+
+/// A fitted line `č_u = a·u + b` over a window of `len` points,
+/// `u ∈ [0, len)` window-local.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Slope `a`.
+    pub a: f64,
+    /// Intercept `b` (value at the window's first point).
+    pub b: f64,
+    /// Number of points in the window.
+    pub len: usize,
+}
+
+impl LineFit {
+    /// Least-squares fit of the window `[start, end)` using prefix sums.
+    ///
+    /// Degenerate windows: a single point fits `a = 0, b = c`; two points
+    /// interpolate exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::Error::InvalidWindow`] for empty or out-of-range windows.
+    pub fn over_window(sums: &PrefixSums, start: usize, end: usize) -> Result<LineFit> {
+        sums.check_window(start, end)?;
+        let l = end - start;
+        Ok(Self::from_sums(l, sums.sum(start, end), sums.sum_local_t(start, end)))
+    }
+
+    /// Least-squares fit of a raw slice (for tests and one-off callers;
+    /// `O(len)`).
+    pub fn over_slice(values: &[f64]) -> LineFit {
+        let l = values.len();
+        let sum_c: f64 = values.iter().sum();
+        let sum_uc: f64 = values.iter().enumerate().map(|(u, &v)| u as f64 * v).sum();
+        Self::from_sums(l, sum_c, sum_uc)
+    }
+
+    /// Fit from the sufficient statistics of a window: length, `Σ c` and
+    /// window-local `Σ u·c`.
+    pub fn from_sums(len: usize, sum_c: f64, sum_uc: f64) -> LineFit {
+        debug_assert!(len >= 1);
+        if len == 1 {
+            return LineFit { a: 0.0, b: sum_c, len };
+        }
+        let lf = len as f64;
+        // a = 12·Σ(u − (l−1)/2)·c / (l(l²−1))   [Eq. 1 with the paper's n
+        //     read as the segment length l]
+        let a = 12.0 * (sum_uc - (lf - 1.0) / 2.0 * sum_c) / (lf * (lf * lf - 1.0));
+        // b = mean − a·(l−1)/2
+        let b = sum_c / lf - a * (lf - 1.0) / 2.0;
+        LineFit { a, b, len }
+    }
+
+    /// Reconstructed value at window-local position `u`.
+    #[inline]
+    pub fn value_at(&self, u: usize) -> f64 {
+        self.a * u as f64 + self.b
+    }
+
+    /// Value just past the right end of the window (the paper's *extended
+    /// point* `č_{r'_i} = a·l + b`, Section 4.1.1).
+    #[inline]
+    pub fn extended_value(&self) -> f64 {
+        self.a * self.len as f64 + self.b
+    }
+
+    /// Sufficient statistics `(Σ c, Σ u·c)` implied by this fit.
+    ///
+    /// A least-squares line is a bijection of the window's first two
+    /// moments, so the statistics are exactly recoverable — this is what
+    /// makes the paper's merge/split equations (Eq. 3–8) exact.
+    pub fn to_stats(&self) -> SegStats {
+        let lf = self.len as f64;
+        let sum_c = lf * self.b + self.a * lf * (lf - 1.0) / 2.0;
+        // invert a = 12(sum_uc − (l−1)/2·sum_c)/(l(l²−1))
+        let sum_uc = if self.len == 1 {
+            0.0
+        } else {
+            self.a * lf * (lf * lf - 1.0) / 12.0 + (lf - 1.0) / 2.0 * sum_c
+        };
+        SegStats { len: self.len, sum_c, sum_uc }
+    }
+
+    /// Residual L1 error against the original window (`O(len)`).
+    pub fn l1_error(&self, window: &[f64]) -> f64 {
+        debug_assert_eq!(window.len(), self.len);
+        window
+            .iter()
+            .enumerate()
+            .map(|(u, &c)| (c - self.value_at(u)).abs())
+            .sum()
+    }
+
+    /// Max deviation against the original window (`O(len)`).
+    pub fn max_deviation(&self, window: &[f64]) -> f64 {
+        debug_assert_eq!(window.len(), self.len);
+        window
+            .iter()
+            .enumerate()
+            .map(|(u, &c)| (c - self.value_at(u)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Sufficient statistics of a window for line fitting: the window length,
+/// `Σ c_u`, and the window-local `Σ u·c_u`.
+///
+/// These compose under every structural edit the SAPLA iterations perform —
+/// append/drop a point on either side, merge with a neighbour, split —
+/// each in `O(1)`, giving the same results as the paper's Eq. 2–11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegStats {
+    /// Number of points in the window.
+    pub len: usize,
+    /// `Σ c_u` over the window.
+    pub sum_c: f64,
+    /// `Σ u·c_u` over the window, `u` window-local.
+    pub sum_uc: f64,
+}
+
+impl SegStats {
+    /// Statistics of a single point.
+    pub fn single(c: f64) -> SegStats {
+        SegStats { len: 1, sum_c: c, sum_uc: 0.0 }
+    }
+
+    /// Statistics for the window `[start, end)` from prefix sums.
+    pub fn over_window(sums: &PrefixSums, start: usize, end: usize) -> Result<SegStats> {
+        sums.check_window(start, end)?;
+        Ok(SegStats {
+            len: end - start,
+            sum_c: sums.sum(start, end),
+            sum_uc: sums.sum_local_t(start, end),
+        })
+    }
+
+    /// The least-squares fit for these statistics.
+    #[inline]
+    pub fn fit(&self) -> LineFit {
+        LineFit::from_sums(self.len, self.sum_c, self.sum_uc)
+    }
+
+    /// Append a point `c` at the right end (the *increment* of Eq. 2).
+    #[inline]
+    pub fn push_right(&self, c: f64) -> SegStats {
+        SegStats {
+            len: self.len + 1,
+            sum_c: self.sum_c + c,
+            sum_uc: self.sum_uc + self.len as f64 * c,
+        }
+    }
+
+    /// Drop the right-most point, whose value is `c_last` (Eq. 9).
+    #[inline]
+    pub fn pop_right(&self, c_last: f64) -> SegStats {
+        debug_assert!(self.len >= 2);
+        SegStats {
+            len: self.len - 1,
+            sum_c: self.sum_c - c_last,
+            sum_uc: self.sum_uc - (self.len - 1) as f64 * c_last,
+        }
+    }
+
+    /// Prepend a point `c` at the left end; existing points shift to local
+    /// indices `u + 1` (Eq. 10).
+    #[inline]
+    pub fn push_left(&self, c: f64) -> SegStats {
+        SegStats {
+            len: self.len + 1,
+            sum_c: self.sum_c + c,
+            sum_uc: self.sum_uc + self.sum_c,
+        }
+    }
+
+    /// Drop the left-most point, whose value is `c_first`; remaining points
+    /// shift to local indices `u − 1` (Eq. 11).
+    #[inline]
+    pub fn pop_left(&self, c_first: f64) -> SegStats {
+        debug_assert!(self.len >= 2);
+        let sum_c = self.sum_c - c_first;
+        SegStats { len: self.len - 1, sum_c, sum_uc: self.sum_uc - sum_c }
+    }
+
+    /// Merge with the adjacent right neighbour `right` (Eq. 3–4): `right`'s
+    /// local indices shift by `self.len`.
+    #[inline]
+    pub fn merge_right(&self, right: &SegStats) -> SegStats {
+        SegStats {
+            len: self.len + right.len,
+            sum_c: self.sum_c + right.sum_c,
+            sum_uc: self.sum_uc + right.sum_uc + self.len as f64 * right.sum_c,
+        }
+    }
+
+    /// Split off the statistics of the right part given the left part
+    /// (inverse of [`SegStats::merge_right`], cf. Eq. 7–8).
+    #[inline]
+    pub fn split_right(&self, left: &SegStats) -> SegStats {
+        debug_assert!(left.len < self.len);
+        let len = self.len - left.len;
+        let sum_c = self.sum_c - left.sum_c;
+        SegStats { len, sum_c, sum_uc: self.sum_uc - left.sum_uc - left.len as f64 * sum_c }
+    }
+
+    /// Split off the statistics of the left part given the right part
+    /// (cf. Eq. 5–6).
+    #[inline]
+    pub fn split_left(&self, right: &SegStats) -> SegStats {
+        debug_assert!(right.len < self.len);
+        let len = self.len - right.len;
+        SegStats {
+            len,
+            sum_c: self.sum_c - right.sum_c,
+            sum_uc: self.sum_uc - right.sum_uc - len as f64 * right.sum_c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TimeSeries;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    fn fits_eq(a: &LineFit, b: &LineFit) -> bool {
+        a.len == b.len && approx(a.a, b.a) && approx(a.b, b.b)
+    }
+
+    #[test]
+    fn single_point_fit() {
+        let f = LineFit::over_slice(&[5.0]);
+        assert_eq!(f, LineFit { a: 0.0, b: 5.0, len: 1 });
+    }
+
+    #[test]
+    fn two_point_fit_interpolates() {
+        let f = LineFit::over_slice(&[3.0, 7.0]);
+        assert!(approx(f.a, 4.0) && approx(f.b, 3.0));
+        assert!(approx(f.extended_value(), 11.0));
+    }
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let v: Vec<f64> = (0..10).map(|u| 2.5 * u as f64 - 1.0).collect();
+        let f = LineFit::over_slice(&v);
+        assert!(approx(f.a, 2.5) && approx(f.b, -1.0));
+        assert!(approx(f.max_deviation(&v), 0.0));
+    }
+
+    #[test]
+    fn window_fit_matches_slice_fit() {
+        let ts = TimeSeries::new(vec![7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0]).unwrap();
+        let sums = ts.prefix_sums();
+        for start in 0..7 {
+            for end in (start + 1)..=8 {
+                let w = LineFit::over_window(&sums, start, end).unwrap();
+                let s = LineFit::over_slice(&ts.values()[start..end]);
+                assert!(fits_eq(&w, &s), "window [{start},{end}): {w:?} vs {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_minimises_sse() {
+        // Perturbing the optimal (a, b) never reduces the SSE.
+        let v = [1.0, -2.0, 0.5, 4.0, 3.0, -1.0];
+        let f = LineFit::over_slice(&v);
+        let sse = |a: f64, b: f64| -> f64 {
+            v.iter()
+                .enumerate()
+                .map(|(u, &c)| {
+                    let d = c - (a * u as f64 + b);
+                    d * d
+                })
+                .sum()
+        };
+        let best = sse(f.a, f.b);
+        for da in [-0.1, 0.1] {
+            for db in [-0.1, 0.1] {
+                assert!(sse(f.a + da, f.b + db) >= best);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_roundtrip_through_fit() {
+        let v = [2.0, 9.0, -3.0, 4.0, 4.0];
+        let s = SegStats {
+            len: 5,
+            sum_c: v.iter().sum(),
+            sum_uc: v.iter().enumerate().map(|(u, &c)| u as f64 * c).sum(),
+        };
+        let back = s.fit().to_stats();
+        assert_eq!(back.len, s.len);
+        assert!(approx(back.sum_c, s.sum_c));
+        assert!(approx(back.sum_uc, s.sum_uc));
+    }
+
+    #[test]
+    fn push_pop_edits_match_direct_fits() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mid = SegStats {
+            len: 4,
+            sum_c: v[2..6].iter().sum(),
+            sum_uc: v[2..6].iter().enumerate().map(|(u, &c)| u as f64 * c).sum(),
+        };
+        assert!(fits_eq(&mid.push_right(v[6]).fit(), &LineFit::over_slice(&v[2..7])));
+        assert!(fits_eq(&mid.pop_right(v[5]).fit(), &LineFit::over_slice(&v[2..5])));
+        assert!(fits_eq(&mid.push_left(v[1]).fit(), &LineFit::over_slice(&v[1..6])));
+        assert!(fits_eq(&mid.pop_left(v[2]).fit(), &LineFit::over_slice(&v[3..6])));
+    }
+
+    #[test]
+    fn merge_and_split_are_inverse() {
+        let v = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0];
+        let stats = |r: std::ops::Range<usize>| SegStats {
+            len: r.len(),
+            sum_c: v[r.clone()].iter().sum(),
+            sum_uc: v[r].iter().enumerate().map(|(u, &c)| u as f64 * c).sum(),
+        };
+        let left = stats(0..4);
+        let right = stats(4..9);
+        let merged = left.merge_right(&right);
+        assert!(fits_eq(&merged.fit(), &LineFit::over_slice(&v)));
+        let r2 = merged.split_right(&left);
+        let l2 = merged.split_left(&right);
+        assert!(fits_eq(&r2.fit(), &right.fit()));
+        assert!(fits_eq(&l2.fit(), &left.fit()));
+    }
+}

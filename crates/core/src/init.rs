@@ -1,0 +1,183 @@
+//! Stage 1 — Initialization (Algorithm 4.2).
+//!
+//! A single left-to-right scan grows the current segment one point at a
+//! time with the `O(1)` increment of Eq. (2). Each increment's
+//! *Increment Area* (Definition 4.1) measures how badly the new point fits
+//! the current trend; when it exceeds the `(N−1)`-th largest area seen so
+//! far (the *increment threshold*, maintained in the priority queue `η`),
+//! the segment is closed and a fresh two-point segment begins. The result
+//! has roughly `N` segments — the split & merge iteration then makes the
+//! count exact.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::area::increment_area;
+use crate::bounds::beta_increment;
+use crate::fit::SegStats;
+use crate::ordf64::OrdF64;
+use crate::sapla::BoundMode;
+use crate::work::{Ctx, Seg};
+
+/// Run the initialization scan, producing a contiguous segmentation of
+/// `ctx.values` with (usually) at least `n_target` segments.
+pub(crate) fn initialize(ctx: &Ctx<'_>, n_target: usize) -> Vec<Seg> {
+    let values = ctx.values;
+    let n = values.len();
+    debug_assert!(n_target >= 1);
+
+    if n <= 2 {
+        return vec![ctx.make_seg(0, n)];
+    }
+
+    // η keeps the N−1 largest increment areas; its minimum is the
+    // increment threshold max(ε(Č', Č^e))_{N−1}.
+    let mut eta: BinaryHeap<Reverse<OrdF64>> = BinaryHeap::new();
+    let eta_cap = n_target.saturating_sub(1);
+
+    let mut segs: Vec<Seg> = Vec::with_capacity(n_target + 4);
+
+    // Current segment state: starts with two points (l = 2), as in
+    // Algorithm 4.2 line 1: ĉ = ⟨c_1 − c_0, c_0, 1⟩.
+    let mut start = 0usize;
+    let mut stats = SegStats::single(values[0]).push_right(values[1]);
+    let mut fit = stats.fit();
+    let mut max_d = 0.0f64;
+
+    let mut t = 2usize;
+    while t < n {
+        let c_new = values[t];
+        let new_stats = stats.push_right(c_new);
+        let new_fit = new_stats.fit();
+        let area = increment_area(&fit, &new_fit);
+
+        // A cut starts a fresh 2-point segment at t, so it needs two
+        // remaining points.
+        let can_cut = eta_cap > 0 && t + 2 <= n;
+        let cut = if !can_cut {
+            false
+        } else if eta.len() < eta_cap {
+            eta.push(Reverse(OrdF64::new(area)));
+            true
+        } else if area > eta.peek().map(|Reverse(m)| m.get()).unwrap_or(f64::INFINITY) {
+            eta.pop();
+            eta.push(Reverse(OrdF64::new(area)));
+            true
+        } else {
+            false
+        };
+
+        if cut {
+            segs.push(finalize(ctx, start, t, fit, max_d));
+            start = t;
+            stats = SegStats::single(values[t]).push_right(values[t + 1]);
+            fit = stats.fit();
+            max_d = 0.0;
+            t += 2;
+        } else {
+            // Absorb the point; fold its endpoint differences into the
+            // running max_d used by the initialization β (Section 4.1.2).
+            let _ = beta_increment(
+                values[start],
+                values[t - 1],
+                c_new,
+                &fit,
+                &new_fit,
+                &mut max_d,
+            );
+            stats = new_stats;
+            fit = new_fit;
+            t += 1;
+        }
+    }
+    segs.push(finalize(ctx, start, n, fit, max_d));
+    crate::work::assert_tiling(&segs, n);
+    segs
+}
+
+fn finalize(ctx: &Ctx<'_>, start: usize, end: usize, fit: crate::fit::LineFit, max_d: f64) -> Seg {
+    let beta = match ctx.mode {
+        BoundMode::Paper => max_d * (end - start - 1) as f64,
+        BoundMode::Exact => crate::bounds::exact_beta(&ctx.values[start..end], &fit),
+    };
+    Seg { start, end, fit, beta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::Ctx;
+
+    /// The paper's Figure 1 / Figure 5 worked example.
+    const FIG1: [f64; 20] = [
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
+        2.0, 9.0, 10.0, 10.0,
+    ];
+
+    #[test]
+    fn covers_series_contiguously() {
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let segs = initialize(&ctx, 4);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, FIG1.len());
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn produces_at_least_target_segments_on_fig1() {
+        // "In general cases, we could get at least N segments after
+        // initialization" — the paper's example yields 6 for N = 4.
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let segs = initialize(&ctx, 4);
+        assert!(segs.len() >= 4, "got {} segments", segs.len());
+    }
+
+    #[test]
+    fn single_target_yields_single_segment() {
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let segs = initialize(&ctx, 1);
+        assert_eq!(segs.len(), 1);
+        assert_eq!((segs[0].start, segs[0].end), (0, FIG1.len()));
+    }
+
+    #[test]
+    fn straight_line_never_cuts_beyond_forced_segments() {
+        // On an exact line every increment area is 0; only the N−1 "free"
+        // cuts from filling η occur.
+        let v: Vec<f64> = (0..40).map(|t| 0.5 * t as f64 + 1.0).collect();
+        let ctx = Ctx::new(&v, BoundMode::Paper);
+        let segs = initialize(&ctx, 5);
+        assert!(segs.len() <= 5);
+        for s in &segs {
+            assert!(s.fit.max_deviation(&v[s.start..s.end]) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn handles_tiny_series() {
+        let v = [1.0, 2.0];
+        let ctx = Ctx::new(&v, BoundMode::Paper);
+        let segs = initialize(&ctx, 3);
+        assert_eq!(segs.len(), 1);
+        let v = [1.0];
+        let ctx = Ctx::new(&v, BoundMode::Paper);
+        assert_eq!(initialize(&ctx, 2).len(), 1);
+    }
+
+    #[test]
+    fn cuts_land_near_regime_changes() {
+        // Step function: ...0,0,0,10,10,10... — the big increment area is
+        // at the jump, so some segment boundary must fall within ±2 of it.
+        let mut v = vec![0.0; 16];
+        v.extend(vec![10.0; 16]);
+        let ctx = Ctx::new(&v, BoundMode::Paper);
+        let segs = initialize(&ctx, 4);
+        let boundaries: Vec<usize> = segs.iter().map(|s| s.end).collect();
+        assert!(
+            boundaries.iter().any(|&b| (b as isize - 16).abs() <= 2),
+            "boundaries {boundaries:?} miss the jump at 16"
+        );
+    }
+}

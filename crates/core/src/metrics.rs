@@ -1,0 +1,106 @@
+//! Reconstruction-quality metrics shared by the evaluation harness.
+//!
+//! The paper scores methods by max deviation (Definition 3.4) and, in
+//! Fig. 1, by the sum of per-segment max deviations; RMSE/MAE and
+//! compression ratio round out the picture for library users.
+
+use crate::error::{Error, Result};
+use crate::series::TimeSeries;
+
+/// A bundle of reconstruction-quality metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconstructionReport {
+    /// Maximum absolute pointwise deviation (Definition 3.4).
+    pub max_deviation: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Mean absolute error.
+    pub mae: f64,
+}
+
+/// Compare an original series with a reconstruction.
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] when lengths differ.
+pub fn reconstruction_report(
+    original: &TimeSeries,
+    reconstructed: &TimeSeries,
+) -> Result<ReconstructionReport> {
+    if original.len() != reconstructed.len() {
+        return Err(Error::LengthMismatch {
+            left: original.len(),
+            right: reconstructed.len(),
+        });
+    }
+    let n = original.len() as f64;
+    let mut max = 0.0f64;
+    let mut sq = 0.0f64;
+    let mut abs = 0.0f64;
+    for (a, b) in original.values().iter().zip(reconstructed.values()) {
+        let d = (a - b).abs();
+        max = max.max(d);
+        sq += d * d;
+        abs += d;
+    }
+    Ok(ReconstructionReport { max_deviation: max, rmse: (sq / n).sqrt(), mae: abs / n })
+}
+
+/// Compression ratio of a reduction: raw samples per stored coefficient
+/// (`n / M`). Returns `f64::INFINITY` for a zero-coefficient budget.
+pub fn compression_ratio(series_len: usize, coefficients: usize) -> f64 {
+    if coefficients == 0 {
+        f64::INFINITY
+    } else {
+        series_len as f64 / coefficients as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn report_on_identical_series_is_zero() {
+        let a = ts(&[1.0, -2.0, 3.0]);
+        let r = reconstruction_report(&a, &a).unwrap();
+        assert_eq!(r.max_deviation, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.mae, 0.0);
+    }
+
+    #[test]
+    fn report_matches_hand_computation() {
+        let a = ts(&[0.0, 0.0, 0.0, 0.0]);
+        let b = ts(&[1.0, -1.0, 3.0, -1.0]);
+        let r = reconstruction_report(&a, &b).unwrap();
+        assert_eq!(r.max_deviation, 3.0);
+        assert!((r.mae - 1.5).abs() < 1e-12);
+        assert!((r.rmse - (12.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metric_ordering_invariant() {
+        // MAE ≤ RMSE ≤ max deviation always.
+        let a = ts(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let b = ts(&[2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0]);
+        let r = reconstruction_report(&a, &b).unwrap();
+        assert!(r.mae <= r.rmse + 1e-12);
+        assert!(r.rmse <= r.max_deviation + 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(reconstruction_report(&ts(&[1.0]), &ts(&[1.0, 2.0])).is_err());
+    }
+
+    #[test]
+    fn compression_ratios() {
+        assert_eq!(compression_ratio(1024, 12), 1024.0 / 12.0);
+        assert_eq!(compression_ratio(100, 0), f64::INFINITY);
+    }
+}

@@ -1,0 +1,107 @@
+//! A totally ordered `f64` wrapper for use as a priority-queue / map key.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An `f64` with a total order (IEEE-754 `totalOrder` semantics via
+/// [`f64::total_cmp`]), usable as a key in `BTreeMap` / `BinaryHeap`.
+///
+/// The SAPLA iterations keep segments ordered by upper bound `β` and by
+/// reconstruction area; both are floating-point quantities, so a total
+/// order is required.
+///
+/// ```
+/// use sapla_core::OrdF64;
+/// let mut v = vec![OrdF64::new(3.0), OrdF64::new(-1.0), OrdF64::new(2.5)];
+/// v.sort();
+/// assert_eq!(v[0].get(), -1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(f64);
+
+impl OrdF64 {
+    /// Wrap a raw `f64`.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        OrdF64(v)
+    }
+
+    /// Unwrap to the raw `f64`.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrdF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        OrdF64(v)
+    }
+}
+
+impl From<OrdF64> for f64 {
+    #[inline]
+    fn from(v: OrdF64) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for OrdF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_handles_special_values() {
+        let mut v = [OrdF64::new(f64::NAN),
+            OrdF64::new(f64::INFINITY),
+            OrdF64::new(0.0),
+            OrdF64::new(-0.0),
+            OrdF64::new(f64::NEG_INFINITY)];
+        v.sort();
+        assert_eq!(v[0].get(), f64::NEG_INFINITY);
+        assert!(v[4].get().is_nan());
+        // -0.0 sorts before +0.0 under totalOrder.
+        assert!(v[1].get().is_sign_negative() && v[1].get() == 0.0);
+    }
+
+    #[test]
+    fn roundtrip_conversions() {
+        let x: OrdF64 = 1.25.into();
+        let y: f64 = x.into();
+        assert_eq!(y, 1.25);
+        assert_eq!(x.to_string(), "1.25");
+    }
+
+    #[test]
+    fn usable_as_btreemap_key() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(OrdF64::new(2.0), "b");
+        m.insert(OrdF64::new(1.0), "a");
+        let first = m.iter().next().unwrap();
+        assert_eq!(*first.1, "a");
+    }
+}

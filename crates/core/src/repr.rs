@@ -1,0 +1,522 @@
+//! Reduced time-series representations.
+//!
+//! The adaptive-length piecewise forms live here because the SAPLA driver
+//! produces them; the symbolic/polynomial variants are thin data carriers
+//! shared with the baseline methods (`sapla-baselines` implements their
+//! construction and reconstruction details).
+
+use crate::error::{Error, Result};
+use crate::fit::LineFit;
+use crate::series::TimeSeries;
+
+/// One adaptive-length linear segment `ĉ_i = ⟨a_i, b_i, r_i⟩`
+/// (Definition 3.2): the line `a·u + b` over window-local `u`, ending at
+/// the **inclusive** global right endpoint `r`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSegment {
+    /// Slope `a_i`.
+    pub a: f64,
+    /// Y-intercept `b_i` (value at the segment's first point).
+    pub b: f64,
+    /// Inclusive global index of the segment's last point `r_i`.
+    pub r: usize,
+}
+
+/// One adaptive-length constant segment `⟨v_i, r_i⟩` (APCA-style).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantSegment {
+    /// Constant value `v_i`.
+    pub v: f64,
+    /// Inclusive global index of the segment's last point `r_i`.
+    pub r: usize,
+}
+
+/// An adaptive-length piecewise-linear representation
+/// `Ĉ = {⟨a_0, b_0, r_0⟩, …, ⟨a_{N−1}, b_{N−1}, r_{N−1}⟩}`.
+///
+/// Produced by SAPLA and APLA (and by PLA with equal-length segments).
+/// Segment `i` covers global indices `[r_{i−1}+1, r_i]` with `r_{−1} = −1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    segs: Vec<LinearSegment>,
+}
+
+impl PiecewiseLinear {
+    /// Build a representation from segments, validating that endpoints are
+    /// strictly increasing.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MalformedRepresentation`] on empty input or non-increasing
+    /// endpoints.
+    pub fn new(segs: Vec<LinearSegment>) -> Result<Self> {
+        if segs.is_empty() {
+            return Err(Error::MalformedRepresentation { reason: "no segments" });
+        }
+        for w in segs.windows(2) {
+            if w[1].r <= w[0].r {
+                return Err(Error::MalformedRepresentation {
+                    reason: "segment endpoints must be strictly increasing",
+                });
+            }
+        }
+        Ok(PiecewiseLinear { segs })
+    }
+
+    /// The segments.
+    #[inline]
+    pub fn segments(&self) -> &[LinearSegment] {
+        &self.segs
+    }
+
+    /// Number of segments `N`.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Length `n` of the original series this representation covers.
+    #[inline]
+    pub fn series_len(&self) -> usize {
+        self.segs.last().map_or(0, |s| s.r + 1)
+    }
+
+    /// First global index covered by segment `i`.
+    #[inline]
+    pub fn start(&self, i: usize) -> usize {
+        if i == 0 {
+            0
+        } else {
+            self.segs[i - 1].r + 1
+        }
+    }
+
+    /// Number of points in segment `i`.
+    #[inline]
+    pub fn seg_len(&self, i: usize) -> usize {
+        self.segs[i].r + 1 - self.start(i)
+    }
+
+    /// The inclusive right endpoints `r_0 < r_1 < … < r_{N−1}`.
+    pub fn endpoints(&self) -> Vec<usize> {
+        self.segs.iter().map(|s| s.r).collect()
+    }
+
+    /// Reconstructed value `č_t` at global index `t`.
+    ///
+    /// Uses binary search over the endpoints: `O(log N)`.
+    pub fn value_at(&self, t: usize) -> f64 {
+        let i = self.segs.partition_point(|s| s.r < t);
+        let i = i.min(self.segs.len() - 1);
+        let u = t - self.start(i);
+        self.segs[i].a * u as f64 + self.segs[i].b
+    }
+
+    /// Reconstruct the full series `Č` (Definition 3.3).
+    pub fn reconstruct(&self) -> TimeSeries {
+        let n = self.series_len();
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for seg in &self.segs {
+            for u in 0..=(seg.r - start) {
+                out.push(seg.a * u as f64 + seg.b);
+            }
+            start = seg.r + 1;
+        }
+        TimeSeries::new(out).expect("reconstruction of a valid representation is non-empty")
+    }
+
+    /// Max deviation `ε` between the original series and the reconstruction
+    /// (Definition 3.4).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] if `original` has a different length.
+    pub fn max_deviation(&self, original: &TimeSeries) -> Result<f64> {
+        if original.len() != self.series_len() {
+            return Err(Error::LengthMismatch {
+                left: original.len(),
+                right: self.series_len(),
+            });
+        }
+        let mut max = 0.0f64;
+        let mut start = 0usize;
+        let values = original.values();
+        for seg in &self.segs {
+            for u in 0..=(seg.r - start) {
+                let d = (values[start + u] - (seg.a * u as f64 + seg.b)).abs();
+                max = max.max(d);
+            }
+            start = seg.r + 1;
+        }
+        Ok(max)
+    }
+
+    /// Per-segment max deviations `ε_i`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] if `original` has a different length.
+    pub fn segment_deviations(&self, original: &TimeSeries) -> Result<Vec<f64>> {
+        if original.len() != self.series_len() {
+            return Err(Error::LengthMismatch {
+                left: original.len(),
+                right: self.series_len(),
+            });
+        }
+        let values = original.values();
+        let mut out = Vec::with_capacity(self.segs.len());
+        let mut start = 0usize;
+        for seg in &self.segs {
+            let fit = LineFit { a: seg.a, b: seg.b, len: seg.r + 1 - start };
+            out.push(fit.max_deviation(&values[start..=seg.r]));
+            start = seg.r + 1;
+        }
+        Ok(out)
+    }
+
+    /// Restrict the representation's reconstructed curve to new endpoints
+    /// `cuts` (a superset of this representation's own endpoints is typical).
+    ///
+    /// Each produced segment keeps the covering segment's slope and shifts
+    /// the intercept (`b' = a·offset + b`), so the reconstructed curve is
+    /// unchanged — the property `Dist_PAR`'s partition step (Definition 5.1)
+    /// relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MalformedRepresentation`] if `cuts` is not a strictly
+    /// increasing sequence ending at `series_len() − 1` and containing this
+    /// representation's endpoints.
+    pub fn partition(&self, cuts: &[usize]) -> Result<PiecewiseLinear> {
+        if cuts.last().copied() != Some(self.series_len() - 1) {
+            return Err(Error::MalformedRepresentation {
+                reason: "partition must end at the series' last index",
+            });
+        }
+        let mut segs = Vec::with_capacity(cuts.len());
+        let mut own = 0usize; // index of the covering original segment
+        let mut prev_end: isize = -1;
+        for &cut in cuts {
+            if cut as isize <= prev_end {
+                return Err(Error::MalformedRepresentation {
+                    reason: "partition endpoints must be strictly increasing",
+                });
+            }
+            while self.segs[own].r < cut {
+                own += 1;
+            }
+            let seg = self.segs[own];
+            let own_start = self.start(own);
+            let new_start = (prev_end + 1) as usize;
+            if new_start < own_start {
+                return Err(Error::MalformedRepresentation {
+                    reason: "partition must contain the representation's own endpoints",
+                });
+            }
+            let offset = (new_start - own_start) as f64;
+            segs.push(LinearSegment { a: seg.a, b: seg.a * offset + seg.b, r: cut });
+            prev_end = cut as isize;
+        }
+        PiecewiseLinear::new(segs)
+    }
+}
+
+/// An adaptive-length piecewise-constant representation (APCA / PAA form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseConstant {
+    segs: Vec<ConstantSegment>,
+}
+
+impl PiecewiseConstant {
+    /// Build a representation from segments, validating endpoints.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MalformedRepresentation`] on empty input or non-increasing
+    /// endpoints.
+    pub fn new(segs: Vec<ConstantSegment>) -> Result<Self> {
+        if segs.is_empty() {
+            return Err(Error::MalformedRepresentation { reason: "no segments" });
+        }
+        for w in segs.windows(2) {
+            if w[1].r <= w[0].r {
+                return Err(Error::MalformedRepresentation {
+                    reason: "segment endpoints must be strictly increasing",
+                });
+            }
+        }
+        Ok(PiecewiseConstant { segs })
+    }
+
+    /// The segments.
+    #[inline]
+    pub fn segments(&self) -> &[ConstantSegment] {
+        &self.segs
+    }
+
+    /// Number of segments `N`.
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Length `n` of the original series this representation covers.
+    #[inline]
+    pub fn series_len(&self) -> usize {
+        self.segs.last().map_or(0, |s| s.r + 1)
+    }
+
+    /// View as a piecewise-linear representation with zero slopes
+    /// (constants are the `a = 0` special case — this is how `Dist_PAR`
+    /// applies to APCA/PAA representations).
+    pub fn to_linear(&self) -> PiecewiseLinear {
+        PiecewiseLinear {
+            segs: self
+                .segs
+                .iter()
+                .map(|s| LinearSegment { a: 0.0, b: s.v, r: s.r })
+                .collect(),
+        }
+    }
+
+    /// Reconstruct the full series.
+    pub fn reconstruct(&self) -> TimeSeries {
+        let n = self.series_len();
+        let mut out = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for seg in &self.segs {
+            out.extend(std::iter::repeat_n(seg.v, seg.r + 1 - start));
+            start = seg.r + 1;
+        }
+        TimeSeries::new(out).expect("reconstruction of a valid representation is non-empty")
+    }
+
+    /// Max deviation against the original series.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] if `original` has a different length.
+    pub fn max_deviation(&self, original: &TimeSeries) -> Result<f64> {
+        if original.len() != self.series_len() {
+            return Err(Error::LengthMismatch {
+                left: original.len(),
+                right: self.series_len(),
+            });
+        }
+        let values = original.values();
+        let mut max = 0.0f64;
+        let mut start = 0usize;
+        for seg in &self.segs {
+            for &v in &values[start..=seg.r] {
+                max = max.max((v - seg.v).abs());
+            }
+            start = seg.r + 1;
+        }
+        Ok(max)
+    }
+}
+
+/// Polynomial-coefficient representation (CHEBY-style): coefficients with
+/// respect to an orthonormal polynomial basis over `n` sample points.
+///
+/// Construction and reconstruction live in `sapla-baselines::cheby`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyCoeffs {
+    /// Basis coefficients (degree 0, 1, …).
+    pub coeffs: Vec<f64>,
+    /// Length of the original series.
+    pub n: usize,
+}
+
+/// Symbolic representation (SAX-style): one alphabet symbol per equal-length
+/// segment.
+///
+/// Construction, reconstruction and MINDIST live in
+/// `sapla-baselines::sax` / `sapla-distance::sax`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicWord {
+    /// Symbol indices, one per segment, each `< alphabet_size`.
+    pub symbols: Vec<u8>,
+    /// Size of the discretisation alphabet.
+    pub alphabet_size: usize,
+    /// Length of the original series.
+    pub n: usize,
+}
+
+/// A reduced representation produced by any of the implemented methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Representation {
+    /// Adaptive or equal-length piecewise linear (SAPLA, APLA, PLA).
+    Linear(PiecewiseLinear),
+    /// Adaptive or equal-length piecewise constant (APCA, PAA, PAALM).
+    Constant(PiecewiseConstant),
+    /// Polynomial coefficients (CHEBY).
+    Polynomial(PolyCoeffs),
+    /// Symbolic word (SAX).
+    Symbolic(SymbolicWord),
+}
+
+impl Representation {
+    /// Length of the original series this representation covers.
+    pub fn series_len(&self) -> usize {
+        match self {
+            Representation::Linear(r) => r.series_len(),
+            Representation::Constant(r) => r.series_len(),
+            Representation::Polynomial(r) => r.n,
+            Representation::Symbolic(r) => r.n,
+        }
+    }
+
+    /// Number of segments (polynomials count one "segment" per coefficient).
+    pub fn num_segments(&self) -> usize {
+        match self {
+            Representation::Linear(r) => r.num_segments(),
+            Representation::Constant(r) => r.num_segments(),
+            Representation::Polynomial(r) => r.coeffs.len(),
+            Representation::Symbolic(r) => r.symbols.len(),
+        }
+    }
+
+    /// Borrow the linear form, if this is a linear representation.
+    pub fn as_linear(&self) -> Option<&PiecewiseLinear> {
+        match self {
+            Representation::Linear(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Borrow the constant form, if this is a constant representation.
+    pub fn as_constant(&self) -> Option<&PiecewiseConstant> {
+        match self {
+            Representation::Constant(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// A piecewise-linear view of the representation, if one exists
+    /// (constants are promoted with zero slope).
+    pub fn linear_view(&self) -> Option<PiecewiseLinear> {
+        match self {
+            Representation::Linear(r) => Some(r.clone()),
+            Representation::Constant(r) => Some(r.to_linear()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    fn pl(segs: &[(f64, f64, usize)]) -> PiecewiseLinear {
+        PiecewiseLinear::new(
+            segs.iter().map(|&(a, b, r)| LinearSegment { a, b, r }).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_malformed_segments() {
+        assert!(PiecewiseLinear::new(vec![]).is_err());
+        assert!(PiecewiseLinear::new(vec![
+            LinearSegment { a: 0.0, b: 0.0, r: 3 },
+            LinearSegment { a: 0.0, b: 0.0, r: 3 },
+        ])
+        .is_err());
+        assert!(PiecewiseConstant::new(vec![
+            ConstantSegment { v: 0.0, r: 5 },
+            ConstantSegment { v: 0.0, r: 2 },
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let r = pl(&[(1.0, 0.0, 2), (0.0, 5.0, 5)]);
+        assert_eq!(r.num_segments(), 2);
+        assert_eq!(r.series_len(), 6);
+        assert_eq!(r.start(0), 0);
+        assert_eq!(r.start(1), 3);
+        assert_eq!(r.seg_len(0), 3);
+        assert_eq!(r.seg_len(1), 3);
+        assert_eq!(r.endpoints(), vec![2, 5]);
+    }
+
+    #[test]
+    fn reconstruct_and_value_at_agree() {
+        let r = pl(&[(1.0, 0.0, 2), (-2.0, 10.0, 5)]);
+        let rec = r.reconstruct();
+        assert_eq!(rec.values(), &[0.0, 1.0, 2.0, 10.0, 8.0, 6.0]);
+        for t in 0..6 {
+            assert_eq!(r.value_at(t), rec.at(t));
+        }
+    }
+
+    #[test]
+    fn max_deviation_exact() {
+        let r = pl(&[(0.0, 1.0, 3)]);
+        let orig = ts(&[1.0, 2.0, 1.0, -1.5]);
+        assert!((r.max_deviation(&orig).unwrap() - 2.5).abs() < 1e-12);
+        assert!(r.max_deviation(&ts(&[1.0])).is_err());
+        let per = r.segment_deviations(&orig).unwrap();
+        assert_eq!(per.len(), 1);
+        assert!((per[0] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_preserves_reconstruction() {
+        let r = pl(&[(1.0, 0.0, 3), (-1.0, 7.0, 7)]);
+        let p = r.partition(&[1, 3, 5, 7]).unwrap();
+        assert_eq!(p.num_segments(), 4);
+        assert_eq!(p.reconstruct().values(), r.reconstruct().values());
+    }
+
+    #[test]
+    fn partition_validates_input() {
+        let r = pl(&[(1.0, 0.0, 3), (-1.0, 7.0, 7)]);
+        assert!(r.partition(&[1, 3, 5]).is_err()); // does not end at n-1
+        assert!(r.partition(&[3, 3, 7]).is_err()); // not strictly increasing
+        assert!(r.partition(&[5, 7]).is_err()); // misses own endpoint 3
+    }
+
+    #[test]
+    fn constant_roundtrip_and_linear_view() {
+        let c = PiecewiseConstant::new(vec![
+            ConstantSegment { v: 2.0, r: 1 },
+            ConstantSegment { v: -1.0, r: 4 },
+        ])
+        .unwrap();
+        assert_eq!(c.reconstruct().values(), &[2.0, 2.0, -1.0, -1.0, -1.0]);
+        let lin = c.to_linear();
+        assert_eq!(lin.reconstruct().values(), c.reconstruct().values());
+        let orig = ts(&[2.0, 3.0, -1.0, -1.0, 0.0]);
+        assert!((c.max_deviation(&orig).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn representation_enum_accessors() {
+        let lin = Representation::Linear(pl(&[(0.0, 0.0, 4)]));
+        assert_eq!(lin.series_len(), 5);
+        assert_eq!(lin.num_segments(), 1);
+        assert!(lin.as_linear().is_some());
+        assert!(lin.as_constant().is_none());
+        let con = Representation::Constant(
+            PiecewiseConstant::new(vec![ConstantSegment { v: 1.0, r: 2 }]).unwrap(),
+        );
+        assert!(con.linear_view().is_some());
+        let poly = Representation::Polynomial(PolyCoeffs { coeffs: vec![1.0, 2.0], n: 8 });
+        assert_eq!(poly.num_segments(), 2);
+        assert!(poly.linear_view().is_none());
+        let sym = Representation::Symbolic(SymbolicWord {
+            symbols: vec![0, 1, 2],
+            alphabet_size: 4,
+            n: 9,
+        });
+        assert_eq!(sym.series_len(), 9);
+    }
+}

@@ -1,0 +1,315 @@
+//! Time series container and `O(1)` window statistics.
+
+use crate::error::{Error, Result};
+
+/// An immutable univariate time series `C = {c_0, …, c_{n-1}}`
+/// (Definition 3.1 of the paper).
+///
+/// All samples are finite `f64` values; construction validates this once so
+/// the algorithms never need to re-check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Create a time series from raw samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptySeries`] if `values` is empty.
+    /// * [`Error::NonFiniteSample`] if any sample is NaN or infinite.
+    pub fn new(values: Vec<f64>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(Error::EmptySeries);
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(Error::NonFiniteSample { index });
+        }
+        Ok(TimeSeries { values })
+    }
+
+    /// Number of samples `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` iff the series has no samples. Always `false` for a
+    /// successfully constructed series; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow the raw samples.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consume the series, returning the raw samples.
+    #[inline]
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Sample at position `t` (panics if out of range, like slice indexing).
+    #[inline]
+    pub fn at(&self, t: usize) -> f64 {
+        self.values[t]
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation of the samples.
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| {
+                let d = v - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Z-normalise: subtract the mean and divide by the standard deviation.
+    ///
+    /// Constant series (σ = 0) normalise to all-zeros rather than dividing
+    /// by zero — the convention used by the UCR archive tooling.
+    pub fn znormalized(&self) -> TimeSeries {
+        let mean = self.mean();
+        let sd = self.std_dev();
+        let values = if sd > 0.0 {
+            self.values.iter().map(|v| (v - mean) / sd).collect()
+        } else {
+            vec![0.0; self.values.len()]
+        };
+        TimeSeries { values }
+    }
+
+    /// Euclidean distance to another series of the same length.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] if the lengths differ.
+    pub fn euclidean(&self, other: &TimeSeries) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(Error::LengthMismatch { left: self.len(), right: other.len() });
+        }
+        let sum: f64 = self
+            .values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum();
+        Ok(sum.sqrt())
+    }
+
+    /// Maximum absolute pointwise difference to another series of the same
+    /// length (the paper's max deviation `ε` when `other` is a
+    /// reconstruction; Definition 3.4).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] if the lengths differ.
+    pub fn max_abs_diff(&self, other: &TimeSeries) -> Result<f64> {
+        if self.len() != other.len() {
+            return Err(Error::LengthMismatch { left: self.len(), right: other.len() });
+        }
+        Ok(self
+            .values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+
+    /// Build the prefix sums needed for `O(1)` window fits.
+    pub fn prefix_sums(&self) -> PrefixSums {
+        PrefixSums::new(&self.values)
+    }
+}
+
+impl AsRef<[f64]> for TimeSeries {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Prefix sums of a series enabling `O(1)` least-squares line fits over any
+/// window (see [`crate::fit::LineFit::over_window`]).
+///
+/// Stores, for every prefix length `i`:
+///
+/// * `s1[i] = Σ_{t<i} c_t`
+/// * `st[i] = Σ_{t<i} t·c_t`
+/// * `s2[i] = Σ_{t<i} c_t²` (used by `O(1)` window SSE / distance bounds)
+#[derive(Debug, Clone)]
+pub struct PrefixSums {
+    s1: Vec<f64>,
+    st: Vec<f64>,
+    s2: Vec<f64>,
+}
+
+impl PrefixSums {
+    /// Build prefix sums for `values`.
+    pub fn new(values: &[f64]) -> Self {
+        let n = values.len();
+        let mut s1 = Vec::with_capacity(n + 1);
+        let mut st = Vec::with_capacity(n + 1);
+        let mut s2 = Vec::with_capacity(n + 1);
+        s1.push(0.0);
+        st.push(0.0);
+        s2.push(0.0);
+        let (mut a1, mut at, mut a2) = (0.0f64, 0.0f64, 0.0f64);
+        for (t, &v) in values.iter().enumerate() {
+            a1 += v;
+            at += t as f64 * v;
+            a2 += v * v;
+            s1.push(a1);
+            st.push(at);
+            s2.push(a2);
+        }
+        PrefixSums { s1, st, s2 }
+    }
+
+    /// Number of samples covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.s1.len() - 1
+    }
+
+    /// `true` iff no samples are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `Σ c_t` over the half-open window `[start, end)`.
+    #[inline]
+    pub fn sum(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(start <= end && end < self.s1.len());
+        self.s1[end] - self.s1[start]
+    }
+
+    /// `Σ t·c_t` over `[start, end)` with **global** indices `t`.
+    #[inline]
+    pub fn sum_t(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(start <= end && end < self.st.len());
+        self.st[end] - self.st[start]
+    }
+
+    /// `Σ u·c_{start+u}` over `[start, end)` with **window-local** indices
+    /// `u = t − start` (the form the paper's equations use).
+    #[inline]
+    pub fn sum_local_t(&self, start: usize, end: usize) -> f64 {
+        self.sum_t(start, end) - start as f64 * self.sum(start, end)
+    }
+
+    /// `Σ c_t²` over `[start, end)`.
+    #[inline]
+    pub fn sum_sq(&self, start: usize, end: usize) -> f64 {
+        debug_assert!(start <= end && end < self.s2.len());
+        self.s2[end] - self.s2[start]
+    }
+
+    /// Validate a half-open window against the covered length.
+    pub fn check_window(&self, start: usize, end: usize) -> Result<()> {
+        if start >= end || end > self.len() {
+            return Err(Error::InvalidWindow { start, end, len: self.len() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        assert_eq!(TimeSeries::new(vec![]), Err(Error::EmptySeries));
+        assert_eq!(
+            TimeSeries::new(vec![1.0, f64::NAN]),
+            Err(Error::NonFiniteSample { index: 1 })
+        );
+        assert_eq!(
+            TimeSeries::new(vec![f64::INFINITY]),
+            Err(Error::NonFiniteSample { index: 0 })
+        );
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let s = ts(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znormalized_has_zero_mean_unit_variance() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0, 10.0]);
+        let z = s.znormalized();
+        assert!(z.mean().abs() < 1e-12);
+        assert!((z.std_dev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn znormalized_constant_series_is_zero() {
+        let s = ts(&[3.0, 3.0, 3.0]);
+        assert_eq!(s.znormalized().values(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let a = ts(&[0.0, 3.0]);
+        let b = ts(&[4.0, 3.0]);
+        assert!((a.euclidean(&b).unwrap() - 4.0).abs() < 1e-12);
+        assert!(a.euclidean(&ts(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn max_abs_diff_matches_hand_computation() {
+        let a = ts(&[0.0, 3.0, -2.0]);
+        let b = ts(&[1.0, 1.0, -2.0]);
+        assert!((a.max_abs_diff(&b).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_sums_windows() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0]);
+        let p = s.prefix_sums();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.sum(0, 4), 10.0);
+        assert_eq!(p.sum(1, 3), 5.0);
+        // global t-weighted: 1*2 + 2*3 = 8
+        assert_eq!(p.sum_t(1, 3), 8.0);
+        // local u-weighted over [1,3): 0*2 + 1*3 = 3
+        assert_eq!(p.sum_local_t(1, 3), 3.0);
+        assert_eq!(p.sum_sq(0, 2), 5.0);
+    }
+
+    #[test]
+    fn window_validation() {
+        let s = ts(&[1.0, 2.0]);
+        let p = s.prefix_sums();
+        assert!(p.check_window(0, 2).is_ok());
+        assert!(p.check_window(1, 1).is_err());
+        assert!(p.check_window(0, 3).is_err());
+    }
+}

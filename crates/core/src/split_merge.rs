@@ -1,0 +1,315 @@
+//! Stage 2 — Split & Merge iteration (Algorithm 4.3).
+//!
+//! First the segment count is driven to exactly `N`: while too many
+//! segments exist, the adjacent pair with the smallest *Reconstruction
+//! Area* (Definition 4.2) is merged; while too few exist, the segment with
+//! the largest upper bound `β_i` is split at the point maximising the
+//! reconstruction area (Section 4.3.2). Then a refinement loop tries
+//! paired split+merge / merge+split moves and keeps them while the sum
+//! upper bound `β` strictly decreases.
+
+use crate::area::reconstruction_area;
+use crate::bounds::{beta_merge, beta_split_left, beta_split_right};
+use crate::fit::LineFit;
+use crate::sapla::BoundMode;
+use crate::work::{total_beta, Ctx, Seg};
+
+/// Run the split & merge iteration until the segmentation has exactly
+/// `n_target` segments (if possible) and paired moves stop improving `β`.
+///
+/// `max_rounds` caps the refinement loop (the paper labels each segment as
+/// split/merged at most once per iteration; a strict-decrease requirement
+/// plus this cap guarantees termination).
+pub(crate) fn split_merge(
+    ctx: &Ctx<'_>,
+    segs: &mut Vec<Seg>,
+    n_target: usize,
+    max_rounds: usize,
+) {
+    // Phase 1: too many segments → merge.
+    while segs.len() > n_target {
+        let i = best_merge_index(ctx, segs).expect("len > 1 so a pair exists");
+        apply_merge(ctx, segs, i);
+    }
+    // Phase 2: too few segments → split.
+    while segs.len() < n_target {
+        let Some(i) = best_split_index(segs) else { break };
+        if !apply_split(ctx, segs, i) {
+            break; // nothing splittable remains
+        }
+    }
+    crate::work::assert_tiling(segs, ctx.values.len());
+
+    // Phase 3: refinement at constant N — try split-then-merge and
+    // merge-then-split, keep the better if it reduces β (Alg. 4.3 l.12-27).
+    if segs.len() != n_target || n_target < 2 {
+        return;
+    }
+    let mut beta = total_beta(segs);
+    for _ in 0..max_rounds {
+        let sm = simulate_split_merge(ctx, segs);
+        let ms = simulate_merge_split(ctx, segs);
+        let best = match (&sm, &ms) {
+            (Some(a), Some(b)) => Some(if a.1 <= b.1 { a } else { b }),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        match best {
+            Some((candidate, cand_beta)) if *cand_beta < beta => {
+                *segs = candidate.clone();
+                beta = *cand_beta;
+            }
+            _ => break,
+        }
+    }
+    crate::work::assert_tiling(segs, ctx.values.len());
+}
+
+/// Index `i` minimising the reconstruction area of merging
+/// `segs[i]` with `segs[i+1]` (the merge threshold `ω^m.top`).
+pub(crate) fn best_merge_index(ctx: &Ctx<'_>, segs: &[Seg]) -> Option<usize> {
+    if segs.len() < 2 {
+        return None;
+    }
+    let mut best = (f64::INFINITY, 0usize);
+    for i in 0..segs.len() - 1 {
+        let merged = ctx.refit(segs[i].start, segs[i + 1].end);
+        let area = reconstruction_area(&segs[i].fit, &segs[i + 1].fit, &merged);
+        if area < best.0 {
+            best = (area, i);
+        }
+    }
+    Some(best.1)
+}
+
+/// Index of the segment with the largest `β_i` among those long enough to
+/// split (the split threshold `ω^s.top`).
+fn best_split_index(segs: &[Seg]) -> Option<usize> {
+    segs.iter()
+        .enumerate()
+        .filter(|(_, s)| s.len() >= 2)
+        .max_by(|(_, a), (_, b)| a.beta.total_cmp(&b.beta))
+        .map(|(i, _)| i)
+}
+
+/// Merge `segs[i]` and `segs[i+1]` in place, with the merge-operation `β`
+/// of Section 4.1.4.
+pub(crate) fn apply_merge(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize) {
+    let (left, right) = (segs[i], segs[i + 1]);
+    let fit = ctx.refit(left.start, right.end);
+    let beta = merge_beta(ctx, &left, &right, &fit);
+    segs[i] = Seg { start: left.start, end: right.end, fit, beta };
+    segs.remove(i + 1);
+}
+
+fn merge_beta(ctx: &Ctx<'_>, left: &Seg, right: &Seg, merged: &LineFit) -> f64 {
+    match ctx.mode {
+        BoundMode::Paper => beta_merge(
+            &ctx.values[left.start..right.end],
+            &left.fit,
+            &right.fit,
+            merged,
+        ),
+        BoundMode::Exact => {
+            crate::bounds::exact_beta(&ctx.values[left.start..right.end], merged)
+        }
+    }
+}
+
+/// Split `segs[i]` at the reconstruction-area peak (Section 4.3.2).
+/// Returns `false` when the segment is too short to split.
+pub(crate) fn apply_split(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize) -> bool {
+    let seg = segs[i];
+    let Some(cut) = find_split_point(ctx, &seg) else { return false };
+    let (l, r) = split_at(ctx, &seg, cut);
+    segs[i] = l;
+    segs.insert(i + 1, r);
+    true
+}
+
+/// The split point maximising the reconstruction area between the long
+/// segment's line and the two candidate sub-fits. Peak finding over all
+/// candidate cuts with `O(1)` work per candidate (cf. the paper's
+/// `O(n − 2·Ĉ.size)` bound for this step).
+fn find_split_point(ctx: &Ctx<'_>, seg: &Seg) -> Option<usize> {
+    if seg.len() < 2 {
+        return None;
+    }
+    // Prefer both halves to keep ≥ 2 points (the paper assumes l > 1);
+    // fall back to length-1 halves only when the segment is that short.
+    let (lo, hi) = if seg.len() >= 4 {
+        (seg.start + 2, seg.end - 2)
+    } else {
+        (seg.start + 1, seg.end - 1)
+    };
+    let mut best: Option<(f64, usize)> = None;
+    for cut in lo..=hi {
+        let left = ctx.refit(seg.start, cut);
+        let right = ctx.refit(cut, seg.end);
+        let area = reconstruction_area(&left, &right, &seg.fit);
+        if best.is_none_or(|(b, _)| area > b) {
+            best = Some((area, cut));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+/// Build the two halves of a split with the split-operation `β` of
+/// Section 4.3.1.
+fn split_at(ctx: &Ctx<'_>, seg: &Seg, cut: usize) -> (Seg, Seg) {
+    let lf = ctx.refit(seg.start, cut);
+    let rf = ctx.refit(cut, seg.end);
+    let (lb, rb) = match ctx.mode {
+        BoundMode::Paper => (
+            beta_split_left(ctx.values[seg.start], ctx.values[cut - 1], &seg.fit, &lf),
+            beta_split_right(
+                ctx.values[cut],
+                ctx.values[seg.end - 1],
+                &seg.fit,
+                &rf,
+                cut - seg.start,
+            ),
+        ),
+        BoundMode::Exact => (
+            crate::bounds::exact_beta(&ctx.values[seg.start..cut], &lf),
+            crate::bounds::exact_beta(&ctx.values[cut..seg.end], &rf),
+        ),
+    };
+    (
+        Seg { start: seg.start, end: cut, fit: lf, beta: lb },
+        Seg { start: cut, end: seg.end, fit: rf, beta: rb },
+    )
+}
+
+/// Candidate: split the max-β segment, then merge the best pair.
+fn simulate_split_merge(ctx: &Ctx<'_>, segs: &[Seg]) -> Option<(Vec<Seg>, f64)> {
+    let mut c = segs.to_vec();
+    let i = best_split_index(&c)?;
+    if !apply_split(ctx, &mut c, i) {
+        return None;
+    }
+    let j = best_merge_index(ctx, &c)?;
+    apply_merge(ctx, &mut c, j);
+    let beta = total_beta(&c);
+    Some((c, beta))
+}
+
+/// Candidate: merge the best pair, then split the max-β segment.
+fn simulate_merge_split(ctx: &Ctx<'_>, segs: &[Seg]) -> Option<(Vec<Seg>, f64)> {
+    let mut c = segs.to_vec();
+    let j = best_merge_index(ctx, &c)?;
+    apply_merge(ctx, &mut c, j);
+    let i = best_split_index(&c)?;
+    if !apply_split(ctx, &mut c, i) {
+        return None;
+    }
+    let beta = total_beta(&c);
+    Some((c, beta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::initialize;
+    use crate::work::to_representation;
+
+    const FIG1: [f64; 20] = [
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
+        2.0, 9.0, 10.0, 10.0,
+    ];
+
+    fn ts(v: &[f64]) -> crate::TimeSeries {
+        crate::TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn reaches_exact_target_count() {
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        for n in 1..=8 {
+            let mut segs = initialize(&ctx, n);
+            split_merge(&ctx, &mut segs, n, 2 * n);
+            assert_eq!(segs.len(), n, "target {n}");
+        }
+    }
+
+    #[test]
+    fn fig1_four_segments_beat_coarse_baselines() {
+        // Paper Fig. 6: after split & merge the example reaches N = 4 with
+        // max deviation ≈ 10.6 (APCA: 18.4, PLA: 19.4 at the same M).
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let mut segs = initialize(&ctx, 4);
+        split_merge(&ctx, &mut segs, 4, 8);
+        let repr = to_representation(&segs);
+        let dev = repr.max_deviation(&ts(&FIG1)).unwrap();
+        assert!(dev < 14.0, "max deviation after split&merge: {dev}");
+    }
+
+    #[test]
+    fn merging_prefers_collinear_neighbours() {
+        // Two perfectly collinear halves plus a corner: the collinear pair
+        // must merge first.
+        let mut v: Vec<f64> = (0..8).map(|t| t as f64).collect();
+        v.extend((0..8).map(|t| 7.0 - t as f64));
+        let ctx = Ctx::new(&v, BoundMode::Paper);
+        let segs = vec![ctx.make_seg(0, 4), ctx.make_seg(4, 8), ctx.make_seg(8, 16)];
+        let i = best_merge_index(&ctx, &segs).unwrap();
+        assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn split_finds_the_corner() {
+        let mut v: Vec<f64> = (0..10).map(|t| t as f64).collect();
+        v.extend((0..10).map(|t| 9.0 - t as f64));
+        let ctx = Ctx::new(&v, BoundMode::Paper);
+        let mut segs = vec![ctx.make_seg(0, 20)];
+        assert!(apply_split(&ctx, &mut segs, 0));
+        assert_eq!(segs.len(), 2);
+        let cut = segs[0].end;
+        assert!((cut as isize - 10).abs() <= 1, "cut at {cut}, corner at 10");
+    }
+
+    #[test]
+    fn refinement_never_increases_beta() {
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let mut segs = initialize(&ctx, 4);
+        split_merge(&ctx, &mut segs, 4, 0); // no refinement
+        let before = total_beta(&segs);
+        let mut refined = segs.clone();
+        split_merge(&ctx, &mut refined, 4, 8); // with refinement
+        assert!(total_beta(&refined) <= before + 1e-9);
+        assert_eq!(refined.len(), 4);
+    }
+
+    #[test]
+    fn splits_grow_a_single_segment_to_target() {
+        // Phase 2 in isolation: start from one segment, reach N by splits.
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let mut segs = vec![ctx.make_seg(0, FIG1.len())];
+        split_merge(&ctx, &mut segs, 5, 0);
+        assert_eq!(segs.len(), 5);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, FIG1.len());
+    }
+
+    #[test]
+    fn unreachable_target_stops_gracefully() {
+        // 6 points cannot support 5 length-≥2 segments forever; splitting
+        // stops when nothing is splittable and coverage stays intact.
+        let v = [1.0, 9.0, 2.0, 8.0, 3.0, 7.0];
+        let ctx = Ctx::new(&v, BoundMode::Paper);
+        let mut segs = vec![ctx.make_seg(0, 6)];
+        split_merge(&ctx, &mut segs, 5, 0);
+        assert!(!segs.is_empty() && segs.len() <= 5);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, 6);
+    }
+
+    #[test]
+    fn exact_mode_also_terminates() {
+        let ctx = Ctx::new(&FIG1, BoundMode::Exact);
+        let mut segs = initialize(&ctx, 5);
+        split_merge(&ctx, &mut segs, 5, 10);
+        assert_eq!(segs.len(), 5);
+    }
+}

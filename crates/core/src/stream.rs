@@ -1,0 +1,295 @@
+//! Streaming SAPLA — an online variant built from the same `O(1)`
+//! machinery (an extension; the paper reduces stored series offline but
+//! its Eq. 2 increment and merge bounds make the online form natural).
+//!
+//! [`StreamingSapla`] consumes points one at a time and maintains an
+//! adaptive piecewise-linear sketch of everything seen so far:
+//!
+//! * each new point extends the active segment via [`SegStats::push_right`]
+//!   (the paper's Eq. 2) in `O(1)`;
+//! * when the point's *Increment Area* (Definition 4.1) exceeds an
+//!   adaptive threshold — the running mean area times
+//!   [`StreamingSapla::sensitivity`] — a new segment starts;
+//! * whenever more than `2·N` segments accumulate, adjacent pairs with the
+//!   smallest *Reconstruction Area* (Definition 4.2) are merged back to
+//!   `N`, exactly like stage 2 of the offline algorithm.
+//!
+//! Amortised cost per point is `O(1)` fitting work plus occasional `O(N)`
+//! merge sweeps; memory is `O(N)` — the sketch never stores the raw
+//! stream.
+
+use crate::area::{increment_area, reconstruction_area};
+use crate::equations::eq3_eq4_merge;
+use crate::error::{Error, Result};
+use crate::fit::SegStats;
+use crate::repr::{LinearSegment, PiecewiseLinear};
+
+/// One closed segment of the sketch: sufficient statistics plus its
+/// global start offset.
+#[derive(Debug, Clone, Copy)]
+struct StreamSeg {
+    start: usize,
+    stats: SegStats,
+}
+
+impl StreamSeg {
+    fn fit(&self) -> crate::fit::LineFit {
+        self.stats.fit()
+    }
+}
+
+/// An online SAPLA sketch over an unbounded stream.
+///
+/// ```
+/// use sapla_core::stream::StreamingSapla;
+///
+/// let mut sketch = StreamingSapla::new(4);
+/// for t in 0..1000 {
+///     sketch.push((t as f64 * 0.01).sin() * 5.0);
+/// }
+/// let repr = sketch.representation().unwrap();
+/// assert!(repr.num_segments() <= 8);
+/// assert_eq!(repr.series_len(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingSapla {
+    target: usize,
+    sensitivity: f64,
+    segs: Vec<StreamSeg>,
+    /// The segment currently absorbing points.
+    active: Option<StreamSeg>,
+    /// Running mean of observed increment areas (the adaptive threshold).
+    area_sum: f64,
+    area_count: u64,
+    len: usize,
+}
+
+impl StreamingSapla {
+    /// A sketch targeting `n_segments` segments (hard cap `2·n_segments`
+    /// before a merge sweep runs).
+    pub fn new(n_segments: usize) -> StreamingSapla {
+        Self::with_sensitivity(n_segments, 4.0)
+    }
+
+    /// Control the cut threshold: a new segment starts when a point's
+    /// increment area exceeds `sensitivity ×` the running mean area.
+    /// Lower values cut more eagerly (more, shorter segments between
+    /// merge sweeps).
+    pub fn with_sensitivity(n_segments: usize, sensitivity: f64) -> StreamingSapla {
+        StreamingSapla {
+            target: n_segments.max(1),
+            sensitivity: sensitivity.max(1.0),
+            segs: Vec::new(),
+            active: None,
+            area_sum: 0.0,
+            area_count: 0,
+            len: 0,
+        }
+    }
+
+    /// The configured segment target `N`.
+    pub fn target_segments(&self) -> usize {
+        self.target
+    }
+
+    /// The configured cut sensitivity.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// Points consumed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` before the first point arrives.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Consume one point.
+    pub fn push(&mut self, value: f64) {
+        self.len += 1;
+        let Some(active) = self.active.as_mut() else {
+            self.active =
+                Some(StreamSeg { start: self.len - 1, stats: SegStats::single(value) });
+            return;
+        };
+        if active.stats.len < 2 {
+            active.stats = active.stats.push_right(value);
+            return;
+        }
+        let old_fit = active.stats.fit();
+        let new_stats = active.stats.push_right(value);
+        let area = increment_area(&old_fit, &new_stats.fit());
+
+        let mean = if self.area_count == 0 {
+            f64::INFINITY
+        } else {
+            self.area_sum / self.area_count as f64
+        };
+        self.area_sum += area;
+        self.area_count += 1;
+
+        if area > self.sensitivity * mean && self.area_count > 4 {
+            // Close the active segment and start fresh at this point.
+            let closed = *active;
+            self.segs.push(closed);
+            self.active =
+                Some(StreamSeg { start: self.len - 1, stats: SegStats::single(value) });
+            if self.segs.len() > 2 * self.target {
+                self.merge_sweep();
+            }
+        } else {
+            active.stats = new_stats;
+        }
+    }
+
+    /// Consume a batch of points.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.push(v);
+        }
+    }
+
+    /// Merge closed segments down to the target count, cheapest
+    /// reconstruction-area pairs first (stage-2 machinery).
+    fn merge_sweep(&mut self) {
+        while self.segs.len() > self.target {
+            let mut best = (f64::INFINITY, 0usize);
+            for i in 0..self.segs.len() - 1 {
+                let l = self.segs[i].fit();
+                let r = self.segs[i + 1].fit();
+                let merged = eq3_eq4_merge(&l, &r);
+                let area = reconstruction_area(&l, &r, &merged);
+                if area < best.0 {
+                    best = (area, i);
+                }
+            }
+            let i = best.1;
+            let merged_stats = self.segs[i].stats.merge_right(&self.segs[i + 1].stats);
+            self.segs[i].stats = merged_stats;
+            self.segs.remove(i + 1);
+        }
+    }
+
+    /// The current sketch as a representation covering every point seen.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptySeries`] before the first point.
+    pub fn representation(&self) -> Result<PiecewiseLinear> {
+        if self.len == 0 {
+            return Err(Error::EmptySeries);
+        }
+        let mut segs: Vec<LinearSegment> = Vec::with_capacity(self.segs.len() + 1);
+        for s in self.segs.iter().chain(self.active.as_ref()) {
+            let fit = s.fit();
+            segs.push(LinearSegment {
+                a: fit.a,
+                b: fit.b,
+                r: s.start + s.stats.len - 1,
+            });
+        }
+        PiecewiseLinear::new(segs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::TimeSeries;
+
+    #[test]
+    fn empty_and_single_point() {
+        let mut s = StreamingSapla::new(4);
+        assert!(s.is_empty());
+        assert!(s.representation().is_err());
+        s.push(3.0);
+        let rep = s.representation().unwrap();
+        assert_eq!(rep.series_len(), 1);
+        assert_eq!(rep.reconstruct().values(), &[3.0]);
+    }
+
+    #[test]
+    fn covers_stream_contiguously() {
+        let mut s = StreamingSapla::new(5);
+        for t in 0..500 {
+            s.push(((t as f64) * 0.07).sin() * 3.0 + ((t / 100) as f64) * 2.0);
+        }
+        let rep = s.representation().unwrap();
+        assert_eq!(rep.series_len(), 500);
+        assert!(rep.num_segments() <= 2 * 5 + 1);
+        // Endpoints strictly increase by construction (PiecewiseLinear::new
+        // validated) — reconstruct to double-check coverage.
+        assert_eq!(rep.reconstruct().len(), 500);
+    }
+
+    #[test]
+    fn piecewise_linear_stream_is_sketched_exactly() {
+        // Three long linear regimes → the sketch should track them with
+        // near-zero deviation.
+        let mut values = Vec::new();
+        for t in 0..120 {
+            values.push(0.5 * t as f64);
+        }
+        for t in 0..120 {
+            values.push(60.0 - 0.8 * t as f64);
+        }
+        for t in 0..120 {
+            values.push(-36.0 + 0.2 * t as f64);
+        }
+        let mut s = StreamingSapla::new(3);
+        s.extend(values.iter().copied());
+        let rep = s.representation().unwrap();
+        let ts = TimeSeries::new(values).unwrap();
+        let dev = rep.max_deviation(&ts).unwrap();
+        assert!(dev < 1.0, "streaming sketch deviation {dev}");
+    }
+
+    #[test]
+    fn segment_budget_is_respected_forever() {
+        let mut s = StreamingSapla::new(4);
+        for t in 0..5000 {
+            // Adversarial: frequent regime changes.
+            let v = if (t / 37) % 2 == 0 { (t % 37) as f64 } else { -((t % 37) as f64) };
+            s.push(v);
+            assert!(s.segs.len() <= 2 * 4 + 1, "unbounded segment growth at t={t}");
+        }
+        assert_eq!(s.len(), 5000);
+        let rep = s.representation().unwrap();
+        assert!(rep.num_segments() <= 9);
+    }
+
+    #[test]
+    fn matches_offline_quality_ballpark() {
+        // The online sketch cannot beat offline SAPLA, but it must stay
+        // within a small factor on smooth data.
+        let values: Vec<f64> =
+            (0..600).map(|t| (t as f64 * 0.02).sin() * 10.0).collect();
+        let ts = TimeSeries::new(values.clone()).unwrap();
+        let offline = crate::sapla::Sapla::with_segments(6).reduce(&ts).unwrap();
+        let mut s = StreamingSapla::new(6);
+        s.extend(values);
+        let online = s.representation().unwrap();
+        let off_dev = offline.max_deviation(&ts).unwrap();
+        let on_dev = online.max_deviation(&ts).unwrap();
+        assert!(
+            on_dev <= (off_dev * 4.0).max(1.0),
+            "online {on_dev} vs offline {off_dev}"
+        );
+    }
+
+    #[test]
+    fn sensitivity_controls_cut_rate() {
+        let values: Vec<f64> = (0..800)
+            .map(|t| (t as f64 * 0.05).sin() * 4.0 + 0.3 * ((t * 7919) % 13) as f64)
+            .collect();
+        let mut eager = StreamingSapla::with_sensitivity(6, 1.0);
+        let mut lazy = StreamingSapla::with_sensitivity(6, 50.0);
+        eager.extend(values.iter().copied());
+        lazy.extend(values.iter().copied());
+        // The lazy sketch cuts less, so it carries fewer closed segments.
+        assert!(lazy.segs.len() <= eager.segs.len() + lazy.target);
+    }
+}

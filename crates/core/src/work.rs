@@ -1,0 +1,159 @@
+//! Internal working state shared by the three SAPLA stages.
+
+use crate::bounds;
+use crate::fit::LineFit;
+use crate::repr::{LinearSegment, PiecewiseLinear};
+use crate::sapla::BoundMode;
+use crate::series::PrefixSums;
+
+/// A working segment over the half-open global window `[start, end)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Seg {
+    pub start: usize,
+    pub end: usize,
+    pub fit: LineFit,
+    /// Segment upper bound `β_i` (Definition 3.5).
+    pub beta: f64,
+}
+
+impl Seg {
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// Immutable per-reduction context: the original series, its prefix sums
+/// (for `O(1)` window refits) and the bound mode.
+pub(crate) struct Ctx<'a> {
+    pub values: &'a [f64],
+    pub sums: PrefixSums,
+    pub mode: BoundMode,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(values: &'a [f64], mode: BoundMode) -> Self {
+        Ctx { values, sums: PrefixSums::new(values), mode }
+    }
+
+    /// Exact least-squares fit of `[start, end)` in `O(1)`.
+    #[inline]
+    pub fn refit(&self, start: usize, end: usize) -> LineFit {
+        LineFit::over_window(&self.sums, start, end)
+            .expect("stage windows are always in range")
+    }
+
+    /// Generic `β` for a segment whose previous reconstruction was the line
+    /// `reference` (with `ref_offset` = the old line's local coordinate of
+    /// the new window's first point). With no reference the bound degrades
+    /// to the original-vs-fit endpoint differences.
+    ///
+    /// In [`BoundMode::Exact`] this is the segment's exact max deviation
+    /// scaled by `len − 1` (see [`bounds::exact_beta`]).
+    pub fn beta(
+        &self,
+        start: usize,
+        end: usize,
+        fit: &LineFit,
+        reference: Option<(&LineFit, isize)>,
+    ) -> f64 {
+        let window = &self.values[start..end];
+        match self.mode {
+            BoundMode::Exact => bounds::exact_beta(window, fit),
+            BoundMode::Paper => {
+                let l = end - start;
+                let refv = |u: usize| match reference {
+                    Some((rf, off)) => rf.extended_value_at(u as f64 + off as f64),
+                    None => fit.value_at(u),
+                };
+                let m = bounds::get_max(&[
+                    (window[0], fit.b, refv(0)),
+                    (window[l - 1], fit.value_at(l - 1), refv(l - 1)),
+                ]);
+                m * (l - 1) as f64
+            }
+        }
+    }
+
+    /// Build a segment with a fresh fit and a reference-free `β`.
+    pub fn make_seg(&self, start: usize, end: usize) -> Seg {
+        let fit = self.refit(start, end);
+        let beta = self.beta(start, end, &fit, None);
+        Seg { start, end, fit, beta }
+    }
+}
+
+/// Sum upper bound `β = Σ β_i` (Definition 3.5).
+#[inline]
+pub(crate) fn total_beta(segs: &[Seg]) -> f64 {
+    segs.iter().map(|s| s.beta).sum()
+}
+
+/// Convert working segments into the public representation.
+pub(crate) fn to_representation(segs: &[Seg]) -> PiecewiseLinear {
+    PiecewiseLinear::new(
+        segs.iter()
+            .map(|s| LinearSegment { a: s.fit.a, b: s.fit.b, r: s.end - 1 })
+            .collect(),
+    )
+    .expect("working segmentation is contiguous and ordered")
+}
+
+/// Debug-only invariant check: segments tile `[0, n)` contiguously.
+#[cfg(debug_assertions)]
+pub(crate) fn assert_tiling(segs: &[Seg], n: usize) {
+    assert!(!segs.is_empty());
+    assert_eq!(segs[0].start, 0);
+    assert_eq!(segs.last().unwrap().end, n);
+    for w in segs.windows(2) {
+        assert_eq!(w[0].end, w[1].start, "segments must tile contiguously");
+    }
+    for s in segs {
+        assert!(s.len() >= 1);
+        assert_eq!(s.fit.len, s.len());
+    }
+}
+
+#[cfg(not(debug_assertions))]
+pub(crate) fn assert_tiling(_segs: &[Seg], _n: usize) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sapla::BoundMode;
+
+    const V: [f64; 10] = [1.0, 3.0, 2.0, 8.0, 7.0, 7.5, 2.0, 1.0, 0.0, 4.0];
+
+    #[test]
+    fn make_seg_is_consistent_in_both_modes() {
+        for mode in [BoundMode::Paper, BoundMode::Exact] {
+            let ctx = Ctx::new(&V, mode);
+            let seg = ctx.make_seg(2, 8);
+            assert_eq!(seg.len(), 6);
+            assert_eq!(seg.fit.len, 6);
+            assert!(seg.beta.is_finite() && seg.beta >= 0.0);
+        }
+    }
+
+    #[test]
+    fn exact_beta_upper_bounds_paper_free_variant_on_fit_window() {
+        // With no reference line, the paper bound only sees endpoint
+        // differences — exact mode sees the whole window, so on a window
+        // whose interior deviates most, exact ≥ paper.
+        let v = [0.0, 10.0, 0.0]; // fit is flat-ish; interior point huge
+        let paper = Ctx::new(&v, BoundMode::Paper);
+        let exact = Ctx::new(&v, BoundMode::Exact);
+        let ps = paper.make_seg(0, 3);
+        let es = exact.make_seg(0, 3);
+        assert!(es.beta >= ps.beta - 1e-9, "exact {} < paper {}", es.beta, ps.beta);
+    }
+
+    #[test]
+    fn total_beta_sums() {
+        let ctx = Ctx::new(&V, BoundMode::Exact);
+        let segs = vec![ctx.make_seg(0, 5), ctx.make_seg(5, 10)];
+        let total = total_beta(&segs);
+        assert!((total - (segs[0].beta + segs[1].beta)).abs() < 1e-12);
+        assert_tiling(&segs, 10);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests over the core fitting / equation / SAPLA
+//! machinery.
+
+use proptest::prelude::*;
+use sapla_core::area::{area_between_lines, increment_area, reconstruction_area};
+use sapla_core::equations::*;
+use sapla_core::sapla::{BoundMode, Sapla, SaplaConfig};
+use sapla_core::{LineFit, SegStats, TimeSeries};
+
+fn approx(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6 * (1.0 + a.abs().max(b.abs()))
+}
+
+fn window() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, 3..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq. 1 equals the prefix-sum fit on any window.
+    #[test]
+    fn eq1_equals_reference_fit(v in window()) {
+        let a = eq1_fit(&v);
+        let b = LineFit::over_slice(&v);
+        prop_assert!(approx(a.a, b.a) && approx(a.b, b.b));
+    }
+
+    /// The closed-form increments/decrements equal direct refits.
+    #[test]
+    fn incremental_equations_are_exact(v in window()) {
+        let n = v.len();
+        let fit = LineFit::over_slice(&v[..n - 1]);
+        prop_assert!(fits_eq(&eq2_increment(&fit, v[n - 1]), &LineFit::over_slice(&v)));
+        let full = LineFit::over_slice(&v);
+        prop_assert!(fits_eq(&eq9_decrease_right(&full, v[n - 1]),
+                             &LineFit::over_slice(&v[..n - 1])));
+        prop_assert!(fits_eq(&eq11_shrink_left(&full, v[0]),
+                             &LineFit::over_slice(&v[1..])));
+        let tail = LineFit::over_slice(&v[1..]);
+        prop_assert!(fits_eq(&eq10_extend_left(&tail, v[0]), &full));
+    }
+
+    /// Merge/split closed forms invert each other at any cut.
+    #[test]
+    fn merge_split_roundtrip(v in window(), cut_frac in 0.2f64..0.8) {
+        let cut = ((v.len() as f64 * cut_frac) as usize).clamp(1, v.len() - 1);
+        let left = LineFit::over_slice(&v[..cut]);
+        let right = LineFit::over_slice(&v[cut..]);
+        let merged = eq3_eq4_merge(&left, &right);
+        prop_assert!(fits_eq(&merged, &LineFit::over_slice(&v)));
+        if cut >= 1 && v.len() - cut >= 1 {
+            prop_assert!(fits_eq(&eq5_eq6_split_left(&merged, &right), &left));
+            prop_assert!(fits_eq(&eq7_eq8_split_right(&merged, &left), &right));
+        }
+    }
+
+    /// SegStats edits commute with direct fits under composition.
+    #[test]
+    fn segstats_composition(v in window()) {
+        let mut stats = SegStats::single(v[0]);
+        for &x in &v[1..] {
+            stats = stats.push_right(x);
+        }
+        prop_assert!(fits_eq(&stats.fit(), &LineFit::over_slice(&v)));
+        // Pop everything back off the left.
+        let mut stats2 = stats;
+        for &x in &v[..v.len() - 1] {
+            if stats2.len >= 2 {
+                stats2 = stats2.pop_left(x);
+            }
+        }
+        prop_assert!(approx(stats2.sum_c, *v.last().unwrap()));
+    }
+
+    /// Areas are non-negative and zero only for identical lines.
+    #[test]
+    fn areas_are_nonnegative(
+        a1 in -5.0f64..5.0, b1 in -50.0f64..50.0,
+        a2 in -5.0f64..5.0, b2 in -50.0f64..50.0,
+        span in 1.0f64..60.0,
+    ) {
+        let area = area_between_lines(a1, b1, a2, b2, 0.0, span);
+        prop_assert!(area >= 0.0);
+        prop_assert!(approx(area_between_lines(a1, b1, a1, b1, 0.0, span), 0.0));
+        // Symmetry.
+        prop_assert!(approx(area, area_between_lines(a2, b2, a1, b1, 0.0, span)));
+    }
+
+    /// Increment area is zero iff the new point lies on the fitted line.
+    #[test]
+    fn increment_area_zero_iff_collinear(v in window()) {
+        let fit = LineFit::over_slice(&v);
+        let on_line = fit.extended_value();
+        let new = eq2_increment(&fit, on_line);
+        prop_assert!(increment_area(&fit, &new).abs() < 1e-6);
+        let off = eq2_increment(&fit, on_line + 10.0);
+        prop_assert!(increment_area(&fit, &off) > 1e-6);
+    }
+
+    /// Reconstruction area of collinear halves is zero.
+    #[test]
+    fn reconstruction_area_collinear(a in -3.0f64..3.0, b in -20.0f64..20.0,
+                                     len in 6usize..40, cut_frac in 0.3f64..0.7) {
+        let v: Vec<f64> = (0..len).map(|u| a * u as f64 + b).collect();
+        let cut = ((len as f64 * cut_frac) as usize).clamp(2, len - 2);
+        let left = LineFit::over_slice(&v[..cut]);
+        let right = LineFit::over_slice(&v[cut..]);
+        let merged = eq3_eq4_merge(&left, &right);
+        prop_assert!(reconstruction_area(&left, &right, &merged).abs() < 1e-6);
+    }
+
+    /// SAPLA output invariants on arbitrary series: exact segment count,
+    /// contiguous coverage, finite deviation, determinism.
+    #[test]
+    fn sapla_invariants(v in proptest::collection::vec(-50.0f64..50.0, 24..200),
+                        n_segs in 1usize..8) {
+        let ts = TimeSeries::new(v).unwrap();
+        let reducer = Sapla::with_segments(n_segs);
+        let rep = reducer.reduce(&ts).unwrap();
+        prop_assert_eq!(rep.num_segments(), n_segs.min(ts.len() / 2).max(1));
+        prop_assert_eq!(rep.series_len(), ts.len());
+        let dev = rep.max_deviation(&ts).unwrap();
+        prop_assert!(dev.is_finite() && dev >= 0.0);
+        prop_assert_eq!(rep, reducer.reduce(&ts).unwrap());
+    }
+
+    /// Exact-bound mode shares the invariants.
+    #[test]
+    fn sapla_exact_mode_invariants(v in proptest::collection::vec(-50.0f64..50.0, 24..120)) {
+        let ts = TimeSeries::new(v).unwrap();
+        let cfg = SaplaConfig { bound_mode: BoundMode::Exact, ..SaplaConfig::default() };
+        let rep = Sapla::with_segments(4).with_config(cfg).reduce(&ts).unwrap();
+        prop_assert_eq!(rep.num_segments(), 4);
+        prop_assert!(rep.max_deviation(&ts).unwrap().is_finite());
+    }
+
+    /// Partition onto a refinement never changes the reconstruction.
+    #[test]
+    fn partition_preserves_curve(v in proptest::collection::vec(-50.0f64..50.0, 24..120),
+                                 extra in proptest::collection::vec(1usize..119, 1..6)) {
+        let ts = TimeSeries::new(v).unwrap();
+        let rep = Sapla::with_segments(3).reduce(&ts).unwrap();
+        let mut cuts: Vec<usize> = rep.endpoints();
+        for e in extra {
+            if e < ts.len() - 1 {
+                cuts.push(e);
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        let part = rep.partition(&cuts).unwrap();
+        let a = rep.reconstruct();
+        let b = part.reconstruct();
+        for (x, y) in a.values().iter().zip(b.values()) {
+            prop_assert!(approx(*x, *y));
+        }
+    }
+}
+
+fn fits_eq(a: &LineFit, b: &LineFit) -> bool {
+    a.len == b.len && approx(a.a, b.a) && approx(a.b, b.b)
+}

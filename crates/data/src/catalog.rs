@@ -1,0 +1,113 @@
+//! The 117-dataset synthetic catalogue standing in for UCR-2018.
+
+use crate::dataset::{Dataset, Protocol};
+use crate::generators::{generate, Family};
+
+/// Number of datasets in the catalogue — the count of equal-length UCR-2018
+/// datasets the paper evaluates.
+pub const CATALOGUE_SIZE: usize = 117;
+
+/// One named dataset specification: a generator family, a parameter
+/// variant and a base seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Stable dataset name, e.g. `"Burst_07"`.
+    pub name: String,
+    /// Generator family.
+    pub family: Family,
+    /// Dataset-level parameter variant.
+    pub variant: u64,
+    /// Base seed; series `i` of the dataset uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl DatasetSpec {
+    /// Materialise the dataset under an evaluation protocol.
+    pub fn load(&self, protocol: &Protocol) -> Dataset {
+        let mut series = Vec::with_capacity(protocol.series_per_dataset);
+        for i in 0..protocol.series_per_dataset {
+            series.push(generate(
+                self.family,
+                self.variant,
+                self.base_seed + i as u64,
+                protocol.series_len,
+            ));
+        }
+        let mut queries = Vec::with_capacity(protocol.queries_per_dataset);
+        for i in 0..protocol.queries_per_dataset {
+            queries.push(generate(
+                self.family,
+                self.variant,
+                self.base_seed + 1_000_000 + i as u64,
+                protocol.series_len,
+            ));
+        }
+        Dataset { name: self.name.clone(), series, queries }
+    }
+}
+
+/// The full 117-dataset catalogue: families are interleaved (round-robin)
+/// with increasing parameter variants, so any prefix of the catalogue is
+/// family-balanced — `SAPLA_DATASETS=24` still sees all eight regimes.
+pub fn catalogue() -> Vec<DatasetSpec> {
+    let mut out = Vec::with_capacity(CATALOGUE_SIZE);
+    let mut counters = [0u64; 8];
+    for i in 0..CATALOGUE_SIZE {
+        let fi = i % Family::ALL.len();
+        let family = Family::ALL[fi];
+        let variant = counters[fi];
+        counters[fi] += 1;
+        out.push(DatasetSpec {
+            name: format!("{}_{:02}", family.name(), variant),
+            family,
+            variant,
+            base_seed: (i as u64 + 1) * 7919,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_117_unique_names() {
+        let cat = catalogue();
+        assert_eq!(cat.len(), 117);
+        let mut names: Vec<&str> = cat.iter().map(|d| d.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 117);
+    }
+
+    #[test]
+    fn any_prefix_is_family_balanced() {
+        let cat = catalogue();
+        let prefix = &cat[..24];
+        for family in Family::ALL {
+            let count = prefix.iter().filter(|d| d.family == family).count();
+            assert_eq!(count, 3, "{} appears {count} times in prefix", family.name());
+        }
+    }
+
+    #[test]
+    fn load_respects_protocol() {
+        let spec = &catalogue()[5];
+        let protocol =
+            Protocol { series_len: 128, series_per_dataset: 7, queries_per_dataset: 2 };
+        let ds = spec.load(&protocol);
+        assert_eq!(ds.series.len(), 7);
+        assert_eq!(ds.queries.len(), 2);
+        assert!(ds.series.iter().all(|s| s.len() == 128));
+        // Queries are distinct from the database series.
+        assert!(ds.series.iter().all(|s| s != &ds.queries[0]));
+    }
+
+    #[test]
+    fn loads_are_deterministic() {
+        let spec = &catalogue()[40];
+        let p = Protocol { series_len: 64, series_per_dataset: 3, queries_per_dataset: 1 };
+        assert_eq!(spec.load(&p).series, spec.load(&p).series);
+    }
+}

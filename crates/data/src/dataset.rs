@@ -1,0 +1,107 @@
+//! Materialised datasets and the paper's evaluation protocol.
+
+use sapla_core::TimeSeries;
+
+/// The evaluation protocol of Section 6: series length, database size and
+/// query count per dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Protocol {
+    /// Length `n` of every series (paper: 1024).
+    pub series_len: usize,
+    /// Database series per dataset (paper: 100).
+    pub series_per_dataset: usize,
+    /// Query series per dataset (paper: 5).
+    pub queries_per_dataset: usize,
+}
+
+impl Protocol {
+    /// The paper's full protocol: `n = 1024`, 100 series, 5 queries.
+    pub fn paper() -> Self {
+        Protocol { series_len: 1024, series_per_dataset: 100, queries_per_dataset: 5 }
+    }
+
+    /// A scaled-down protocol for quick runs and CI.
+    pub fn quick() -> Self {
+        Protocol { series_len: 256, series_per_dataset: 24, queries_per_dataset: 3 }
+    }
+}
+
+/// A materialised dataset: database series plus query series, all
+/// z-normalised and equal-length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset name (catalogue name or UCR directory name).
+    pub name: String,
+    /// Database series.
+    pub series: Vec<TimeSeries>,
+    /// Query series (never members of `series`).
+    pub queries: Vec<TimeSeries>,
+}
+
+impl Dataset {
+    /// Length `n` of the series in this dataset.
+    pub fn series_len(&self) -> usize {
+        self.series.first().map_or(0, TimeSeries::len)
+    }
+
+    /// Exact k-nearest-neighbour ids of `query` under Euclidean distance
+    /// (the ground truth for the accuracy metric, Eq. 15).
+    pub fn exact_knn(&self, query: &TimeSeries, k: usize) -> Vec<usize> {
+        let mut dists: Vec<(f64, usize)> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (query.euclidean(s).expect("protocol guarantees equal length"), i))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        dists.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::catalogue;
+
+    #[test]
+    fn protocols() {
+        let p = Protocol::paper();
+        assert_eq!((p.series_len, p.series_per_dataset, p.queries_per_dataset), (1024, 100, 5));
+        assert!(Protocol::quick().series_len < p.series_len);
+    }
+
+    #[test]
+    fn exact_knn_orders_by_distance() {
+        let spec = &catalogue()[0];
+        let ds = spec.load(&Protocol {
+            series_len: 64,
+            series_per_dataset: 12,
+            queries_per_dataset: 1,
+        });
+        let knn = ds.exact_knn(&ds.queries[0], 4);
+        assert_eq!(knn.len(), 4);
+        let d = |i: usize| ds.queries[0].euclidean(&ds.series[i]).unwrap();
+        for w in knn.windows(2) {
+            assert!(d(w[0]) <= d(w[1]));
+        }
+        // The 4th neighbour is at most as close as any non-neighbour.
+        let worst = d(knn[3]);
+        for i in 0..ds.series.len() {
+            if !knn.contains(&i) {
+                assert!(d(i) >= worst - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_is_its_own_nearest_neighbour() {
+        let spec = &catalogue()[9];
+        let mut ds = spec.load(&Protocol {
+            series_len: 32,
+            series_per_dataset: 6,
+            queries_per_dataset: 1,
+        });
+        ds.queries[0] = ds.series[3].clone();
+        assert_eq!(ds.exact_knn(&ds.queries[0], 1), vec![3]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Seeded synthetic time-series generators covering the UCR-2018 regimes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sapla_core::TimeSeries;
+
+/// The eight signal families of the synthetic catalogue (see crate docs
+/// and DESIGN.md for the mapping onto UCR regimes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Clean sinusoid with slowly varying amplitude (sensor-like).
+    SmoothPeriodic,
+    /// Sinusoid plus substantial white noise (device measurements).
+    NoisyPeriodic,
+    /// Integrated white noise (stock/sensor-drift-like).
+    RandomWalk,
+    /// Random plateaus with abrupt switches (power/device states).
+    PiecewiseConstant,
+    /// Linear trend plus seasonality and noise.
+    RampTrend,
+    /// Regularly changing slopes with random turning points — the paper's
+    /// "EOG-like" stress case for adaptive segmentation.
+    Burst,
+    /// Sparse large spikes on a quiet baseline (ECG-like).
+    SpikeTrain,
+    /// Sum of several incommensurate harmonics.
+    MixedHarmonic,
+}
+
+impl Family {
+    /// All families, in catalogue order.
+    pub const ALL: [Family; 8] = [
+        Family::SmoothPeriodic,
+        Family::NoisyPeriodic,
+        Family::RandomWalk,
+        Family::PiecewiseConstant,
+        Family::RampTrend,
+        Family::Burst,
+        Family::SpikeTrain,
+        Family::MixedHarmonic,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::SmoothPeriodic => "SmoothPeriodic",
+            Family::NoisyPeriodic => "NoisyPeriodic",
+            Family::RandomWalk => "RandomWalk",
+            Family::PiecewiseConstant => "PiecewiseConstant",
+            Family::RampTrend => "RampTrend",
+            Family::Burst => "Burst",
+            Family::SpikeTrain => "SpikeTrain",
+            Family::MixedHarmonic => "MixedHarmonic",
+        }
+    }
+}
+
+/// Standard-normal sample via Box–Muller (rand's core crate has no normal
+/// distribution; this keeps the dependency list minimal).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generate one **z-normalised** series of length `n`.
+///
+/// `variant` selects the dataset-level parameters (frequency, noise level,
+/// switching rate, …) and `seed` the per-series randomness; the same
+/// `(family, variant, seed, n)` always produces the same series.
+pub fn generate(family: Family, variant: u64, seed: u64, n: usize) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(
+        0x5A91_u64
+            .wrapping_mul(1_000_003)
+            .wrapping_add(variant)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(seed),
+    );
+    let values = match family {
+        Family::SmoothPeriodic => smooth_periodic(&mut rng, variant, n),
+        Family::NoisyPeriodic => noisy_periodic(&mut rng, variant, n),
+        Family::RandomWalk => random_walk(&mut rng, n),
+        Family::PiecewiseConstant => piecewise_constant(&mut rng, variant, n),
+        Family::RampTrend => ramp_trend(&mut rng, variant, n),
+        Family::Burst => burst(&mut rng, variant, n),
+        Family::SpikeTrain => spike_train(&mut rng, variant, n),
+        Family::MixedHarmonic => mixed_harmonic(&mut rng, variant, n),
+    };
+    TimeSeries::new(values).expect("generators produce finite samples").znormalized()
+}
+
+fn smooth_periodic(rng: &mut StdRng, variant: u64, n: usize) -> Vec<f64> {
+    let freq = 2.0 * std::f64::consts::PI * (1.5 + variant as f64 * 0.7) / n as f64;
+    let phase: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+    let amp_mod = rng.random_range(0.1..0.4);
+    (0..n)
+        .map(|t| {
+            let x = t as f64;
+            (freq * x + phase).sin() * (1.0 + amp_mod * (freq * 0.23 * x).sin())
+        })
+        .collect()
+}
+
+fn noisy_periodic(rng: &mut StdRng, variant: u64, n: usize) -> Vec<f64> {
+    let clean = smooth_periodic(rng, variant, n);
+    let noise = 0.15 + 0.05 * (variant % 5) as f64;
+    clean.into_iter().map(|v| v + noise * normal(rng)).collect()
+}
+
+fn random_walk(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    let mut acc = 0.0f64;
+    (0..n)
+        .map(|_| {
+            acc += normal(rng);
+            acc
+        })
+        .collect()
+}
+
+fn piecewise_constant(rng: &mut StdRng, variant: u64, n: usize) -> Vec<f64> {
+    let mean_len = (n / (6 + (variant % 7) as usize)).max(4);
+    let mut out = Vec::with_capacity(n);
+    let mut level = normal(rng) * 2.0;
+    let mut remaining = 0usize;
+    for _ in 0..n {
+        if remaining == 0 {
+            remaining = rng.random_range(mean_len / 2..=mean_len * 3 / 2).max(2);
+            level = normal(rng) * 2.0;
+        }
+        out.push(level + 0.02 * normal(rng));
+        remaining -= 1;
+    }
+    out
+}
+
+fn ramp_trend(rng: &mut StdRng, variant: u64, n: usize) -> Vec<f64> {
+    let slope = (0.5 + (variant % 4) as f64) / n as f64 * 8.0;
+    let freq = 2.0 * std::f64::consts::PI * (2.0 + (variant % 3) as f64) / n as f64;
+    let noise = 0.1;
+    (0..n)
+        .map(|t| {
+            let x = t as f64;
+            slope * x + 0.6 * (freq * x).sin() + noise * normal(rng)
+        })
+        .collect()
+}
+
+fn burst(rng: &mut StdRng, variant: u64, n: usize) -> Vec<f64> {
+    // EOG-like: straight runs whose slope re-randomises at random turning
+    // points — "regularly changed time series" in the paper's words.
+    let mean_run = (n / (10 + (variant % 8) as usize)).max(3);
+    let mut out = Vec::with_capacity(n);
+    let mut value = 0.0f64;
+    let mut slope = normal(rng) * 0.3;
+    let mut remaining = 0usize;
+    for _ in 0..n {
+        if remaining == 0 {
+            remaining = rng.random_range(mean_run / 2..=mean_run * 3 / 2).max(2);
+            slope = normal(rng) * 0.3;
+        }
+        value += slope;
+        out.push(value + 0.01 * normal(rng));
+        remaining -= 1;
+    }
+    out
+}
+
+fn spike_train(rng: &mut StdRng, variant: u64, n: usize) -> Vec<f64> {
+    let period = (n / (8 + (variant % 6) as usize)).max(8);
+    let mut out = vec![0.0f64; n];
+    for v in out.iter_mut() {
+        *v = 0.05 * normal(rng);
+    }
+    let mut t = rng.random_range(0..period);
+    while t + 4 < n {
+        let amp = 3.0 + normal(rng).abs();
+        // A sharp QRS-like spike: up, peak, undershoot.
+        out[t] += amp * 0.3;
+        out[t + 1] += amp;
+        out[t + 2] += amp * 0.2;
+        out[t + 3] -= amp * 0.4;
+        t += rng.random_range(period * 3 / 4..=period * 5 / 4).max(5);
+    }
+    out
+}
+
+fn mixed_harmonic(rng: &mut StdRng, variant: u64, n: usize) -> Vec<f64> {
+    let base = 2.0 * std::f64::consts::PI / n as f64;
+    let f1 = base * (1.0 + (variant % 4) as f64);
+    let f2 = base * (3.7 + (variant % 3) as f64);
+    let f3 = base * 9.1;
+    let (p1, p2, p3) = (
+        rng.random_range(0.0..std::f64::consts::TAU),
+        rng.random_range(0.0..std::f64::consts::TAU),
+        rng.random_range(0.0..std::f64::consts::TAU),
+    );
+    (0..n)
+        .map(|t| {
+            let x = t as f64;
+            (f1 * x + p1).sin() + 0.5 * (f2 * x + p2).sin() + 0.25 * (f3 * x + p3).sin()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_key() {
+        for family in Family::ALL {
+            let a = generate(family, 3, 17, 256);
+            let b = generate(family, 3, 17, 256);
+            assert_eq!(a, b, "{} not deterministic", family.name());
+        }
+    }
+
+    #[test]
+    fn distinct_across_seeds_and_variants() {
+        for family in Family::ALL {
+            let a = generate(family, 1, 1, 128);
+            let b = generate(family, 1, 2, 128);
+            let c = generate(family, 2, 1, 128);
+            assert_ne!(a, b, "{}", family.name());
+            assert_ne!(a, c, "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn output_is_znormalised() {
+        for family in Family::ALL {
+            let s = generate(family, 5, 9, 512);
+            assert_eq!(s.len(), 512);
+            assert!(s.mean().abs() < 1e-9, "{} mean", family.name());
+            assert!((s.std_dev() - 1.0).abs() < 1e-9, "{} std", family.name());
+        }
+    }
+
+    #[test]
+    fn families_have_distinct_character() {
+        // Cheap signature: lag-1 autocorrelation separates smooth families
+        // from noisy/spiky ones.
+        let ac1 = |s: &TimeSeries| -> f64 {
+            let v = s.values();
+            v.windows(2).map(|w| w[0] * w[1]).sum::<f64>() / (v.len() - 1) as f64
+        };
+        let smooth = ac1(&generate(Family::SmoothPeriodic, 0, 0, 1024));
+        let spiky = ac1(&generate(Family::SpikeTrain, 0, 0, 1024));
+        assert!(smooth > 0.95, "smooth ac1 {smooth}");
+        assert!(spiky < 0.8, "spiky ac1 {spiky}");
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

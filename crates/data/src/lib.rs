@@ -1,0 +1,30 @@
+//! # sapla-data
+//!
+//! Workload substrate for the SAPLA evaluation: a synthetic stand-in for
+//! the UCR-2018 archive plus a loader for the real archive when present.
+//!
+//! The paper evaluates the 117 equal-length datasets of UCR-2018 with
+//! `n = 1024`, 100 series per dataset and 5 query series. The archive is
+//! not redistributable here, so [`catalog`] defines **117 named, seeded
+//! synthetic datasets** drawn from the eight signal families of
+//! [`generators::Family`], chosen to span the archive's regimes (smooth
+//! sensors, noisy devices, random-walk-like, plateaued switches, drifting
+//! trends, regularly-changing EOG-like bursts, ECG-like spike trains and
+//! mixed harmonics). Generation is fully deterministic.
+//!
+//! Set `SAPLA_UCR_DIR` to a real UCR-2018 directory and [`ucr`] will load
+//! it instead — the evaluation protocol is unchanged.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod catalog;
+pub mod dataset;
+pub mod generators;
+pub mod stats;
+pub mod ucr;
+
+pub use catalog::{catalogue, DatasetSpec};
+pub use dataset::{Dataset, Protocol};
+pub use generators::Family;
+pub use stats::{mean_profile, profile, SeriesProfile};

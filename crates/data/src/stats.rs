@@ -1,0 +1,145 @@
+//! Signal statistics used to profile the synthetic catalogue — the
+//! quantitative backing for the UCR-2018 substitution argument in
+//! DESIGN.md (the families must *span distinct regimes*, not just differ
+//! by seed).
+
+use sapla_core::TimeSeries;
+
+/// Summary statistics of one series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesProfile {
+    /// Lag-1 autocorrelation (z-normalised input ⇒ plain lagged product).
+    /// Near 1 for smooth signals, low for noisy/spiky ones.
+    pub autocorr1: f64,
+    /// Mean absolute first difference (step-to-step activity).
+    pub mean_abs_diff: f64,
+    /// Number of direction changes per sample (turning-point rate):
+    /// high for noise, low for trends.
+    pub turning_rate: f64,
+    /// Excess kurtosis of the samples: large for spike trains.
+    pub kurtosis: f64,
+}
+
+/// Profile a (z-normalised) series.
+pub fn profile(series: &TimeSeries) -> SeriesProfile {
+    let v = series.values();
+    let n = v.len();
+    let mean = series.mean();
+    let var = {
+        let s: f64 = v.iter().map(|x| (x - mean) * (x - mean)).sum();
+        (s / n as f64).max(f64::MIN_POSITIVE)
+    };
+
+    let autocorr1 = v
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum::<f64>()
+        / ((n - 1) as f64 * var);
+
+    let mean_abs_diff =
+        v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (n - 1) as f64;
+
+    let turns = v
+        .windows(3)
+        .filter(|w| (w[1] - w[0]) * (w[2] - w[1]) < 0.0)
+        .count();
+    let turning_rate = turns as f64 / (n - 2) as f64;
+
+    let m4 = v.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n as f64;
+    let kurtosis = m4 / (var * var) - 3.0;
+
+    SeriesProfile { autocorr1, mean_abs_diff, turning_rate, kurtosis }
+}
+
+/// Mean profile over several series.
+pub fn mean_profile(series: &[TimeSeries]) -> SeriesProfile {
+    let mut acc = SeriesProfile {
+        autocorr1: 0.0,
+        mean_abs_diff: 0.0,
+        turning_rate: 0.0,
+        kurtosis: 0.0,
+    };
+    for s in series {
+        let p = profile(s);
+        acc.autocorr1 += p.autocorr1;
+        acc.mean_abs_diff += p.mean_abs_diff;
+        acc.turning_rate += p.turning_rate;
+        acc.kurtosis += p.kurtosis;
+    }
+    let c = series.len().max(1) as f64;
+    SeriesProfile {
+        autocorr1: acc.autocorr1 / c,
+        mean_abs_diff: acc.mean_abs_diff / c,
+        turning_rate: acc.turning_rate / c,
+        kurtosis: acc.kurtosis / c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate, Family};
+
+    #[test]
+    fn smooth_signals_have_high_autocorrelation() {
+        let s = generate(Family::SmoothPeriodic, 0, 1, 512);
+        let p = profile(&s);
+        assert!(p.autocorr1 > 0.95, "ac1 {}", p.autocorr1);
+        assert!(p.turning_rate < 0.3, "turning {}", p.turning_rate);
+    }
+
+    #[test]
+    fn spike_trains_have_heavy_tails() {
+        let spikes = profile(&generate(Family::SpikeTrain, 0, 1, 1024));
+        let smooth = profile(&generate(Family::SmoothPeriodic, 0, 1, 1024));
+        assert!(
+            spikes.kurtosis > smooth.kurtosis + 3.0,
+            "spikes {} vs smooth {}",
+            spikes.kurtosis,
+            smooth.kurtosis
+        );
+    }
+
+    #[test]
+    fn noisy_signals_turn_more_often() {
+        let noisy = profile(&generate(Family::NoisyPeriodic, 0, 1, 512));
+        let smooth = profile(&generate(Family::SmoothPeriodic, 0, 1, 512));
+        assert!(noisy.turning_rate > smooth.turning_rate);
+    }
+
+    #[test]
+    fn families_are_pairwise_distinguishable() {
+        // Every pair of families must differ noticeably in at least one
+        // statistic — the substitution's "spans regimes" requirement.
+        let profiles: Vec<(Family, SeriesProfile)> = Family::ALL
+            .iter()
+            .map(|&f| {
+                let series: Vec<_> = (0..4).map(|i| generate(f, 0, i, 512)).collect();
+                (f, mean_profile(&series))
+            })
+            .collect();
+        for (i, (fa, pa)) in profiles.iter().enumerate() {
+            for (fb, pb) in &profiles[i + 1..] {
+                let sep = (pa.autocorr1 - pb.autocorr1).abs() / 0.05
+                    + (pa.mean_abs_diff - pb.mean_abs_diff).abs() / 0.05
+                    + (pa.turning_rate - pb.turning_rate).abs() / 0.05
+                    + (pa.kurtosis - pb.kurtosis).abs() / 1.0;
+                // Neighbouring smooth families (SmoothPeriodic / Burst at
+                // low variants) sit close on these four statistics, so
+                // require moderate rather than strict separation.
+                assert!(
+                    sep > 0.5,
+                    "{} and {} are statistically indistinguishable ({sep:.2})",
+                    fa.name(),
+                    fb.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_profile_of_empty_is_zero() {
+        let p = mean_profile(&[]);
+        assert_eq!(p.autocorr1, 0.0);
+    }
+}

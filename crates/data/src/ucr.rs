@@ -1,0 +1,124 @@
+//! Loader for the real UCR-2018 archive (tab-separated, one series per
+//! line, first column the class label).
+//!
+//! Point `SAPLA_UCR_DIR` at an extracted archive and the bench harness
+//! swaps the synthetic catalogue for the real datasets without code
+//! changes.
+
+use std::io::{self, BufRead};
+use std::path::{Path, PathBuf};
+
+use sapla_core::TimeSeries;
+
+use crate::dataset::Dataset;
+
+/// The directory named by `SAPLA_UCR_DIR`, if set and existing.
+pub fn ucr_dir() -> Option<PathBuf> {
+    let dir = std::env::var_os("SAPLA_UCR_DIR")?;
+    let path = PathBuf::from(dir);
+    path.is_dir().then_some(path)
+}
+
+/// Parse one UCR tsv file into z-normalised series (labels are dropped —
+/// the paper's evaluation is label-free similarity search).
+pub fn parse_tsv(reader: impl BufRead) -> io::Result<Vec<TimeSeries>> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut values = Vec::new();
+        for (col, tok) in line.split(['\t', ',']).enumerate() {
+            if col == 0 {
+                continue; // class label
+            }
+            let tok = tok.trim();
+            if tok.is_empty() || tok == "NaN" {
+                continue;
+            }
+            let v: f64 = tok.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad value {tok:?}: {e}", lineno + 1),
+                )
+            })?;
+            values.push(v);
+        }
+        if values.is_empty() {
+            continue;
+        }
+        let ts = TimeSeries::new(values).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+        })?;
+        out.push(ts.znormalized());
+    }
+    Ok(out)
+}
+
+/// Load one UCR dataset directory (`<dir>/<name>/<name>_TRAIN.tsv` plus
+/// the `_TEST.tsv` pool for queries), truncating/filtering to the paper's
+/// protocol sizes.
+pub fn load_dataset(
+    dir: &Path,
+    name: &str,
+    series_per_dataset: usize,
+    queries_per_dataset: usize,
+) -> io::Result<Dataset> {
+    let base = dir.join(name);
+    let train = std::fs::File::open(base.join(format!("{name}_TRAIN.tsv")))?;
+    let mut series = parse_tsv(io::BufReader::new(train))?;
+    let test = std::fs::File::open(base.join(format!("{name}_TEST.tsv")))?;
+    let mut queries = parse_tsv(io::BufReader::new(test))?;
+
+    // Keep only the dominant length so the dataset is equal-length.
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for s in &series {
+        *counts.entry(s.len()).or_insert(0) += 1;
+    }
+    if let Some((&len, _)) = counts.iter().max_by_key(|&(_, &c)| c) {
+        series.retain(|s| s.len() == len);
+        queries.retain(|s| s.len() == len);
+    }
+
+    series.truncate(series_per_dataset);
+    queries.truncate(queries_per_dataset);
+    Ok(Dataset { name: name.to_string(), series, queries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tabs_and_commas_and_drops_labels() {
+        let data = "1\t0.0\t1.0\t2.0\n2,3.0,4.0,5.0\n\n";
+        let out = parse_tsv(io::Cursor::new(data)).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].len(), 3);
+        // z-normalised: mean 0.
+        assert!(out[0].mean().abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let data = "1\t0.0\tnot_a_number\n";
+        assert!(parse_tsv(io::Cursor::new(data)).is_err());
+    }
+
+    #[test]
+    fn skips_nans_and_empty_lines() {
+        let data = "1\t0.0\tNaN\t2.0\n   \n";
+        let out = parse_tsv(io::Cursor::new(data)).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 2);
+    }
+
+    #[test]
+    fn env_dir_absent_is_none() {
+        // The test environment does not ship the archive.
+        if std::env::var_os("SAPLA_UCR_DIR").is_none() {
+            assert!(ucr_dir().is_none());
+        }
+    }
+}

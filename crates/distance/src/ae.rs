@@ -1,0 +1,81 @@
+//! `Dist_AE` — APCA's tight (but non-lower-bounding) approximation:
+//! the Euclidean distance between the raw query and the candidate's
+//! reconstruction. `O(n)`.
+
+use sapla_core::{Error, PiecewiseLinear, Result, TimeSeries};
+
+/// `Dist_AE(Q, Ĉ)`: Euclidean distance between the raw query and the
+/// reconstruction of `Ĉ`. Tight, but may exceed `Dist(Q, C)` — the paper's
+/// Fig. 10 example has `Dist_AE = 20 > Dist = 17`.
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] when the lengths differ.
+pub fn dist_ae(query: &TimeSeries, c: &PiecewiseLinear) -> Result<f64> {
+    if query.len() != c.series_len() {
+        return Err(Error::LengthMismatch { left: query.len(), right: c.series_len() });
+    }
+    let mut sum = 0.0f64;
+    let mut start = 0usize;
+    let values = query.values();
+    for seg in c.segments() {
+        for u in 0..=(seg.r - start) {
+            let d = values[start + u] - (seg.a * u as f64 + seg.b);
+            sum += d * d;
+        }
+        start = seg.r + 1;
+    }
+    Ok(sum.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_core::sapla::Sapla;
+
+    fn ts(v: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(v).unwrap()
+    }
+
+    #[test]
+    fn equals_euclid_to_reconstruction() {
+        let c = ts((0..36).map(|t| ((t * 7) % 13) as f64).collect());
+        let rep = Sapla::with_segments(4).reduce(&c).unwrap();
+        let q = ts((0..36).map(|t| (t as f64 * 0.3).cos() * 2.0).collect());
+        let ae = dist_ae(&q, &rep).unwrap();
+        let brute = q.euclidean(&rep.reconstruct()).unwrap();
+        assert!((ae - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn can_exceed_true_distance() {
+        // Construct the paper's Fig. 10 situation: the candidate's
+        // reconstruction overshoots the original, so Dist_AE overshoots
+        // the Euclidean distance for a query equal to the original.
+        let c = ts(vec![0.0, 10.0, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0]);
+        let rep = Sapla::with_segments(1).reduce(&c).unwrap();
+        let ae = dist_ae(&c, &rep).unwrap();
+        // Dist(Q, C) with Q = C is zero; AE is clearly positive.
+        assert!(ae > 1.0, "AE {ae} must break the lower-bound lemma here");
+    }
+
+    #[test]
+    fn tighter_than_lb_for_typical_pairs() {
+        let q = ts((0..48).map(|t| (t as f64 * 0.2).sin() * 4.0).collect());
+        let c = ts((0..48).map(|t| (t as f64 * 0.2 + 0.7).sin() * 4.0).collect());
+        let rep = Sapla::with_segments(5).reduce(&c).unwrap();
+        let ae = dist_ae(&q, &rep).unwrap();
+        let lb = crate::dist_lb(&q.prefix_sums(), &rep).unwrap();
+        let exact = q.euclidean(&c).unwrap();
+        assert!(lb <= exact + 1e-9);
+        assert!((ae - exact).abs() <= (lb - exact).abs() + 1e-9, "AE should be tighter");
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let rep = Sapla::with_segments(2)
+            .reduce(&ts((0..10).map(|t| t as f64).collect()))
+            .unwrap();
+        assert!(dist_ae(&ts(vec![0.0; 12]), &rep).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Coefficient-space distance for polynomial (CHEBY) representations.
+//!
+//! The basis is orthonormal, so by Parseval the Euclidean distance of the
+//! coefficient vectors lower-bounds the Euclidean distance of the original
+//! series (Cai & Ng's `Dist_CHEBY` plays the same role).
+
+use sapla_core::PolyCoeffs;
+
+/// `Dist_CHEBY`: Euclidean distance between coefficient vectors (shorter
+/// vectors are implicitly zero-padded).
+pub fn dist_cheby(q: &PolyCoeffs, c: &PolyCoeffs) -> f64 {
+    let n = q.coeffs.len().max(c.coeffs.len());
+    let get = |v: &[f64], i: usize| v.get(i).copied().unwrap_or(0.0);
+    (0..n)
+        .map(|i| {
+            let d = get(&q.coeffs, i) - get(&c.coeffs, i);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_baselines::Cheby;
+    use sapla_core::TimeSeries;
+
+    fn ts(v: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(v).unwrap()
+    }
+
+    #[test]
+    fn lower_bounds_euclidean() {
+        let q = ts((0..100).map(|t| (t as f64 * 0.13).sin() * 2.0 + 0.01 * t as f64).collect());
+        let c = ts((0..100).map(|t| (t as f64 * 0.11).cos() * 2.5).collect());
+        for k in [4usize, 10, 20] {
+            let qc = Cheby.reduce_to_coeffs(&q, k).unwrap();
+            let cc = Cheby.reduce_to_coeffs(&c, k).unwrap();
+            let lb = dist_cheby(&qc, &cc);
+            let exact = q.euclidean(&c).unwrap();
+            assert!(lb <= exact + 1e-9, "k={k}: {lb} > {exact}");
+        }
+    }
+
+    #[test]
+    fn converges_to_exact_with_full_basis() {
+        let q = ts((0..16).map(|t| ((t * 7) % 5) as f64).collect());
+        let c = ts((0..16).map(|t| ((t * 3) % 7) as f64).collect());
+        let qc = Cheby.reduce_to_coeffs(&q, 16).unwrap();
+        let cc = Cheby.reduce_to_coeffs(&c, 16).unwrap();
+        let lb = dist_cheby(&qc, &cc);
+        let exact = q.euclidean(&c).unwrap();
+        assert!((lb - exact).abs() < 1e-7, "{lb} vs {exact}");
+    }
+
+    #[test]
+    fn pads_shorter_vectors() {
+        let a = PolyCoeffs { coeffs: vec![3.0, 4.0], n: 8 };
+        let b = PolyCoeffs { coeffs: vec![3.0], n: 8 };
+        assert_eq!(dist_cheby(&a, &b), 4.0);
+    }
+}

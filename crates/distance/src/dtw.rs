@@ -1,0 +1,187 @@
+//! Dynamic Time Warping with a Sakoe–Chiba band, plus the LB_Keogh lower
+//! bound (Rakthanmanon et al., KDD 2012 — the paper's reference \[20\]).
+//!
+//! The paper's evaluation is Euclidean, but any credible similarity-search
+//! library for the UCR archive needs DTW; it composes with the reduction
+//! machinery the same way (filter with a cheap lower bound, refine with
+//! the expensive measure).
+
+use sapla_core::{Error, Result, TimeSeries};
+
+/// DTW distance between two equal-length series under a Sakoe–Chiba band
+/// of half-width `band` (`band >= n − 1` degenerates to unconstrained
+/// DTW; `band = 0` degenerates to the Euclidean distance).
+///
+/// `O(n · band)` time, `O(n)` memory (two-row dynamic program).
+///
+/// ```
+/// use sapla_core::TimeSeries;
+/// use sapla_distance::dtw;
+///
+/// let a = TimeSeries::new(vec![0.0, 1.0, 5.0, 1.0, 0.0, 0.0])?;
+/// let b = TimeSeries::new(vec![0.0, 0.0, 1.0, 5.0, 1.0, 0.0])?; // shifted by one
+/// assert!(dtw(&a, &b, 2)? < 1e-9, "warping absorbs the shift");
+/// # Ok::<(), sapla_core::Error>(())
+/// ```
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] when lengths differ.
+pub fn dtw(a: &TimeSeries, b: &TimeSeries, band: usize) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    let x = a.values();
+    let y = b.values();
+    let n = x.len();
+    let w = band;
+
+    let mut prev = vec![f64::INFINITY; n + 1];
+    let mut cur = vec![f64::INFINITY; n + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        cur.fill(f64::INFINITY);
+        let lo = i.saturating_sub(w).max(1);
+        let hi = (i + w).min(n);
+        for j in lo..=hi {
+            let d = x[i - 1] - y[j - 1];
+            let cost = d * d;
+            let best = prev[j].min(cur[j - 1]).min(prev[j - 1]);
+            cur[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    Ok(prev[n].sqrt())
+}
+
+/// The LB_Keogh envelope of a series under band half-width `band`:
+/// per-position `(lower, upper)` running min/max.
+pub fn keogh_envelope(series: &TimeSeries, band: usize) -> (Vec<f64>, Vec<f64>) {
+    let v = series.values();
+    let n = v.len();
+    let mut lower = Vec::with_capacity(n);
+    let mut upper = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(n - 1);
+        let window = &v[lo..=hi];
+        lower.push(window.iter().cloned().fold(f64::INFINITY, f64::min));
+        upper.push(window.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+    (lower, upper)
+}
+
+/// LB_Keogh: a cheap lower bound on [`dtw`] with the same band — the
+/// distance from the query to the candidate's envelope.
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] when lengths differ.
+pub fn lb_keogh(query: &TimeSeries, candidate: &TimeSeries, band: usize) -> Result<f64> {
+    if query.len() != candidate.len() {
+        return Err(Error::LengthMismatch { left: query.len(), right: candidate.len() });
+    }
+    let (lower, upper) = keogh_envelope(candidate, band);
+    let sum: f64 = query
+        .values()
+        .iter()
+        .zip(lower.iter().zip(&upper))
+        .map(|(&q, (&lo, &hi))| {
+            let d = if q > hi {
+                q - hi
+            } else if q < lo {
+                lo - q
+            } else {
+                0.0
+            };
+            d * d
+        })
+        .sum();
+    Ok(sum.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn zero_band_equals_euclidean() {
+        let a = ts(&[1.0, 2.0, 3.0, 4.0]);
+        let b = ts(&[2.0, 2.0, 5.0, 4.0]);
+        let d = dtw(&a, &b, 0).unwrap();
+        let e = a.euclidean(&b).unwrap();
+        assert!((d - e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_absorbs_time_shifts() {
+        // A unit shift that Euclidean punishes but DTW warps away.
+        let a = ts(&[0.0, 0.0, 1.0, 5.0, 1.0, 0.0, 0.0, 0.0]);
+        let b = ts(&[0.0, 0.0, 0.0, 1.0, 5.0, 1.0, 0.0, 0.0]);
+        let euclid = a.euclidean(&b).unwrap();
+        let warped = dtw(&a, &b, 2).unwrap();
+        assert!(warped < 1e-9, "dtw {warped}");
+        assert!(euclid > 5.0, "euclid {euclid}");
+    }
+
+    #[test]
+    fn dtw_is_symmetric_and_zero_on_self() {
+        let a = ts(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0]);
+        let b = ts(&[2.0, 7.0, 1.0, 8.0, 2.0, 8.0]);
+        assert_eq!(dtw(&a, &a, 3).unwrap(), 0.0);
+        let ab = dtw(&a, &b, 3).unwrap();
+        let ba = dtw(&b, &a, 3).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_bands_never_increase_distance() {
+        let a = ts(&(0..32).map(|t| (t as f64 * 0.3).sin()).collect::<Vec<_>>());
+        let b = ts(&(0..32).map(|t| (t as f64 * 0.3 + 1.0).sin()).collect::<Vec<_>>());
+        let mut last = f64::INFINITY;
+        for band in [0usize, 1, 2, 4, 8, 31] {
+            let d = dtw(&a, &b, band).unwrap();
+            assert!(d <= last + 1e-12, "band {band}: {d} > {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn lb_keogh_lower_bounds_dtw() {
+        let mk = |p: f64| {
+            ts(&(0..64).map(|t| ((t as f64) * 0.2 + p).sin() * 3.0).collect::<Vec<_>>())
+        };
+        for (i, j) in [(0, 1), (0, 3), (2, 5)] {
+            let q = mk(i as f64 * 0.7);
+            let c = mk(j as f64 * 0.7);
+            for band in [1usize, 3, 8] {
+                let lb = lb_keogh(&q, &c, band).unwrap();
+                let d = dtw(&q, &c, band).unwrap();
+                assert!(lb <= d + 1e-9, "band {band}: lb {lb} > dtw {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_sandwiches_the_series() {
+        let s = ts(&[1.0, 5.0, 2.0, 8.0, 0.0]);
+        let (lo, hi) = keogh_envelope(&s, 1);
+        for (i, &v) in s.values().iter().enumerate() {
+            assert!(lo[i] <= v && v <= hi[i]);
+        }
+        // Band 1 window of index 0 covers {1, 5}.
+        assert_eq!((lo[0], hi[0]), (1.0, 5.0));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let a = ts(&[1.0, 2.0]);
+        let b = ts(&[1.0, 2.0, 3.0]);
+        assert!(dtw(&a, &b, 1).is_err());
+        assert!(lb_keogh(&a, &b, 1).is_err());
+    }
+}

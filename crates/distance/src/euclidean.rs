@@ -1,0 +1,99 @@
+//! Exact Euclidean distances over raw series.
+
+use sapla_core::{Error, Result, TimeSeries};
+
+/// Squared Euclidean distance between two equal-length series.
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] when the lengths differ.
+pub fn euclidean_sq(a: &TimeSeries, b: &TimeSeries) -> Result<f64> {
+    if a.len() != b.len() {
+        return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    Ok(a.values()
+        .iter()
+        .zip(b.values())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum())
+}
+
+/// Euclidean distance between two equal-length series.
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] when the lengths differ.
+pub fn euclidean(a: &TimeSeries, b: &TimeSeries) -> Result<f64> {
+    euclidean_sq(a, b).map(f64::sqrt)
+}
+
+/// Early-abandoning Euclidean distance: returns `None` as soon as the
+/// running squared sum exceeds `best_sq` (the kth-nearest-so-far bound in a
+/// k-NN refinement loop), otherwise the exact distance.
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] when the lengths differ.
+pub fn euclidean_early_abandon(
+    a: &TimeSeries,
+    b: &TimeSeries,
+    best_sq: f64,
+) -> Result<Option<f64>> {
+    if a.len() != b.len() {
+        return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
+    }
+    let mut acc = 0.0f64;
+    for (x, y) in a.values().iter().zip(b.values()) {
+        let d = x - y;
+        acc += d * d;
+        if acc > best_sq {
+            return Ok(None);
+        }
+    }
+    Ok(Some(acc.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::new(v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matches_hand_computation() {
+        let a = ts(&[0.0, 0.0, 3.0]);
+        let b = ts(&[0.0, 4.0, 3.0]);
+        assert_eq!(euclidean_sq(&a, &b).unwrap(), 16.0);
+        assert_eq!(euclidean(&a, &b).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let a = ts(&[1.0]);
+        let b = ts(&[1.0, 2.0]);
+        assert!(euclidean(&a, &b).is_err());
+        assert!(euclidean_early_abandon(&a, &b, 1.0).is_err());
+    }
+
+    #[test]
+    fn early_abandon_triggers_and_matches() {
+        let a = ts(&[0.0; 8]);
+        let b = ts(&[2.0; 8]);
+        // Full distance² = 32.
+        assert_eq!(euclidean_early_abandon(&a, &b, 10.0).unwrap(), None);
+        let exact = euclidean_early_abandon(&a, &b, 100.0).unwrap().unwrap();
+        assert!((exact - 32f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_for_identical_series() {
+        let a = ts(&[1.5, -2.5, 3.0]);
+        assert_eq!(euclidean(&a, &a).unwrap(), 0.0);
+        assert_eq!(euclidean_early_abandon(&a, &a, 0.0).unwrap(), Some(0.0));
+    }
+}

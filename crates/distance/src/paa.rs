@@ -1,0 +1,79 @@
+//! `Dist_PAA` — Keogh's lower bound for equal-length constant
+//! representations: `√(Σ l_i (q̄_i − c̄_i)²)`.
+
+use sapla_core::{Error, PiecewiseConstant, Result};
+
+/// `Dist_PAA` between two constant representations with identical segment
+/// endpoints (the equal-length PAA case).
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] on different series lengths and
+/// [`Error::MalformedRepresentation`] on mismatched endpoints.
+pub fn dist_paa(q: &PiecewiseConstant, c: &PiecewiseConstant) -> Result<f64> {
+    if q.series_len() != c.series_len() {
+        return Err(Error::LengthMismatch { left: q.series_len(), right: c.series_len() });
+    }
+    if q.num_segments() != c.num_segments() {
+        return Err(Error::MalformedRepresentation {
+            reason: "Dist_PAA requires identical segmentations",
+        });
+    }
+    let mut sum = 0.0;
+    let mut start = 0usize;
+    for (qs, cs) in q.segments().iter().zip(c.segments()) {
+        if qs.r != cs.r {
+            return Err(Error::MalformedRepresentation {
+                reason: "Dist_PAA requires identical segmentations",
+            });
+        }
+        let l = (qs.r + 1 - start) as f64;
+        let d = qs.v - cs.v;
+        sum += l * d * d;
+        start = qs.r + 1;
+    }
+    Ok(sum.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_baselines::Paa;
+    use sapla_core::TimeSeries;
+
+    fn ts(v: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(v).unwrap()
+    }
+
+    #[test]
+    fn lower_bounds_euclidean() {
+        let q = ts((0..64).map(|t| (t as f64 * 0.17).sin() * 3.0).collect());
+        let c = ts((0..64).map(|t| ((t as f64) * 0.17 + 1.0).sin() * 3.0).collect());
+        for k in [4usize, 8, 16] {
+            let qr = Paa.reduce_to_segments(&q, k).unwrap();
+            let cr = Paa.reduce_to_segments(&c, k).unwrap();
+            let lb = dist_paa(&qr, &cr).unwrap();
+            let exact = q.euclidean(&c).unwrap();
+            assert!(lb <= exact + 1e-9, "k={k}: {lb} > {exact}");
+        }
+    }
+
+    #[test]
+    fn exact_when_series_are_piecewise_constant() {
+        let q = ts(vec![2.0, 2.0, -1.0, -1.0]);
+        let c = ts(vec![0.0, 0.0, 3.0, 3.0]);
+        let qr = Paa.reduce_to_segments(&q, 2).unwrap();
+        let cr = Paa.reduce_to_segments(&c, 2).unwrap();
+        let lb = dist_paa(&qr, &cr).unwrap();
+        let exact = q.euclidean(&c).unwrap();
+        assert!((lb - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_mismatched_segmentations() {
+        let a = ts((0..12).map(|t| t as f64).collect());
+        let q = Paa.reduce_to_segments(&a, 3).unwrap();
+        let c = Paa.reduce_to_segments(&a, 4).unwrap();
+        assert!(dist_paa(&q, &c).is_err());
+    }
+}

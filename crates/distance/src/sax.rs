@@ -1,0 +1,114 @@
+//! SAX MINDIST (Lin et al., DMKD 2007): a lower bound on the Euclidean
+//! distance between the original (z-normalised) series from their symbolic
+//! words alone.
+
+use sapla_baselines::sax::gaussian_breakpoints;
+use sapla_core::{Error, Result, SymbolicWord};
+
+/// Per-symbol-pair distance `cell(r, c)`: zero for adjacent symbols,
+/// otherwise the gap between the separating breakpoints.
+fn cell(breakpoints: &[f64], a: u8, b: u8) -> f64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    if hi as i16 - lo as i16 <= 1 {
+        0.0
+    } else {
+        breakpoints[hi as usize - 1] - breakpoints[lo as usize]
+    }
+}
+
+/// `MINDIST(Q̂, Ĉ) = √(n/w) · √(Σ cell(q_i, c_i)²)` for two words of the
+/// same length `w` over series of length `n`.
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] / [`Error::MalformedRepresentation`] when the
+/// words are incompatible.
+pub fn mindist(q: &SymbolicWord, c: &SymbolicWord) -> Result<f64> {
+    if q.n != c.n {
+        return Err(Error::LengthMismatch { left: q.n, right: c.n });
+    }
+    if q.symbols.len() != c.symbols.len() || q.alphabet_size != c.alphabet_size {
+        return Err(Error::MalformedRepresentation {
+            reason: "MINDIST requires equal word length and alphabet",
+        });
+    }
+    let bp = gaussian_breakpoints(q.alphabet_size);
+    let sum: f64 = q
+        .symbols
+        .iter()
+        .zip(&c.symbols)
+        .map(|(&a, &b)| {
+            let d = cell(&bp, a, b);
+            d * d
+        })
+        .sum();
+    let w = q.symbols.len() as f64;
+    Ok((q.n as f64 / w).sqrt() * sum.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_baselines::Sax;
+    use sapla_core::TimeSeries;
+
+    fn znorm(v: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(v).unwrap().znormalized()
+    }
+
+    #[test]
+    fn adjacent_symbols_cost_zero() {
+        let bp = gaussian_breakpoints(8);
+        for a in 0u8..8 {
+            for b in 0u8..8 {
+                let d = cell(&bp, a, b);
+                if (a as i16 - b as i16).abs() <= 1 {
+                    assert_eq!(d, 0.0);
+                } else {
+                    assert!(d > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_and_zero_on_self() {
+        let s = znorm((0..64).map(|t| (t as f64 * 0.2).sin()).collect());
+        let w1 = Sax::default().reduce_to_word(&s, 8).unwrap();
+        assert_eq!(mindist(&w1, &w1).unwrap(), 0.0);
+        let s2 = znorm((0..64).map(|t| (t as f64 * 0.2).cos() * 2.0).collect());
+        let w2 = Sax::default().reduce_to_word(&s2, 8).unwrap();
+        let ab = mindist(&w1, &w2).unwrap();
+        let ba = mindist(&w2, &w1).unwrap();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn lower_bounds_euclidean_on_znormalised_series() {
+        let mk = |f: f64, ph: f64| {
+            znorm((0..128).map(|t| (t as f64 * f + ph).sin() * 3.0).collect())
+        };
+        let pairs = [
+            (mk(0.1, 0.0), mk(0.1, 1.5)),
+            (mk(0.05, 0.0), mk(0.2, 0.0)),
+            (mk(0.3, 0.2), mk(0.07, 2.0)),
+        ];
+        for (q, c) in pairs {
+            let qw = Sax::default().reduce_to_word(&q, 16).unwrap();
+            let cw = Sax::default().reduce_to_word(&c, 16).unwrap();
+            let lb = mindist(&qw, &cw).unwrap();
+            let exact = q.euclidean(&c).unwrap();
+            assert!(lb <= exact + 1e-9, "{lb} > {exact}");
+        }
+    }
+
+    #[test]
+    fn rejects_incompatible_words() {
+        let s = znorm((0..32).map(|t| t as f64).collect());
+        let w8 = Sax::default().reduce_to_word(&s, 8).unwrap();
+        let w4 = Sax::default().reduce_to_word(&s, 4).unwrap();
+        assert!(mindist(&w8, &w4).is_err());
+        let wa4 = Sax::with_alphabet(4).reduce_to_word(&s, 8).unwrap();
+        assert!(mindist(&w8, &wa4).is_err());
+    }
+}

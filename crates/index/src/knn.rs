@@ -1,0 +1,107 @@
+//! Shared k-NN search result types and metrics (Eq. 14 and Eq. 15 of the
+//! paper).
+
+/// Outcome of one k-NN search through an index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchStats {
+    /// Ids of the retrieved k nearest neighbours, closest first.
+    pub retrieved: Vec<usize>,
+    /// Exact distances of the retrieved neighbours, closest first.
+    pub distances: Vec<f64>,
+    /// How many database series had their exact distance computed
+    /// ("the number of time series which have to be measured").
+    pub measured: usize,
+    /// Database size.
+    pub total: usize,
+}
+
+impl SearchStats {
+    /// Pruning power `ρ` (Eq. 14): fraction of the database measured.
+    /// Lower is better.
+    pub fn pruning_power(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.measured as f64 / self.total as f64
+        }
+    }
+
+    /// Accuracy (Eq. 15): `|retrieved ∩ true k-NN| / k`.
+    pub fn accuracy(&self, truth: &[usize]) -> f64 {
+        if truth.is_empty() {
+            return 1.0;
+        }
+        let hits = self.retrieved.iter().filter(|id| truth.contains(id)).count();
+        hits as f64 / truth.len() as f64
+    }
+}
+
+/// A bounded max-heap of the k best (distance, id) pairs seen so far.
+#[derive(Debug)]
+pub(crate) struct KnnHeap {
+    k: usize,
+    // Max-heap keyed on distance.
+    heap: std::collections::BinaryHeap<(sapla_core::OrdF64, usize)>,
+}
+
+impl KnnHeap {
+    pub fn new(k: usize) -> Self {
+        KnnHeap { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Current pruning threshold: the kth best distance, or ∞ while the
+    /// heap is not yet full.
+    pub fn threshold(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map_or(f64::INFINITY, |(d, _)| d.get())
+        }
+    }
+
+    pub fn push(&mut self, dist: f64, id: usize) {
+        self.heap.push((sapla_core::OrdF64::new(dist), id));
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// Drain into (ids, distances), closest first.
+    pub fn into_sorted(self) -> (Vec<usize>, Vec<f64>) {
+        let mut v: Vec<(sapla_core::OrdF64, usize)> = self.heap.into_vec();
+        v.sort();
+        (v.iter().map(|&(_, i)| i).collect(), v.iter().map(|&(d, _)| d.get()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics() {
+        let s = SearchStats {
+            retrieved: vec![3, 1, 4],
+            distances: vec![0.5, 1.0, 2.0],
+            measured: 20,
+            total: 100,
+        };
+        assert!((s.pruning_power() - 0.2).abs() < 1e-12);
+        assert!((s.accuracy(&[1, 2, 3]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.accuracy(&[]), 1.0);
+    }
+
+    #[test]
+    fn knn_heap_keeps_k_best() {
+        let mut h = KnnHeap::new(2);
+        assert_eq!(h.threshold(), f64::INFINITY);
+        h.push(5.0, 0);
+        h.push(1.0, 1);
+        assert_eq!(h.threshold(), 5.0);
+        h.push(3.0, 2);
+        assert_eq!(h.threshold(), 3.0);
+        let (ids, dists) = h.into_sorted();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(dists, vec![1.0, 3.0]);
+    }
+}

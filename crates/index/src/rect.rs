@@ -1,0 +1,137 @@
+//! Axis-aligned hyper-rectangles (the MBRs of the classic R-tree).
+
+/// An axis-aligned minimum bounding rectangle over feature vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperRect {
+    /// Per-dimension lower bounds.
+    pub lo: Vec<f64>,
+    /// Per-dimension upper bounds.
+    pub hi: Vec<f64>,
+}
+
+impl HyperRect {
+    /// Degenerate rectangle around a single point.
+    pub fn point(p: &[f64]) -> Self {
+        HyperRect { lo: p.to_vec(), hi: p.to_vec() }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Grow in place to cover `p`.
+    pub fn extend_point(&mut self, p: &[f64]) {
+        debug_assert_eq!(p.len(), self.dims());
+        for ((lo, hi), &x) in self.lo.iter_mut().zip(self.hi.iter_mut()).zip(p) {
+            if x < *lo {
+                *lo = x;
+            }
+            if x > *hi {
+                *hi = x;
+            }
+        }
+    }
+
+    /// Grow in place to cover `other`.
+    pub fn extend_rect(&mut self, other: &HyperRect) {
+        debug_assert_eq!(other.dims(), self.dims());
+        for (lo, &o) in self.lo.iter_mut().zip(&other.lo) {
+            if o < *lo {
+                *lo = o;
+            }
+        }
+        for (hi, &o) in self.hi.iter_mut().zip(&other.hi) {
+            if o > *hi {
+                *hi = o;
+            }
+        }
+    }
+
+    /// The union of two rectangles.
+    pub fn union(&self, other: &HyperRect) -> HyperRect {
+        let mut out = self.clone();
+        out.extend_rect(other);
+        out
+    }
+
+    /// Guttman's node volume (product of extents). High-dimensional
+    /// rectangles of z-normalised coefficients stay well inside `f64`
+    /// range.
+    pub fn area(&self) -> f64 {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).product()
+    }
+
+    /// Area increase caused by absorbing `other` (the branch-picking
+    /// criterion of the classic R-tree).
+    pub fn enlargement(&self, other: &HyperRect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Squared Euclidean distance from a point to the rectangle
+    /// (zero inside).
+    pub fn min_sq_dist_point(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dims());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(p)
+            .map(|((&l, &h), &x)| {
+                let d = if x < l {
+                    l - x
+                } else if x > h {
+                    x - h
+                } else {
+                    0.0
+                };
+                d * d
+            })
+            .sum()
+    }
+
+    /// Per-dimension interval `[lo, hi]`.
+    #[inline]
+    pub fn dim(&self, i: usize) -> (f64, f64) {
+        (self.lo[i], self.hi[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_rect_has_zero_area() {
+        let r = HyperRect::point(&[1.0, 2.0]);
+        assert_eq!(r.area(), 0.0);
+        assert_eq!(r.dims(), 2);
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = HyperRect { lo: vec![0.0, 0.0], hi: vec![1.0, 1.0] };
+        let b = HyperRect { lo: vec![2.0, 0.0], hi: vec![3.0, 2.0] };
+        let u = a.union(&b);
+        assert_eq!(u.lo, vec![0.0, 0.0]);
+        assert_eq!(u.hi, vec![3.0, 2.0]);
+        assert_eq!(u.area(), 6.0);
+        assert_eq!(a.enlargement(&b), 5.0);
+    }
+
+    #[test]
+    fn extend_point_grows_minimally() {
+        let mut r = HyperRect::point(&[0.0, 0.0]);
+        r.extend_point(&[-1.0, 2.0]);
+        assert_eq!(r.lo, vec![-1.0, 0.0]);
+        assert_eq!(r.hi, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn point_distance() {
+        let r = HyperRect { lo: vec![0.0, 0.0], hi: vec![2.0, 2.0] };
+        assert_eq!(r.min_sq_dist_point(&[1.0, 1.0]), 0.0);
+        assert_eq!(r.min_sq_dist_point(&[3.0, 1.0]), 1.0);
+        assert_eq!(r.min_sq_dist_point(&[3.0, 4.0]), 5.0);
+    }
+}

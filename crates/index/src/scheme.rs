@@ -1,0 +1,602 @@
+//! Per-method indexing schemes: feature vectors for R-tree MBRs,
+//! query-to-MBR lower bounds (MINDIST), query-to-representation distances
+//! and representation-pair distances (for DBCH hulls).
+//!
+//! The adaptive methods use the APCA-style MBR over interleaved
+//! coefficients (the construction whose overlap problem motivates the
+//! DBCH-tree); equal-length methods use their classic coefficient-space
+//! bounds.
+
+use sapla_baselines::sax::gaussian_breakpoints;
+use sapla_baselines::Reducer;
+use sapla_core::{Error, PrefixSums, Representation, Result, TimeSeries};
+use sapla_distance::{dist_paa, dist_par, dist_pla, dist_s_sq, mindist, rep_distance};
+
+use crate::rect::HyperRect;
+
+/// A query prepared for index search: raw series, its prefix sums, and its
+/// reduced representation under the indexed method.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// The raw query series.
+    pub raw: TimeSeries,
+    /// Prefix sums of the raw series (for `Dist_LB`-style projections).
+    pub sums: PrefixSums,
+    /// The query's own reduced representation.
+    pub rep: Representation,
+}
+
+impl Query {
+    /// Reduce `raw` with `reducer` at budget `m` and package the query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction failures.
+    pub fn new(raw: &TimeSeries, reducer: &dyn Reducer, m: usize) -> Result<Query> {
+        Ok(Query {
+            raw: raw.clone(),
+            sums: raw.prefix_sums(),
+            rep: reducer.reduce(raw, m)?,
+        })
+    }
+}
+
+/// The per-method indexing strategy.
+pub trait Scheme: Send + Sync {
+    /// Scheme name (matches the reducer name).
+    fn name(&self) -> &'static str;
+
+    /// Feature vector whose MBRs the R-tree maintains.
+    fn feature(&self, rep: &Representation) -> Result<Vec<f64>>;
+
+    /// Lower-bound distance from the query to anything inside `rect`
+    /// (the R-tree node filter).
+    fn mindist(&self, q: &Query, rect: &HyperRect) -> Result<f64>;
+
+    /// Distance estimate from the query to a candidate's representation
+    /// (the leaf-level filter; `Dist_PAR` for the adaptive methods).
+    fn rep_dist(&self, q: &Query, rep: &Representation) -> Result<f64>;
+
+    /// Distance between two representations (DBCH hull construction and
+    /// node volumes).
+    fn pair_dist(&self, a: &Representation, b: &Representation) -> Result<f64> {
+        rep_distance(a, b)
+    }
+}
+
+/// Pick the scheme matching a reducer name.
+///
+/// # Panics
+///
+/// Panics on an unknown method name (the set is closed — Table 1).
+pub fn scheme_for(name: &str) -> Box<dyn Scheme> {
+    match name {
+        "SAPLA" | "APLA" => Box::new(AdaptiveLinearScheme),
+        "APCA" => Box::new(ApcaScheme),
+        "PLA" => Box::new(PlaScheme),
+        "PAA" | "PAALM" => Box::new(PaaScheme),
+        "CHEBY" => Box::new(ChebyScheme),
+        "SAX" => Box::new(SaxScheme),
+        other => panic!("no indexing scheme for method {other:?}"),
+    }
+}
+
+fn expect_linear(rep: &Representation) -> Result<&sapla_core::PiecewiseLinear> {
+    rep.as_linear().ok_or(Error::UnsupportedRepresentation { operation: "linear scheme" })
+}
+
+/// Interval distance squared from a point to `[lo, hi]`.
+#[inline]
+fn interval_sq(x: f64, lo: f64, hi: f64) -> f64 {
+    let d = if x < lo {
+        lo - x
+    } else if x > hi {
+        x - hi
+    } else {
+        0.0
+    };
+    d * d
+}
+
+/// Shared APCA-MBR point bound: given per-region `(t_min, t_max, v_min,
+/// v_max)`, lower-bound the per-point distance of the raw query to any
+/// member series' reconstruction region, summed over all points.
+fn region_mindist(regions: &[(usize, usize, f64, f64)], raw: &[f64]) -> f64 {
+    let n = raw.len();
+    let mut best = vec![f64::INFINITY; n];
+    for &(t0, t1, vmin, vmax) in regions {
+        for t in t0..=t1.min(n - 1) {
+            let d = interval_sq(raw[t], vmin, vmax);
+            if d < best[t] {
+                best[t] = d;
+            }
+        }
+    }
+    best.iter().map(|&d| if d.is_finite() { d } else { 0.0 }).sum::<f64>().sqrt()
+}
+
+// ---------------------------------------------------------------------
+// Adaptive linear (SAPLA, APLA): features ⟨a_i, b_i, r_i⟩ interleaved.
+// ---------------------------------------------------------------------
+
+/// Scheme for SAPLA/APLA representations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptiveLinearScheme;
+
+impl Scheme for AdaptiveLinearScheme {
+    fn name(&self) -> &'static str {
+        "AdaptiveLinear"
+    }
+
+    fn feature(&self, rep: &Representation) -> Result<Vec<f64>> {
+        let lin = expect_linear(rep)?;
+        let mut out = Vec::with_capacity(3 * lin.num_segments());
+        for seg in lin.segments() {
+            out.push(seg.a);
+            out.push(seg.b);
+            out.push(seg.r as f64);
+        }
+        Ok(out)
+    }
+
+    fn mindist(&self, q: &Query, rect: &HyperRect) -> Result<f64> {
+        let n = q.raw.len();
+        let segs = rect.dims() / 3;
+        let mut regions = Vec::with_capacity(segs);
+        let mut prev_r_lo = -1.0f64;
+        for i in 0..segs {
+            let (alo, ahi) = rect.dim(3 * i);
+            let (blo, bhi) = rect.dim(3 * i + 1);
+            let (rlo, rhi) = rect.dim(3 * i + 2);
+            let t0 = (prev_r_lo + 1.0).max(0.0) as usize;
+            let t1 = (rhi.min((n - 1) as f64)) as usize;
+            let lmax = (t1 as f64 - prev_r_lo).max(1.0);
+            // Value envelope of a·u + b over u ∈ [0, lmax−1], a ∈ [alo,
+            // ahi], b ∈ [blo, bhi]: extremes at the u-endpoints.
+            let vmin = blo.min(alo * (lmax - 1.0) + blo);
+            let vmax = bhi.max(ahi * (lmax - 1.0) + bhi);
+            regions.push((t0, t1, vmin, vmax));
+            prev_r_lo = rlo;
+        }
+        Ok(region_mindist(&regions, q.raw.values()))
+    }
+
+    fn rep_dist(&self, q: &Query, rep: &Representation) -> Result<f64> {
+        dist_par(expect_linear(&q.rep)?, expect_linear(rep)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// APCA: features ⟨v_i, r_i⟩ interleaved.
+// ---------------------------------------------------------------------
+
+/// Scheme for APCA representations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApcaScheme;
+
+impl Scheme for ApcaScheme {
+    fn name(&self) -> &'static str {
+        "APCA"
+    }
+
+    fn feature(&self, rep: &Representation) -> Result<Vec<f64>> {
+        let con = rep
+            .as_constant()
+            .ok_or(Error::UnsupportedRepresentation { operation: "APCA scheme" })?;
+        let mut out = Vec::with_capacity(2 * con.num_segments());
+        for seg in con.segments() {
+            out.push(seg.v);
+            out.push(seg.r as f64);
+        }
+        Ok(out)
+    }
+
+    fn mindist(&self, q: &Query, rect: &HyperRect) -> Result<f64> {
+        let n = q.raw.len();
+        let segs = rect.dims() / 2;
+        let mut regions = Vec::with_capacity(segs);
+        let mut prev_r_lo = -1.0f64;
+        for i in 0..segs {
+            let (vlo, vhi) = rect.dim(2 * i);
+            let (rlo, rhi) = rect.dim(2 * i + 1);
+            let t0 = (prev_r_lo + 1.0).max(0.0) as usize;
+            let t1 = (rhi.min((n - 1) as f64)) as usize;
+            regions.push((t0, t1, vlo, vhi));
+            prev_r_lo = rlo;
+        }
+        Ok(region_mindist(&regions, q.raw.values()))
+    }
+
+    fn rep_dist(&self, q: &Query, rep: &Representation) -> Result<f64> {
+        rep_distance(&q.rep, rep)
+    }
+}
+
+// ---------------------------------------------------------------------
+// PLA: features ⟨a_i, b_i⟩, equal windows; per-segment box minimisation.
+// ---------------------------------------------------------------------
+
+/// Scheme for equal-length PLA representations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlaScheme;
+
+/// Exact minimum of `Dist_S²` (Eq. 12) over a coefficient box: the form is
+/// convex in `(Δa, Δb)`, so the minimum is either zero (box contains the
+/// query's coefficients) or attained on one of the four edges, each a
+/// clamped 1-D quadratic.
+fn min_dist_s_sq_over_box(
+    qa: f64,
+    qb: f64,
+    (alo, ahi): (f64, f64),
+    (blo, bhi): (f64, f64),
+    l: usize,
+) -> f64 {
+    if qa >= alo && qa <= ahi && qb >= blo && qb <= bhi {
+        return 0.0;
+    }
+    let lf = l as f64;
+    let big_a = lf * (lf - 1.0) * (2.0 * lf - 1.0) / 6.0;
+    let big_b = lf * (lf - 1.0);
+    let big_c = lf;
+    let eval = |ca: f64, cb: f64| dist_s_sq(qa, qb, ca, cb, l);
+    let mut best = f64::INFINITY;
+    // Edges a = alo and a = ahi: minimise over cb.
+    for ca in [alo, ahi] {
+        let x = qa - ca;
+        // d/dΔb (A x² + B x Δb + C Δb²) = 0 → Δb = −Bx / 2C.
+        let cb = (qb + big_b * x / (2.0 * big_c)).clamp(blo, bhi);
+        best = best.min(eval(ca, cb));
+    }
+    // Edges b = blo and b = bhi: minimise over ca.
+    for cb in [blo, bhi] {
+        let y = qb - cb;
+        let ca = (qa + big_b * y / (2.0 * big_a)).clamp(alo, ahi);
+        best = best.min(eval(ca, cb));
+    }
+    best
+}
+
+impl Scheme for PlaScheme {
+    fn name(&self) -> &'static str {
+        "PLA"
+    }
+
+    fn feature(&self, rep: &Representation) -> Result<Vec<f64>> {
+        let lin = expect_linear(rep)?;
+        let mut out = Vec::with_capacity(2 * lin.num_segments());
+        for seg in lin.segments() {
+            out.push(seg.a);
+            out.push(seg.b);
+        }
+        Ok(out)
+    }
+
+    fn mindist(&self, q: &Query, rect: &HyperRect) -> Result<f64> {
+        let qlin = expect_linear(&q.rep)?;
+        let segs = rect.dims() / 2;
+        if qlin.num_segments() != segs {
+            return Err(Error::MalformedRepresentation {
+                reason: "PLA query/index segment counts differ",
+            });
+        }
+        let mut sum = 0.0;
+        for (i, seg) in qlin.segments().iter().enumerate() {
+            let l = qlin.seg_len(i);
+            sum += min_dist_s_sq_over_box(
+                seg.a,
+                seg.b,
+                rect.dim(2 * i),
+                rect.dim(2 * i + 1),
+                l,
+            );
+        }
+        Ok(sum.sqrt())
+    }
+
+    fn rep_dist(&self, q: &Query, rep: &Representation) -> Result<f64> {
+        dist_pla(expect_linear(&q.rep)?, expect_linear(rep)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// PAA / PAALM: features ⟨v_i⟩, equal windows.
+// ---------------------------------------------------------------------
+
+/// Scheme for PAA/PAALM representations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaaScheme;
+
+impl Scheme for PaaScheme {
+    fn name(&self) -> &'static str {
+        "PAA"
+    }
+
+    fn feature(&self, rep: &Representation) -> Result<Vec<f64>> {
+        let con = rep
+            .as_constant()
+            .ok_or(Error::UnsupportedRepresentation { operation: "PAA scheme" })?;
+        Ok(con.segments().iter().map(|s| s.v).collect())
+    }
+
+    fn mindist(&self, q: &Query, rect: &HyperRect) -> Result<f64> {
+        let qcon = q
+            .rep
+            .as_constant()
+            .ok_or(Error::UnsupportedRepresentation { operation: "PAA scheme" })?;
+        if qcon.num_segments() != rect.dims() {
+            return Err(Error::MalformedRepresentation {
+                reason: "PAA query/index segment counts differ",
+            });
+        }
+        let mut sum = 0.0;
+        let mut start = 0usize;
+        for (i, seg) in qcon.segments().iter().enumerate() {
+            let l = (seg.r + 1 - start) as f64;
+            let (lo, hi) = rect.dim(i);
+            sum += l * interval_sq(seg.v, lo, hi);
+            start = seg.r + 1;
+        }
+        Ok(sum.sqrt())
+    }
+
+    fn rep_dist(&self, q: &Query, rep: &Representation) -> Result<f64> {
+        let qcon = q
+            .rep
+            .as_constant()
+            .ok_or(Error::UnsupportedRepresentation { operation: "PAA scheme" })?;
+        let ccon = rep
+            .as_constant()
+            .ok_or(Error::UnsupportedRepresentation { operation: "PAA scheme" })?;
+        dist_paa(qcon, ccon)
+    }
+}
+
+// ---------------------------------------------------------------------
+// CHEBY: features = coefficients; Parseval point-to-box bound.
+// ---------------------------------------------------------------------
+
+/// Scheme for CHEBY (polynomial) representations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChebyScheme;
+
+impl Scheme for ChebyScheme {
+    fn name(&self) -> &'static str {
+        "CHEBY"
+    }
+
+    fn feature(&self, rep: &Representation) -> Result<Vec<f64>> {
+        match rep {
+            Representation::Polynomial(p) => Ok(p.coeffs.clone()),
+            _ => Err(Error::UnsupportedRepresentation { operation: "CHEBY scheme" }),
+        }
+    }
+
+    fn mindist(&self, q: &Query, rect: &HyperRect) -> Result<f64> {
+        let qc = self.feature(&q.rep)?;
+        if qc.len() != rect.dims() {
+            return Err(Error::MalformedRepresentation {
+                reason: "CHEBY query/index coefficient counts differ",
+            });
+        }
+        Ok(rect.min_sq_dist_point(&qc).sqrt())
+    }
+
+    fn rep_dist(&self, q: &Query, rep: &Representation) -> Result<f64> {
+        rep_distance(&q.rep, rep)
+    }
+}
+
+// ---------------------------------------------------------------------
+// SAX: features = symbol indices; MINDIST to the symbol box.
+// ---------------------------------------------------------------------
+
+/// Scheme for SAX words.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SaxScheme;
+
+impl Scheme for SaxScheme {
+    fn name(&self) -> &'static str {
+        "SAX"
+    }
+
+    fn feature(&self, rep: &Representation) -> Result<Vec<f64>> {
+        match rep {
+            Representation::Symbolic(w) => {
+                Ok(w.symbols.iter().map(|&s| s as f64).collect())
+            }
+            _ => Err(Error::UnsupportedRepresentation { operation: "SAX scheme" }),
+        }
+    }
+
+    fn mindist(&self, q: &Query, rect: &HyperRect) -> Result<f64> {
+        let qw = match &q.rep {
+            Representation::Symbolic(w) => w,
+            _ => return Err(Error::UnsupportedRepresentation { operation: "SAX scheme" }),
+        };
+        if qw.symbols.len() != rect.dims() {
+            return Err(Error::MalformedRepresentation {
+                reason: "SAX query/index word lengths differ",
+            });
+        }
+        let bp = gaussian_breakpoints(qw.alphabet_size);
+        let cell = |a: usize, b: usize| -> f64 {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            if hi - lo <= 1 {
+                0.0
+            } else {
+                bp[hi - 1] - bp[lo]
+            }
+        };
+        let mut sum = 0.0;
+        for (i, &qs) in qw.symbols.iter().enumerate() {
+            let (lo, hi) = rect.dim(i);
+            // Nearest symbol inside the box (cell distance is monotone in
+            // symbol separation).
+            let nearest = (qs as f64).clamp(lo.ceil(), hi.floor().max(lo.ceil()));
+            let d = cell(qs as usize, nearest as usize);
+            sum += d * d;
+        }
+        let w = qw.symbols.len() as f64;
+        Ok((qw.n as f64 / w).sqrt() * sum.sqrt())
+    }
+
+    fn rep_dist(&self, q: &Query, rep: &Representation) -> Result<f64> {
+        match (&q.rep, rep) {
+            (Representation::Symbolic(a), Representation::Symbolic(b)) => mindist(a, b),
+            _ => Err(Error::UnsupportedRepresentation { operation: "SAX scheme" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_baselines::{all_reducers, Pla};
+
+    fn series(seed: usize) -> TimeSeries {
+        TimeSeries::new(
+            (0..64)
+                .map(|t| ((t * (seed + 3)) as f64 * 0.17).sin() * 2.0 + seed as f64 * 0.1)
+                .collect(),
+        )
+        .unwrap()
+        .znormalized()
+    }
+
+    #[test]
+    fn every_method_produces_features_and_distances() {
+        let m = 12;
+        let db = series(1);
+        let qr = series(2);
+        for reducer in all_reducers() {
+            let scheme = scheme_for(reducer.name());
+            let rep = reducer.reduce(&db, m).unwrap();
+            let feat = scheme.feature(&rep).unwrap();
+            assert!(!feat.is_empty(), "{}", reducer.name());
+            let q = Query::new(&qr, reducer.as_ref(), m).unwrap();
+            let d = scheme.rep_dist(&q, &rep).unwrap();
+            assert!(d.is_finite() && d >= 0.0, "{}", reducer.name());
+            let rect = HyperRect::point(&feat);
+            let md = scheme.mindist(&q, &rect).unwrap();
+            assert!(md.is_finite() && md >= 0.0, "{}", reducer.name());
+        }
+    }
+
+    #[test]
+    fn mindist_is_below_rep_dist_for_point_rects() {
+        // A node containing exactly one entry must not filter more
+        // aggressively than the leaf-level distance allows... for the
+        // methods whose node bound provably relaxes the rep distance
+        // (equal-length coefficient-space schemes).
+        let m = 12;
+        let db = series(5);
+        let qr = series(7);
+        for name in ["PLA", "PAA", "CHEBY", "SAX"] {
+            let reducer: Box<dyn Reducer> = match name {
+                "PLA" => Box::new(Pla),
+                "PAA" => Box::new(sapla_baselines::Paa),
+                "CHEBY" => Box::new(sapla_baselines::Cheby),
+                _ => Box::new(sapla_baselines::Sax::default()),
+            };
+            let scheme = scheme_for(name);
+            let rep = reducer.reduce(&db, m).unwrap();
+            let q = Query::new(&qr, reducer.as_ref(), m).unwrap();
+            let rect = HyperRect::point(&scheme.feature(&rep).unwrap());
+            let md = scheme.mindist(&q, &rect).unwrap();
+            let rd = scheme.rep_dist(&q, &rep).unwrap();
+            assert!(md <= rd + 1e-6, "{name}: mindist {md} > rep_dist {rd}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no indexing scheme")]
+    fn unknown_scheme_panics() {
+        let _ = scheme_for("WAVELETS");
+    }
+
+    #[test]
+    fn scheme_names_cover_every_method() {
+        for reducer in all_reducers() {
+            let scheme = scheme_for(reducer.name());
+            assert!(!scheme.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn min_dist_s_over_box_is_a_true_minimum() {
+        let (qa, qb, l) = (1.2, -0.5, 9usize);
+        let abox = (0.0, 0.5);
+        let bbox = (0.5, 1.5);
+        let bound = min_dist_s_sq_over_box(qa, qb, abox, bbox, l);
+        // Grid-check that no box point does better.
+        let mut grid_min = f64::INFINITY;
+        for i in 0..=40 {
+            for j in 0..=40 {
+                let ca = abox.0 + (abox.1 - abox.0) * i as f64 / 40.0;
+                let cb = bbox.0 + (bbox.1 - bbox.0) * j as f64 / 40.0;
+                grid_min = grid_min.min(dist_s_sq(qa, qb, ca, cb, l));
+            }
+        }
+        assert!(bound <= grid_min + 1e-9, "bound {bound} > grid {grid_min}");
+        assert!(bound >= grid_min - 0.05 * grid_min.max(1e-9), "bound too loose");
+        // Inside the box → zero.
+        assert_eq!(min_dist_s_sq_over_box(0.2, 1.0, abox, bbox, l), 0.0);
+    }
+
+    #[test]
+    fn mindist_lower_bounds_every_member_rep_dist() {
+        // For any rect covering a set of features, mindist(q, rect) must
+        // not exceed the smallest rep_dist(q, member) — otherwise the node
+        // filter would prune entries its own leaf filter would keep.
+        let m = 12;
+        let members: Vec<TimeSeries> = (0..10).map(series).collect();
+        let q_raw = series(99);
+        for reducer in all_reducers() {
+            let scheme = scheme_for(reducer.name());
+            let reps: Vec<_> =
+                members.iter().map(|s| reducer.reduce(s, m).unwrap()).collect();
+            let mut rect = HyperRect::point(&scheme.feature(&reps[0]).unwrap());
+            for rep in &reps[1..] {
+                rect.extend_point(&scheme.feature(rep).unwrap());
+            }
+            let q = Query::new(&q_raw, reducer.as_ref(), m).unwrap();
+            let md = scheme.mindist(&q, &rect).unwrap();
+            let min_rep = reps
+                .iter()
+                .map(|r| scheme.rep_dist(&q, r).unwrap())
+                .fold(f64::INFINITY, f64::min);
+            // Adaptive schemes bound the *raw* query against reconstruction
+            // regions rather than the rep distance, so give them headroom;
+            // the equal-length schemes must hold exactly.
+            let slack = match reducer.name() {
+                "SAPLA" | "APLA" | "APCA" => 1.30,
+                _ => 1.0 + 1e-9,
+            };
+            assert!(
+                md <= min_rep * slack + 1e-9,
+                "{}: mindist {md} > min member dist {min_rep}",
+                reducer.name()
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_mindist_grows_with_query_offset() {
+        let reducer = sapla_baselines::SaplaReducer::new();
+        let scheme = AdaptiveLinearScheme;
+        let db = series(3);
+        let rep = reducer.reduce(&db, 12).unwrap();
+        let rect = HyperRect::point(&scheme.feature(&rep).unwrap());
+        let q_near = Query::new(&db, &reducer, 12).unwrap();
+        let far_series = TimeSeries::new(db.values().iter().map(|v| v + 5.0).collect())
+            .unwrap();
+        let q_far = Query {
+            raw: far_series.clone(),
+            sums: far_series.prefix_sums(),
+            rep: q_near.rep.clone(),
+        };
+        let d_near = scheme.mindist(&q_near, &rect).unwrap();
+        let d_far = scheme.mindist(&q_far, &rect).unwrap();
+        assert!(d_far > d_near + 1.0, "near {d_near}, far {d_far}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Tree-shape statistics (Figs. 15 and 16 of the paper).
+
+/// Structural statistics of an index tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TreeShape {
+    /// Number of internal (non-leaf) nodes.
+    pub internal_nodes: usize,
+    /// Number of leaf nodes.
+    pub leaf_nodes: usize,
+    /// Total entries stored in leaves.
+    pub entries: usize,
+    /// Height of the tree (a lone leaf root has height 1).
+    pub height: usize,
+}
+
+impl TreeShape {
+    /// Total node count.
+    pub fn total_nodes(&self) -> usize {
+        self.internal_nodes + self.leaf_nodes
+    }
+
+    /// Mean number of entries per leaf.
+    pub fn avg_leaf_fill(&self) -> f64 {
+        if self.leaf_nodes == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.leaf_nodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = TreeShape { internal_nodes: 5, leaf_nodes: 20, entries: 80, height: 3 };
+        assert_eq!(s.total_nodes(), 25);
+        assert!((s.avg_leaf_fill() - 4.0).abs() < 1e-12);
+        assert_eq!(TreeShape::default().avg_leaf_fill(), 0.0);
+    }
+}

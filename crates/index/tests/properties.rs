@@ -1,0 +1,110 @@
+//! Property-based tests over the index structures: GEMINI exactness for
+//! valid bounds, structural invariants, and build/insert equivalence.
+
+use proptest::prelude::*;
+use sapla_baselines::{Paa, Pla, Reducer, SaplaReducer};
+use sapla_core::{Representation, TimeSeries};
+use sapla_index::{
+    linear_scan_knn, linear_scan_range, scheme_for, DbchTree, Query, RTree,
+};
+
+/// Random small database of regime-style series.
+fn db_strategy(n_series: std::ops::Range<usize>) -> impl Strategy<Value = Vec<TimeSeries>> {
+    (
+        n_series,
+        proptest::collection::vec((-3.0f64..3.0, -0.2f64..0.2, 0.0f64..std::f64::consts::TAU), 40),
+    )
+        .prop_map(|(count, params)| {
+            (0..count)
+                .map(|i| {
+                    let (lvl, slope, phase) = params[i % params.len()];
+                    TimeSeries::new(
+                        (0..48)
+                            .map(|t| {
+                                let x = t as f64;
+                                lvl + slope * x + ((x * 0.4) + phase + i as f64).sin()
+                            })
+                            .collect(),
+                    )
+                    .unwrap()
+                    .znormalized()
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With PAA's unconditional bounds, the R-tree k-NN equals the linear
+    /// scan for every k (GEMINI's no-false-dismissal guarantee).
+    #[test]
+    fn rtree_paa_knn_is_exact(raws in db_strategy(8..30), k in 1usize..6) {
+        let scheme = scheme_for("PAA");
+        let reps: Vec<Representation> =
+            raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
+        let tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+        let q = Query::new(&raws[0], &Paa, 8).unwrap();
+        let got = tree.knn(&q, k, scheme.as_ref(), &raws).unwrap();
+        let want = linear_scan_knn(&raws[0], &raws, k).unwrap();
+        prop_assert_eq!(got.retrieved, want.retrieved);
+    }
+
+    /// Same guarantee for PLA, through range queries.
+    #[test]
+    fn rtree_pla_range_is_exact(raws in db_strategy(8..30), eps in 0.5f64..15.0) {
+        let scheme = scheme_for("PLA");
+        let reps: Vec<Representation> =
+            raws.iter().map(|s| Pla.reduce(s, 8).unwrap()).collect();
+        let tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+        let q = Query::new(&raws[0], &Pla, 8).unwrap();
+        let got = tree.range(&q, eps, scheme.as_ref(), &raws).unwrap();
+        let want = linear_scan_range(&raws[0], &raws, eps).unwrap();
+        prop_assert_eq!(got.retrieved, want.retrieved);
+    }
+
+    /// DBCH structural invariants hold for any database and fill factors.
+    #[test]
+    fn dbch_shape_invariants(raws in db_strategy(3..40), max_fill in 4usize..9) {
+        let scheme = scheme_for("SAPLA");
+        let reducer = SaplaReducer::new();
+        let reps: Vec<Representation> =
+            raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let tree = DbchTree::build(scheme.as_ref(), reps, 2, max_fill).unwrap();
+        let shape = tree.shape();
+        prop_assert_eq!(shape.entries, raws.len());
+        prop_assert!(shape.leaf_nodes >= raws.len().div_ceil(max_fill));
+        prop_assert!(shape.height >= 1);
+        // Every leaf holds at most max_fill entries on average.
+        prop_assert!(shape.avg_leaf_fill() <= max_fill as f64 + 1e-9);
+    }
+
+    /// The k-NN result never contains duplicates and is sorted by exact
+    /// distance, for both trees.
+    #[test]
+    fn knn_results_are_sound(raws in db_strategy(6..25), k in 1usize..8) {
+        let scheme = scheme_for("SAPLA");
+        let reducer = SaplaReducer::new();
+        let reps: Vec<Representation> =
+            raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let rtree = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
+        let dbch = DbchTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+        let q = Query::new(&raws[raws.len() - 1], &reducer, 12).unwrap();
+        for stats in [
+            rtree.knn(&q, k, scheme.as_ref(), &raws).unwrap(),
+            dbch.knn(&q, k, scheme.as_ref(), &raws).unwrap(),
+        ] {
+            prop_assert!(stats.retrieved.len() <= k);
+            let mut ids = stats.retrieved.clone();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), stats.retrieved.len(), "duplicates in result");
+            prop_assert!(stats.distances.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(stats.measured <= raws.len());
+            for (&id, &d) in stats.retrieved.iter().zip(&stats.distances) {
+                let exact = q.raw.euclidean(&raws[id]).unwrap();
+                prop_assert!((exact - d).abs() < 1e-9);
+            }
+        }
+    }
+}

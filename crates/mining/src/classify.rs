@@ -1,0 +1,179 @@
+//! k-NN classification over reduced representations (the paper's
+//! motivating use of similarity search).
+
+use sapla_baselines::Reducer;
+use sapla_core::{Error, Representation, Result, TimeSeries};
+use sapla_distance::rep_distance;
+
+/// A k-NN classifier that stores training series only in reduced form.
+///
+/// ```
+/// use sapla_baselines::{Paa, Reducer};
+/// use sapla_core::TimeSeries;
+/// use sapla_mining::KnnClassifier;
+///
+/// let flat = TimeSeries::new(vec![0.0; 32]).unwrap();
+/// let ramp = TimeSeries::new((0..32).map(|t| t as f64).collect()).unwrap();
+/// let mut clf = KnnClassifier::new(Box::new(Paa), 8);
+/// clf.fit(&[(flat.clone(), 0), (ramp.clone(), 1)]).unwrap();
+/// assert_eq!(clf.predict(&flat, 1).unwrap(), 0);
+/// assert_eq!(clf.predict(&ramp, 1).unwrap(), 1);
+/// ```
+pub struct KnnClassifier {
+    reducer: Box<dyn Reducer>,
+    budget: usize,
+    train: Vec<(Representation, usize)>,
+}
+
+impl KnnClassifier {
+    /// A classifier using `reducer` at coefficient budget `budget`.
+    pub fn new(reducer: Box<dyn Reducer>, budget: usize) -> Self {
+        KnnClassifier { reducer, budget, train: Vec::new() }
+    }
+
+    /// Number of stored training examples.
+    pub fn len(&self) -> usize {
+        self.train.len()
+    }
+
+    /// `true` before any training data is added.
+    pub fn is_empty(&self) -> bool {
+        self.train.is_empty()
+    }
+
+    /// Reduce and store labelled training series (appends to any existing
+    /// training set).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction failures.
+    pub fn fit(&mut self, labelled: &[(TimeSeries, usize)]) -> Result<()> {
+        self.train.reserve(labelled.len());
+        for (series, label) in labelled {
+            let rep = self.reducer.reduce(series, self.budget)?;
+            self.train.push((rep, *label));
+        }
+        Ok(())
+    }
+
+    /// Labels and representation distances of the k nearest training
+    /// examples, closest first.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptySeries`] when untrained; distance errors otherwise.
+    pub fn neighbors(&self, query: &TimeSeries, k: usize) -> Result<Vec<(usize, f64)>> {
+        if self.train.is_empty() {
+            return Err(Error::EmptySeries);
+        }
+        let q = self.reducer.reduce(query, self.budget)?;
+        let mut dists: Vec<(f64, usize)> = Vec::with_capacity(self.train.len());
+        for (rep, label) in &self.train {
+            dists.push((rep_distance(&q, rep)?, *label));
+        }
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Ok(dists.into_iter().take(k.max(1)).map(|(d, l)| (l, d)).collect())
+    }
+
+    /// Majority-vote prediction over the k nearest neighbours (ties break
+    /// toward the closer class).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KnnClassifier::neighbors`] failures.
+    pub fn predict(&self, query: &TimeSeries, k: usize) -> Result<usize> {
+        let nn = self.neighbors(query, k)?;
+        // Count votes; remember each class's best (smallest) distance.
+        let mut votes: Vec<(usize, usize, f64)> = Vec::new(); // (label, count, best)
+        for (label, d) in nn {
+            match votes.iter_mut().find(|(l, _, _)| *l == label) {
+                Some((_, c, best)) => {
+                    *c += 1;
+                    if d < *best {
+                        *best = d;
+                    }
+                }
+                None => votes.push((label, 1, d)),
+            }
+        }
+        votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.total_cmp(&b.2)));
+        Ok(votes[0].0)
+    }
+
+    /// Leave-nothing-out accuracy on a labelled evaluation set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction failures.
+    pub fn accuracy(&self, eval: &[(TimeSeries, usize)], k: usize) -> Result<f64> {
+        if eval.is_empty() {
+            return Ok(1.0);
+        }
+        let mut hits = 0usize;
+        for (series, label) in eval {
+            if self.predict(series, k)? == *label {
+                hits += 1;
+            }
+        }
+        Ok(hits as f64 / eval.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_baselines::SaplaReducer;
+    use sapla_data::generators::{generate, Family};
+
+    fn labelled(families: &[Family], per: usize, seed0: u64) -> Vec<(TimeSeries, usize)> {
+        let mut out = Vec::new();
+        for (label, &f) in families.iter().enumerate() {
+            for i in 0..per {
+                out.push((generate(f, 0, seed0 + i as u64, 128), label));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn untrained_classifier_errors() {
+        let clf = KnnClassifier::new(Box::new(SaplaReducer::new()), 12);
+        let s = TimeSeries::new(vec![1.0; 16]).unwrap();
+        assert!(clf.predict(&s, 1).is_err());
+        assert!(clf.is_empty());
+    }
+
+    #[test]
+    fn separable_families_classify_well() {
+        // RandomWalk vs SmoothPeriodic are far apart after z-normalisation.
+        let fams = [Family::SmoothPeriodic, Family::RandomWalk];
+        let mut clf = KnnClassifier::new(Box::new(SaplaReducer::new()), 12);
+        clf.fit(&labelled(&fams, 10, 1)).unwrap();
+        assert_eq!(clf.len(), 20);
+        let acc = clf.accuracy(&labelled(&fams, 6, 500), 3).unwrap();
+        assert!(acc >= 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k_one_returns_nearest_label() {
+        let fams = [Family::SmoothPeriodic, Family::SpikeTrain];
+        let train = labelled(&fams, 4, 7);
+        let mut clf = KnnClassifier::new(Box::new(SaplaReducer::new()), 12);
+        clf.fit(&train).unwrap();
+        // A training series classifies as its own label.
+        for (s, label) in &train {
+            assert_eq!(clf.predict(s, 1).unwrap(), *label);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let fams = [Family::Burst];
+        let mut clf = KnnClassifier::new(Box::new(SaplaReducer::new()), 12);
+        clf.fit(&labelled(&fams, 8, 3)).unwrap();
+        let q = generate(Family::Burst, 0, 777, 128);
+        let nn = clf.neighbors(&q, 5).unwrap();
+        assert_eq!(nn.len(), 5);
+        assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

@@ -1,0 +1,209 @@
+//! k-medoids clustering of reduced representations (PAM-style: greedy
+//! farthest-first seeding, then alternating assignment and medoid
+//! updates).
+//!
+//! Running entirely in representation space keeps each distance `O(N)`
+//! instead of `O(n)` — the same economics as the paper's similarity
+//! search.
+
+use sapla_core::{Error, Representation, Result};
+use sapla_distance::rep_distance;
+
+/// A clustering result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Indices of the medoid series, one per cluster.
+    pub medoids: Vec<usize>,
+    /// Cluster id per input series (indexes into `medoids`).
+    pub assignment: Vec<usize>,
+}
+
+impl Clustering {
+    /// Members of cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Cluster `reps` into `k` groups under [`rep_distance`].
+///
+/// Deterministic: seeding starts from index 0 and proceeds
+/// farthest-first; iteration stops at a fixed point or after
+/// `max_iters` rounds.
+///
+/// # Errors
+///
+/// [`Error::InvalidSegmentCount`] when `k` is zero or exceeds the input
+/// size; distance errors otherwise.
+pub fn k_medoids(reps: &[Representation], k: usize, max_iters: usize) -> Result<Clustering> {
+    let n = reps.len();
+    if k == 0 || k > n {
+        return Err(Error::InvalidSegmentCount { segments: k, len: n });
+    }
+    // Distance matrix once: O(n²) rep distances (each O(N)).
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = rep_distance(&reps[i], &reps[j])?;
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let d = |i: usize, j: usize| dist[i * n + j];
+
+    // Farthest-first seeding from index 0.
+    let mut medoids = vec![0usize];
+    while medoids.len() < k {
+        let next = (0..n)
+            .filter(|i| !medoids.contains(i))
+            .max_by(|&a, &b| {
+                let da = medoids.iter().map(|&m| d(a, m)).fold(f64::INFINITY, f64::min);
+                let db = medoids.iter().map(|&m| d(b, m)).fold(f64::INFINITY, f64::min);
+                da.total_cmp(&db)
+            })
+            .expect("k <= n leaves candidates");
+        medoids.push(next);
+    }
+
+    let assign = |medoids: &[usize]| -> Vec<usize> {
+        (0..n)
+            .map(|i| {
+                medoids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| d(i, a).total_cmp(&d(i, b)))
+                    .map(|(c, _)| c)
+                    .expect("at least one medoid")
+            })
+            .collect()
+    };
+
+    let mut assignment = assign(&medoids);
+    for _ in 0..max_iters {
+        let mut changed = false;
+        #[allow(clippy::needless_range_loop)] // c is the cluster id, used on both sides
+        for c in 0..k {
+            // Best medoid for cluster c: the member minimising the total
+            // in-cluster distance.
+            let members: Vec<usize> =
+                (0..n).filter(|&i| assignment[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let ca: f64 = members.iter().map(|&m| d(a, m)).sum();
+                    let cb: f64 = members.iter().map(|&m| d(b, m)).sum();
+                    ca.total_cmp(&cb)
+                })
+                .expect("non-empty cluster");
+            if best != medoids[c] {
+                medoids[c] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        assignment = assign(&medoids);
+    }
+    Ok(Clustering { medoids, assignment })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_baselines::{Reducer, SaplaReducer};
+    use sapla_data::generators::{generate, Family};
+
+    fn reps_of(families: &[Family], per: usize) -> Vec<Representation> {
+        let reducer = SaplaReducer::new();
+        let mut out = Vec::new();
+        for &f in families {
+            for i in 0..per {
+                let s = generate(f, 0, 50 + i as u64, 128);
+                out.push(reducer.reduce(&s, 12).unwrap());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let reps = reps_of(&[Family::SmoothPeriodic], 3);
+        assert!(k_medoids(&reps, 0, 5).is_err());
+        assert!(k_medoids(&reps, 4, 5).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_puts_every_item_alone() {
+        let reps = reps_of(&[Family::SmoothPeriodic], 4);
+        let c = k_medoids(&reps, 4, 5).unwrap();
+        let mut medoids = c.medoids.clone();
+        medoids.sort_unstable();
+        medoids.dedup();
+        assert_eq!(medoids.len(), 4);
+        for i in 0..4 {
+            assert_eq!(c.members(c.assignment[i]).len(), 1);
+        }
+    }
+
+    #[test]
+    fn separable_classes_cluster_apart() {
+        // Two phase-aligned shape classes (sine vs triangle ramp) with
+        // per-member jitter: k = 2 must recover the classes exactly.
+        // (Catalogue families randomise phases, so same-family members are
+        // *not* close under an alignment-sensitive distance — that is why
+        // this test builds aligned classes explicitly.)
+        let reducer = SaplaReducer::new();
+        let mk = |shape: usize, jitter: u64| {
+            let v: Vec<f64> = (0..128)
+                .map(|t| {
+                    let x = t as f64;
+                    let noise = 0.05 * (((t as u64 + jitter) * 2654435761 % 17) as f64 - 8.0);
+                    match shape {
+                        0 => (x * 0.1).sin() * 4.0 + noise,
+                        _ => ((x % 32.0) - 16.0).abs() * 0.3 + noise,
+                    }
+                })
+                .collect();
+            let s = sapla_core::TimeSeries::new(v).unwrap().znormalized();
+            reducer.reduce(&s, 12).unwrap()
+        };
+        let reps: Vec<Representation> = (0..6)
+            .map(|i| mk(0, i))
+            .chain((0..6).map(|i| mk(1, 100 + i)))
+            .collect();
+        let c = k_medoids(&reps, 2, 10).unwrap();
+        let first = c.assignment[0];
+        assert!(c.assignment[..6].iter().all(|&a| a == first), "{:?}", c.assignment);
+        assert!(c.assignment[6..].iter().all(|&a| a != first), "{:?}", c.assignment);
+    }
+
+    #[test]
+    fn assignment_is_nearest_medoid() {
+        let reps = reps_of(&[Family::Burst, Family::SpikeTrain], 4);
+        let c = k_medoids(&reps, 3, 10).unwrap();
+        for (i, &a) in c.assignment.iter().enumerate() {
+            let di = rep_distance(&reps[i], &reps[c.medoids[a]]).unwrap();
+            for &m in &c.medoids {
+                let dm = rep_distance(&reps[i], &reps[m]).unwrap();
+                assert!(di <= dm + 1e-9, "item {i} not assigned to nearest medoid");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let reps = reps_of(&[Family::MixedHarmonic], 8);
+        let a = k_medoids(&reps, 3, 10).unwrap();
+        let b = k_medoids(&reps, 3, 10).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Discord (anomaly) detection: a series is anomalous when even its
+//! nearest neighbour is far away. Scores are computed in representation
+//! space (`O(N)` per pair instead of `O(n)`).
+
+use sapla_core::{Representation, Result};
+use sapla_distance::rep_distance;
+
+/// 1-NN distance of every representation to the rest of the collection
+/// (higher = more anomalous). `O(m²)` representation distances for `m`
+/// series.
+///
+/// # Errors
+///
+/// Propagates distance failures (mixed representation kinds or lengths).
+pub fn discord_scores(reps: &[Representation]) -> Result<Vec<f64>> {
+    let m = reps.len();
+    let mut scores = vec![f64::INFINITY; m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let d = rep_distance(&reps[i], &reps[j])?;
+            if d < scores[i] {
+                scores[i] = d;
+            }
+            if d < scores[j] {
+                scores[j] = d;
+            }
+        }
+    }
+    if m == 1 {
+        scores[0] = 0.0;
+    }
+    Ok(scores)
+}
+
+/// Indices of the `k` strongest discords, most anomalous first.
+///
+/// # Errors
+///
+/// Propagates [`discord_scores`] failures.
+pub fn top_discords(reps: &[Representation], k: usize) -> Result<Vec<usize>> {
+    let scores = discord_scores(reps)?;
+    let mut order: Vec<usize> = (0..reps.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    order.truncate(k);
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_baselines::{Reducer, SaplaReducer};
+    use sapla_core::TimeSeries;
+    use sapla_data::generators::{generate, Family};
+
+    #[test]
+    fn planted_outlier_ranks_first() {
+        let reducer = SaplaReducer::new();
+        let mut reps: Vec<Representation> = (0..15)
+            .map(|i| {
+                reducer.reduce(&generate(Family::SmoothPeriodic, 0, i, 128), 12).unwrap()
+            })
+            .collect();
+        // Plant a random walk among smooth periodics.
+        let outlier = generate(Family::RandomWalk, 0, 99, 128);
+        reps.push(reducer.reduce(&outlier, 12).unwrap());
+        let top = top_discords(&reps, 3).unwrap();
+        assert_eq!(top[0], 15, "outlier should rank first: {top:?}");
+    }
+
+    #[test]
+    fn identical_series_score_zero() {
+        let reducer = SaplaReducer::new();
+        let s = TimeSeries::new((0..64).map(|t| (t as f64 * 0.2).sin()).collect()).unwrap();
+        let rep = reducer.reduce(&s, 12).unwrap();
+        let scores = discord_scores(&[rep.clone(), rep.clone(), rep]).unwrap();
+        assert!(scores.iter().all(|&x| x < 1e-9));
+    }
+
+    #[test]
+    fn single_series_is_not_anomalous() {
+        let reducer = SaplaReducer::new();
+        let s = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let rep = reducer.reduce(&s, 3).unwrap();
+        assert_eq!(discord_scores(&[rep]).unwrap(), vec![0.0]);
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_bounded() {
+        let reducer = SaplaReducer::new();
+        let reps: Vec<Representation> = (0..10)
+            .map(|i| reducer.reduce(&generate(Family::Burst, 1, i, 96), 12).unwrap())
+            .collect();
+        let scores = discord_scores(&reps).unwrap();
+        let top = top_discords(&reps, 4).unwrap();
+        assert_eq!(top.len(), 4);
+        for w in top.windows(2) {
+            assert!(scores[w[0]] >= scores[w[1]]);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Short-horizon forecasting from reduced representations ("prediction",
+//! the remaining task on the paper's downstream list).
+//!
+//! Two estimators, both reading only the representation:
+//!
+//! * [`extrapolate`] — continue the last segment's fitted line (the local
+//!   trend), the natural forecast for a piecewise-linear model;
+//! * [`damped_extrapolate`] — the same with the slope geometrically damped
+//!   toward zero, the standard guard against trend overshoot on long
+//!   horizons.
+
+use sapla_core::{Error, PiecewiseLinear, Result};
+
+/// Continue the final segment's line for `horizon` future steps.
+///
+/// # Errors
+///
+/// [`Error::InvalidSegmentCount`] when the representation is empty
+/// (cannot happen for validated representations) — kept for API symmetry.
+pub fn extrapolate(rep: &PiecewiseLinear, horizon: usize) -> Result<Vec<f64>> {
+    let seg = *rep
+        .segments()
+        .last()
+        .ok_or(Error::InvalidSegmentCount { segments: 1, len: 0 })?;
+    let start = rep.start(rep.num_segments() - 1);
+    let len = seg.r + 1 - start;
+    Ok((1..=horizon)
+        .map(|h| seg.a * (len - 1 + h) as f64 + seg.b)
+        .collect())
+}
+
+/// [`extrapolate`] with slope damping: step `h` uses an effective slope of
+/// `a · φ^h` (`0 < φ ≤ 1`); `φ = 1` recovers the undamped forecast.
+///
+/// # Errors
+///
+/// See [`extrapolate`].
+pub fn damped_extrapolate(
+    rep: &PiecewiseLinear,
+    horizon: usize,
+    phi: f64,
+) -> Result<Vec<f64>> {
+    let seg = *rep
+        .segments()
+        .last()
+        .ok_or(Error::InvalidSegmentCount { segments: 1, len: 0 })?;
+    let start = rep.start(rep.num_segments() - 1);
+    let len = seg.r + 1 - start;
+    let phi = phi.clamp(0.0, 1.0);
+    let last = seg.a * (len - 1) as f64 + seg.b;
+    let mut out = Vec::with_capacity(horizon);
+    let mut level = last;
+    let mut damp = 1.0;
+    for _ in 0..horizon {
+        damp *= phi;
+        level += seg.a * damp;
+        out.push(level);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_core::sapla::Sapla;
+    use sapla_core::TimeSeries;
+
+    fn rep_of(v: Vec<f64>, n: usize) -> PiecewiseLinear {
+        Sapla::with_segments(n).reduce(&TimeSeries::new(v).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn linear_trend_is_continued_exactly() {
+        let v: Vec<f64> = (0..50).map(|t| 2.0 * t as f64 + 1.0).collect();
+        let rep = rep_of(v, 2);
+        let fc = extrapolate(&rep, 3).unwrap();
+        for (h, &y) in fc.iter().enumerate() {
+            let want = 2.0 * (50 + h) as f64 + 1.0;
+            assert!((y - want).abs() < 1e-6, "h={h}: {y} vs {want}");
+        }
+    }
+
+    #[test]
+    fn only_the_last_regime_matters() {
+        // A rise followed by a fall: the forecast must continue the fall.
+        let mut v: Vec<f64> = (0..40).map(|t| t as f64).collect();
+        v.extend((0..40).map(|t| 39.0 - 2.0 * t as f64));
+        let rep = rep_of(v, 2);
+        let fc = extrapolate(&rep, 2).unwrap();
+        assert!(fc[1] < fc[0], "forecast should keep falling: {fc:?}");
+        assert!(fc[0] < -35.0);
+    }
+
+    #[test]
+    fn damping_flattens_long_horizons() {
+        let v: Vec<f64> = (0..30).map(|t| 3.0 * t as f64).collect();
+        let rep = rep_of(v, 1);
+        let raw = extrapolate(&rep, 20).unwrap();
+        let damped = damped_extrapolate(&rep, 20, 0.8).unwrap();
+        assert!(damped[19] < raw[19], "damped {} vs raw {}", damped[19], raw[19]);
+        // φ = 1 recovers the raw forecast.
+        let undamped = damped_extrapolate(&rep, 20, 1.0).unwrap();
+        for (a, b) in undamped.iter().zip(&raw) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn horizon_zero_is_empty() {
+        let v: Vec<f64> = (0..10).map(|t| t as f64).collect();
+        let rep = rep_of(v, 1);
+        assert!(extrapolate(&rep, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn phi_zero_holds_the_level() {
+        let v: Vec<f64> = (0..20).map(|t| t as f64).collect();
+        let rep = rep_of(v, 1);
+        let fc = damped_extrapolate(&rep, 5, 0.0).unwrap();
+        let last = 19.0;
+        for y in fc {
+            assert!((y - last).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # sapla-mining
+//!
+//! The downstream mining tasks the SAPLA paper's introduction motivates —
+//! "classification, prediction, clustering, anomaly detection, motif
+//! discovery, and semantic segmentation" — implemented over reduced
+//! representations so the expensive raw-space work happens only during
+//! final refinement:
+//!
+//! * [`classify`] — k-NN classification with majority voting.
+//! * [`cluster`] — k-medoids clustering under any representation distance.
+//! * [`discord`] — anomaly (discord) scoring by nearest-neighbour
+//!   distance.
+//! * [`forecast`] — short-horizon prediction by trend extrapolation.
+//! * [`motif`] — closest-pair motif discovery with representation-space
+//!   candidate filtering and exact refinement.
+//! * [`segment`] — semantic segmentation: SAPLA's adaptive endpoints *are*
+//!   change points.
+//! * [`subsequence`] — best-match subsequence search over sliding windows.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod classify;
+pub mod cluster;
+pub mod discord;
+pub mod forecast;
+pub mod motif;
+pub mod segment;
+pub mod subsequence;
+
+pub use classify::KnnClassifier;
+pub use cluster::{k_medoids, Clustering};
+pub use discord::{discord_scores, top_discords};
+pub use forecast::{damped_extrapolate, extrapolate};
+pub use motif::{find_motif, Motif};
+pub use segment::change_points;
+pub use subsequence::{best_matches, SubsequenceMatch};

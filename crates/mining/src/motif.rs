@@ -1,0 +1,134 @@
+//! Motif discovery: the closest pair of series in a collection,
+//! found with representation-space candidate filtering and exact
+//! Euclidean refinement.
+
+use sapla_core::{Error, Representation, Result, TimeSeries};
+use sapla_distance::{euclidean, rep_distance};
+
+/// A discovered motif pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Motif {
+    /// Index of the first member.
+    pub a: usize,
+    /// Index of the second member.
+    pub b: usize,
+    /// Exact Euclidean distance between the members.
+    pub distance: f64,
+    /// How many exact distances the refinement computed (of the
+    /// `m(m−1)/2` a brute-force search would need).
+    pub refined_pairs: usize,
+}
+
+/// Find the closest pair under the exact Euclidean distance.
+///
+/// All `m(m−1)/2` pairs are ranked by their cheap representation distance
+/// and refined in that order; refinement stops once the best exact
+/// distance is below `slack ×` the next candidate's representation
+/// distance (with `Dist_PAR`'s conditional bound, `slack < 1.0` trades
+/// certainty for speed; `slack = 1.0` is the natural setting for true
+/// lower bounds).
+///
+/// # Errors
+///
+/// [`Error::InvalidSegmentCount`] for collections of fewer than two
+/// series; distance errors otherwise.
+pub fn find_motif(
+    raws: &[TimeSeries],
+    reps: &[Representation],
+    slack: f64,
+) -> Result<Motif> {
+    let m = raws.len();
+    if m < 2 || reps.len() != m {
+        return Err(Error::InvalidSegmentCount { segments: 2, len: m });
+    }
+    // Rank pairs by representation distance.
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(m * (m - 1) / 2);
+    for i in 0..m {
+        for j in (i + 1)..m {
+            pairs.push((rep_distance(&reps[i], &reps[j])?, i, j));
+        }
+    }
+    pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
+
+    let mut best = Motif { a: 0, b: 1, distance: f64::INFINITY, refined_pairs: 0 };
+    for &(rep_d, i, j) in &pairs {
+        if best.distance <= slack * rep_d && best.refined_pairs > 0 {
+            break; // every remaining candidate is (approximately) farther
+        }
+        let exact = euclidean(&raws[i], &raws[j])?;
+        best.refined_pairs += 1;
+        if exact < best.distance {
+            best = Motif { a: i, b: j, distance: exact, refined_pairs: best.refined_pairs };
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_baselines::{Reducer, SaplaReducer};
+    use sapla_data::generators::{generate, Family};
+
+    fn collection() -> (Vec<TimeSeries>, Vec<Representation>) {
+        let reducer = SaplaReducer::new();
+        let mut raws: Vec<TimeSeries> = (0..12)
+            .map(|i| generate(Family::MixedHarmonic, i % 3, 10 + i, 128))
+            .collect();
+        // Plant a near-duplicate pair: series 3 plus a whisper of noise.
+        let near: Vec<f64> = raws[3]
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(t, v)| v + 1e-3 * ((t * 7) % 5) as f64)
+            .collect();
+        raws.push(TimeSeries::new(near).unwrap());
+        let reps = raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        (raws, reps)
+    }
+
+    #[test]
+    fn finds_the_planted_pair() {
+        let (raws, reps) = collection();
+        let motif = find_motif(&raws, &reps, 1.0).unwrap();
+        assert_eq!((motif.a, motif.b), (3, 12));
+        assert!(motif.distance < 0.1);
+    }
+
+    #[test]
+    fn refinement_prunes_most_pairs() {
+        let (raws, reps) = collection();
+        let motif = find_motif(&raws, &reps, 1.0).unwrap();
+        let all_pairs = raws.len() * (raws.len() - 1) / 2;
+        assert!(
+            motif.refined_pairs < all_pairs,
+            "refined {} of {all_pairs}",
+            motif.refined_pairs
+        );
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let (raws, reps) = collection();
+        let motif = find_motif(&raws, &reps, 1.0).unwrap();
+        let mut best = (f64::INFINITY, 0usize, 0usize);
+        for i in 0..raws.len() {
+            for j in (i + 1)..raws.len() {
+                let d = euclidean(&raws[i], &raws[j]).unwrap();
+                if d < best.0 {
+                    best = (d, i, j);
+                }
+            }
+        }
+        assert_eq!((motif.a, motif.b), (best.1, best.2));
+        assert!((motif.distance - best.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_tiny_collections() {
+        let s = TimeSeries::new(vec![1.0, 2.0]).unwrap();
+        let reducer = SaplaReducer::new();
+        let rep = reducer.reduce(&s, 3).unwrap();
+        assert!(find_motif(&[s], &[rep], 1.0).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Semantic segmentation: SAPLA's adaptive endpoints are change-point
+//! estimates — the segmentation that minimises the β objective cuts where
+//! the signal's linear regime changes.
+
+use sapla_core::sapla::Sapla;
+use sapla_core::{Result, TimeSeries};
+
+/// Estimate `k` change points of `series` (the internal endpoints of a
+/// `(k+1)`-segment SAPLA reduction, i.e. the last index of each regime
+/// except the final one).
+///
+/// ```
+/// use sapla_core::TimeSeries;
+/// use sapla_mining::change_points;
+///
+/// let mut v = vec![0.0; 50];
+/// v.extend(vec![5.0; 50]);
+/// let cps = change_points(&TimeSeries::new(v)?, 1)?;
+/// assert!((cps[0] as isize - 49).abs() <= 2);
+/// # Ok::<(), sapla_core::Error>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`Sapla::reduce`] failures (series shorter than `k + 1`).
+pub fn change_points(series: &TimeSeries, k: usize) -> Result<Vec<usize>> {
+    let rep = Sapla::with_segments(k + 1).reduce(series)?;
+    let mut ends = rep.endpoints();
+    ends.pop(); // the last endpoint is the series end, not a change
+    Ok(ends)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(v).unwrap()
+    }
+
+    #[test]
+    fn finds_a_single_level_shift() {
+        let mut v = vec![0.0; 60];
+        v.extend(vec![8.0; 60]);
+        let cps = change_points(&ts(v), 1).unwrap();
+        assert_eq!(cps.len(), 1);
+        assert!(
+            (cps[0] as isize - 59).abs() <= 2,
+            "change point {} should be near 59",
+            cps[0]
+        );
+    }
+
+    #[test]
+    fn finds_slope_breaks() {
+        let mut v: Vec<f64> = (0..50).map(|t| 0.5 * t as f64).collect();
+        v.extend((0..50).map(|t| 24.5 - 1.0 * t as f64));
+        v.extend((0..50).map(|t| -24.5 + 0.2 * t as f64));
+        let cps = change_points(&ts(v), 2).unwrap();
+        assert_eq!(cps.len(), 2);
+        assert!((cps[0] as isize - 49).abs() <= 3, "{cps:?}");
+        assert!((cps[1] as isize - 99).abs() <= 3, "{cps:?}");
+    }
+
+    #[test]
+    fn zero_changes_is_empty() {
+        let v: Vec<f64> = (0..40).map(|t| t as f64).collect();
+        assert!(change_points(&ts(v), 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn change_points_are_sorted_and_interior() {
+        let v: Vec<f64> = (0..200)
+            .map(|t| ((t / 40) as f64) * 3.0 + (t as f64 * 0.7).sin() * 0.1)
+            .collect();
+        let n = v.len();
+        let cps = change_points(&ts(v), 4).unwrap();
+        assert_eq!(cps.len(), 4);
+        assert!(cps.windows(2).all(|w| w[0] < w[1]));
+        assert!(cps.iter().all(|&c| c < n - 1));
+    }
+}

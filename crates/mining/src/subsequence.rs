@@ -1,0 +1,149 @@
+//! Subsequence matching (Faloutsos et al.'s original GEMINI use case,
+//! the paper's reference \[10\]): find where a short query pattern occurs
+//! inside a long series.
+//!
+//! Sliding windows of the query's length are reduced once; candidates are
+//! ranked by representation distance and refined exactly, so the `O(n·w)`
+//! exact work only happens for the most promising offsets.
+
+use sapla_baselines::Reducer;
+use sapla_core::{Error, Representation, Result, TimeSeries};
+use sapla_distance::{euclidean, rep_distance};
+
+/// One subsequence match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubsequenceMatch {
+    /// Window start offset within the long series.
+    pub offset: usize,
+    /// Exact Euclidean distance between the query and the window.
+    pub distance: f64,
+}
+
+/// Find the `k` best non-overlapping matches of `query` inside `haystack`.
+///
+/// Windows slide with `stride`; `refine_factor × k` representation-space
+/// candidates are refined exactly (a small factor compensates for the
+/// conditional `Dist_PAR` bound; 3–5 is plenty in practice).
+///
+/// # Errors
+///
+/// [`Error::InvalidWindow`] when the query is longer than the haystack;
+/// reduction/distance errors otherwise.
+pub fn best_matches(
+    haystack: &TimeSeries,
+    query: &TimeSeries,
+    reducer: &dyn Reducer,
+    budget: usize,
+    stride: usize,
+    k: usize,
+    refine_factor: usize,
+) -> Result<Vec<SubsequenceMatch>> {
+    let w = query.len();
+    let n = haystack.len();
+    if w > n {
+        return Err(Error::InvalidWindow { start: 0, end: w, len: n });
+    }
+    let stride = stride.max(1);
+    let q_rep = reducer.reduce(query, budget)?;
+
+    // Reduce every window (this is the "ingest" cost, paid once per
+    // haystack and reusable across queries of the same length).
+    let mut candidates: Vec<(f64, usize)> = Vec::new();
+    let mut offset = 0usize;
+    while offset + w <= n {
+        let window =
+            TimeSeries::new(haystack.values()[offset..offset + w].to_vec())?;
+        let rep: Representation = reducer.reduce(&window, budget)?;
+        candidates.push((rep_distance(&q_rep, &rep)?, offset));
+        offset += stride;
+    }
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    // Exact refinement of the top candidates, keeping non-overlapping
+    // winners.
+    let mut exact: Vec<SubsequenceMatch> = Vec::new();
+    for &(_, offset) in candidates.iter().take((refine_factor.max(1)) * k.max(1)) {
+        let window =
+            TimeSeries::new(haystack.values()[offset..offset + w].to_vec())?;
+        let d = euclidean(query, &window)?;
+        exact.push(SubsequenceMatch { offset, distance: d });
+    }
+    exact.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    let mut picked: Vec<SubsequenceMatch> = Vec::new();
+    for m in exact {
+        if picked.iter().all(|p| p.offset.abs_diff(m.offset) >= w) {
+            picked.push(m);
+            if picked.len() == k {
+                break;
+            }
+        }
+    }
+    Ok(picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_baselines::SaplaReducer;
+
+    fn haystack_with_pattern(at: &[usize]) -> (TimeSeries, TimeSeries) {
+        let n = 600;
+        let w = 40;
+        let pattern: Vec<f64> =
+            (0..w).map(|t| (t as f64 * 0.35).sin() * 5.0).collect();
+        let mut values: Vec<f64> =
+            (0..n).map(|t| 0.4 * ((t * 13) % 7) as f64).collect();
+        for &off in at {
+            for (u, &p) in pattern.iter().enumerate() {
+                values[off + u] = p;
+            }
+        }
+        (
+            TimeSeries::new(values).unwrap(),
+            TimeSeries::new(pattern).unwrap(),
+        )
+    }
+
+    #[test]
+    fn finds_planted_occurrences() {
+        let (hay, query) = haystack_with_pattern(&[100, 400]);
+        let hits =
+            best_matches(&hay, &query, &SaplaReducer::new(), 12, 1, 2, 5).unwrap();
+        assert_eq!(hits.len(), 2);
+        let mut offsets: Vec<usize> = hits.iter().map(|m| m.offset).collect();
+        offsets.sort_unstable();
+        assert_eq!(offsets, vec![100, 400]);
+        assert!(hits.iter().all(|m| m.distance < 1e-9));
+    }
+
+    #[test]
+    fn matches_do_not_overlap() {
+        let (hay, query) = haystack_with_pattern(&[200]);
+        let hits =
+            best_matches(&hay, &query, &SaplaReducer::new(), 12, 1, 3, 5).unwrap();
+        for (i, a) in hits.iter().enumerate() {
+            for b in &hits[i + 1..] {
+                assert!(a.offset.abs_diff(b.offset) >= query.len());
+            }
+        }
+    }
+
+    #[test]
+    fn stride_trades_resolution() {
+        let (hay, query) = haystack_with_pattern(&[250]);
+        // Stride 10 still lands within 10 of the plant.
+        let hits =
+            best_matches(&hay, &query, &SaplaReducer::new(), 12, 10, 1, 5).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].offset.abs_diff(250) <= 10, "offset {}", hits[0].offset);
+    }
+
+    #[test]
+    fn query_longer_than_haystack_errors() {
+        let hay = TimeSeries::new(vec![0.0; 10]).unwrap();
+        let query = TimeSeries::new(vec![0.0; 20]).unwrap();
+        assert!(
+            best_matches(&hay, &query, &SaplaReducer::new(), 6, 1, 1, 3).is_err()
+        );
+    }
+}

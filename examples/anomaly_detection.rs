@@ -1,0 +1,64 @@
+//! Anomaly detection with SAPLA — a downstream task from the paper's
+//! introduction: the series whose nearest neighbour (under the reduced
+//! representation) is farthest away is the discord candidate.
+//!
+//! We plant one anomalous series in a fleet of normal ones, score every
+//! series by its 1-NN distance computed with `Dist_PAR` over SAPLA
+//! representations, and check the plant is found — at a fraction of the
+//! exact-distance cost.
+//!
+//! Run with: `cargo run --release -p sapla-cli --example anomaly_detection`
+
+use sapla_baselines::{Reducer, SaplaReducer};
+use sapla_core::TimeSeries;
+use sapla_data::generators::{generate, Family};
+use sapla_distance::dist_par;
+
+fn main() {
+    // 60 normal heartbeat-like series …
+    let mut fleet: Vec<TimeSeries> =
+        (0..60).map(|i| generate(Family::SpikeTrain, 2, 100 + i, 512)).collect();
+    // … plus one with an injected arrhythmia: a violent low-frequency
+    // oscillation replacing the quiet baseline for ~180 samples.
+    let mut anomaly = generate(Family::SpikeTrain, 2, 999, 512).into_values();
+    for (i, v) in anomaly.iter_mut().enumerate().skip(150).take(180) {
+        *v += 8.0 * ((i as f64) * 0.05).sin();
+    }
+    let planted = fleet.len();
+    fleet.push(TimeSeries::new(anomaly).unwrap().znormalized());
+
+    // Reduce the whole fleet once (this is the point: scoring runs on
+    // 24 coefficients instead of 512 raw points).
+    let reducer = SaplaReducer::new();
+    let reps: Vec<_> = fleet
+        .iter()
+        .map(|s| {
+            reducer
+                .reduce(s, 24)
+                .expect("valid budget")
+                .as_linear()
+                .expect("SAPLA is linear")
+                .clone()
+        })
+        .collect();
+
+    // Discord score: distance to the nearest other series, in rep space.
+    let mut scores: Vec<(f64, usize)> = (0..reps.len())
+        .map(|i| {
+            let nn = (0..reps.len())
+                .filter(|&j| j != i)
+                .map(|j| dist_par(&reps[i], &reps[j]).expect("same length"))
+                .fold(f64::INFINITY, f64::min);
+            (nn, i)
+        })
+        .collect();
+    scores.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    println!("top-3 discord candidates (1-NN Dist_PAR, higher = more anomalous):");
+    for (score, id) in scores.iter().take(3) {
+        let marker = if *id == planted { "  <-- planted anomaly" } else { "" };
+        println!("  series {id:2}: {score:.3}{marker}");
+    }
+    assert_eq!(scores[0].1, planted, "the planted anomaly must rank first");
+    println!("\nfound the planted anomaly at rank 1 using only SAPLA coefficients.");
+}

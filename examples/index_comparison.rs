@@ -1,0 +1,61 @@
+//! R-tree vs DBCH-tree head to head: the overlap problem in action.
+//!
+//! Homogeneous series (same data source) produce adaptive-length MBRs
+//! that overlap heavily, degrading the R-tree; the DBCH-tree bounds nodes
+//! by `Dist_PAR` instead. This example measures both on one dataset.
+//!
+//! Run with: `cargo run --release -p sapla-cli --example index_comparison`
+
+use sapla_baselines::{Reducer, SaplaReducer};
+use sapla_data::{catalogue, Protocol};
+use sapla_index::{scheme_for, DbchTree, Query, RTree};
+
+fn main() {
+    let spec = catalogue()
+        .into_iter()
+        .find(|d| d.name == "SmoothPeriodic_00")
+        .expect("catalogue always contains SmoothPeriodic_00");
+    let protocol = Protocol { series_len: 256, series_per_dataset: 100, queries_per_dataset: 5 };
+    let ds = spec.load(&protocol);
+
+    let reducer = SaplaReducer::new();
+    let m = 12;
+    let scheme = scheme_for("SAPLA");
+    let reps: Vec<_> = ds
+        .series
+        .iter()
+        .map(|s| reducer.reduce(s, m).expect("valid budget"))
+        .collect();
+
+    let rtree = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).expect("rtree");
+    let dbch = DbchTree::build(scheme.as_ref(), reps, 2, 5).expect("dbch");
+
+    println!("tree shapes over {} homogeneous series:", ds.series.len());
+    for (name, shape) in [("R-tree", rtree.shape()), ("DBCH-tree", dbch.shape())] {
+        println!(
+            "  {name:9} internal = {:3}  leaves = {:3}  height = {}  avg leaf fill = {:.2}",
+            shape.internal_nodes,
+            shape.leaf_nodes,
+            shape.height,
+            shape.avg_leaf_fill()
+        );
+    }
+
+    let k = 8;
+    let (mut rho_r, mut rho_d, mut acc_r, mut acc_d) = (0.0, 0.0, 0.0, 0.0);
+    for qraw in &ds.queries {
+        let q = Query::new(qraw, &reducer, m).expect("reduce query");
+        let truth = ds.exact_knn(qraw, k);
+        let r = rtree.knn(&q, k, scheme.as_ref(), &ds.series).expect("knn");
+        let d = dbch.knn(&q, k, scheme.as_ref(), &ds.series).expect("knn");
+        rho_r += r.pruning_power();
+        rho_d += d.pruning_power();
+        acc_r += r.accuracy(&truth);
+        acc_d += d.accuracy(&truth);
+    }
+    let nq = ds.queries.len() as f64;
+    println!("\n{k}-NN over {} queries:", ds.queries.len());
+    println!("  R-tree:    pruning power ρ = {:.3}, accuracy = {:.3}", rho_r / nq, acc_r / nq);
+    println!("  DBCH-tree: pruning power ρ = {:.3}, accuracy = {:.3}", rho_d / nq, acc_d / nq);
+    println!("\n(the paper's Fig. 13: DBCH-tree lifts adaptive methods' pruning & accuracy)");
+}

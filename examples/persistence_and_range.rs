@@ -1,0 +1,63 @@
+//! Persist a reduced database with the binary codec, reload it into a
+//! fresh index via incremental inserts, and answer ε-range queries —
+//! the storage + maintenance story of a deployed similarity-search
+//! service.
+//!
+//! Run with: `cargo run --release -p sapla-cli --example persistence_and_range`
+
+use sapla_baselines::{reduce_batch_parallel, SaplaReducer};
+use sapla_core::codec::{decode_collection, encode_collection};
+use sapla_data::{catalogue, Protocol};
+use sapla_index::{linear_scan_range, scheme_for, DbchTree, Query};
+
+fn main() {
+    // 1. Ingest: reduce a mixed fleet (two signal regimes) in parallel.
+    let protocol = Protocol { series_len: 512, series_per_dataset: 40, queries_per_dataset: 1 };
+    let cat = catalogue();
+    let ramps = cat.iter().find(|d| d.name == "RampTrend_00").unwrap().load(&protocol);
+    let spikes = cat.iter().find(|d| d.name == "SpikeTrain_00").unwrap().load(&protocol);
+    let mut ds = ramps.clone();
+    ds.series.extend(spikes.series.iter().cloned());
+    let reducer = SaplaReducer::new();
+    let reps = reduce_batch_parallel(&reducer, &ds.series, 24, 4).expect("reduce");
+
+    // 2. Persist: the codec stores segments, not samples.
+    let blob = encode_collection(&reps);
+    let raw_bytes = ds.series.len() * ds.series_len() * 8;
+    println!(
+        "persisted {} reduced series in {} bytes (raw samples: {} bytes, {:.0}x smaller)",
+        reps.len(),
+        blob.len(),
+        raw_bytes,
+        raw_bytes as f64 / blob.len() as f64
+    );
+
+    // 3. Reload into a fresh DBCH-tree by incremental insertion (the path
+    //    a long-running service takes as new series arrive).
+    let reloaded = decode_collection(&blob).expect("decode");
+    let scheme = scheme_for("SAPLA");
+    let mut tree = DbchTree::build(scheme.as_ref(), vec![], 2, 5).expect("empty tree");
+    for rep in reloaded {
+        tree.insert(scheme.as_ref(), rep).expect("insert");
+    }
+    println!(
+        "rebuilt index: {} entries, {} nodes, height {}",
+        tree.len(),
+        tree.shape().total_nodes(),
+        tree.shape().height
+    );
+
+    // 4. ε-range query with exact refinement.
+    let q = Query::new(&ds.queries[0], &reducer, 24).expect("query");
+    for eps in [15.0f64, 25.0, 35.0] {
+        let got = tree.range(&q, eps, scheme.as_ref(), &ds.series).expect("range");
+        let exact = linear_scan_range(&ds.queries[0], &ds.series, eps).expect("scan");
+        println!(
+            "ε = {eps:5}: {} hits (exact: {}), measured {} of {} series",
+            got.retrieved.len(),
+            exact.retrieved.len(),
+            got.measured,
+            got.total
+        );
+    }
+}

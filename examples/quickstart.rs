@@ -1,0 +1,62 @@
+//! Quickstart: reduce a time series with SAPLA, inspect the segments,
+//! reconstruct, and compare against the equal-length baselines.
+//!
+//! Run with: `cargo run --release -p sapla-cli --example quickstart`
+
+use sapla_baselines::{Paa, Pla, Reducer, SaplaReducer};
+use sapla_core::sapla::Sapla;
+use sapla_core::TimeSeries;
+
+fn main() {
+    // A device-like signal: a short power-up ramp, a long steady plateau
+    // and a fast shutdown — linear regimes of very unequal length, which
+    // is where adaptive segmentation beats equal windows.
+    let values: Vec<f64> = (0..240)
+        .map(|t| {
+            let x = t as f64;
+            let wiggle = 0.05 * (x * 1.7).sin();
+            if t < 30 {
+                0.2 * x + wiggle
+            } else if t < 200 {
+                6.0 + wiggle
+            } else {
+                6.0 - 0.15 * (x - 200.0) + wiggle
+            }
+        })
+        .collect();
+    let series = TimeSeries::new(values).expect("finite input");
+
+    // --- Direct API: ask for N adaptive segments. -----------------------
+    let repr = Sapla::with_segments(5).reduce(&series).expect("series long enough");
+    println!("SAPLA with N = 5 adaptive segments:");
+    for (i, seg) in repr.segments().iter().enumerate() {
+        println!(
+            "  segment {i}: č_u = {:.4}·u + {:.4}, covering ..= index {}",
+            seg.a, seg.b, seg.r
+        );
+    }
+    println!("max deviation: {:.4}", repr.max_deviation(&series).unwrap());
+
+    // --- Reconstruction. -------------------------------------------------
+    let reconstructed = repr.reconstruct();
+    println!(
+        "reconstruction error at t = 100: {:.4}",
+        (series.at(100) - reconstructed.at(100)).abs()
+    );
+
+    // --- The coefficient-budget interface (paper protocol, M = 15). ------
+    println!("\nSame budget M = 15 across methods:");
+    let methods: Vec<Box<dyn Reducer>> =
+        vec![Box::new(SaplaReducer::new()), Box::new(Pla), Box::new(Paa)];
+    // (SAPLA spends 3 coefficients per segment, PLA 2, PAA 1 — so the
+    // segment counts differ: 5 vs 7 vs 15; M must divide accordingly.)
+    for (reducer, m) in methods.iter().zip([15usize, 14, 15]) {
+        let rep = reducer.reduce(&series, m).expect("valid budget");
+        let dev = reducer.max_deviation(&series, &rep).expect("same length");
+        println!(
+            "  {:6}  M = {m:2}  N = {:2}  max deviation = {dev:.4}",
+            reducer.name(),
+            rep.num_segments(),
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Similarity search over a synthetic sensor fleet: build a DBCH-tree
+//! over SAPLA representations and answer k-NN queries with pruning, then
+//! verify against an exact linear scan.
+//!
+//! Run with: `cargo run --release -p sapla-cli --example similarity_search`
+
+use sapla_baselines::{Reducer, SaplaReducer};
+use sapla_data::{catalogue, Protocol};
+use sapla_index::{linear_scan_knn, scheme_for, DbchTree, Query};
+
+fn main() {
+    // 100 z-normalised series from the EOG-like "Burst" family — the
+    // regularly-changing workload the paper highlights.
+    let spec = catalogue()
+        .into_iter()
+        .find(|d| d.name == "Burst_00")
+        .expect("catalogue always contains Burst_00");
+    let protocol = Protocol { series_len: 512, series_per_dataset: 100, queries_per_dataset: 1 };
+    let ds = spec.load(&protocol);
+    println!("dataset {}: {} series of length {}", ds.name, ds.series.len(), ds.series_len());
+
+    // Reduce everything with SAPLA at M = 24 (N = 8 segments).
+    let reducer = SaplaReducer::new();
+    let m = 24;
+    let reps: Vec<_> = ds
+        .series
+        .iter()
+        .map(|s| reducer.reduce(s, m).expect("valid budget"))
+        .collect();
+    println!(
+        "reduced 512 points -> {} coefficients per series ({}x compression)",
+        m,
+        512 / m
+    );
+
+    // Index with the paper's DBCH-tree (min fill 2, max fill 5).
+    let scheme = scheme_for("SAPLA");
+    let tree = DbchTree::build(scheme.as_ref(), reps, 2, 5).expect("build");
+
+    // Query.
+    let k = 5;
+    let query = Query::new(&ds.queries[0], &reducer, m).expect("reduce query");
+    let stats = tree.knn(&query, k, scheme.as_ref(), &ds.series).expect("search");
+    println!("\nDBCH-tree {k}-NN: {:?}", stats.retrieved);
+    println!(
+        "measured {} of {} series (pruning power ρ = {:.2})",
+        stats.measured,
+        stats.total,
+        stats.pruning_power()
+    );
+
+    // Ground truth.
+    let exact = linear_scan_knn(&ds.queries[0], &ds.series, k).expect("scan");
+    println!("exact {k}-NN:     {:?}", exact.retrieved);
+    println!("accuracy: {:.2}", stats.accuracy(&exact.retrieved));
+}

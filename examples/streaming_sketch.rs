@@ -1,0 +1,53 @@
+//! Online sketching of an unbounded sensor stream with
+//! [`sapla_core::stream::StreamingSapla`] — constant memory, `O(1)`
+//! amortised work per point, built from the paper's Eq. 2 increments and
+//! stage-2 merge machinery.
+//!
+//! Run with: `cargo run --release -p sapla-cli --example streaming_sketch`
+
+use sapla_core::stream::StreamingSapla;
+use sapla_core::TimeSeries;
+
+fn main() {
+    // A day of 1 Hz telemetry: slow daily trend + duty cycles + noise.
+    let n = 86_400usize;
+    let signal = |t: usize| -> f64 {
+        let x = t as f64;
+        let daily = 10.0 * (x / 86_400.0 * std::f64::consts::TAU).sin();
+        let duty = if (t / 7_200).is_multiple_of(2) { 4.0 } else { -4.0 };
+        let noise = 0.2 * ((x * 12.9898).sin() * 43758.5453).fract();
+        daily + duty + noise
+    };
+
+    let mut sketch = StreamingSapla::new(16);
+    let start = std::time::Instant::now();
+    for t in 0..n {
+        sketch.push(signal(t));
+    }
+    let elapsed = start.elapsed();
+
+    let repr = sketch.representation().expect("points were pushed");
+    println!("consumed {n} points in {elapsed:?} ({:.0} ns/point)",
+        elapsed.as_nanos() as f64 / n as f64);
+    println!(
+        "sketch: {} segments = {} coefficients ({}x compression)",
+        repr.num_segments(),
+        3 * repr.num_segments(),
+        n / (3 * repr.num_segments())
+    );
+
+    // Quality check against the raw stream.
+    let raw = TimeSeries::new((0..n).map(signal).collect()).expect("finite");
+    let dev = repr.max_deviation(&raw).expect("same length");
+    let spread = raw.values().iter().cloned().fold(f64::MIN, f64::max)
+        - raw.values().iter().cloned().fold(f64::MAX, f64::min);
+    println!("max deviation: {dev:.3} ({:.1}% of the signal range)", 100.0 * dev / spread);
+
+    println!("\nsegments (start -> end: slope):");
+    let mut start_idx = 0usize;
+    for (i, seg) in repr.segments().iter().enumerate().take(6) {
+        println!("  {i:2}: [{start_idx:6} -> {:6}]  a = {:+.5}", seg.r, seg.a);
+        start_idx = seg.r + 1;
+    }
+    println!("  ... ({} more)", repr.num_segments().saturating_sub(6));
+}

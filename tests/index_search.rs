@@ -1,0 +1,166 @@
+//! Integration: R-tree and DBCH-tree k-NN over catalogue datasets, for
+//! every indexing scheme, against exact ground truth.
+
+use sapla_baselines::all_reducers;
+use sapla_data::{catalogue, Protocol};
+use sapla_index::{linear_scan_knn, scheme_for, DbchTree, NodeDistRule, Query, RTree};
+
+fn protocol() -> Protocol {
+    Protocol { series_len: 128, series_per_dataset: 30, queries_per_dataset: 2 }
+}
+
+#[test]
+fn both_trees_index_every_method_and_answer_knn() {
+    let ds = catalogue()[2].load(&protocol());
+    let k = 5;
+    for reducer in all_reducers() {
+        let scheme = scheme_for(reducer.name());
+        let reps: Vec<_> =
+            ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let rtree = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
+        let dbch = DbchTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+        assert_eq!(rtree.shape().entries, 30, "{}", reducer.name());
+        assert_eq!(dbch.shape().entries, 30, "{}", reducer.name());
+
+        for qraw in &ds.queries {
+            let q = Query::new(qraw, reducer.as_ref(), 12).unwrap();
+            for (tree_name, stats) in [
+                ("rtree", rtree.knn(&q, k, scheme.as_ref(), &ds.series).unwrap()),
+                ("dbch", dbch.knn(&q, k, scheme.as_ref(), &ds.series).unwrap()),
+            ] {
+                assert_eq!(
+                    stats.retrieved.len(),
+                    k,
+                    "{}/{tree_name} returned wrong k",
+                    reducer.name()
+                );
+                assert!(stats.measured >= k, "must refine at least k candidates");
+                assert!(stats.measured <= 30);
+                // Retrieved distances are exact Euclidean distances and
+                // sorted ascending.
+                for (i, &id) in stats.retrieved.iter().enumerate() {
+                    let d = qraw.euclidean(&ds.series[id]).unwrap();
+                    assert!((d - stats.distances[i]).abs() < 1e-9);
+                }
+                assert!(stats.distances.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+}
+
+#[test]
+fn rtree_with_true_lower_bounds_is_exact() {
+    // PAA / PLA / CHEBY / SAX have unconditional lower bounds at both the
+    // node and leaf level, so GEMINI guarantees no false dismissals: the
+    // retrieved set must equal the exact k-NN.
+    let ds = catalogue()[5].load(&protocol());
+    let k = 4;
+    for reducer in all_reducers() {
+        if !matches!(reducer.name(), "PAA" | "PLA" | "CHEBY" | "SAX") {
+            continue;
+        }
+        let scheme = scheme_for(reducer.name());
+        let reps: Vec<_> =
+            ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let rtree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+        for qraw in &ds.queries {
+            let q = Query::new(qraw, reducer.as_ref(), 12).unwrap();
+            let stats = rtree.knn(&q, k, scheme.as_ref(), &ds.series).unwrap();
+            let truth = ds.exact_knn(qraw, k);
+            assert_eq!(
+                stats.accuracy(&truth),
+                1.0,
+                "{}: retrieved {:?} vs truth {truth:?}",
+                reducer.name(),
+                stats.retrieved
+            );
+        }
+    }
+}
+
+#[test]
+fn dbch_improves_or_matches_rtree_for_adaptive_methods() {
+    // The paper's headline index result (Fig. 13): averaged over
+    // homogeneous datasets, DBCH prunes at least as well as the R-tree
+    // with APCA-style MBRs for the adaptive methods.
+    let specs = catalogue();
+    let k = 4;
+    let mut rho_r = 0.0;
+    let mut rho_d = 0.0;
+    let mut count = 0.0;
+    for spec in specs.iter().take(6) {
+        let ds = spec.load(&protocol());
+        for reducer in all_reducers() {
+            if !matches!(reducer.name(), "SAPLA" | "APCA") {
+                continue;
+            }
+            let scheme = scheme_for(reducer.name());
+            let reps: Vec<_> =
+                ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+            let rtree = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
+            let dbch = DbchTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+            for qraw in &ds.queries {
+                let q = Query::new(qraw, reducer.as_ref(), 12).unwrap();
+                rho_r += rtree
+                    .knn(&q, k, scheme.as_ref(), &ds.series)
+                    .unwrap()
+                    .pruning_power();
+                rho_d +=
+                    dbch.knn(&q, k, scheme.as_ref(), &ds.series).unwrap().pruning_power();
+                count += 1.0;
+            }
+        }
+    }
+    rho_r /= count;
+    rho_d /= count;
+    assert!(
+        rho_d <= rho_r + 0.05,
+        "DBCH mean ρ {rho_d:.3} should not be worse than R-tree {rho_r:.3}"
+    );
+}
+
+#[test]
+fn triangle_rule_dbch_with_lb_distances_loses_no_true_neighbour_often() {
+    // Statistical sanity for the conservative node rule: accuracy stays
+    // high across datasets.
+    let spec = &catalogue()[1];
+    let ds = spec.load(&protocol());
+    let reducer = all_reducers().into_iter().find(|r| r.name() == "SAPLA").unwrap();
+    let scheme = scheme_for("SAPLA");
+    let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+    let tree =
+        DbchTree::build_with_rule(scheme.as_ref(), reps, 2, 5, NodeDistRule::Triangle)
+            .unwrap();
+    let mut acc = 0.0;
+    for qraw in &ds.queries {
+        let q = Query::new(qraw, reducer.as_ref(), 12).unwrap();
+        let stats = tree.knn(&q, 4, scheme.as_ref(), &ds.series).unwrap();
+        acc += stats.accuracy(&ds.exact_knn(qraw, 4));
+    }
+    acc /= ds.queries.len() as f64;
+    assert!(acc >= 0.5, "triangle-rule DBCH accuracy {acc}");
+}
+
+#[test]
+fn linear_scan_agrees_with_dataset_ground_truth() {
+    let ds = catalogue()[7].load(&protocol());
+    for qraw in &ds.queries {
+        let scan = linear_scan_knn(qraw, &ds.series, 6).unwrap();
+        assert_eq!(scan.retrieved, ds.exact_knn(qraw, 6));
+    }
+}
+
+#[test]
+fn fill_factors_shape_the_tree() {
+    let ds = catalogue()[0].load(&protocol());
+    let reducer = all_reducers().into_iter().find(|r| r.name() == "PAA").unwrap();
+    let scheme = scheme_for("PAA");
+    let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+    let small = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
+    let large = RTree::build(scheme.as_ref(), reps, 4, 10).unwrap();
+    assert!(
+        large.shape().total_nodes() <= small.shape().total_nodes(),
+        "bigger pages → fewer nodes"
+    );
+    assert!(large.shape().height <= small.shape().height);
+}

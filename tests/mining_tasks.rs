@@ -1,0 +1,110 @@
+//! Integration: the downstream mining tasks end-to-end on catalogue data.
+
+use sapla_baselines::{reduce_batch_parallel, Reducer, SaplaReducer};
+use sapla_core::codec::{decode_collection, encode_collection};
+use sapla_data::{catalogue, Protocol};
+use sapla_mining::{
+    best_matches, change_points, find_motif, k_medoids, top_discords, KnnClassifier,
+};
+
+fn protocol() -> Protocol {
+    Protocol { series_len: 128, series_per_dataset: 12, queries_per_dataset: 2 }
+}
+
+#[test]
+fn classification_across_catalogue_families() {
+    // Train on two structurally different datasets, evaluate on held-out
+    // series of the same datasets.
+    let cat = catalogue();
+    let smooth = cat.iter().find(|d| d.name == "SmoothPeriodic_00").unwrap();
+    let walk = cat.iter().find(|d| d.name == "RandomWalk_00").unwrap();
+    let big = Protocol { series_len: 128, series_per_dataset: 20, queries_per_dataset: 1 };
+    let (a, b) = (smooth.load(&big), walk.load(&big));
+
+    let mut train = Vec::new();
+    let mut eval = Vec::new();
+    for (i, s) in a.series.iter().enumerate() {
+        (if i < 14 { &mut train } else { &mut eval }).push((s.clone(), 0usize));
+    }
+    for (i, s) in b.series.iter().enumerate() {
+        (if i < 14 { &mut train } else { &mut eval }).push((s.clone(), 1usize));
+    }
+    let mut clf = KnnClassifier::new(Box::new(SaplaReducer::new()), 12);
+    clf.fit(&train).unwrap();
+    let acc = clf.accuracy(&eval, 3).unwrap();
+    assert!(acc >= 0.75, "accuracy {acc}");
+}
+
+#[test]
+fn clustering_separates_two_datasets() {
+    let cat = catalogue();
+    let a = cat.iter().find(|d| d.name == "PiecewiseConstant_00").unwrap().load(&protocol());
+    let b = cat.iter().find(|d| d.name == "RandomWalk_00").unwrap().load(&protocol());
+    let reducer = SaplaReducer::new();
+    let reps: Vec<_> = a
+        .series
+        .iter()
+        .chain(&b.series)
+        .map(|s| reducer.reduce(s, 12).unwrap())
+        .collect();
+    let c = k_medoids(&reps, 2, 10).unwrap();
+    assert_eq!(c.assignment.len(), 24);
+    // Both clusters are populated.
+    assert!(!c.members(0).is_empty() && !c.members(1).is_empty());
+}
+
+#[test]
+fn discords_and_motifs_compose_with_codec_roundtrips() {
+    // Persist reduced series, reload, and keep mining — the storage story.
+    let ds = catalogue()[6].load(&protocol());
+    let reducer = SaplaReducer::new();
+    let reps = reduce_batch_parallel(&reducer, &ds.series, 12, 4).unwrap();
+
+    let blob = encode_collection(&reps);
+    let reloaded = decode_collection(&blob).unwrap();
+    assert_eq!(reloaded, reps);
+
+    let discords = top_discords(&reloaded, 3).unwrap();
+    assert_eq!(discords.len(), 3);
+
+    let motif = find_motif(&ds.series, &reloaded, 1.0).unwrap();
+    assert!(motif.a < motif.b);
+    assert!(motif.distance.is_finite());
+}
+
+#[test]
+fn segmentation_tracks_regime_changes() {
+    // A synthetic three-regime series through the public API.
+    let mut v: Vec<f64> = (0..100).map(|t| 0.1 * t as f64).collect();
+    v.extend(std::iter::repeat_n(10.0, 100));
+    v.extend((0..100).map(|t| 10.0 - 0.2 * t as f64));
+    let series = sapla_core::TimeSeries::new(v).unwrap();
+    let cps = change_points(&series, 2).unwrap();
+    assert_eq!(cps.len(), 2);
+    assert!((cps[0] as isize - 99).abs() <= 4, "{cps:?}");
+    assert!((cps[1] as isize - 199).abs() <= 4, "{cps:?}");
+}
+
+#[test]
+fn subsequence_search_on_catalogue_stream() {
+    // Concatenate a dataset into one long stream and find a window of it.
+    let ds = catalogue()[1].load(&protocol());
+    let mut long = Vec::new();
+    for s in &ds.series {
+        long.extend_from_slice(s.values());
+    }
+    let haystack = sapla_core::TimeSeries::new(long).unwrap();
+    let offset = 3 * 128 + 40;
+    let query = sapla_core::TimeSeries::new(
+        haystack.values()[offset..offset + 64].to_vec(),
+    )
+    .unwrap();
+    let hits =
+        best_matches(&haystack, &query, &SaplaReducer::new(), 12, 4, 1, 6).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert!(
+        hits[0].offset.abs_diff(offset) <= 4,
+        "found {} expected {offset}",
+        hits[0].offset
+    );
+}

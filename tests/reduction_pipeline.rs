@@ -1,0 +1,118 @@
+//! Cross-crate integration: every reduction method over every signal
+//! family, at every coefficient budget of the paper's protocol.
+
+use sapla_baselines::all_reducers;
+use sapla_core::{Representation, TimeSeries};
+use sapla_data::generators::{generate, Family};
+
+fn family_series(n: usize) -> Vec<(Family, TimeSeries)> {
+    Family::ALL.iter().map(|&f| (f, generate(f, 1, 7, n))).collect()
+}
+
+#[test]
+fn every_method_reduces_every_family_at_every_budget() {
+    for (family, series) in family_series(256) {
+        for reducer in all_reducers() {
+            for &m in &[12usize, 18, 24] {
+                let rep = reducer.reduce(&series, m).unwrap_or_else(|e| {
+                    panic!("{} on {:?} at M={m}: {e}", reducer.name(), family)
+                });
+                assert_eq!(rep.series_len(), 256, "{} covers the series", reducer.name());
+                let expected_n = m / reducer.coeffs_per_segment();
+                assert_eq!(
+                    rep.num_segments(),
+                    expected_n,
+                    "{} segment count at M={m}",
+                    reducer.name()
+                );
+                let dev = reducer.max_deviation(&series, &rep).unwrap();
+                assert!(dev.is_finite() && dev >= 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn reconstruction_length_matches_input() {
+    for (_, series) in family_series(193) {
+        for reducer in all_reducers() {
+            // 193 is awkward (prime): exercises uneven windows and Haar
+            // padding. M = 12 divides every method's per-segment count.
+            let rep = reducer.reduce(&series, 12).unwrap();
+            let rec = reducer.reconstruct(&rep).unwrap();
+            assert_eq!(rec.len(), 193, "{}", reducer.name());
+        }
+    }
+}
+
+#[test]
+fn all_methods_are_deterministic() {
+    let series = generate(Family::NoisyPeriodic, 3, 11, 300);
+    for reducer in all_reducers() {
+        let a = reducer.reduce(&series, 12).unwrap();
+        let b = reducer.reduce(&series, 12).unwrap();
+        assert_eq!(a, b, "{} must be deterministic", reducer.name());
+    }
+}
+
+#[test]
+fn adaptive_methods_win_on_regime_switching_data() {
+    // The paper's motivating case: EOG-like regularly changing series.
+    // Compare mean max deviation over several Burst series at M = 24.
+    let mut dev: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+    let trials = 8;
+    for seed in 0..trials {
+        let series = generate(Family::Burst, 2, seed, 512);
+        for reducer in all_reducers() {
+            if matches!(reducer.name(), "SAX" | "APLA") {
+                continue; // SAX excluded from deviation; APLA too slow here
+            }
+            let rep = reducer.reduce(&series, 24).unwrap();
+            *dev.entry(reducer.name()).or_default() +=
+                reducer.max_deviation(&series, &rep).unwrap() / trials as f64;
+        }
+    }
+    let sapla = dev["SAPLA"];
+    for method in ["PAA", "PAALM"] {
+        assert!(
+            sapla < dev[method],
+            "SAPLA ({sapla:.4}) should beat {method} ({:.4}) on Burst data",
+            dev[method]
+        );
+    }
+}
+
+#[test]
+fn budget_validation_is_uniform() {
+    let series = generate(Family::SmoothPeriodic, 0, 0, 64);
+    for reducer in all_reducers() {
+        assert!(reducer.reduce(&series, 0).is_err(), "{} accepts M=0", reducer.name());
+        let per = reducer.coeffs_per_segment();
+        if per > 1 {
+            assert!(
+                reducer.reduce(&series, per + 1).is_err(),
+                "{} accepts indivisible budget",
+                reducer.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_views_preserve_reconstructions() {
+    // Constant representations viewed as linear must reconstruct
+    // identically (this is what lets Dist_PAR serve APCA/PAA).
+    let series = generate(Family::PiecewiseConstant, 4, 3, 200);
+    for reducer in all_reducers() {
+        let rep = reducer.reduce(&series, 12).unwrap();
+        if let Representation::Constant(c) = &rep {
+            let lin = c.to_linear();
+            assert_eq!(
+                lin.reconstruct().values(),
+                c.reconstruct().values(),
+                "{}",
+                reducer.name()
+            );
+        }
+    }
+}
