@@ -28,11 +28,7 @@ impl Apca {
     ///
     /// [`sapla_core::Error::InvalidSegmentCount`] when `k` is zero or
     /// exceeds the series length.
-    pub fn reduce_to_segments(
-        &self,
-        series: &TimeSeries,
-        k: usize,
-    ) -> Result<PiecewiseConstant> {
+    pub fn reduce_to_segments(&self, series: &TimeSeries, k: usize) -> Result<PiecewiseConstant> {
         let n = series.len();
         if k == 0 || k > n {
             return Err(sapla_core::Error::InvalidSegmentCount { segments: k, len: n });
@@ -89,10 +85,7 @@ impl Apca {
         let mut segs = Vec::with_capacity(ends.len());
         let mut start = 0usize;
         for &e in &ends {
-            segs.push(ConstantSegment {
-                v: sums.sum(start, e + 1) / (e + 1 - start) as f64,
-                r: e,
-            });
+            segs.push(ConstantSegment { v: sums.sum(start, e + 1) / (e + 1 - start) as f64, r: e });
             start = e + 1;
         }
         PiecewiseConstant::new(segs)
@@ -160,10 +153,7 @@ mod tests {
         let paa = Paa.reduce(&s, 10).unwrap(); // N = 10 equal: misaligned
         let d_apca = Apca.max_deviation(&s, &apca).unwrap();
         let d_paa = Paa.max_deviation(&s, &paa).unwrap();
-        assert!(
-            d_apca <= d_paa + 1e-9,
-            "APCA ({d_apca}) should not lose to PAA ({d_paa}) here"
-        );
+        assert!(d_apca <= d_paa + 1e-9, "APCA ({d_apca}) should not lose to PAA ({d_paa}) here");
     }
 
     #[test]

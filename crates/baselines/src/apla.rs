@@ -15,9 +15,7 @@
 //! that motivates SAPLA in the first place. This implementation is
 //! intentionally the faithful slow comparator.
 
-use sapla_core::{
-    LineFit, LinearSegment, PiecewiseLinear, Representation, Result, TimeSeries,
-};
+use sapla_core::{LineFit, LinearSegment, PiecewiseLinear, Representation, Result, TimeSeries};
 
 use crate::common::Reducer;
 
@@ -51,11 +49,7 @@ impl Apla {
     ///
     /// [`sapla_core::Error::InvalidSegmentCount`] when `k` is zero or
     /// exceeds the series length.
-    pub fn reduce_to_segments(
-        &self,
-        series: &TimeSeries,
-        k: usize,
-    ) -> Result<PiecewiseLinear> {
+    pub fn reduce_to_segments(&self, series: &TimeSeries, k: usize) -> Result<PiecewiseLinear> {
         let n = series.len();
         if k == 0 || k > n {
             return Err(sapla_core::Error::InvalidSegmentCount { segments: k, len: n });
@@ -82,7 +76,8 @@ impl Apla {
             for m in t..=n {
                 let mut best = f64::INFINITY;
                 let mut best_a = t - 1;
-                #[allow(clippy::needless_range_loop)] // alpha is a split position, not just an index
+                #[allow(clippy::needless_range_loop)]
+                // alpha is a split position, not just an index
                 for alpha in (t - 1)..m {
                     let c = prev[alpha] + eps(alpha, m);
                     if c < best {
@@ -163,8 +158,8 @@ mod tests {
     use crate::SaplaReducer;
 
     const FIG1: [f64; 20] = [
-        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
-        2.0, 9.0, 10.0, 10.0,
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0, 2.0,
+        9.0, 10.0, 10.0,
     ];
 
     fn ts(v: &[f64]) -> TimeSeries {
@@ -196,9 +191,7 @@ mod tests {
         let apla = Apla.reduce_to_segments(&s, 4).unwrap();
         let sapla_rep = SaplaReducer::new().reduce(&s, 12).unwrap();
         let sapla = sapla_rep.as_linear().unwrap();
-        assert!(
-            sum_of_segment_devs(&apla, &s) <= sum_of_segment_devs(sapla, &s) + 1e-9
-        );
+        assert!(sum_of_segment_devs(&apla, &s) <= sum_of_segment_devs(sapla, &s) + 1e-9);
     }
 
     #[test]

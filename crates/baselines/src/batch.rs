@@ -2,11 +2,19 @@
 //! the paper's protocol (117 datasets × 100 series).
 //!
 //! Reduction of independent series is embarrassingly parallel; the
-//! parallel variant stripes the input over crossbeam scoped threads. With
-//! APLA's `O(N n²)` cost this is the difference between minutes and
-//! hours on the full protocol.
+//! parallel variant runs on the `sapla-parallel` work-stealing engine,
+//! so skewed workloads (APLA's `O(N n²)` reductions mixed with cheap
+//! PAA ones) rebalance across workers instead of serialising behind a
+//! fixed stripe. With APLA's cost this is the difference between
+//! minutes and hours on the full protocol.
+//!
+//! The parallel path is a drop-in for the sequential one: output order
+//! is the input order, the returned error is the first failure *by
+//! input order* (not by wall-clock), and a panicking reducer unwinds on
+//! the caller instead of aborting a worker join.
 
 use sapla_core::{Representation, Result, TimeSeries};
+use sapla_parallel::par_try_map;
 
 use crate::common::Reducer;
 
@@ -24,63 +32,46 @@ pub fn reduce_batch(
 }
 
 /// Reduce every series using up to `threads` worker threads, preserving
-/// order. `threads = 0` or `1` degrades to the sequential path.
+/// order. `threads = 0` uses the hardware thread count; `1` degrades to
+/// the sequential path. For any thread count the result — including the
+/// choice of error on failure — is identical to [`reduce_batch`].
 ///
 /// # Errors
 ///
-/// Returns the first reduction failure (by input order among failing
-/// stripes).
+/// Returns the failure of the earliest failing series by input order,
+/// exactly as the sequential loop would.
 pub fn reduce_batch_parallel(
     reducer: &dyn Reducer,
     series: &[TimeSeries],
     m: usize,
     threads: usize,
 ) -> Result<Vec<Representation>> {
-    let threads = threads.max(1).min(series.len().max(1));
-    if threads <= 1 {
+    if sapla_parallel::effective_threads(threads, series.len()) <= 1 {
         return reduce_batch(reducer, series, m);
     }
-    let chunk = series.len().div_ceil(threads);
-    let mut results: Vec<Result<Vec<Representation>>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = series
-            .chunks(chunk)
-            .map(|stripe| {
-                scope.spawn(move |_| {
-                    stripe
-                        .iter()
-                        .map(|s| reducer.reduce(s, m))
-                        .collect::<Result<Vec<_>>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("reduction workers do not panic"));
-        }
-    })
-    .expect("crossbeam scope does not panic");
-
-    let mut out = Vec::with_capacity(series.len());
-    for stripe in results {
-        out.extend(stripe?);
-    }
-    Ok(out)
+    par_try_map(series, threads, |_, s| reducer.reduce(s, m))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{Paa, SaplaReducer};
+    use sapla_core::Error;
 
     fn series(count: usize) -> Vec<TimeSeries> {
         (0..count)
             .map(|i| {
-                TimeSeries::new(
-                    (0..96).map(|t| ((t + i * 3) as f64 * 0.17).sin() * 2.0).collect(),
-                )
-                .unwrap()
+                TimeSeries::new((0..96).map(|t| ((t + i * 3) as f64 * 0.17).sin() * 2.0).collect())
+                    .unwrap()
             })
             .collect()
+    }
+
+    /// A series too short to carry `m` segments — reduction fails with
+    /// `InvalidSegmentCount { len }`, so the length identifies which
+    /// failing series produced the returned error.
+    fn short_series(len: usize) -> TimeSeries {
+        TimeSeries::new((0..len).map(|t| t as f64).collect()).unwrap()
     }
 
     #[test]
@@ -106,6 +97,26 @@ mod tests {
         let data = series(5);
         assert!(reduce_batch_parallel(&Paa, &data, 0, 3).is_err());
         assert!(reduce_batch(&Paa, &data, 0).is_err());
+    }
+
+    #[test]
+    fn mid_batch_failure_returns_first_error_by_input_order() {
+        // Two failing series of different lengths buried mid-batch: the
+        // error must come from index 7 (len 3) on every thread count,
+        // never from index 15 (len 5) regardless of which worker hits
+        // its failure first in wall time.
+        let mut data = series(23);
+        data[7] = short_series(3);
+        data[15] = short_series(5);
+        for threads in [1usize, 2, 4, 7] {
+            let err = reduce_batch_parallel(&Paa, &data, 12, threads).unwrap_err();
+            match err {
+                Error::InvalidSegmentCount { len, .. } => {
+                    assert_eq!(len, 3, "threads = {threads}: wrong failing series");
+                }
+                other => panic!("unexpected error: {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -52,8 +52,7 @@ impl PolyBasis {
         vectors.push(vec![1.0 / (n as f64).sqrt(); n]);
         if k > 1 {
             // Centred grid keeps the recurrence well conditioned.
-            let ts: Vec<f64> =
-                (0..n).map(|t| t as f64 - (n as f64 - 1.0) / 2.0).collect();
+            let ts: Vec<f64> = (0..n).map(|t| t as f64 - (n as f64 - 1.0) / 2.0).collect();
             for j in 1..k {
                 let prev = &vectors[j - 1];
                 // q = t·p_{j−1}
@@ -110,10 +109,7 @@ impl PolyBasis {
     /// Project a series onto the basis: `coeffs[k] = ⟨series, p_k⟩`.
     pub fn project(&self, values: &[f64]) -> Vec<f64> {
         debug_assert_eq!(values.len(), self.n);
-        self.vectors
-            .iter()
-            .map(|p| p.iter().zip(values).map(|(b, v)| b * v).sum())
-            .collect()
+        self.vectors.iter().map(|p| p.iter().zip(values).map(|(b, v)| b * v).sum()).collect()
     }
 
     /// Synthesise a series from coefficients.
@@ -184,11 +180,8 @@ mod tests {
         let basis = PolyBasis::new(64, 12).unwrap();
         for i in 0..12 {
             for j in 0..12 {
-                let dot: f64 = basis.vectors[i]
-                    .iter()
-                    .zip(&basis.vectors[j])
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let dot: f64 =
+                    basis.vectors[i].iter().zip(&basis.vectors[j]).map(|(a, b)| a * b).sum();
                 let want = if i == j { 1.0 } else { 0.0 };
                 assert!((dot - want).abs() < 1e-9, "⟨p{i}, p{j}⟩ = {dot}");
             }
@@ -201,11 +194,8 @@ mod tests {
         let basis = PolyBasis::new(256, 40).unwrap();
         for i in 0..40 {
             for j in (i + 1)..40 {
-                let dot: f64 = basis.vectors[i]
-                    .iter()
-                    .zip(&basis.vectors[j])
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let dot: f64 =
+                    basis.vectors[i].iter().zip(&basis.vectors[j]).map(|(a, b)| a * b).sum();
                 assert!(dot.abs() < 1e-7, "⟨p{i}, p{j}⟩ = {dot}");
             }
         }
@@ -241,12 +231,8 @@ mod tests {
         for k in [2, 4, 8, 16, 32] {
             let rep = Cheby.reduce(&s, k).unwrap();
             let rec = Cheby.reconstruct(&rep).unwrap();
-            let sse: f64 = s
-                .values()
-                .iter()
-                .zip(rec.values())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let sse: f64 =
+                s.values().iter().zip(rec.values()).map(|(a, b)| (a - b) * (a - b)).sum();
             assert!(sse <= last + 1e-9, "k={k}: sse {sse} > previous {last}");
             last = sse;
         }

@@ -24,8 +24,8 @@
 #![warn(clippy::all)]
 
 pub mod apca;
-pub mod batch;
 pub mod apla;
+pub mod batch;
 pub mod cheby;
 pub mod common;
 pub mod haar;
@@ -35,8 +35,8 @@ pub mod pla;
 pub mod sax;
 
 pub use apca::Apca;
-pub use batch::{reduce_batch, reduce_batch_parallel};
 pub use apla::Apla;
+pub use batch::{reduce_batch, reduce_batch_parallel};
 pub use cheby::Cheby;
 pub use common::{all_reducers, Reducer, SaplaReducer};
 pub use paa::Paa;

@@ -35,11 +35,7 @@ impl Paa {
     ///
     /// [`sapla_core::Error::InvalidSegmentCount`] when `k` is zero or
     /// exceeds the series length.
-    pub fn reduce_to_segments(
-        &self,
-        series: &TimeSeries,
-        k: usize,
-    ) -> Result<PiecewiseConstant> {
+    pub fn reduce_to_segments(&self, series: &TimeSeries, k: usize) -> Result<PiecewiseConstant> {
         let n = series.len();
         if k == 0 || k > n {
             return Err(sapla_core::Error::InvalidSegmentCount { segments: k, len: n });
@@ -47,10 +43,7 @@ impl Paa {
         let sums = series.prefix_sums();
         let segs = equal_windows(n, k)
             .into_iter()
-            .map(|(s, e)| ConstantSegment {
-                v: sums.sum(s, e) / (e - s) as f64,
-                r: e - 1,
-            })
+            .map(|(s, e)| ConstantSegment { v: sums.sum(s, e) / (e - s) as f64, r: e - 1 })
             .collect();
         PiecewiseConstant::new(segs)
     }

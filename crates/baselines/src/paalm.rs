@@ -27,7 +27,6 @@ pub struct Paalm {
     pub lambda: Option<f64>,
 }
 
-
 impl Paalm {
     /// PAALM with an explicit smoothing weight.
     pub fn with_lambda(lambda: f64) -> Self {
@@ -40,11 +39,7 @@ impl Paalm {
     ///
     /// [`sapla_core::Error::InvalidSegmentCount`] when `k` is zero or
     /// exceeds the series length.
-    pub fn reduce_to_segments(
-        &self,
-        series: &TimeSeries,
-        k: usize,
-    ) -> Result<PiecewiseConstant> {
+    pub fn reduce_to_segments(&self, series: &TimeSeries, k: usize) -> Result<PiecewiseConstant> {
         let n = series.len();
         if k == 0 || k > n {
             return Err(sapla_core::Error::InvalidSegmentCount { segments: k, len: n });
@@ -91,11 +86,8 @@ impl Paalm {
             v[i] = d_prime[i] - c_prime[i] * v[i + 1];
         }
 
-        let segs = windows
-            .iter()
-            .zip(v)
-            .map(|(&(_, e), v)| ConstantSegment { v, r: e - 1 })
-            .collect();
+        let segs =
+            windows.iter().zip(v).map(|(&(_, e), v)| ConstantSegment { v, r: e - 1 }).collect();
         PiecewiseConstant::new(segs)
     }
 }

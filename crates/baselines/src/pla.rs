@@ -24,11 +24,7 @@ impl Pla {
     ///
     /// [`sapla_core::Error::InvalidSegmentCount`] when `k` exceeds the
     /// series length or is zero.
-    pub fn reduce_to_segments(
-        &self,
-        series: &TimeSeries,
-        k: usize,
-    ) -> Result<PiecewiseLinear> {
+    pub fn reduce_to_segments(&self, series: &TimeSeries, k: usize) -> Result<PiecewiseLinear> {
         let n = series.len();
         if k == 0 || k > n {
             return Err(sapla_core::Error::InvalidSegmentCount { segments: k, len: n });
@@ -103,20 +99,16 @@ mod tests {
         // ≈ 9.3. On the printed series our implementations give
         // PLA ≈ 18.0 vs SAPLA ≈ 10.4 — same ordering, same rough ratio.
         let fig1 = ts(&[
-            7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0,
-            9.0, 2.0, 9.0, 10.0, 10.0,
+            7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
+            2.0, 9.0, 10.0, 10.0,
         ]);
         let pla = Pla.reduce_to_segments(&fig1, 6).unwrap();
         let sapla_rep = crate::SaplaReducer::new().reduce(&fig1, 12).unwrap();
         let sapla = sapla_rep.as_linear().unwrap();
-        let sum = |r: &PiecewiseLinear| -> f64 {
-            r.segment_deviations(&fig1).unwrap().iter().sum()
-        };
+        let sum =
+            |r: &PiecewiseLinear| -> f64 { r.segment_deviations(&fig1).unwrap().iter().sum() };
         let (s_pla, s_sapla) = (sum(&pla), sum(sapla));
-        assert!(
-            s_sapla < s_pla,
-            "SAPLA sum-of-deviations ({s_sapla}) should beat PLA ({s_pla})"
-        );
+        assert!(s_sapla < s_pla, "SAPLA sum-of-deviations ({s_sapla}) should beat PLA ({s_pla})");
         assert!(s_pla > 15.0 && s_pla < 22.0, "PLA sum {s_pla} out of Fig.1 band");
     }
 

@@ -33,9 +33,7 @@ impl Default for Sax {
 /// inverse normal CDF).
 pub fn gaussian_breakpoints(alphabet_size: usize) -> Vec<f64> {
     debug_assert!(alphabet_size >= 2);
-    (1..alphabet_size)
-        .map(|i| inverse_normal_cdf(i as f64 / alphabet_size as f64))
-        .collect()
+    (1..alphabet_size).map(|i| inverse_normal_cdf(i as f64 / alphabet_size as f64)).collect()
 }
 
 /// Acklam's rational approximation of the standard normal quantile

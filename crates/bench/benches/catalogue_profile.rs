@@ -1,24 +1,20 @@
 //! Substrate documentation: per-family signal statistics of the synthetic
 //! catalogue (the quantitative backing for the UCR-2018 substitution —
-//! families must span distinct signal regimes).
+//! families must span distinct signal regimes), followed by the parallel
+//! engine's thread sweep on this catalogue profile.
 
+use sapla_bench::experiments::parallel::{default_thread_grid, thread_sweep, thread_sweep_table};
 use sapla_bench::{load_datasets, RunConfig, Table};
 use sapla_data::{mean_profile, Protocol};
 
 fn main() {
     let cfg = RunConfig::from_env();
-    let protocol = Protocol {
-        series_len: 512,
-        series_per_dataset: 6,
-        queries_per_dataset: 1,
-    };
+    let protocol = Protocol { series_len: 512, series_per_dataset: 6, queries_per_dataset: 1 };
     let datasets = load_datasets(cfg.datasets, &protocol);
 
     // Group by family prefix.
-    let mut families: Vec<String> = datasets
-        .iter()
-        .map(|d| d.name.split('_').next().unwrap_or(&d.name).to_string())
-        .collect();
+    let mut families: Vec<String> =
+        datasets.iter().map(|d| d.name.split('_').next().unwrap_or(&d.name).to_string()).collect();
     families.sort();
     families.dedup();
 
@@ -42,4 +38,13 @@ fn main() {
         ]);
     }
     table.print();
+
+    // Parallel ingest + multi-query k-NN sweep on the same catalogue.
+    let k = cfg.effective_ks().first().copied().unwrap_or(4);
+    let grid = default_thread_grid();
+    let points = thread_sweep(&cfg, &grid, k);
+    thread_sweep_table(&points).print();
+    if grid.len() == 1 {
+        println!("(one hardware thread visible — multi-thread sweep points skipped)");
+    }
 }

@@ -22,14 +22,10 @@ fn bench_distances(c: &mut Criterion) {
         b.iter(|| euclidean(std::hint::black_box(q), std::hint::black_box(s)).unwrap())
     });
     group.bench_function("dist_par", |b| {
-        b.iter(|| {
-            dist_par(std::hint::black_box(&q_lin), std::hint::black_box(&s_lin)).unwrap()
-        })
+        b.iter(|| dist_par(std::hint::black_box(&q_lin), std::hint::black_box(&s_lin)).unwrap())
     });
     group.bench_function("dist_lb", |b| {
-        b.iter(|| {
-            dist_lb(std::hint::black_box(&q_sums), std::hint::black_box(&s_lin)).unwrap()
-        })
+        b.iter(|| dist_lb(std::hint::black_box(&q_sums), std::hint::black_box(&s_lin)).unwrap())
     });
     group.bench_function("dist_ae", |b| {
         b.iter(|| dist_ae(std::hint::black_box(q), std::hint::black_box(&s_lin)).unwrap())

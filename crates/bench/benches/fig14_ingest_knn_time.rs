@@ -1,6 +1,10 @@
-//! FIG14 — data ingest time and k-NN CPU time (incl. linear scan).
+//! FIG14 — data ingest time and k-NN CPU time (incl. linear scan), plus
+//! the parallel-engine thread sweep (ingest and multi-query k-NN wall
+//! time at 1, 2, 4, … workers, with results checked against the
+//! single-threaded baseline).
 
 use sapla_bench::experiments::indexing::{fig14_tables, run_indexing};
+use sapla_bench::experiments::parallel::{default_thread_grid, thread_sweep, thread_sweep_table};
 use sapla_bench::RunConfig;
 
 fn main() {
@@ -9,4 +13,12 @@ fn main() {
     let (a, b) = fig14_tables(&outcomes, scan);
     a.print();
     b.print();
+
+    let k = cfg.effective_ks().first().copied().unwrap_or(4);
+    let grid = default_thread_grid();
+    let points = thread_sweep(&cfg, &grid, k);
+    thread_sweep_table(&points).print();
+    if grid.len() == 1 {
+        println!("(one hardware thread visible — multi-thread sweep points skipped)");
+    }
 }

@@ -17,11 +17,9 @@ fn bench_reduction(c: &mut Criterion) {
         if reducer.name() == "APLA" {
             continue; // benchmarked separately at a smaller n below
         }
-        group.bench_with_input(
-            BenchmarkId::from_parameter(reducer.name()),
-            series,
-            |b, s| b.iter(|| reducer.reduce(std::hint::black_box(s), m).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(reducer.name()), series, |b, s| {
+            b.iter(|| reducer.reduce(std::hint::black_box(s), m).unwrap())
+        });
     }
     group.finish();
 

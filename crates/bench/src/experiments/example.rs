@@ -10,8 +10,8 @@ use crate::table::{f, Table};
 
 /// The series printed in Fig. 5a of the paper.
 pub const FIG1_SERIES: [f64; 20] = [
-    7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
-    2.0, 9.0, 10.0, 10.0,
+    7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0, 2.0, 9.0,
+    10.0, 10.0,
 ];
 
 /// The paper's reported sum-of-max-deviations for Fig. 1 (M = 12).

@@ -5,10 +5,8 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use sapla_baselines::all_reducers;
-use sapla_index::{
-    linear_scan_knn, scheme_for, DbchTree, NodeDistRule, Query, RTree,
-};
+use sapla_baselines::{all_reducers, reduce_batch_parallel};
+use sapla_index::{linear_scan_knn, scheme_for, DbchTree, NodeDistRule, Query, RTree};
 
 use crate::harness::{load_datasets, time_it, RunConfig};
 use crate::table::{dur, f, Table};
@@ -20,7 +18,7 @@ pub struct IndexOutcome {
     pub pruning: f64,
     /// Mean accuracy (Eq. 15) over queries × K.
     pub accuracy: f64,
-    /// Mean index build time per dataset.
+    /// Mean ingest (batch reduction + tree build) time per dataset.
     pub ingest: Duration,
     /// Mean k-NN search time per query.
     pub knn_time: Duration,
@@ -79,10 +77,7 @@ pub fn run_indexing_with_rule(
     for (di, ds) in datasets.iter().enumerate() {
         // Ground truth per query and K.
         let truths: Vec<Vec<Vec<usize>>> = if with_queries {
-            ds.queries
-                .iter()
-                .map(|q| ks.iter().map(|&k| ds.exact_knn(q, k)).collect())
-                .collect()
+            ds.queries.iter().map(|q| ks.iter().map(|&k| ds.exact_knn(q, k)).collect()).collect()
         } else {
             Vec::new()
         };
@@ -101,13 +96,13 @@ pub fn run_indexing_with_rule(
                 continue;
             }
             let scheme = scheme_for(reducer.name());
-            let reps: Vec<_> = ds
-                .series
-                .iter()
-                .map(|s| reducer.reduce(s, m).expect("valid budget"))
-                .collect();
-
-            // Build both trees (timed: the paper's ingest experiment).
+            // Ingest = reduction + tree build (the paper's ingest
+            // experiment covers the whole pipeline; reduction dominates
+            // and runs on the work-stealing pool at `cfg.threads`).
+            let (reps, red_time) = time_it(|| {
+                reduce_batch_parallel(reducer.as_ref(), &ds.series, m, cfg.threads)
+                    .expect("valid budget")
+            });
             let (rtree, rt_build) = time_it(|| {
                 RTree::build(scheme.as_ref(), reps.clone(), cfg.min_fill, cfg.max_fill)
                     .expect("R-tree build")
@@ -124,12 +119,11 @@ pub fn run_indexing_with_rule(
             });
 
             for (tree_name, build_time, shape) in [
-                ("R-tree", rt_build, rtree.shape()),
-                ("DBCH-tree", db_build, dbch.shape()),
+                ("R-tree", red_time + rt_build, rtree.shape()),
+                ("DBCH-tree", red_time + db_build, dbch.shape()),
             ] {
-                let acc = accs
-                    .entry((reducer.name().to_string(), tree_name.to_string()))
-                    .or_default();
+                let acc =
+                    accs.entry((reducer.name().to_string(), tree_name.to_string())).or_default();
                 acc.ingest += build_time;
                 acc.internal += shape.internal_nodes;
                 acc.leaf += shape.leaf_nodes;
@@ -228,12 +222,9 @@ pub fn fig13_tables(outcomes: &BTreeMap<(String, String), IndexOutcome>) -> (Tab
             outcomes,
             |o| f(o.pruning),
         ),
-        two_tree_table(
-            "Fig. 13b — mean accuracy (higher is better)",
-            "acc",
-            outcomes,
-            |o| f(o.accuracy),
-        ),
+        two_tree_table("Fig. 13b — mean accuracy (higher is better)", "acc", outcomes, |o| {
+            f(o.accuracy)
+        }),
     )
 }
 
@@ -243,9 +234,10 @@ pub fn fig14_tables(
     outcomes: &BTreeMap<(String, String), IndexOutcome>,
     scan: Duration,
 ) -> (Table, Table) {
-    let a = two_tree_table("Fig. 14a — mean data ingest time per dataset", "build", outcomes, |o| {
-        dur(o.ingest)
-    });
+    let a =
+        two_tree_table("Fig. 14a — mean data ingest time per dataset", "build", outcomes, |o| {
+            dur(o.ingest)
+        });
     let mut b = two_tree_table("Fig. 14b — mean k-NN CPU time per query", "knn", outcomes, |o| {
         dur(o.knn_time)
     });
@@ -261,9 +253,7 @@ pub fn fig15_16_tables(
         two_tree_table("Fig. 15a — mean internal node count", "internal", outcomes, |o| {
             f(o.internal_nodes)
         }),
-        two_tree_table("Fig. 15b — mean leaf node count", "leaves", outcomes, |o| {
-            f(o.leaf_nodes)
-        }),
+        two_tree_table("Fig. 15b — mean leaf node count", "leaves", outcomes, |o| f(o.leaf_nodes)),
         two_tree_table("Fig. 16a — mean total node count", "nodes", outcomes, |o| {
             f(o.total_nodes)
         }),
@@ -291,15 +281,12 @@ pub fn k_sweep_table(cfg: &RunConfig) -> Table {
     let mut acc_d = vec![0.0f64; ks.len()];
     let mut count = 0usize;
     for ds in &datasets {
-        let reps: Vec<_> = ds
-            .series
-            .iter()
-            .map(|s| reducer.reduce(s, m).expect("valid budget"))
-            .collect();
+        let reps: Vec<_> =
+            ds.series.iter().map(|s| reducer.reduce(s, m).expect("valid budget")).collect();
         let rtree = RTree::build(scheme.as_ref(), reps.clone(), cfg.min_fill, cfg.max_fill)
             .expect("R-tree build");
-        let dbch = DbchTree::build(scheme.as_ref(), reps, cfg.min_fill, cfg.max_fill)
-            .expect("DBCH build");
+        let dbch =
+            DbchTree::build(scheme.as_ref(), reps, cfg.min_fill, cfg.max_fill).expect("DBCH build");
         for qraw in &ds.queries {
             let q = Query::new(qraw, reducer.as_ref(), m).expect("query reduction");
             for (ki, &k) in ks.iter().enumerate() {
@@ -343,13 +330,7 @@ pub fn ablation_dbch_table(cfg: &RunConfig) -> Table {
     for name in ["SAPLA", "APLA", "APCA"] {
         let key = (name.to_string(), "DBCH-tree".to_string());
         let (Some(p), Some(t)) = (paper.get(&key), tri.get(&key)) else { continue };
-        table.row(vec![
-            name.to_string(),
-            f(p.pruning),
-            f(t.pruning),
-            f(p.accuracy),
-            f(t.accuracy),
-        ]);
+        table.row(vec![name.to_string(), f(p.pruning), f(t.pruning), f(p.accuracy), f(t.accuracy)]);
     }
     table
 }
@@ -373,11 +354,7 @@ mod tests {
         assert_eq!(outcomes.len(), 16);
         assert!(scan > Duration::ZERO);
         for ((method, tree), o) in &outcomes {
-            assert!(
-                o.pruning > 0.0 && o.pruning <= 1.0,
-                "{method}/{tree}: ρ = {}",
-                o.pruning
-            );
+            assert!(o.pruning > 0.0 && o.pruning <= 1.0, "{method}/{tree}: ρ = {}", o.pruning);
             assert!(o.accuracy >= 0.0 && o.accuracy <= 1.0);
             assert!(o.total_nodes >= 1.0);
         }

@@ -2,6 +2,7 @@
 
 pub mod example;
 pub mod indexing;
+pub mod parallel;
 pub mod reduction;
 pub mod theorems;
 pub mod tightness;

@@ -14,8 +14,7 @@ use crate::table::{dur, f, Table};
 /// Should `method` run on dataset `index` / series `series_idx` under the
 /// APLA affordability caps?
 fn apla_allowed(cfg: &RunConfig, name: &str, dataset_idx: usize, series_idx: usize) -> bool {
-    name != "APLA"
-        || (dataset_idx < cfg.apla_dataset_cap && series_idx < cfg.apla_series_cap)
+    name != "APLA" || (dataset_idx < cfg.apla_dataset_cap && series_idx < cfg.apla_series_cap)
 }
 
 /// Fig. 12a: mean max deviation per method and coefficient budget `M`,
@@ -29,8 +28,7 @@ pub fn max_deviation_table(cfg: &RunConfig) -> Table {
     let m_headers: Vec<String> = cfg.ms.iter().map(|m| format!("M={m}")).collect();
     let mut headers: Vec<&str> = vec!["method"];
     headers.extend(m_headers.iter().map(String::as_str));
-    let mut table =
-        Table::new("Fig. 12a — mean max deviation (lower is better)", &headers);
+    let mut table = Table::new("Fig. 12a — mean max deviation (lower is better)", &headers);
     for reducer in &reducers {
         if matches!(reducer.name(), "SAX" | "APLA") {
             continue;
@@ -84,11 +82,8 @@ pub fn max_deviation_apla_table(cfg: &RunConfig) -> Table {
                 max_sum += reducer.max_deviation(series, &rep).expect("same length");
                 count += 1;
                 if let Some(lin) = rep.linear_view() {
-                    seg_sum += lin
-                        .segment_deviations(series)
-                        .expect("same length")
-                        .iter()
-                        .sum::<f64>();
+                    seg_sum +=
+                        lin.segment_deviations(series).expect("same length").iter().sum::<f64>();
                     seg_count += 1;
                 }
             }
@@ -133,17 +128,9 @@ pub fn reduction_time_table(cfg: &RunConfig) -> Table {
             rows.push((reducer.name().to_string(), total.as_secs_f64() / count as f64));
         }
     }
-    let sapla_time = rows
-        .iter()
-        .find(|(n, _)| n == "SAPLA")
-        .map(|&(_, t)| t)
-        .unwrap_or(f64::NAN);
+    let sapla_time = rows.iter().find(|(n, _)| n == "SAPLA").map(|&(_, t)| t).unwrap_or(f64::NAN);
     for (name, t) in rows {
-        table.row(vec![
-            name,
-            dur(Duration::from_secs_f64(t)),
-            format!("{:.2}x", t / sapla_time),
-        ]);
+        table.row(vec![name, dur(Duration::from_secs_f64(t)), format!("{:.2}x", t / sapla_time)]);
     }
     table
 }
@@ -169,9 +156,7 @@ pub fn scaling_table(cfg: &RunConfig) -> Table {
             // Median of 3 runs to damp jitter for the fast methods.
             let mut samples: Vec<f64> = (0..3)
                 .map(|_| {
-                    time_it(|| reducer.reduce(series, m).expect("valid budget"))
-                        .1
-                        .as_secs_f64()
+                    time_it(|| reducer.reduce(series, m).expect("valid budget")).1.as_secs_f64()
                 })
                 .collect();
             samples.sort_by(f64::total_cmp);
@@ -202,10 +187,8 @@ pub fn max_deviation_by_family_table(cfg: &RunConfig) -> Table {
     };
     let mut headers: Vec<&str> = vec!["method"];
     headers.extend(families.iter().map(String::as_str));
-    let mut table = Table::new(
-        &format!("Fig. 12a by family — mean max deviation (M = {m})"),
-        &headers,
-    );
+    let mut table =
+        Table::new(&format!("Fig. 12a by family — mean max deviation (M = {m})"), &headers);
     for reducer in all_reducers() {
         if matches!(reducer.name(), "SAX" | "APLA") {
             continue;
@@ -243,15 +226,9 @@ pub fn ablation_stages_table(cfg: &RunConfig) -> Table {
                 ..SaplaConfig::default()
             },
         ),
-        (
-            "init + split/merge",
-            SaplaConfig { endpoint_movement: false, ..SaplaConfig::default() },
-        ),
+        ("init + split/merge", SaplaConfig { endpoint_movement: false, ..SaplaConfig::default() }),
         ("full (paper)", SaplaConfig::default()),
-        (
-            "full x3 stage loops",
-            SaplaConfig { stage_loops: 3, ..SaplaConfig::default() },
-        ),
+        ("full x3 stage loops", SaplaConfig { stage_loops: 3, ..SaplaConfig::default() }),
         (
             "full + exact bounds",
             SaplaConfig { bound_mode: BoundMode::Exact, ..SaplaConfig::default() },
@@ -273,11 +250,8 @@ pub fn ablation_stages_table(cfg: &RunConfig) -> Table {
                 time += t;
                 let lin = rep.as_linear().expect("SAPLA emits linear representations");
                 dev_sum += lin.max_deviation(series).expect("same length");
-                sumdev_sum += lin
-                    .segment_deviations(series)
-                    .expect("same length")
-                    .iter()
-                    .sum::<f64>();
+                sumdev_sum +=
+                    lin.segment_deviations(series).expect("same length").iter().sum::<f64>();
                 count += 1;
             }
         }

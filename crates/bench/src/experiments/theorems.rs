@@ -47,11 +47,8 @@ impl BoundCheck {
 /// computations over catalogue series, comparing each `β_i` with the
 /// exact segment max deviation `ε_i`.
 pub fn check_bounds(cfg: &RunConfig) -> [(&'static str, BoundCheck); 4] {
-    let protocol = sapla_data::Protocol {
-        series_len: 128,
-        series_per_dataset: 4,
-        queries_per_dataset: 1,
-    };
+    let protocol =
+        sapla_data::Protocol { series_len: 128, series_per_dataset: 4, queries_per_dataset: 1 };
     let datasets = load_datasets(cfg.datasets.min(24), &protocol);
 
     let mut init = BoundCheck::default();

@@ -28,6 +28,9 @@ pub struct RunConfig {
     pub min_fill: usize,
     /// R-tree / DBCH-tree maximum fill (paper: 5).
     pub max_fill: usize,
+    /// Worker threads for parallel ingest / multi-query k-NN
+    /// (`0` = hardware count; `1` = sequential).
+    pub threads: usize,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -50,6 +53,7 @@ impl RunConfig {
                 apla_series_cap: p.series_per_dataset,
                 min_fill: 2,
                 max_fill: 5,
+                threads: env_usize("SAPLA_THREADS", 0),
             };
         }
         let datasets = env_usize("SAPLA_DATASETS", 24).min(117);
@@ -75,6 +79,7 @@ impl RunConfig {
             apla_series_cap: 2,
             min_fill: 2,
             max_fill: 5,
+            threads: env_usize("SAPLA_THREADS", 0),
         }
     }
 
@@ -91,16 +96,13 @@ impl RunConfig {
             apla_series_cap: 2,
             min_fill: 2,
             max_fill: 5,
+            threads: 1,
         }
     }
 
     /// k values clipped to the database size.
     pub fn effective_ks(&self) -> Vec<usize> {
-        self.ks
-            .iter()
-            .copied()
-            .filter(|&k| k <= self.index_protocol.series_per_dataset)
-            .collect()
+        self.ks.iter().copied().filter(|&k| k <= self.index_protocol.series_per_dataset).collect()
     }
 }
 
@@ -139,9 +141,9 @@ pub fn load_datasets(count: usize, protocol: &Protocol) -> Vec<Dataset> {
     catalogue().iter().take(count).map(|spec| spec.load(protocol)).collect()
 }
 
-/// Time a closure, returning its result and the elapsed wall time (the
-/// code under test is single-threaded pure CPU, so wall time is CPU time
-/// on an unloaded machine — see DESIGN.md).
+/// Time a closure, returning its result and the elapsed wall time
+/// (pure-CPU work on an unloaded machine; for the parallel paths wall
+/// time is what the thread-sweep experiments compare — see DESIGN.md).
 pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
     let out = f();

@@ -13,6 +13,7 @@
 //! | `SAPLA_SERIES`   | 40 | database series per dataset |
 //! | `SAPLA_QUERIES`  | 3  | query series per dataset |
 //! | `SAPLA_LEN`      | 1024 (reduction) / 256 (indexing) | series length |
+//! | `SAPLA_THREADS`  | 0 (hardware) | worker threads for parallel ingest / multi-query k-NN |
 //! | `SAPLA_FULL=1`   | —  | the paper's full protocol: 117 × 100 × 5, `n = 1024` everywhere |
 //! | `SAPLA_CSV_DIR`  | —  | also write every printed table as a CSV file for plotting |
 //!

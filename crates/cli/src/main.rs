@@ -1,19 +1,22 @@
 //! `sapla` — command-line front end for the SAPLA workspace.
 //!
 //! ```text
-//! sapla reduce <file|-> [--method SAPLA] [--coeffs 12]   reduce a series (one value per line / CSV row)
-//! sapla knn <dataset> [--k 4] [--method SAPLA] [--tree dbch|rtree]
+//! sapla reduce <file|-> [files...] [--method SAPLA] [--coeffs 12] [--threads 0]
+//! sapla knn <dataset> [--k 4] [--method SAPLA] [--tree dbch|rtree] [--threads 0]
 //! sapla catalogue                                        list the 117 synthetic datasets
 //! sapla demo                                             the paper's Fig. 1 walkthrough
 //! ```
+//!
+//! `--threads 0` (the default) uses every hardware thread; any other value
+//! pins the worker count. Results are identical at every thread count.
 
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use sapla_baselines::{all_reducers, Reducer};
+use sapla_baselines::{all_reducers, reduce_batch_parallel, Reducer};
 use sapla_core::TimeSeries;
 use sapla_data::{catalogue, Protocol};
-use sapla_index::{scheme_for, DbchTree, Query, RTree};
+use sapla_index::{knn_batch, prepare_queries, scheme_for, DbchTree, Query, RTree};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,8 +30,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: sapla <reduce|knn|mine|catalogue|demo> [options]\n\
                  \n\
-                 reduce <file|->  [--method NAME] [--coeffs M]\n\
-                 knn <dataset>    [--k K] [--method NAME] [--tree dbch|rtree] [--coeffs M]\n\
+                 reduce <file|-> [files...] [--method NAME] [--coeffs M] [--threads T]\n\
+                 knn <dataset>    [--k K] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--threads T]\n\
                  mine <discord|motif|segment|forecast|cluster> <dataset> [--k K] [--coeffs M] [--horizon H] [--changes C]\n\
                  catalogue\n\
                  demo"
@@ -53,13 +56,29 @@ fn flag(args: &[String], name: &str, default: &str) -> String {
         .unwrap_or_else(|| default.to_string())
 }
 
+/// Arguments that are not `--flag value` pairs, in order.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            out.push(args[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn threads_flag(args: &[String]) -> Result<usize, String> {
+    flag(args, "--threads", "0").parse().map_err(|_| "bad --threads".to_string())
+}
+
 fn reducer_by_name(name: &str) -> Result<Box<dyn Reducer>, String> {
-    all_reducers()
-        .into_iter()
-        .find(|r| r.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            format!("unknown method {name:?} (try SAPLA, APLA, APCA, PLA, PAA, PAALM, CHEBY, SAX)")
-        })
+    all_reducers().into_iter().find(|r| r.name().eq_ignore_ascii_case(name)).ok_or_else(|| {
+        format!("unknown method {name:?} (try SAPLA, APLA, APCA, PLA, PAA, PAALM, CHEBY, SAX)")
+    })
 }
 
 fn read_series(path: &str) -> Result<TimeSeries, String> {
@@ -80,46 +99,56 @@ fn read_series(path: &str) -> Result<TimeSeries, String> {
 }
 
 fn cmd_reduce(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("reduce: missing input file (or '-')")?;
-    let method = flag(args, "--method", "SAPLA");
-    let m: usize =
-        flag(args, "--coeffs", "12").parse().map_err(|_| "bad --coeffs".to_string())?;
-    let reducer = reducer_by_name(&method)?;
-    let series = read_series(path)?;
-    let rep = reducer.reduce(&series, m).map_err(|e| e.to_string())?;
-    println!("method: {}", reducer.name());
-    println!("series length: {}", series.len());
-    println!("segments: {}", rep.num_segments());
-    match &rep {
-        sapla_core::Representation::Linear(l) => {
-            for (i, s) in l.segments().iter().enumerate() {
-                println!("  seg {i}: a = {:.6}, b = {:.6}, r = {}", s.a, s.b, s.r);
-            }
-        }
-        sapla_core::Representation::Constant(c) => {
-            for (i, s) in c.segments().iter().enumerate() {
-                println!("  seg {i}: v = {:.6}, r = {}", s.v, s.r);
-            }
-        }
-        sapla_core::Representation::Polynomial(p) => {
-            println!("  coefficients: {:?}", p.coeffs);
-        }
-        sapla_core::Representation::Symbolic(w) => {
-            println!("  word: {:?} (alphabet {})", w.symbols, w.alphabet_size);
-        }
+    let paths = positionals(args);
+    if paths.is_empty() {
+        return Err("reduce: missing input file (or '-')".to_string());
     }
-    let dev = reducer.max_deviation(&series, &rep).map_err(|e| e.to_string())?;
-    println!("max deviation: {dev:.6}");
+    let method = flag(args, "--method", "SAPLA");
+    let m: usize = flag(args, "--coeffs", "12").parse().map_err(|_| "bad --coeffs".to_string())?;
+    let threads = threads_flag(args)?;
+    let reducer = reducer_by_name(&method)?;
+    let series: Result<Vec<_>, _> = paths.iter().map(|p| read_series(p)).collect();
+    let series = series?;
+    let reps =
+        reduce_batch_parallel(reducer.as_ref(), &series, m, threads).map_err(|e| e.to_string())?;
+    for ((path, series), rep) in paths.iter().zip(&series).zip(&reps) {
+        if paths.len() > 1 {
+            println!("== {path} ==");
+        }
+        println!("method: {}", reducer.name());
+        println!("series length: {}", series.len());
+        println!("segments: {}", rep.num_segments());
+        match rep {
+            sapla_core::Representation::Linear(l) => {
+                for (i, s) in l.segments().iter().enumerate() {
+                    println!("  seg {i}: a = {:.6}, b = {:.6}, r = {}", s.a, s.b, s.r);
+                }
+            }
+            sapla_core::Representation::Constant(c) => {
+                for (i, s) in c.segments().iter().enumerate() {
+                    println!("  seg {i}: v = {:.6}, r = {}", s.v, s.r);
+                }
+            }
+            sapla_core::Representation::Polynomial(p) => {
+                println!("  coefficients: {:?}", p.coeffs);
+            }
+            sapla_core::Representation::Symbolic(w) => {
+                println!("  word: {:?} (alphabet {})", w.symbols, w.alphabet_size);
+            }
+        }
+        let dev = reducer.max_deviation(series, rep).map_err(|e| e.to_string())?;
+        println!("max deviation: {dev:.6}");
+    }
     Ok(())
 }
 
 fn cmd_knn(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("knn: missing dataset name (see `sapla catalogue`)")?;
     let k: usize = flag(args, "--k", "4").parse().map_err(|_| "bad --k".to_string())?;
-    let m: usize =
-        flag(args, "--coeffs", "12").parse().map_err(|_| "bad --coeffs".to_string())?;
+    let m: usize = flag(args, "--coeffs", "12").parse().map_err(|_| "bad --coeffs".to_string())?;
     let method = flag(args, "--method", "SAPLA");
     let tree_kind = flag(args, "--tree", "dbch");
+    let threads = threads_flag(args)?;
     let reducer = reducer_by_name(&method)?;
     let spec = catalogue()
         .into_iter()
@@ -127,18 +156,23 @@ fn cmd_knn(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("unknown dataset {name:?}"))?;
     let ds = spec.load(&Protocol::quick());
     let scheme = scheme_for(reducer.name());
-    let reps: Result<Vec<_>, _> = ds.series.iter().map(|s| reducer.reduce(s, m)).collect();
-    let reps = reps.map_err(|e| e.to_string())?;
-    let q = Query::new(&ds.queries[0], reducer.as_ref(), m).map_err(|e| e.to_string())?;
-    let stats = match tree_kind.as_str() {
+    let reps = reduce_batch_parallel(reducer.as_ref(), &ds.series, m, threads)
+        .map_err(|e| e.to_string())?;
+    let (stats, batch) = match tree_kind.as_str() {
         "rtree" => {
+            let q = Query::new(&ds.queries[0], reducer.as_ref(), m).map_err(|e| e.to_string())?;
             let tree = RTree::build(scheme.as_ref(), reps, 2, 5).map_err(|e| e.to_string())?;
-            tree.knn(&q, k, scheme.as_ref(), &ds.series).map_err(|e| e.to_string())?
+            let stats = tree.knn(&q, k, scheme.as_ref(), &ds.series).map_err(|e| e.to_string())?;
+            (stats, None)
         }
         _ => {
-            let tree =
-                DbchTree::build(scheme.as_ref(), reps, 2, 5).map_err(|e| e.to_string())?;
-            tree.knn(&q, k, scheme.as_ref(), &ds.series).map_err(|e| e.to_string())?
+            let tree = DbchTree::build(scheme.as_ref(), reps, 2, 5).map_err(|e| e.to_string())?;
+            let queries = prepare_queries(&ds.queries, reducer.as_ref(), m, threads)
+                .map_err(|e| e.to_string())?;
+            let (mut per_query, batch) =
+                knn_batch(&tree, &queries, k, scheme.as_ref(), &ds.series, threads)
+                    .map_err(|e| e.to_string())?;
+            (per_query.swap_remove(0), Some(batch))
         }
     };
     let truth = ds.exact_knn(&ds.queries[0], k);
@@ -148,14 +182,22 @@ fn cmd_knn(args: &[String]) -> Result<(), String> {
     println!("exact kNN: {truth:?}");
     println!("pruning power: {:.3}", stats.pruning_power());
     println!("accuracy: {:.3}", stats.accuracy(&truth));
+    if let Some(batch) = batch {
+        if batch.queries > 1 {
+            println!(
+                "batch: {} queries answered, pruning power {:.3}",
+                batch.queries,
+                batch.pruning_power()
+            );
+        }
+    }
     Ok(())
 }
 
 fn cmd_mine(args: &[String]) -> Result<(), String> {
     let task = args.first().ok_or("mine: missing task (discord|motif|segment|forecast|cluster)")?;
     let name = args.get(1).ok_or("mine: missing dataset name (see `sapla catalogue`)")?;
-    let m: usize =
-        flag(args, "--coeffs", "12").parse().map_err(|_| "bad --coeffs".to_string())?;
+    let m: usize = flag(args, "--coeffs", "12").parse().map_err(|_| "bad --coeffs".to_string())?;
     let k: usize = flag(args, "--k", "3").parse().map_err(|_| "bad --k".to_string())?;
     let spec = catalogue()
         .into_iter()
@@ -191,16 +233,14 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         "segment" => {
             let changes: usize =
                 flag(args, "--changes", "3").parse().map_err(|_| "bad --changes".to_string())?;
-            let cps = sapla_mining::change_points(&ds.series[0], changes)
-                .map_err(|e| e.to_string())?;
+            let cps =
+                sapla_mining::change_points(&ds.series[0], changes).map_err(|e| e.to_string())?;
             println!("change points of {}[0] (n = {}): {cps:?}", ds.name, ds.series_len());
         }
         "forecast" => {
             let horizon: usize =
                 flag(args, "--horizon", "10").parse().map_err(|_| "bad --horizon".to_string())?;
-            let lin = reps[0]
-                .as_linear()
-                .ok_or("forecast requires a linear representation")?;
+            let lin = reps[0].as_linear().ok_or("forecast requires a linear representation")?;
             let fc = sapla_mining::extrapolate(lin, horizon).map_err(|e| e.to_string())?;
             println!("{horizon}-step trend forecast of {}[0]:", ds.name);
             println!("  {fc:?}");
@@ -209,10 +249,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
             let c = sapla_mining::k_medoids(&reps, k, 10).map_err(|e| e.to_string())?;
             println!("k-medoids (k = {k}) over {}:", ds.name);
             for (ci, &medoid) in c.medoids.iter().enumerate() {
-                println!(
-                    "  cluster {ci}: medoid series {medoid}, members {:?}",
-                    c.members(ci)
-                );
+                println!("  cluster {ci}: medoid series {medoid}, members {:?}", c.members(ci));
             }
         }
         other => return Err(format!("unknown mine task {other:?}")),
@@ -229,8 +266,8 @@ fn cmd_catalogue() -> Result<(), String> {
 
 fn cmd_demo() -> Result<(), String> {
     let fig1 = TimeSeries::new(vec![
-        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
-        2.0, 9.0, 10.0, 10.0,
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0, 2.0,
+        9.0, 10.0, 10.0,
     ])
     .map_err(|e| e.to_string())?;
     println!("The paper's Fig. 1 example series (n = 20, M = 12):\n");

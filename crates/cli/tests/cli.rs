@@ -48,12 +48,7 @@ fn reduce_from_stdin() {
         .stdout(Stdio::piped())
         .spawn()
         .expect("spawn");
-    child
-        .stdin
-        .as_mut()
-        .unwrap()
-        .write_all(b"1\n2\n3\n4\n5\n6\n")
-        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"1\n2\n3\n4\n5\n6\n").unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);

@@ -146,11 +146,8 @@ mod tests {
     #[test]
     fn theorem_4_1_sign_structure() {
         // d₄ ≥ d₁, d₄ ≥ d₂ and d₅ = d₃ + d₄ for arbitrary increments.
-        let windows: [&[f64]; 3] = [
-            &[7.0, 8.0, 20.0, 15.0],
-            &[1.0, 1.0, 1.0],
-            &[5.0, 3.0, 2.0, 2.5, 9.0],
-        ];
+        let windows: [&[f64]; 3] =
+            [&[7.0, 8.0, 20.0, 15.0], &[1.0, 1.0, 1.0], &[5.0, 3.0, 2.0, 2.5, 9.0]];
         for w in windows {
             let old = eq1_fit(w);
             for c_new in [-4.0, 0.0, 13.0] {

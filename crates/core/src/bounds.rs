@@ -102,11 +102,7 @@ pub fn beta_split_right(
 ) -> f64 {
     let m = get_max(&[
         (c_first, merged.value_at(offset), right.b),
-        (
-            c_last,
-            merged.value_at(offset + right.len - 1),
-            right.value_at(right.len - 1),
-        ),
+        (c_last, merged.value_at(offset + right.len - 1), right.value_at(right.len - 1)),
     ]);
     m * (right.len.saturating_sub(1)) as f64
 }
@@ -138,8 +134,7 @@ mod tests {
         let mut max_d = 0.0f64;
         for end in 3..=v.len() {
             let new_fit = eq2_increment(&fit, v[end - 1]);
-            let beta =
-                beta_increment(v[0], v[end - 2], v[end - 1], &fit, &new_fit, &mut max_d);
+            let beta = beta_increment(v[0], v[end - 2], v[end - 1], &fit, &new_fit, &mut max_d);
             let eps = new_fit.max_deviation(&v[..end]);
             assert!(beta + 1e-9 >= eps, "end={end}: β={beta} < ε={eps}");
             fit = new_fit;
@@ -148,9 +143,7 @@ mod tests {
 
     #[test]
     fn beta_merge_bounds_exact_deviation() {
-        let v: Vec<f64> = (0..14)
-            .map(|t| if t < 7 { t as f64 } else { 14.0 - t as f64 })
-            .collect();
+        let v: Vec<f64> = (0..14).map(|t| if t < 7 { t as f64 } else { 14.0 - t as f64 }).collect();
         let left = eq1_fit(&v[..7]);
         let right = eq1_fit(&v[7..]);
         let merged = eq3_eq4_merge(&left, &right);

@@ -19,8 +19,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::{Error, Result};
 use crate::repr::{
-    ConstantSegment, LinearSegment, PiecewiseConstant, PiecewiseLinear, PolyCoeffs,
-    Representation, SymbolicWord,
+    ConstantSegment, LinearSegment, PiecewiseConstant, PiecewiseLinear, PolyCoeffs, Representation,
+    SymbolicWord,
 };
 
 const MAGIC: &[u8; 4] = b"SAPL";
@@ -231,16 +231,11 @@ mod tests {
 
     #[test]
     fn compression_ratio_is_large() {
-        let ts = TimeSeries::new((0..1024).map(|t| (t as f64 * 0.01).sin()).collect())
-            .unwrap();
+        let ts = TimeSeries::new((0..1024).map(|t| (t as f64 * 0.01).sin()).collect()).unwrap();
         let rep = Representation::Linear(Sapla::with_segments(4).reduce(&ts).unwrap());
         let blob = encode_collection(&[rep]);
         let raw_bytes = 1024 * 8;
-        assert!(
-            blob.len() * 50 < raw_bytes,
-            "blob {} bytes vs raw {raw_bytes}",
-            blob.len()
-        );
+        assert!(blob.len() * 50 < raw_bytes, "blob {} bytes vs raw {raw_bytes}", blob.len());
     }
 
     #[test]
@@ -274,11 +269,8 @@ mod tests {
 
     #[test]
     fn rejects_invalid_symbols() {
-        let word = Representation::Symbolic(SymbolicWord {
-            symbols: vec![0, 1],
-            alphabet_size: 4,
-            n: 8,
-        });
+        let word =
+            Representation::Symbolic(SymbolicWord { symbols: vec![0, 1], alphabet_size: 4, n: 8 });
         let mut blob = encode_collection(&[word]).to_vec();
         // Corrupt the last symbol byte to exceed the alphabet.
         let last = blob.len() - 1;

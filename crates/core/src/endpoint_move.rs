@@ -30,8 +30,7 @@ fn one_pass(ctx: &Ctx<'_>, segs: &mut [Seg]) -> bool {
     // Identify segments by their start position; indices shift as moves
     // are applied, but starts move by at most the hill-climb steps and we
     // re-locate by nearest start.
-    let mut order: Vec<(f64, usize)> =
-        segs.iter().map(|s| (s.beta, s.start)).collect();
+    let mut order: Vec<(f64, usize)> = segs.iter().map(|s| (s.beta, s.start)).collect();
     order.sort_by(|a, b| b.0.total_cmp(&a.0));
 
     let mut improved = false;
@@ -147,8 +146,8 @@ mod tests {
     use crate::work::to_representation;
 
     const FIG1: [f64; 20] = [
-        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
-        2.0, 9.0, 10.0, 10.0,
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0, 2.0,
+        9.0, 10.0, 10.0,
     ];
 
     fn ts(v: &[f64]) -> crate::TimeSeries {

@@ -29,11 +29,7 @@ pub fn eq1_fit(window: &[f64]) -> LineFit {
     }
     // a = 12·Σ(t − (l−1)/2)·c_t / (l(l−1)(l+1))
     let a = 12.0
-        * window
-            .iter()
-            .enumerate()
-            .map(|(t, &c)| (t as f64 - (l - 1.0) / 2.0) * c)
-            .sum::<f64>()
+        * window.iter().enumerate().map(|(t, &c)| (t as f64 - (l - 1.0) / 2.0) * c).sum::<f64>()
         / (l * (l - 1.0) * (l + 1.0));
     // b = 2·Σ(2l−1−3t)·c_t / (l(l+1))
     let b = 2.0
@@ -54,8 +50,7 @@ pub fn eq2_increment(fit: &LineFit, c_new: f64) -> LineFit {
     let l = fit.len as f64;
     let (a, b) = (fit.a, fit.b);
     let a1 = ((l - 2.0) * (l - 1.0) * a + 6.0 * (c_new - b)) / ((l + 1.0) * (l + 2.0));
-    let b1 =
-        (2.0 * (l - 1.0) * (a * l - c_new) + (l + 5.0) * l * b) / ((l + 1.0) * (l + 2.0));
+    let b1 = (2.0 * (l - 1.0) * (a * l - c_new) + (l + 5.0) * l * b) / ((l + 1.0) * (l + 2.0));
     LineFit { a: a1, b: b1, len: fit.len + 1 }
 }
 
@@ -155,8 +150,7 @@ pub fn eq10_extend_left(fit: &LineFit, c_prev: f64) -> LineFit {
     let l = fit.len as f64;
     let (a, b) = (fit.a, fit.b);
     let a1 = (a * (l - 1.0) * (l + 4.0) + 6.0 * (b - c_prev)) / ((l + 1.0) * (l + 2.0));
-    let b1 = (2.0 * (2.0 * l + 1.0) * c_prev + l * (l - 1.0) * (b - a))
-        / ((l + 1.0) * (l + 2.0));
+    let b1 = (2.0 * (2.0 * l + 1.0) * c_prev + l * (l - 1.0) * (b - a)) / ((l + 1.0) * (l + 2.0));
     LineFit { a: a1, b: b1, len: fit.len + 1 }
 }
 
@@ -176,8 +170,7 @@ pub fn eq11_shrink_left(fit: &LineFit, c_first: f64) -> LineFit {
 mod tests {
     use super::*;
 
-    const SERIES: [f64; 12] =
-        [7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0];
+    const SERIES: [f64; 12] = [7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0];
 
     fn approx(a: f64, b: f64) -> bool {
         (a - b).abs() <= 1e-8 * (1.0 + a.abs().max(b.abs()))
@@ -274,10 +267,7 @@ mod tests {
         };
         let fit = stats.fit();
         assert!(fits_eq(&eq2_increment(&fit, SERIES[6]), &stats.push_right(SERIES[6]).fit()));
-        assert!(fits_eq(
-            &eq9_decrease_right(&fit, SERIES[5]),
-            &stats.pop_right(SERIES[5]).fit()
-        ));
+        assert!(fits_eq(&eq9_decrease_right(&fit, SERIES[5]), &stats.pop_right(SERIES[5]).fit()));
         assert!(fits_eq(&eq10_extend_left(&fit, SERIES[1]), &stats.push_left(SERIES[1]).fit()));
         assert!(fits_eq(&eq11_shrink_left(&fit, SERIES[2]), &stats.pop_left(SERIES[2]).fit()));
     }

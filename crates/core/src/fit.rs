@@ -96,21 +96,13 @@ impl LineFit {
     /// Residual L1 error against the original window (`O(len)`).
     pub fn l1_error(&self, window: &[f64]) -> f64 {
         debug_assert_eq!(window.len(), self.len);
-        window
-            .iter()
-            .enumerate()
-            .map(|(u, &c)| (c - self.value_at(u)).abs())
-            .sum()
+        window.iter().enumerate().map(|(u, &c)| (c - self.value_at(u)).abs()).sum()
     }
 
     /// Max deviation against the original window (`O(len)`).
     pub fn max_deviation(&self, window: &[f64]) -> f64 {
         debug_assert_eq!(window.len(), self.len);
-        window
-            .iter()
-            .enumerate()
-            .map(|(u, &c)| (c - self.value_at(u)).abs())
-            .fold(0.0, f64::max)
+        window.iter().enumerate().map(|(u, &c)| (c - self.value_at(u)).abs()).fold(0.0, f64::max)
     }
 }
 
@@ -177,11 +169,7 @@ impl SegStats {
     /// indices `u + 1` (Eq. 10).
     #[inline]
     pub fn push_left(&self, c: f64) -> SegStats {
-        SegStats {
-            len: self.len + 1,
-            sum_c: self.sum_c + c,
-            sum_uc: self.sum_uc + self.sum_c,
-        }
+        SegStats { len: self.len + 1, sum_c: self.sum_c + c, sum_uc: self.sum_uc + self.sum_c }
     }
 
     /// Drop the left-most point, whose value is `c_first`; remaining points

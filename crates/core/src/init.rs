@@ -77,14 +77,7 @@ pub(crate) fn initialize(ctx: &Ctx<'_>, n_target: usize) -> Vec<Seg> {
         } else {
             // Absorb the point; fold its endpoint differences into the
             // running max_d used by the initialization β (Section 4.1.2).
-            let _ = beta_increment(
-                values[start],
-                values[t - 1],
-                c_new,
-                &fit,
-                &new_fit,
-                &mut max_d,
-            );
+            let _ = beta_increment(values[start], values[t - 1], c_new, &fit, &new_fit, &mut max_d);
             stats = new_stats;
             fit = new_fit;
             t += 1;
@@ -110,8 +103,8 @@ mod tests {
 
     /// The paper's Figure 1 / Figure 5 worked example.
     const FIG1: [f64; 20] = [
-        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
-        2.0, 9.0, 10.0, 10.0,
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0, 2.0,
+        9.0, 10.0, 10.0,
     ];
 
     #[test]

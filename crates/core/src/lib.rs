@@ -62,7 +62,7 @@ pub use error::{Error, Result};
 pub use fit::{LineFit, SegStats};
 pub use ordf64::OrdF64;
 pub use repr::{
-    ConstantSegment, LinearSegment, PiecewiseConstant, PiecewiseLinear, PolyCoeffs,
-    Representation, SymbolicWord,
+    ConstantSegment, LinearSegment, PiecewiseConstant, PiecewiseLinear, PolyCoeffs, Representation,
+    SymbolicWord,
 };
 pub use series::{PrefixSums, TimeSeries};

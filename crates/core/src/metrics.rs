@@ -28,10 +28,7 @@ pub fn reconstruction_report(
     reconstructed: &TimeSeries,
 ) -> Result<ReconstructionReport> {
     if original.len() != reconstructed.len() {
-        return Err(Error::LengthMismatch {
-            left: original.len(),
-            right: reconstructed.len(),
-        });
+        return Err(Error::LengthMismatch { left: original.len(), right: reconstructed.len() });
     }
     let n = original.len() as f64;
     let mut max = 0.0f64;

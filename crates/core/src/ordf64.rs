@@ -75,11 +75,13 @@ mod tests {
 
     #[test]
     fn total_order_handles_special_values() {
-        let mut v = [OrdF64::new(f64::NAN),
+        let mut v = [
+            OrdF64::new(f64::NAN),
             OrdF64::new(f64::INFINITY),
             OrdF64::new(0.0),
             OrdF64::new(-0.0),
-            OrdF64::new(f64::NEG_INFINITY)];
+            OrdF64::new(f64::NEG_INFINITY),
+        ];
         v.sort();
         assert_eq!(v[0].get(), f64::NEG_INFINITY);
         assert!(v[4].get().is_nan());

@@ -134,10 +134,7 @@ impl PiecewiseLinear {
     /// [`Error::LengthMismatch`] if `original` has a different length.
     pub fn max_deviation(&self, original: &TimeSeries) -> Result<f64> {
         if original.len() != self.series_len() {
-            return Err(Error::LengthMismatch {
-                left: original.len(),
-                right: self.series_len(),
-            });
+            return Err(Error::LengthMismatch { left: original.len(), right: self.series_len() });
         }
         let mut max = 0.0f64;
         let mut start = 0usize;
@@ -159,10 +156,7 @@ impl PiecewiseLinear {
     /// [`Error::LengthMismatch`] if `original` has a different length.
     pub fn segment_deviations(&self, original: &TimeSeries) -> Result<Vec<f64>> {
         if original.len() != self.series_len() {
-            return Err(Error::LengthMismatch {
-                left: original.len(),
-                right: self.series_len(),
-            });
+            return Err(Error::LengthMismatch { left: original.len(), right: self.series_len() });
         }
         let values = original.values();
         let mut out = Vec::with_capacity(self.segs.len());
@@ -272,11 +266,7 @@ impl PiecewiseConstant {
     /// applies to APCA/PAA representations).
     pub fn to_linear(&self) -> PiecewiseLinear {
         PiecewiseLinear {
-            segs: self
-                .segs
-                .iter()
-                .map(|s| LinearSegment { a: 0.0, b: s.v, r: s.r })
-                .collect(),
+            segs: self.segs.iter().map(|s| LinearSegment { a: 0.0, b: s.v, r: s.r }).collect(),
         }
     }
 
@@ -299,10 +289,7 @@ impl PiecewiseConstant {
     /// [`Error::LengthMismatch`] if `original` has a different length.
     pub fn max_deviation(&self, original: &TimeSeries) -> Result<f64> {
         if original.len() != self.series_len() {
-            return Err(Error::LengthMismatch {
-                left: original.len(),
-                right: self.series_len(),
-            });
+            return Err(Error::LengthMismatch { left: original.len(), right: self.series_len() });
         }
         let values = original.values();
         let mut max = 0.0f64;
@@ -414,10 +401,8 @@ mod tests {
     }
 
     fn pl(segs: &[(f64, f64, usize)]) -> PiecewiseLinear {
-        PiecewiseLinear::new(
-            segs.iter().map(|&(a, b, r)| LinearSegment { a, b, r }).collect(),
-        )
-        .unwrap()
+        PiecewiseLinear::new(segs.iter().map(|&(a, b, r)| LinearSegment { a, b, r }).collect())
+            .unwrap()
     }
 
     #[test]

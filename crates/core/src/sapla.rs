@@ -139,11 +139,7 @@ impl Sapla {
 
         let ctx = Ctx::new(series.values(), self.config.bound_mode);
         let mut segs = initialize(&ctx, target);
-        let rounds = if self.config.refine_split_merge {
-            self.config.max_refine_rounds
-        } else {
-            0
-        };
+        let rounds = if self.config.refine_split_merge { self.config.max_refine_rounds } else { 0 };
         // Stage 2 then stage 3, re-entering stage 2 while the endpoint
         // movement keeps finding improvements (the framework of Fig. 2;
         // stage_loops = 1 is the paper's single pass).
@@ -163,8 +159,8 @@ mod tests {
     use super::*;
 
     const FIG1: [f64; 20] = [
-        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
-        2.0, 9.0, 10.0, 10.0,
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0, 2.0,
+        9.0, 10.0, 10.0,
     ];
 
     fn ts(v: &[f64]) -> TimeSeries {
@@ -209,9 +205,8 @@ mod tests {
 
     #[test]
     fn exact_bound_mode_is_at_least_as_tight_on_average() {
-        let v: Vec<f64> = (0..256)
-            .map(|t| (t as f64 * 0.11).sin() * 5.0 + ((t / 40) % 2) as f64 * 8.0)
-            .collect();
+        let v: Vec<f64> =
+            (0..256).map(|t| (t as f64 * 0.11).sin() * 5.0 + ((t / 40) % 2) as f64 * 8.0).collect();
         let s = ts(&v);
         let paper = Sapla::with_segments(6).reduce(&s).unwrap();
         let exact = Sapla::with_segments(6)

@@ -244,14 +244,8 @@ mod tests {
     #[test]
     fn rejects_empty_and_non_finite() {
         assert_eq!(TimeSeries::new(vec![]), Err(Error::EmptySeries));
-        assert_eq!(
-            TimeSeries::new(vec![1.0, f64::NAN]),
-            Err(Error::NonFiniteSample { index: 1 })
-        );
-        assert_eq!(
-            TimeSeries::new(vec![f64::INFINITY]),
-            Err(Error::NonFiniteSample { index: 0 })
-        );
+        assert_eq!(TimeSeries::new(vec![1.0, f64::NAN]), Err(Error::NonFiniteSample { index: 1 }));
+        assert_eq!(TimeSeries::new(vec![f64::INFINITY]), Err(Error::NonFiniteSample { index: 0 }));
     }
 
     #[test]

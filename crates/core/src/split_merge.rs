@@ -20,12 +20,7 @@ use crate::work::{total_beta, Ctx, Seg};
 /// `max_rounds` caps the refinement loop (the paper labels each segment as
 /// split/merged at most once per iteration; a strict-decrease requirement
 /// plus this cap guarantees termination).
-pub(crate) fn split_merge(
-    ctx: &Ctx<'_>,
-    segs: &mut Vec<Seg>,
-    n_target: usize,
-    max_rounds: usize,
-) {
+pub(crate) fn split_merge(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, n_target: usize, max_rounds: usize) {
     // Phase 1: too many segments → merge.
     while segs.len() > n_target {
         let i = best_merge_index(ctx, segs).expect("len > 1 so a pair exists");
@@ -105,15 +100,10 @@ pub(crate) fn apply_merge(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize) {
 
 fn merge_beta(ctx: &Ctx<'_>, left: &Seg, right: &Seg, merged: &LineFit) -> f64 {
     match ctx.mode {
-        BoundMode::Paper => beta_merge(
-            &ctx.values[left.start..right.end],
-            &left.fit,
-            &right.fit,
-            merged,
-        ),
-        BoundMode::Exact => {
-            crate::bounds::exact_beta(&ctx.values[left.start..right.end], merged)
+        BoundMode::Paper => {
+            beta_merge(&ctx.values[left.start..right.end], &left.fit, &right.fit, merged)
         }
+        BoundMode::Exact => crate::bounds::exact_beta(&ctx.values[left.start..right.end], merged),
     }
 }
 
@@ -138,11 +128,8 @@ fn find_split_point(ctx: &Ctx<'_>, seg: &Seg) -> Option<usize> {
     }
     // Prefer both halves to keep ≥ 2 points (the paper assumes l > 1);
     // fall back to length-1 halves only when the segment is that short.
-    let (lo, hi) = if seg.len() >= 4 {
-        (seg.start + 2, seg.end - 2)
-    } else {
-        (seg.start + 1, seg.end - 1)
-    };
+    let (lo, hi) =
+        if seg.len() >= 4 { (seg.start + 2, seg.end - 2) } else { (seg.start + 1, seg.end - 1) };
     let mut best: Option<(f64, usize)> = None;
     for cut in lo..=hi {
         let left = ctx.refit(seg.start, cut);
@@ -215,8 +202,8 @@ mod tests {
     use crate::work::to_representation;
 
     const FIG1: [f64; 20] = [
-        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
-        2.0, 9.0, 10.0, 10.0,
+        7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0, 2.0,
+        9.0, 10.0, 10.0,
     ];
 
     fn ts(v: &[f64]) -> crate::TimeSeries {

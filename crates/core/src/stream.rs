@@ -111,8 +111,7 @@ impl StreamingSapla {
     pub fn push(&mut self, value: f64) {
         self.len += 1;
         let Some(active) = self.active.as_mut() else {
-            self.active =
-                Some(StreamSeg { start: self.len - 1, stats: SegStats::single(value) });
+            self.active = Some(StreamSeg { start: self.len - 1, stats: SegStats::single(value) });
             return;
         };
         if active.stats.len < 2 {
@@ -135,8 +134,7 @@ impl StreamingSapla {
             // Close the active segment and start fresh at this point.
             let closed = *active;
             self.segs.push(closed);
-            self.active =
-                Some(StreamSeg { start: self.len - 1, stats: SegStats::single(value) });
+            self.active = Some(StreamSeg { start: self.len - 1, stats: SegStats::single(value) });
             if self.segs.len() > 2 * self.target {
                 self.merge_sweep();
             }
@@ -185,11 +183,7 @@ impl StreamingSapla {
         let mut segs: Vec<LinearSegment> = Vec::with_capacity(self.segs.len() + 1);
         for s in self.segs.iter().chain(self.active.as_ref()) {
             let fit = s.fit();
-            segs.push(LinearSegment {
-                a: fit.a,
-                b: fit.b,
-                r: s.start + s.stats.len - 1,
-            });
+            segs.push(LinearSegment { a: fit.a, b: fit.b, r: s.start + s.stats.len - 1 });
         }
         PiecewiseLinear::new(segs)
     }
@@ -265,8 +259,7 @@ mod tests {
     fn matches_offline_quality_ballpark() {
         // The online sketch cannot beat offline SAPLA, but it must stay
         // within a small factor on smooth data.
-        let values: Vec<f64> =
-            (0..600).map(|t| (t as f64 * 0.02).sin() * 10.0).collect();
+        let values: Vec<f64> = (0..600).map(|t| (t as f64 * 0.02).sin() * 10.0).collect();
         let ts = TimeSeries::new(values.clone()).unwrap();
         let offline = crate::sapla::Sapla::with_segments(6).reduce(&ts).unwrap();
         let mut s = StreamingSapla::new(6);
@@ -274,10 +267,7 @@ mod tests {
         let online = s.representation().unwrap();
         let off_dev = offline.max_deviation(&ts).unwrap();
         let on_dev = online.max_deviation(&ts).unwrap();
-        assert!(
-            on_dev <= (off_dev * 4.0).max(1.0),
-            "online {on_dev} vs offline {off_dev}"
-        );
+        assert!(on_dev <= (off_dev * 4.0).max(1.0), "online {on_dev} vs offline {off_dev}");
     }
 
     #[test]

@@ -39,8 +39,7 @@ impl<'a> Ctx<'a> {
     /// Exact least-squares fit of `[start, end)` in `O(1)`.
     #[inline]
     pub fn refit(&self, start: usize, end: usize) -> LineFit {
-        LineFit::over_window(&self.sums, start, end)
-            .expect("stage windows are always in range")
+        LineFit::over_window(&self.sums, start, end).expect("stage windows are always in range")
     }
 
     /// Generic `β` for a segment whose previous reconstruction was the line
@@ -92,9 +91,7 @@ pub(crate) fn total_beta(segs: &[Seg]) -> f64 {
 /// Convert working segments into the public representation.
 pub(crate) fn to_representation(segs: &[Seg]) -> PiecewiseLinear {
     PiecewiseLinear::new(
-        segs.iter()
-            .map(|s| LinearSegment { a: s.fit.a, b: s.fit.b, r: s.end - 1 })
-            .collect(),
+        segs.iter().map(|s| LinearSegment { a: s.fit.a, b: s.fit.b, r: s.end - 1 }).collect(),
     )
     .expect("working segmentation is contiguous and ordered")
 }

@@ -94,8 +94,7 @@ mod tests {
     #[test]
     fn load_respects_protocol() {
         let spec = &catalogue()[5];
-        let protocol =
-            Protocol { series_len: 128, series_per_dataset: 7, queries_per_dataset: 2 };
+        let protocol = Protocol { series_len: 128, series_per_dataset: 7, queries_per_dataset: 2 };
         let ds = spec.load(&protocol);
         assert_eq!(ds.series.len(), 7);
         assert_eq!(ds.queries.len(), 2);

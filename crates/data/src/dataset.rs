@@ -73,11 +73,8 @@ mod tests {
     #[test]
     fn exact_knn_orders_by_distance() {
         let spec = &catalogue()[0];
-        let ds = spec.load(&Protocol {
-            series_len: 64,
-            series_per_dataset: 12,
-            queries_per_dataset: 1,
-        });
+        let ds =
+            spec.load(&Protocol { series_len: 64, series_per_dataset: 12, queries_per_dataset: 1 });
         let knn = ds.exact_knn(&ds.queries[0], 4);
         assert_eq!(knn.len(), 4);
         let d = |i: usize| ds.queries[0].euclidean(&ds.series[i]).unwrap();
@@ -96,11 +93,8 @@ mod tests {
     #[test]
     fn self_query_is_its_own_nearest_neighbour() {
         let spec = &catalogue()[9];
-        let mut ds = spec.load(&Protocol {
-            series_len: 32,
-            series_per_dataset: 6,
-            queries_per_dataset: 1,
-        });
+        let mut ds =
+            spec.load(&Protocol { series_len: 32, series_per_dataset: 6, queries_per_dataset: 1 });
         ds.queries[0] = ds.series[3].clone();
         assert_eq!(ds.exact_knn(&ds.queries[0], 1), vec![3]);
     }

@@ -30,19 +30,12 @@ pub fn profile(series: &TimeSeries) -> SeriesProfile {
         (s / n as f64).max(f64::MIN_POSITIVE)
     };
 
-    let autocorr1 = v
-        .windows(2)
-        .map(|w| (w[0] - mean) * (w[1] - mean))
-        .sum::<f64>()
-        / ((n - 1) as f64 * var);
+    let autocorr1 =
+        v.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f64>() / ((n - 1) as f64 * var);
 
-    let mean_abs_diff =
-        v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (n - 1) as f64;
+    let mean_abs_diff = v.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (n - 1) as f64;
 
-    let turns = v
-        .windows(3)
-        .filter(|w| (w[1] - w[0]) * (w[2] - w[1]) < 0.0)
-        .count();
+    let turns = v.windows(3).filter(|w| (w[1] - w[0]) * (w[2] - w[1]) < 0.0).count();
     let turning_rate = turns as f64 / (n - 2) as f64;
 
     let m4 = v.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n as f64;
@@ -53,12 +46,8 @@ pub fn profile(series: &TimeSeries) -> SeriesProfile {
 
 /// Mean profile over several series.
 pub fn mean_profile(series: &[TimeSeries]) -> SeriesProfile {
-    let mut acc = SeriesProfile {
-        autocorr1: 0.0,
-        mean_abs_diff: 0.0,
-        turning_rate: 0.0,
-        kurtosis: 0.0,
-    };
+    let mut acc =
+        SeriesProfile { autocorr1: 0.0, mean_abs_diff: 0.0, turning_rate: 0.0, kurtosis: 0.0 };
     for s in series {
         let p = profile(s);
         acc.autocorr1 += p.autocorr1;

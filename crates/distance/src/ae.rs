@@ -73,9 +73,7 @@ mod tests {
 
     #[test]
     fn rejects_length_mismatch() {
-        let rep = Sapla::with_segments(2)
-            .reduce(&ts((0..10).map(|t| t as f64).collect()))
-            .unwrap();
+        let rep = Sapla::with_segments(2).reduce(&ts((0..10).map(|t| t as f64).collect())).unwrap();
         assert!(dist_ae(&ts(vec![0.0; 12]), &rep).is_err());
     }
 }

@@ -152,9 +152,8 @@ mod tests {
 
     #[test]
     fn lb_keogh_lower_bounds_dtw() {
-        let mk = |p: f64| {
-            ts(&(0..64).map(|t| ((t as f64) * 0.2 + p).sin() * 3.0).collect::<Vec<_>>())
-        };
+        let mk =
+            |p: f64| ts(&(0..64).map(|t| ((t as f64) * 0.2 + p).sin() * 3.0).collect::<Vec<_>>());
         for (i, j) in [(0, 1), (0, 3), (2, 5)] {
             let q = mk(i as f64 * 0.7);
             let c = mk(j as f64 * 0.7);

@@ -31,10 +31,7 @@ pub fn dist_lb(query_sums: &PrefixSums, c: &PiecewiseLinear) -> Result<f64> {
 /// different lengths.
 pub fn dist_lb_sq(query_sums: &PrefixSums, c: &PiecewiseLinear) -> Result<f64> {
     if query_sums.len() != c.series_len() {
-        return Err(Error::LengthMismatch {
-            left: query_sums.len(),
-            right: c.series_len(),
-        });
+        return Err(Error::LengthMismatch { left: query_sums.len(), right: c.series_len() });
     }
     let mut sum = 0.0;
     let mut start = 0usize;
@@ -75,10 +72,7 @@ mod tests {
                     let c_rep = Sapla::with_segments(n).reduce(&c).unwrap();
                     let lb = dist_lb(&q.prefix_sums(), &c_rep).unwrap();
                     let exact = q.euclidean(&c).unwrap();
-                    assert!(
-                        lb <= exact + 1e-9,
-                        "pair ({i},{j}), N={n}: lb {lb} > exact {exact}"
-                    );
+                    assert!(lb <= exact + 1e-9, "pair ({i},{j}), N={n}: lb {lb} > exact {exact}");
                 }
             }
         }
@@ -96,9 +90,8 @@ mod tests {
 
     #[test]
     fn rejects_length_mismatch() {
-        let c_rep = Sapla::with_segments(2)
-            .reduce(&ts((0..10).map(|t| t as f64).collect()))
-            .unwrap();
+        let c_rep =
+            Sapla::with_segments(2).reduce(&ts((0..10).map(|t| t as f64).collect())).unwrap();
         let q = ts((0..12).map(|t| t as f64).collect());
         assert!(dist_lb(&q.prefix_sums(), &c_rep).is_err());
     }
@@ -107,9 +100,8 @@ mod tests {
     fn less_tight_than_dist_par_on_average() {
         // The paper's claim Dist_LB ≤ Dist_PAR (A.6). Verify on average
         // over a few pairs (pointwise the partition detail can differ).
-        let mk = |phase: f64| {
-            ts((0..48).map(|t| ((t as f64 * 0.25) + phase).sin() * 5.0).collect())
-        };
+        let mk =
+            |phase: f64| ts((0..48).map(|t| ((t as f64 * 0.25) + phase).sin() * 5.0).collect());
         let (mut lb_sum, mut par_sum) = (0.0, 0.0);
         for k in 0..6 {
             let q = mk(0.0);

@@ -46,7 +46,7 @@ pub use dtw::{dtw, keogh_envelope, lb_keogh};
 pub use euclidean::{euclidean, euclidean_early_abandon, euclidean_sq};
 pub use lb::dist_lb;
 pub use paa::dist_paa;
-pub use par::dist_par;
+pub use par::{dist_par, dist_par_sq, dist_par_sq_with, AlignedWindow, ParScratch};
 pub use pla::dist_pla;
 pub use sax::mindist;
 
@@ -69,15 +69,9 @@ pub fn rep_distance(a: &Representation, b: &Representation) -> Result<f64> {
         (Representation::Constant(x), Representation::Constant(y)) => {
             dist_par(&x.to_linear(), &y.to_linear())
         }
-        (Representation::Linear(x), Representation::Constant(y)) => {
-            dist_par(x, &y.to_linear())
-        }
-        (Representation::Constant(x), Representation::Linear(y)) => {
-            dist_par(&x.to_linear(), y)
-        }
-        (Representation::Polynomial(x), Representation::Polynomial(y)) => {
-            Ok(dist_cheby(x, y))
-        }
+        (Representation::Linear(x), Representation::Constant(y)) => dist_par(x, &y.to_linear()),
+        (Representation::Constant(x), Representation::Linear(y)) => dist_par(&x.to_linear(), y),
+        (Representation::Polynomial(x), Representation::Polynomial(y)) => Ok(dist_cheby(x, y)),
         (Representation::Symbolic(x), Representation::Symbolic(y)) => mindist(x, y),
         _ => Err(Error::UnsupportedRepresentation { operation: "rep_distance" }),
     }
@@ -101,10 +95,7 @@ mod tests {
         assert!((d - 2.0).abs() < 1e-12);
         let d = rep_distance(&con, &lin).unwrap();
         assert!((d - 2.0).abs() < 1e-12);
-        let poly = Representation::Polynomial(sapla_core::PolyCoeffs {
-            coeffs: vec![1.0],
-            n: 4,
-        });
+        let poly = Representation::Polynomial(sapla_core::PolyCoeffs { coeffs: vec![1.0], n: 4 });
         assert!(rep_distance(&lin, &poly).is_err());
     }
 }

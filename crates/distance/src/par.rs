@@ -48,16 +48,84 @@ pub fn dist_par(q: &PiecewiseLinear, c: &PiecewiseLinear) -> Result<f64> {
 /// [`Error::LengthMismatch`] when the two representations cover different
 /// series lengths.
 pub fn dist_par_sq(q: &PiecewiseLinear, c: &PiecewiseLinear) -> Result<f64> {
+    let mut sum = 0.0f64;
+    for_each_window(q, c, |w| sum += dist_s_sq(w.qa, w.qb, w.ca, w.cb, w.len))?;
+    Ok(sum)
+}
+
+/// One aligned window of the endpoint-union partition `R = Q̂_R ∪ Ĉ_R`:
+/// both lines restricted to the same `len` points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlignedWindow {
+    /// Query line slope over this window.
+    pub qa: f64,
+    /// Query line value at the window's first point.
+    pub qb: f64,
+    /// Candidate line slope over this window.
+    pub ca: f64,
+    /// Candidate line value at the window's first point.
+    pub cb: f64,
+    /// Window length in points.
+    pub len: usize,
+}
+
+/// Reusable buffer for the materialised partition, for callers that
+/// evaluate many candidate distances in a row (e.g. per-worker scratch
+/// in parallel k-NN): the window `Vec` keeps its capacity across calls,
+/// so steady-state distance evaluation allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ParScratch {
+    windows: Vec<AlignedWindow>,
+}
+
+impl ParScratch {
+    /// The partition materialised by the last [`dist_par_sq_with`] call.
+    pub fn windows(&self) -> &[AlignedWindow] {
+        &self.windows
+    }
+}
+
+/// [`dist_par_sq`] materialising the partition into `scratch` instead of
+/// streaming it. Returns a value **bit-for-bit identical** to
+/// [`dist_par_sq`]: the windows and the summation order are the same,
+/// only the buffering differs — which is what lets the parallel search
+/// engine reuse per-worker buffers without perturbing results.
+///
+/// # Errors
+///
+/// [`Error::LengthMismatch`] when the two representations cover different
+/// series lengths.
+pub fn dist_par_sq_with(
+    scratch: &mut ParScratch,
+    q: &PiecewiseLinear,
+    c: &PiecewiseLinear,
+) -> Result<f64> {
+    scratch.windows.clear();
+    for_each_window(q, c, |w| scratch.windows.push(w))?;
+    let mut sum = 0.0f64;
+    for w in &scratch.windows {
+        sum += dist_s_sq(w.qa, w.qb, w.ca, w.cb, w.len);
+    }
+    Ok(sum)
+}
+
+/// The single implementation of the endpoint-union walk (Definition 5.1):
+/// visits every aligned window in order without allocating. Both public
+/// entry points ([`dist_par_sq`], [`dist_par_sq_with`]) are thin wrappers
+/// over this, so their window sequences cannot diverge.
+fn for_each_window(
+    q: &PiecewiseLinear,
+    c: &PiecewiseLinear,
+    mut visit: impl FnMut(AlignedWindow),
+) -> Result<()> {
     if q.series_len() != c.series_len() {
         return Err(Error::LengthMismatch { left: q.series_len(), right: c.series_len() });
     }
     let qs = q.segments();
     let cs = c.segments();
-    let mut sum = 0.0f64;
 
-    // Walk the union of endpoints without materialising the partition:
-    // window [start, end] is the largest aligned window below both current
-    // endpoints.
+    // Walk the union of endpoints: window [start, end] is the largest
+    // aligned window below both current endpoints.
     let (mut qi, mut ci) = (0usize, 0usize);
     let mut start = 0usize;
     let (mut q_start, mut c_start) = (0usize, 0usize);
@@ -72,7 +140,7 @@ pub fn dist_par_sq(q: &PiecewiseLinear, c: &PiecewiseLinear) -> Result<f64> {
         let qb = qs[qi].b + qa * (start - q_start) as f64;
         let ca = cs[ci].a;
         let cb = cs[ci].b + ca * (start - c_start) as f64;
-        sum += dist_s_sq(qa, qb, ca, cb, l);
+        visit(AlignedWindow { qa, qb, ca, cb, len: l });
 
         if qe == ce && qi + 1 == qs.len() {
             break;
@@ -87,7 +155,7 @@ pub fn dist_par_sq(q: &PiecewiseLinear, c: &PiecewiseLinear) -> Result<f64> {
         }
         start = end + 1;
     }
-    Ok(sum)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -96,10 +164,8 @@ mod tests {
     use sapla_core::{LinearSegment, TimeSeries};
 
     fn pl(segs: &[(f64, f64, usize)]) -> PiecewiseLinear {
-        PiecewiseLinear::new(
-            segs.iter().map(|&(a, b, r)| LinearSegment { a, b, r }).collect(),
-        )
-        .unwrap()
+        PiecewiseLinear::new(segs.iter().map(|&(a, b, r)| LinearSegment { a, b, r }).collect())
+            .unwrap()
     }
 
     /// Reference implementation: reconstruct both and take the Euclidean
@@ -150,6 +216,74 @@ mod tests {
     }
 
     #[test]
+    fn scratch_variant_is_bit_identical_and_reusable() {
+        let q = pl(&[(1.0, 0.0, 1), (0.0, 2.0, 6), (2.0, 2.0, 9), (0.0, 8.0, 15)]);
+        let c = pl(&[(0.0, 1.0, 3), (1.0, 1.0, 10), (-1.0, 8.0, 15)]);
+        let mut scratch = ParScratch::default();
+        // Same scratch reused across calls and operand orders.
+        for _ in 0..3 {
+            let streaming = dist_par_sq(&q, &c).unwrap();
+            let buffered = dist_par_sq_with(&mut scratch, &q, &c).unwrap();
+            assert_eq!(streaming.to_bits(), buffered.to_bits());
+            assert!(!scratch.windows().is_empty());
+            let swapped = dist_par_sq_with(&mut scratch, &c, &q).unwrap();
+            assert_eq!(dist_par_sq(&c, &q).unwrap().to_bits(), swapped.to_bits());
+        }
+        // Windows tile the series exactly.
+        let total: usize = scratch.windows().iter().map(|w| w.len).sum();
+        assert_eq!(total, q.series_len());
+    }
+
+    /// Build a representation covering exactly `len` points from cyclic
+    /// gap/coefficient pools — random *interleaved* segmentations.
+    fn build_pl(len: usize, gaps: &[usize], coeffs: &[(f64, f64)]) -> PiecewiseLinear {
+        let mut segs = Vec::new();
+        let mut end = 0usize;
+        let mut i = 0usize;
+        while end < len {
+            let gap = gaps[i % gaps.len()].max(1);
+            end = (end + gap).min(len);
+            let (a, b) = coeffs[i % coeffs.len()];
+            segs.push(LinearSegment { a, b, r: end - 1 });
+            i += 1;
+        }
+        PiecewiseLinear::new(segs).unwrap()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Definition 5.1's partition preserves both reconstructions, so
+        /// Dist_PAR must equal reconstruct-then-Euclidean on *any* pair of
+        /// segmentations of the same length — however their endpoints
+        /// interleave.
+        #[test]
+        fn dist_par_equals_reconstruction_distance(
+            len in 16usize..96,
+            q_gaps in proptest::collection::vec(1usize..7, 24),
+            c_gaps in proptest::collection::vec(1usize..7, 24),
+            q_coeffs in proptest::collection::vec((-2.0f64..2.0, -5.0f64..5.0), 24),
+            c_coeffs in proptest::collection::vec((-2.0f64..2.0, -5.0f64..5.0), 24),
+        ) {
+            let q = build_pl(len, &q_gaps, &q_coeffs);
+            let c = build_pl(len, &c_gaps, &c_coeffs);
+            let d = dist_par(&q, &c).unwrap();
+            let reference = brute(&q, &c);
+            proptest::prop_assert!(
+                (d - reference).abs() <= 1e-6 * (1.0 + reference),
+                "dist_par {} vs reconstruction {} (len {}, {} vs {} segments)",
+                d, reference, len, q.num_segments(), c.num_segments()
+            );
+            // The scratch-buffered variant is bit-for-bit the streaming one.
+            let mut scratch = ParScratch::default();
+            let buffered = dist_par_sq_with(&mut scratch, &q, &c).unwrap();
+            proptest::prop_assert!(
+                buffered.to_bits() == dist_par_sq(&q, &c).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn paper_example_relation_to_euclid() {
         // Dist_PAR is a *tight, conditionally lower-bounding* estimate
         // (the paper's Fig. 10 shows Dist_LB ≤ Dist_PAR ≤ Dist for its
@@ -163,9 +297,7 @@ mod tests {
         let cv: Vec<f64> = (0..32).map(|t| (t as f64 * 0.4).cos() * 3.0).collect();
         let qts = TimeSeries::new(qv).unwrap();
         let cts = TimeSeries::new(cv).unwrap();
-        let reduce = |s: &TimeSeries| {
-            sapla_core::sapla::Sapla::with_segments(4).reduce(s).unwrap()
-        };
+        let reduce = |s: &TimeSeries| sapla_core::sapla::Sapla::with_segments(4).reduce(s).unwrap();
         let d_par = dist_par(&reduce(&qts), &reduce(&cts)).unwrap();
         let d_euc = qts.euclidean(&cts).unwrap();
         assert!(d_par <= 1.02 * d_euc, "Dist_PAR {d_par} vs Euclid {d_euc}");

@@ -85,9 +85,8 @@ mod tests {
 
     #[test]
     fn lower_bounds_euclidean_on_znormalised_series() {
-        let mk = |f: f64, ph: f64| {
-            znorm((0..128).map(|t| (t as f64 * f + ph).sin() * 3.0).collect())
-        };
+        let mk =
+            |f: f64, ph: f64| znorm((0..128).map(|t| (t as f64 * f + ph).sin() * 3.0).collect());
         let pairs = [
             (mk(0.1, 0.0), mk(0.1, 1.5)),
             (mk(0.05, 0.0), mk(0.2, 0.0)),

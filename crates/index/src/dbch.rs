@@ -11,11 +11,10 @@
 //! overlap problem.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use sapla_core::{OrdF64, Representation, Result, TimeSeries};
 
-use crate::knn::{KnnHeap, SearchStats};
+use crate::knn::{KnnScratch, SearchStats};
 use crate::scheme::{Query, Scheme};
 use crate::stats::TreeShape;
 
@@ -167,17 +166,19 @@ impl DbchTree {
         debug_assert_eq!(raws.len(), self.reps.len());
         let mut hits: Vec<(f64, usize)> = Vec::new();
         let mut measured = 0usize;
+        let mut dist_scratch = sapla_distance::ParScratch::default();
         if !self.is_empty() {
             let mut stack = vec![self.root];
             while let Some(nid) = stack.pop() {
-                if self.node_dist(q, scheme, nid)? > epsilon {
+                if self.node_dist(q, scheme, nid, &mut dist_scratch)? > epsilon {
                     continue;
                 }
                 match &self.nodes[nid].kind {
                     NodeKind::Internal(children) => stack.extend(children.iter().copied()),
                     NodeKind::Leaf(entries) => {
                         for &e in entries {
-                            if scheme.rep_dist(q, &self.reps[e])? <= epsilon {
+                            if scheme.rep_dist_with(q, &self.reps[e], &mut dist_scratch)? <= epsilon
+                            {
                                 measured += 1;
                                 let exact = q.raw.euclidean(&raws[e])?;
                                 if exact <= epsilon {
@@ -342,12 +343,7 @@ impl DbchTree {
         Ok(())
     }
 
-    fn insert_rec(
-        &mut self,
-        node: usize,
-        id: usize,
-        scheme: &dyn Scheme,
-    ) -> Result<Option<usize>> {
+    fn insert_rec(&mut self, node: usize, id: usize, scheme: &dyn Scheme) -> Result<Option<usize>> {
         match &self.nodes[node].kind {
             NodeKind::Leaf(_) => {
                 if let NodeKind::Leaf(entries) = &mut self.nodes[node].kind {
@@ -504,10 +500,8 @@ impl DbchTree {
                 gb.push(c);
                 continue;
             }
-            let da =
-                self.pair(scheme, self.nodes[c].hull.u, self.nodes[seeds.0].hull.u)?;
-            let db =
-                self.pair(scheme, self.nodes[c].hull.u, self.nodes[seeds.1].hull.u)?;
+            let da = self.pair(scheme, self.nodes[c].hull.u, self.nodes[seeds.0].hull.u)?;
+            let db = self.pair(scheme, self.nodes[c].hull.u, self.nodes[seeds.1].hull.u)?;
             if da <= db {
                 ga.push(c);
             } else {
@@ -522,10 +516,16 @@ impl DbchTree {
     }
 
     /// Query-to-node distance (Section 5.3).
-    fn node_dist(&self, q: &Query, scheme: &dyn Scheme, node: usize) -> Result<f64> {
+    fn node_dist(
+        &self,
+        q: &Query,
+        scheme: &dyn Scheme,
+        node: usize,
+        dist: &mut sapla_distance::ParScratch,
+    ) -> Result<f64> {
         let h = self.nodes[node].hull;
-        let du = scheme.rep_dist(q, &self.reps[h.u])?;
-        let dl = scheme.rep_dist(q, &self.reps[h.l])?;
+        let du = scheme.rep_dist_with(q, &self.reps[h.u], dist)?;
+        let dl = scheme.rep_dist_with(q, &self.reps[h.l], dist)?;
         Ok(match self.rule {
             NodeDistRule::Paper => {
                 if du < h.volume && dl < h.volume {
@@ -557,12 +557,33 @@ impl DbchTree {
         scheme: &dyn Scheme,
         raws: &[TimeSeries],
     ) -> Result<SearchStats> {
+        self.knn_with_scratch(q, k, scheme, raws, &mut KnnScratch::default())
+    }
+
+    /// [`DbchTree::knn`] reusing caller-owned buffers — same algorithm,
+    /// same results, no steady-state allocation. The parallel multi-query
+    /// engine ([`crate::parallel::knn_batch`]) holds one scratch per
+    /// worker; single-threaded callers looping over many queries benefit
+    /// the same way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distance-computation failures.
+    pub fn knn_with_scratch(
+        &self,
+        q: &Query,
+        k: usize,
+        scheme: &dyn Scheme,
+        raws: &[TimeSeries],
+        scratch: &mut KnnScratch,
+    ) -> Result<SearchStats> {
         debug_assert_eq!(raws.len(), self.reps.len());
-        let mut results = KnnHeap::new(k);
+        scratch.reset(k);
+        let KnnScratch { results, nodes: heap, dist } = scratch;
+        let results = results.as_mut().expect("reset installs the heap");
         let mut measured = 0usize;
-        let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
         if !self.is_empty() {
-            let d = self.node_dist(q, scheme, self.root)?;
+            let d = self.node_dist(q, scheme, self.root, dist)?;
             heap.push(Reverse((OrdF64::new(d), self.root)));
         }
         while let Some(Reverse((d, nid))) = heap.pop() {
@@ -572,16 +593,16 @@ impl DbchTree {
             match &self.nodes[nid].kind {
                 NodeKind::Internal(children) => {
                     for &c in children {
-                        let dist = self.node_dist(q, scheme, c)?;
-                        if dist <= results.threshold() {
-                            heap.push(Reverse((OrdF64::new(dist), c)));
+                        let node_d = self.node_dist(q, scheme, c, dist)?;
+                        if node_d <= results.threshold() {
+                            heap.push(Reverse((OrdF64::new(node_d), c)));
                         }
                     }
                 }
                 NodeKind::Leaf(entries) => {
                     for &e in entries {
-                        let dist = scheme.rep_dist(q, &self.reps[e])?;
-                        if dist <= results.threshold() {
+                        let rep_d = scheme.rep_dist_with(q, &self.reps[e], dist)?;
+                        if rep_d <= results.threshold() {
                             measured += 1;
                             let exact = q.raw.euclidean(&raws[e])?;
                             results.push(exact, e);
@@ -590,7 +611,7 @@ impl DbchTree {
                 }
             }
         }
-        let (retrieved, distances) = results.into_sorted();
+        let (retrieved, distances) = results.drain_sorted();
         Ok(SearchStats { retrieved, distances, measured, total: self.reps.len() })
     }
 
@@ -684,11 +705,8 @@ mod tests {
         .znormalized();
         let q = Query::new(&query, &reducer, 12).unwrap();
         let stats = tree.knn(&q, 8, scheme.as_ref(), &raws).unwrap();
-        let mut truth: Vec<(f64, usize)> = raws
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (query.euclidean(s).unwrap(), i))
-            .collect();
+        let mut truth: Vec<(f64, usize)> =
+            raws.iter().enumerate().map(|(i, s)| (query.euclidean(s).unwrap(), i)).collect();
         truth.sort_by(|a, b| a.0.total_cmp(&b.0));
         let expect: Vec<usize> = truth[..8].iter().map(|&(_, i)| i).collect();
         let acc = stats.accuracy(&expect);
@@ -705,14 +723,8 @@ mod tests {
         let paper =
             DbchTree::build_with_rule(scheme.as_ref(), reps.clone(), 2, 5, NodeDistRule::Paper)
                 .unwrap();
-        let tri = DbchTree::build_with_rule(
-            scheme.as_ref(),
-            reps,
-            2,
-            5,
-            NodeDistRule::Triangle,
-        )
-        .unwrap();
+        let tri =
+            DbchTree::build_with_rule(scheme.as_ref(), reps, 2, 5, NodeDistRule::Triangle).unwrap();
         let (mut acc_p, mut acc_t) = (0.0, 0.0);
         for qi in 0..5 {
             let q = Query::new(&raws[qi], &reducer, 12).unwrap();
@@ -735,7 +747,7 @@ mod tests {
     }
 
     #[test]
-    fn incremental_insert_equals_build_results(){
+    fn incremental_insert_equals_build_results() {
         let raws = dataset(25, 64);
         let scheme = scheme_for("SAPLA");
         let reducer = SaplaReducer::new();

@@ -67,10 +67,56 @@ impl KnnHeap {
     }
 
     /// Drain into (ids, distances), closest first.
-    pub fn into_sorted(self) -> (Vec<usize>, Vec<f64>) {
-        let mut v: Vec<(sapla_core::OrdF64, usize)> = self.heap.into_vec();
+    pub fn into_sorted(mut self) -> (Vec<usize>, Vec<f64>) {
+        self.drain_sorted()
+    }
+
+    /// Drain into (ids, distances), closest first, keeping the heap's
+    /// allocation for reuse.
+    pub fn drain_sorted(&mut self) -> (Vec<usize>, Vec<f64>) {
+        let mut v: Vec<(sapla_core::OrdF64, usize)> = self.heap.drain().collect();
         v.sort();
         (v.iter().map(|&(_, i)| i).collect(), v.iter().map(|&(d, _)| d.get()).collect())
+    }
+
+    /// Re-arm for a fresh search of `k` neighbours, keeping allocations.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+    }
+}
+
+/// Reusable per-search buffers for [`DbchTree::knn_with_scratch`]
+/// (`DbchTree` is in [`crate::dbch`]): the candidate heap, the best-first
+/// node queue, and the `Dist_PAR` partition buffer. One instance per
+/// worker turns steady-state k-NN into an allocation-free loop, which is
+/// what the parallel multi-query engine in [`crate::parallel`] relies on.
+///
+/// Reusing a scratch **never changes results**: both heaps are cleared
+/// at the start of every search, the partition buffer is cleared by
+/// every distance call, and the buffered `Dist_PAR` is bit-for-bit the
+/// streaming one.
+#[derive(Debug, Default)]
+pub struct KnnScratch {
+    pub(crate) results: Option<KnnHeap>,
+    pub(crate) nodes: std::collections::BinaryHeap<std::cmp::Reverse<(sapla_core::OrdF64, usize)>>,
+    pub(crate) dist: sapla_distance::ParScratch,
+}
+
+impl KnnScratch {
+    /// Fresh scratch (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear all buffers and size the result heap for `k` neighbours.
+    pub(crate) fn reset(&mut self, k: usize) -> &mut Self {
+        match &mut self.results {
+            Some(h) => h.reset(k),
+            None => self.results = Some(KnnHeap::new(k)),
+        }
+        self.nodes.clear();
+        self
     }
 }
 

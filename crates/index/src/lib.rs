@@ -17,6 +17,8 @@
 //!   refinement, plus the linear-scan baseline; pruning power (Eq. 14) and
 //!   accuracy (Eq. 15) metrics.
 //! * [`stats`] — tree-shape statistics for Figs. 15–16.
+//! * [`parallel`] — work-stealing parallel ingest and multi-query k-NN
+//!   over one tree, bit-for-bit equal to the sequential paths.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -24,14 +26,16 @@
 pub mod dbch;
 pub mod knn;
 pub mod linear_scan;
+pub mod parallel;
 pub mod rect;
 pub mod rtree;
 pub mod scheme;
 pub mod stats;
 
 pub use dbch::{DbchTree, NodeDistRule};
-pub use knn::SearchStats;
+pub use knn::{KnnScratch, SearchStats};
 pub use linear_scan::{linear_scan_knn, linear_scan_range};
+pub use parallel::{ingest_parallel, knn_batch, prepare_queries, BatchStats};
 pub use rect::HyperRect;
 pub use rtree::RTree;
 pub use scheme::{scheme_for, Query, Scheme};

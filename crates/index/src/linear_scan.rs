@@ -58,10 +58,8 @@ mod tests {
     fn dataset() -> Vec<TimeSeries> {
         (0..20)
             .map(|i| {
-                TimeSeries::new(
-                    (0..32).map(|t| ((t * (i + 2)) as f64 * 0.11).sin()).collect(),
-                )
-                .unwrap()
+                TimeSeries::new((0..32).map(|t| ((t * (i + 2)) as f64 * 0.11).sin()).collect())
+                    .unwrap()
             })
             .collect()
     }
@@ -75,11 +73,8 @@ mod tests {
         assert_eq!(stats.measured, 20);
         assert!((stats.pruning_power() - 1.0).abs() < 1e-12);
         // Verify ordering against brute force.
-        let mut truth: Vec<(f64, usize)> = raws
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (q.euclidean(s).unwrap(), i))
-            .collect();
+        let mut truth: Vec<(f64, usize)> =
+            raws.iter().enumerate().map(|(i, s)| (q.euclidean(s).unwrap(), i)).collect();
         truth.sort_by(|a, b| a.0.total_cmp(&b.0));
         assert_eq!(stats.retrieved, truth[..3].iter().map(|&(_, i)| i).collect::<Vec<_>>());
     }

@@ -382,10 +382,8 @@ impl RTree {
             // Root split: grow the tree by one level.
             let old_root = self.root;
             let new_rect = self.nodes[old_root].rect.union(&self.nodes[sibling].rect);
-            self.nodes.push(Node {
-                rect: new_rect,
-                kind: NodeKind::Internal(vec![old_root, sibling]),
-            });
+            self.nodes
+                .push(Node { rect: new_rect, kind: NodeKind::Internal(vec![old_root, sibling]) });
             self.root = self.nodes.len() - 1;
         }
     }
@@ -485,8 +483,7 @@ impl RTree {
             NodeKind::Internal(c) => std::mem::take(c),
             NodeKind::Leaf(_) => unreachable!(),
         };
-        let rects: Vec<HyperRect> =
-            children.iter().map(|&c| self.nodes[c].rect.clone()).collect();
+        let rects: Vec<HyperRect> = children.iter().map(|&c| self.nodes[c].rect.clone()).collect();
         let (ga, gb) = quadratic_split(&rects, self.min_fill);
         let keep: Vec<usize> = ga.iter().map(|&i| children[i]).collect();
         let give: Vec<usize> = gb.iter().map(|&i| children[i]).collect();
@@ -633,12 +630,7 @@ fn quadratic_split(rects: &[HyperRect], min_fill: usize) -> (Vec<usize>, Vec<usi
 
 /// Guttman's PickNext: the remaining item with the largest preference for
 /// one group over the other.
-fn pick_next(
-    rest: &[usize],
-    rects: &[HyperRect],
-    ra: &HyperRect,
-    rb: &HyperRect,
-) -> Option<usize> {
+fn pick_next(rest: &[usize], rects: &[HyperRect], ra: &HyperRect, rb: &HyperRect) -> Option<usize> {
     if rest.is_empty() {
         return None;
     }
@@ -677,8 +669,7 @@ mod tests {
 
     fn build_paa(raws: &[TimeSeries], m: usize) -> (RTree, Box<dyn Scheme>) {
         let scheme = scheme_for("PAA");
-        let reps: Vec<Representation> =
-            raws.iter().map(|s| Paa.reduce(s, m).unwrap()).collect();
+        let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, m).unwrap()).collect();
         let tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
         (tree, scheme)
     }
@@ -700,19 +691,15 @@ mod tests {
         // exact: it must return precisely the true k-NN.
         let raws = dataset(50, 64);
         let (tree, scheme) = build_paa(&raws, 8);
-        let query = TimeSeries::new(
-            (0..64).map(|t| (t as f64 * 0.23).sin() * 1.1).collect::<Vec<_>>(),
-        )
-        .unwrap()
-        .znormalized();
+        let query =
+            TimeSeries::new((0..64).map(|t| (t as f64 * 0.23).sin() * 1.1).collect::<Vec<_>>())
+                .unwrap()
+                .znormalized();
         let q = Query::new(&query, &Paa, 8).unwrap();
         let stats = tree.knn(&q, 5, scheme.as_ref(), &raws).unwrap();
         // Ground truth by brute force.
-        let mut truth: Vec<(f64, usize)> = raws
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (query.euclidean(s).unwrap(), i))
-            .collect();
+        let mut truth: Vec<(f64, usize)> =
+            raws.iter().enumerate().map(|(i, s)| (query.euclidean(s).unwrap(), i)).collect();
         truth.sort_by(|a, b| a.0.total_cmp(&b.0));
         let expect: Vec<usize> = truth[..5].iter().map(|&(_, i)| i).collect();
         assert_eq!(stats.retrieved, expect);
@@ -726,10 +713,9 @@ mod tests {
         // entire database.
         let mut raws = dataset(30, 64);
         for s in dataset(30, 64) {
-            let shifted =
-                TimeSeries::new(s.values().iter().map(|v| v * 0.2 + 3.0).collect())
-                    .unwrap()
-                    .znormalized();
+            let shifted = TimeSeries::new(s.values().iter().map(|v| v * 0.2 + 3.0).collect())
+                .unwrap()
+                .znormalized();
             raws.push(shifted);
         }
         let (tree, scheme) = build_paa(&raws, 8);
@@ -753,9 +739,8 @@ mod tests {
 
     #[test]
     fn quadratic_split_respects_min_fill() {
-        let rects: Vec<HyperRect> = (0..7)
-            .map(|i| HyperRect::point(&[i as f64, (i * i) as f64]))
-            .collect();
+        let rects: Vec<HyperRect> =
+            (0..7).map(|i| HyperRect::point(&[i as f64, (i * i) as f64])).collect();
         let (a, b) = quadratic_split(&rects, 2);
         assert!(a.len() >= 2 && b.len() >= 2);
         assert_eq!(a.len() + b.len(), 7);
@@ -768,8 +753,7 @@ mod tests {
     fn packed_bulk_load_is_denser_and_still_exact() {
         let raws = dataset(60, 64);
         let scheme = scheme_for("PAA");
-        let reps: Vec<Representation> =
-            raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
+        let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
         let seq = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
         let packed = RTree::bulk_load_packed(scheme.as_ref(), reps, 2, 5).unwrap();
         assert_eq!(packed.shape().entries, 60);
@@ -793,8 +777,7 @@ mod tests {
         let empty = RTree::bulk_load_packed(scheme.as_ref(), vec![], 2, 5).unwrap();
         assert!(empty.is_empty());
         let raws = dataset(3, 32);
-        let reps: Vec<Representation> =
-            raws.iter().map(|s| Paa.reduce(s, 4).unwrap()).collect();
+        let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, 4).unwrap()).collect();
         let t = RTree::bulk_load_packed(scheme.as_ref(), reps, 2, 5).unwrap();
         assert_eq!(t.shape().entries, 3);
         assert_eq!(t.shape().height, 1);
@@ -804,8 +787,7 @@ mod tests {
     fn incremental_insert_matches_bulk_build() {
         let raws = dataset(20, 64);
         let scheme = scheme_for("PAA");
-        let reps: Vec<Representation> =
-            raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
+        let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
         let bulk = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
         let mut incr = RTree::build(scheme.as_ref(), vec![], 2, 5).unwrap();
         for rep in reps {
@@ -836,8 +818,7 @@ mod tests {
     fn remove_then_search_never_returns_removed_ids() {
         let raws = dataset(40, 64);
         let scheme = scheme_for("PAA");
-        let reps: Vec<Representation> =
-            raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
+        let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
         let mut tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
         for id in [3usize, 17, 0, 39, 20, 21, 22, 23] {
             assert!(tree.remove(id), "remove {id}");
@@ -861,8 +842,7 @@ mod tests {
     fn remove_everything_leaves_an_empty_tree() {
         let raws = dataset(12, 32);
         let scheme = scheme_for("PAA");
-        let reps: Vec<Representation> =
-            raws.iter().map(|s| Paa.reduce(s, 4).unwrap()).collect();
+        let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, 4).unwrap()).collect();
         let mut tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
         for id in 0..12 {
             assert!(tree.remove(id));

@@ -10,7 +10,9 @@
 use sapla_baselines::sax::gaussian_breakpoints;
 use sapla_baselines::Reducer;
 use sapla_core::{Error, PrefixSums, Representation, Result, TimeSeries};
-use sapla_distance::{dist_paa, dist_par, dist_pla, dist_s_sq, mindist, rep_distance};
+use sapla_distance::{
+    dist_paa, dist_par, dist_par_sq_with, dist_pla, dist_s_sq, mindist, rep_distance,
+};
 
 use crate::rect::HyperRect;
 
@@ -33,11 +35,7 @@ impl Query {
     ///
     /// Propagates reduction failures.
     pub fn new(raw: &TimeSeries, reducer: &dyn Reducer, m: usize) -> Result<Query> {
-        Ok(Query {
-            raw: raw.clone(),
-            sums: raw.prefix_sums(),
-            rep: reducer.reduce(raw, m)?,
-        })
+        Ok(Query { raw: raw.clone(), sums: raw.prefix_sums(), rep: reducer.reduce(raw, m)? })
     }
 }
 
@@ -56,6 +54,20 @@ pub trait Scheme: Send + Sync {
     /// Distance estimate from the query to a candidate's representation
     /// (the leaf-level filter; `Dist_PAR` for the adaptive methods).
     fn rep_dist(&self, q: &Query, rep: &Representation) -> Result<f64>;
+
+    /// [`Scheme::rep_dist`] with a reusable partition buffer. The result
+    /// is **identical** to `rep_dist` — schemes whose distance allocates
+    /// (the adaptive `Dist_PAR`) override this to reuse `scratch` in hot
+    /// multi-query loops; the default ignores it.
+    fn rep_dist_with(
+        &self,
+        q: &Query,
+        rep: &Representation,
+        scratch: &mut sapla_distance::ParScratch,
+    ) -> Result<f64> {
+        let _ = scratch;
+        self.rep_dist(q, rep)
+    }
 
     /// Distance between two representations (DBCH hull construction and
     /// node volumes).
@@ -163,6 +175,15 @@ impl Scheme for AdaptiveLinearScheme {
 
     fn rep_dist(&self, q: &Query, rep: &Representation) -> Result<f64> {
         dist_par(expect_linear(&q.rep)?, expect_linear(rep)?)
+    }
+
+    fn rep_dist_with(
+        &self,
+        q: &Query,
+        rep: &Representation,
+        scratch: &mut sapla_distance::ParScratch,
+    ) -> Result<f64> {
+        dist_par_sq_with(scratch, expect_linear(&q.rep)?, expect_linear(rep)?).map(f64::sqrt)
     }
 }
 
@@ -282,13 +303,7 @@ impl Scheme for PlaScheme {
         let mut sum = 0.0;
         for (i, seg) in qlin.segments().iter().enumerate() {
             let l = qlin.seg_len(i);
-            sum += min_dist_s_sq_over_box(
-                seg.a,
-                seg.b,
-                rect.dim(2 * i),
-                rect.dim(2 * i + 1),
-                l,
-            );
+            sum += min_dist_s_sq_over_box(seg.a, seg.b, rect.dim(2 * i), rect.dim(2 * i + 1), l);
         }
         Ok(sum.sqrt())
     }
@@ -401,9 +416,7 @@ impl Scheme for SaxScheme {
 
     fn feature(&self, rep: &Representation) -> Result<Vec<f64>> {
         match rep {
-            Representation::Symbolic(w) => {
-                Ok(w.symbols.iter().map(|&s| s as f64).collect())
-            }
+            Representation::Symbolic(w) => Ok(w.symbols.iter().map(|&s| s as f64).collect()),
             _ => Err(Error::UnsupportedRepresentation { operation: "SAX scheme" }),
         }
     }
@@ -553,18 +566,15 @@ mod tests {
         let q_raw = series(99);
         for reducer in all_reducers() {
             let scheme = scheme_for(reducer.name());
-            let reps: Vec<_> =
-                members.iter().map(|s| reducer.reduce(s, m).unwrap()).collect();
+            let reps: Vec<_> = members.iter().map(|s| reducer.reduce(s, m).unwrap()).collect();
             let mut rect = HyperRect::point(&scheme.feature(&reps[0]).unwrap());
             for rep in &reps[1..] {
                 rect.extend_point(&scheme.feature(rep).unwrap());
             }
             let q = Query::new(&q_raw, reducer.as_ref(), m).unwrap();
             let md = scheme.mindist(&q, &rect).unwrap();
-            let min_rep = reps
-                .iter()
-                .map(|r| scheme.rep_dist(&q, r).unwrap())
-                .fold(f64::INFINITY, f64::min);
+            let min_rep =
+                reps.iter().map(|r| scheme.rep_dist(&q, r).unwrap()).fold(f64::INFINITY, f64::min);
             // Adaptive schemes bound the *raw* query against reconstruction
             // regions rather than the rep distance, so give them headroom;
             // the equal-length schemes must hold exactly.
@@ -588,8 +598,7 @@ mod tests {
         let rep = reducer.reduce(&db, 12).unwrap();
         let rect = HyperRect::point(&scheme.feature(&rep).unwrap());
         let q_near = Query::new(&db, &reducer, 12).unwrap();
-        let far_series = TimeSeries::new(db.values().iter().map(|v| v + 5.0).collect())
-            .unwrap();
+        let far_series = TimeSeries::new(db.values().iter().map(|v| v + 5.0).collect()).unwrap();
         let q_far = Query {
             raw: far_series.clone(),
             sums: far_series.prefix_sums(),

@@ -2,10 +2,11 @@
 //! valid bounds, structural invariants, and build/insert equivalence.
 
 use proptest::prelude::*;
-use sapla_baselines::{Paa, Pla, Reducer, SaplaReducer};
+use sapla_baselines::{reduce_batch, reduce_batch_parallel, Paa, Pla, Reducer, SaplaReducer};
 use sapla_core::{Representation, TimeSeries};
 use sapla_index::{
-    linear_scan_knn, linear_scan_range, scheme_for, DbchTree, Query, RTree,
+    ingest_parallel, knn_batch, linear_scan_knn, linear_scan_range, prepare_queries, scheme_for,
+    DbchTree, NodeDistRule, Query, RTree,
 };
 
 /// Random small database of regime-style series.
@@ -105,6 +106,86 @@ proptest! {
                 let exact = q.raw.euclidean(&raws[id]).unwrap();
                 prop_assert!((exact - d).abs() < 1e-9);
             }
+        }
+    }
+
+    /// Parallel batch reduction is bit-for-bit the sequential one for any
+    /// database, segment budget, and thread count.
+    #[test]
+    fn parallel_reduction_is_bit_identical(
+        raws in db_strategy(3..30),
+        m in 2usize..6,
+    ) {
+        let reducer = SaplaReducer::new();
+        let budget = 3 * m; // SAPLA coefficients come in ⟨a, b, r⟩ triples.
+        let seq = reduce_batch(&reducer, &raws, budget).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let par = reduce_batch_parallel(&reducer, &raws, budget, threads).unwrap();
+            prop_assert_eq!(&par, &seq, "threads = {}", threads);
+        }
+    }
+
+    /// Parallel ingest (work-stealing reduction + sequential build) gives
+    /// a tree whose shape and search results are bit-for-bit those of the
+    /// fully sequential pipeline, for every thread count.
+    #[test]
+    fn parallel_ingest_is_bit_identical(
+        raws in db_strategy(5..25),
+        k in 1usize..5,
+    ) {
+        let scheme = scheme_for("SAPLA");
+        let reducer = SaplaReducer::new();
+        let reps: Vec<Representation> =
+            raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let seq = DbchTree::build_with_rule(
+            scheme.as_ref(), reps, 2, 5, NodeDistRule::Paper,
+        ).unwrap();
+        let q = Query::new(&raws[0], &reducer, 12).unwrap();
+        let want = seq.knn(&q, k, scheme.as_ref(), &raws).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let tree = ingest_parallel(
+                scheme.as_ref(), &reducer, &raws, 12, 2, 5,
+                NodeDistRule::Paper, threads,
+            ).unwrap();
+            prop_assert_eq!(tree.shape(), seq.shape(), "threads = {}", threads);
+            let got = tree.knn(&q, k, scheme.as_ref(), &raws).unwrap();
+            prop_assert_eq!(&got, &want, "threads = {}", threads);
+        }
+    }
+
+    /// Parallel multi-query k-NN returns, per query, bit-for-bit the
+    /// sequential answer — including exact distances and measured counts —
+    /// and its lock-free aggregate equals the per-query sum.
+    #[test]
+    fn parallel_knn_batch_is_bit_identical(
+        raws in db_strategy(6..25),
+        k in 1usize..6,
+        n_queries in 2usize..9,
+    ) {
+        let scheme = scheme_for("SAPLA");
+        let reducer = SaplaReducer::new();
+        let reps: Vec<Representation> =
+            raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let tree = DbchTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+        let n_queries = n_queries.min(raws.len());
+        let queries = prepare_queries(&raws[..n_queries], &reducer, 12, 2).unwrap();
+        let seq: Vec<_> = queries
+            .iter()
+            .map(|q| tree.knn(q, k, scheme.as_ref(), &raws).unwrap())
+            .collect();
+        for threads in [1usize, 2, 4, 7] {
+            let (got, batch) =
+                knn_batch(&tree, &queries, k, scheme.as_ref(), &raws, threads).unwrap();
+            prop_assert_eq!(&got, &seq, "threads = {}", threads);
+            for (g, s) in got.iter().zip(&seq) {
+                for (gd, sd) in g.distances.iter().zip(&s.distances) {
+                    prop_assert!(gd.to_bits() == sd.to_bits());
+                }
+            }
+            prop_assert_eq!(
+                batch.measured,
+                seq.iter().map(|s| s.measured).sum::<usize>()
+            );
         }
     }
 }

@@ -21,12 +21,7 @@ pub struct Clustering {
 impl Clustering {
     /// Members of cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a == c)
-            .map(|(i, _)| i)
-            .collect()
+        self.assignment.iter().enumerate().filter(|&(_, &a)| a == c).map(|(i, _)| i).collect()
     }
 }
 
@@ -90,8 +85,7 @@ pub fn k_medoids(reps: &[Representation], k: usize, max_iters: usize) -> Result<
         for c in 0..k {
             // Best medoid for cluster c: the member minimising the total
             // in-cluster distance.
-            let members: Vec<usize> =
-                (0..n).filter(|&i| assignment[i] == c).collect();
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
             if members.is_empty() {
                 continue;
             }
@@ -176,10 +170,8 @@ mod tests {
             let s = sapla_core::TimeSeries::new(v).unwrap().znormalized();
             reducer.reduce(&s, 12).unwrap()
         };
-        let reps: Vec<Representation> = (0..6)
-            .map(|i| mk(0, i))
-            .chain((0..6).map(|i| mk(1, 100 + i)))
-            .collect();
+        let reps: Vec<Representation> =
+            (0..6).map(|i| mk(0, i)).chain((0..6).map(|i| mk(1, 100 + i))).collect();
         let c = k_medoids(&reps, 2, 10).unwrap();
         let first = c.assignment[0];
         assert!(c.assignment[..6].iter().all(|&a| a == first), "{:?}", c.assignment);

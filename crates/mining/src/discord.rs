@@ -56,9 +56,7 @@ mod tests {
     fn planted_outlier_ranks_first() {
         let reducer = SaplaReducer::new();
         let mut reps: Vec<Representation> = (0..15)
-            .map(|i| {
-                reducer.reduce(&generate(Family::SmoothPeriodic, 0, i, 128), 12).unwrap()
-            })
+            .map(|i| reducer.reduce(&generate(Family::SmoothPeriodic, 0, i, 128), 12).unwrap())
             .collect();
         // Plant a random walk among smooth periodics.
         let outlier = generate(Family::RandomWalk, 0, 99, 128);

@@ -18,15 +18,10 @@ use sapla_core::{Error, PiecewiseLinear, Result};
 /// [`Error::InvalidSegmentCount`] when the representation is empty
 /// (cannot happen for validated representations) — kept for API symmetry.
 pub fn extrapolate(rep: &PiecewiseLinear, horizon: usize) -> Result<Vec<f64>> {
-    let seg = *rep
-        .segments()
-        .last()
-        .ok_or(Error::InvalidSegmentCount { segments: 1, len: 0 })?;
+    let seg = *rep.segments().last().ok_or(Error::InvalidSegmentCount { segments: 1, len: 0 })?;
     let start = rep.start(rep.num_segments() - 1);
     let len = seg.r + 1 - start;
-    Ok((1..=horizon)
-        .map(|h| seg.a * (len - 1 + h) as f64 + seg.b)
-        .collect())
+    Ok((1..=horizon).map(|h| seg.a * (len - 1 + h) as f64 + seg.b).collect())
 }
 
 /// [`extrapolate`] with slope damping: step `h` uses an effective slope of
@@ -35,15 +30,8 @@ pub fn extrapolate(rep: &PiecewiseLinear, horizon: usize) -> Result<Vec<f64>> {
 /// # Errors
 ///
 /// See [`extrapolate`].
-pub fn damped_extrapolate(
-    rep: &PiecewiseLinear,
-    horizon: usize,
-    phi: f64,
-) -> Result<Vec<f64>> {
-    let seg = *rep
-        .segments()
-        .last()
-        .ok_or(Error::InvalidSegmentCount { segments: 1, len: 0 })?;
+pub fn damped_extrapolate(rep: &PiecewiseLinear, horizon: usize, phi: f64) -> Result<Vec<f64>> {
+    let seg = *rep.segments().last().ok_or(Error::InvalidSegmentCount { segments: 1, len: 0 })?;
     let start = rep.start(rep.num_segments() - 1);
     let len = seg.r + 1 - start;
     let phi = phi.clamp(0.0, 1.0);

@@ -32,11 +32,7 @@ pub struct Motif {
 ///
 /// [`Error::InvalidSegmentCount`] for collections of fewer than two
 /// series; distance errors otherwise.
-pub fn find_motif(
-    raws: &[TimeSeries],
-    reps: &[Representation],
-    slack: f64,
-) -> Result<Motif> {
+pub fn find_motif(raws: &[TimeSeries], reps: &[Representation], slack: f64) -> Result<Motif> {
     let m = raws.len();
     if m < 2 || reps.len() != m {
         return Err(Error::InvalidSegmentCount { segments: 2, len: m });
@@ -72,9 +68,8 @@ mod tests {
 
     fn collection() -> (Vec<TimeSeries>, Vec<Representation>) {
         let reducer = SaplaReducer::new();
-        let mut raws: Vec<TimeSeries> = (0..12)
-            .map(|i| generate(Family::MixedHarmonic, i % 3, 10 + i, 128))
-            .collect();
+        let mut raws: Vec<TimeSeries> =
+            (0..12).map(|i| generate(Family::MixedHarmonic, i % 3, 10 + i, 128)).collect();
         // Plant a near-duplicate pair: series 3 plus a whisper of noise.
         let near: Vec<f64> = raws[3]
             .values()
@@ -100,11 +95,7 @@ mod tests {
         let (raws, reps) = collection();
         let motif = find_motif(&raws, &reps, 1.0).unwrap();
         let all_pairs = raws.len() * (raws.len() - 1) / 2;
-        assert!(
-            motif.refined_pairs < all_pairs,
-            "refined {} of {all_pairs}",
-            motif.refined_pairs
-        );
+        assert!(motif.refined_pairs < all_pairs, "refined {} of {all_pairs}", motif.refined_pairs);
     }
 
     #[test]

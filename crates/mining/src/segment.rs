@@ -44,11 +44,7 @@ mod tests {
         v.extend(vec![8.0; 60]);
         let cps = change_points(&ts(v), 1).unwrap();
         assert_eq!(cps.len(), 1);
-        assert!(
-            (cps[0] as isize - 59).abs() <= 2,
-            "change point {} should be near 59",
-            cps[0]
-        );
+        assert!((cps[0] as isize - 59).abs() <= 2, "change point {} should be near 59", cps[0]);
     }
 
     #[test]
@@ -70,9 +66,8 @@ mod tests {
 
     #[test]
     fn change_points_are_sorted_and_interior() {
-        let v: Vec<f64> = (0..200)
-            .map(|t| ((t / 40) as f64) * 3.0 + (t as f64 * 0.7).sin() * 0.1)
-            .collect();
+        let v: Vec<f64> =
+            (0..200).map(|t| ((t / 40) as f64) * 3.0 + (t as f64 * 0.7).sin() * 0.1).collect();
         let n = v.len();
         let cps = change_points(&ts(v), 4).unwrap();
         assert_eq!(cps.len(), 4);

@@ -51,8 +51,7 @@ pub fn best_matches(
     let mut candidates: Vec<(f64, usize)> = Vec::new();
     let mut offset = 0usize;
     while offset + w <= n {
-        let window =
-            TimeSeries::new(haystack.values()[offset..offset + w].to_vec())?;
+        let window = TimeSeries::new(haystack.values()[offset..offset + w].to_vec())?;
         let rep: Representation = reducer.reduce(&window, budget)?;
         candidates.push((rep_distance(&q_rep, &rep)?, offset));
         offset += stride;
@@ -63,8 +62,7 @@ pub fn best_matches(
     // winners.
     let mut exact: Vec<SubsequenceMatch> = Vec::new();
     for &(_, offset) in candidates.iter().take((refine_factor.max(1)) * k.max(1)) {
-        let window =
-            TimeSeries::new(haystack.values()[offset..offset + w].to_vec())?;
+        let window = TimeSeries::new(haystack.values()[offset..offset + w].to_vec())?;
         let d = euclidean(query, &window)?;
         exact.push(SubsequenceMatch { offset, distance: d });
     }
@@ -89,26 +87,20 @@ mod tests {
     fn haystack_with_pattern(at: &[usize]) -> (TimeSeries, TimeSeries) {
         let n = 600;
         let w = 40;
-        let pattern: Vec<f64> =
-            (0..w).map(|t| (t as f64 * 0.35).sin() * 5.0).collect();
-        let mut values: Vec<f64> =
-            (0..n).map(|t| 0.4 * ((t * 13) % 7) as f64).collect();
+        let pattern: Vec<f64> = (0..w).map(|t| (t as f64 * 0.35).sin() * 5.0).collect();
+        let mut values: Vec<f64> = (0..n).map(|t| 0.4 * ((t * 13) % 7) as f64).collect();
         for &off in at {
             for (u, &p) in pattern.iter().enumerate() {
                 values[off + u] = p;
             }
         }
-        (
-            TimeSeries::new(values).unwrap(),
-            TimeSeries::new(pattern).unwrap(),
-        )
+        (TimeSeries::new(values).unwrap(), TimeSeries::new(pattern).unwrap())
     }
 
     #[test]
     fn finds_planted_occurrences() {
         let (hay, query) = haystack_with_pattern(&[100, 400]);
-        let hits =
-            best_matches(&hay, &query, &SaplaReducer::new(), 12, 1, 2, 5).unwrap();
+        let hits = best_matches(&hay, &query, &SaplaReducer::new(), 12, 1, 2, 5).unwrap();
         assert_eq!(hits.len(), 2);
         let mut offsets: Vec<usize> = hits.iter().map(|m| m.offset).collect();
         offsets.sort_unstable();
@@ -119,8 +111,7 @@ mod tests {
     #[test]
     fn matches_do_not_overlap() {
         let (hay, query) = haystack_with_pattern(&[200]);
-        let hits =
-            best_matches(&hay, &query, &SaplaReducer::new(), 12, 1, 3, 5).unwrap();
+        let hits = best_matches(&hay, &query, &SaplaReducer::new(), 12, 1, 3, 5).unwrap();
         for (i, a) in hits.iter().enumerate() {
             for b in &hits[i + 1..] {
                 assert!(a.offset.abs_diff(b.offset) >= query.len());
@@ -132,8 +123,7 @@ mod tests {
     fn stride_trades_resolution() {
         let (hay, query) = haystack_with_pattern(&[250]);
         // Stride 10 still lands within 10 of the plant.
-        let hits =
-            best_matches(&hay, &query, &SaplaReducer::new(), 12, 10, 1, 5).unwrap();
+        let hits = best_matches(&hay, &query, &SaplaReducer::new(), 12, 10, 1, 5).unwrap();
         assert_eq!(hits.len(), 1);
         assert!(hits[0].offset.abs_diff(250) <= 10, "offset {}", hits[0].offset);
     }
@@ -142,8 +132,6 @@ mod tests {
     fn query_longer_than_haystack_errors() {
         let hay = TimeSeries::new(vec![0.0; 10]).unwrap();
         let query = TimeSeries::new(vec![0.0; 20]).unwrap();
-        assert!(
-            best_matches(&hay, &query, &SaplaReducer::new(), 6, 1, 1, 3).is_err()
-        );
+        assert!(best_matches(&hay, &query, &SaplaReducer::new(), 6, 1, 1, 3).is_err());
     }
 }

@@ -1,0 +1,477 @@
+//! # sapla-parallel
+//!
+//! A small work-stealing parallel engine for the workspace's two hot
+//! paths (batch ingest and multi-query k-NN), built on scoped threads
+//! from `std` — no external dependencies.
+//!
+//! ## Guarantees
+//!
+//! - **Deterministic output order**: [`par_try_map`] writes each result
+//!   into the slot of its input index, so the output `Vec` is
+//!   bit-for-bit identical to the sequential map regardless of thread
+//!   count or scheduling.
+//! - **First-error-by-input-order**: on failure the returned error is
+//!   the one the *sequential* loop would have hit first (the failing
+//!   item with the smallest index among all processed), not whichever
+//!   worker errored first in wall time. Workers stop claiming items
+//!   beyond the earliest known failure, so the engine also short-
+//!   circuits like the sequential loop does.
+//! - **Panic safety**: a panicking closure never aborts the process via
+//!   a `join().expect(..)`. The payload is captured, the pool drains,
+//!   and the panic resumes on the calling thread — observable with
+//!   `std::panic::catch_unwind` exactly like a sequential panic. When a
+//!   panic and an `Err` race, the one at the smaller input index wins,
+//!   again matching sequential semantics.
+//!
+//! ## Scheduling
+//!
+//! Each worker owns a deque of input indices (a contiguous range packed
+//! into one `AtomicU64`). Owners pop small blocks from the front; idle
+//! workers steal the back half of the largest remaining deque. This is
+//! classic split-range work stealing: contention is one CAS per block,
+//! and imbalanced workloads (e.g. APLA's `O(N n²)` reductions mixed
+//! with cheap PAA ones) rebalance automatically.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Hardware parallelism, used when callers pass `threads = 0`.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Worker count actually used for `items` inputs: `requested` (or the
+/// hardware count when `requested == 0`), clamped to the item count.
+pub fn effective_threads(requested: usize, items: usize) -> usize {
+    let t = if requested == 0 { max_threads() } else { requested };
+    t.clamp(1, items.max(1))
+}
+
+/// One worker's claimable range of input indices, packed as
+/// `start << 32 | end` in a single atomic word.
+struct RangeDeque(AtomicU64);
+
+impl RangeDeque {
+    fn new(start: usize, end: usize) -> RangeDeque {
+        RangeDeque(AtomicU64::new(Self::pack(start as u64, end as u64)))
+    }
+
+    fn pack(start: u64, end: u64) -> u64 {
+        (start << 32) | end
+    }
+
+    fn unpack(word: u64) -> (u64, u64) {
+        (word >> 32, word & 0xFFFF_FFFF)
+    }
+
+    fn remaining(&self) -> usize {
+        let (s, e) = Self::unpack(self.0.load(Ordering::Relaxed));
+        e.saturating_sub(s) as usize
+    }
+
+    /// Owner side: claim up to `block` indices from the front.
+    fn pop_front(&self, block: usize) -> Option<std::ops::Range<usize>> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (s, e) = Self::unpack(cur);
+            if s >= e {
+                return None;
+            }
+            let take = (e - s).min(block as u64);
+            let next = Self::pack(s + take, e);
+            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Some(s as usize..(s + take) as usize),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Thief side: split off the back half of the victim's range.
+    fn steal_half(&self) -> Option<std::ops::Range<usize>> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (s, e) = Self::unpack(cur);
+            if s >= e {
+                return None;
+            }
+            // Victim keeps the front half (rounded up) for locality.
+            let mid = s + (e - s).div_ceil(2);
+            if mid >= e {
+                return None;
+            }
+            let next = Self::pack(s, mid);
+            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Some(mid as usize..e as usize),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Publish a freshly stolen range as this worker's own deque. Only
+    /// called while the deque is empty, so concurrent thieves cannot
+    /// observe a partially installed range.
+    fn install(&self, range: &std::ops::Range<usize>) {
+        self.0.store(Self::pack(range.start as u64, range.end as u64), Ordering::Release);
+    }
+}
+
+/// Write-once result slots shared across the scope. Each input index is
+/// claimed by exactly one worker (the deques partition the index space),
+/// so unsynchronised writes to distinct slots are race-free; the scope
+/// join publishes them to the caller.
+struct Slots<'a, T> {
+    cells: &'a [UnsafeCell<Option<T>>],
+}
+
+// SAFETY: distinct indices are written by at most one worker each (deque
+// ranges are disjoint), and reads only happen after the scope joins.
+unsafe impl<T: Send> Sync for Slots<'_, T> {}
+
+impl<T> Slots<'_, T> {
+    fn write(&self, index: usize, value: T) {
+        // SAFETY: `index` was claimed from a deque exactly once.
+        unsafe { *self.cells[index].get() = Some(value) };
+    }
+}
+
+/// Shared failure state: the earliest failing input index (error or
+/// panic) and the first panic payload by input order.
+struct Failures {
+    /// Items with an index above this are skipped (sequential
+    /// short-circuit semantics). `usize::MAX` while everything is fine.
+    bound: AtomicUsize,
+    panic: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
+}
+
+impl Failures {
+    fn new() -> Failures {
+        Failures { bound: AtomicUsize::new(usize::MAX), panic: Mutex::new(None) }
+    }
+
+    fn record_error(&self, index: usize) {
+        self.bound.fetch_min(index, Ordering::AcqRel);
+    }
+
+    fn record_panic(&self, index: usize, payload: Box<dyn Any + Send>) {
+        self.bound.fetch_min(index, Ordering::AcqRel);
+        let mut slot = self.panic.lock().unwrap_or_else(|p| p.into_inner());
+        match &*slot {
+            Some((prev, _)) if *prev <= index => {}
+            _ => *slot = Some((index, payload)),
+        }
+    }
+
+    fn skip(&self, index: usize) -> bool {
+        index > self.bound.load(Ordering::Acquire)
+    }
+}
+
+/// Parallel fallible map with per-worker state.
+///
+/// Maps `f` over `items` on up to `threads` workers (`0` = hardware
+/// count). `init` runs once per worker and its value is passed mutably
+/// to every call that worker makes — reusable scratch (buffers, heaps)
+/// without locks. Output order, error choice, and panic behaviour match
+/// the sequential loop exactly (see the crate docs).
+///
+/// # Errors
+///
+/// The error of the failing item with the smallest input index, as the
+/// sequential loop would return.
+pub fn par_try_map_init<T, U, E, S, I, F>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> Result<U, E> + Sync,
+{
+    let n = items.len();
+    let threads = effective_threads(threads, n);
+    if threads <= 1 {
+        let mut scratch = init();
+        return items.iter().enumerate().map(|(i, t)| f(&mut scratch, i, t)).collect();
+    }
+    assert!(n < u32::MAX as usize, "par_try_map_init supports < 2^32 items");
+
+    let cells: Vec<UnsafeCell<Option<Result<U, E>>>> =
+        (0..n).map(|_| UnsafeCell::new(None)).collect();
+    let slots = Slots { cells: &cells };
+    let failures = Failures::new();
+    // Initial even partition; stealing rebalances from here.
+    let deques: Vec<RangeDeque> =
+        (0..threads).map(|w| RangeDeque::new(w * n / threads, (w + 1) * n / threads)).collect();
+    // Small claim blocks: cheap enough to amortise the CAS, small enough
+    // to keep stealing effective on skewed workloads.
+    let block = (n / (threads * 8)).max(1);
+
+    std::thread::scope(|scope| {
+        let worker = |wid: usize| {
+            let mut scratch = init();
+            let me = &deques[wid];
+            loop {
+                while let Some(range) = me.pop_front(block) {
+                    for i in range {
+                        if failures.skip(i) {
+                            continue;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut scratch, i, &items[i]))) {
+                            Ok(Ok(value)) => slots.write(i, Ok(value)),
+                            Ok(Err(err)) => {
+                                failures.record_error(i);
+                                slots.write(i, Err(err));
+                            }
+                            Err(payload) => failures.record_panic(i, payload),
+                        }
+                    }
+                }
+                // Own deque is dry: steal the back half of the fullest
+                // victim. A failed race retries; an empty scan exits
+                // (any in-flight stolen range is the thief's problem).
+                let victim = (0..deques.len())
+                    .filter(|&v| v != wid)
+                    .max_by_key(|&v| deques[v].remaining())
+                    .filter(|&v| deques[v].remaining() > 0);
+                match victim {
+                    Some(v) => {
+                        if let Some(range) = deques[v].steal_half() {
+                            me.install(&range);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        };
+        // The calling thread doubles as worker 0.
+        let handles: Vec<_> = (1..threads).map(|wid| scope.spawn(move || worker(wid))).collect();
+        worker(0);
+        // Scoped threads cannot outlive the scope; collecting the joins
+        // here keeps panics funnelled through `failures`, not `join`.
+        for h in handles {
+            // Worker closures catch their own unwinds, so join only
+            // fails if the runtime itself misbehaves.
+            let _ = h.join();
+        }
+    });
+
+    let mut out = Vec::with_capacity(n);
+    let panic = failures.panic.lock().unwrap_or_else(|p| p.into_inner()).take();
+    for (i, cell) in cells.into_iter().enumerate() {
+        match cell.into_inner() {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(err)) => {
+                // An earlier panic outranks this error in input order.
+                if let Some((pi, payload)) = panic {
+                    if pi < i {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+                return Err(err);
+            }
+            // Skipped past the first failure: resolve what that was.
+            None => {
+                if let Some((pi, payload)) = panic {
+                    if pi == i {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+                unreachable!("slot {i} empty without a recorded failure");
+            }
+        }
+    }
+    if let Some((_, payload)) = panic {
+        std::panic::resume_unwind(payload);
+    }
+    Ok(out)
+}
+
+/// [`par_try_map_init`] without per-worker state.
+///
+/// # Errors
+///
+/// The error of the failing item with the smallest input index.
+pub fn par_try_map<T, U, E, F>(items: &[T], threads: usize, f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    par_try_map_init(items, threads, || (), |(), i, t| f(i, t))
+}
+
+/// Infallible parallel map with deterministic output order.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    match par_try_map(items, threads, |i, t| Ok::<U, std::convert::Infallible>(f(i, t))) {
+        Ok(out) => out,
+        Err(never) => match never {},
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn matches_sequential_for_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [0, 1, 2, 3, 4, 7, 16, 64] {
+            let par = par_map(&items, threads, |_, x| x * x + 1);
+            assert_eq!(par, seq, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 8, |_, x| *x).is_empty());
+        assert_eq!(par_map(&[5u32], 8, |_, x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn first_error_is_by_input_order() {
+        // Errors at many indices; index 3 must win on every schedule.
+        let items: Vec<usize> = (0..400).collect();
+        for threads in [2, 4, 7] {
+            for _ in 0..16 {
+                let got: Result<Vec<usize>, String> = par_try_map(&items, threads, |_, &x| {
+                    if x == 3 || x >= 5 {
+                        Err(format!("fail {x}"))
+                    } else {
+                        Ok(x)
+                    }
+                });
+                assert_eq!(got.unwrap_err(), "fail 3", "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_circuits_after_an_early_error() {
+        let processed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..10_000).collect();
+        let got: Result<Vec<usize>, &str> = par_try_map(&items, 4, |_, &x| {
+            processed.fetch_add(1, Ordering::Relaxed);
+            if x == 0 {
+                Err("boom")
+            } else {
+                std::thread::yield_now();
+                Ok(x)
+            }
+        });
+        assert_eq!(got.unwrap_err(), "boom");
+        // Not a hard guarantee of an exact count, but the skip bound must
+        // have pruned the overwhelming majority of the input.
+        assert!(processed.load(Ordering::Relaxed) < items.len(), "no short-circuit happened");
+    }
+
+    #[test]
+    fn worker_panics_resume_on_the_caller() {
+        let items: Vec<usize> = (0..100).collect();
+        let outcome = std::panic::catch_unwind(|| {
+            let _ = par_map(&items, 4, |_, &x| {
+                if x == 41 {
+                    panic!("worker panic at {x}");
+                }
+                x
+            });
+        });
+        let payload = outcome.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("worker panic at 41"), "payload: {msg}");
+    }
+
+    #[test]
+    fn earlier_error_beats_later_panic() {
+        let items: Vec<usize> = (0..100).collect();
+        let got = std::panic::catch_unwind(|| {
+            par_try_map(&items, 4, |_, &x| {
+                if x == 90 {
+                    panic!("late panic");
+                }
+                if x == 2 {
+                    return Err("early error");
+                }
+                Ok(x)
+            })
+        });
+        // The index-2 error precedes the index-90 panic in input order,
+        // so the call returns Err rather than unwinding.
+        assert_eq!(got.expect("no unwind"), Err("early error"));
+    }
+
+    #[test]
+    fn earlier_panic_beats_later_error() {
+        let items: Vec<usize> = (0..100).collect();
+        let got = std::panic::catch_unwind(|| {
+            par_try_map(&items, 4, |_, &x| {
+                if x == 2 {
+                    panic!("early panic");
+                }
+                if x == 90 {
+                    return Err("late error");
+                }
+                Ok(x)
+            })
+        });
+        assert!(got.is_err(), "the index-2 panic must win over the index-90 error");
+    }
+
+    #[test]
+    fn per_worker_scratch_is_reused_not_shared() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..5_000).collect();
+        let out: Result<Vec<usize>, std::convert::Infallible> = par_try_map_init(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |scratch, _, &x| {
+                scratch.push(x);
+                Ok(scratch.len())
+            },
+        );
+        assert_eq!(out.unwrap().len(), items.len());
+        let created = inits.load(Ordering::Relaxed);
+        assert!(created <= 4, "scratch created per worker, got {created}");
+    }
+
+    #[test]
+    fn stealing_rebalances_skewed_work() {
+        // One pathological item at the front; with static striping the
+        // first worker would serialise everything behind it.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, 4, |i, &x| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(1, 100), 1);
+        assert_eq!(effective_threads(0, 0), 1);
+        assert!(effective_threads(0, 1_000) >= 1);
+    }
+}

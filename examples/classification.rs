@@ -18,10 +18,7 @@ const TEST_PER_CLASS: usize = 6;
 const N: usize = 256;
 const M: usize = 24;
 
-fn nearest_label_reduced(
-    query: &Representation,
-    train: &[(Representation, Family)],
-) -> Family {
+fn nearest_label_reduced(query: &Representation, train: &[(Representation, Family)]) -> Family {
     train
         .iter()
         .min_by(|(a, _), (b, _)| {
@@ -37,10 +34,7 @@ fn nearest_label_raw(query: &TimeSeries, train: &[(TimeSeries, Family)]) -> Fami
     train
         .iter()
         .min_by(|(a, _), (b, _)| {
-            query
-                .euclidean(a)
-                .unwrap()
-                .total_cmp(&query.euclidean(b).unwrap())
+            query.euclidean(a).unwrap().total_cmp(&query.euclidean(b).unwrap())
         })
         .expect("training set is non-empty")
         .1
@@ -66,16 +60,13 @@ fn main() {
     );
 
     // Raw-space ceiling.
-    let raw_hits = test_raw
-        .iter()
-        .filter(|(q, label)| nearest_label_raw(q, &train_raw) == *label)
-        .count();
+    let raw_hits =
+        test_raw.iter().filter(|(q, label)| nearest_label_raw(q, &train_raw) == *label).count();
 
     // Reduced-space classifiers.
-    for (name, reducer) in [
-        ("SAPLA", Box::new(SaplaReducer::new()) as Box<dyn Reducer>),
-        ("PAA", Box::new(Paa)),
-    ] {
+    for (name, reducer) in
+        [("SAPLA", Box::new(SaplaReducer::new()) as Box<dyn Reducer>), ("PAA", Box::new(Paa))]
+    {
         let train: Vec<(Representation, Family)> = train_raw
             .iter()
             .map(|(s, f)| (reducer.reduce(s, M).expect("valid budget"), *f))

@@ -9,8 +9,8 @@ use sapla_core::sapla::SaplaConfig;
 use sapla_core::TimeSeries;
 
 const FIG1: [f64; 20] = [
-    7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
-    2.0, 9.0, 10.0, 10.0,
+    7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0, 2.0, 9.0,
+    10.0, 10.0,
 ];
 
 fn sparkline(values: &[f64]) -> String {
@@ -19,10 +19,7 @@ fn sparkline(values: &[f64]) -> String {
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     let span = (max - min).max(1e-12);
-    values
-        .iter()
-        .map(|&v| LEVELS[(((v - min) / span) * 7.0).round() as usize])
-        .collect()
+    values.iter().map(|&v| LEVELS[(((v - min) / span) * 7.0).round() as usize]).collect()
 }
 
 fn main() {

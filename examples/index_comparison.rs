@@ -21,11 +21,8 @@ fn main() {
     let reducer = SaplaReducer::new();
     let m = 12;
     let scheme = scheme_for("SAPLA");
-    let reps: Vec<_> = ds
-        .series
-        .iter()
-        .map(|s| reducer.reduce(s, m).expect("valid budget"))
-        .collect();
+    let reps: Vec<_> =
+        ds.series.iter().map(|s| reducer.reduce(s, m).expect("valid budget")).collect();
 
     let rtree = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).expect("rtree");
     let dbch = DbchTree::build(scheme.as_ref(), reps, 2, 5).expect("dbch");

@@ -22,16 +22,9 @@ fn main() {
     // Reduce everything with SAPLA at M = 24 (N = 8 segments).
     let reducer = SaplaReducer::new();
     let m = 24;
-    let reps: Vec<_> = ds
-        .series
-        .iter()
-        .map(|s| reducer.reduce(s, m).expect("valid budget"))
-        .collect();
-    println!(
-        "reduced 512 points -> {} coefficients per series ({}x compression)",
-        m,
-        512 / m
-    );
+    let reps: Vec<_> =
+        ds.series.iter().map(|s| reducer.reduce(s, m).expect("valid budget")).collect();
+    println!("reduced 512 points -> {} coefficients per series ({}x compression)", m, 512 / m);
 
     // Index with the paper's DBCH-tree (min fill 2, max fill 5).
     let scheme = scheme_for("SAPLA");

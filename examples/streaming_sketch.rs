@@ -27,8 +27,10 @@ fn main() {
     let elapsed = start.elapsed();
 
     let repr = sketch.representation().expect("points were pushed");
-    println!("consumed {n} points in {elapsed:?} ({:.0} ns/point)",
-        elapsed.as_nanos() as f64 / n as f64);
+    println!(
+        "consumed {n} points in {elapsed:?} ({:.0} ns/point)",
+        elapsed.as_nanos() as f64 / n as f64
+    );
     println!(
         "sketch: {} segments = {} coefficients ({}x compression)",
         repr.num_segments(),

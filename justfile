@@ -1,0 +1,22 @@
+# Local CI entry points. `just ci` is the gate a PR must pass.
+
+# Tier-1: the seed suite must build in release and every test must pass.
+tier1:
+    cargo build --release
+    cargo test -q
+
+# Lints: warnings are errors, formatting is canonical.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --all --check
+
+# The full pre-merge gate.
+ci: tier1 lint
+
+# Regenerate every paper table/figure (slow; see EXPERIMENTS.md).
+bench:
+    cargo bench -p sapla-bench
+
+# Quick thread-sweep of the parallel engine on the catalogue profile.
+sweep:
+    cargo bench -p sapla-bench --bench catalogue_profile

@@ -22,9 +22,10 @@ fn every_family_is_represented_and_loads() {
     let protocol = Protocol { series_len: 96, series_per_dataset: 4, queries_per_dataset: 1 };
     let cat = catalogue();
     for family in Family::ALL {
-        let spec = cat.iter().find(|d| d.family == family).unwrap_or_else(|| {
-            panic!("family {} missing from catalogue", family.name())
-        });
+        let spec = cat
+            .iter()
+            .find(|d| d.family == family)
+            .unwrap_or_else(|| panic!("family {} missing from catalogue", family.name()));
         let ds = spec.load(&protocol);
         assert_eq!(ds.series.len(), 4);
         assert_eq!(ds.queries.len(), 1);

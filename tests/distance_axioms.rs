@@ -19,11 +19,7 @@ fn rep_distance_identity_and_symmetry_for_every_method() {
             ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
         for (i, a) in reps.iter().enumerate() {
             // Identity: d(x, x) = 0.
-            assert!(
-                rep_distance(a, a).unwrap() < 1e-9,
-                "{}: d(x,x) != 0",
-                reducer.name()
-            );
+            assert!(rep_distance(a, a).unwrap() < 1e-9, "{}: d(x,x) != 0", reducer.name());
             for b in &reps[i + 1..] {
                 let ab = rep_distance(a, b).unwrap();
                 let ba = rep_distance(b, a).unwrap();
@@ -46,21 +42,12 @@ fn rep_distance_triangle_inequality_holds_for_linear_reps() {
     for a in 0..reps.len() {
         for b in 0..reps.len() {
             for c in 0..reps.len() {
-                let ab = dist_par(
-                    reps[a].as_linear().unwrap(),
-                    reps[b].as_linear().unwrap(),
-                )
-                .unwrap();
-                let bc = dist_par(
-                    reps[b].as_linear().unwrap(),
-                    reps[c].as_linear().unwrap(),
-                )
-                .unwrap();
-                let ac = dist_par(
-                    reps[a].as_linear().unwrap(),
-                    reps[c].as_linear().unwrap(),
-                )
-                .unwrap();
+                let ab =
+                    dist_par(reps[a].as_linear().unwrap(), reps[b].as_linear().unwrap()).unwrap();
+                let bc =
+                    dist_par(reps[b].as_linear().unwrap(), reps[c].as_linear().unwrap()).unwrap();
+                let ac =
+                    dist_par(reps[a].as_linear().unwrap(), reps[c].as_linear().unwrap()).unwrap();
                 assert!(ac <= ab + bc + 1e-9, "triangle violated: {ac} > {ab} + {bc}");
             }
         }

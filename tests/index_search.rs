@@ -15,8 +15,7 @@ fn both_trees_index_every_method_and_answer_knn() {
     let k = 5;
     for reducer in all_reducers() {
         let scheme = scheme_for(reducer.name());
-        let reps: Vec<_> =
-            ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
         let rtree = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
         let dbch = DbchTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
         assert_eq!(rtree.shape().entries, 30, "{}", reducer.name());
@@ -60,8 +59,7 @@ fn rtree_with_true_lower_bounds_is_exact() {
             continue;
         }
         let scheme = scheme_for(reducer.name());
-        let reps: Vec<_> =
-            ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
         let rtree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
         for qraw in &ds.queries {
             let q = Query::new(qraw, reducer.as_ref(), 12).unwrap();
@@ -95,18 +93,13 @@ fn dbch_improves_or_matches_rtree_for_adaptive_methods() {
                 continue;
             }
             let scheme = scheme_for(reducer.name());
-            let reps: Vec<_> =
-                ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+            let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
             let rtree = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
             let dbch = DbchTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
             for qraw in &ds.queries {
                 let q = Query::new(qraw, reducer.as_ref(), 12).unwrap();
-                rho_r += rtree
-                    .knn(&q, k, scheme.as_ref(), &ds.series)
-                    .unwrap()
-                    .pruning_power();
-                rho_d +=
-                    dbch.knn(&q, k, scheme.as_ref(), &ds.series).unwrap().pruning_power();
+                rho_r += rtree.knn(&q, k, scheme.as_ref(), &ds.series).unwrap().pruning_power();
+                rho_d += dbch.knn(&q, k, scheme.as_ref(), &ds.series).unwrap().pruning_power();
                 count += 1.0;
             }
         }
@@ -129,8 +122,7 @@ fn triangle_rule_dbch_with_lb_distances_loses_no_true_neighbour_often() {
     let scheme = scheme_for("SAPLA");
     let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
     let tree =
-        DbchTree::build_with_rule(scheme.as_ref(), reps, 2, 5, NodeDistRule::Triangle)
-            .unwrap();
+        DbchTree::build_with_rule(scheme.as_ref(), reps, 2, 5, NodeDistRule::Triangle).unwrap();
     let mut acc = 0.0;
     for qraw in &ds.queries {
         let q = Query::new(qraw, reducer.as_ref(), 12).unwrap();

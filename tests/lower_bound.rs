@@ -2,12 +2,10 @@
 //! Appendix A of the paper) across randomly generated series pairs.
 
 use proptest::prelude::*;
-use sapla_baselines::{Cheby, Paa, Pla, Reducer, Sax, SaplaReducer};
+use sapla_baselines::{Cheby, Paa, Pla, Reducer, SaplaReducer, Sax};
 use sapla_core::sapla::Sapla;
 use sapla_core::TimeSeries;
-use sapla_distance::{
-    dist_cheby, dist_lb, dist_paa, dist_par, dist_pla, euclidean, mindist,
-};
+use sapla_distance::{dist_cheby, dist_lb, dist_paa, dist_par, dist_pla, euclidean, mindist};
 
 /// Strategy: a z-normalised series of length `n` assembled from a few
 /// random regimes (so segmentations are non-trivial).
@@ -135,11 +133,8 @@ proptest! {
 fn dist_par_violation_rate_is_small_on_catalogue_data() {
     let reducer = SaplaReducer::new();
     let specs = sapla_data::catalogue();
-    let protocol = sapla_data::Protocol {
-        series_len: 128,
-        series_per_dataset: 6,
-        queries_per_dataset: 2,
-    };
+    let protocol =
+        sapla_data::Protocol { series_len: 128, series_per_dataset: 6, queries_per_dataset: 2 };
     let mut pairs = 0usize;
     let mut violations = 0usize;
     let mut worst: f64 = 0.0;

@@ -41,12 +41,8 @@ fn clustering_separates_two_datasets() {
     let a = cat.iter().find(|d| d.name == "PiecewiseConstant_00").unwrap().load(&protocol());
     let b = cat.iter().find(|d| d.name == "RandomWalk_00").unwrap().load(&protocol());
     let reducer = SaplaReducer::new();
-    let reps: Vec<_> = a
-        .series
-        .iter()
-        .chain(&b.series)
-        .map(|s| reducer.reduce(s, 12).unwrap())
-        .collect();
+    let reps: Vec<_> =
+        a.series.iter().chain(&b.series).map(|s| reducer.reduce(s, 12).unwrap()).collect();
     let c = k_medoids(&reps, 2, 10).unwrap();
     assert_eq!(c.assignment.len(), 24);
     // Both clusters are populated.
@@ -95,16 +91,9 @@ fn subsequence_search_on_catalogue_stream() {
     }
     let haystack = sapla_core::TimeSeries::new(long).unwrap();
     let offset = 3 * 128 + 40;
-    let query = sapla_core::TimeSeries::new(
-        haystack.values()[offset..offset + 64].to_vec(),
-    )
-    .unwrap();
-    let hits =
-        best_matches(&haystack, &query, &SaplaReducer::new(), 12, 4, 1, 6).unwrap();
+    let query =
+        sapla_core::TimeSeries::new(haystack.values()[offset..offset + 64].to_vec()).unwrap();
+    let hits = best_matches(&haystack, &query, &SaplaReducer::new(), 12, 4, 1, 6).unwrap();
     assert_eq!(hits.len(), 1);
-    assert!(
-        hits[0].offset.abs_diff(offset) <= 4,
-        "found {} expected {offset}",
-        hits[0].offset
-    );
+    assert!(hits[0].offset.abs_diff(offset) <= 4, "found {} expected {offset}", hits[0].offset);
 }

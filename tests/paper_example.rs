@@ -8,8 +8,8 @@ use sapla_core::TimeSeries;
 /// The series of Fig. 5a: {7, 8, 20, 15, 18, 8, 8, 15, 10, 1, 4, 3, 3, 5,
 /// 4, 9, 2, 9, 10, 10}.
 const FIG1: [f64; 20] = [
-    7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
-    2.0, 9.0, 10.0, 10.0,
+    7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0, 2.0, 9.0,
+    10.0, 10.0,
 ];
 
 fn series() -> TimeSeries {
@@ -84,10 +84,7 @@ fn initialization_produces_the_papers_segment_count_ballpark() {
         endpoint_movement: false,
         ..SaplaConfig::default()
     };
-    let rep = Sapla::with_segments(4)
-        .with_config(init_only)
-        .reduce(&series())
-        .unwrap();
+    let rep = Sapla::with_segments(4).with_config(init_only).reduce(&series()).unwrap();
     // After the forced merge-to-N the representation has exactly 4.
     assert_eq!(rep.num_segments(), 4);
     assert_eq!(rep.series_len(), 20);

@@ -14,9 +14,9 @@ fn every_method_reduces_every_family_at_every_budget() {
     for (family, series) in family_series(256) {
         for reducer in all_reducers() {
             for &m in &[12usize, 18, 24] {
-                let rep = reducer.reduce(&series, m).unwrap_or_else(|e| {
-                    panic!("{} on {:?} at M={m}: {e}", reducer.name(), family)
-                });
+                let rep = reducer
+                    .reduce(&series, m)
+                    .unwrap_or_else(|e| panic!("{} on {:?} at M={m}: {e}", reducer.name(), family));
                 assert_eq!(rep.series_len(), 256, "{} covers the series", reducer.name());
                 let expected_n = m / reducer.coeffs_per_segment();
                 assert_eq!(
@@ -107,12 +107,7 @@ fn linear_views_preserve_reconstructions() {
         let rep = reducer.reduce(&series, 12).unwrap();
         if let Representation::Constant(c) = &rep {
             let lin = c.to_linear();
-            assert_eq!(
-                lin.reconstruct().values(),
-                c.reconstruct().values(),
-                "{}",
-                reducer.name()
-            );
+            assert_eq!(lin.reconstruct().values(), c.reconstruct().values(), "{}", reducer.name());
         }
     }
 }
