@@ -14,11 +14,14 @@
 //! the caller instead of aborting a worker join.
 
 use sapla_core::{Representation, Result, TimeSeries};
-use sapla_parallel::par_try_map;
+use sapla_parallel::par_try_map_init;
 
-use crate::common::Reducer;
+use crate::common::{ReduceScratch, Reducer};
 
-/// Reduce every series sequentially, preserving order.
+/// Reduce every series sequentially, preserving order. One
+/// [`ReduceScratch`] is reused across the whole batch, so SAPLA's stage
+/// workspace reaches steady state after the first few series and stops
+/// allocating.
 ///
 /// # Errors
 ///
@@ -28,7 +31,8 @@ pub fn reduce_batch(
     series: &[TimeSeries],
     m: usize,
 ) -> Result<Vec<Representation>> {
-    series.iter().map(|s| reducer.reduce(s, m)).collect()
+    let mut scratch = ReduceScratch::new();
+    series.iter().map(|s| reducer.reduce_with_scratch(s, m, &mut scratch)).collect()
 }
 
 /// Reduce every series using up to `threads` worker threads, preserving
@@ -49,7 +53,9 @@ pub fn reduce_batch_parallel(
     if sapla_parallel::effective_threads(threads, series.len()) <= 1 {
         return reduce_batch(reducer, series, m);
     }
-    par_try_map(series, threads, |_, s| reducer.reduce(s, m))
+    par_try_map_init(series, threads, ReduceScratch::new, |scratch, _, s| {
+        reducer.reduce_with_scratch(s, m, scratch)
+    })
 }
 
 #[cfg(test)]

@@ -1,7 +1,24 @@
 //! The uniform [`Reducer`] interface shared by SAPLA and all baselines.
 
-use sapla_core::sapla::Sapla;
+use sapla_core::sapla::{Sapla, SaplaScratch};
 use sapla_core::{Error, Representation, Result, TimeSeries};
+
+/// Reusable per-worker workspace for repeated [`Reducer::reduce_with_scratch`]
+/// calls. Wraps a [`SaplaScratch`] today; reducers that carry no reusable
+/// state simply ignore it. One scratch per thread — the batch paths hold
+/// one per worker (`par_try_map_init`), never share one across threads.
+#[derive(Debug, Default)]
+pub struct ReduceScratch {
+    /// SAPLA's stage workspace (heaps, memo tables, prefix sums).
+    pub sapla: SaplaScratch,
+}
+
+impl ReduceScratch {
+    /// An empty workspace; buffers grow to steady state on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Equal-length segmentation boundaries: split `n` points into `k` windows
 /// whose lengths differ by at most one (the convention PAA/PLA/SAX use).
@@ -38,6 +55,24 @@ pub trait Reducer: Send + Sync {
     /// multiple of [`Reducer::coeffs_per_segment`], or the implied segment
     /// count does not fit the series.
     fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation>;
+
+    /// Reduce with a caller-provided workspace, allowing batch drivers to
+    /// amortise allocations across many series. Results are identical to
+    /// [`Reducer::reduce`] regardless of the scratch's history; the
+    /// default implementation ignores the scratch (most baselines have no
+    /// reusable state worth threading).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Reducer::reduce`].
+    fn reduce_with_scratch(
+        &self,
+        series: &TimeSeries,
+        m: usize,
+        _scratch: &mut ReduceScratch,
+    ) -> Result<Representation> {
+        self.reduce(series, m)
+    }
 
     /// Reconstruct an (approximate) series from a representation this
     /// reducer produced.
@@ -111,8 +146,18 @@ impl Reducer for SaplaReducer {
     }
 
     fn reduce(&self, series: &TimeSeries, m: usize) -> Result<Representation> {
+        self.reduce_with_scratch(series, m, &mut ReduceScratch::new())
+    }
+
+    fn reduce_with_scratch(
+        &self,
+        series: &TimeSeries,
+        m: usize,
+        scratch: &mut ReduceScratch,
+    ) -> Result<Representation> {
         let n = self.segments_for(m)?;
-        let repr = Sapla::with_segments(n).with_config(self.config).reduce(series)?;
+        let sapla = Sapla::with_segments(n).with_config(self.config);
+        let repr = sapla.reduce_with(series, &mut scratch.sapla)?;
         Ok(Representation::Linear(repr))
     }
 }

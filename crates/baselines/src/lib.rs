@@ -38,7 +38,7 @@ pub use apca::Apca;
 pub use apla::Apla;
 pub use batch::{reduce_batch, reduce_batch_parallel};
 pub use cheby::Cheby;
-pub use common::{all_reducers, Reducer, SaplaReducer};
+pub use common::{all_reducers, ReduceScratch, Reducer, SaplaReducer};
 pub use paa::Paa;
 pub use paalm::Paalm;
 pub use pla::Pla;

@@ -1,0 +1,42 @@
+//! Machine-readable perf trajectory emitter.
+//!
+//! ```text
+//! cargo bench -p sapla-bench --bench perf_json -- [--quick] [--json <path>]
+//! ```
+//!
+//! Runs the `(n, segments)` reduce-throughput and ingest/k-NN grid of
+//! `sapla_bench::perf` and prints a human summary; with `--json <path>`
+//! the full report is also written as JSON (the format committed as
+//! `BENCH_PR2.json`). `--quick` switches to the tiny CI grid.
+
+use sapla_bench::perf::{run, PerfGrid};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+
+    let grid = if quick { PerfGrid::quick() } else { PerfGrid::full() };
+    let report = run(&grid);
+
+    println!("reduce throughput (threads = {}):", report.threads);
+    for p in &report.reduce {
+        println!(
+            "  n = {:5}  N = {:2}  {:>12.0} ns/series  {:>10.0} series/s",
+            p.n, p.segments, p.ns_per_series, p.series_per_sec
+        );
+    }
+    println!("ingest + kNN (DBCH-tree, k = 4):");
+    for p in &report.index {
+        println!(
+            "  n = {:5}  N = {:2}  db = {:3}  ingest {:>12.0} ns  knn {:>12.0} ns/query",
+            p.n, p.segments, p.db, p.ingest_ns, p.knn_ns_per_query
+        );
+    }
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| panic!("perf_json: cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

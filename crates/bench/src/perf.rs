@@ -1,0 +1,282 @@
+//! Machine-readable performance trajectory: reduce throughput and
+//! ingest / k-NN timings over a fixed `(n, segments)` grid, emitted as
+//! JSON so successive PRs can record comparable numbers (the committed
+//! baselines live at the repo root, e.g. `BENCH_PR2.json`).
+//!
+//! The grid is deliberately small and deterministic (seeded catalogue
+//! data, single thread by default): the numbers are for *trajectory*
+//! comparisons on one machine, not cross-machine claims.
+
+use std::time::{Duration, Instant};
+
+use sapla_baselines::{reduce_batch, SaplaReducer};
+use sapla_data::{catalogue, Protocol};
+use sapla_index::{ingest_parallel, knn_batch, prepare_queries, scheme_for, NodeDistRule};
+
+use crate::time_it;
+
+/// The measurement grid.
+#[derive(Debug, Clone)]
+pub struct PerfGrid {
+    /// Series lengths `n` to measure.
+    pub lens: Vec<usize>,
+    /// Segment budgets `N` to measure (`M = 3N` coefficients).
+    pub segment_counts: Vec<usize>,
+    /// Database series per reduce-throughput point.
+    pub series_per_point: usize,
+    /// Database size for the ingest / k-NN point.
+    pub index_db: usize,
+    /// Queries for the k-NN point.
+    pub index_queries: usize,
+    /// Minimum measuring time per point (repetitions adapt to this).
+    pub min_time: Duration,
+    /// Worker threads (`1` = the sequential baseline the trajectory
+    /// tracks; parallel speedups are the thread-sweep benches' job).
+    pub threads: usize,
+}
+
+impl PerfGrid {
+    /// The PR-trajectory grid from the roadmap: `n ∈ {256, 1024, 4096}`,
+    /// `N ∈ {8, 16, 32}`.
+    pub fn full() -> PerfGrid {
+        PerfGrid {
+            lens: vec![256, 1024, 4096],
+            segment_counts: vec![8, 16, 32],
+            series_per_point: 8,
+            index_db: 60,
+            index_queries: 6,
+            min_time: Duration::from_millis(250),
+            threads: 1,
+        }
+    }
+
+    /// A tiny grid for CI smoke runs (`just bench-quick`).
+    pub fn quick() -> PerfGrid {
+        PerfGrid {
+            lens: vec![128, 256],
+            segment_counts: vec![8],
+            series_per_point: 3,
+            index_db: 16,
+            index_queries: 2,
+            min_time: Duration::from_millis(20),
+            threads: 1,
+        }
+    }
+}
+
+/// One reduce-throughput measurement.
+#[derive(Debug, Clone)]
+pub struct ReducePoint {
+    /// Series length.
+    pub n: usize,
+    /// Segment budget `N`.
+    pub segments: usize,
+    /// Batch repetitions measured.
+    pub reps: usize,
+    /// Mean time per single-series reduction, nanoseconds.
+    pub ns_per_series: f64,
+    /// Reductions per second (the headline throughput number).
+    pub series_per_sec: f64,
+}
+
+/// One ingest + multi-query k-NN measurement.
+#[derive(Debug, Clone)]
+pub struct IndexPoint {
+    /// Series length.
+    pub n: usize,
+    /// Segment budget `N`.
+    pub segments: usize,
+    /// Database size.
+    pub db: usize,
+    /// Query count.
+    pub queries: usize,
+    /// Wall time to reduce + build the DBCH-tree, nanoseconds.
+    pub ingest_ns: f64,
+    /// Mean k-NN time per query (k = 4), nanoseconds.
+    pub knn_ns_per_query: f64,
+}
+
+/// A full emitter run.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Reduce-throughput grid.
+    pub reduce: Vec<ReducePoint>,
+    /// Ingest / k-NN grid (one point per series length).
+    pub index: Vec<IndexPoint>,
+}
+
+/// Deterministic measurement series: one catalogue dataset per family
+/// flavour, interleaved so every point sees varied signal shapes.
+fn grid_series(n: usize, count: usize) -> Vec<sapla_core::TimeSeries> {
+    let protocol =
+        Protocol { series_len: n, series_per_dataset: count.div_ceil(3), queries_per_dataset: 1 };
+    let specs = catalogue();
+    let mut out = Vec::with_capacity(count);
+    // Families 0 (smooth), 5 (burst, the paper's stress case), 2 (walk).
+    for spec_idx in [0usize, 5, 2] {
+        let ds = specs[spec_idx].load(&protocol);
+        out.extend(ds.series);
+    }
+    out.truncate(count);
+    out
+}
+
+/// Repeat `f` until `min_time` has elapsed (at least twice after one
+/// warm-up call), returning `(reps, mean nanoseconds per call)`.
+fn measure(min_time: Duration, mut f: impl FnMut()) -> (usize, f64) {
+    f(); // warm-up: fills caches and scratch high-water marks
+    let mut reps = 0usize;
+    let start = Instant::now();
+    loop {
+        f();
+        reps += 1;
+        if reps >= 2 && start.elapsed() >= min_time {
+            break;
+        }
+    }
+    (reps, start.elapsed().as_nanos() as f64 / reps as f64)
+}
+
+/// Run the grid and collect the report.
+pub fn run(grid: &PerfGrid) -> PerfReport {
+    let reducer = SaplaReducer::new();
+    let mut reduce = Vec::new();
+    for &n in &grid.lens {
+        for &segments in &grid.segment_counts {
+            if n < 2 * segments {
+                continue;
+            }
+            let series = grid_series(n, grid.series_per_point);
+            let m = 3 * segments;
+            let (reps, batch_ns) = measure(grid.min_time, || {
+                let out = reduce_batch(&reducer, &series, m).expect("grid series reduce");
+                std::hint::black_box(&out);
+            });
+            let ns_per_series = batch_ns / series.len() as f64;
+            reduce.push(ReducePoint {
+                n,
+                segments,
+                reps,
+                ns_per_series,
+                series_per_sec: 1e9 / ns_per_series,
+            });
+        }
+    }
+
+    let mut index = Vec::new();
+    let scheme = scheme_for("SAPLA");
+    let segments = grid.segment_counts[0];
+    let m = 3 * segments;
+    for &n in &grid.lens {
+        if n < 2 * segments {
+            continue;
+        }
+        let db = grid_series(n, grid.index_db);
+        let raw_queries =
+            grid_series(n.max(4), grid.index_queries + grid.index_db).split_off(grid.index_db);
+        let (tree, ingest) = time_it(|| {
+            ingest_parallel(
+                scheme.as_ref(),
+                &reducer,
+                &db,
+                m,
+                2,
+                5,
+                NodeDistRule::Paper,
+                grid.threads,
+            )
+            .expect("grid ingest")
+        });
+        let queries =
+            prepare_queries(&raw_queries, &reducer, m, grid.threads).expect("grid queries");
+        let (_, knn_ns) = measure(grid.min_time, || {
+            let out = knn_batch(&tree, &queries, 4, scheme.as_ref(), &db, grid.threads)
+                .expect("grid knn");
+            std::hint::black_box(&out);
+        });
+        index.push(IndexPoint {
+            n,
+            segments,
+            db: db.len(),
+            queries: queries.len(),
+            ingest_ns: ingest.as_nanos() as f64,
+            knn_ns_per_query: knn_ns / queries.len() as f64,
+        });
+    }
+
+    PerfReport { threads: grid.threads, reduce, index }
+}
+
+fn push_kv(out: &mut String, key: &str, value: f64) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    // Finite by construction; emit with enough precision to round-trip.
+    out.push_str(&format!("{value:.1}"));
+}
+
+impl PerfReport {
+    /// Serialise as JSON (hand-rolled: the workspace builds offline with
+    /// no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n  \"threads\": ");
+        s.push_str(&self.threads.to_string());
+        s.push_str(",\n  \"reduce\": [\n");
+        for (i, p) in self.reduce.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"n\": {}, \"segments\": {}, \"reps\": {}, ",
+                p.n, p.segments, p.reps
+            ));
+            push_kv(&mut s, "ns_per_series", p.ns_per_series);
+            s.push_str(", ");
+            push_kv(&mut s, "series_per_sec", p.series_per_sec);
+            s.push('}');
+            if i + 1 < self.reduce.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ],\n  \"index\": [\n");
+        for (i, p) in self.index.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"n\": {}, \"segments\": {}, \"db\": {}, \"queries\": {}, ",
+                p.n, p.segments, p.db, p.queries
+            ));
+            push_kv(&mut s, "ingest_ns", p.ingest_ns);
+            s.push_str(", ");
+            push_kv(&mut s, "knn_ns_per_query", p.knn_ns_per_query);
+            s.push('}');
+            if i + 1 < self.index.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_runs_and_serialises() {
+        let report = run(&PerfGrid::quick());
+        assert!(!report.reduce.is_empty());
+        assert!(!report.index.is_empty());
+        for p in &report.reduce {
+            assert!(p.ns_per_series > 0.0 && p.series_per_sec > 0.0);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"reduce\""));
+        assert!(json.contains("\"index\""));
+        assert!(json.contains("\"ns_per_series\""));
+        // Crude structural sanity: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -13,7 +13,7 @@
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use sapla_baselines::{all_reducers, reduce_batch_parallel, Reducer};
+use sapla_baselines::{all_reducers, reduce_batch, reduce_batch_parallel, Reducer};
 use sapla_core::TimeSeries;
 use sapla_data::{catalogue, Protocol};
 use sapla_index::{knn_batch, prepare_queries, scheme_for, DbchTree, Query, RTree};
@@ -205,8 +205,7 @@ fn cmd_mine(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("unknown dataset {name:?}"))?;
     let ds = spec.load(&Protocol::quick());
     let reducer = sapla_baselines::SaplaReducer::new();
-    let reps: Result<Vec<_>, _> = ds.series.iter().map(|s| reducer.reduce(s, m)).collect();
-    let reps = reps.map_err(|e| e.to_string())?;
+    let reps = reduce_batch(&reducer, &ds.series, m).map_err(|e| e.to_string())?;
 
     match task.as_str() {
         "discord" => {

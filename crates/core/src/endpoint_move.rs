@@ -6,17 +6,67 @@
 //! left neighbour). Each move is hill-climbed one point at a time while
 //! the pair's combined `β` keeps falling (Algorithm 4.5), and the best of
 //! the four (`β^a..β^d`) is applied when it reduces the sum upper bound.
+//!
+//! ## Memoised climbs
+//!
+//! [`climb`] is a pure function of `(left, right, direction)`, and the
+//! pass structure re-evaluates the same boundary many times: each
+//! boundary is climbed from both of its segments' visits within a pass,
+//! and again every following pass until something adjacent moves. A
+//! per-boundary memo validated by bitwise segment comparison
+//! ([`Seg::bits_eq`]) replays those repeats for free — a hit is
+//! indistinguishable from recomputing, so results are bit-identical to
+//! the direct implementation. This is the dominant win behind the
+//! kernel's speedup: climbing walks `O(l)` points per call, and the
+//! final no-progress pass alone used to redo every one of them.
 
 use crate::work::{total_beta, Ctx, Seg};
 
+/// Reusable endpoint-movement state: the pass visit order and the
+/// per-boundary climb memo. Reset at every [`endpoint_move_with`] call;
+/// buffers keep their capacity across calls, so steady-state passes
+/// allocate nothing.
+#[derive(Debug, Default)]
+pub(crate) struct MoveScratch {
+    /// Visit order: `(β_i at pass start, segment start)`.
+    order: Vec<(f64, usize)>,
+    /// One memo slot per boundary per climb direction.
+    memo: Vec<[Option<ClimbMemo>; 2]>,
+}
+
+/// A memoised [`climb`] outcome for one boundary: the exact input pair
+/// and the result it produced.
+#[derive(Debug, Clone, Copy)]
+struct ClimbMemo {
+    left: Seg,
+    right: Seg,
+    result: Option<(Seg, Seg)>,
+}
+
 /// Run endpoint-movement passes until a pass yields no improvement, up to
-/// `max_passes` passes.
+/// `max_passes` passes. Test-only convenience wrapper building a one-shot
+/// scratch; the reduce path holds a [`MoveScratch`] and calls
+/// [`endpoint_move_with`].
+#[cfg(test)]
 pub(crate) fn endpoint_move(ctx: &Ctx<'_>, segs: &mut [Seg], max_passes: usize) {
+    let mut scratch = MoveScratch::default();
+    endpoint_move_with(ctx, segs, &mut scratch, max_passes);
+}
+
+/// [`endpoint_move`] against a reusable scratch.
+pub(crate) fn endpoint_move_with(
+    ctx: &Ctx<'_>,
+    segs: &mut [Seg],
+    scratch: &mut MoveScratch,
+    max_passes: usize,
+) {
     if segs.len() < 2 {
         return;
     }
+    scratch.memo.clear();
+    scratch.memo.resize(segs.len() - 1, [None, None]);
     for _ in 0..max_passes {
-        if !one_pass(ctx, segs) {
+        if !one_pass(ctx, segs, scratch) {
             break;
         }
     }
@@ -26,28 +76,40 @@ pub(crate) fn endpoint_move(ctx: &Ctx<'_>, segs: &mut [Seg], max_passes: usize) 
 /// One pass of Algorithm 4.4: visit every segment once, in decreasing
 /// initial `β_i` order (the priority queue `η`). Returns whether any move
 /// was applied.
-fn one_pass(ctx: &Ctx<'_>, segs: &mut [Seg]) -> bool {
+fn one_pass(ctx: &Ctx<'_>, segs: &mut [Seg], scratch: &mut MoveScratch) -> bool {
     // Identify segments by their start position; indices shift as moves
     // are applied, but starts move by at most the hill-climb steps and we
-    // re-locate by nearest start.
-    let mut order: Vec<(f64, usize)> = segs.iter().map(|s| (s.beta, s.start)).collect();
-    order.sort_by(|a, b| b.0.total_cmp(&a.0));
+    // re-locate by nearest start. β descending with starts ascending on
+    // ties: the pre-sort order is start-ascending, so this unstable sort
+    // reproduces what the stable β-only sort produced.
+    scratch.order.clear();
+    scratch.order.extend(segs.iter().map(|s| (s.beta, s.start)));
+    scratch.order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
     let mut improved = false;
-    for (_, start0) in order {
-        // Re-locate the segment whose window currently contains start0.
-        let i = match segs.iter().position(|s| s.start <= start0 && start0 < s.end) {
-            Some(i) => i,
-            None => continue,
-        };
-        improved |= try_moves(ctx, segs, i);
+    for idx in 0..scratch.order.len() {
+        let start0 = scratch.order[idx].1;
+        // Binary search the start-sorted tiling for the window containing
+        // start0: the last segment starting at or before it.
+        let p = segs.partition_point(|s| s.start <= start0);
+        if p == 0 {
+            continue; // unreachable in a tiling (segs[0].start == 0)
+        }
+        let i = p - 1;
+        debug_assert!(segs[i].start <= start0 && start0 < segs[i].end);
+        improved |= try_moves(ctx, segs, i, &mut scratch.memo);
     }
     improved
 }
 
 /// Try the four moves for segment `i`; apply the best strictly-improving
 /// one. Returns whether a move was applied.
-fn try_moves(ctx: &Ctx<'_>, segs: &mut [Seg], i: usize) -> bool {
+fn try_moves(
+    ctx: &Ctx<'_>,
+    segs: &mut [Seg],
+    i: usize,
+    memo: &mut [[Option<ClimbMemo>; 2]],
+) -> bool {
     let current = total_beta(segs);
     let mut best: Option<(usize, Seg, Seg, f64)> = None; // (left idx, new left, new right, β)
 
@@ -63,12 +125,12 @@ fn try_moves(ctx: &Ctx<'_>, segs: &mut [Seg], i: usize) -> bool {
     };
 
     if i + 1 < segs.len() {
-        consider(i, climb(ctx, &segs[i], &segs[i + 1], Direction::Right));
-        consider(i, climb(ctx, &segs[i], &segs[i + 1], Direction::Left));
+        consider(i, climb_memo(ctx, segs, i, Direction::Right, memo));
+        consider(i, climb_memo(ctx, segs, i, Direction::Left, memo));
     }
     if i > 0 {
-        consider(i - 1, climb(ctx, &segs[i - 1], &segs[i], Direction::Right));
-        consider(i - 1, climb(ctx, &segs[i - 1], &segs[i], Direction::Left));
+        consider(i - 1, climb_memo(ctx, segs, i - 1, Direction::Right, memo));
+        consider(i - 1, climb_memo(ctx, segs, i - 1, Direction::Left, memo));
     }
 
     if let Some((j, l, r, _)) = best {
@@ -81,11 +143,31 @@ fn try_moves(ctx: &Ctx<'_>, segs: &mut [Seg], i: usize) -> bool {
 }
 
 #[derive(Clone, Copy)]
-enum Direction {
+pub(crate) enum Direction {
     /// Move the shared boundary rightward (left segment grows).
     Right,
     /// Move the shared boundary leftward (left segment shrinks).
     Left,
+}
+
+/// [`climb`] on the boundary between `segs[j]` and `segs[j+1]`, through
+/// the memo: a bitwise match of both inputs replays the cached outcome.
+fn climb_memo(
+    ctx: &Ctx<'_>,
+    segs: &[Seg],
+    j: usize,
+    dir: Direction,
+    memo: &mut [[Option<ClimbMemo>; 2]],
+) -> Option<(Seg, Seg)> {
+    let slot = &mut memo[j][dir as usize];
+    if let Some(m) = slot {
+        if m.left.bits_eq(&segs[j]) && m.right.bits_eq(&segs[j + 1]) {
+            return m.result;
+        }
+    }
+    let result = climb(ctx, &segs[j], &segs[j + 1], dir);
+    *slot = Some(ClimbMemo { left: segs[j], right: segs[j + 1], result });
+    result
 }
 
 /// Algorithm 4.5: move the shared boundary of `(left, right)` one point
@@ -96,7 +178,9 @@ enum Direction {
 /// analysis budgets `l_i = n − 2N` movements per segment (Section 4.5).
 ///
 /// Returns the best improved pair, or `None` when no position improves.
-fn climb(ctx: &Ctx<'_>, left: &Seg, right: &Seg, dir: Direction) -> Option<(Seg, Seg)> {
+/// A pure function of its arguments — the property [`climb_memo`] relies
+/// on.
+pub(crate) fn climb(ctx: &Ctx<'_>, left: &Seg, right: &Seg, dir: Direction) -> Option<(Seg, Seg)> {
     debug_assert_eq!(left.end, right.start);
     let mut best_pair: Option<(Seg, Seg)> = None;
     let mut best_beta = left.beta + right.beta;
@@ -187,6 +271,30 @@ mod tests {
         let cut = segs[0].end;
         assert!(cut > 9, "boundary should move right from 9, got {cut}");
         assert!((cut as isize - 12).abs() <= 1, "got {cut}, want ≈ 12");
+    }
+
+    #[test]
+    fn memo_hit_replays_climb_exactly() {
+        // Same inputs through a warm memo must return the identical pair.
+        let v: Vec<f64> = (0..40).map(|t| ((t * 7) % 11) as f64 - 0.3 * t as f64).collect();
+        let ctx = Ctx::new(&v, BoundMode::Paper);
+        let segs = vec![ctx.make_seg(0, 13), ctx.make_seg(13, 26), ctx.make_seg(26, 40)];
+        let mut memo = vec![[None, None]; 2];
+        for j in 0..2 {
+            for dir in [Direction::Right, Direction::Left] {
+                let cold = climb_memo(&ctx, &segs, j, dir, &mut memo);
+                let warm = climb_memo(&ctx, &segs, j, dir, &mut memo);
+                let direct = climb(&ctx, &segs[j], &segs[j + 1], dir);
+                match (cold, warm, direct) {
+                    (None, None, None) => {}
+                    (Some(a), Some(b), Some(c)) => {
+                        assert!(a.0.bits_eq(&b.0) && a.1.bits_eq(&b.1));
+                        assert!(a.0.bits_eq(&c.0) && a.1.bits_eq(&c.1));
+                    }
+                    other => panic!("memo diverged from direct climb: {other:?}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -21,21 +21,38 @@ use crate::work::{Ctx, Seg};
 
 /// Run the initialization scan, producing a contiguous segmentation of
 /// `ctx.values` with (usually) at least `n_target` segments.
+/// (Test-only convenience; the reduce path uses [`initialize_into`].)
+#[cfg(test)]
 pub(crate) fn initialize(ctx: &Ctx<'_>, n_target: usize) -> Vec<Seg> {
+    let mut segs = Vec::new();
+    let mut eta = BinaryHeap::new();
+    initialize_into(ctx, n_target, &mut segs, &mut eta);
+    segs
+}
+
+/// [`initialize`] writing into caller buffers: `segs` receives the
+/// segmentation, `eta` is the threshold heap `η`. Both are cleared first,
+/// so a reused scratch produces exactly what a fresh one would.
+pub(crate) fn initialize_into(
+    ctx: &Ctx<'_>,
+    n_target: usize,
+    segs: &mut Vec<Seg>,
+    eta: &mut BinaryHeap<Reverse<OrdF64>>,
+) {
     let values = ctx.values;
     let n = values.len();
     debug_assert!(n_target >= 1);
+    segs.clear();
+    eta.clear();
 
     if n <= 2 {
-        return vec![ctx.make_seg(0, n)];
+        segs.push(ctx.make_seg(0, n));
+        return;
     }
 
     // η keeps the N−1 largest increment areas; its minimum is the
     // increment threshold max(ε(Č', Č^e))_{N−1}.
-    let mut eta: BinaryHeap<Reverse<OrdF64>> = BinaryHeap::new();
     let eta_cap = n_target.saturating_sub(1);
-
-    let mut segs: Vec<Seg> = Vec::with_capacity(n_target + 4);
 
     // Current segment state: starts with two points (l = 2), as in
     // Algorithm 4.2 line 1: ĉ = ⟨c_1 − c_0, c_0, 1⟩.
@@ -84,8 +101,7 @@ pub(crate) fn initialize(ctx: &Ctx<'_>, n_target: usize) -> Vec<Seg> {
         }
     }
     segs.push(finalize(ctx, start, n, fit, max_d));
-    crate::work::assert_tiling(&segs, n);
-    segs
+    crate::work::assert_tiling(segs, n);
 }
 
 fn finalize(ctx: &Ctx<'_>, start: usize, end: usize, fit: crate::fit::LineFit, max_d: f64) -> Seg {

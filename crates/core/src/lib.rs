@@ -58,6 +58,11 @@ mod init;
 mod split_merge;
 mod work;
 
+/// The pre-heap reference kernel, retained to pin the optimised kernel's
+/// bit-identity in property tests.
+#[cfg(test)]
+mod naive;
+
 pub use error::{Error, Result};
 pub use fit::{LineFit, SegStats};
 pub use ordf64::OrdF64;

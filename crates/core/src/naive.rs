@@ -1,0 +1,285 @@
+//! The reference SAPLA refinement kernel, kept verbatim from before the
+//! heap-driven rewrite.
+//!
+//! Selection here is by full linear rescans, candidate evaluation clones
+//! the whole segment buffer, `total_beta` is recomputed from scratch, and
+//! relocation in the movement pass is a linear scan — exactly the shapes
+//! the optimised kernel replaced. The optimised kernel must produce
+//! **bit-identical** representations to this one; the property tests at
+//! the bottom of this module (plus the scratch-reuse tests) pin that.
+
+use crate::endpoint_move::{climb, Direction};
+use crate::error::{Error, Result};
+use crate::init::initialize;
+use crate::repr::PiecewiseLinear;
+use crate::sapla::Sapla;
+use crate::series::TimeSeries;
+use crate::split_merge::{apply_merge, apply_split, best_merge_index, best_split_index};
+use crate::work::{to_representation, total_beta, Ctx, Seg};
+
+/// The original `Sapla::reduce` driver over the reference stages.
+pub(crate) fn naive_reduce(sapla: &Sapla, series: &TimeSeries) -> Result<PiecewiseLinear> {
+    let n = series.len();
+    let n_segments = sapla.num_segments();
+    let config = *sapla.config();
+    if n < n_segments {
+        return Err(Error::InvalidSegmentCount { segments: n_segments, len: n });
+    }
+    let target = n_segments.min((n / 2).max(1));
+
+    let ctx = Ctx::new(series.values(), config.bound_mode);
+    let mut segs = initialize(&ctx, target);
+    let rounds = if config.refine_split_merge { config.max_refine_rounds } else { 0 };
+    for _ in 0..config.stage_loops.max(1) {
+        naive_split_merge(&ctx, &mut segs, target, rounds);
+        if !config.endpoint_movement {
+            break;
+        }
+        naive_endpoint_move(&ctx, &mut segs, config.max_move_passes);
+    }
+    Ok(to_representation(&segs))
+}
+
+/// Stage 2 by rescans and clone-and-compare.
+pub(crate) fn naive_split_merge(
+    ctx: &Ctx<'_>,
+    segs: &mut Vec<Seg>,
+    n_target: usize,
+    max_rounds: usize,
+) {
+    while segs.len() > n_target {
+        let i = best_merge_index(ctx, segs).expect("len > 1 so a pair exists");
+        apply_merge(ctx, segs, i);
+    }
+    while segs.len() < n_target {
+        let Some(i) = best_split_index(segs) else { break };
+        if !apply_split(ctx, segs, i) {
+            break;
+        }
+    }
+    crate::work::assert_tiling(segs, ctx.values.len());
+
+    if segs.len() != n_target || n_target < 2 {
+        return;
+    }
+    let mut beta = total_beta(segs);
+    for _ in 0..max_rounds {
+        let sm = simulate_split_merge(ctx, segs);
+        let ms = simulate_merge_split(ctx, segs);
+        let best = match (&sm, &ms) {
+            (Some(a), Some(b)) => Some(if a.1 <= b.1 { a } else { b }),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        match best {
+            Some((candidate, cand_beta)) if *cand_beta < beta => {
+                *segs = candidate.clone();
+                beta = *cand_beta;
+            }
+            _ => break,
+        }
+    }
+    crate::work::assert_tiling(segs, ctx.values.len());
+}
+
+/// Candidate: split the max-β segment, then merge the best pair.
+fn simulate_split_merge(ctx: &Ctx<'_>, segs: &[Seg]) -> Option<(Vec<Seg>, f64)> {
+    let mut c = segs.to_vec();
+    let i = best_split_index(&c)?;
+    if !apply_split(ctx, &mut c, i) {
+        return None;
+    }
+    let j = best_merge_index(ctx, &c)?;
+    apply_merge(ctx, &mut c, j);
+    let beta = total_beta(&c);
+    Some((c, beta))
+}
+
+/// Candidate: merge the best pair, then split the max-β segment.
+fn simulate_merge_split(ctx: &Ctx<'_>, segs: &[Seg]) -> Option<(Vec<Seg>, f64)> {
+    let mut c = segs.to_vec();
+    let j = best_merge_index(ctx, &c)?;
+    apply_merge(ctx, &mut c, j);
+    let i = best_split_index(&c)?;
+    if !apply_split(ctx, &mut c, i) {
+        return None;
+    }
+    let beta = total_beta(&c);
+    Some((c, beta))
+}
+
+/// Stage 3 by stable sorts, linear relocation and unmemoised climbs.
+pub(crate) fn naive_endpoint_move(ctx: &Ctx<'_>, segs: &mut [Seg], max_passes: usize) {
+    if segs.len() < 2 {
+        return;
+    }
+    for _ in 0..max_passes {
+        if !naive_one_pass(ctx, segs) {
+            break;
+        }
+    }
+    crate::work::assert_tiling(segs, ctx.values.len());
+}
+
+fn naive_one_pass(ctx: &Ctx<'_>, segs: &mut [Seg]) -> bool {
+    let mut order: Vec<(f64, usize)> = segs.iter().map(|s| (s.beta, s.start)).collect();
+    order.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    let mut improved = false;
+    for (_, start0) in order {
+        let i = match segs.iter().position(|s| s.start <= start0 && start0 < s.end) {
+            Some(i) => i,
+            None => continue,
+        };
+        improved |= naive_try_moves(ctx, segs, i);
+    }
+    improved
+}
+
+fn naive_try_moves(ctx: &Ctx<'_>, segs: &mut [Seg], i: usize) -> bool {
+    let current = total_beta(segs);
+    let mut best: Option<(usize, Seg, Seg, f64)> = None;
+
+    let mut consider = |pair_left: usize, cand: Option<(Seg, Seg)>| {
+        if let Some((l, r)) = cand {
+            let delta = l.beta + r.beta - segs[pair_left].beta - segs[pair_left + 1].beta;
+            let beta = current + delta;
+            if beta < best.as_ref().map_or(current, |b| b.3) - 1e-12 {
+                best = Some((pair_left, l, r, beta));
+            }
+        }
+    };
+
+    if i + 1 < segs.len() {
+        consider(i, climb(ctx, &segs[i], &segs[i + 1], Direction::Right));
+        consider(i, climb(ctx, &segs[i], &segs[i + 1], Direction::Left));
+    }
+    if i > 0 {
+        consider(i - 1, climb(ctx, &segs[i - 1], &segs[i], Direction::Right));
+        consider(i - 1, climb(ctx, &segs[i - 1], &segs[i], Direction::Left));
+    }
+
+    if let Some((j, l, r, _)) = best {
+        segs[j] = l;
+        segs[j + 1] = r;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sapla::{BoundMode, SaplaConfig, SaplaScratch};
+    use proptest::prelude::*;
+
+    fn ts(v: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(v).unwrap()
+    }
+
+    /// Bitwise representation equality: `PartialEq` on `f64` treats
+    /// `-0.0 == 0.0`, so compare coefficient bits explicitly.
+    fn repr_bits_eq(a: &PiecewiseLinear, b: &PiecewiseLinear) -> bool {
+        a.segments().len() == b.segments().len()
+            && a.segments().iter().zip(b.segments()).all(|(x, y)| {
+                x.r == y.r && x.a.to_bits() == y.a.to_bits() && x.b.to_bits() == y.b.to_bits()
+            })
+    }
+
+    fn series_strategy() -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-100.0f64..100.0, 2..300)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The heap-driven kernel is bit-identical to the reference
+        /// kernel on random series, targets and bound modes.
+        #[test]
+        fn heap_kernel_matches_naive_reference(
+            v in series_strategy(),
+            target in 1usize..12,
+            exact in 0u8..2,
+        ) {
+            let mode = if exact == 1 { BoundMode::Exact } else { BoundMode::Paper };
+            let config = SaplaConfig { bound_mode: mode, ..Default::default() };
+            let target = target.min(v.len()); // else both paths error out
+            let sapla = Sapla::with_segments(target).with_config(config);
+            let series = ts(v);
+            let fast = sapla.reduce(&series).unwrap();
+            let reference = naive_reduce(&sapla, &series).unwrap();
+            prop_assert!(
+                repr_bits_eq(&fast, &reference),
+                "kernel diverged from reference: {:?} vs {:?}",
+                fast,
+                reference,
+            );
+        }
+
+        /// Scratch reuse across series of varying lengths and targets is
+        /// bit-identical to a fresh scratch (and hence to the reference).
+        #[test]
+        fn scratch_reuse_matches_fresh_scratch(
+            seeds in proptest::collection::vec((2usize..280, 1usize..10, 0.01f64..0.3), 1..12),
+        ) {
+            let mut reused = SaplaScratch::new();
+            for (len, target, freq) in seeds {
+                let v: Vec<f64> = (0..len)
+                    .map(|t| (t as f64 * freq).sin() * 10.0 + ((t * 31) % 7) as f64)
+                    .collect();
+                let series = ts(v);
+                let sapla = Sapla::with_segments(target.min(len));
+                let with_reused = sapla.reduce_with(&series, &mut reused).unwrap();
+                let with_fresh = sapla.reduce_with(&series, &mut SaplaScratch::new()).unwrap();
+                let reference = naive_reduce(&sapla, &series).unwrap();
+                prop_assert!(repr_bits_eq(&with_reused, &with_fresh));
+                prop_assert!(repr_bits_eq(&with_reused, &reference));
+            }
+        }
+
+        /// Ablation configurations (stage switches, extra stage loops, no
+        /// refinement) stay bit-identical too.
+        #[test]
+        fn config_variants_match_naive_reference(
+            v in series_strategy(),
+            target in 1usize..9,
+            refine in 0u8..2,
+            movement in 0u8..2,
+            loops in 1usize..3,
+        ) {
+            let config = SaplaConfig {
+                refine_split_merge: refine == 1,
+                endpoint_movement: movement == 1,
+                stage_loops: loops,
+                ..Default::default()
+            };
+            let sapla = Sapla::with_segments(target.min(v.len())).with_config(config);
+            let series = ts(v);
+            let fast = sapla.reduce(&series).unwrap();
+            let reference = naive_reduce(&sapla, &series).unwrap();
+            prop_assert!(repr_bits_eq(&fast, &reference));
+        }
+    }
+
+    /// Deterministic spot check on the paper's worked example, including
+    /// `reduce_into` buffer reuse.
+    #[test]
+    fn fig1_and_reduce_into_match_reference() {
+        let fig1 = vec![
+            7.0, 8.0, 20.0, 15.0, 18.0, 8.0, 8.0, 15.0, 10.0, 1.0, 4.0, 3.0, 3.0, 5.0, 4.0, 9.0,
+            2.0, 9.0, 10.0, 10.0,
+        ];
+        let series = ts(fig1);
+        let sapla = Sapla::with_segments(4);
+        let reference = naive_reduce(&sapla, &series).unwrap();
+        let mut scratch = SaplaScratch::new();
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            sapla.reduce_into(&series, &mut scratch, &mut buf).unwrap();
+            let got = PiecewiseLinear::new(buf.clone()).unwrap();
+            assert!(repr_bits_eq(&got, &reference));
+        }
+    }
+}

@@ -6,13 +6,17 @@
 //! three stages: initialization (Algorithm 4.2), split & merge iteration
 //! (Algorithm 4.3) and segment endpoint movement (Algorithms 4.4–4.5).
 
-use crate::endpoint_move::endpoint_move;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::endpoint_move::{endpoint_move_with, MoveScratch};
 use crate::error::{Error, Result};
-use crate::init::initialize;
-use crate::repr::PiecewiseLinear;
-use crate::series::TimeSeries;
-use crate::split_merge::split_merge;
-use crate::work::{to_representation, Ctx};
+use crate::init::initialize_into;
+use crate::ordf64::OrdF64;
+use crate::repr::{LinearSegment, PiecewiseLinear};
+use crate::series::{PrefixSums, TimeSeries};
+use crate::split_merge::{split_merge_with, SplitMergeScratch};
+use crate::work::{Ctx, Seg};
 
 /// How segment upper bounds `β_i` are computed during the iterations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +86,41 @@ pub struct Sapla {
 /// (`⟨a_i, b_i, r_i⟩`, Table 1).
 pub const COEFFS_PER_SEGMENT: usize = 3;
 
+/// Reusable SAPLA working memory: the prefix sums, the segment buffer,
+/// the stage-1 threshold heap and the stage-2/3 scratch (selection heaps,
+/// generation stamps, climb memo, visit order).
+///
+/// ## Reuse contract
+///
+/// * **Results never depend on scratch history.** Every stage clears or
+///   rebuilds the state it reads, so `reduce_with` over a reused scratch
+///   is bit-identical to a fresh one — across series of any lengths and
+///   segment targets, in any order (property-tested).
+/// * **Steady state allocates nothing.** Buffers keep their capacity, so
+///   after a warm-up call per workload shape, [`Sapla::reduce_into`]
+///   performs zero heap allocations ([`Sapla::reduce_with`] additionally
+///   allocates only the returned representation's segment vector).
+/// * **Not thread-safe, cheaply `Send`.** A scratch is `&mut` per
+///   reduction; give each worker its own (the pattern
+///   `sapla-parallel::par_try_map_init` exists for). One scratch per
+///   thread is the intended steady state — creating one per call works
+///   but forfeits the allocation-free property.
+#[derive(Debug, Default)]
+pub struct SaplaScratch {
+    sums: PrefixSums,
+    segs: Vec<Seg>,
+    eta: BinaryHeap<Reverse<OrdF64>>,
+    sm: SplitMergeScratch,
+    mv: MoveScratch,
+}
+
+impl SaplaScratch {
+    /// A fresh workspace (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl Sapla {
     /// Reducer targeting exactly `n_segments` adaptive segments.
     pub fn with_segments(n_segments: usize) -> Self {
@@ -128,6 +167,41 @@ impl Sapla {
     /// [`Error::InvalidSegmentCount`] when the series is shorter than the
     /// requested segment count.
     pub fn reduce(&self, series: &TimeSeries) -> Result<PiecewiseLinear> {
+        self.reduce_with(series, &mut SaplaScratch::new())
+    }
+
+    /// [`Sapla::reduce`] against a reusable workspace — the steady-state
+    /// entry point of every batch path. See [`SaplaScratch`] for the
+    /// reuse contract; results are bit-identical to a fresh scratch.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSegmentCount`] when the series is shorter than the
+    /// requested segment count.
+    pub fn reduce_with(
+        &self,
+        series: &TimeSeries,
+        scratch: &mut SaplaScratch,
+    ) -> Result<PiecewiseLinear> {
+        let mut segs = Vec::new();
+        self.reduce_into(series, scratch, &mut segs)?;
+        Ok(PiecewiseLinear::new(segs).expect("working segmentation is contiguous and ordered"))
+    }
+
+    /// [`Sapla::reduce_with`] writing the segments into a caller buffer
+    /// (cleared first) — together with a warmed scratch this performs no
+    /// heap allocation at all.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSegmentCount`] when the series is shorter than the
+    /// requested segment count.
+    pub fn reduce_into(
+        &self,
+        series: &TimeSeries,
+        scratch: &mut SaplaScratch,
+        out: &mut Vec<LinearSegment>,
+    ) -> Result<()> {
         let n = series.len();
         if n < self.n_segments {
             return Err(Error::InvalidSegmentCount { segments: self.n_segments, len: n });
@@ -137,20 +211,36 @@ impl Sapla {
         // clamp gracefully rather than erroring on small series.
         let target = self.n_segments.min((n / 2).max(1));
 
-        let ctx = Ctx::new(series.values(), self.config.bound_mode);
-        let mut segs = initialize(&ctx, target);
+        // Lend the workspace's prefix sums to the context for the
+        // duration of this reduction.
+        let mut sums = std::mem::take(&mut scratch.sums);
+        sums.rebuild(series.values());
+        let ctx = Ctx::with_sums(series.values(), sums, self.config.bound_mode);
+        initialize_into(&ctx, target, &mut scratch.segs, &mut scratch.eta);
         let rounds = if self.config.refine_split_merge { self.config.max_refine_rounds } else { 0 };
         // Stage 2 then stage 3, re-entering stage 2 while the endpoint
         // movement keeps finding improvements (the framework of Fig. 2;
         // stage_loops = 1 is the paper's single pass).
         for _ in 0..self.config.stage_loops.max(1) {
-            split_merge(&ctx, &mut segs, target, rounds);
+            split_merge_with(&ctx, &mut scratch.segs, &mut scratch.sm, target, rounds);
             if !self.config.endpoint_movement {
                 break;
             }
-            endpoint_move(&ctx, &mut segs, self.config.max_move_passes);
+            endpoint_move_with(
+                &ctx,
+                &mut scratch.segs,
+                &mut scratch.mv,
+                self.config.max_move_passes,
+            );
         }
-        Ok(to_representation(&segs))
+        out.clear();
+        out.extend(scratch.segs.iter().map(|s| LinearSegment {
+            a: s.fit.a,
+            b: s.fit.b,
+            r: s.end - 1,
+        }));
+        scratch.sums = ctx.into_sums();
+        Ok(())
     }
 }
 

@@ -162,32 +162,53 @@ pub struct PrefixSums {
     s2: Vec<f64>,
 }
 
+impl Default for PrefixSums {
+    /// Allocation-free placeholder (the state a scratch workspace starts
+    /// in, and what `mem::take` leaves behind while sums are lent out);
+    /// [`PrefixSums::rebuild`] readies it for real data.
+    fn default() -> Self {
+        PrefixSums { s1: Vec::new(), st: Vec::new(), s2: Vec::new() }
+    }
+}
+
 impl PrefixSums {
     /// Build prefix sums for `values`.
     pub fn new(values: &[f64]) -> Self {
+        let mut sums = PrefixSums { s1: Vec::new(), st: Vec::new(), s2: Vec::new() };
+        sums.rebuild(values);
+        sums
+    }
+
+    /// Rebuild in place for `values`, reusing the existing buffers (no
+    /// allocation once they are large enough). The result is bit-for-bit
+    /// what [`PrefixSums::new`] produces: the accumulation order is the
+    /// same left-to-right scan.
+    pub fn rebuild(&mut self, values: &[f64]) {
         let n = values.len();
-        let mut s1 = Vec::with_capacity(n + 1);
-        let mut st = Vec::with_capacity(n + 1);
-        let mut s2 = Vec::with_capacity(n + 1);
-        s1.push(0.0);
-        st.push(0.0);
-        s2.push(0.0);
+        self.s1.clear();
+        self.st.clear();
+        self.s2.clear();
+        self.s1.reserve(n + 1);
+        self.st.reserve(n + 1);
+        self.s2.reserve(n + 1);
+        self.s1.push(0.0);
+        self.st.push(0.0);
+        self.s2.push(0.0);
         let (mut a1, mut at, mut a2) = (0.0f64, 0.0f64, 0.0f64);
         for (t, &v) in values.iter().enumerate() {
             a1 += v;
             at += t as f64 * v;
             a2 += v * v;
-            s1.push(a1);
-            st.push(at);
-            s2.push(a2);
+            self.s1.push(a1);
+            self.st.push(at);
+            self.s2.push(a2);
         }
-        PrefixSums { s1, st, s2 }
     }
 
-    /// Number of samples covered.
+    /// Number of samples covered (zero for a default placeholder).
     #[inline]
     pub fn len(&self) -> usize {
-        self.s1.len() - 1
+        self.s1.len().saturating_sub(1)
     }
 
     /// `true` iff no samples are covered.

@@ -7,29 +7,359 @@
 //! reconstruction area (Section 4.3.2). Then a refinement loop tries
 //! paired split+merge / merge+split moves and keeps them while the sum
 //! upper bound `β` strictly decreases.
+//!
+//! ## Heap-driven selection
+//!
+//! Both "best pair to merge" and "best segment to split" are served by
+//! lazy-invalidation binary heaps (the paper's priority queues `ω^m` and
+//! `ω^s`) instead of full rescans: every slot carries a generation stamp
+//! that is bumped whenever the slot's segment changes, and heap entries
+//! record the stamps they were computed against. A popped entry whose
+//! stamps no longer match the live slots is stale and is dropped; the
+//! first matching entry is the answer. Candidate evaluation in the
+//! refinement phase mutates the one live buffer and undoes the mutation
+//! (restoring segments *and* slot stamps bitwise), so no `Vec<Seg>` clone
+//! is ever taken and steady-state operation performs no heap allocation.
+//!
+//! Selection is bit-identical to the scans it replaced: merge entries are
+//! keyed `(area, left start)` in a min-heap, so equal areas resolve to the
+//! smallest index exactly like the first-strict-minimum scan; split
+//! entries are keyed `(β_i, start)` in a max-heap, so equal bounds resolve
+//! to the largest index exactly like `max_by`'s last-maximum semantics.
+//! (Segment starts are unique and index-ordered in a tiling.)
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::area::reconstruction_area;
 use crate::bounds::{beta_merge, beta_split_left, beta_split_right};
 use crate::fit::LineFit;
+use crate::ordf64::OrdF64;
 use crate::sapla::BoundMode;
 use crate::work::{total_beta, Ctx, Seg};
+
+/// Reusable split & merge working state: the lazy selection heaps, the
+/// per-slot generation stamps and the split-point memo. Reset at every
+/// [`split_merge_with`] call, so reuse never changes results; buffers
+/// keep their capacity across calls.
+#[derive(Debug, Default)]
+pub(crate) struct SplitMergeScratch {
+    /// Per-slot generation stamps, index-aligned with the segment buffer.
+    gens: Vec<u64>,
+    /// Monotone stamp source. Never rewound: undo restores the *slot*
+    /// stamps it saved, so entries pushed against since-undone temporary
+    /// state can never validate again.
+    next_gen: u64,
+    /// Lazy min-heap of merge candidates `(area, left start, stamps)`.
+    merge_heap: BinaryHeap<Reverse<(OrdF64, usize, u64, u64)>>,
+    /// Lazy max-heap of split candidates `(β_i, start, stamp)`.
+    split_heap: BinaryHeap<(OrdF64, usize, u64)>,
+    /// Per-slot split-point memo: the exact segment a cut was computed
+    /// for, and that cut. Validated bitwise, so a hit replays what
+    /// recomputation would produce.
+    split_memo: Vec<Option<(Seg, usize)>>,
+}
+
+/// Undo record for one in-place merge.
+struct MergeUndo {
+    left: Seg,
+    right: Seg,
+    left_gen: u64,
+    right_gen: u64,
+    left_memo: Option<(Seg, usize)>,
+    right_memo: Option<(Seg, usize)>,
+}
+
+/// Undo record for one in-place split.
+struct SplitUndo {
+    orig: Seg,
+    gen: u64,
+    memo: Option<(Seg, usize)>,
+}
+
+/// The two refinement moves of Algorithm 4.3 lines 12–27. Replaying a
+/// plan re-runs the same heap queries that probed it; since undo restored
+/// the exact pre-probe state, the replay applies the identical moves.
+#[derive(Debug, Clone, Copy)]
+enum Plan {
+    SplitThenMerge,
+    MergeThenSplit,
+}
+
+impl SplitMergeScratch {
+    fn stamp(&mut self) -> u64 {
+        self.next_gen += 1;
+        self.next_gen
+    }
+
+    /// Restart for a fresh segmentation: stamp every slot and queue every
+    /// candidate once.
+    fn reset(&mut self, ctx: &Ctx<'_>, segs: &[Seg]) {
+        self.merge_heap.clear();
+        self.split_heap.clear();
+        self.gens.clear();
+        self.split_memo.clear();
+        self.split_memo.resize(segs.len(), None);
+        for _ in 0..segs.len() {
+            let g = self.stamp();
+            self.gens.push(g);
+        }
+        for i in 0..segs.len() {
+            self.push_split(segs, i);
+            self.push_merge(ctx, segs, i);
+        }
+    }
+
+    /// Queue the merge candidate for the pair `(i, i+1)` (no-op for the
+    /// last slot).
+    fn push_merge(&mut self, ctx: &Ctx<'_>, segs: &[Seg], i: usize) {
+        if i + 1 >= segs.len() {
+            return;
+        }
+        let merged = ctx.refit(segs[i].start, segs[i + 1].end);
+        let area = reconstruction_area(&segs[i].fit, &segs[i + 1].fit, &merged);
+        self.merge_heap.push(Reverse((
+            OrdF64::new(area),
+            segs[i].start,
+            self.gens[i],
+            self.gens[i + 1],
+        )));
+    }
+
+    /// Queue the split candidate for slot `i` (no-op when too short to
+    /// split — the stamp check then implies the length check forever).
+    fn push_split(&mut self, segs: &[Seg], i: usize) {
+        if segs[i].len() >= 2 {
+            self.split_heap.push((OrdF64::new(segs[i].beta), segs[i].start, self.gens[i]));
+        }
+    }
+
+    /// The slot currently holding the segment that *starts* at `start`,
+    /// if any (binary search over the tiled, start-sorted buffer).
+    fn slot_of(segs: &[Seg], start: usize) -> Option<usize> {
+        segs.binary_search_by(|s| s.start.cmp(&start)).ok()
+    }
+
+    /// First index minimising the pair reconstruction area, or `None`
+    /// with fewer than two segments. Stale entries are popped and
+    /// dropped; the winning entry stays queued (applying the merge will
+    /// bump its stamps, so it goes stale exactly when it should).
+    fn query_merge(&mut self, segs: &[Seg]) -> Option<usize> {
+        while let Some(&Reverse((_, start, gl, gr))) = self.merge_heap.peek() {
+            if let Some(i) = Self::slot_of(segs, start) {
+                if i + 1 < segs.len() && self.gens[i] == gl && self.gens[i + 1] == gr {
+                    return Some(i);
+                }
+            }
+            self.merge_heap.pop();
+        }
+        None
+    }
+
+    /// Last index maximising `β_i` among splittable segments, or `None`
+    /// when nothing is splittable.
+    fn query_split(&mut self, segs: &[Seg]) -> Option<usize> {
+        while let Some(&(_, start, g)) = self.split_heap.peek() {
+            if let Some(i) = Self::slot_of(segs, start) {
+                if self.gens[i] == g {
+                    return Some(i);
+                }
+            }
+            self.split_heap.pop();
+        }
+        None
+    }
+
+    /// Merge `segs[i]` and `segs[i+1]` in place (the merge-operation `β`
+    /// of Section 4.1.4), requeueing the changed neighbourhood.
+    fn apply_merge(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize) -> MergeUndo {
+        let (left, right) = (segs[i], segs[i + 1]);
+        let undo = MergeUndo {
+            left,
+            right,
+            left_gen: self.gens[i],
+            right_gen: self.gens[i + 1],
+            left_memo: self.split_memo[i],
+            right_memo: self.split_memo[i + 1],
+        };
+        let fit = ctx.refit(left.start, right.end);
+        let beta = merge_beta(ctx, &left, &right, &fit);
+        segs[i] = Seg { start: left.start, end: right.end, fit, beta };
+        segs.remove(i + 1);
+        let g = self.stamp();
+        self.gens[i] = g;
+        self.gens.remove(i + 1);
+        self.split_memo.remove(i + 1);
+        self.push_split(segs, i);
+        if i > 0 {
+            self.push_merge(ctx, segs, i - 1);
+        }
+        self.push_merge(ctx, segs, i);
+        undo
+    }
+
+    /// Exactly revert [`SplitMergeScratch::apply_merge`] at `i`. Valid
+    /// entries for the restored neighbourhood may have been dropped as
+    /// stale while the temporary state was live, so it is requeued.
+    fn undo_merge(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize, u: MergeUndo) {
+        segs[i] = u.left;
+        segs.insert(i + 1, u.right);
+        self.gens[i] = u.left_gen;
+        self.gens.insert(i + 1, u.right_gen);
+        self.split_memo[i] = u.left_memo;
+        self.split_memo.insert(i + 1, u.right_memo);
+        self.push_split(segs, i);
+        self.push_split(segs, i + 1);
+        if i > 0 {
+            self.push_merge(ctx, segs, i - 1);
+        }
+        self.push_merge(ctx, segs, i);
+        self.push_merge(ctx, segs, i + 1);
+    }
+
+    /// `find_split_point` through the per-slot memo.
+    fn split_point_memo(&mut self, ctx: &Ctx<'_>, segs: &[Seg], i: usize) -> Option<usize> {
+        let seg = segs[i];
+        if let Some((snap, cut)) = self.split_memo[i] {
+            if snap.bits_eq(&seg) {
+                return Some(cut);
+            }
+        }
+        let cut = find_split_point(ctx, &seg)?;
+        self.split_memo[i] = Some((seg, cut));
+        Some(cut)
+    }
+
+    /// Split `segs[i]` at the reconstruction-area peak (Section 4.3.2),
+    /// requeueing the changed neighbourhood. `None` when too short.
+    fn apply_split(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize) -> Option<SplitUndo> {
+        let cut = self.split_point_memo(ctx, segs, i)?;
+        let orig = segs[i];
+        // The memo now holds (orig, cut); saving it post-update means the
+        // undo restores a warm memo and the accept-path replay is free.
+        let undo = SplitUndo { orig, gen: self.gens[i], memo: self.split_memo[i] };
+        let (l, r) = split_at(ctx, &orig, cut);
+        segs[i] = l;
+        segs.insert(i + 1, r);
+        let g = self.stamp();
+        self.gens[i] = g;
+        let g = self.stamp();
+        self.gens.insert(i + 1, g);
+        self.split_memo.insert(i + 1, None);
+        self.push_split(segs, i);
+        self.push_split(segs, i + 1);
+        if i > 0 {
+            self.push_merge(ctx, segs, i - 1);
+        }
+        self.push_merge(ctx, segs, i);
+        self.push_merge(ctx, segs, i + 1);
+        Some(undo)
+    }
+
+    /// Exactly revert [`SplitMergeScratch::apply_split`] at `i`.
+    fn undo_split(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize, u: SplitUndo) {
+        segs[i] = u.orig;
+        segs.remove(i + 1);
+        self.gens[i] = u.gen;
+        self.gens.remove(i + 1);
+        self.split_memo[i] = u.memo;
+        self.split_memo.remove(i + 1);
+        self.push_split(segs, i);
+        if i > 0 {
+            self.push_merge(ctx, segs, i - 1);
+        }
+        self.push_merge(ctx, segs, i);
+    }
+
+    /// Candidate: split the max-β segment, then merge the best pair.
+    /// Probes on the live buffer and restores it bitwise.
+    fn probe_split_merge(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>) -> Option<(Plan, f64)> {
+        let i = self.query_split(segs)?;
+        let su = self.apply_split(ctx, segs, i)?;
+        let Some(j) = self.query_merge(segs) else {
+            self.undo_split(ctx, segs, i, su);
+            return None;
+        };
+        let mu = self.apply_merge(ctx, segs, j);
+        let beta = total_beta(segs);
+        self.undo_merge(ctx, segs, j, mu);
+        self.undo_split(ctx, segs, i, su);
+        Some((Plan::SplitThenMerge, beta))
+    }
+
+    /// Candidate: merge the best pair, then split the max-β segment.
+    fn probe_merge_split(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>) -> Option<(Plan, f64)> {
+        let j = self.query_merge(segs)?;
+        let mu = self.apply_merge(ctx, segs, j);
+        let Some(i) = self.query_split(segs) else {
+            self.undo_merge(ctx, segs, j, mu);
+            return None;
+        };
+        let Some(su) = self.apply_split(ctx, segs, i) else {
+            self.undo_merge(ctx, segs, j, mu);
+            return None;
+        };
+        let beta = total_beta(segs);
+        self.undo_split(ctx, segs, i, su);
+        self.undo_merge(ctx, segs, j, mu);
+        Some((Plan::MergeThenSplit, beta))
+    }
+
+    /// Re-run the accepted probe's moves for keeps.
+    fn apply_plan(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>, plan: Plan) {
+        match plan {
+            Plan::SplitThenMerge => {
+                let i = self.query_split(segs).expect("replays the probed split");
+                self.apply_split(ctx, segs, i).expect("probed split still applies");
+                let j = self.query_merge(segs).expect("replays the probed merge");
+                self.apply_merge(ctx, segs, j);
+            }
+            Plan::MergeThenSplit => {
+                let j = self.query_merge(segs).expect("replays the probed merge");
+                self.apply_merge(ctx, segs, j);
+                let i = self.query_split(segs).expect("replays the probed split");
+                self.apply_split(ctx, segs, i).expect("probed split still applies");
+            }
+        }
+    }
+}
 
 /// Run the split & merge iteration until the segmentation has exactly
 /// `n_target` segments (if possible) and paired moves stop improving `β`.
 ///
+/// Test-only convenience wrapper building a one-shot scratch; the reduce
+/// path holds a [`SplitMergeScratch`] and calls [`split_merge_with`].
+#[cfg(test)]
+pub(crate) fn split_merge(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, n_target: usize, max_rounds: usize) {
+    let mut scratch = SplitMergeScratch::default();
+    split_merge_with(ctx, segs, &mut scratch, n_target, max_rounds);
+}
+
+/// [`split_merge`] against a reusable scratch.
+///
 /// `max_rounds` caps the refinement loop (the paper labels each segment as
 /// split/merged at most once per iteration; a strict-decrease requirement
-/// plus this cap guarantees termination).
-pub(crate) fn split_merge(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, n_target: usize, max_rounds: usize) {
+/// plus this cap guarantees termination). The running `β` across rounds is
+/// carried by assignment from each accepted candidate's ordered sum —
+/// delta-updating it instead would drift in ulps against the `<`
+/// comparisons and break bit-identity with the reference kernel.
+pub(crate) fn split_merge_with(
+    ctx: &Ctx<'_>,
+    segs: &mut Vec<Seg>,
+    scratch: &mut SplitMergeScratch,
+    n_target: usize,
+    max_rounds: usize,
+) {
+    scratch.reset(ctx, segs);
     // Phase 1: too many segments → merge.
     while segs.len() > n_target {
-        let i = best_merge_index(ctx, segs).expect("len > 1 so a pair exists");
-        apply_merge(ctx, segs, i);
+        let i = scratch.query_merge(segs).expect("len > 1 so a pair exists");
+        scratch.apply_merge(ctx, segs, i);
     }
     // Phase 2: too few segments → split.
     while segs.len() < n_target {
-        let Some(i) = best_split_index(segs) else { break };
-        if !apply_split(ctx, segs, i) {
+        let Some(i) = scratch.query_split(segs) else { break };
+        if scratch.apply_split(ctx, segs, i).is_none() {
             break; // nothing splittable remains
         }
     }
@@ -42,18 +372,16 @@ pub(crate) fn split_merge(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, n_target: usize, m
     }
     let mut beta = total_beta(segs);
     for _ in 0..max_rounds {
-        let sm = simulate_split_merge(ctx, segs);
-        let ms = simulate_merge_split(ctx, segs);
-        let best = match (&sm, &ms) {
+        let sm = scratch.probe_split_merge(ctx, segs);
+        let ms = scratch.probe_merge_split(ctx, segs);
+        let best = match (sm, ms) {
             (Some(a), Some(b)) => Some(if a.1 <= b.1 { a } else { b }),
-            (Some(a), None) => Some(a),
-            (None, Some(b)) => Some(b),
-            (None, None) => None,
+            (a, b) => a.or(b),
         };
         match best {
-            Some((candidate, cand_beta)) if *cand_beta < beta => {
-                *segs = candidate.clone();
-                beta = *cand_beta;
+            Some((plan, cand_beta)) if cand_beta < beta => {
+                scratch.apply_plan(ctx, segs, plan);
+                beta = cand_beta;
             }
             _ => break,
         }
@@ -62,7 +390,9 @@ pub(crate) fn split_merge(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, n_target: usize, m
 }
 
 /// Index `i` minimising the reconstruction area of merging
-/// `segs[i]` with `segs[i+1]` (the merge threshold `ω^m.top`).
+/// `segs[i]` with `segs[i+1]` (the merge threshold `ω^m.top`). The
+/// reference linear scan the merge heap replaces.
+#[cfg(test)]
 pub(crate) fn best_merge_index(ctx: &Ctx<'_>, segs: &[Seg]) -> Option<usize> {
     if segs.len() < 2 {
         return None;
@@ -79,8 +409,10 @@ pub(crate) fn best_merge_index(ctx: &Ctx<'_>, segs: &[Seg]) -> Option<usize> {
 }
 
 /// Index of the segment with the largest `β_i` among those long enough to
-/// split (the split threshold `ω^s.top`).
-fn best_split_index(segs: &[Seg]) -> Option<usize> {
+/// split (the split threshold `ω^s.top`). The reference scan the split
+/// heap replaces.
+#[cfg(test)]
+pub(crate) fn best_split_index(segs: &[Seg]) -> Option<usize> {
     segs.iter()
         .enumerate()
         .filter(|(_, s)| s.len() >= 2)
@@ -89,7 +421,9 @@ fn best_split_index(segs: &[Seg]) -> Option<usize> {
 }
 
 /// Merge `segs[i]` and `segs[i+1]` in place, with the merge-operation `β`
-/// of Section 4.1.4.
+/// of Section 4.1.4 (the reference form; the kernel merges through
+/// [`SplitMergeScratch::apply_merge`]).
+#[cfg(test)]
 pub(crate) fn apply_merge(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize) {
     let (left, right) = (segs[i], segs[i + 1]);
     let fit = ctx.refit(left.start, right.end);
@@ -107,8 +441,9 @@ fn merge_beta(ctx: &Ctx<'_>, left: &Seg, right: &Seg, merged: &LineFit) -> f64 {
     }
 }
 
-/// Split `segs[i]` at the reconstruction-area peak (Section 4.3.2).
+/// Split `segs[i]` at the reconstruction-area peak (the reference form).
 /// Returns `false` when the segment is too short to split.
+#[cfg(test)]
 pub(crate) fn apply_split(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize) -> bool {
     let seg = segs[i];
     let Some(cut) = find_split_point(ctx, &seg) else { return false };
@@ -169,32 +504,6 @@ fn split_at(ctx: &Ctx<'_>, seg: &Seg, cut: usize) -> (Seg, Seg) {
     )
 }
 
-/// Candidate: split the max-β segment, then merge the best pair.
-fn simulate_split_merge(ctx: &Ctx<'_>, segs: &[Seg]) -> Option<(Vec<Seg>, f64)> {
-    let mut c = segs.to_vec();
-    let i = best_split_index(&c)?;
-    if !apply_split(ctx, &mut c, i) {
-        return None;
-    }
-    let j = best_merge_index(ctx, &c)?;
-    apply_merge(ctx, &mut c, j);
-    let beta = total_beta(&c);
-    Some((c, beta))
-}
-
-/// Candidate: merge the best pair, then split the max-β segment.
-fn simulate_merge_split(ctx: &Ctx<'_>, segs: &[Seg]) -> Option<(Vec<Seg>, f64)> {
-    let mut c = segs.to_vec();
-    let j = best_merge_index(ctx, &c)?;
-    apply_merge(ctx, &mut c, j);
-    let i = best_split_index(&c)?;
-    if !apply_split(ctx, &mut c, i) {
-        return None;
-    }
-    let beta = total_beta(&c);
-    Some((c, beta))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +551,57 @@ mod tests {
         let segs = vec![ctx.make_seg(0, 4), ctx.make_seg(4, 8), ctx.make_seg(8, 16)];
         let i = best_merge_index(&ctx, &segs).unwrap();
         assert_eq!(i, 0);
+    }
+
+    #[test]
+    fn heap_queries_match_reference_scans() {
+        // The lazy heaps must agree with the linear scans on every query,
+        // including through a sequence of mutations.
+        let v: Vec<f64> = (0..64).map(|t| ((t * 13 + 5) % 17) as f64 - (t as f64 * 0.2)).collect();
+        for mode in [BoundMode::Paper, BoundMode::Exact] {
+            let ctx = Ctx::new(&v, mode);
+            let mut segs = initialize(&ctx, 9);
+            let mut scratch = SplitMergeScratch::default();
+            scratch.reset(&ctx, &segs);
+            for round in 0..6 {
+                assert_eq!(
+                    scratch.query_merge(&segs),
+                    best_merge_index(&ctx, &segs),
+                    "merge query, round {round}"
+                );
+                assert_eq!(
+                    scratch.query_split(&segs),
+                    best_split_index(&segs),
+                    "split query, round {round}"
+                );
+                // Mutate: alternate merges and splits to shift slots.
+                if round % 2 == 0 {
+                    let i = scratch.query_merge(&segs).unwrap();
+                    scratch.apply_merge(&ctx, &mut segs, i);
+                } else {
+                    let i = scratch.query_split(&segs).unwrap();
+                    scratch.apply_split(&ctx, &mut segs, i).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_restores_state_bitwise() {
+        let ctx = Ctx::new(&FIG1, BoundMode::Paper);
+        let mut segs = initialize(&ctx, 4);
+        split_merge(&ctx, &mut segs, 4, 0);
+        let before = segs.clone();
+        let mut scratch = SplitMergeScratch::default();
+        scratch.reset(&ctx, &segs);
+        let gens_before = scratch.gens.clone();
+        scratch.probe_split_merge(&ctx, &mut segs);
+        scratch.probe_merge_split(&ctx, &mut segs);
+        assert_eq!(segs.len(), before.len());
+        for (a, b) in segs.iter().zip(before.iter()) {
+            assert!(a.bits_eq(b), "probe must restore segments bitwise");
+        }
+        assert_eq!(scratch.gens, gens_before, "probe must restore slot stamps");
     }
 
     #[test]

@@ -14,14 +14,18 @@
 //!   smallest *Reconstruction Area* (Definition 4.2) are merged back to
 //!   `N`, exactly like stage 2 of the offline algorithm.
 //!
-//! Amortised cost per point is `O(1)` fitting work plus occasional `O(N)`
-//! merge sweeps; memory is `O(N)` — the sketch never stores the raw
-//! stream.
+//! Amortised cost per point is `O(1)` fitting work plus occasional
+//! `O(N log N)` heap-driven merge sweeps; memory is `O(N)` — the sketch
+//! never stores the raw stream.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::area::{increment_area, reconstruction_area};
 use crate::equations::eq3_eq4_merge;
 use crate::error::{Error, Result};
 use crate::fit::SegStats;
+use crate::ordf64::OrdF64;
 use crate::repr::{LinearSegment, PiecewiseLinear};
 
 /// One closed segment of the sketch: sufficient statistics plus its
@@ -35,6 +39,86 @@ struct StreamSeg {
 impl StreamSeg {
     fn fit(&self) -> crate::fit::LineFit {
         self.stats.fit()
+    }
+}
+
+/// Reconstruction area of merging the adjacent pair `(i, i+1)`.
+fn pair_area(segs: &[StreamSeg], i: usize) -> f64 {
+    let l = segs[i].fit();
+    let r = segs[i + 1].fit();
+    let merged = eq3_eq4_merge(&l, &r);
+    reconstruction_area(&l, &r, &merged)
+}
+
+/// Reusable merge-sweep state: the same lazy-invalidation pair heap the
+/// offline split & merge kernel uses (generation stamps per slot, stale
+/// entries dropped on pop). Selection is identical to the full rescan it
+/// replaced — `(area, start)` min-keys reproduce the scan's
+/// first-strict-minimum tie-break — but each sweep merge costs
+/// `O(log N)` plus two requeues instead of an `O(N)` rescan.
+#[derive(Debug, Clone, Default)]
+struct SweepScratch {
+    gens: Vec<u64>,
+    next_gen: u64,
+    heap: BinaryHeap<Reverse<(OrdF64, usize, u64, u64)>>,
+}
+
+impl SweepScratch {
+    fn stamp(&mut self) -> u64 {
+        self.next_gen += 1;
+        self.next_gen
+    }
+
+    fn reset(&mut self, segs: &[StreamSeg]) {
+        self.heap.clear();
+        self.gens.clear();
+        for _ in 0..segs.len() {
+            let g = self.stamp();
+            self.gens.push(g);
+        }
+        for i in 0..segs.len() {
+            self.push_pair(segs, i);
+        }
+    }
+
+    fn push_pair(&mut self, segs: &[StreamSeg], i: usize) {
+        if i + 1 >= segs.len() {
+            return;
+        }
+        let area = pair_area(segs, i);
+        self.heap.push(Reverse((OrdF64::new(area), segs[i].start, self.gens[i], self.gens[i + 1])));
+    }
+
+    /// First index minimising the pair area, by pop-until-valid.
+    fn query(&mut self, segs: &[StreamSeg]) -> Option<usize> {
+        while let Some(&Reverse((_, start, gl, gr))) = self.heap.peek() {
+            if let Ok(i) = segs.binary_search_by(|s| s.start.cmp(&start)) {
+                if i + 1 < segs.len() && self.gens[i] == gl && self.gens[i + 1] == gr {
+                    return Some(i);
+                }
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+/// Merge closed segments down to `target`, cheapest reconstruction-area
+/// pairs first (stage-2 machinery, heap-driven).
+fn sweep_to_target(sweep: &mut SweepScratch, segs: &mut Vec<StreamSeg>, target: usize) {
+    sweep.reset(segs);
+    while segs.len() > target {
+        let i = sweep.query(segs).expect("len > 1 so a mergeable pair exists");
+        let merged_stats = segs[i].stats.merge_right(&segs[i + 1].stats);
+        segs[i].stats = merged_stats;
+        segs.remove(i + 1);
+        let g = sweep.stamp();
+        sweep.gens[i] = g;
+        sweep.gens.remove(i + 1);
+        if i > 0 {
+            sweep.push_pair(segs, i - 1);
+        }
+        sweep.push_pair(segs, i);
     }
 }
 
@@ -62,6 +146,8 @@ pub struct StreamingSapla {
     area_sum: f64,
     area_count: u64,
     len: usize,
+    /// Reusable merge-sweep heap state (allocation-free in steady state).
+    sweep: SweepScratch,
 }
 
 impl StreamingSapla {
@@ -84,6 +170,7 @@ impl StreamingSapla {
             area_sum: 0.0,
             area_count: 0,
             len: 0,
+            sweep: SweepScratch::default(),
         }
     }
 
@@ -153,22 +240,7 @@ impl StreamingSapla {
     /// Merge closed segments down to the target count, cheapest
     /// reconstruction-area pairs first (stage-2 machinery).
     fn merge_sweep(&mut self) {
-        while self.segs.len() > self.target {
-            let mut best = (f64::INFINITY, 0usize);
-            for i in 0..self.segs.len() - 1 {
-                let l = self.segs[i].fit();
-                let r = self.segs[i + 1].fit();
-                let merged = eq3_eq4_merge(&l, &r);
-                let area = reconstruction_area(&l, &r, &merged);
-                if area < best.0 {
-                    best = (area, i);
-                }
-            }
-            let i = best.1;
-            let merged_stats = self.segs[i].stats.merge_right(&self.segs[i + 1].stats);
-            self.segs[i].stats = merged_stats;
-            self.segs.remove(i + 1);
-        }
+        sweep_to_target(&mut self.sweep, &mut self.segs, self.target);
     }
 
     /// The current sketch as a representation covering every point seen.
@@ -268,6 +340,56 @@ mod tests {
         let off_dev = offline.max_deviation(&ts).unwrap();
         let on_dev = online.max_deviation(&ts).unwrap();
         assert!(on_dev <= (off_dev * 4.0).max(1.0), "online {on_dev} vs offline {off_dev}");
+    }
+
+    /// The scan-driven sweep the heap version replaced: full rescan of
+    /// every adjacent pair per merge, first strict minimum wins.
+    fn naive_scan_sweep(segs: &mut Vec<StreamSeg>, target: usize) {
+        while segs.len() > target {
+            let mut best = (f64::INFINITY, 0usize);
+            for i in 0..segs.len() - 1 {
+                let area = pair_area(segs, i);
+                if area < best.0 {
+                    best = (area, i);
+                }
+            }
+            let i = best.1;
+            let merged_stats = segs[i].stats.merge_right(&segs[i + 1].stats);
+            segs[i].stats = merged_stats;
+            segs.remove(i + 1);
+        }
+    }
+
+    #[test]
+    fn heap_sweep_matches_scan_sweep_bitwise() {
+        // Build closed segments of irregular lengths over a wiggly series,
+        // then sweep the same state both ways and compare every field
+        // bitwise (including a second run on the reused scratch).
+        let lens = [9usize, 17, 5, 23, 11, 8, 31, 6, 14, 20, 12, 25, 19];
+        let mut sweep = SweepScratch::default();
+        for target in [1usize, 3, 4, 7, 12] {
+            let mut segs = Vec::new();
+            let mut t = 0usize;
+            for &l in &lens {
+                let mut stats = SegStats::single((t as f64 * 0.11).sin() * 7.0);
+                for u in 1..l {
+                    let x = (t + u) as f64;
+                    stats = stats.push_right((x * 0.11).sin() * 7.0 + (x * 0.031).cos() * 3.0);
+                }
+                segs.push(StreamSeg { start: t, stats });
+                t += l;
+            }
+            let mut expect = segs.clone();
+            naive_scan_sweep(&mut expect, target);
+            sweep_to_target(&mut sweep, &mut segs, target);
+            assert_eq!(segs.len(), expect.len());
+            for (a, b) in segs.iter().zip(&expect) {
+                assert_eq!(a.start, b.start);
+                assert_eq!(a.stats.len, b.stats.len);
+                assert_eq!(a.stats.sum_c.to_bits(), b.stats.sum_c.to_bits());
+                assert_eq!(a.stats.sum_uc.to_bits(), b.stats.sum_uc.to_bits());
+            }
+        }
     }
 
     #[test]

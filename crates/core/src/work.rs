@@ -2,6 +2,7 @@
 
 use crate::bounds;
 use crate::fit::LineFit;
+#[cfg(test)]
 use crate::repr::{LinearSegment, PiecewiseLinear};
 use crate::sapla::BoundMode;
 use crate::series::PrefixSums;
@@ -21,6 +22,20 @@ impl Seg {
     pub fn len(&self) -> usize {
         self.end - self.start
     }
+
+    /// Bitwise equality on every field, the validation predicate for
+    /// memoised per-segment results: a memo hit requires the exact same
+    /// inputs (ulp-level differences must miss) so replaying a cached
+    /// outcome is indistinguishable from recomputing it.
+    #[inline]
+    pub fn bits_eq(&self, other: &Seg) -> bool {
+        self.start == other.start
+            && self.end == other.end
+            && self.fit.len == other.fit.len
+            && self.fit.a.to_bits() == other.fit.a.to_bits()
+            && self.fit.b.to_bits() == other.fit.b.to_bits()
+            && self.beta.to_bits() == other.beta.to_bits()
+    }
 }
 
 /// Immutable per-reduction context: the original series, its prefix sums
@@ -32,8 +47,24 @@ pub(crate) struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
+    /// Context owning freshly built sums (test-only convenience; the
+    /// reduce path lends a workspace's sums via [`Ctx::with_sums`]).
+    #[cfg(test)]
     pub fn new(values: &'a [f64], mode: BoundMode) -> Self {
-        Ctx { values, sums: PrefixSums::new(values), mode }
+        Self::with_sums(values, PrefixSums::new(values), mode)
+    }
+
+    /// Build a context around already-computed prefix sums (the scratch
+    /// reuse path: the workspace lends its rebuilt sums for the duration
+    /// of one reduction and takes them back via [`Ctx::into_sums`]).
+    pub fn with_sums(values: &'a [f64], sums: PrefixSums, mode: BoundMode) -> Self {
+        debug_assert_eq!(sums.len(), values.len());
+        Ctx { values, sums, mode }
+    }
+
+    /// Recover the prefix sums for reuse by the next reduction.
+    pub fn into_sums(self) -> PrefixSums {
+        self.sums
     }
 
     /// Exact least-squares fit of `[start, end)` in `O(1)`.
@@ -88,7 +119,10 @@ pub(crate) fn total_beta(segs: &[Seg]) -> f64 {
     segs.iter().map(|s| s.beta).sum()
 }
 
-/// Convert working segments into the public representation.
+/// Convert working segments into the public representation. (Test-only;
+/// `Sapla::reduce_into` writes `LinearSegment`s straight into the caller
+/// buffer instead.)
+#[cfg(test)]
 pub(crate) fn to_representation(segs: &[Seg]) -> PiecewiseLinear {
     PiecewiseLinear::new(
         segs.iter().map(|s| LinearSegment { a: s.fit.a, b: s.fit.b, r: s.end - 1 }).collect(),

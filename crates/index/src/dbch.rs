@@ -611,7 +611,8 @@ impl DbchTree {
                 }
             }
         }
-        let (retrieved, distances) = results.drain_sorted();
+        let (mut retrieved, mut distances) = (Vec::with_capacity(k), Vec::with_capacity(k));
+        results.drain_into(&mut retrieved, &mut distances);
         Ok(SearchStats { retrieved, distances, measured, total: self.reps.len() })
     }
 

@@ -42,11 +42,17 @@ pub(crate) struct KnnHeap {
     k: usize,
     // Max-heap keyed on distance.
     heap: std::collections::BinaryHeap<(sapla_core::OrdF64, usize)>,
+    // Reusable staging buffer for [`KnnHeap::drain_into`].
+    sort_buf: Vec<(sapla_core::OrdF64, usize)>,
 }
 
 impl KnnHeap {
     pub fn new(k: usize) -> Self {
-        KnnHeap { k, heap: std::collections::BinaryHeap::with_capacity(k + 1) }
+        KnnHeap {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+            sort_buf: Vec::with_capacity(k + 1),
+        }
     }
 
     /// Current pruning threshold: the kth best distance, or ∞ while the
@@ -74,9 +80,24 @@ impl KnnHeap {
     /// Drain into (ids, distances), closest first, keeping the heap's
     /// allocation for reuse.
     pub fn drain_sorted(&mut self) -> (Vec<usize>, Vec<f64>) {
-        let mut v: Vec<(sapla_core::OrdF64, usize)> = self.heap.drain().collect();
-        v.sort();
-        (v.iter().map(|&(_, i)| i).collect(), v.iter().map(|&(d, _)| d.get()).collect())
+        let (mut ids, mut dists) = (Vec::new(), Vec::new());
+        self.drain_into(&mut ids, &mut dists);
+        (ids, dists)
+    }
+
+    /// Drain into caller-owned `(ids, distances)` buffers (cleared first),
+    /// closest first, keeping every internal allocation for reuse. Ids are
+    /// unique, so the `(distance, id)` pairs are distinct and the unstable
+    /// sort is deterministic — the output order matches the stable sort it
+    /// replaced.
+    pub fn drain_into(&mut self, ids: &mut Vec<usize>, dists: &mut Vec<f64>) {
+        self.sort_buf.clear();
+        self.sort_buf.extend(self.heap.drain());
+        self.sort_buf.sort_unstable();
+        ids.clear();
+        dists.clear();
+        ids.extend(self.sort_buf.iter().map(|&(_, i)| i));
+        dists.extend(self.sort_buf.iter().map(|&(d, _)| d.get()));
     }
 
     /// Re-arm for a fresh search of `k` neighbours, keeping allocations.
@@ -135,6 +156,22 @@ mod tests {
         assert!((s.pruning_power() - 0.2).abs() < 1e-12);
         assert!((s.accuracy(&[1, 2, 3]) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.accuracy(&[]), 1.0);
+    }
+
+    #[test]
+    fn drain_into_reuses_buffers_and_matches_drain_sorted() {
+        let mut h = KnnHeap::new(3);
+        let mut ids = vec![99, 98]; // stale content must be cleared
+        let mut dists = vec![-1.0];
+        for round in 0..3 {
+            h.reset(3);
+            for (d, id) in [(4.0, 7), (2.0, 1), (9.0, 5), (3.0, 2)] {
+                h.push(d + round as f64 * 0.0, id);
+            }
+            h.drain_into(&mut ids, &mut dists);
+            assert_eq!(ids, vec![1, 2, 7], "round {round}");
+            assert_eq!(dists, vec![2.0, 3.0, 4.0], "round {round}");
+        }
     }
 
     #[test]

@@ -21,9 +21,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use sapla_baselines::{reduce_batch_parallel, Reducer};
+use sapla_baselines::{reduce_batch_parallel, ReduceScratch, Reducer};
 use sapla_core::{Result, TimeSeries};
-use sapla_parallel::{par_try_map, par_try_map_init};
+use sapla_parallel::par_try_map_init;
 
 use crate::dbch::{DbchTree, NodeDistRule};
 use crate::knn::{KnnScratch, SearchStats};
@@ -81,6 +81,7 @@ pub fn ingest_parallel(
 }
 
 /// Prepare many queries in parallel (reduction dominates `Query::new`).
+/// Each worker owns one [`ReduceScratch`] reused across its queries.
 /// Output order is input order; the first failure by input order wins.
 ///
 /// # Errors
@@ -92,7 +93,9 @@ pub fn prepare_queries(
     m: usize,
     threads: usize,
 ) -> Result<Vec<Query>> {
-    par_try_map(raws, threads, |_, raw| Query::new(raw, reducer, m))
+    par_try_map_init(raws, threads, ReduceScratch::new, |scratch, _, raw| {
+        Query::with_scratch(raw, reducer, m, scratch)
+    })
 }
 
 /// Answer many k-NN queries against one tree on up to `threads`

@@ -8,7 +8,7 @@
 //! bounds.
 
 use sapla_baselines::sax::gaussian_breakpoints;
-use sapla_baselines::Reducer;
+use sapla_baselines::{ReduceScratch, Reducer};
 use sapla_core::{Error, PrefixSums, Representation, Result, TimeSeries};
 use sapla_distance::{
     dist_paa, dist_par, dist_par_sq_with, dist_pla, dist_s_sq, mindist, rep_distance,
@@ -35,7 +35,27 @@ impl Query {
     ///
     /// Propagates reduction failures.
     pub fn new(raw: &TimeSeries, reducer: &dyn Reducer, m: usize) -> Result<Query> {
-        Ok(Query { raw: raw.clone(), sums: raw.prefix_sums(), rep: reducer.reduce(raw, m)? })
+        Self::with_scratch(raw, reducer, m, &mut ReduceScratch::new())
+    }
+
+    /// [`Query::new`] with a caller-provided reduction workspace — same
+    /// result, reused buffers. The batch preparation path
+    /// ([`crate::parallel::prepare_queries`]) holds one per worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction failures.
+    pub fn with_scratch(
+        raw: &TimeSeries,
+        reducer: &dyn Reducer,
+        m: usize,
+        scratch: &mut ReduceScratch,
+    ) -> Result<Query> {
+        Ok(Query {
+            raw: raw.clone(),
+            sums: raw.prefix_sums(),
+            rep: reducer.reduce_with_scratch(raw, m, scratch)?,
+        })
     }
 }
 

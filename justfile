@@ -20,3 +20,9 @@ bench:
 # Quick thread-sweep of the parallel engine on the catalogue profile.
 sweep:
     cargo bench -p sapla-bench --bench catalogue_profile
+
+# Fast perf smoke: the reduced reduce/ingest/knn grid, JSON to stdout.
+# (`--json <path>` writes a machine-readable report; BENCH_PR2.json holds
+# the committed baseline-vs-optimised pair.)
+bench-quick:
+    cargo bench -p sapla-bench --bench perf_json -- --quick
