@@ -1,0 +1,242 @@
+//! Hand-parsed `audit.toml` allowlist.
+//!
+//! The file is a restricted TOML subset — only what the allowlist
+//! needs, parsed by hand because the audit crate is dependency-free:
+//!
+//! ```toml
+//! # comments and blank lines are ignored
+//! [[allow]]
+//! lint = "no-panic"
+//! path = "crates/core/src/work.rs"
+//! contains = "stage windows are always in range"
+//! reason = "refit is only called on windows produced by the tiling"
+//! ```
+//!
+//! Every entry must carry all four keys. An entry matches a finding
+//! when the lint name and path are equal and the offending source line
+//! contains the `contains` substring; one entry may absorb several
+//! findings (e.g. a repeated `expect` message). Entries that match
+//! nothing are themselves reported as errors so the allowlist can only
+//! shrink, never silently rot.
+
+use crate::lints::Finding;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub lint: String,
+    pub path: String,
+    pub contains: String,
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header in `audit.toml`.
+    pub line: u32,
+}
+
+impl AllowEntry {
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.lint == f.lint && self.path == f.path && f.line_text.contains(&self.contains)
+    }
+}
+
+/// Parse the allowlist. Returns the entries or a list of parse errors
+/// (`line: message`), never both.
+pub fn parse(source: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    /// An `[[allow]]` entry mid-parse: every key still optional, plus the
+    /// 1-based line of its header.
+    #[derive(Default)]
+    struct Partial {
+        lint: Option<String>,
+        path: Option<String>,
+        contains: Option<String>,
+        reason: Option<String>,
+        line: u32,
+    }
+    let mut current: Option<Partial> = None;
+
+    let finish =
+        |cur: &mut Option<Partial>, errors: &mut Vec<String>, entries: &mut Vec<AllowEntry>| {
+            if let Some(Partial { lint, path, contains, reason, line }) = cur.take() {
+                match (lint, path, contains, reason) {
+                    (Some(lint), Some(path), Some(contains), Some(reason)) => {
+                        entries.push(AllowEntry { lint, path, contains, reason, line });
+                    }
+                    (lint, path, contains, reason) => {
+                        let mut missing = Vec::new();
+                        if lint.is_none() {
+                            missing.push("lint");
+                        }
+                        if path.is_none() {
+                            missing.push("path");
+                        }
+                        if contains.is_none() {
+                            missing.push("contains");
+                        }
+                        if reason.is_none() {
+                            missing.push("reason");
+                        }
+                        errors.push(format!(
+                            "{line}: [[allow]] entry missing key(s): {}",
+                            missing.join(", ")
+                        ));
+                    }
+                }
+            }
+        };
+
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut current, &mut errors, &mut entries);
+            current = Some(Partial { line: lineno, ..Partial::default() });
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            errors.push(format!("{lineno}: expected `[[allow]]` or `key = \"value\"`"));
+            continue;
+        };
+        let key = line[..eq].trim();
+        let value = match parse_string(line[eq + 1..].trim()) {
+            Ok(v) => v,
+            Err(e) => {
+                errors.push(format!("{lineno}: {e}"));
+                continue;
+            }
+        };
+        let Some(cur) = current.as_mut() else {
+            errors.push(format!("{lineno}: `{key}` outside any [[allow]] entry"));
+            continue;
+        };
+        let slot = match key {
+            "lint" => &mut cur.lint,
+            "path" => &mut cur.path,
+            "contains" => &mut cur.contains,
+            "reason" => &mut cur.reason,
+            other => {
+                errors.push(format!("{lineno}: unknown key `{other}`"));
+                continue;
+            }
+        };
+        if slot.is_some() {
+            errors.push(format!("{lineno}: duplicate key `{key}`"));
+        } else {
+            *slot = Some(value);
+        }
+    }
+    finish(&mut current, &mut errors, &mut entries);
+
+    if errors.is_empty() {
+        Ok(entries)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Parse a double-quoted TOML basic string supporting `\"`, `\\`, `\n`,
+/// `\t` escapes. The quoted value must be the whole input (a trailing
+/// `# comment` after the close quote is tolerated).
+fn parse_string(s: &str) -> Result<String, String> {
+    let mut chars = s.chars();
+    if chars.next() != Some('"') {
+        return Err(format!("expected a double-quoted string, found `{s}`"));
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(format!("unsupported escape `\\{}`", other.unwrap_or(' ')));
+                }
+            },
+            Some(c) => out.push(c),
+        }
+    }
+    let rest = chars.as_str().trim();
+    if !rest.is_empty() && !rest.starts_with('#') {
+        return Err(format!("unexpected trailing content `{rest}`"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let src = r#"
+# workspace allowlist
+[[allow]]
+lint = "no-panic"
+path = "crates/core/src/work.rs"
+contains = "always in range"
+reason = "invariant upheld by the tiling"
+
+[[allow]]
+lint = "float-eq"
+path = "crates/core/src/sapla.rs"  # trailing comment
+contains = "slope == 0.0"
+reason = "exact sentinel produced by the fitter itself"
+"#;
+        let entries = parse(src).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].lint, "no-panic");
+        assert_eq!(entries[1].contains, "slope == 0.0");
+        assert_eq!(entries[0].line, 3);
+    }
+
+    #[test]
+    fn reports_missing_keys_and_bad_lines() {
+        let src = "[[allow]]\nlint = \"no-panic\"\n\nnot-a-kv\n";
+        let errs = parse(src).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("missing key")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.starts_with("4:")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_duplicate_and_unknown_keys() {
+        let src = "[[allow]]\nlint = \"a\"\nlint = \"b\"\nfrobnicate = \"c\"\n";
+        let errs = parse(src).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("duplicate key `lint`")));
+        assert!(errs.iter().any(|e| e.contains("unknown key `frobnicate`")));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(parse_string(r#""a\"b\\c""#).unwrap(), "a\"b\\c");
+        assert!(parse_string("bare").is_err());
+        assert!(parse_string("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn matching_is_lint_path_and_substring() {
+        let e = AllowEntry {
+            lint: "no-panic".into(),
+            path: "crates/x/src/a.rs".into(),
+            contains: "probed split".into(),
+            reason: "r".into(),
+            line: 1,
+        };
+        let f = Finding {
+            path: "crates/x/src/a.rs".into(),
+            line: 10,
+            lint: "no-panic",
+            message: String::new(),
+            line_text: "  .expect(\"replays the probed split\")".into(),
+        };
+        assert!(e.matches(&f));
+        let other = Finding { path: "crates/y/src/a.rs".into(), ..f };
+        assert!(!e.matches(&other));
+    }
+}

@@ -1,0 +1,401 @@
+//! A small hand-rolled Rust lexer — enough of the language to lint on.
+//!
+//! The offline workspace has no `syn`/`proc-macro2`, so the lint pass
+//! tokenises source itself. The lexer handles everything that could make
+//! a naive text scan lie about code: line (`//`) and nested block
+//! (`/* */`) comments, doc comments, string / raw-string / byte-string
+//! literals with arbitrary `#` fences, char literals vs. lifetimes, and
+//! numeric literals (classifying floats for the float-equality lint).
+//! Comments are *kept* in the token stream because two lints read them
+//! (`// SAFETY:` and `// audit: no_alloc`).
+//!
+//! It does not parse: the lints downstream work on the token stream with
+//! brace matching, which is exact for the constructs they care about.
+
+/// What a token is, as far as the lints need to know.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `unwrap`, …).
+    Ident,
+    /// A lifetime such as `'a` (including the leading quote).
+    Lifetime,
+    /// Integer literal (any base, any suffix).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1f64`, …).
+    Float,
+    /// String, raw-string, byte-string or C-string literal.
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Punctuation / operator, maximal munch (`==`, `::`, `->`, …).
+    Punct,
+    /// Any comment, line or block, doc or plain. Text includes markers.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the list in order.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Tokenise `source`. Unterminated literals and comments are tolerated
+/// (the remainder of the file becomes one token) — the linter's job is
+/// to diagnose project rules, not syntax errors `rustc` already rejects.
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer { src: source.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.src[self.pos];
+            match c {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line),
+                b'"' => self.string(start, line),
+                b'\'' => self.quote(start, line),
+                b'0'..=b'9' => self.number(start, line),
+                c if ident_start(c) => self.ident_or_prefixed(start, line),
+                _ => self.punct(start, line),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn bump_lines(&mut self, from: usize) {
+        for &b in &self.src[from..self.pos] {
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokKind::Comment, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.src[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.src[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.bump_lines(start);
+        self.push(TokKind::Comment, start, line);
+    }
+
+    /// A `"…"` string with escapes.
+    fn string(&mut self, start: usize, line: u32) {
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.bump_lines(start);
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// `r"…"` / `r#"…"#` with any number of `#` fences. `self.pos` is on
+    /// the first `#` or `"` after the prefix.
+    fn raw_string(&mut self, start: usize, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        'scan: while self.pos < self.src.len() {
+            if self.src[self.pos] == b'"' {
+                // A close needs `hashes` trailing #s.
+                for k in 0..hashes {
+                    if self.src.get(self.pos + 1 + k) != Some(&b'#') {
+                        self.pos += 1;
+                        continue 'scan;
+                    }
+                }
+                self.pos += 1 + hashes;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.bump_lines(start);
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn quote(&mut self, start: usize, line: u32) {
+        match self.peek(1) {
+            // `'\…'` is always a char literal.
+            Some(b'\\') => {
+                self.pos += 2; // quote + backslash
+                self.pos += 1; // escaped char (or first of \u{…})
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos += 1;
+                self.push(TokKind::Char, start, line);
+            }
+            // `'x'` (closing quote right after one char) is a char.
+            Some(c) if self.peek(2) == Some(b'\'') && c != b'\'' => {
+                self.pos += 3;
+                self.push(TokKind::Char, start, line);
+            }
+            // Otherwise `'ident` is a lifetime (or `'static`).
+            Some(c) if ident_start(c) => {
+                self.pos += 2;
+                while self.pos < self.src.len() && ident_continue(self.src[self.pos]) {
+                    self.pos += 1;
+                }
+                self.push(TokKind::Lifetime, start, line);
+            }
+            _ => {
+                self.pos += 1;
+                self.push(TokKind::Punct, start, line);
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        let mut is_float = false;
+        let hex_or_bin = self.src[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x') | Some(b'X') | Some(b'b') | Some(b'o'));
+        if hex_or_bin {
+            self.pos += 2;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                self.pos += 1;
+            }
+            self.push(TokKind::Int, start, line);
+            return;
+        }
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_digit() || c == b'_' {
+                self.pos += 1;
+            } else if c == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) && !is_float {
+                // `1.5` — but `1..4` and `1.method()` leave the dot alone.
+                is_float = true;
+                self.pos += 1;
+            } else if (c == b'e' || c == b'E')
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit() || d == b'+' || d == b'-')
+                && self
+                    .peek(if matches!(self.peek(1), Some(b'+') | Some(b'-')) { 2 } else { 1 })
+                    .is_some_and(|d| d.is_ascii_digit())
+            {
+                is_float = true;
+                self.pos += 2;
+            } else if c == b'f' && (self.rest_starts("f32") || self.rest_starts("f64")) {
+                is_float = true;
+                self.pos += 3;
+                break;
+            } else if ident_start(c) {
+                // Integer suffix (`u32`, `usize`, …).
+                while self.pos < self.src.len() && ident_continue(self.src[self.pos]) {
+                    self.pos += 1;
+                }
+                break;
+            } else {
+                break;
+            }
+        }
+        self.push(if is_float { TokKind::Float } else { TokKind::Int }, start, line);
+    }
+
+    fn rest_starts(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn ident_or_prefixed(&mut self, start: usize, line: u32) {
+        while self.pos < self.src.len() && ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let next = self.peek(0);
+        // Raw / byte string and char prefixes: r" r#" b" br#" c" b' r#ident
+        match text {
+            b"r" | b"br" | b"rb" | b"c" | b"cr" if matches!(next, Some(b'"') | Some(b'#')) => {
+                // `r#ident` (raw identifier) vs `r#"…"#`: a raw string's
+                // hashes are followed by `"` eventually; a raw ident by
+                // an ident char. Distinguish on the byte after the #s.
+                let mut k = 0;
+                while self.peek(k) == Some(b'#') {
+                    k += 1;
+                }
+                if self.peek(k) == Some(b'"') {
+                    self.raw_string(start, line);
+                    return;
+                }
+                if k > 0 {
+                    // raw identifier r#foo
+                    self.pos += k;
+                    while self.pos < self.src.len() && ident_continue(self.src[self.pos]) {
+                        self.pos += 1;
+                    }
+                }
+                self.push(TokKind::Ident, start, line);
+            }
+            b"b" if next == Some(b'"') => self.string(start, line),
+            b"b" if next == Some(b'\'') => {
+                self.pos += 1;
+                self.quote(start, line);
+                // quote() already pushed with kind Char; fix the text to
+                // include the `b` prefix (it used `start`, so it does).
+            }
+            _ => self.push(TokKind::Ident, start, line),
+        }
+    }
+
+    fn punct(&mut self, start: usize, line: u32) {
+        for op in PUNCTS {
+            if self.src[self.pos..].starts_with(op.as_bytes()) {
+                self.pos += op.len();
+                self.push(TokKind::Punct, start, line);
+                return;
+            }
+        }
+        self.pos += 1;
+        self.push(TokKind::Punct, start, line);
+    }
+}
+
+fn ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_are_separated() {
+        let toks = kinds(
+            "// line \"not a string\"\nlet s = \"// not a comment\"; /* blk /* nested */ */ x",
+        );
+        assert_eq!(toks[0].0, TokKind::Comment);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t.contains("not a comment")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Comment && t.contains("nested")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r###"let s = r#"has "quotes" and .unwrap()"#; y"###);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "y"));
+        // The unwrap inside the raw string must NOT lex as an ident.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn float_classification() {
+        for (src, float_count) in [
+            ("1.0 + 2.5e3 - 7", 2),
+            ("1..4", 0),
+            ("x.0.clone()", 0),
+            ("3f64 - 2e-9 + 0x1f", 2),
+            ("tuple.1 .0", 0),
+            ("1_000.5", 1),
+        ] {
+            let got = lex(src).iter().filter(|t| t.kind == TokKind::Float).count();
+            assert_eq!(got, float_count, "source: {src}");
+        }
+    }
+
+    #[test]
+    fn multi_char_operators_munch_maximally() {
+        let toks = kinds("a == b != c :: d -> e ..= f");
+        let puncts: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Punct).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "->", "..="]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = lex("a\n/* two\nlines */\nb\n\"str\nacross\"\nc");
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(7));
+    }
+}

@@ -1,0 +1,392 @@
+//! The project lints, run over the token stream of one file at a time.
+//!
+//! Four lints, each encoding a contract the workspace's correctness
+//! story depends on (see DESIGN.md "Static analysis & model checking"):
+//!
+//! * `unsafe-safety` — every `unsafe` block or `unsafe impl` must be
+//!   preceded by a `// SAFETY:` comment justifying it. Applies
+//!   everywhere, including tests.
+//! * `no-panic` — no `.unwrap()`, `.expect(…)`, `panic!` or `todo!` in
+//!   non-test library code. The `cli`, `bench` and `tests` crates are
+//!   exempt, as is anything under `#[cfg(test)]` / `#[test]`.
+//! * `float-eq` — no `==`/`!=` against float literals or obvious `f64`
+//!   expressions outside `ordf64.rs` and test code; bit-compare with
+//!   `to_bits()`, order with `OrdF64`, or compare with a tolerance.
+//! * `no-alloc` — inside a function annotated `// audit: no_alloc`, no
+//!   allocating calls (`Vec::new`, `to_vec`, `collect`, `clone`,
+//!   `Box::new`, `format!`, `vec!`, …). This turns the zero-allocation
+//!   contract of the hot reduce/kNN paths into a per-function gate.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One diagnostic: a lint fired at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Lint name (`unsafe-safety`, `no-panic`, `float-eq`, `no-alloc`).
+    pub lint: &'static str,
+    /// Human-readable message.
+    pub message: String,
+    /// The full text of the offending source line (allowlist matching).
+    pub line_text: String,
+}
+
+impl Finding {
+    /// `path:line: [lint] message` — the rustc-like diagnostic line.
+    pub fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.path, self.line, self.lint, self.message)
+    }
+}
+
+/// Crates whose binaries/benches/test-harness nature exempts them from
+/// the `no-panic` and `float-eq` lints (`unsafe-safety` and `no-alloc`
+/// still apply).
+const EXEMPT_CRATES: &[&str] = &["crates/cli/", "crates/bench/", "crates/tests/"];
+
+/// Lint one file. `rel_path` is the workspace-relative path used both
+/// for diagnostics and for path-based exemptions.
+pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
+    let toks = lex(source);
+    let lines: Vec<&str> = source.lines().collect();
+    let exempt_crate = EXEMPT_CRATES.iter().any(|p| rel_path.starts_with(p));
+    let test_ranges = test_exempt_ranges(&toks);
+    let in_test = |i: usize| test_ranges.iter().any(|&(a, b)| i >= a && i <= b);
+    let mut out = Vec::new();
+
+    lint_unsafe_safety(rel_path, &toks, &lines, &mut out);
+    if !exempt_crate {
+        lint_no_panic(rel_path, &toks, &lines, &in_test, &mut out);
+        if !rel_path.ends_with("ordf64.rs") {
+            lint_float_eq(rel_path, &toks, &lines, &in_test, &mut out);
+        }
+    }
+    lint_no_alloc(rel_path, &toks, &lines, &mut out);
+
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.lint.cmp(b.lint)));
+    out
+}
+
+fn finding(
+    rel_path: &str,
+    lines: &[&str],
+    line: u32,
+    lint: &'static str,
+    message: String,
+) -> Finding {
+    Finding {
+        path: rel_path.to_string(),
+        line,
+        lint,
+        message,
+        line_text: lines.get(line as usize - 1).map_or_else(String::new, |l| l.to_string()),
+    }
+}
+
+/// Token index ranges (inclusive) covered by `#[cfg(test)]` / `#[test]`
+/// items. An attribute counts as a test gate when it contains the bare
+/// identifier `test` and no `not` (so `#[cfg(not(test))]` stays linted).
+fn test_exempt_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let attr_end = match matching(toks, i + 1, "[", "]") {
+                Some(e) => e,
+                None => break,
+            };
+            let attr = &toks[i + 1..=attr_end];
+            let is_test =
+                attr.iter().any(|t| t.is_ident("test")) && !attr.iter().any(|t| t.is_ident("not"));
+            if is_test {
+                if let Some(end) = item_end(toks, attr_end + 1) {
+                    ranges.push((i, end));
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Index of the token closing the item that starts at `start` (skipping
+/// leading comments and further attributes): the `}` matching its body's
+/// first `{`, or the terminating `;` for brace-less items.
+fn item_end(toks: &[Tok], start: usize) -> Option<usize> {
+    let mut i = start;
+    // Skip comments and further attributes decorating the same item.
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Comment {
+            i += 1;
+        } else if toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            i = matching(toks, i + 1, "[", "]")? + 1;
+        } else {
+            break;
+        }
+    }
+    // First `{` (body) or `;` (brace-less item), whichever comes first.
+    while i < toks.len() {
+        if toks[i].is_punct(";") {
+            return Some(i);
+        }
+        if toks[i].is_punct("{") {
+            return matching(toks, i, "{", "}");
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the token closing the bracket opened at `open` (which must
+/// hold the `open_sym` token), counting nesting.
+fn matching(toks: &[Tok], open: usize, open_sym: &str, close_sym: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_sym) {
+            depth += 1;
+        } else if t.is_punct(close_sym) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn lint_unsafe_safety(rel_path: &str, toks: &[Tok], lines: &[&str], out: &mut Vec<Finding>) {
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // Only unsafe *blocks* and *impls* need a local justification;
+        // `unsafe fn` / `unsafe trait` document their contract in docs.
+        let next = toks[i + 1..].iter().find(|t| t.kind != TokKind::Comment);
+        let needs = next.is_some_and(|n| n.is_punct("{") || n.is_ident("impl"));
+        if !needs {
+            continue;
+        }
+        if !has_safety_comment_before(toks, i) {
+            out.push(finding(
+                rel_path,
+                lines,
+                t.line,
+                "unsafe-safety",
+                "`unsafe` block/impl without a preceding `// SAFETY:` comment".to_string(),
+            ));
+        }
+    }
+}
+
+/// Walk backwards from the `unsafe` token over comments, visibility
+/// modifiers and attributes; true if any comment on the way (or ending
+/// the previous line) contains `SAFETY:`.
+fn has_safety_comment_before(toks: &[Tok], unsafe_idx: usize) -> bool {
+    let mut k = unsafe_idx;
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        match t.kind {
+            TokKind::Comment => {
+                if t.text.contains("SAFETY:") {
+                    return true;
+                }
+            }
+            TokKind::Ident if t.text == "pub" || t.text == "crate" || t.text == "in" => {}
+            TokKind::Punct if t.text == "(" || t.text == ")" => {}
+            // Skip a whole attribute `#[…]` when we meet its closing `]`.
+            TokKind::Punct if t.text == "]" => {
+                let mut depth = 1usize;
+                while k > 0 && depth > 0 {
+                    k -= 1;
+                    if toks[k].is_punct("]") {
+                        depth += 1;
+                    } else if toks[k].is_punct("[") {
+                        depth -= 1;
+                    }
+                }
+                if k > 0 && toks[k - 1].is_punct("#") {
+                    k -= 1;
+                }
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+fn lint_no_panic(
+    rel_path: &str,
+    toks: &[Tok],
+    lines: &[&str],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let method_call = |name: &str| {
+            t.is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_ident(name))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct("("))
+        };
+        let bang_macro =
+            |name: &str| t.is_ident(name) && toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+        let hit = if method_call("unwrap") {
+            Some("`.unwrap()`")
+        } else if method_call("expect") {
+            Some("`.expect(…)`")
+        } else if bang_macro("panic") {
+            Some("`panic!`")
+        } else if bang_macro("todo") {
+            Some("`todo!`")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            let line = toks.get(i + 1).map_or(t.line, |n| n.line);
+            out.push(finding(
+                rel_path,
+                lines,
+                line,
+                "no-panic",
+                format!(
+                    "{what} in non-test library code — return a `sapla_core::Error` or \
+                     allowlist with a one-line invariant justification"
+                ),
+            ));
+        }
+    }
+}
+
+/// Idents that make the neighbouring side of a comparison an obvious
+/// float: `f64::NAN == x`, `x != f64::INFINITY`, …
+const FLOAT_CONST_TAILS: &[&str] = &["NAN", "INFINITY", "NEG_INFINITY"];
+
+fn lint_float_eq(
+    rel_path: &str,
+    toks: &[Tok],
+    lines: &[&str],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.is_punct("==") || t.is_punct("!=")) || in_test(i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|k| toks.get(k));
+        let next = toks.get(i + 1);
+        let float_literal = prev.is_some_and(|p| p.kind == TokKind::Float)
+            || next.is_some_and(|n| n.kind == TokKind::Float);
+        let float_const = prev
+            .is_some_and(|p| p.kind == TokKind::Ident && FLOAT_CONST_TAILS.contains(&&*p.text))
+            || (next.is_some_and(|n| n.is_ident("f64") || n.is_ident("f32"))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct("::")));
+        if float_literal || float_const {
+            out.push(finding(
+                rel_path,
+                lines,
+                t.line,
+                "float-eq",
+                format!(
+                    "`{}` on a float — compare with `to_bits()`, `OrdF64`, or a tolerance",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Calls that allocate, as `(receiver-method)` names after a `.`.
+const ALLOC_METHODS: &[&str] = &["clone", "to_vec", "collect", "to_owned", "to_string"];
+/// Allocating associated functions as `Type::name` paths.
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Vec", "from"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+];
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+fn lint_no_alloc(rel_path: &str, toks: &[Tok], lines: &[&str], out: &mut Vec<Finding>) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_marker =
+            toks[i].kind == TokKind::Comment && toks[i].text.contains("audit: no_alloc");
+        if !is_marker {
+            i += 1;
+            continue;
+        }
+        // Find the `fn` this marker annotates (skipping attributes,
+        // comments and modifiers), then its body.
+        let Some(fn_idx) = (i + 1..toks.len().min(i + 40)).find(|&k| toks[k].is_ident("fn")) else {
+            i += 1;
+            continue;
+        };
+        let fn_name = toks
+            .get(fn_idx + 1)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map_or_else(|| "?".to_string(), |t| t.text.clone());
+        let Some(open) = (fn_idx..toks.len()).find(|&k| toks[k].is_punct("{")) else {
+            i = fn_idx + 1;
+            continue;
+        };
+        let Some(close) = matching(toks, open, "{", "}") else {
+            i = fn_idx + 1;
+            continue;
+        };
+        for k in open..=close {
+            let t = &toks[k];
+            let path_call = || -> Option<String> {
+                let func = toks.get(k + 2)?;
+                if toks.get(k + 1)?.is_punct("::")
+                    && ALLOC_PATHS.iter().any(|(ty, f)| t.is_ident(ty) && func.is_ident(f))
+                {
+                    Some(format!("{}::{}", t.text, func.text))
+                } else {
+                    None
+                }
+            };
+            let hit: Option<String> = if t.is_punct(".")
+                && toks
+                    .get(k + 1)
+                    .is_some_and(|n| n.kind == TokKind::Ident && ALLOC_METHODS.contains(&&*n.text))
+                && toks.get(k + 2).is_some_and(|n| n.is_punct("(") || n.is_punct("::"))
+            {
+                Some(format!(".{}()", toks[k + 1].text))
+            } else if t.kind == TokKind::Ident && path_call().is_some() {
+                path_call()
+            } else if t.kind == TokKind::Ident
+                && ALLOC_MACROS.contains(&&*t.text)
+                && toks.get(k + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                Some(format!("{}!", t.text))
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                out.push(finding(
+                    rel_path,
+                    lines,
+                    toks[k].line,
+                    "no-alloc",
+                    format!("allocating call `{what}` inside `// audit: no_alloc` fn `{fn_name}`"),
+                ));
+            }
+        }
+        i = close + 1;
+    }
+}

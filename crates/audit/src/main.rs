@@ -1,0 +1,78 @@
+//! The `sapla-audit` binary: lint the workspace, print diagnostics,
+//! exit nonzero on any unallowlisted finding or stale allowlist entry.
+//!
+//! ```text
+//! sapla-audit [--root DIR]
+//! ```
+//!
+//! Without `--root`, the workspace root is found by walking upward from
+//! the current directory to the first directory containing both
+//! `Cargo.toml` and `crates/` — so `cargo run -p sapla-audit` works
+//! from anywhere inside the repo.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sapla_audit::{run_audit, walk};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("sapla-audit: --root requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: sapla-audit [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sapla-audit: unknown argument `{other}` (see --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("sapla-audit: cannot determine current directory: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match walk::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "sapla-audit: no workspace root (Cargo.toml + crates/) found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    match run_audit(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("sapla-audit: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

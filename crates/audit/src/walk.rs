@@ -1,0 +1,72 @@
+//! Workspace file discovery: every `.rs` file under `crates/*/src`,
+//! in deterministic (sorted) order, with workspace-relative paths using
+//! forward slashes regardless of platform.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One source file to lint.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative, forward-slash path (`crates/core/src/sapla.rs`).
+    pub rel: String,
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+}
+
+/// Collect all `crates/*/src/**/*.rs` under `root`, sorted by relative
+/// path. Directories without `src/` (or non-directories in `crates/`)
+/// are skipped silently.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut children: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            collect_rs(&child, root, out)?;
+        } else if child.extension().is_some_and(|e| e == "rs") {
+            let rel = child
+                .strip_prefix(root)
+                .unwrap_or(&child)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile { rel, abs: child });
+        }
+    }
+    Ok(())
+}
+
+/// Find the workspace root: walk upward from `start` until a directory
+/// containing both `Cargo.toml` and `crates/` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -38,13 +38,15 @@ pub fn next_pow2(n: usize) -> usize {
 ///
 /// Returns every detail coefficient with its support and normalised
 /// weight; the top-level average is not returned (it carries no boundary
-/// information).
+/// information). An empty input yields no coefficients.
 pub fn haar_details(values: &[f64]) -> Vec<HaarCoeff> {
+    let Some(&last) = values.last() else {
+        return Vec::new();
+    };
     let n = values.len();
     let p = next_pow2(n.max(1));
     let mut level: Vec<f64> = Vec::with_capacity(p);
     level.extend_from_slice(values);
-    let last = *values.last().expect("haar_details requires a non-empty input");
     level.resize(p, last);
 
     let mut out = Vec::with_capacity(p.saturating_sub(1));

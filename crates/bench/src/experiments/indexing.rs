@@ -95,7 +95,7 @@ pub fn run_indexing_with_rule(
             if reducer.name() == "APLA" && di >= cfg.apla_dataset_cap {
                 continue;
             }
-            let scheme = scheme_for(reducer.name());
+            let scheme = scheme_for(reducer.name()).unwrap();
             // Ingest = reduction + tree build (the paper's ingest
             // experiment covers the whole pipeline; reduction dominates
             // and runs on the work-stealing pool at `cfg.threads`).
@@ -273,7 +273,7 @@ pub fn k_sweep_table(cfg: &RunConfig) -> Table {
         .into_iter()
         .find(|r| r.name() == "SAPLA")
         .expect("SAPLA is always registered");
-    let scheme = scheme_for("SAPLA");
+    let scheme = scheme_for("SAPLA").unwrap();
 
     let mut rho_r = vec![0.0f64; ks.len()];
     let mut rho_d = vec![0.0f64; ks.len()];

@@ -47,7 +47,7 @@ pub fn thread_sweep(cfg: &RunConfig, thread_counts: &[usize], k: usize) -> Vec<S
         .into_iter()
         .find(|r| r.name() == "SAPLA")
         .expect("SAPLA is always registered");
-    let scheme = scheme_for("SAPLA");
+    let scheme = scheme_for("SAPLA").unwrap();
 
     // A realistic multi-query load: the protocol's queries plus every
     // database series queried against its own dataset.

@@ -166,7 +166,7 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
     }
 
     let mut index = Vec::new();
-    let scheme = scheme_for("SAPLA");
+    let scheme = scheme_for("SAPLA").unwrap();
     let segments = grid.segment_counts[0];
     let m = 3 * segments;
     for &n in &grid.lens {

@@ -155,7 +155,7 @@ fn cmd_knn(args: &[String]) -> Result<(), String> {
         .find(|d| d.name.eq_ignore_ascii_case(name))
         .ok_or_else(|| format!("unknown dataset {name:?}"))?;
     let ds = spec.load(&Protocol::quick());
-    let scheme = scheme_for(reducer.name());
+    let scheme = scheme_for(reducer.name()).map_err(|e| e.to_string())?;
     let reps = reduce_batch_parallel(reducer.as_ref(), &ds.series, m, threads)
         .map_err(|e| e.to_string())?;
     let (stats, batch) = match tree_kind.as_str() {

@@ -59,6 +59,12 @@ pub enum Error {
         /// The operation that was attempted.
         operation: &'static str,
     },
+    /// A reduction-method name did not match any known method (the set is
+    /// closed — Table 1).
+    UnknownMethod {
+        /// The name that failed to resolve.
+        name: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -85,6 +91,9 @@ impl fmt::Display for Error {
             }
             Error::UnsupportedRepresentation { operation } => {
                 write!(f, "representation variant does not support {operation}")
+            }
+            Error::UnknownMethod { name } => {
+                write!(f, "no reduction method named {name:?}")
             }
         }
     }

@@ -63,6 +63,9 @@ mod work;
 #[cfg(test)]
 mod naive;
 
+#[cfg(feature = "strict-invariants")]
+mod strict;
+
 pub use error::{Error, Result};
 pub use fit::{LineFit, SegStats};
 pub use ordf64::OrdF64;

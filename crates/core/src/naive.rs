@@ -48,7 +48,9 @@ pub(crate) fn naive_split_merge(
     max_rounds: usize,
 ) {
     while segs.len() > n_target {
-        let i = best_merge_index(ctx, segs).expect("len > 1 so a pair exists");
+        // `len > 1` here, so a mergeable pair exists; the `else` arm is
+        // unreachable but keeps the loop panic-free.
+        let Some(i) = best_merge_index(ctx, segs) else { break };
         apply_merge(ctx, segs, i);
     }
     while segs.len() < n_target {

@@ -185,7 +185,7 @@ impl Sapla {
     ) -> Result<PiecewiseLinear> {
         let mut segs = Vec::new();
         self.reduce_into(series, scratch, &mut segs)?;
-        Ok(PiecewiseLinear::new(segs).expect("working segmentation is contiguous and ordered"))
+        PiecewiseLinear::new(segs)
     }
 
     /// [`Sapla::reduce_with`] writing the segments into a caller buffer
@@ -233,6 +233,8 @@ impl Sapla {
                 self.config.max_move_passes,
             );
         }
+        #[cfg(feature = "strict-invariants")]
+        crate::strict::check_reduction(&ctx, &scratch.segs);
         out.clear();
         out.extend(scratch.segs.iter().map(|s| LinearSegment {
             a: s.fit.a,

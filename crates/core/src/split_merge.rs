@@ -144,6 +144,7 @@ impl SplitMergeScratch {
     /// with fewer than two segments. Stale entries are popped and
     /// dropped; the winning entry stays queued (applying the merge will
     /// bump its stamps, so it goes stale exactly when it should).
+    // audit: no_alloc — hot heap-probe loop of stage 2.
     fn query_merge(&mut self, segs: &[Seg]) -> Option<usize> {
         while let Some(&Reverse((_, start, gl, gr))) = self.merge_heap.peek() {
             if let Some(i) = Self::slot_of(segs, start) {
@@ -158,6 +159,7 @@ impl SplitMergeScratch {
 
     /// Last index maximising `β_i` among splittable segments, or `None`
     /// when nothing is splittable.
+    // audit: no_alloc — hot heap-probe loop of stage 2.
     fn query_split(&mut self, segs: &[Seg]) -> Option<usize> {
         while let Some(&(_, start, g)) = self.split_heap.peek() {
             if let Some(i) = Self::slot_of(segs, start) {
@@ -353,7 +355,9 @@ pub(crate) fn split_merge_with(
     scratch.reset(ctx, segs);
     // Phase 1: too many segments → merge.
     while segs.len() > n_target {
-        let i = scratch.query_merge(segs).expect("len > 1 so a pair exists");
+        // `len > 1` here, so a mergeable pair exists; the `else` arm is
+        // unreachable but keeps the loop panic-free.
+        let Some(i) = scratch.query_merge(segs) else { break };
         scratch.apply_merge(ctx, segs, i);
     }
     // Phase 2: too few segments → split.

@@ -108,7 +108,9 @@ impl SweepScratch {
 fn sweep_to_target(sweep: &mut SweepScratch, segs: &mut Vec<StreamSeg>, target: usize) {
     sweep.reset(segs);
     while segs.len() > target {
-        let i = sweep.query(segs).expect("len > 1 so a mergeable pair exists");
+        // `len > 1` here, so a mergeable pair exists; the `else` arm is
+        // unreachable but keeps the loop panic-free.
+        let Some(i) = sweep.query(segs) else { break };
         let merged_stats = segs[i].stats.merge_right(&segs[i + 1].stats);
         segs[i].stats = merged_stats;
         segs.remove(i + 1);

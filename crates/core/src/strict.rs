@@ -1,0 +1,119 @@
+//! Runtime invariant layer behind the `strict-invariants` feature.
+//!
+//! With the feature on, every reduction re-validates its output against
+//! the paper's contracts through an **independent** code path: the checks
+//! below recompute deviations point-by-point from the published fit
+//! lines, not through the incremental `SegStats` machinery that produced
+//! them, so a bug in the closed-form updates cannot also hide in its own
+//! verifier.
+//!
+//! What is (and is not) asserted, per bound mode:
+//!
+//! * [`BoundMode::Exact`] — `β_i` is the segment's exact max deviation,
+//!   which upper-bounds the reconstruction error **unconditionally**; the
+//!   check recomputes the deviation directly and requires `β_i` to cover
+//!   it.
+//! * [`BoundMode::Paper`] — the Theorem 4.2/4.3 bound is **conditional**
+//!   (it only covers the deviation when the endpoint-dominance premise
+//!   holds), so asserting coverage would reject valid paper-mode output.
+//!   Only well-formedness is asserted: finite, non-negative `β_i`.
+//!
+//! The layer is compiled out entirely without the feature — release
+//! builds carry zero cost and zero behavioural difference.
+
+use crate::sapla::BoundMode;
+use crate::work::{Ctx, Seg};
+
+/// Relative tolerance for floating-point comparisons: the incremental
+/// and direct paths take different rounding routes to the same value.
+fn tol(scale: f64) -> f64 {
+    1e-6 * (1.0 + scale.abs())
+}
+
+/// Validate a finished segmentation against `ctx`. Panics with a
+/// diagnostic naming the violated contract and the offending segment.
+pub(crate) fn check_reduction(ctx: &Ctx<'_>, segs: &[Seg]) {
+    let n = ctx.values.len();
+    assert!(!segs.is_empty(), "strict-invariants: reduction produced no segments");
+    assert_eq!(segs[0].start, 0, "strict-invariants: first segment must start at 0");
+    assert_eq!(
+        segs[segs.len() - 1].end,
+        n,
+        "strict-invariants: last segment must end at the series length"
+    );
+    for w in segs.windows(2) {
+        assert_eq!(
+            w[0].end, w[1].start,
+            "strict-invariants: segments must tile the series contiguously"
+        );
+    }
+    for (i, seg) in segs.iter().enumerate() {
+        assert!(
+            seg.fit.a.is_finite() && seg.fit.b.is_finite(),
+            "strict-invariants: segment {i} has a non-finite fit (a={}, b={})",
+            seg.fit.a,
+            seg.fit.b
+        );
+        assert!(
+            seg.beta.is_finite() && seg.beta >= 0.0,
+            "strict-invariants: segment {i} has an ill-formed β = {}",
+            seg.beta
+        );
+        if matches!(ctx.mode, BoundMode::Exact) {
+            // Independent recomputation: walk the window and compare the
+            // raw values against the fit line directly.
+            let window = &ctx.values[seg.start..seg.end];
+            let required = window
+                .iter()
+                .enumerate()
+                .map(|(u, &v)| (v - seg.fit.value_at(u)).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                seg.beta + tol(required) >= required,
+                "strict-invariants: segment {i} ([{}, {})) has β = {} < max-dev = \
+                 {required}; the Exact bound must cover the recomputed deviation",
+                seg.start,
+                seg.end,
+                seg.beta
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V: [f64; 12] = [1.0, 4.0, 2.0, 9.0, 8.5, 7.0, 2.0, 1.5, 0.0, 4.0, 5.0, 5.5];
+
+    #[test]
+    fn accepts_well_formed_exact_segments() {
+        let ctx = Ctx::new(&V, BoundMode::Exact);
+        let segs = vec![ctx.make_seg(0, 6), ctx.make_seg(6, 12)];
+        check_reduction(&ctx, &segs);
+    }
+
+    #[test]
+    fn accepts_paper_mode_without_coverage_claims() {
+        let ctx = Ctx::new(&V, BoundMode::Paper);
+        let segs = vec![ctx.make_seg(0, 12)];
+        check_reduction(&ctx, &segs);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover the recomputed deviation")]
+    fn rejects_an_understated_exact_beta() {
+        let ctx = Ctx::new(&V, BoundMode::Exact);
+        let mut segs = vec![ctx.make_seg(0, 12)];
+        segs[0].beta = 0.0; // deliberately understate the bound
+        check_reduction(&ctx, &segs);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the series contiguously")]
+    fn rejects_a_gap_in_the_tiling() {
+        let ctx = Ctx::new(&V, BoundMode::Exact);
+        let segs = vec![ctx.make_seg(0, 5), ctx.make_seg(6, 12)];
+        check_reduction(&ctx, &segs);
+    }
+}

@@ -69,6 +69,7 @@ impl<'a> Ctx<'a> {
 
     /// Exact least-squares fit of `[start, end)` in `O(1)`.
     #[inline]
+    // audit: no_alloc — O(1) prefix-sum fit, called in every stage-2 probe.
     pub fn refit(&self, start: usize, end: usize) -> LineFit {
         LineFit::over_window(&self.sums, start, end).expect("stage windows are always in range")
     }
@@ -135,7 +136,7 @@ pub(crate) fn to_representation(segs: &[Seg]) -> PiecewiseLinear {
 pub(crate) fn assert_tiling(segs: &[Seg], n: usize) {
     assert!(!segs.is_empty());
     assert_eq!(segs[0].start, 0);
-    assert_eq!(segs.last().unwrap().end, n);
+    assert_eq!(segs[segs.len() - 1].end, n);
     for w in segs.windows(2) {
         assert_eq!(w[0].end, w[1].start, "segments must tile contiguously");
     }

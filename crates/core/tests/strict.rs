@@ -1,0 +1,50 @@
+//! Property tests that only exist under `--features strict-invariants`:
+//! every reduction below runs with the runtime invariant layer armed
+//! (`src/strict.rs`), so a passing case certifies tiling, finite fits,
+//! well-formed `β` and — in Exact mode — that each `β_i` covers an
+//! independently recomputed per-segment deviation.
+#![cfg(feature = "strict-invariants")]
+
+use proptest::prelude::*;
+use sapla_core::sapla::{BoundMode, Sapla, SaplaConfig, SaplaScratch};
+use sapla_core::TimeSeries;
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-50.0f64..50.0, 8..96)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random series, segment budgets and both bound modes all pass the
+    /// armed invariant checks end to end.
+    #[test]
+    fn reductions_satisfy_strict_invariants(v in series(), n in 2usize..8) {
+        let ts = TimeSeries::new(v).unwrap();
+        let mut scratch = SaplaScratch::new();
+        for mode in [BoundMode::Paper, BoundMode::Exact] {
+            let config = SaplaConfig { bound_mode: mode, ..SaplaConfig::default() };
+            let repr = Sapla::with_segments(n)
+                .with_config(config)
+                .reduce_with(&ts, &mut scratch)
+                .unwrap();
+            prop_assert!(repr.num_segments() >= 1);
+        }
+    }
+
+    /// Ablation configs (stages toggled off) still produce output that
+    /// passes the invariant layer — the checks hold for every stage
+    /// combination, not just the full pipeline.
+    #[test]
+    fn ablated_pipelines_satisfy_strict_invariants(v in series(), stages in 0u8..4) {
+        let ts = TimeSeries::new(v).unwrap();
+        let config = SaplaConfig {
+            bound_mode: BoundMode::Exact,
+            refine_split_merge: stages & 1 != 0,
+            endpoint_movement: stages & 2 != 0,
+            ..SaplaConfig::default()
+        };
+        let repr = Sapla::with_segments(4).with_config(config).reduce(&ts).unwrap();
+        prop_assert!(repr.num_segments() >= 1);
+    }
+}

@@ -38,7 +38,14 @@ pub fn dist_lb_sq(query_sums: &PrefixSums, c: &PiecewiseLinear) -> Result<f64> {
     for seg in c.segments() {
         let end = seg.r + 1;
         let q = LineFit::over_window(query_sums, start, end)?;
-        sum += dist_s_sq(q.a, q.b, seg.a, seg.b, end - start);
+        let term = dist_s_sq(q.a, q.b, seg.a, seg.b, end - start);
+        #[cfg(feature = "strict-invariants")]
+        assert!(
+            term.is_finite() && term >= 0.0,
+            "strict-invariants: Dist_S² over [{start}, {end}) must be finite and non-negative, \
+             got {term}"
+        );
+        sum += term;
         start = end;
     }
     Ok(sum)

@@ -95,6 +95,7 @@ impl ParScratch {
 ///
 /// [`Error::LengthMismatch`] when the two representations cover different
 /// series lengths.
+// audit: no_alloc — per-worker scratch absorbs all buffering.
 pub fn dist_par_sq_with(
     scratch: &mut ParScratch,
     q: &PiecewiseLinear,
@@ -113,6 +114,7 @@ pub fn dist_par_sq_with(
 /// visits every aligned window in order without allocating. Both public
 /// entry points ([`dist_par_sq`], [`dist_par_sq_with`]) are thin wrappers
 /// over this, so their window sequences cannot diverge.
+// audit: no_alloc — the window walk must stay allocation-free.
 fn for_each_window(
     q: &PiecewiseLinear,
     c: &PiecewiseLinear,

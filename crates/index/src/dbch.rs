@@ -64,7 +64,7 @@ struct Node {
 ///     .map(|i| TimeSeries::new((0..32).map(|t| ((t * (i + 2)) as f64 * 0.1).sin()).collect()).unwrap())
 ///     .collect();
 /// let reducer = SaplaReducer::new();
-/// let scheme = scheme_for("SAPLA");
+/// let scheme = scheme_for("SAPLA")?;
 /// let reps = series.iter().map(|s| reducer.reduce(s, 12)).collect::<Result<Vec<_>, _>>()?;
 /// let tree = DbchTree::build(scheme.as_ref(), reps, 2, 5)?;
 /// let q = Query::new(&series[5], &reducer, 12)?;
@@ -181,6 +181,8 @@ impl DbchTree {
                             {
                                 measured += 1;
                                 let exact = q.raw.euclidean(&raws[e])?;
+                                #[cfg(feature = "strict-invariants")]
+                                crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
                                 if exact <= epsilon {
                                     hits.push((exact, e));
                                 }
@@ -580,7 +582,6 @@ impl DbchTree {
         debug_assert_eq!(raws.len(), self.reps.len());
         scratch.reset(k);
         let KnnScratch { results, nodes: heap, dist } = scratch;
-        let results = results.as_mut().expect("reset installs the heap");
         let mut measured = 0usize;
         if !self.is_empty() {
             let d = self.node_dist(q, scheme, self.root, dist)?;
@@ -605,6 +606,8 @@ impl DbchTree {
                         if rep_d <= results.threshold() {
                             measured += 1;
                             let exact = q.raw.euclidean(&raws[e])?;
+                            #[cfg(feature = "strict-invariants")]
+                            crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
                             results.push(exact, e);
                         }
                     }
@@ -664,7 +667,7 @@ mod tests {
     }
 
     fn build_sapla(raws: &[TimeSeries], m: usize) -> (DbchTree, Box<dyn Scheme>) {
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let reducer = SaplaReducer::new();
         let reps: Vec<Representation> =
             raws.iter().map(|s| reducer.reduce(s, m).unwrap()).collect();
@@ -718,7 +721,7 @@ mod tests {
     fn triangle_rule_never_misses_more_than_paper_rule_on_average() {
         let raws = dataset(40, 64);
         let reducer = SaplaReducer::new();
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let reps: Vec<Representation> =
             raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
         let paper =
@@ -750,7 +753,7 @@ mod tests {
     #[test]
     fn incremental_insert_equals_build_results() {
         let raws = dataset(25, 64);
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let reducer = SaplaReducer::new();
         let reps: Vec<Representation> =
             raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();

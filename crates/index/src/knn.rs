@@ -65,6 +65,7 @@ impl KnnHeap {
         }
     }
 
+    // audit: no_alloc — capacity k+1 is reserved up front.
     pub fn push(&mut self, dist: f64, id: usize) {
         self.heap.push((sapla_core::OrdF64::new(dist), id));
         if self.heap.len() > self.k {
@@ -90,6 +91,7 @@ impl KnnHeap {
     /// unique, so the `(distance, id)` pairs are distinct and the unstable
     /// sort is deterministic — the output order matches the stable sort it
     /// replaced.
+    // audit: no_alloc — steady-state reuse is the whole point of this path.
     pub fn drain_into(&mut self, ids: &mut Vec<usize>, dists: &mut Vec<f64>) {
         self.sort_buf.clear();
         self.sort_buf.extend(self.heap.drain());
@@ -107,6 +109,14 @@ impl KnnHeap {
     }
 }
 
+impl Default for KnnHeap {
+    /// A zero-capacity heap: a usable placeholder that
+    /// [`KnnHeap::reset`] re-arms to the real `k` before every search.
+    fn default() -> Self {
+        KnnHeap::new(0)
+    }
+}
+
 /// Reusable per-search buffers for [`DbchTree::knn_with_scratch`]
 /// (`DbchTree` is in [`crate::dbch`]): the candidate heap, the best-first
 /// node queue, and the `Dist_PAR` partition buffer. One instance per
@@ -119,7 +129,7 @@ impl KnnHeap {
 /// streaming one.
 #[derive(Debug, Default)]
 pub struct KnnScratch {
-    pub(crate) results: Option<KnnHeap>,
+    pub(crate) results: KnnHeap,
     pub(crate) nodes: std::collections::BinaryHeap<std::cmp::Reverse<(sapla_core::OrdF64, usize)>>,
     pub(crate) dist: sapla_distance::ParScratch,
 }
@@ -132,10 +142,7 @@ impl KnnScratch {
 
     /// Clear all buffers and size the result heap for `k` neighbours.
     pub(crate) fn reset(&mut self, k: usize) -> &mut Self {
-        match &mut self.results {
-            Some(h) => h.reset(k),
-            None => self.results = Some(KnnHeap::new(k)),
-        }
+        self.results.reset(k);
         self.nodes.clear();
         self
     }

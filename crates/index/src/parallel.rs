@@ -160,7 +160,7 @@ mod tests {
     fn parallel_ingest_is_bit_identical_to_sequential_build() {
         let raws = dataset(40, 64);
         let reducer = SaplaReducer::new();
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let seq_reps: Vec<_> = raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
         let seq_tree =
             DbchTree::build_with_rule(scheme.as_ref(), seq_reps, 2, 5, NodeDistRule::Paper)
@@ -191,7 +191,7 @@ mod tests {
     fn knn_batch_matches_sequential_loop_bit_for_bit() {
         let raws = dataset(50, 64);
         let reducer = SaplaReducer::new();
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let tree =
             ingest_parallel(scheme.as_ref(), &reducer, &raws, 12, 2, 5, NodeDistRule::Paper, 4)
                 .unwrap();
@@ -223,7 +223,7 @@ mod tests {
     fn scratch_reuse_matches_fresh_scratch() {
         let raws = dataset(30, 64);
         let reducer = SaplaReducer::new();
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let tree =
             ingest_parallel(scheme.as_ref(), &reducer, &raws, 12, 2, 5, NodeDistRule::Paper, 0)
                 .unwrap();
@@ -240,7 +240,7 @@ mod tests {
     fn batch_errors_surface_first_by_query_order() {
         let raws = dataset(20, 64);
         let reducer = SaplaReducer::new();
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let tree =
             ingest_parallel(scheme.as_ref(), &reducer, &raws, 12, 2, 5, NodeDistRule::Paper, 2)
                 .unwrap();

@@ -41,7 +41,7 @@ struct Node {
 /// let series: Vec<TimeSeries> = (0..20)
 ///     .map(|i| TimeSeries::new((0..32).map(|t| ((t + i) as f64 * 0.3).sin()).collect()).unwrap())
 ///     .collect();
-/// let scheme = scheme_for("PAA");
+/// let scheme = scheme_for("PAA")?;
 /// let reps = series.iter().map(|s| Paa.reduce(s, 8)).collect::<Result<Vec<_>, _>>()?;
 /// let tree = RTree::build(scheme.as_ref(), reps, 2, 5)?;
 /// let q = Query::new(&series[0], &Paa, 8)?;
@@ -231,6 +231,8 @@ impl RTree {
                             if scheme.rep_dist(q, &self.reps[e])? <= epsilon {
                                 measured += 1;
                                 let exact = q.raw.euclidean(&raws[e])?;
+                                #[cfg(feature = "strict-invariants")]
+                                crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
                                 if exact <= epsilon {
                                     hits.push((exact, e));
                                 }
@@ -435,26 +437,32 @@ impl RTree {
     }
 
     fn recompute_rect(&mut self, node: usize) {
+        // Option-accumulator folds: nodes are never empty here (splits
+        // and condenses keep ≥ min_fill members), but an empty node
+        // degrades to keeping its stale rect rather than panicking.
         let rect = match &self.nodes[node].kind {
             NodeKind::Internal(children) => {
-                let mut it = children.iter();
-                let first = *it.next().expect("internal nodes are never empty");
-                let mut rect = self.nodes[first].rect.clone();
-                for &c in it {
-                    rect.extend_rect(&self.nodes[c].rect);
+                let mut rect: Option<HyperRect> = None;
+                for &c in children {
+                    match &mut rect {
+                        Some(r) => r.extend_rect(&self.nodes[c].rect),
+                        None => rect = Some(self.nodes[c].rect.clone()),
+                    }
                 }
                 rect
             }
             NodeKind::Leaf(entries) => {
-                let mut it = entries.iter();
-                let first = *it.next().expect("split leaves are never empty");
-                let mut rect = self.entry_rect(first);
-                for &e in it {
-                    rect.extend_point(&self.features[e]);
+                let mut rect: Option<HyperRect> = None;
+                for &e in entries {
+                    match &mut rect {
+                        Some(r) => r.extend_point(&self.features[e]),
+                        None => rect = Some(self.entry_rect(e)),
+                    }
                 }
                 rect
             }
         };
+        let Some(rect) = rect else { return };
         self.nodes[node].rect = rect;
     }
 
@@ -542,6 +550,8 @@ impl RTree {
                         if dist <= results.threshold() {
                             measured += 1;
                             let exact = q.raw.euclidean(&raws[e])?;
+                            #[cfg(feature = "strict-invariants")]
+                            crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
                             results.push(exact, e);
                         }
                     }
@@ -668,7 +678,7 @@ mod tests {
     }
 
     fn build_paa(raws: &[TimeSeries], m: usize) -> (RTree, Box<dyn Scheme>) {
-        let scheme = scheme_for("PAA");
+        let scheme = scheme_for("PAA").unwrap();
         let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, m).unwrap()).collect();
         let tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
         (tree, scheme)
@@ -752,7 +762,7 @@ mod tests {
     #[test]
     fn packed_bulk_load_is_denser_and_still_exact() {
         let raws = dataset(60, 64);
-        let scheme = scheme_for("PAA");
+        let scheme = scheme_for("PAA").unwrap();
         let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
         let seq = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
         let packed = RTree::bulk_load_packed(scheme.as_ref(), reps, 2, 5).unwrap();
@@ -773,7 +783,7 @@ mod tests {
 
     #[test]
     fn packed_bulk_load_handles_empty_and_tiny() {
-        let scheme = scheme_for("PAA");
+        let scheme = scheme_for("PAA").unwrap();
         let empty = RTree::bulk_load_packed(scheme.as_ref(), vec![], 2, 5).unwrap();
         assert!(empty.is_empty());
         let raws = dataset(3, 32);
@@ -786,7 +796,7 @@ mod tests {
     #[test]
     fn incremental_insert_matches_bulk_build() {
         let raws = dataset(20, 64);
-        let scheme = scheme_for("PAA");
+        let scheme = scheme_for("PAA").unwrap();
         let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
         let bulk = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
         let mut incr = RTree::build(scheme.as_ref(), vec![], 2, 5).unwrap();
@@ -817,7 +827,7 @@ mod tests {
     #[test]
     fn remove_then_search_never_returns_removed_ids() {
         let raws = dataset(40, 64);
-        let scheme = scheme_for("PAA");
+        let scheme = scheme_for("PAA").unwrap();
         let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
         let mut tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
         for id in [3usize, 17, 0, 39, 20, 21, 22, 23] {
@@ -841,7 +851,7 @@ mod tests {
     #[test]
     fn remove_everything_leaves_an_empty_tree() {
         let raws = dataset(12, 32);
-        let scheme = scheme_for("PAA");
+        let scheme = scheme_for("PAA").unwrap();
         let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, 4).unwrap()).collect();
         let mut tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
         for id in 0..12 {

@@ -59,6 +59,25 @@ impl Query {
     }
 }
 
+/// `strict-invariants`: `Dist_LB` is the unconditional lower bound
+/// (`Dist_LB(Q, Ĉ) ≤ Dist(Q, C)` for *any* series `C` with linear
+/// representation `Ĉ`) — whenever a refinement step has both the
+/// representation and the exact Euclidean distance in hand, recompute the
+/// bound and require it to hold. `Dist_PAR` is deliberately **not**
+/// checked here: the paper's Theorems 4.2/4.3 make it conditional.
+#[cfg(feature = "strict-invariants")]
+pub(crate) fn assert_lb_le_exact(q: &Query, rep: &Representation, exact: f64) -> Result<()> {
+    if let Some(linear) = rep.as_linear() {
+        let lb = sapla_distance::dist_lb(&q.sums, linear)?;
+        assert!(
+            lb <= exact + 1e-6 * (1.0 + exact),
+            "strict-invariants: Dist_LB = {lb} exceeds the exact Euclidean distance {exact}; \
+             the unconditional lower-bound contract is broken"
+        );
+    }
+    Ok(())
+}
+
 /// The per-method indexing strategy.
 pub trait Scheme: Send + Sync {
     /// Scheme name (matches the reducer name).
@@ -98,18 +117,18 @@ pub trait Scheme: Send + Sync {
 
 /// Pick the scheme matching a reducer name.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on an unknown method name (the set is closed — Table 1).
-pub fn scheme_for(name: &str) -> Box<dyn Scheme> {
+/// [`Error::UnknownMethod`] on a name outside the closed set of Table 1.
+pub fn scheme_for(name: &str) -> Result<Box<dyn Scheme>> {
     match name {
-        "SAPLA" | "APLA" => Box::new(AdaptiveLinearScheme),
-        "APCA" => Box::new(ApcaScheme),
-        "PLA" => Box::new(PlaScheme),
-        "PAA" | "PAALM" => Box::new(PaaScheme),
-        "CHEBY" => Box::new(ChebyScheme),
-        "SAX" => Box::new(SaxScheme),
-        other => panic!("no indexing scheme for method {other:?}"),
+        "SAPLA" | "APLA" => Ok(Box::new(AdaptiveLinearScheme)),
+        "APCA" => Ok(Box::new(ApcaScheme)),
+        "PLA" => Ok(Box::new(PlaScheme)),
+        "PAA" | "PAALM" => Ok(Box::new(PaaScheme)),
+        "CHEBY" => Ok(Box::new(ChebyScheme)),
+        "SAX" => Ok(Box::new(SaxScheme)),
+        other => Err(Error::UnknownMethod { name: other.to_string() }),
     }
 }
 
@@ -502,7 +521,7 @@ mod tests {
         let db = series(1);
         let qr = series(2);
         for reducer in all_reducers() {
-            let scheme = scheme_for(reducer.name());
+            let scheme = scheme_for(reducer.name()).unwrap();
             let rep = reducer.reduce(&db, m).unwrap();
             let feat = scheme.feature(&rep).unwrap();
             assert!(!feat.is_empty(), "{}", reducer.name());
@@ -531,7 +550,7 @@ mod tests {
                 "CHEBY" => Box::new(sapla_baselines::Cheby),
                 _ => Box::new(sapla_baselines::Sax::default()),
             };
-            let scheme = scheme_for(name);
+            let scheme = scheme_for(name).unwrap();
             let rep = reducer.reduce(&db, m).unwrap();
             let q = Query::new(&qr, reducer.as_ref(), m).unwrap();
             let rect = HyperRect::point(&scheme.feature(&rep).unwrap());
@@ -542,15 +561,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no indexing scheme")]
-    fn unknown_scheme_panics() {
-        let _ = scheme_for("WAVELETS");
+    fn unknown_scheme_is_an_error() {
+        let Err(err) = scheme_for("WAVELETS") else {
+            panic!("WAVELETS must not resolve to a scheme");
+        };
+        assert_eq!(err, Error::UnknownMethod { name: "WAVELETS".to_string() });
+        assert!(err.to_string().contains("WAVELETS"));
     }
 
     #[test]
     fn scheme_names_cover_every_method() {
         for reducer in all_reducers() {
-            let scheme = scheme_for(reducer.name());
+            let scheme = scheme_for(reducer.name()).unwrap();
             assert!(!scheme.name().is_empty());
         }
     }
@@ -585,7 +607,7 @@ mod tests {
         let members: Vec<TimeSeries> = (0..10).map(series).collect();
         let q_raw = series(99);
         for reducer in all_reducers() {
-            let scheme = scheme_for(reducer.name());
+            let scheme = scheme_for(reducer.name()).unwrap();
             let reps: Vec<_> = members.iter().map(|s| reducer.reduce(s, m).unwrap()).collect();
             let mut rect = HyperRect::point(&scheme.feature(&reps[0]).unwrap());
             for rep in &reps[1..] {

@@ -41,7 +41,7 @@ proptest! {
     /// scan for every k (GEMINI's no-false-dismissal guarantee).
     #[test]
     fn rtree_paa_knn_is_exact(raws in db_strategy(8..30), k in 1usize..6) {
-        let scheme = scheme_for("PAA");
+        let scheme = scheme_for("PAA").unwrap();
         let reps: Vec<Representation> =
             raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
         let tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
@@ -54,7 +54,7 @@ proptest! {
     /// Same guarantee for PLA, through range queries.
     #[test]
     fn rtree_pla_range_is_exact(raws in db_strategy(8..30), eps in 0.5f64..15.0) {
-        let scheme = scheme_for("PLA");
+        let scheme = scheme_for("PLA").unwrap();
         let reps: Vec<Representation> =
             raws.iter().map(|s| Pla.reduce(s, 8).unwrap()).collect();
         let tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
@@ -67,7 +67,7 @@ proptest! {
     /// DBCH structural invariants hold for any database and fill factors.
     #[test]
     fn dbch_shape_invariants(raws in db_strategy(3..40), max_fill in 4usize..9) {
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let reducer = SaplaReducer::new();
         let reps: Vec<Representation> =
             raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
@@ -84,7 +84,7 @@ proptest! {
     /// distance, for both trees.
     #[test]
     fn knn_results_are_sound(raws in db_strategy(6..25), k in 1usize..8) {
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let reducer = SaplaReducer::new();
         let reps: Vec<Representation> =
             raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
@@ -133,7 +133,7 @@ proptest! {
         raws in db_strategy(5..25),
         k in 1usize..5,
     ) {
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let reducer = SaplaReducer::new();
         let reps: Vec<Representation> =
             raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
@@ -162,7 +162,7 @@ proptest! {
         k in 1usize..6,
         n_queries in 2usize..9,
     ) {
-        let scheme = scheme_for("SAPLA");
+        let scheme = scheme_for("SAPLA").unwrap();
         let reducer = SaplaReducer::new();
         let reps: Vec<Representation> =
             raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();

@@ -1,0 +1,80 @@
+//! Property tests that only exist under `--features strict-invariants`:
+//! both index structures run k-NN and ε-range searches with the runtime
+//! invariant layer armed across the whole stack — core re-validates every
+//! reduction, `Dist_LB` terms are sanity-checked, and every refinement
+//! step asserts `Dist_LB ≤ exact Euclidean` (the unconditional bound the
+//! GEMINI framework rests on).
+#![cfg(feature = "strict-invariants")]
+
+use proptest::prelude::*;
+use sapla_baselines::{Reducer, SaplaReducer};
+use sapla_core::{Representation, TimeSeries};
+use sapla_index::scheme::{scheme_for, Query};
+use sapla_index::{DbchTree, RTree};
+
+/// A small deterministic dataset seeded by proptest-chosen parameters.
+fn dataset(n_series: usize, len: usize, phase: f64) -> Vec<TimeSeries> {
+    (0..n_series)
+        .map(|i| {
+            TimeSeries::new(
+                (0..len)
+                    .map(|t| {
+                        ((t + i * 7) as f64 * 0.19 + phase).sin() * (1.0 + (i % 4) as f64 * 0.3)
+                            + (i as f64 * 0.83).cos() * 0.4
+                    })
+                    .collect(),
+            )
+            .unwrap()
+            .znormalized()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Searches through both trees complete with every strict check armed:
+    /// any understated β, ill-formed Dist_S term or lower-bound violation
+    /// at a refinement step panics the case.
+    #[test]
+    fn searches_pass_under_armed_invariants(
+        n_series in 20usize..45,
+        phase in 0.0f64..6.0,
+        qi in 0usize..20,
+        k in 1usize..6,
+    ) {
+        let raws = dataset(n_series, 48, phase);
+        let reducer = SaplaReducer::new();
+        let scheme = scheme_for("SAPLA").unwrap();
+        let reps: Vec<Representation> =
+            raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+
+        let dbch = DbchTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
+        let rtree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+
+        let q = Query::new(&raws[qi], &reducer, 12).unwrap();
+        let d_stats = dbch.knn(&q, k, scheme.as_ref(), &raws).unwrap();
+        let r_stats = rtree.knn(&q, k, scheme.as_ref(), &raws).unwrap();
+        // The filters are `Dist_PAR`-based and therefore conditional (the
+        // paper's honest caveat), so no cross-tree agreement is asserted
+        // here — the point is that every refinement the trees *do* perform
+        // runs the armed `Dist_LB ≤ exact` check. Distances themselves
+        // must be sound: sorted, finite, non-negative.
+        prop_assert_eq!(d_stats.retrieved.len(), k);
+        prop_assert_eq!(r_stats.retrieved.len(), k);
+        for stats in [&d_stats, &r_stats] {
+            prop_assert!(stats.distances.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(stats.distances.iter().all(|d| d.is_finite() && *d >= 0.0));
+        }
+
+        // Range searches drive the other refinement sites; every hit must
+        // genuinely lie within ε.
+        let eps = d_stats.distances[k - 1];
+        for stats in
+            [dbch.range(&q, eps, scheme.as_ref(), &raws).unwrap(),
+             rtree.range(&q, eps, scheme.as_ref(), &raws).unwrap()]
+        {
+            prop_assert!(stats.distances.iter().all(|d| *d <= eps));
+        }
+    }
+}

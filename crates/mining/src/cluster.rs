@@ -51,29 +51,35 @@ pub fn k_medoids(reps: &[Representation], k: usize, max_iters: usize) -> Result<
     }
     let d = |i: usize, j: usize| dist[i * n + j];
 
-    // Farthest-first seeding from index 0.
+    // Farthest-first seeding from index 0. The explicit argmax keeps
+    // `max_by`'s last-maximal tie rule (`>=` replaces on ties) without a
+    // panicking unwrap; `k <= n` guarantees a candidate exists, and if it
+    // ever did not the `else` arm stops seeding instead of panicking.
     let mut medoids = vec![0usize];
     while medoids.len() < k {
-        let next = (0..n)
-            .filter(|i| !medoids.contains(i))
-            .max_by(|&a, &b| {
-                let da = medoids.iter().map(|&m| d(a, m)).fold(f64::INFINITY, f64::min);
-                let db = medoids.iter().map(|&m| d(b, m)).fold(f64::INFINITY, f64::min);
-                da.total_cmp(&db)
-            })
-            .expect("k <= n leaves candidates");
-        medoids.push(next);
+        let mut next: Option<(usize, f64)> = None;
+        for i in (0..n).filter(|i| !medoids.contains(i)) {
+            let di = medoids.iter().map(|&m| d(i, m)).fold(f64::INFINITY, f64::min);
+            if next.is_none_or(|(_, best)| di.total_cmp(&best).is_ge()) {
+                next = Some((i, di));
+            }
+        }
+        let Some((next_i, _)) = next else { break };
+        medoids.push(next_i);
     }
 
+    // Nearest medoid per series; the explicit argmin keeps `min_by`'s
+    // first-minimal tie rule (strict `<` never replaces on ties).
     let assign = |medoids: &[usize]| -> Vec<usize> {
         (0..n)
             .map(|i| {
-                medoids
-                    .iter()
-                    .enumerate()
-                    .min_by(|(_, &a), (_, &b)| d(i, a).total_cmp(&d(i, b)))
-                    .map(|(c, _)| c)
-                    .expect("at least one medoid")
+                let mut best = (0usize, f64::INFINITY);
+                for (c, &m) in medoids.iter().enumerate() {
+                    if d(i, m).total_cmp(&best.1).is_lt() {
+                        best = (c, d(i, m));
+                    }
+                }
+                best.0
             })
             .collect()
     };
@@ -89,14 +95,18 @@ pub fn k_medoids(reps: &[Representation], k: usize, max_iters: usize) -> Result<
             if members.is_empty() {
                 continue;
             }
-            let best = *members
-                .iter()
-                .min_by(|&&a, &&b| {
-                    let ca: f64 = members.iter().map(|&m| d(a, m)).sum();
-                    let cb: f64 = members.iter().map(|&m| d(b, m)).sum();
-                    ca.total_cmp(&cb)
-                })
-                .expect("non-empty cluster");
+            // First-minimal argmin (matching `min_by`): strict `<` never
+            // replaces on ties; `members` is non-empty, so the first
+            // candidate always installs itself over the ∞ sentinel.
+            let mut best = medoids[c];
+            let mut best_cost = f64::INFINITY;
+            for &a in &members {
+                let ca: f64 = members.iter().map(|&m| d(a, m)).sum();
+                if ca.total_cmp(&best_cost).is_lt() {
+                    best = a;
+                    best_cost = ca;
+                }
+            }
             if best != medoids[c] {
                 medoids[c] = best;
                 changed = true;

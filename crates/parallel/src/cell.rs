@@ -1,0 +1,96 @@
+//! [`AtomicCell`] — the one atomic word the work-stealing protocol runs on.
+//!
+//! In normal builds this is a transparent wrapper around
+//! [`std::sync::atomic::AtomicU64`]: every method inlines to the
+//! corresponding intrinsic and the type adds zero overhead.
+//!
+//! Under the `audit-model` feature every operation first passes through
+//! [`crate::model::yield_point`], which hands control to the audit
+//! scheduler when (and only when) the current thread is registered with
+//! one. That turns each atomic access into an explicit scheduling point,
+//! letting `sapla-audit`'s interleaving explorer enumerate every order in
+//! which concurrent owners and thieves can touch the word. Unregistered
+//! threads (everything outside a model run) pay one thread-local read and
+//! otherwise behave identically.
+//!
+//! Under the model, `compare_exchange_weak` is strengthened to the
+//! non-spurious `compare_exchange` so that a schedule fully determines
+//! the execution — spurious failures would make replay nondeterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `u64` cell with atomic access, instrumentable for model checking.
+#[derive(Debug)]
+pub struct AtomicCell(AtomicU64);
+
+impl AtomicCell {
+    /// A new cell holding `value`.
+    pub const fn new(value: u64) -> AtomicCell {
+        AtomicCell(AtomicU64::new(value))
+    }
+
+    /// Atomic load.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> u64 {
+        #[cfg(feature = "audit-model")]
+        crate::model::yield_point();
+        self.0.load(order)
+    }
+
+    /// Atomic store.
+    #[inline]
+    pub fn store(&self, value: u64, order: Ordering) {
+        #[cfg(feature = "audit-model")]
+        crate::model::yield_point();
+        self.0.store(value, order);
+    }
+
+    /// Atomic weak compare-exchange (strong and therefore non-spurious
+    /// under `audit-model`, so schedules replay deterministically).
+    #[inline]
+    pub fn compare_exchange_weak(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        #[cfg(feature = "audit-model")]
+        {
+            crate::model::yield_point();
+            self.0.compare_exchange(current, new, success, failure)
+        }
+        #[cfg(not(feature = "audit-model"))]
+        self.0.compare_exchange_weak(current, new, success, failure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_an_atomic_u64() {
+        let c = AtomicCell::new(7);
+        assert_eq!(c.load(Ordering::Acquire), 7);
+        c.store(9, Ordering::Release);
+        assert_eq!(c.load(Ordering::Acquire), 9);
+        // A weak CAS may fail spuriously; retry like every call site does.
+        let mut cur = 9;
+        loop {
+            match c.compare_exchange_weak(cur, 11, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(prev) => {
+                    assert_eq!(prev, 9);
+                    break;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+        assert_eq!(c.load(Ordering::Acquire), 11);
+        assert_eq!(
+            c.compare_exchange_weak(5, 1, Ordering::AcqRel, Ordering::Acquire),
+            Err(11),
+            "a CAS from a stale value must fail with the current one"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! The split-range work-stealing deque: one worker's claimable range of
+//! input indices, packed as `start << 32 | end` in a single atomic word.
+//!
+//! This is the whole synchronisation protocol of the parallel engine —
+//! owners pop small blocks from the front, idle workers steal the back
+//! half — so it is kept in its own module, generic over nothing, built
+//! on [`AtomicCell`] so `sapla-audit`'s interleaving explorer can
+//! enumerate every owner-pop vs. steal schedule against the exact code
+//! the engine runs in production.
+//!
+//! ## Protocol invariants
+//!
+//! The claim protocol partitions the initial index space: every index is
+//! claimed by exactly one successful `pop_front` on exactly one deque.
+//!
+//! * `pop_front` and `steal_half` both CAS the whole word, so a claim
+//!   and a steal that overlap can never both succeed on the same state —
+//!   the loser observes the new word and retries against it.
+//! * `steal_half` leaves the front half with the victim and takes the
+//!   back half; the two halves are disjoint, so a concurrent `pop_front`
+//!   that wins against the steal claims indices the steal no longer
+//!   covers (and vice versa).
+//! * `install` is a plain store, sound only because a worker installs
+//!   exclusively into its *own* deque while that deque is empty and no
+//!   other thread ever writes it: thieves only ever *shrink* a victim's
+//!   range via CAS, and an empty range (`start >= end`) makes every
+//!   concurrent `pop_front`/`steal_half` return `None` rather than CAS.
+//!
+//! These are exactly the invariants the `sapla-audit` model tests assert
+//! across every enumerated schedule: no index lost, no index claimed
+//! twice, termination.
+
+use crate::cell::AtomicCell;
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+
+/// One worker's claimable range of input indices (half-open, `< 2^32`).
+#[derive(Debug)]
+pub struct RangeDeque(AtomicCell);
+
+impl RangeDeque {
+    /// A deque owning the half-open range `start..end`.
+    pub fn new(start: usize, end: usize) -> RangeDeque {
+        RangeDeque(AtomicCell::new(Self::pack(start as u64, end as u64)))
+    }
+
+    fn pack(start: u64, end: u64) -> u64 {
+        (start << 32) | end
+    }
+
+    fn unpack(word: u64) -> (u64, u64) {
+        (word >> 32, word & 0xFFFF_FFFF)
+    }
+
+    /// How many indices remain claimable (a racy snapshot, used only as
+    /// a victim-selection heuristic).
+    pub fn remaining(&self) -> usize {
+        let (s, e) = Self::unpack(self.0.load(Ordering::Relaxed));
+        e.saturating_sub(s) as usize
+    }
+
+    /// Owner side: claim up to `block` indices from the front.
+    // audit: no_alloc — claim path runs per input index.
+    pub fn pop_front(&self, block: usize) -> Option<Range<usize>> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (s, e) = Self::unpack(cur);
+            if s >= e {
+                return None;
+            }
+            let take = (e - s).min(block as u64);
+            let next = Self::pack(s + take, e);
+            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Some(s as usize..(s + take) as usize),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Thief side: split off the back half of the victim's range.
+    // audit: no_alloc — steal path runs on every idle worker spin.
+    pub fn steal_half(&self) -> Option<Range<usize>> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (s, e) = Self::unpack(cur);
+            if s >= e {
+                return None;
+            }
+            // Victim keeps the front half (rounded up) for locality.
+            let mid = s + (e - s).div_ceil(2);
+            if mid >= e {
+                return None;
+            }
+            let next = Self::pack(s, mid);
+            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Some(mid as usize..e as usize),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Publish a freshly stolen range as this worker's own deque. Only
+    /// called by the owning worker while its deque is empty, so
+    /// concurrent thieves cannot observe a partially installed range
+    /// (an empty range refuses both `pop_front` and `steal_half`).
+    // audit: no_alloc
+    pub fn install(&self, range: &Range<usize>) {
+        self.0.store(Self::pack(range.start as u64, range.end as u64), Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_claims_from_the_front_in_blocks() {
+        let d = RangeDeque::new(0, 10);
+        assert_eq!(d.pop_front(3), Some(0..3));
+        assert_eq!(d.pop_front(3), Some(3..6));
+        assert_eq!(d.remaining(), 4);
+        assert_eq!(d.pop_front(100), Some(6..10));
+        assert_eq!(d.pop_front(1), None);
+    }
+
+    #[test]
+    fn steal_takes_the_back_half() {
+        let d = RangeDeque::new(0, 10);
+        assert_eq!(d.steal_half(), Some(5..10));
+        assert_eq!(d.steal_half(), Some(3..5));
+        assert_eq!(d.steal_half(), Some(2..3));
+        // A single remaining index is the owner's; stealing refuses.
+        assert_eq!(d.steal_half(), Some(1..2));
+        assert_eq!(d.remaining(), 1);
+        assert_eq!(d.steal_half(), None);
+        assert_eq!(d.pop_front(1), Some(0..1));
+    }
+
+    #[test]
+    fn install_publishes_a_new_range() {
+        let d = RangeDeque::new(0, 0);
+        assert_eq!(d.pop_front(1), None);
+        d.install(&(7..11));
+        assert_eq!(d.remaining(), 4);
+        assert_eq!(d.pop_front(2), Some(7..9));
+    }
+}

@@ -25,18 +25,32 @@
 //!
 //! ## Scheduling
 //!
-//! Each worker owns a deque of input indices (a contiguous range packed
-//! into one `AtomicU64`). Owners pop small blocks from the front; idle
-//! workers steal the back half of the largest remaining deque. This is
-//! classic split-range work stealing: contention is one CAS per block,
-//! and imbalanced workloads (e.g. APLA's `O(N n²)` reductions mixed
-//! with cheap PAA ones) rebalance automatically.
+//! Each worker owns a [`RangeDeque`]: a contiguous range of input
+//! indices packed into one atomic word (an [`AtomicCell`], a transparent
+//! `AtomicU64` in normal builds). Owners pop small blocks from the
+//! front; idle workers steal the back half of the largest remaining
+//! deque. This is classic split-range work stealing: contention is one
+//! CAS per block, and imbalanced workloads (e.g. APLA's `O(N n²)`
+//! reductions mixed with cheap PAA ones) rebalance automatically.
+//!
+//! Under the `audit-model` feature the cell routes through a controlled
+//! scheduler ([`model`]) and `sapla-audit` exhaustively enumerates
+//! owner-pop vs. steal interleavings of this exact protocol, asserting
+//! that no index is lost, duplicated, or claimed twice on any schedule.
+
+pub mod cell;
+pub mod deque;
+#[cfg(feature = "audit-model")]
+pub mod model;
 
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub use cell::AtomicCell;
+pub use deque::RangeDeque;
 
 /// Hardware parallelism, used when callers pass `threads = 0`.
 pub fn max_threads() -> usize {
@@ -50,74 +64,6 @@ pub fn effective_threads(requested: usize, items: usize) -> usize {
     t.clamp(1, items.max(1))
 }
 
-/// One worker's claimable range of input indices, packed as
-/// `start << 32 | end` in a single atomic word.
-struct RangeDeque(AtomicU64);
-
-impl RangeDeque {
-    fn new(start: usize, end: usize) -> RangeDeque {
-        RangeDeque(AtomicU64::new(Self::pack(start as u64, end as u64)))
-    }
-
-    fn pack(start: u64, end: u64) -> u64 {
-        (start << 32) | end
-    }
-
-    fn unpack(word: u64) -> (u64, u64) {
-        (word >> 32, word & 0xFFFF_FFFF)
-    }
-
-    fn remaining(&self) -> usize {
-        let (s, e) = Self::unpack(self.0.load(Ordering::Relaxed));
-        e.saturating_sub(s) as usize
-    }
-
-    /// Owner side: claim up to `block` indices from the front.
-    fn pop_front(&self, block: usize) -> Option<std::ops::Range<usize>> {
-        let mut cur = self.0.load(Ordering::Acquire);
-        loop {
-            let (s, e) = Self::unpack(cur);
-            if s >= e {
-                return None;
-            }
-            let take = (e - s).min(block as u64);
-            let next = Self::pack(s + take, e);
-            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(_) => return Some(s as usize..(s + take) as usize),
-                Err(actual) => cur = actual,
-            }
-        }
-    }
-
-    /// Thief side: split off the back half of the victim's range.
-    fn steal_half(&self) -> Option<std::ops::Range<usize>> {
-        let mut cur = self.0.load(Ordering::Acquire);
-        loop {
-            let (s, e) = Self::unpack(cur);
-            if s >= e {
-                return None;
-            }
-            // Victim keeps the front half (rounded up) for locality.
-            let mid = s + (e - s).div_ceil(2);
-            if mid >= e {
-                return None;
-            }
-            let next = Self::pack(s, mid);
-            match self.0.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(_) => return Some(mid as usize..e as usize),
-                Err(actual) => cur = actual,
-            }
-        }
-    }
-
-    /// Publish a freshly stolen range as this worker's own deque. Only
-    /// called while the deque is empty, so concurrent thieves cannot
-    /// observe a partially installed range.
-    fn install(&self, range: &std::ops::Range<usize>) {
-        self.0.store(Self::pack(range.start as u64, range.end as u64), Ordering::Release);
-    }
-}
-
 /// Write-once result slots shared across the scope. Each input index is
 /// claimed by exactly one worker (the deques partition the index space),
 /// so unsynchronised writes to distinct slots are race-free; the scope
@@ -126,14 +72,31 @@ struct Slots<'a, T> {
     cells: &'a [UnsafeCell<Option<T>>],
 }
 
-// SAFETY: distinct indices are written by at most one worker each (deque
-// ranges are disjoint), and reads only happen after the scope joins.
+// SAFETY: sharing `Slots` across worker threads is sound because the
+// claim protocol guarantees disjoint-index writes: the initial deques
+// partition `0..n`, `RangeDeque::pop_front`/`steal_half` CAS the whole
+// range word so a claim and a steal can never both take the same index,
+// and `install` only republishes a range a steal already removed from
+// its victim. Every index is therefore claimed by exactly one worker,
+// each `UnsafeCell` is written by at most one thread (checked by the
+// `debug_assert!` in [`Slots::write`]), and the caller only reads the
+// cells after the scope joins, which synchronises-with every worker.
+// `T: Send` is required because values written on a worker thread are
+// handed to the calling thread. (This partitioning is what the
+// `sapla-audit` interleaving explorer checks across every schedule of
+// the owner-pop vs. steal race.)
 unsafe impl<T: Send> Sync for Slots<'_, T> {}
 
 impl<T> Slots<'_, T> {
     fn write(&self, index: usize, value: T) {
-        // SAFETY: `index` was claimed from a deque exactly once.
-        unsafe { *self.cells[index].get() = Some(value) };
+        // SAFETY: `index` was claimed from a deque exactly once (see the
+        // `Sync` justification above), so no other thread holds a
+        // reference to this cell and the write cannot race.
+        unsafe {
+            let cell = &mut *self.cells[index].get();
+            debug_assert!(cell.is_none(), "slot {index} written twice: claim protocol violated");
+            *cell = Some(value);
+        }
     }
 }
 

@@ -1,0 +1,372 @@
+//! A controlled scheduler for deterministic interleaving exploration
+//! (compiled only under the `audit-model` feature).
+//!
+//! The parallel engine's entire synchronisation protocol runs on
+//! [`crate::cell::AtomicCell`]. Under `audit-model` every cell operation
+//! calls [`yield_point`], which parks the calling thread until a
+//! coordinator grants it one step. Because at most one virtual thread
+//! runs between grants, an execution is fully determined by the sequence
+//! of grant decisions — a **schedule** — and the coordinator can replay,
+//! randomise, or exhaustively enumerate schedules:
+//!
+//! * [`run_schedule`] executes one schedule (a replay prefix + a policy
+//!   for the suffix) and returns the full decision trace.
+//! * [`explore`] drives a depth-first enumeration of all schedules of a
+//!   harness up to a preemption bound, the classic CHESS-style coverage
+//!   guarantee: every behaviour reachable with ≤ `preemption_bound`
+//!   forced context switches is visited exactly once.
+//!
+//! Threads not registered with a controller (i.e. everything outside a
+//! model run, even in a build with the feature enabled) pass through
+//! [`yield_point`] with a single thread-local read.
+//!
+//! ## What the model does and does not cover
+//!
+//! Operations execute one at a time, so the exploration is sound for
+//! **sequentially consistent** outcomes of the protocol: lost updates,
+//! double claims, ABA-style races and livelocks at the granularity of
+//! atomic operations. It does not model weak-memory reordering — the
+//! protocol's orderings (`Acquire`/`Release`/`AcqRel` on a single word)
+//! are the standard message-passing pattern whose SC approximation is
+//! exact for single-variable protocols.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One scheduling decision: which thread was granted the step, and which
+/// threads were runnable when the decision was taken (ascending ids).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Choice {
+    /// The thread that received the step.
+    pub chosen: usize,
+    /// Every thread that was runnable at this point.
+    pub enabled: Vec<usize>,
+}
+
+/// The outcome of one controlled execution.
+#[derive(Debug)]
+pub struct RunTrace {
+    /// Every decision taken, in order (forced single-thread steps included).
+    pub choices: Vec<Choice>,
+    /// True if the execution hit the step budget and was released to run
+    /// freely — a livelock suspect; the invariants of the harness still
+    /// hold (the free run completes) but the schedule must be reported.
+    pub exceeded_budget: bool,
+    /// True if the replay prefix named a thread that was not runnable at
+    /// that point (the caller's schedule diverged from this program).
+    pub replay_diverged: bool,
+}
+
+impl RunTrace {
+    /// A compact replayable name for this schedule: the granted thread id
+    /// at every step, as a digit string (model runs use ≤ 10 threads).
+    pub fn schedule_id(&self) -> String {
+        self.choices.iter().map(|c| char::from(b'0' + (c.chosen as u8 % 10))).collect()
+    }
+}
+
+/// Parse a schedule id produced by [`RunTrace::schedule_id`] back into a
+/// replay prefix for [`run_schedule`]. Non-digit characters are ignored,
+/// so ids can be copied with surrounding punctuation.
+pub fn parse_schedule_id(id: &str) -> Vec<usize> {
+    id.chars().filter_map(|c| c.to_digit(10)).map(|d| d as usize).collect()
+}
+
+/// How the coordinator chooses once the replay prefix is exhausted.
+#[derive(Debug, Clone, Copy)]
+pub enum Policy {
+    /// Keep running the previously granted thread while it stays
+    /// runnable, else the lowest runnable id. Produces zero preemptions
+    /// beyond the replay prefix — the DFS baseline.
+    Continue,
+    /// Choose uniformly among runnable threads with a deterministic
+    /// xorshift64* stream seeded by the given value.
+    Random(u64),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Running,
+    Waiting,
+    Finished,
+}
+
+struct State {
+    current: Option<usize>,
+    status: Vec<Status>,
+    /// When set, yield points stop parking: the run was aborted (budget)
+    /// and the remaining threads drain at full speed.
+    free_run: bool,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static REGISTRATION: RefCell<Option<(usize, Arc<Inner>)>> = const { RefCell::new(None) };
+}
+
+fn lock(inner: &Inner) -> std::sync::MutexGuard<'_, State> {
+    inner.state.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The instrumentation hook called by every [`crate::cell::AtomicCell`]
+/// operation. A no-op unless the calling thread is registered with a
+/// model run, in which case it parks until the coordinator grants a step.
+pub fn yield_point() {
+    let reg = REGISTRATION.with(|r| r.borrow().clone());
+    let Some((tid, inner)) = reg else { return };
+    let mut st = lock(&inner);
+    if st.free_run {
+        return;
+    }
+    st.status[tid] = Status::Waiting;
+    inner.cv.notify_all();
+    while st.current != Some(tid) && !st.free_run {
+        st = inner.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+    }
+    if !st.free_run {
+        st.current = None;
+        st.status[tid] = Status::Running;
+    }
+}
+
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn next(&mut self) -> u64 {
+        // xorshift64*; the zero state is mapped away at construction.
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Execute `body(tid)` on `n_threads` virtual threads under a controlled
+/// schedule: the first `replay.len()` decisions follow `replay`, the
+/// rest follow `policy`. Returns the complete decision trace.
+///
+/// Every thread runs real code on a real OS thread; the coordinator
+/// (this thread) serialises them at [`yield_point`]s, so the trace fully
+/// determines the execution. A body that panics has its payload resumed
+/// on the caller after the schedule id is printed to stderr.
+///
+/// # Panics
+///
+/// Panics if `n_threads` is 0 or greater than 10 (schedule ids are digit
+/// strings), and resumes any panic raised by a `body`.
+pub fn run_schedule<F>(
+    n_threads: usize,
+    replay: &[usize],
+    policy: Policy,
+    max_steps: usize,
+    body: F,
+) -> RunTrace
+where
+    F: Fn(usize) + Sync,
+{
+    assert!((1..=10).contains(&n_threads), "model runs use 1..=10 threads");
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            current: None,
+            status: vec![Status::Running; n_threads],
+            free_run: false,
+            panic: None,
+        }),
+        cv: Condvar::new(),
+    });
+    let mut choices: Vec<Choice> = Vec::new();
+    let mut exceeded_budget = false;
+    let mut replay_diverged = false;
+    let mut rng = match policy {
+        Policy::Random(seed) => Some(Xorshift(seed | 1)),
+        Policy::Continue => None,
+    };
+
+    std::thread::scope(|scope| {
+        for tid in 0..n_threads {
+            let inner = Arc::clone(&inner);
+            let body = &body;
+            scope.spawn(move || {
+                REGISTRATION.with(|r| *r.borrow_mut() = Some((tid, Arc::clone(&inner))));
+                let outcome = catch_unwind(AssertUnwindSafe(|| body(tid)));
+                REGISTRATION.with(|r| *r.borrow_mut() = None);
+                let mut st = lock(&inner);
+                st.status[tid] = Status::Finished;
+                if let Err(payload) = outcome {
+                    // First panic wins; free-run so every thread drains.
+                    if st.panic.is_none() {
+                        st.panic = Some(payload);
+                    }
+                    st.free_run = true;
+                }
+                inner.cv.notify_all();
+            });
+        }
+
+        // Coordinator: grant one step at a time until every thread
+        // finishes. A decision is taken only when each unfinished thread
+        // is parked, so the enabled set is deterministic.
+        let mut st = lock(&inner);
+        loop {
+            if st.status.iter().all(|&s| s == Status::Finished) {
+                break;
+            }
+            if st.free_run {
+                st = inner.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
+            let all_parked =
+                st.status.iter().all(|&s| matches!(s, Status::Waiting | Status::Finished));
+            if !all_parked {
+                st = inner.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
+            let enabled: Vec<usize> =
+                (0..n_threads).filter(|&t| st.status[t] == Status::Waiting).collect();
+            debug_assert!(!enabled.is_empty(), "all parked but none waiting");
+            let step = choices.len();
+            let chosen = if let Some(&want) = replay.get(step) {
+                if enabled.contains(&want) {
+                    want
+                } else {
+                    replay_diverged = true;
+                    enabled[0]
+                }
+            } else {
+                match (&mut rng, choices.last()) {
+                    (Some(r), _) => enabled[(r.next() % enabled.len() as u64) as usize],
+                    (None, Some(last)) if enabled.contains(&last.chosen) => last.chosen,
+                    (None, _) => enabled[0],
+                }
+            };
+            if step >= max_steps {
+                exceeded_budget = true;
+                st.free_run = true;
+                inner.cv.notify_all();
+                continue;
+            }
+            choices.push(Choice { chosen, enabled });
+            // Grant the step and wait for the thread to consume it.
+            st.current = Some(chosen);
+            inner.cv.notify_all();
+            while st.current.is_some() && !st.free_run {
+                st = inner.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    });
+
+    let trace = RunTrace { choices, exceeded_budget, replay_diverged };
+    let payload = lock(&inner).panic.take();
+    if let Some(payload) = payload {
+        eprintln!("model run panicked under schedule {:?}", trace.schedule_id());
+        resume_unwind(payload);
+    }
+    trace
+}
+
+/// Result of a depth-first schedule enumeration.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// How many distinct complete schedules were executed.
+    pub schedules: usize,
+    /// True when the enumeration stopped at `max_schedules` with
+    /// unexplored branches remaining.
+    pub capped: bool,
+}
+
+struct Frame {
+    enabled: Vec<usize>,
+    chosen: usize,
+    tried: Vec<usize>,
+    /// Preemptions spent strictly before this decision.
+    pre_before: usize,
+}
+
+/// Exhaustively enumerate schedules of a harness, depth-first, visiting
+/// every schedule with at most `preemption_bound` preemptions (a
+/// *preemption* switches away from a thread that is still runnable).
+///
+/// `run` executes one schedule: it must call [`run_schedule`] with the
+/// given replay prefix and [`Policy::Continue`], assert its invariants,
+/// and return the trace. Each invocation receives a distinct schedule.
+pub fn explore<H>(preemption_bound: usize, max_schedules: usize, mut run: H) -> ExploreOutcome
+where
+    H: FnMut(&[usize]) -> RunTrace,
+{
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        let replay: Vec<usize> = stack.iter().map(|f| f.chosen).collect();
+        let trace = run(&replay);
+        schedules += 1;
+        debug_assert!(!trace.replay_diverged, "DFS replay prefixes never diverge");
+        if schedules >= max_schedules {
+            return ExploreOutcome { schedules, capped: true };
+        }
+        // Extend the stack with the decisions the default policy took
+        // beyond the replayed prefix. A preemption at step j means step
+        // j's choice switched away from step j-1's thread while it was
+        // still runnable; the Continue policy never does that, so the
+        // appended frames only inherit the preemption spent by the frame
+        // directly above them (which may be a replayed alternative).
+        for choice in trace.choices.iter().skip(stack.len()) {
+            let pre_before = match stack.len() {
+                0 => 0,
+                depth => {
+                    let top = &stack[depth - 1];
+                    let top_preempted = depth >= 2 && {
+                        let prev = stack[depth - 2].chosen;
+                        top.chosen != prev && top.enabled.contains(&prev)
+                    };
+                    top.pre_before + usize::from(top_preempted)
+                }
+            };
+            stack.push(Frame {
+                enabled: choice.enabled.clone(),
+                chosen: choice.chosen,
+                tried: vec![choice.chosen],
+                pre_before,
+            });
+        }
+        // Backtrack to the deepest frame with an untried alternative
+        // that stays within the preemption bound.
+        let mut advanced = false;
+        while !stack.is_empty() {
+            let depth = stack.len() - 1;
+            let prev_chosen = if depth == 0 { None } else { Some(stack[depth - 1].chosen) };
+            let top = &mut stack[depth];
+            let candidate = top.enabled.iter().copied().find(|c| {
+                if top.tried.contains(c) {
+                    return false;
+                }
+                let pre = match prev_chosen {
+                    Some(p) if *c != p && top.enabled.contains(&p) => top.pre_before + 1,
+                    _ => top.pre_before,
+                };
+                pre <= preemption_bound
+            });
+            match candidate {
+                Some(c) => {
+                    top.chosen = c;
+                    top.tried.push(c);
+                    advanced = true;
+                    break;
+                }
+                None => {
+                    stack.pop();
+                }
+            }
+        }
+        if !advanced {
+            return ExploreOutcome { schedules, capped: false };
+        }
+    }
+}

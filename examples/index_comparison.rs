@@ -20,7 +20,7 @@ fn main() {
 
     let reducer = SaplaReducer::new();
     let m = 12;
-    let scheme = scheme_for("SAPLA");
+    let scheme = scheme_for("SAPLA").unwrap();
     let reps: Vec<_> =
         ds.series.iter().map(|s| reducer.reduce(s, m).expect("valid budget")).collect();
 

@@ -35,7 +35,7 @@ fn main() {
     // 3. Reload into a fresh DBCH-tree by incremental insertion (the path
     //    a long-running service takes as new series arrive).
     let reloaded = decode_collection(&blob).expect("decode");
-    let scheme = scheme_for("SAPLA");
+    let scheme = scheme_for("SAPLA").unwrap();
     let mut tree = DbchTree::build(scheme.as_ref(), vec![], 2, 5).expect("empty tree");
     for rep in reloaded {
         tree.insert(scheme.as_ref(), rep).expect("insert");

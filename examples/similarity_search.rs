@@ -27,7 +27,7 @@ fn main() {
     println!("reduced 512 points -> {} coefficients per series ({}x compression)", m, 512 / m);
 
     // Index with the paper's DBCH-tree (min fill 2, max fill 5).
-    let scheme = scheme_for("SAPLA");
+    let scheme = scheme_for("SAPLA").unwrap();
     let tree = DbchTree::build(scheme.as_ref(), reps, 2, 5).expect("build");
 
     // Query.

@@ -10,8 +10,18 @@ lint:
     cargo clippy --workspace --all-targets -- -D warnings
     cargo fmt --all --check
 
+# Static analysis + model checking: the custom lint pass over every
+# crate, the audit crate's own fixture/explorer tests, and the
+# strict-invariants runtime layer.
+audit:
+    cargo run -q -p sapla-audit
+    cargo test -q -p sapla-audit
+    cargo test -q -p sapla-core --features strict-invariants
+    cargo test -q -p sapla-distance --features strict-invariants
+    cargo test -q -p sapla-index --features strict-invariants
+
 # The full pre-merge gate.
-ci: tier1 lint
+ci: tier1 lint audit
 
 # Regenerate every paper table/figure (slow; see EXPERIMENTS.md).
 bench:

@@ -14,7 +14,7 @@ fn both_trees_index_every_method_and_answer_knn() {
     let ds = catalogue()[2].load(&protocol());
     let k = 5;
     for reducer in all_reducers() {
-        let scheme = scheme_for(reducer.name());
+        let scheme = scheme_for(reducer.name()).unwrap();
         let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
         let rtree = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
         let dbch = DbchTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
@@ -58,7 +58,7 @@ fn rtree_with_true_lower_bounds_is_exact() {
         if !matches!(reducer.name(), "PAA" | "PLA" | "CHEBY" | "SAX") {
             continue;
         }
-        let scheme = scheme_for(reducer.name());
+        let scheme = scheme_for(reducer.name()).unwrap();
         let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
         let rtree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
         for qraw in &ds.queries {
@@ -92,7 +92,7 @@ fn dbch_improves_or_matches_rtree_for_adaptive_methods() {
             if !matches!(reducer.name(), "SAPLA" | "APCA") {
                 continue;
             }
-            let scheme = scheme_for(reducer.name());
+            let scheme = scheme_for(reducer.name()).unwrap();
             let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
             let rtree = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
             let dbch = DbchTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
@@ -119,7 +119,7 @@ fn triangle_rule_dbch_with_lb_distances_loses_no_true_neighbour_often() {
     let spec = &catalogue()[1];
     let ds = spec.load(&protocol());
     let reducer = all_reducers().into_iter().find(|r| r.name() == "SAPLA").unwrap();
-    let scheme = scheme_for("SAPLA");
+    let scheme = scheme_for("SAPLA").unwrap();
     let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
     let tree =
         DbchTree::build_with_rule(scheme.as_ref(), reps, 2, 5, NodeDistRule::Triangle).unwrap();
@@ -146,7 +146,7 @@ fn linear_scan_agrees_with_dataset_ground_truth() {
 fn fill_factors_shape_the_tree() {
     let ds = catalogue()[0].load(&protocol());
     let reducer = all_reducers().into_iter().find(|r| r.name() == "PAA").unwrap();
-    let scheme = scheme_for("PAA");
+    let scheme = scheme_for("PAA").unwrap();
     let reps: Vec<_> = ds.series.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
     let small = RTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
     let large = RTree::build(scheme.as_ref(), reps, 4, 10).unwrap();
