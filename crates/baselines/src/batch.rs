@@ -31,6 +31,8 @@ pub fn reduce_batch(
     series: &[TimeSeries],
     m: usize,
 ) -> Result<Vec<Representation>> {
+    let _span = sapla_obs::span!("baselines.reduce_batch");
+    sapla_obs::counter!("baselines.reduce.series", series.len() as u64);
     let mut scratch = ReduceScratch::new();
     series.iter().map(|s| reducer.reduce_with_scratch(s, m, &mut scratch)).collect()
 }
@@ -53,6 +55,8 @@ pub fn reduce_batch_parallel(
     if sapla_parallel::effective_threads(threads, series.len()) <= 1 {
         return reduce_batch(reducer, series, m);
     }
+    let _span = sapla_obs::span!("baselines.reduce_batch");
+    sapla_obs::counter!("baselines.reduce.series", series.len() as u64);
     par_try_map_init(series, threads, ReduceScratch::new, |scratch, _, s| {
         reducer.reduce_with_scratch(s, m, scratch)
     })

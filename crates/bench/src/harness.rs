@@ -37,6 +37,19 @@ fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// `SAPLA_THREADS` is special-cased: a garbage value aborts the run
+/// instead of silently falling back to the default, because a typo'd
+/// thread count would silently invalidate a whole benchmark sweep.
+/// `0` (and unset) means all hardware threads.
+fn env_threads() -> usize {
+    match std::env::var("SAPLA_THREADS") {
+        Ok(raw) => raw.trim().parse().unwrap_or_else(|_| {
+            panic!("SAPLA_THREADS: {}", sapla_core::Error::InvalidThreads { value: raw.clone() })
+        }),
+        Err(_) => 0,
+    }
+}
+
 impl RunConfig {
     /// Read the environment and build the active configuration.
     pub fn from_env() -> RunConfig {
@@ -53,7 +66,7 @@ impl RunConfig {
                 apla_series_cap: p.series_per_dataset,
                 min_fill: 2,
                 max_fill: 5,
-                threads: env_usize("SAPLA_THREADS", 0),
+                threads: env_threads(),
             };
         }
         let datasets = env_usize("SAPLA_DATASETS", 24).min(117);
@@ -79,7 +92,7 @@ impl RunConfig {
             apla_series_cap: 2,
             min_fill: 2,
             max_fill: 5,
-            threads: env_usize("SAPLA_THREADS", 0),
+            threads: env_threads(),
         }
     }
 

@@ -105,6 +105,11 @@ pub struct PerfReport {
     pub reduce: Vec<ReducePoint>,
     /// Ingest / k-NN grid (one point per series length).
     pub index: Vec<IndexPoint>,
+    /// Operation counts over the whole run (`sapla-obs` snapshot; empty
+    /// unless the bench crate is built with `--features obs` — the stock
+    /// build stays uninstrumented so the timings measure the zero-cost
+    /// configuration).
+    pub ops: sapla_obs::Snapshot,
 }
 
 /// Deterministic measurement series: one catalogue dataset per family
@@ -141,6 +146,9 @@ fn measure(min_time: Duration, mut f: impl FnMut()) -> (usize, f64) {
 
 /// Run the grid and collect the report.
 pub fn run(grid: &PerfGrid) -> PerfReport {
+    // Scope the ops section to this run (repetition counts adapt to the
+    // machine, so the totals are per-report, not cross-run comparable).
+    sapla_obs::reset();
     let reducer = SaplaReducer::new();
     let mut reduce = Vec::new();
     for &n in &grid.lens {
@@ -206,7 +214,7 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
         });
     }
 
-    PerfReport { threads: grid.threads, reduce, index }
+    PerfReport { threads: grid.threads, reduce, index, ops: sapla_obs::Snapshot::capture() }
 }
 
 fn push_kv(out: &mut String, key: &str, value: f64) {
@@ -254,7 +262,11 @@ impl PerfReport {
             }
             s.push('\n');
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n  \"ops\": ");
+        // The snapshot serialises itself; embed it as a nested object
+        // (inner indentation is cosmetic, the JSON stays valid).
+        s.push_str(self.ops.to_json().trim_end());
+        s.push_str("\n}\n");
         s
     }
 }
@@ -275,6 +287,11 @@ mod tests {
         assert!(json.contains("\"reduce\""));
         assert!(json.contains("\"index\""));
         assert!(json.contains("\"ns_per_series\""));
+        // The ops section is always present; its content tracks the
+        // feature state of this build.
+        assert!(json.contains("\"ops\""));
+        assert!(json.contains("\"counters\""));
+        assert_eq!(report.ops.is_empty(), !sapla_obs::enabled());
         // Crude structural sanity: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

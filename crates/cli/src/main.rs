@@ -8,7 +8,15 @@
 //! ```
 //!
 //! `--threads 0` (the default) uses every hardware thread; any other value
-//! pins the worker count. Results are identical at every thread count.
+//! pins the worker count. When `--threads` is absent the `SAPLA_THREADS`
+//! environment variable is consulted (same semantics; non-numeric values
+//! are an error, never a silent fallback). Results are identical at every
+//! thread count.
+//!
+//! Every subcommand also accepts `--profile` (print the observability
+//! snapshot as a table after the run) and `--profile-json PATH` (write it
+//! as JSON). Both need the binary built with `--features obs` (the
+//! default build) to report non-empty numbers.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -19,7 +27,18 @@ use sapla_data::{catalogue, Protocol};
 use sapla_index::{knn_batch, prepare_queries, scheme_for, DbchTree, Query, RTree};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Profiling flags are global and must be stripped before dispatch:
+    // `positionals` assumes every `--flag` carries a value, so a bare
+    // `--profile` left in place would swallow the next positional.
+    let profile = take_flag(&mut args, "--profile");
+    let profile_json = match take_value_flag(&mut args, "--profile-json") {
+        Ok(path) => path,
+        Err(e) => {
+            eprintln!("sapla: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("reduce") => cmd_reduce(&args[1..]),
         Some("knn") => cmd_knn(&args[1..]),
@@ -34,17 +53,55 @@ fn main() -> ExitCode {
                  knn <dataset>    [--k K] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--threads T]\n\
                  mine <discord|motif|segment|forecast|cluster> <dataset> [--k K] [--coeffs M] [--horizon H] [--changes C]\n\
                  catalogue\n\
-                 demo"
+                 demo\n\
+                 \n\
+                 global: --profile (print metrics table), --profile-json PATH (write metrics JSON)"
             );
             return ExitCode::from(2);
         }
     };
+    let result = result.and_then(|()| {
+        let snapshot = sapla_obs::Snapshot::capture();
+        if profile {
+            print!("{}", snapshot.render_table());
+        }
+        if let Some(path) = profile_json {
+            std::fs::write(&path, snapshot.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        }
+        Ok(())
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("sapla: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Remove a bare `--flag` from `args`, reporting whether it was present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Remove a `--flag VALUE` pair from `args`, returning the value.
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(format!("{name}: missing value"));
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        None => Ok(None),
     }
 }
 
@@ -71,8 +128,20 @@ fn positionals(args: &[String]) -> Vec<String> {
     out
 }
 
+/// Worker-thread count: an explicit `--threads` wins, otherwise the
+/// `SAPLA_THREADS` environment variable is consulted. Either source must
+/// parse as a non-negative integer (`0` = all hardware threads) — a
+/// garbage value is an error, not a silent fall-back to the default.
 fn threads_flag(args: &[String]) -> Result<usize, String> {
-    flag(args, "--threads", "0").parse().map_err(|_| "bad --threads".to_string())
+    if args.iter().any(|a| a == "--threads") {
+        return flag(args, "--threads", "0").parse().map_err(|_| "bad --threads".to_string());
+    }
+    match std::env::var("SAPLA_THREADS") {
+        Ok(raw) => raw.trim().parse().map_err(|_| {
+            format!("SAPLA_THREADS: {}", sapla_core::Error::InvalidThreads { value: raw.clone() })
+        }),
+        Err(_) => Ok(0),
+    }
 }
 
 fn reducer_by_name(name: &str) -> Result<Box<dyn Reducer>, String> {

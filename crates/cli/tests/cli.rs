@@ -101,6 +101,129 @@ fn mine_unknown_task_fails() {
 }
 
 #[test]
+fn sapla_threads_zero_means_all_hardware_threads() {
+    let out = sapla()
+        .args(["knn", "Burst_00", "--k", "2"])
+        .env("SAPLA_THREADS", "0")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn sapla_threads_garbage_is_an_error_not_a_silent_fallback() {
+    for garbage in ["lots", "-1", "2.5", ""] {
+        let out = sapla()
+            .args(["knn", "Burst_00", "--k", "2"])
+            .env("SAPLA_THREADS", garbage)
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "SAPLA_THREADS={garbage:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("SAPLA_THREADS"), "SAPLA_THREADS={garbage:?}: stderr: {err}");
+        assert!(err.contains("invalid thread count"), "SAPLA_THREADS={garbage:?}: stderr: {err}");
+    }
+}
+
+#[test]
+fn explicit_threads_flag_beats_garbage_env() {
+    let out = sapla()
+        .args(["knn", "Burst_00", "--k", "2", "--threads", "2"])
+        .env("SAPLA_THREADS", "garbage")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn profile_prints_pipeline_counters() {
+    let (ok, out, err) = run(&["knn", "Burst_00", "--k", "3", "--profile"]);
+    assert!(ok, "stderr: {err}");
+    // The normal report must survive the extra flag.
+    assert!(out.contains("pruning power"), "missing report:\n{out}");
+    if !cfg!(feature = "obs") {
+        assert!(out.contains("observability disabled"), "missing hint:\n{out}");
+        return;
+    }
+    for key in [
+        "sapla.refine",
+        "sapla.reduce.calls",
+        "dist.par.evals",
+        "index.knn.nodes_visited",
+        "index.knn.entries_pruned",
+        "parallel.tasks",
+        "parallel.steal.attempts",
+    ] {
+        assert!(out.contains(key), "missing {key} in profile:\n{out}");
+    }
+}
+
+/// Minimal JSON sanity checker (the CI bench-smoke gate, satellite 5):
+/// balanced braces/brackets outside strings and no trailing garbage.
+/// Not a full parser — just enough to catch broken hand-rolled output.
+fn assert_balanced_json(text: &str) {
+    let mut depth = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' => escaped = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced close in:\n{text}");
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(!in_string, "unterminated string in:\n{text}");
+    assert_eq!(depth, 0, "unbalanced JSON:\n{text}");
+}
+
+#[test]
+fn profile_json_writes_a_valid_snapshot() {
+    let dir = std::env::temp_dir().join(format!("sapla-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("profile.json");
+    let out = sapla()
+        .args(["knn", "Burst_00", "--k", "3", "--profile-json"])
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&path).expect("profile written");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_balanced_json(&text);
+    for section in ["\"enabled\"", "\"counters\"", "\"gauges\"", "\"lanes\"", "\"histograms\""] {
+        assert!(text.contains(section), "missing {section} in:\n{text}");
+    }
+    if cfg!(feature = "obs") {
+        assert!(text.contains("\"enabled\": true"), "wrong enabled flag:\n{text}");
+        for key in ["sapla.reduce.calls", "dist.par.evals", "index.knn.queries", "parallel.tasks"] {
+            assert!(text.contains(&format!("\"{key}\"")), "missing {key} in:\n{text}");
+        }
+    } else {
+        assert!(text.contains("\"enabled\": false"), "wrong enabled flag:\n{text}");
+    }
+}
+
+#[test]
+fn profile_json_without_path_fails_with_usage_error() {
+    let (ok, _, err) = run(&["knn", "Burst_00", "--profile-json"]);
+    assert!(!ok);
+    assert!(err.contains("--profile-json"), "stderr: {err}");
+}
+
+#[test]
 fn reduce_with_unknown_method_fails() {
     let mut child = sapla()
         .args(["reduce", "-", "--method", "FFT"])

@@ -134,6 +134,7 @@ fn try_moves(
     }
 
     if let Some((j, l, r, _)) = best {
+        sapla_obs::counter!("sapla.refine.moves");
         segs[j] = l;
         segs[j + 1] = r;
         true
@@ -162,9 +163,11 @@ fn climb_memo(
     let slot = &mut memo[j][dir as usize];
     if let Some(m) = slot {
         if m.left.bits_eq(&segs[j]) && m.right.bits_eq(&segs[j + 1]) {
+            sapla_obs::counter!("sapla.refine.climb_memo_hits");
             return m.result;
         }
     }
+    sapla_obs::counter!("sapla.refine.climbs");
     let result = climb(ctx, &segs[j], &segs[j + 1], dir);
     *slot = Some(ClimbMemo { left: segs[j], right: segs[j + 1], result });
     result

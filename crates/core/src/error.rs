@@ -65,6 +65,13 @@ pub enum Error {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A thread-count setting (`SAPLA_THREADS` or `--threads`) did not
+    /// parse as a non-negative integer. `0` itself is valid and means
+    /// "use all hardware threads" — only non-numeric input is rejected.
+    InvalidThreads {
+        /// The raw value that failed to parse.
+        value: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -94,6 +101,13 @@ impl fmt::Display for Error {
             }
             Error::UnknownMethod { name } => {
                 write!(f, "no reduction method named {name:?}")
+            }
+            Error::InvalidThreads { value } => {
+                write!(
+                    f,
+                    "invalid thread count {value:?}: expected a non-negative \
+                     integer (0 = all hardware threads)"
+                )
             }
         }
     }

@@ -206,6 +206,9 @@ impl Sapla {
         if n < self.n_segments {
             return Err(Error::InvalidSegmentCount { segments: self.n_segments, len: n });
         }
+        let _span = sapla_obs::span!("sapla.reduce");
+        sapla_obs::counter!("sapla.reduce.calls");
+        sapla_obs::counter!("sapla.reduce.points", n as u64);
         // A series of n points supports at most floor(n/1) segments, but
         // the algorithm's l ≥ 2 preference means n/2 is the practical cap;
         // clamp gracefully rather than erroring on small series.

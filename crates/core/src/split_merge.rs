@@ -116,6 +116,7 @@ impl SplitMergeScratch {
         if i + 1 >= segs.len() {
             return;
         }
+        sapla_obs::counter!("sapla.refine.heap_push");
         let merged = ctx.refit(segs[i].start, segs[i + 1].end);
         let area = reconstruction_area(&segs[i].fit, &segs[i + 1].fit, &merged);
         self.merge_heap.push(Reverse((
@@ -130,6 +131,7 @@ impl SplitMergeScratch {
     /// split — the stamp check then implies the length check forever).
     fn push_split(&mut self, segs: &[Seg], i: usize) {
         if segs[i].len() >= 2 {
+            sapla_obs::counter!("sapla.refine.heap_push");
             self.split_heap.push((OrdF64::new(segs[i].beta), segs[i].start, self.gens[i]));
         }
     }
@@ -152,6 +154,7 @@ impl SplitMergeScratch {
                     return Some(i);
                 }
             }
+            sapla_obs::counter!("sapla.refine.heap_stale");
             self.merge_heap.pop();
         }
         None
@@ -167,6 +170,7 @@ impl SplitMergeScratch {
                     return Some(i);
                 }
             }
+            sapla_obs::counter!("sapla.refine.heap_stale");
             self.split_heap.pop();
         }
         None
@@ -175,6 +179,9 @@ impl SplitMergeScratch {
     /// Merge `segs[i]` and `segs[i+1]` in place (the merge-operation `β`
     /// of Section 4.1.4), requeueing the changed neighbourhood.
     fn apply_merge(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize) -> MergeUndo {
+        // Probe applications count too: undone work is still work (the
+        // matching reversals land in `sapla.refine.undos`).
+        sapla_obs::counter!("sapla.refine.merges");
         let (left, right) = (segs[i], segs[i + 1]);
         let undo = MergeUndo {
             left,
@@ -204,6 +211,7 @@ impl SplitMergeScratch {
     /// entries for the restored neighbourhood may have been dropped as
     /// stale while the temporary state was live, so it is requeued.
     fn undo_merge(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize, u: MergeUndo) {
+        sapla_obs::counter!("sapla.refine.undos");
         segs[i] = u.left;
         segs.insert(i + 1, u.right);
         self.gens[i] = u.left_gen;
@@ -224,6 +232,7 @@ impl SplitMergeScratch {
         let seg = segs[i];
         if let Some((snap, cut)) = self.split_memo[i] {
             if snap.bits_eq(&seg) {
+                sapla_obs::counter!("sapla.refine.split_memo_hits");
                 return Some(cut);
             }
         }
@@ -236,6 +245,7 @@ impl SplitMergeScratch {
     /// requeueing the changed neighbourhood. `None` when too short.
     fn apply_split(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize) -> Option<SplitUndo> {
         let cut = self.split_point_memo(ctx, segs, i)?;
+        sapla_obs::counter!("sapla.refine.splits");
         let orig = segs[i];
         // The memo now holds (orig, cut); saving it post-update means the
         // undo restores a warm memo and the accept-path replay is free.
@@ -260,6 +270,7 @@ impl SplitMergeScratch {
 
     /// Exactly revert [`SplitMergeScratch::apply_split`] at `i`.
     fn undo_split(&mut self, ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize, u: SplitUndo) {
+        sapla_obs::counter!("sapla.refine.undos");
         segs[i] = u.orig;
         segs.remove(i + 1);
         self.gens[i] = u.gen;
@@ -437,6 +448,7 @@ pub(crate) fn apply_merge(ctx: &Ctx<'_>, segs: &mut Vec<Seg>, i: usize) {
 }
 
 fn merge_beta(ctx: &Ctx<'_>, left: &Seg, right: &Seg, merged: &LineFit) -> f64 {
+    sapla_obs::counter!("sapla.refine.beta_recomputed");
     match ctx.mode {
         BoundMode::Paper => {
             beta_merge(&ctx.values[left.start..right.end], &left.fit, &right.fit, merged)
@@ -484,6 +496,7 @@ fn find_split_point(ctx: &Ctx<'_>, seg: &Seg) -> Option<usize> {
 /// Build the two halves of a split with the split-operation `β` of
 /// Section 4.3.1.
 fn split_at(ctx: &Ctx<'_>, seg: &Seg, cut: usize) -> (Seg, Seg) {
+    sapla_obs::counter!("sapla.refine.beta_recomputed", 2);
     let lf = ctx.refit(seg.start, cut);
     let rf = ctx.refit(cut, seg.end);
     let (lb, rb) = match ctx.mode {

@@ -8,6 +8,7 @@
 /// Σ (q̌_u − č_u)² = l(l−1)(2l−1)/6 · Δa² + l(l−1) · Δa·Δb + l · Δb²
 /// ```
 pub fn dist_s_sq(qa: f64, qb: f64, ca: f64, cb: f64, l: usize) -> f64 {
+    sapla_obs::counter!("dist.s.evals");
     let lf = l as f64;
     let da = qa - ca;
     let db = qb - cb;

@@ -48,8 +48,14 @@ pub fn dist_par(q: &PiecewiseLinear, c: &PiecewiseLinear) -> Result<f64> {
 /// [`Error::LengthMismatch`] when the two representations cover different
 /// series lengths.
 pub fn dist_par_sq(q: &PiecewiseLinear, c: &PiecewiseLinear) -> Result<f64> {
+    sapla_obs::counter!("dist.par.evals");
     let mut sum = 0.0f64;
-    for_each_window(q, c, |w| sum += dist_s_sq(w.qa, w.qb, w.ca, w.cb, w.len))?;
+    let mut _windows = 0u64;
+    for_each_window(q, c, |w| {
+        sum += dist_s_sq(w.qa, w.qb, w.ca, w.cb, w.len);
+        _windows += 1;
+    })?;
+    sapla_obs::hist!("dist.par.windows", _windows);
     Ok(sum)
 }
 
@@ -101,8 +107,10 @@ pub fn dist_par_sq_with(
     q: &PiecewiseLinear,
     c: &PiecewiseLinear,
 ) -> Result<f64> {
+    sapla_obs::counter!("dist.par.evals");
     scratch.windows.clear();
     for_each_window(q, c, |w| scratch.windows.push(w))?;
+    sapla_obs::hist!("dist.par.windows", scratch.windows.len() as u64);
     let mut sum = 0.0f64;
     for w in &scratch.windows {
         sum += dist_s_sq(w.qa, w.qb, w.ca, w.cb, w.len);

@@ -14,7 +14,7 @@ use std::cmp::Reverse;
 
 use sapla_core::{OrdF64, Representation, Result, TimeSeries};
 
-use crate::knn::{KnnScratch, SearchStats};
+use crate::knn::{KnnScratch, SearchStats, SearchTally};
 use crate::scheme::{Query, Scheme};
 use crate::stats::TreeShape;
 
@@ -165,27 +165,32 @@ impl DbchTree {
     ) -> Result<SearchStats> {
         debug_assert_eq!(raws.len(), self.reps.len());
         let mut hits: Vec<(f64, usize)> = Vec::new();
-        let mut measured = 0usize;
+        let mut tally = SearchTally::default();
         let mut dist_scratch = sapla_distance::ParScratch::default();
         if !self.is_empty() {
             let mut stack = vec![self.root];
             while let Some(nid) = stack.pop() {
                 if self.node_dist(q, scheme, nid, &mut dist_scratch)? > epsilon {
+                    tally.prune_node();
                     continue;
                 }
+                tally.visit_node();
                 match &self.nodes[nid].kind {
                     NodeKind::Internal(children) => stack.extend(children.iter().copied()),
                     NodeKind::Leaf(entries) => {
+                        tally.consider(entries.len());
                         for &e in entries {
                             if scheme.rep_dist_with(q, &self.reps[e], &mut dist_scratch)? <= epsilon
                             {
-                                measured += 1;
+                                tally.measure();
                                 let exact = q.raw.euclidean(&raws[e])?;
                                 #[cfg(feature = "strict-invariants")]
                                 crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
                                 if exact <= epsilon {
                                     hits.push((exact, e));
                                 }
+                            } else {
+                                tally.prune();
                             }
                         }
                     }
@@ -196,7 +201,7 @@ impl DbchTree {
         Ok(SearchStats {
             retrieved: hits.iter().map(|&(_, i)| i).collect(),
             distances: hits.iter().map(|&(d, _)| d).collect(),
-            measured,
+            measured: tally.finish_range(),
             total: self.reps.len(),
         })
     }
@@ -582,33 +587,40 @@ impl DbchTree {
         debug_assert_eq!(raws.len(), self.reps.len());
         scratch.reset(k);
         let KnnScratch { results, nodes: heap, dist } = scratch;
-        let mut measured = 0usize;
+        let mut tally = SearchTally::default();
         if !self.is_empty() {
             let d = self.node_dist(q, scheme, self.root, dist)?;
-            heap.push(Reverse((OrdF64::new(d), self.root)));
+            heap.push(Reverse((OrdF64::new(d), self.root, 0)));
         }
-        while let Some(Reverse((d, nid))) = heap.pop() {
+        while let Some(Reverse((d, nid, depth))) = heap.pop() {
             if d.get() > results.threshold() {
                 break;
             }
+            tally.visit_node();
             match &self.nodes[nid].kind {
                 NodeKind::Internal(children) => {
+                    sapla_obs::lane_counter!("index.knn.fanout", depth, children.len() as u64);
                     for &c in children {
                         let node_d = self.node_dist(q, scheme, c, dist)?;
                         if node_d <= results.threshold() {
-                            heap.push(Reverse((OrdF64::new(node_d), c)));
+                            heap.push(Reverse((OrdF64::new(node_d), c, depth + 1)));
+                        } else {
+                            tally.prune_node();
                         }
                     }
                 }
                 NodeKind::Leaf(entries) => {
+                    tally.consider(entries.len());
                     for &e in entries {
                         let rep_d = scheme.rep_dist_with(q, &self.reps[e], dist)?;
                         if rep_d <= results.threshold() {
-                            measured += 1;
+                            tally.measure();
                             let exact = q.raw.euclidean(&raws[e])?;
                             #[cfg(feature = "strict-invariants")]
                             crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
                             results.push(exact, e);
+                        } else {
+                            tally.prune();
                         }
                     }
                 }
@@ -616,7 +628,12 @@ impl DbchTree {
         }
         let (mut retrieved, mut distances) = (Vec::with_capacity(k), Vec::with_capacity(k));
         results.drain_into(&mut retrieved, &mut distances);
-        Ok(SearchStats { retrieved, distances, measured, total: self.reps.len() })
+        Ok(SearchStats {
+            retrieved,
+            distances,
+            measured: tally.finish_knn(),
+            total: self.reps.len(),
+        })
     }
 
     /// Structural statistics (Figs. 15–16).

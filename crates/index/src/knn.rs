@@ -36,6 +36,99 @@ impl SearchStats {
     }
 }
 
+/// Per-search candidate accounting, shared by every search path (DBCH
+/// tree, R-tree, linear scan). This is the single source of truth that
+/// used to be duplicated as ad-hoc `measured` locals in `dbch.rs`,
+/// `rtree.rs`, and `linear_scan.rs`; the `finish_*` methods flush the
+/// tally into the global obs counters and hand back the measured count
+/// for [`SearchStats::measured`] (which stays — pruning power, Eq. 14,
+/// is public API).
+///
+/// Invariant, asserted by `tests/obs_counters.rs`: every candidate
+/// entry a leaf offers is either pruned by the representation distance
+/// or measured exactly, so `considered == pruned + measured`.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SearchTally {
+    considered: usize,
+    pruned: usize,
+    measured: usize,
+    nodes_visited: usize,
+    nodes_pruned: usize,
+}
+
+impl SearchTally {
+    /// A node was popped and expanded.
+    pub fn visit_node(&mut self) {
+        self.nodes_visited += 1;
+    }
+
+    /// A child node was discarded by its lower-bound distance.
+    pub fn prune_node(&mut self) {
+        self.nodes_pruned += 1;
+    }
+
+    /// A leaf offered `n` candidate entries.
+    pub fn consider(&mut self, n: usize) {
+        self.considered += n;
+    }
+
+    /// A candidate was discarded by the representation distance.
+    pub fn prune(&mut self) {
+        self.pruned += 1;
+    }
+
+    /// A candidate survived filtering and its exact distance was computed
+    /// (one "disk access" in the paper's pruning-power unit).
+    pub fn measure(&mut self) {
+        self.measured += 1;
+    }
+
+    /// Flush into the `index.knn.*` counters; returns `measured`.
+    pub fn finish_knn(self) -> usize {
+        let SearchTally {
+            considered: _considered,
+            pruned: _pruned,
+            measured,
+            nodes_visited: _visited,
+            nodes_pruned: _node_pruned,
+        } = self;
+        sapla_obs::counter!("index.knn.queries");
+        sapla_obs::counter!("index.knn.nodes_visited", _visited as u64);
+        sapla_obs::counter!("index.knn.nodes_pruned", _node_pruned as u64);
+        sapla_obs::counter!("index.knn.entries_considered", _considered as u64);
+        sapla_obs::counter!("index.knn.entries_pruned", _pruned as u64);
+        sapla_obs::counter!("index.knn.refined", measured as u64);
+        measured
+    }
+
+    /// Flush into the `index.range.*` counters; returns `measured`.
+    pub fn finish_range(self) -> usize {
+        let SearchTally {
+            considered: _considered,
+            pruned: _pruned,
+            measured,
+            nodes_visited: _visited,
+            nodes_pruned: _node_pruned,
+        } = self;
+        sapla_obs::counter!("index.range.queries");
+        sapla_obs::counter!("index.range.nodes_visited", _visited as u64);
+        sapla_obs::counter!("index.range.nodes_pruned", _node_pruned as u64);
+        sapla_obs::counter!("index.range.entries_considered", _considered as u64);
+        sapla_obs::counter!("index.range.entries_pruned", _pruned as u64);
+        sapla_obs::counter!("index.range.refined", measured as u64);
+        measured
+    }
+
+    /// Flush into the `index.scan.*` counters; returns `measured`
+    /// (which equals the database size — a scan never prunes).
+    pub fn finish_scan(self) -> usize {
+        let SearchTally { considered: _considered, measured, .. } = self;
+        sapla_obs::counter!("index.scan.queries");
+        sapla_obs::counter!("index.scan.measured", measured as u64);
+        measured
+    }
+}
+
 /// A bounded max-heap of the k best (distance, id) pairs seen so far.
 #[derive(Debug)]
 pub(crate) struct KnnHeap {
@@ -130,7 +223,12 @@ impl Default for KnnHeap {
 #[derive(Debug, Default)]
 pub struct KnnScratch {
     pub(crate) results: KnnHeap,
-    pub(crate) nodes: std::collections::BinaryHeap<std::cmp::Reverse<(sapla_core::OrdF64, usize)>>,
+    // Best-first queue of (node distance, node id, node depth). Depth
+    // rides along purely for the per-level fanout lanes: node ids are
+    // unique in the queue, so comparisons never reach the depth field
+    // and the pop order is bit-identical to the (distance, id) queue.
+    pub(crate) nodes:
+        std::collections::BinaryHeap<std::cmp::Reverse<(sapla_core::OrdF64, usize, usize)>>,
     pub(crate) dist: sapla_distance::ParScratch,
 }
 

@@ -3,7 +3,7 @@
 use sapla_core::{Result, TimeSeries};
 use sapla_distance::euclidean_early_abandon;
 
-use crate::knn::{KnnHeap, SearchStats};
+use crate::knn::{KnnHeap, SearchStats, SearchTally};
 
 /// Exact k-NN by scanning every series (with early abandoning on the
 /// running kth-best bound). `measured` equals the database size — linear
@@ -14,14 +14,17 @@ use crate::knn::{KnnHeap, SearchStats};
 /// Propagates length mismatches.
 pub fn linear_scan_knn(query: &TimeSeries, raws: &[TimeSeries], k: usize) -> Result<SearchStats> {
     let mut results = KnnHeap::new(k);
+    let mut tally = SearchTally::default();
+    tally.consider(raws.len());
     for (i, s) in raws.iter().enumerate() {
         let bound = results.threshold();
+        tally.measure();
         if let Some(d) = euclidean_early_abandon(query, s, bound * bound)? {
             results.push(d, i);
         }
     }
     let (retrieved, distances) = results.into_sorted();
-    Ok(SearchStats { retrieved, distances, measured: raws.len(), total: raws.len() })
+    Ok(SearchStats { retrieved, distances, measured: tally.finish_scan(), total: raws.len() })
 }
 
 /// Exact ε-range search by scanning every series.
@@ -35,7 +38,10 @@ pub fn linear_scan_range(
     epsilon: f64,
 ) -> Result<SearchStats> {
     let mut hits: Vec<(f64, usize)> = Vec::new();
+    let mut tally = SearchTally::default();
+    tally.consider(raws.len());
     for (i, s) in raws.iter().enumerate() {
+        tally.measure();
         if let Some(d) = euclidean_early_abandon(query, s, epsilon * epsilon)? {
             if d <= epsilon {
                 hits.push((d, i));
@@ -46,7 +52,7 @@ pub fn linear_scan_range(
     Ok(SearchStats {
         retrieved: hits.iter().map(|&(_, i)| i).collect(),
         distances: hits.iter().map(|&(d, _)| d).collect(),
-        measured: raws.len(),
+        measured: tally.finish_scan(),
         total: raws.len(),
     })
 }

@@ -76,6 +76,7 @@ pub fn ingest_parallel(
     rule: NodeDistRule,
     threads: usize,
 ) -> Result<DbchTree> {
+    let _span = sapla_obs::span!("index.ingest");
     let reps = reduce_batch_parallel(reducer, series, m, threads)?;
     DbchTree::build_with_rule(scheme, reps, min_fill, max_fill, rule)
 }
@@ -118,6 +119,7 @@ pub fn knn_batch(
     raws: &[TimeSeries],
     threads: usize,
 ) -> Result<(Vec<SearchStats>, BatchStats)> {
+    let _span = sapla_obs::span!("index.knn_batch");
     let measured = AtomicUsize::new(0);
     let per_query = par_try_map_init(queries, threads, KnnScratch::new, |scratch, _, q| {
         let stats = tree.knn_with_scratch(q, k, scheme, raws, scratch)?;

@@ -12,7 +12,7 @@ use std::collections::BinaryHeap;
 
 use sapla_core::{OrdF64, Representation, Result, TimeSeries};
 
-use crate::knn::{KnnHeap, SearchStats};
+use crate::knn::{KnnHeap, SearchStats, SearchTally};
 use crate::rect::HyperRect;
 use crate::scheme::{Query, Scheme};
 use crate::stats::TreeShape;
@@ -217,25 +217,30 @@ impl RTree {
     ) -> Result<SearchStats> {
         debug_assert_eq!(raws.len(), self.reps.len());
         let mut hits: Vec<(f64, usize)> = Vec::new();
-        let mut measured = 0usize;
+        let mut tally = SearchTally::default();
         if !self.is_empty() {
             let mut stack = vec![self.root];
             while let Some(nid) = stack.pop() {
                 if scheme.mindist(q, &self.nodes[nid].rect)? > epsilon {
+                    tally.prune_node();
                     continue;
                 }
+                tally.visit_node();
                 match &self.nodes[nid].kind {
                     NodeKind::Internal(children) => stack.extend(children.iter().copied()),
                     NodeKind::Leaf(entries) => {
+                        tally.consider(entries.len());
                         for &e in entries {
                             if scheme.rep_dist(q, &self.reps[e])? <= epsilon {
-                                measured += 1;
+                                tally.measure();
                                 let exact = q.raw.euclidean(&raws[e])?;
                                 #[cfg(feature = "strict-invariants")]
                                 crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
                                 if exact <= epsilon {
                                     hits.push((exact, e));
                                 }
+                            } else {
+                                tally.prune();
                             }
                         }
                     }
@@ -246,7 +251,7 @@ impl RTree {
         Ok(SearchStats {
             retrieved: hits.iter().map(|&(_, i)| i).collect(),
             distances: hits.iter().map(|&(d, _)| d).collect(),
-            measured,
+            measured: tally.finish_range(),
             total: self.reps.len(),
         })
     }
@@ -525,7 +530,7 @@ impl RTree {
     ) -> Result<SearchStats> {
         debug_assert_eq!(raws.len(), self.reps.len());
         let mut results = KnnHeap::new(k);
-        let mut measured = 0usize;
+        let mut tally = SearchTally::default();
         let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
         if !self.is_empty() {
             let d = scheme.mindist(q, &self.nodes[self.root].rect)?;
@@ -535,31 +540,42 @@ impl RTree {
             if d.get() > results.threshold() {
                 break;
             }
+            tally.visit_node();
             match &self.nodes[nid].kind {
                 NodeKind::Internal(children) => {
                     for &c in children {
                         let dist = scheme.mindist(q, &self.nodes[c].rect)?;
                         if dist <= results.threshold() {
                             heap.push(Reverse((OrdF64::new(dist), c)));
+                        } else {
+                            tally.prune_node();
                         }
                     }
                 }
                 NodeKind::Leaf(entries) => {
+                    tally.consider(entries.len());
                     for &e in entries {
                         let dist = scheme.rep_dist(q, &self.reps[e])?;
                         if dist <= results.threshold() {
-                            measured += 1;
+                            tally.measure();
                             let exact = q.raw.euclidean(&raws[e])?;
                             #[cfg(feature = "strict-invariants")]
                             crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
                             results.push(exact, e);
+                        } else {
+                            tally.prune();
                         }
                     }
                 }
             }
         }
         let (retrieved, distances) = results.into_sorted();
-        Ok(SearchStats { retrieved, distances, measured, total: self.reps.len() })
+        Ok(SearchStats {
+            retrieved,
+            distances,
+            measured: tally.finish_knn(),
+            total: self.reps.len(),
+        })
     }
 
     /// Structural statistics (Figs. 15–16).

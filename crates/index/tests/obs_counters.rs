@@ -1,0 +1,88 @@
+//! Cross-checks the `index.knn.*` observability counters against the
+//! search invariants they are supposed to witness (satellite of the
+//! sapla-obs PR): every candidate a leaf offers is either pruned by the
+//! representation distance or refined exactly, and a k-NN search must
+//! refine at least k candidates to fill its result heap.
+//!
+//! One `#[test]` function on purpose: the obs registry is process-global
+//! and the default test harness runs tests concurrently, so a single
+//! test owns the whole reset/capture window.
+
+use sapla_baselines::{Reducer, SaplaReducer};
+use sapla_core::TimeSeries;
+use sapla_data::{catalogue, Protocol};
+use sapla_index::{scheme_for, DbchTree, Query, RTree};
+use sapla_obs::Snapshot;
+
+fn counter(snap: &Snapshot, name: &str) -> u64 {
+    snap.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or_else(|| {
+        panic!("counter {name:?} not in snapshot: {:?}", snap.counters);
+    })
+}
+
+fn dataset() -> Vec<TimeSeries> {
+    let spec = &catalogue()[0];
+    let protocol = Protocol { series_len: 128, series_per_dataset: 40, queries_per_dataset: 1 };
+    spec.load(&protocol).series
+}
+
+#[test]
+fn knn_counters_obey_the_search_invariants() {
+    if !sapla_obs::enabled() {
+        return; // nothing to check in an uninstrumented build
+    }
+    let raws = dataset();
+    let reducer = SaplaReducer::new();
+    let scheme = scheme_for("SAPLA").unwrap();
+    let m = 12;
+    let k = 5;
+    let queries = 3;
+    let reps: Vec<_> = raws.iter().map(|s| reducer.reduce(s, m).unwrap()).collect();
+
+    // --- DBCH-tree ---
+    let tree = DbchTree::build(scheme.as_ref(), reps.clone(), 2, 5).unwrap();
+    sapla_obs::reset();
+    let mut measured_total = 0usize;
+    for qi in 0..queries {
+        let q = Query::new(&raws[qi], &reducer, m).unwrap();
+        let stats = tree.knn(&q, k, scheme.as_ref(), &raws).unwrap();
+        assert_eq!(stats.retrieved.len(), k);
+        measured_total += stats.measured;
+    }
+    let snap = Snapshot::capture();
+    assert_eq!(counter(&snap, "index.knn.queries"), queries as u64);
+    let considered = counter(&snap, "index.knn.entries_considered");
+    let pruned = counter(&snap, "index.knn.entries_pruned");
+    let refined = counter(&snap, "index.knn.refined");
+    assert_eq!(
+        considered,
+        pruned + refined,
+        "dbch: every considered candidate is either pruned or refined"
+    );
+    assert_eq!(refined, measured_total as u64, "dbch: counter agrees with SearchStats.measured");
+    assert!(refined >= (queries * k) as u64, "dbch: each query refines at least k candidates");
+    assert!(counter(&snap, "index.knn.nodes_visited") >= queries as u64, "root visited per query");
+
+    // --- R*-tree baseline, same invariants ---
+    let tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+    sapla_obs::reset();
+    let mut measured_total = 0usize;
+    for qi in 0..queries {
+        let q = Query::new(&raws[qi], &reducer, m).unwrap();
+        let stats = tree.knn(&q, k, scheme.as_ref(), &raws).unwrap();
+        assert_eq!(stats.retrieved.len(), k);
+        measured_total += stats.measured;
+    }
+    let snap = Snapshot::capture();
+    assert_eq!(counter(&snap, "index.knn.queries"), queries as u64);
+    let considered = counter(&snap, "index.knn.entries_considered");
+    let pruned = counter(&snap, "index.knn.entries_pruned");
+    let refined = counter(&snap, "index.knn.refined");
+    assert_eq!(
+        considered,
+        pruned + refined,
+        "rtree: every considered candidate is either pruned or refined"
+    );
+    assert_eq!(refined, measured_total as u64, "rtree: counter agrees with SearchStats.measured");
+    assert!(refined >= (queries * k) as u64, "rtree: each query refines at least k candidates");
+}

@@ -1,0 +1,94 @@
+//! Stub implementation, compiled when the `obs` feature is off.
+//!
+//! The macros expand to `()` (the `span!` macro to a zero-sized guard
+//! value), so instrumented call sites emit no statics, no atomics, and no
+//! branches. The query API keeps the same signatures as the enabled build
+//! and returns empty/neutral values, so downstream code needs no `cfg`.
+
+use crate::Snapshot;
+
+/// Zero-sized stand-in for the enabled build's RAII span guard. Carries
+/// no clock and has no `Drop`; binding it is free.
+#[derive(Clone, Copy, Debug, Default)]
+#[must_use = "bind the span guard so enabled builds measure the scope"]
+pub struct SpanGuard;
+
+/// Always empty with the feature off.
+#[must_use]
+pub fn capture() -> Snapshot {
+    Snapshot::default()
+}
+
+/// No-op with the feature off.
+pub fn reset() {}
+
+/// Always `None` with the feature off.
+#[must_use]
+pub fn current_span() -> Option<&'static str> {
+    None
+}
+
+/// Always 0 with the feature off.
+#[must_use]
+pub fn span_depth() -> usize {
+    0
+}
+
+/// Worker attribution stubs.
+pub mod worker {
+    /// Zero-sized no-op guard.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct WorkerGuard;
+
+    /// No-op with the feature off.
+    #[must_use]
+    pub fn enter(_wid: usize) -> WorkerGuard {
+        WorkerGuard
+    }
+
+    /// Always 0 with the feature off.
+    #[must_use]
+    pub fn get() -> usize {
+        0
+    }
+}
+
+/// Feature off: expands to `()`.
+#[macro_export]
+macro_rules! counter {
+    ($name:literal $(, $n:expr)?) => {
+        ()
+    };
+}
+
+/// Feature off: expands to `()`.
+#[macro_export]
+macro_rules! lane_counter {
+    ($name:literal, $lane:expr, $n:expr) => {
+        ()
+    };
+}
+
+/// Feature off: expands to `()`.
+#[macro_export]
+macro_rules! gauge_max {
+    ($name:literal, $v:expr) => {
+        ()
+    };
+}
+
+/// Feature off: expands to `()`.
+#[macro_export]
+macro_rules! hist {
+    ($name:literal, $v:expr) => {
+        ()
+    };
+}
+
+/// Feature off: expands to the zero-sized [`SpanGuard`].
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::SpanGuard
+    };
+}

@@ -1,0 +1,29 @@
+//! Behavior of the stub build. Compiled only WITHOUT `--features obs`.
+#![cfg(not(feature = "obs"))]
+
+use sapla_obs::{counter, gauge_max, hist, lane_counter, span, Snapshot};
+
+#[test]
+fn disabled_build_records_nothing() {
+    assert!(!sapla_obs::enabled());
+    counter!("test.off.counter");
+    counter!("test.off.counter", 5);
+    lane_counter!("test.off.lanes", 1, 2);
+    gauge_max!("test.off.gauge", 9);
+    hist!("test.off.hist", 3);
+    {
+        let _span = span!("test.off.span");
+        assert_eq!(sapla_obs::span_depth(), 0);
+        assert_eq!(sapla_obs::current_span(), None);
+    }
+    let _w = sapla_obs::worker::enter(7);
+    assert_eq!(sapla_obs::worker::get(), 0);
+    sapla_obs::reset();
+
+    let snap = Snapshot::capture();
+    assert!(snap.is_empty());
+    let json = snap.to_json();
+    assert!(json.contains("\"enabled\": false"));
+    assert!(json.contains("\"counters\": {}"));
+    assert!(snap.render_table().contains("disabled"));
+}

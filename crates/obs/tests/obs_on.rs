@@ -1,0 +1,155 @@
+//! Behavior of the enabled build. Compiled only with `--features obs`.
+#![cfg(feature = "obs")]
+
+use std::sync::{Mutex, PoisonError};
+
+use sapla_obs::{counter, gauge_max, hist, lane_counter, span, Snapshot};
+
+/// Metrics are process-global; serialize tests that assert on exact
+/// values so `reset()` in one test cannot race another's increments.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn counter_value(snap: &Snapshot, name: &str) -> Option<u64> {
+    snap.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+#[test]
+fn counters_accumulate_and_merge_across_call_sites() {
+    let _g = lock();
+    sapla_obs::reset();
+    counter!("test.merge");
+    counter!("test.merge", 4);
+    for _ in 0..3 {
+        counter!("test.merge");
+    }
+    let snap = Snapshot::capture();
+    assert_eq!(counter_value(&snap, "test.merge"), Some(8));
+}
+
+#[test]
+fn zero_add_registers_without_counting() {
+    let _g = lock();
+    sapla_obs::reset();
+    counter!("test.zero", 0);
+    let snap = Snapshot::capture();
+    assert_eq!(counter_value(&snap, "test.zero"), Some(0));
+}
+
+#[test]
+fn gauge_keeps_high_water_mark() {
+    let _g = lock();
+    sapla_obs::reset();
+    gauge_max!("test.gauge", 7);
+    gauge_max!("test.gauge", 3);
+    let snap = Snapshot::capture();
+    let v = snap.gauges.iter().find(|(n, _)| n == "test.gauge");
+    assert_eq!(v.map(|&(_, v)| v), Some(7));
+}
+
+#[test]
+fn lanes_sum_and_trim_trailing_zeros() {
+    let _g = lock();
+    sapla_obs::reset();
+    lane_counter!("test.lanes", 0, 2);
+    lane_counter!("test.lanes", 2, 5);
+    let snap = Snapshot::capture();
+    let lanes = snap.lanes.iter().find(|(n, _)| n == "test.lanes");
+    assert_eq!(lanes.map(|(_, v)| v.clone()), Some(vec![2, 0, 5]));
+}
+
+#[test]
+fn out_of_range_lane_folds_into_last() {
+    let _g = lock();
+    sapla_obs::reset();
+    lane_counter!("test.lanes.fold", sapla_obs::MAX_LANES + 10, 1);
+    let snap = Snapshot::capture();
+    let lanes = snap.lanes.iter().find(|(n, _)| n == "test.lanes.fold");
+    let lanes = lanes.map(|(_, v)| v.clone()).unwrap_or_default();
+    assert_eq!(lanes.len(), sapla_obs::MAX_LANES);
+    assert_eq!(lanes.last(), Some(&1));
+    assert_eq!(lanes.iter().sum::<u64>(), 1);
+}
+
+#[test]
+fn histogram_counts_sums_and_buckets() {
+    let _g = lock();
+    sapla_obs::reset();
+    hist!("test.hist", 0);
+    hist!("test.hist", 1);
+    hist!("test.hist", 1023);
+    let snap = Snapshot::capture();
+    let h = snap.histograms.iter().find(|h| h.name == "test.hist").cloned().unwrap_or_default();
+    assert_eq!(h.count, 3);
+    assert_eq!(h.sum, 1024);
+    // 0 -> bucket 0 (le 0), 1 -> bucket 1 (le 1), 1023 -> bucket 10 (le 1023).
+    assert_eq!(h.buckets, vec![(0, 1), (1, 1), (1023, 1)]);
+    assert!((h.mean() - 1024.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn span_records_duration_and_worker_attribution() {
+    let _g = lock();
+    sapla_obs::reset();
+    assert_eq!(sapla_obs::span_depth(), 0);
+    {
+        let _outer = span!("test.span.outer");
+        assert_eq!(sapla_obs::span_depth(), 1);
+        assert_eq!(sapla_obs::current_span(), Some("test.span.outer"));
+        {
+            let _w = sapla_obs::worker::enter(3);
+            let _inner = span!("test.span.inner");
+            assert_eq!(sapla_obs::span_depth(), 2);
+            assert_eq!(sapla_obs::current_span(), Some("test.span.inner"));
+        }
+        assert_eq!(sapla_obs::current_span(), Some("test.span.outer"));
+    }
+    assert_eq!(sapla_obs::span_depth(), 0);
+    assert_eq!(sapla_obs::current_span(), None);
+    assert_eq!(sapla_obs::worker::get(), 0);
+
+    let snap = Snapshot::capture();
+    let outer = snap.histograms.iter().find(|h| h.name == "test.span.outer");
+    assert_eq!(outer.map(|h| h.count), Some(1));
+    let inner_ns = snap
+        .lanes
+        .iter()
+        .find(|(n, _)| n == "test.span.inner.worker_ns")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_default();
+    // Inner span time lands in worker 3's lane (may be 0 ns on a coarse
+    // clock, but the lane vector must reach index 3 once lane 3 is hit —
+    // unless it recorded 0, in which case trimming keeps it shorter).
+    assert!(inner_ns.len() <= 4);
+}
+
+#[test]
+fn reset_zeroes_but_keeps_registration() {
+    let _g = lock();
+    sapla_obs::reset();
+    counter!("test.reset", 9);
+    sapla_obs::reset();
+    let snap = Snapshot::capture();
+    assert_eq!(counter_value(&snap, "test.reset"), Some(0));
+}
+
+#[test]
+fn json_is_balanced_and_carries_sections() {
+    let _g = lock();
+    sapla_obs::reset();
+    counter!("test.json \"quoted\"", 1);
+    let snap = Snapshot::capture();
+    let json = snap.to_json();
+    for key in ["\"enabled\": true", "\"counters\"", "\"gauges\"", "\"lanes\"", "\"histograms\""] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert!(json.contains("test.json \\\"quoted\\\""));
+    let opens = json.matches(['{', '[']).count();
+    let closes = json.matches(['}', ']']).count();
+    assert_eq!(opens, closes, "unbalanced JSON:\n{json}");
+    let table = snap.render_table();
+    assert!(table.contains("counter"));
+}

@@ -160,6 +160,11 @@ where
     let n = items.len();
     let threads = effective_threads(threads, n);
     if threads <= 1 {
+        // Register the engine counters even on the sequential fast path so
+        // single-core profiles still show the rows (at their true zeros).
+        sapla_obs::lane_counter!("parallel.tasks", 0, n as u64);
+        sapla_obs::lane_counter!("parallel.steal.attempts", 0, 0);
+        sapla_obs::lane_counter!("parallel.steal.ok", 0, 0);
         let mut scratch = init();
         return items.iter().enumerate().map(|(i, t)| f(&mut scratch, i, t)).collect();
     }
@@ -175,13 +180,20 @@ where
     // Small claim blocks: cheap enough to amortise the CAS, small enough
     // to keep stealing effective on skewed workloads.
     let block = (n / (threads * 8)).max(1);
+    // Register the steal rows up front so a profile always shows them,
+    // even when a run finishes without a single steal attempt.
+    sapla_obs::lane_counter!("parallel.steal.attempts", 0, 0);
+    sapla_obs::lane_counter!("parallel.steal.ok", 0, 0);
 
     std::thread::scope(|scope| {
         let worker = |wid: usize| {
+            let _obs_worker = sapla_obs::worker::enter(wid);
+            sapla_obs::gauge_max!("parallel.queue.hwm", deques[wid].remaining() as u64);
             let mut scratch = init();
             let me = &deques[wid];
             loop {
                 while let Some(range) = me.pop_front(block) {
+                    sapla_obs::lane_counter!("parallel.tasks", wid, range.len() as u64);
                     for i in range {
                         if failures.skip(i) {
                             continue;
@@ -205,8 +217,11 @@ where
                     .filter(|&v| deques[v].remaining() > 0);
                 match victim {
                     Some(v) => {
+                        sapla_obs::lane_counter!("parallel.steal.attempts", wid, 1);
                         if let Some(range) = deques[v].steal_half() {
+                            sapla_obs::lane_counter!("parallel.steal.ok", wid, 1);
                             me.install(&range);
+                            sapla_obs::gauge_max!("parallel.queue.hwm", me.remaining() as u64);
                         }
                     }
                     None => break,

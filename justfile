@@ -20,8 +20,23 @@ audit:
     cargo test -q -p sapla-distance --features strict-invariants
     cargo test -q -p sapla-index --features strict-invariants
 
+# Observability: the instrumented feature matrix must stay green, the
+# uninstrumented state must too (the CLI is excluded from the second run:
+# its default build turns `obs` on for the whole graph), and the CLI
+# profile surface must emit valid JSON (checked by a Rust test, no jq).
+obs:
+    cargo test -q -p sapla-obs --features obs
+    cargo test -q -p sapla-core --features obs
+    cargo test -q -p sapla-distance --features obs
+    cargo test -q -p sapla-parallel --features obs
+    cargo test -q -p sapla-baselines --features obs
+    cargo test -q -p sapla-index --features obs
+    cargo test -q -p sapla-bench --lib --features obs
+    cargo test -q -p sapla-obs -p sapla-core -p sapla-distance -p sapla-parallel -p sapla-baselines -p sapla-index -p sapla-integration
+    cargo test -q -p sapla-cli --test cli profile_json
+
 # The full pre-merge gate.
-ci: tier1 lint audit
+ci: tier1 lint audit obs
 
 # Regenerate every paper table/figure (slow; see EXPERIMENTS.md).
 bench:
