@@ -1,22 +1,27 @@
 //! Machine-readable perf trajectory emitter.
 //!
 //! ```text
-//! cargo bench -p sapla-bench --bench perf_json -- [--quick] [--json <path>]
+//! cargo bench -p sapla-bench --bench perf_json -- [--quick] [--no-plan] [--json <path>]
 //! ```
 //!
 //! Runs the `(n, segments)` reduce-throughput and ingest/k-NN grid of
 //! `sapla_bench::perf` and prints a human summary; with `--json <path>`
 //! the full report is also written as JSON (the format committed as
-//! `BENCH_PR2.json`). `--quick` switches to the tiny CI grid.
+//! `BENCH_PR2.json`). `--quick` switches to the tiny CI grid;
+//! `--no-plan` strips the precompiled query plans so searches take the
+//! stock re-partitioning `Dist_PAR` path (the baseline side of the
+//! planned-kernel comparison in `BENCH_PR5.json`).
 
 use sapla_bench::perf::{run, PerfGrid};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let no_plan = args.iter().any(|a| a == "--no-plan");
     let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
 
-    let grid = if quick { PerfGrid::quick() } else { PerfGrid::full() };
+    let mut grid = if quick { PerfGrid::quick() } else { PerfGrid::full() };
+    grid.use_plan = !no_plan;
     let report = run(&grid);
 
     println!("reduce throughput (threads = {}):", report.threads);
@@ -26,11 +31,21 @@ fn main() {
             p.n, p.segments, p.ns_per_series, p.series_per_sec
         );
     }
-    println!("ingest + kNN (DBCH-tree, k = 4):");
-    for p in &report.index {
+    println!(
+        "ingest + kNN (DBCH-tree, k = 4, plans {}):",
+        if report.use_plan { "on" } else { "off" }
+    );
+    for (p, kp) in report.index.iter().zip(&report.knn) {
         println!(
-            "  n = {:5}  N = {:2}  db = {:3}  ingest {:>12.0} ns  knn {:>12.0} ns/query",
-            p.n, p.segments, p.db, p.ingest_ns, p.knn_ns_per_query
+            "  n = {:5}  N = {:2}  db = {:3}  ingest {:>12.0} ns  knn {:>12.0} ns/query  \
+             {:>8.1} ns/cand  abandon {:.1}%",
+            p.n,
+            p.segments,
+            p.db,
+            p.ingest_ns,
+            p.knn_ns_per_query,
+            kp.refine_ns_per_candidate,
+            kp.abandon_rate * 100.0
         );
     }
 

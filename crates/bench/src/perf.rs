@@ -33,6 +33,12 @@ pub struct PerfGrid {
     /// Worker threads (`1` = the sequential baseline the trajectory
     /// tracks; parallel speedups are the thread-sweep benches' job).
     pub threads: usize,
+    /// When `false`, strip the precompiled [`sapla_index::Query`] plans
+    /// after preparation, forcing every search through the stock
+    /// re-partitioning `Dist_PAR` path (no SoA blocks, no early
+    /// abandoning). The before/after pair is how `BENCH_PR5.json`
+    /// quantifies the planned kernels.
+    pub use_plan: bool,
 }
 
 impl PerfGrid {
@@ -47,6 +53,7 @@ impl PerfGrid {
             index_queries: 6,
             min_time: Duration::from_millis(250),
             threads: 1,
+            use_plan: true,
         }
     }
 
@@ -60,6 +67,7 @@ impl PerfGrid {
             index_queries: 2,
             min_time: Duration::from_millis(20),
             threads: 1,
+            use_plan: true,
         }
     }
 }
@@ -96,15 +104,42 @@ pub struct IndexPoint {
     pub knn_ns_per_query: f64,
 }
 
+/// Per-point k-NN kernel detail: how the time of [`IndexPoint`] breaks
+/// down per candidate, and how often the planned kernel abandoned early.
+/// The rates come from `sapla-obs` counter deltas around the measured
+/// loop, so they are all zero unless the bench is built with
+/// `--features obs`.
+#[derive(Debug, Clone)]
+pub struct KnnPoint {
+    /// Series length.
+    pub n: usize,
+    /// Segment budget `N`.
+    pub segments: usize,
+    /// Database size.
+    pub db: usize,
+    /// Query count.
+    pub queries: usize,
+    /// Mean k-NN wall time per leaf candidate the search considered
+    /// (filter + refinement amortised), nanoseconds.
+    pub refine_ns_per_candidate: f64,
+    /// Fraction of planned `Dist_PAR` evaluations that abandoned early
+    /// against the running k-th-best bound.
+    pub abandon_rate: f64,
+}
+
 /// A full emitter run.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
     /// Worker threads used.
     pub threads: usize,
+    /// Whether query plans were used (see [`PerfGrid::use_plan`]).
+    pub use_plan: bool,
     /// Reduce-throughput grid.
     pub reduce: Vec<ReducePoint>,
     /// Ingest / k-NN grid (one point per series length).
     pub index: Vec<IndexPoint>,
+    /// k-NN kernel detail, aligned with `index`.
+    pub knn: Vec<KnnPoint>,
     /// Operation counts over the whole run (`sapla-obs` snapshot; empty
     /// unless the bench crate is built with `--features obs` — the stock
     /// build stays uninstrumented so the timings measure the zero-cost
@@ -126,6 +161,15 @@ fn grid_series(n: usize, count: usize) -> Vec<sapla_core::TimeSeries> {
     }
     out.truncate(count);
     out
+}
+
+/// `after - before` for one named counter across two snapshots (0 when
+/// absent, i.e. whenever obs is compiled out).
+fn counter_delta(before: &sapla_obs::Snapshot, after: &sapla_obs::Snapshot, name: &str) -> u64 {
+    let get = |snap: &sapla_obs::Snapshot| {
+        snap.counters.iter().find(|(n, _)| n == name).map_or(0, |&(_, v)| v)
+    };
+    get(after).saturating_sub(get(before))
 }
 
 /// Repeat `f` until `min_time` has elapsed (at least twice after one
@@ -174,6 +218,7 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
     }
 
     let mut index = Vec::new();
+    let mut knn = Vec::new();
     let scheme = scheme_for("SAPLA").unwrap();
     let segments = grid.segment_counts[0];
     let m = 3 * segments;
@@ -197,13 +242,28 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
             )
             .expect("grid ingest")
         });
-        let queries =
+        let mut queries =
             prepare_queries(&raw_queries, &reducer, m, grid.threads).expect("grid queries");
-        let (_, knn_ns) = measure(grid.min_time, || {
+        if !grid.use_plan {
+            // No plan → the scheme falls back to the stock streaming
+            // `Dist_PAR` (no SoA, no abandoning): the before side of the
+            // planned-kernel comparison.
+            for q in &mut queries {
+                q.plan = None;
+            }
+        }
+        let before = sapla_obs::Snapshot::capture();
+        let (reps, knn_ns) = measure(grid.min_time, || {
             let out = knn_batch(&tree, &queries, 4, scheme.as_ref(), &db, grid.threads)
                 .expect("grid knn");
             std::hint::black_box(&out);
         });
+        let after = sapla_obs::Snapshot::capture();
+        // The deltas cover the warm-up call too, hence `reps + 1`.
+        let calls = (reps + 1) as f64;
+        let considered = counter_delta(&before, &after, "index.knn.entries_considered") as f64;
+        let evals = counter_delta(&before, &after, "dist.par.evals") as f64;
+        let abandoned = counter_delta(&before, &after, "dist.par.abandoned") as f64;
         index.push(IndexPoint {
             n,
             segments,
@@ -212,9 +272,28 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
             ingest_ns: ingest.as_nanos() as f64,
             knn_ns_per_query: knn_ns / queries.len() as f64,
         });
+        knn.push(KnnPoint {
+            n,
+            segments,
+            db: db.len(),
+            queries: queries.len(),
+            refine_ns_per_candidate: if considered > 0.0 {
+                knn_ns / (considered / calls)
+            } else {
+                0.0
+            },
+            abandon_rate: if evals > 0.0 { abandoned / evals } else { 0.0 },
+        });
     }
 
-    PerfReport { threads: grid.threads, reduce, index, ops: sapla_obs::Snapshot::capture() }
+    PerfReport {
+        threads: grid.threads,
+        use_plan: grid.use_plan,
+        reduce,
+        index,
+        knn,
+        ops: sapla_obs::Snapshot::capture(),
+    }
 }
 
 fn push_kv(out: &mut String, key: &str, value: f64) {
@@ -232,6 +311,8 @@ impl PerfReport {
         let mut s = String::with_capacity(4096);
         s.push_str("{\n  \"threads\": ");
         s.push_str(&self.threads.to_string());
+        s.push_str(",\n  \"use_plan\": ");
+        s.push_str(if self.use_plan { "true" } else { "false" });
         s.push_str(",\n  \"reduce\": [\n");
         for (i, p) in self.reduce.iter().enumerate() {
             s.push_str(&format!(
@@ -262,6 +343,23 @@ impl PerfReport {
             }
             s.push('\n');
         }
+        s.push_str("  ],\n  \"knn\": [\n");
+        for (i, p) in self.knn.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"n\": {}, \"segments\": {}, \"db\": {}, \"queries\": {}, ",
+                p.n, p.segments, p.db, p.queries
+            ));
+            push_kv(&mut s, "refine_ns_per_candidate", p.refine_ns_per_candidate);
+            s.push_str(", ");
+            // Four decimals: rates live well below the 0.1 resolution of
+            // the timing fields.
+            s.push_str(&format!("\"abandon_rate\":{:.4}", p.abandon_rate));
+            s.push('}');
+            if i + 1 < self.knn.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
         s.push_str("  ],\n  \"ops\": ");
         // The snapshot serialises itself; embed it as a nested object
         // (inner indentation is cosmetic, the JSON stays valid).
@@ -283,9 +381,13 @@ mod tests {
         for p in &report.reduce {
             assert!(p.ns_per_series > 0.0 && p.series_per_sec > 0.0);
         }
+        assert_eq!(report.knn.len(), report.index.len());
         let json = report.to_json();
         assert!(json.contains("\"reduce\""));
         assert!(json.contains("\"index\""));
+        assert!(json.contains("\"knn\""));
+        assert!(json.contains("\"refine_ns_per_candidate\""));
+        assert!(json.contains("\"abandon_rate\""));
         assert!(json.contains("\"ns_per_series\""));
         // The ops section is always present; its content tracks the
         // feature state of this build.
@@ -295,5 +397,14 @@ mod tests {
         // Crude structural sanity: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn quick_grid_runs_without_plans() {
+        let mut grid = PerfGrid::quick();
+        grid.use_plan = false;
+        let report = run(&grid);
+        assert!(!report.index.is_empty());
+        assert!(report.to_json().contains("\"use_plan\": false"));
     }
 }

@@ -101,19 +101,60 @@ impl TimeSeries {
     ///
     /// [`Error::LengthMismatch`] if the lengths differ.
     pub fn euclidean(&self, other: &TimeSeries) -> Result<f64> {
+        // `bound_sq = +∞` never abandons, so the Some is unconditional.
+        Ok(self.euclidean_sq_bounded(other, f64::INFINITY)?.map(f64::sqrt).unwrap_or(0.0))
+    }
+
+    /// Squared Euclidean distance with a block-wise early-abandon bound:
+    /// `None` as soon as the partial squared sum provably exceeds
+    /// `bound_sq`, otherwise `Some` of the exact squared distance.
+    ///
+    /// This is the **single** exact-refinement kernel: every Euclidean
+    /// evaluation in the workspace (full or abandoning, search trees or
+    /// linear scans, and [`TimeSeries::euclidean`] itself) runs this
+    /// accumulation, so their surviving values are bit-for-bit identical
+    /// by construction. Four independent accumulators break the FP add
+    /// latency chain (and give the autovectoriser packed lanes); the
+    /// lane-combine order is fixed, and lanes only grow, so block-level
+    /// partial sums are monotone — an abandoned candidate's true squared
+    /// distance is provably above `bound_sq`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] if the lengths differ.
+    pub fn euclidean_sq_bounded(&self, other: &TimeSeries, bound_sq: f64) -> Result<Option<f64>> {
         if self.len() != other.len() {
             return Err(Error::LengthMismatch { left: self.len(), right: other.len() });
         }
-        let sum: f64 = self
-            .values
-            .iter()
-            .zip(other.values.iter())
-            .map(|(a, b)| {
-                let d = a - b;
-                d * d
-            })
-            .sum();
-        Ok(sum.sqrt())
+        let (a, b) = (self.values.as_slice(), other.values.as_slice());
+        // Check the bound once per block: cheap enough to abandon early,
+        // rare enough not to disturb the vectorised inner loop.
+        const BLOCK: usize = 64;
+        let mut acc = [0.0f64; 4];
+        let combine = |acc: &[f64; 4]| (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        let n = a.len();
+        let mut i = 0usize;
+        while i < n {
+            let end = (i + BLOCK).min(n);
+            let lanes_end = i + (end - i) / 4 * 4;
+            while i < lanes_end {
+                for l in 0..4 {
+                    let d = a[i + l] - b[i + l];
+                    acc[l] += d * d;
+                }
+                i += 4;
+            }
+            // Tail shorter than a lane group: deterministic lane 0.
+            while i < end {
+                let d = a[i] - b[i];
+                acc[0] += d * d;
+                i += 1;
+            }
+            if combine(&acc) > bound_sq {
+                return Ok(None);
+            }
+        }
+        Ok(Some(combine(&acc)))
     }
 
     /// Maximum absolute pointwise difference to another series of the same

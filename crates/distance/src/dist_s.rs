@@ -9,13 +9,25 @@
 /// ```
 pub fn dist_s_sq(qa: f64, qb: f64, ca: f64, cb: f64, l: usize) -> f64 {
     sapla_obs::counter!("dist.s.evals");
-    let lf = l as f64;
-    let da = qa - ca;
-    let db = qb - cb;
+    dist_s_sq_terms(qa - ca, qb - cb, l as f64)
+}
+
+/// The Eq. 12 polynomial over the line *deltas* `Δa = qa − ca`,
+/// `Δb = qb − cb` and the window length as a float. This is the **single**
+/// arithmetic body shared by every `Dist_S` evaluation path — the scalar
+/// [`dist_s_sq`], the streaming/buffered `Dist_PAR` walks, and the
+/// query-planned SoA kernel — so their results are bit-for-bit identical
+/// by construction (same expression, same operation order, no fused
+/// multiply-adds: `f64::mul_add` lowers to a libm call on the baseline
+/// x86-64 target, while this form autovectorises to packed multiplies).
+#[inline]
+pub(crate) fn dist_s_sq_terms(da: f64, db: f64, lf: f64) -> f64 {
     let s = lf * (lf - 1.0) * (2.0 * lf - 1.0) / 6.0 * da * da
         + lf * (lf - 1.0) * da * db
         + lf * db * db;
     // Guard tiny negative rounding when da·db < 0 and the terms cancel.
+    // Keeping every term non-negative is also what makes partial window
+    // sums monotone — the property early-abandoning refinement relies on.
     s.max(0.0)
 }
 

@@ -1,59 +1,44 @@
 //! Exact Euclidean distances over raw series.
+//!
+//! All three entry points delegate to the blocked multi-accumulator
+//! kernel [`TimeSeries::euclidean_sq_bounded`], so full and abandoning
+//! evaluations — and [`TimeSeries::euclidean`] itself — agree
+//! bit-for-bit on every survivor.
 
-use sapla_core::{Error, Result, TimeSeries};
+use sapla_core::{Result, TimeSeries};
 
 /// Squared Euclidean distance between two equal-length series.
 ///
 /// # Errors
 ///
-/// [`Error::LengthMismatch`] when the lengths differ.
+/// [`sapla_core::Error::LengthMismatch`] when the lengths differ.
 pub fn euclidean_sq(a: &TimeSeries, b: &TimeSeries) -> Result<f64> {
-    if a.len() != b.len() {
-        return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
-    }
-    Ok(a.values()
-        .iter()
-        .zip(b.values())
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum())
+    Ok(a.euclidean_sq_bounded(b, f64::INFINITY)?.unwrap_or(0.0))
 }
 
 /// Euclidean distance between two equal-length series.
 ///
 /// # Errors
 ///
-/// [`Error::LengthMismatch`] when the lengths differ.
+/// [`sapla_core::Error::LengthMismatch`] when the lengths differ.
 pub fn euclidean(a: &TimeSeries, b: &TimeSeries) -> Result<f64> {
     euclidean_sq(a, b).map(f64::sqrt)
 }
 
 /// Early-abandoning Euclidean distance: returns `None` as soon as the
-/// running squared sum exceeds `best_sq` (the kth-nearest-so-far bound in a
-/// k-NN refinement loop), otherwise the exact distance.
+/// block-level partial squared sum exceeds `best_sq` (the
+/// kth-nearest-so-far bound in a k-NN refinement loop), otherwise the
+/// exact distance — bit-identical to [`euclidean`] on survivors.
 ///
 /// # Errors
 ///
-/// [`Error::LengthMismatch`] when the lengths differ.
+/// [`sapla_core::Error::LengthMismatch`] when the lengths differ.
 pub fn euclidean_early_abandon(
     a: &TimeSeries,
     b: &TimeSeries,
     best_sq: f64,
 ) -> Result<Option<f64>> {
-    if a.len() != b.len() {
-        return Err(Error::LengthMismatch { left: a.len(), right: b.len() });
-    }
-    let mut acc = 0.0f64;
-    for (x, y) in a.values().iter().zip(b.values()) {
-        let d = x - y;
-        acc += d * d;
-        if acc > best_sq {
-            return Ok(None);
-        }
-    }
-    Ok(Some(acc.sqrt()))
+    Ok(a.euclidean_sq_bounded(b, best_sq)?.map(f64::sqrt))
 }
 
 #[cfg(test)]

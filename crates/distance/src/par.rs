@@ -12,7 +12,7 @@
 //! Complexity: `O(N_Q + N_C)` — strictly cheaper than the `O(n)` of
 //! `Dist_LB`/`Dist_AE`.
 
-use sapla_core::{Error, PiecewiseLinear, Result};
+use sapla_core::{Error, LinearSegment, PiecewiseLinear, Result};
 
 use crate::dist_s::dist_s_sq;
 
@@ -78,7 +78,10 @@ pub struct AlignedWindow {
 /// Reusable buffer for the materialised partition, for callers that
 /// evaluate many candidate distances in a row (e.g. per-worker scratch
 /// in parallel k-NN): the window `Vec` keeps its capacity across calls,
-/// so steady-state distance evaluation allocates nothing.
+/// so steady-state distance evaluation allocates nothing. (The planned
+/// kernel in [`crate::plan`] fuses accumulation into the walk and needs
+/// no buffering at all; it takes the scratch only so every `Dist_PAR`
+/// entry point shares one calling convention.)
 #[derive(Debug, Clone, Default)]
 pub struct ParScratch {
     windows: Vec<AlignedWindow>,
@@ -88,6 +91,92 @@ impl ParScratch {
     /// The partition materialised by the last [`dist_par_sq_with`] call.
     pub fn windows(&self) -> &[AlignedWindow] {
         &self.windows
+    }
+}
+
+/// Contiguous struct-of-arrays view of a linear segmentation: parallel
+/// `slopes`/`intercepts`/`endpoints` slices, one element per segment.
+/// This is the candidate-side layout of the SoA leaf blocks in
+/// `sapla-index` — leaf refinement walks cache-linear coefficient arrays
+/// instead of pointer-hopping per-entry [`PiecewiseLinear`] structs.
+#[derive(Debug, Clone, Copy)]
+pub struct SoaSegs<'a> {
+    slopes: &'a [f64],
+    intercepts: &'a [f64],
+    endpoints: &'a [usize],
+}
+
+impl<'a> SoaSegs<'a> {
+    /// Wrap three parallel coefficient slices as a segmentation view.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::MalformedRepresentation`] when the slices are empty or
+    /// their lengths disagree. (Endpoint monotonicity is the producer's
+    /// contract, as it is for [`PiecewiseLinear::new`]'s inputs; the SoA
+    /// blocks in `sapla-index` are flattened from already-validated
+    /// representations.)
+    pub fn new(slopes: &'a [f64], intercepts: &'a [f64], endpoints: &'a [usize]) -> Result<Self> {
+        if slopes.is_empty() || slopes.len() != intercepts.len() || slopes.len() != endpoints.len()
+        {
+            return Err(Error::MalformedRepresentation {
+                reason: "SoA segmentation view needs equal-length non-empty coefficient slices",
+            });
+        }
+        Ok(SoaSegs { slopes, intercepts, endpoints })
+    }
+
+    /// Number of segments in the view.
+    pub fn num_segments(&self) -> usize {
+        self.slopes.len()
+    }
+
+    /// Number of original points the segmentation covers.
+    pub fn series_len(&self) -> usize {
+        self.endpoints[self.endpoints.len() - 1] + 1
+    }
+}
+
+/// Accessor abstraction over a linear segmentation for the endpoint-union
+/// walk: implemented for `&[LinearSegment]` (the stored AoS layout), for
+/// [`SoaSegs`] (contiguous leaf blocks), and for the query side of a
+/// [`crate::plan::QueryPlan`]. Every `Dist_PAR` entry point walks windows
+/// through [`walk_windows`] over this trait, so the window sequence —
+/// and therefore the summation order — cannot diverge between layouts.
+pub(crate) trait SegSource: Copy {
+    fn count(self) -> usize;
+    fn a(self, i: usize) -> f64;
+    fn b(self, i: usize) -> f64;
+    fn r(self, i: usize) -> usize;
+}
+
+impl SegSource for &[LinearSegment] {
+    fn count(self) -> usize {
+        self.len()
+    }
+    fn a(self, i: usize) -> f64 {
+        self[i].a
+    }
+    fn b(self, i: usize) -> f64 {
+        self[i].b
+    }
+    fn r(self, i: usize) -> usize {
+        self[i].r
+    }
+}
+
+impl SegSource for SoaSegs<'_> {
+    fn count(self) -> usize {
+        self.slopes.len()
+    }
+    fn a(self, i: usize) -> f64 {
+        self.slopes[i]
+    }
+    fn b(self, i: usize) -> f64 {
+        self.intercepts[i]
+    }
+    fn r(self, i: usize) -> usize {
+        self.endpoints[i]
     }
 }
 
@@ -118,41 +207,73 @@ pub fn dist_par_sq_with(
     Ok(sum)
 }
 
-/// The single implementation of the endpoint-union walk (Definition 5.1):
-/// visits every aligned window in order without allocating. Both public
-/// entry points ([`dist_par_sq`], [`dist_par_sq_with`]) are thin wrappers
-/// over this, so their window sequences cannot diverge.
+/// Entry-point wrapper over [`walk_windows`] for two stored
+/// representations. Every `Dist_PAR` variant ([`dist_par_sq`],
+/// [`dist_par_sq_with`], and the planned kernels in [`crate::plan`]) goes
+/// through the same generic walker, so their window sequences cannot
+/// diverge.
 // audit: no_alloc — the window walk must stay allocation-free.
 fn for_each_window(
     q: &PiecewiseLinear,
     c: &PiecewiseLinear,
-    mut visit: impl FnMut(AlignedWindow),
+    visit: impl FnMut(AlignedWindow),
 ) -> Result<()> {
     if q.series_len() != c.series_len() {
         return Err(Error::LengthMismatch { left: q.series_len(), right: c.series_len() });
     }
-    let qs = q.segments();
-    let cs = c.segments();
+    walk_windows(q.segments(), c.segments(), visit);
+    Ok(())
+}
 
+/// The single implementation of the endpoint-union walk (Definition 5.1):
+/// visits every aligned window in order without allocating, generic over
+/// the segment layout of either side (AoS slices, SoA blocks, query
+/// plans). Callers must have checked that both sides cover the same
+/// number of points.
+// audit: no_alloc — the window walk must stay allocation-free.
+pub(crate) fn walk_windows<Q: SegSource, C: SegSource>(
+    qs: Q,
+    cs: C,
+    mut visit: impl FnMut(AlignedWindow),
+) {
+    walk_windows_until(qs, cs, |w| {
+        visit(w);
+        true
+    });
+}
+
+/// [`walk_windows`] with an early exit: the walk stops as soon as `visit`
+/// returns `false`. This is the core walker — the windows visited up to
+/// the exit are exactly the prefix of the full walk, which is what lets
+/// the planned kernel's early abandoning stay decision-identical to the
+/// complete evaluation.
+// audit: no_alloc — the window walk must stay allocation-free.
+pub(crate) fn walk_windows_until<Q: SegSource, C: SegSource>(
+    qs: Q,
+    cs: C,
+    mut visit: impl FnMut(AlignedWindow) -> bool,
+) {
     // Walk the union of endpoints: window [start, end] is the largest
     // aligned window below both current endpoints.
     let (mut qi, mut ci) = (0usize, 0usize);
     let mut start = 0usize;
     let (mut q_start, mut c_start) = (0usize, 0usize);
     loop {
-        let qe = qs[qi].r;
-        let ce = cs[ci].r;
+        let qe = qs.r(qi);
+        let ce = cs.r(ci);
         let end = qe.min(ce);
         let l = end + 1 - start;
         // Lines restricted to [start, end]: slope unchanged, intercept
         // shifted to the window's first point.
-        let qa = qs[qi].a;
-        let qb = qs[qi].b + qa * (start - q_start) as f64;
-        let ca = cs[ci].a;
-        let cb = cs[ci].b + ca * (start - c_start) as f64;
-        visit(AlignedWindow { qa, qb, ca, cb, len: l });
+        let qa = qs.a(qi);
+        let qb = qs.b(qi) + qa * (start - q_start) as f64;
+        let ca = cs.a(ci);
+        let cb = cs.b(ci) + ca * (start - c_start) as f64;
+        if !visit(AlignedWindow { qa, qb, ca, cb, len: l }) {
+            break;
+        }
 
-        if qe == ce && qi + 1 == qs.len() {
+        if qe == ce && qi + 1 == qs.count() {
             break;
         }
         if qe == end {
@@ -165,7 +286,6 @@ fn for_each_window(
         }
         start = end + 1;
     }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -13,9 +13,11 @@
 use std::cmp::Reverse;
 
 use sapla_core::{OrdF64, Representation, Result, TimeSeries};
+use sapla_distance::{euclidean_early_abandon, safe_sq_bound};
 
 use crate::knn::{KnnScratch, SearchStats, SearchTally};
 use crate::scheme::{Query, Scheme};
+use crate::soa::LeafBlock;
 use crate::stats::TreeShape;
 
 /// How the query-to-node distance of Section 5.3 is computed.
@@ -80,6 +82,10 @@ pub struct DbchTree {
     nodes: Vec<Node>,
     reps: Vec<Representation>,
     rule: NodeDistRule,
+    /// Per-node SoA leaf blocks (parallel to `nodes`), refreshed at every
+    /// leaf mutation; leaf refinement takes the cache-linear planned
+    /// kernel through them when the query carries a plan.
+    blocks: Vec<LeafBlock>,
 }
 
 impl DbchTree {
@@ -120,7 +126,9 @@ impl DbchTree {
             }],
             reps,
             rule,
+            blocks: Vec::new(),
         };
+        tree.refresh_block(0);
         for id in 0..tree.reps.len() {
             tree.insert_entry(id, scheme)?;
         }
@@ -167,6 +175,7 @@ impl DbchTree {
         let mut hits: Vec<(f64, usize)> = Vec::new();
         let mut tally = SearchTally::default();
         let mut dist_scratch = sapla_distance::ParScratch::default();
+        let use_soa = scheme.supports_par_plan() && q.plan.is_some();
         if !self.is_empty() {
             let mut stack = vec![self.root];
             while let Some(nid) = stack.pop() {
@@ -179,15 +188,39 @@ impl DbchTree {
                     NodeKind::Internal(children) => stack.extend(children.iter().copied()),
                     NodeKind::Leaf(entries) => {
                         tally.consider(entries.len());
-                        for &e in entries {
-                            if scheme.rep_dist_with(q, &self.reps[e], &mut dist_scratch)? <= epsilon
-                            {
+                        let block = self
+                            .blocks
+                            .get(nid)
+                            .filter(|b| use_soa && b.is_ok() && b.num_entries() == entries.len());
+                        for (j, &e) in entries.iter().enumerate() {
+                            let kept = match block {
+                                Some(b) => scheme.rep_dist_pruned_soa(
+                                    q,
+                                    b.entry(j)?,
+                                    epsilon,
+                                    &mut dist_scratch,
+                                )?,
+                                None => scheme.rep_dist_pruned(
+                                    q,
+                                    &self.reps[e],
+                                    epsilon,
+                                    &mut dist_scratch,
+                                )?,
+                            };
+                            if kept.is_some() {
                                 tally.measure();
-                                let exact = q.raw.euclidean(&raws[e])?;
-                                #[cfg(feature = "strict-invariants")]
-                                crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
-                                if exact <= epsilon {
-                                    hits.push((exact, e));
+                                // Abandoned ⇒ exact > epsilon strictly:
+                                // not a hit, same as the full comparison.
+                                if let Some(exact) = euclidean_early_abandon(
+                                    &q.raw,
+                                    &raws[e],
+                                    safe_sq_bound(epsilon),
+                                )? {
+                                    #[cfg(feature = "strict-invariants")]
+                                    crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
+                                    if exact <= epsilon {
+                                        hits.push((exact, e));
+                                    }
                                 }
                             } else {
                                 tally.prune();
@@ -227,6 +260,7 @@ impl DbchTree {
         if root_empty {
             self.nodes[self.root].kind = NodeKind::Leaf(vec![]);
             self.nodes[self.root].hull = Hull { u: 0, l: 0, volume: 0.0 };
+            self.refresh_block(self.root);
         }
         loop {
             let next = match &self.nodes[self.root].kind {
@@ -280,15 +314,18 @@ impl DbchTree {
                     };
                     entries.remove(pos);
                     if entries.is_empty() {
+                        self.blocks[node].invalidate();
                         return Ok((true, true));
                     }
                     if entries.len() < self.min_fill && !is_root {
                         orphans.append(entries);
+                        self.blocks[node].invalidate();
                         return Ok((true, true));
                     }
                     entries.clone()
                 };
                 self.nodes[node].hull = self.leaf_hull(scheme, &remaining)?;
+                self.refresh_block(node);
                 Ok((true, false))
             }
             NodeKind::Internal(children) => {
@@ -340,12 +377,27 @@ impl DbchTree {
         scheme.pair_dist(&self.reps[a], &self.reps[b])
     }
 
+    /// Mirror a node into its SoA leaf block (see [`LeafBlock`]): leaves
+    /// get their entry coefficients flattened, internal slots are marked
+    /// unusable. Called at every site that mutates a leaf's entry list,
+    /// keeping `blocks` parallel to `nodes`.
+    fn refresh_block(&mut self, node: usize) {
+        if self.blocks.len() < self.nodes.len() {
+            self.blocks.resize_with(self.nodes.len(), LeafBlock::default);
+        }
+        match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => self.blocks[node].rebuild(entries, &self.reps),
+            NodeKind::Internal(_) => self.blocks[node].invalidate(),
+        }
+    }
+
     fn insert_entry(&mut self, id: usize, scheme: &dyn Scheme) -> Result<()> {
         if let Some(sibling) = self.insert_rec(self.root, id, scheme)? {
             let old_root = self.root;
             let hull = self.internal_hull(scheme, &[old_root, sibling])?;
             self.nodes.push(Node { hull, kind: NodeKind::Internal(vec![old_root, sibling]) });
             self.root = self.nodes.len() - 1;
+            self.refresh_block(self.root);
         }
         Ok(())
     }
@@ -364,6 +416,7 @@ impl DbchTree {
                     Ok(Some(self.split_leaf(node, scheme)?))
                 } else {
                     self.nodes[node].hull = self.leaf_hull(scheme, &entries)?;
+                    self.refresh_block(node);
                     Ok(None)
                 }
             }
@@ -472,7 +525,10 @@ impl DbchTree {
         let hb = self.leaf_hull(scheme, &gb)?;
         self.nodes[node] = Node { hull: ha, kind: NodeKind::Leaf(ga) };
         self.nodes.push(Node { hull: hb, kind: NodeKind::Leaf(gb) });
-        Ok(self.nodes.len() - 1)
+        let sibling = self.nodes.len() - 1;
+        self.refresh_block(node);
+        self.refresh_block(sibling);
+        Ok(sibling)
     }
 
     fn split_internal(&mut self, node: usize, scheme: &dyn Scheme) -> Result<usize> {
@@ -519,7 +575,10 @@ impl DbchTree {
         let hb = self.internal_hull(scheme, &gb)?;
         self.nodes[node] = Node { hull: ha, kind: NodeKind::Internal(ga) };
         self.nodes.push(Node { hull: hb, kind: NodeKind::Internal(gb) });
-        Ok(self.nodes.len() - 1)
+        let sibling = self.nodes.len() - 1;
+        self.refresh_block(node);
+        self.refresh_block(sibling);
+        Ok(sibling)
     }
 
     /// Query-to-node distance (Section 5.3).
@@ -592,8 +651,12 @@ impl DbchTree {
             let d = self.node_dist(q, scheme, self.root, dist)?;
             heap.push(Reverse((OrdF64::new(d), self.root, 0)));
         }
+        let use_soa = scheme.supports_par_plan() && q.plan.is_some();
         while let Some(Reverse((d, nid, depth))) = heap.pop() {
             if d.get() > results.threshold() {
+                // Best-first order: the popped node *and* everything
+                // still queued behind it are beyond the threshold.
+                tally.prune_nodes(1 + heap.len());
                 break;
             }
             tally.visit_node();
@@ -611,14 +674,54 @@ impl DbchTree {
                 }
                 NodeKind::Leaf(entries) => {
                     tally.consider(entries.len());
-                    for &e in entries {
-                        let rep_d = scheme.rep_dist_with(q, &self.reps[e], dist)?;
-                        if rep_d <= results.threshold() {
+                    let block = self
+                        .blocks
+                        .get(nid)
+                        .filter(|b| use_soa && b.is_ok() && b.num_entries() == entries.len());
+                    for (j, &e) in entries.iter().enumerate() {
+                        let threshold = results.threshold();
+                        // While the result heap is not yet full the
+                        // threshold is ∞ and no filter can prune, so the
+                        // representation distance is skipped outright —
+                        // the keep-decision is identical (`d ≤ ∞`).
+                        // Strict-invariants builds still evaluate it to
+                        // keep the lb ≤ exact audit on every candidate.
+                        let skip_filter =
+                            threshold.is_infinite() && !cfg!(feature = "strict-invariants");
+                        let kept = if skip_filter {
+                            Some(f64::INFINITY)
+                        } else {
+                            match block {
+                                Some(b) => {
+                                    scheme.rep_dist_pruned_soa(q, b.entry(j)?, threshold, dist)?
+                                }
+                                None => {
+                                    scheme.rep_dist_pruned(q, &self.reps[e], threshold, dist)?
+                                }
+                            }
+                        };
+                        if kept.is_some() {
                             tally.measure();
-                            let exact = q.raw.euclidean(&raws[e])?;
-                            #[cfg(feature = "strict-invariants")]
-                            crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
-                            results.push(exact, e);
+                            // Early-abandoning refinement: an abandoned
+                            // candidate has exact > threshold *strictly*
+                            // (the safe_sq_bound slack absorbs the t²
+                            // rounding), so pushing it would pop it
+                            // straight back out — skipping the push
+                            // leaves the heap bit-identical.
+                            match euclidean_early_abandon(
+                                &q.raw,
+                                &raws[e],
+                                safe_sq_bound(results.threshold()),
+                            )? {
+                                Some(exact) => {
+                                    #[cfg(feature = "strict-invariants")]
+                                    crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
+                                    results.push(exact, e);
+                                }
+                                // The invariant lb ≤ exact holds here by
+                                // construction: lb ≤ threshold < exact.
+                                None => sapla_obs::counter!("index.knn.refine_abandoned"),
+                            }
                         } else {
                             tally.prune();
                         }

@@ -67,6 +67,16 @@ impl SearchTally {
         self.nodes_pruned += 1;
     }
 
+    /// `n` nodes were discarded at once — the best-first loop terminates
+    /// as soon as the closest queued node is beyond the k-th-best
+    /// threshold, which prunes that node *and* everything still queued
+    /// behind it. (Before this existed, those nodes went uncounted and
+    /// the quick-grid profile reported `nodes_pruned == 0` even though
+    /// the trees were pruning.)
+    pub fn prune_nodes(&mut self, n: usize) {
+        self.nodes_pruned += n;
+    }
+
     /// A leaf offered `n` candidate entries.
     pub fn consider(&mut self, n: usize) {
         self.considered += n;

@@ -30,11 +30,12 @@ pub mod parallel;
 pub mod rect;
 pub mod rtree;
 pub mod scheme;
+pub(crate) mod soa;
 pub mod stats;
 
 pub use dbch::{DbchTree, NodeDistRule};
 pub use knn::{KnnScratch, SearchStats};
-pub use linear_scan::{linear_scan_knn, linear_scan_range};
+pub use linear_scan::{filtered_scan_knn, linear_scan_knn, linear_scan_range};
 pub use parallel::{ingest_parallel, knn_batch, prepare_queries, BatchStats};
 pub use rect::HyperRect;
 pub use rtree::RTree;

@@ -1,9 +1,13 @@
-//! Exact linear scan — the no-index baseline of Fig. 14b.
+//! Exact linear scan — the no-index baseline of Fig. 14b — plus the
+//! GEMINI filtered scan (representation filter, exact refinement, no
+//! tree), the third search path the planned-kernel equivalence tests
+//! exercise.
 
-use sapla_core::{Result, TimeSeries};
-use sapla_distance::euclidean_early_abandon;
+use sapla_core::{Representation, Result, TimeSeries};
+use sapla_distance::{euclidean_early_abandon, safe_sq_bound};
 
 use crate::knn::{KnnHeap, SearchStats, SearchTally};
+use crate::scheme::{Query, Scheme};
 
 /// Exact k-NN by scanning every series (with early abandoning on the
 /// running kth-best bound). `measured` equals the database size — linear
@@ -25,6 +29,60 @@ pub fn linear_scan_knn(query: &TimeSeries, raws: &[TimeSeries], k: usize) -> Res
     }
     let (retrieved, distances) = results.into_sorted();
     Ok(SearchStats { retrieved, distances, measured: tally.finish_scan(), total: raws.len() })
+}
+
+/// GEMINI k-NN without a tree: scan every representation through the
+/// scheme's pruned filter (planned `Dist_PAR` with early abandoning for
+/// the adaptive schemes) and refine survivors exactly. The flat-scan
+/// counterpart of the tree searches — same filter, no node bounds — so
+/// it isolates the representation's pruning power from tree quality,
+/// and serves as the third path in the planned-kernel equivalence
+/// tests.
+///
+/// With valid lower bounds the retrieved set is the true k-NN; for the
+/// adaptive schemes it inherits the conditional-bound caveat of
+/// `Dist_PAR`.
+///
+/// # Errors
+///
+/// Propagates distance-computation failures.
+pub fn filtered_scan_knn(
+    q: &Query,
+    reps: &[Representation],
+    raws: &[TimeSeries],
+    k: usize,
+    scheme: &dyn Scheme,
+) -> Result<SearchStats> {
+    debug_assert_eq!(raws.len(), reps.len());
+    let mut results = KnnHeap::new(k);
+    let mut tally = SearchTally::default();
+    let mut dist_scratch = sapla_distance::ParScratch::default();
+    tally.consider(reps.len());
+    for (i, rep) in reps.iter().enumerate() {
+        let threshold = results.threshold();
+        // Threshold ∞ (heap not yet full) ⇒ the filter cannot prune;
+        // skip it, as the trees do. Strict-invariants builds keep it so
+        // every candidate passes the lb ≤ exact audit.
+        let skip_filter = threshold.is_infinite() && !cfg!(feature = "strict-invariants");
+        if skip_filter || scheme.rep_dist_pruned(q, rep, threshold, &mut dist_scratch)?.is_some() {
+            tally.measure();
+            // Early-abandoning refinement, same contract as the trees:
+            // abandoned ⇒ exact > threshold strictly ⇒ the push would be
+            // popped straight back out, so skipping it changes nothing.
+            match euclidean_early_abandon(&q.raw, &raws[i], safe_sq_bound(threshold))? {
+                Some(exact) => {
+                    #[cfg(feature = "strict-invariants")]
+                    crate::scheme::assert_lb_le_exact(q, rep, exact)?;
+                    results.push(exact, i);
+                }
+                None => sapla_obs::counter!("index.knn.refine_abandoned"),
+            }
+        } else {
+            tally.prune();
+        }
+    }
+    let (retrieved, distances) = results.into_sorted();
+    Ok(SearchStats { retrieved, distances, measured: tally.finish_knn(), total: raws.len() })
 }
 
 /// Exact ε-range search by scanning every series.
@@ -104,6 +162,21 @@ mod tests {
             assert_eq!(got.retrieved.contains(&i), d <= 1.5, "series {i} at {d}");
         }
         assert!(got.distances.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn filtered_scan_matches_plain_scan_for_paa() {
+        use sapla_baselines::{Paa, Reducer};
+        let raws = dataset();
+        let reps: Vec<Representation> = raws.iter().map(|s| Paa.reduce(s, 8).unwrap()).collect();
+        let scheme = crate::scheme::scheme_for("PAA").unwrap();
+        let q = Query::new(&raws[4], &Paa, 8).unwrap();
+        let filtered = filtered_scan_knn(&q, &reps, &raws, 4, scheme.as_ref()).unwrap();
+        let plain = linear_scan_knn(&raws[4], &raws, 4).unwrap();
+        // PAA's bound is a true lower bound, so the filtered scan is exact
+        // and can only measure fewer series.
+        assert_eq!(filtered.retrieved, plain.retrieved);
+        assert!(filtered.measured <= plain.measured);
     }
 
     #[test]

@@ -8,13 +8,14 @@
 //! refined against the raw series.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 use sapla_core::{OrdF64, Representation, Result, TimeSeries};
+use sapla_distance::{euclidean_early_abandon, safe_sq_bound};
 
-use crate::knn::{KnnHeap, SearchStats, SearchTally};
+use crate::knn::{KnnScratch, SearchStats, SearchTally};
 use crate::rect::HyperRect;
 use crate::scheme::{Query, Scheme};
+use crate::soa::LeafBlock;
 use crate::stats::TreeShape;
 
 #[derive(Debug, Clone)]
@@ -56,6 +57,10 @@ pub struct RTree {
     nodes: Vec<Node>,
     reps: Vec<Representation>,
     features: Vec<Vec<f64>>,
+    /// Per-node SoA leaf blocks (parallel to `nodes`), refreshed at every
+    /// leaf mutation; only consulted when the scheme supports the planned
+    /// `Dist_PAR` kernels and the query carries a plan.
+    blocks: Vec<LeafBlock>,
 }
 
 impl RTree {
@@ -87,7 +92,9 @@ impl RTree {
             }],
             reps,
             features,
+            blocks: Vec::new(),
         };
+        tree.refresh_block(0);
         for id in 0..tree.reps.len() {
             tree.insert_entry(id);
         }
@@ -124,11 +131,14 @@ impl RTree {
             }],
             reps,
             features,
+            blocks: Vec::new(),
         };
         if tree.reps.is_empty() {
+            tree.refresh_block(0);
             return Ok(tree);
         }
         tree.nodes.clear();
+        tree.blocks.clear();
 
         // Pack entries into leaves, ordered by the first feature dim.
         let mut order: Vec<usize> = (0..tree.reps.len()).collect();
@@ -171,6 +181,9 @@ impl RTree {
             level = next;
         }
         tree.root = level[0];
+        for node in 0..tree.nodes.len() {
+            tree.refresh_block(node);
+        }
         Ok(tree)
     }
 
@@ -218,6 +231,8 @@ impl RTree {
         debug_assert_eq!(raws.len(), self.reps.len());
         let mut hits: Vec<(f64, usize)> = Vec::new();
         let mut tally = SearchTally::default();
+        let mut dist_scratch = sapla_distance::ParScratch::default();
+        let use_soa = scheme.supports_par_plan() && q.plan.is_some();
         if !self.is_empty() {
             let mut stack = vec![self.root];
             while let Some(nid) = stack.pop() {
@@ -230,14 +245,39 @@ impl RTree {
                     NodeKind::Internal(children) => stack.extend(children.iter().copied()),
                     NodeKind::Leaf(entries) => {
                         tally.consider(entries.len());
-                        for &e in entries {
-                            if scheme.rep_dist(q, &self.reps[e])? <= epsilon {
+                        let block = self
+                            .blocks
+                            .get(nid)
+                            .filter(|b| use_soa && b.is_ok() && b.num_entries() == entries.len());
+                        for (j, &e) in entries.iter().enumerate() {
+                            let kept = match block {
+                                Some(b) => scheme.rep_dist_pruned_soa(
+                                    q,
+                                    b.entry(j)?,
+                                    epsilon,
+                                    &mut dist_scratch,
+                                )?,
+                                None => scheme.rep_dist_pruned(
+                                    q,
+                                    &self.reps[e],
+                                    epsilon,
+                                    &mut dist_scratch,
+                                )?,
+                            };
+                            if kept.is_some() {
                                 tally.measure();
-                                let exact = q.raw.euclidean(&raws[e])?;
-                                #[cfg(feature = "strict-invariants")]
-                                crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
-                                if exact <= epsilon {
-                                    hits.push((exact, e));
+                                // Abandoned ⇒ exact > epsilon strictly:
+                                // not a hit, same as the full comparison.
+                                if let Some(exact) = euclidean_early_abandon(
+                                    &q.raw,
+                                    &raws[e],
+                                    safe_sq_bound(epsilon),
+                                )? {
+                                    #[cfg(feature = "strict-invariants")]
+                                    crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
+                                    if exact <= epsilon {
+                                        hits.push((exact, e));
+                                    }
                                 }
                             } else {
                                 tally.prune();
@@ -273,6 +313,7 @@ impl RTree {
         }
         if root_empty {
             self.nodes[self.root].kind = NodeKind::Leaf(vec![]);
+            self.refresh_block(self.root);
         }
         // Shrink a root that lost all but one child.
         loop {
@@ -315,17 +356,24 @@ impl RTree {
                     return (false, false);
                 };
                 let is_root = node == self.root;
+                let mut detach = false;
                 if let NodeKind::Leaf(entries) = &mut self.nodes[node].kind {
                     entries.remove(pos);
                     if entries.is_empty() {
-                        return (true, true);
-                    }
-                    if entries.len() < self.min_fill && !is_root {
+                        detach = true;
+                    } else if entries.len() < self.min_fill && !is_root {
                         orphans.append(entries);
-                        return (true, true);
+                        detach = true;
                     }
                 }
+                if detach {
+                    if let Some(b) = self.blocks.get_mut(node) {
+                        b.invalidate();
+                    }
+                    return (true, true);
+                }
                 self.recompute_rect(node);
+                self.refresh_block(node);
                 (true, false)
             }
             NodeKind::Internal(children) => {
@@ -374,6 +422,20 @@ impl RTree {
         HyperRect::point(&self.features[id])
     }
 
+    /// Mirror a node into its SoA leaf block (see [`LeafBlock`]): leaves
+    /// get their entry coefficients flattened, internal slots are marked
+    /// unusable. Called at every site that mutates a leaf's entry list,
+    /// keeping `blocks` parallel to `nodes`.
+    fn refresh_block(&mut self, node: usize) {
+        if self.blocks.len() < self.nodes.len() {
+            self.blocks.resize_with(self.nodes.len(), LeafBlock::default);
+        }
+        match &self.nodes[node].kind {
+            NodeKind::Leaf(entries) => self.blocks[node].rebuild(entries, &self.reps),
+            NodeKind::Internal(_) => self.blocks[node].invalidate(),
+        }
+    }
+
     fn insert_entry(&mut self, id: usize) {
         let rect = self.entry_rect(id);
         if let NodeKind::Leaf(entries) = &self.nodes[self.root].kind {
@@ -382,6 +444,7 @@ impl RTree {
                 if let NodeKind::Leaf(entries) = &mut self.nodes[self.root].kind {
                     entries.push(id);
                 }
+                self.refresh_block(self.root);
                 return;
             }
         }
@@ -392,6 +455,7 @@ impl RTree {
             self.nodes
                 .push(Node { rect: new_rect, kind: NodeKind::Internal(vec![old_root, sibling]) });
             self.root = self.nodes.len() - 1;
+            self.refresh_block(self.root);
         }
     }
 
@@ -403,7 +467,12 @@ impl RTree {
                 if let NodeKind::Leaf(entries) = &mut self.nodes[node].kind {
                     entries.push(id);
                 }
-                (self.leaf_len(node) > self.max_fill).then(|| self.split_leaf(node))
+                if self.leaf_len(node) > self.max_fill {
+                    Some(self.split_leaf(node))
+                } else {
+                    self.refresh_block(node);
+                    None
+                }
             }
             NodeKind::Internal(children) => {
                 // Guttman: child whose rect needs least enlargement
@@ -488,6 +557,8 @@ impl RTree {
         });
         let sib = self.nodes.len() - 1;
         self.recompute_rect(sib);
+        self.refresh_block(node);
+        self.refresh_block(sib);
         sib
     }
 
@@ -528,25 +599,48 @@ impl RTree {
         scheme: &dyn Scheme,
         raws: &[TimeSeries],
     ) -> Result<SearchStats> {
+        self.knn_with_scratch(q, k, scheme, raws, &mut KnnScratch::new())
+    }
+
+    /// [`RTree::knn`] with caller-owned scratch buffers, making
+    /// steady-state search allocation-free. Results are identical to
+    /// [`RTree::knn`] whatever the scratch's history — every buffer is
+    /// cleared on entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distance-computation failures.
+    pub fn knn_with_scratch(
+        &self,
+        q: &Query,
+        k: usize,
+        scheme: &dyn Scheme,
+        raws: &[TimeSeries],
+        scratch: &mut KnnScratch,
+    ) -> Result<SearchStats> {
         debug_assert_eq!(raws.len(), self.reps.len());
-        let mut results = KnnHeap::new(k);
+        scratch.reset(k);
+        let KnnScratch { results, nodes: heap, dist } = scratch;
         let mut tally = SearchTally::default();
-        let mut heap: BinaryHeap<Reverse<(OrdF64, usize)>> = BinaryHeap::new();
+        let use_soa = scheme.supports_par_plan() && q.plan.is_some();
         if !self.is_empty() {
             let d = scheme.mindist(q, &self.nodes[self.root].rect)?;
-            heap.push(Reverse((OrdF64::new(d), self.root)));
+            heap.push(Reverse((OrdF64::new(d), self.root, 0)));
         }
-        while let Some(Reverse((d, nid))) = heap.pop() {
+        while let Some(Reverse((d, nid, depth))) = heap.pop() {
             if d.get() > results.threshold() {
+                // Best-first order: the popped node *and* everything
+                // still queued behind it are beyond the threshold.
+                tally.prune_nodes(1 + heap.len());
                 break;
             }
             tally.visit_node();
             match &self.nodes[nid].kind {
                 NodeKind::Internal(children) => {
                     for &c in children {
-                        let dist = scheme.mindist(q, &self.nodes[c].rect)?;
-                        if dist <= results.threshold() {
-                            heap.push(Reverse((OrdF64::new(dist), c)));
+                        let d_child = scheme.mindist(q, &self.nodes[c].rect)?;
+                        if d_child <= results.threshold() {
+                            heap.push(Reverse((OrdF64::new(d_child), c, depth + 1)));
                         } else {
                             tally.prune_node();
                         }
@@ -554,14 +648,54 @@ impl RTree {
                 }
                 NodeKind::Leaf(entries) => {
                     tally.consider(entries.len());
-                    for &e in entries {
-                        let dist = scheme.rep_dist(q, &self.reps[e])?;
-                        if dist <= results.threshold() {
+                    let block = self
+                        .blocks
+                        .get(nid)
+                        .filter(|b| use_soa && b.is_ok() && b.num_entries() == entries.len());
+                    for (j, &e) in entries.iter().enumerate() {
+                        let threshold = results.threshold();
+                        // While the result heap is not yet full the
+                        // threshold is ∞ and no filter can prune, so the
+                        // representation distance is skipped outright —
+                        // the keep-decision is identical (`d ≤ ∞`).
+                        // Strict-invariants builds still evaluate it to
+                        // keep the lb ≤ exact audit on every candidate.
+                        let skip_filter =
+                            threshold.is_infinite() && !cfg!(feature = "strict-invariants");
+                        let kept = if skip_filter {
+                            Some(f64::INFINITY)
+                        } else {
+                            match block {
+                                Some(b) => {
+                                    scheme.rep_dist_pruned_soa(q, b.entry(j)?, threshold, dist)?
+                                }
+                                None => {
+                                    scheme.rep_dist_pruned(q, &self.reps[e], threshold, dist)?
+                                }
+                            }
+                        };
+                        if kept.is_some() {
                             tally.measure();
-                            let exact = q.raw.euclidean(&raws[e])?;
-                            #[cfg(feature = "strict-invariants")]
-                            crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
-                            results.push(exact, e);
+                            // Early-abandoning refinement: an abandoned
+                            // candidate has exact > threshold *strictly*
+                            // (the safe_sq_bound slack absorbs the t²
+                            // rounding), so pushing it would pop it
+                            // straight back out — skipping the push
+                            // leaves the heap bit-identical.
+                            match euclidean_early_abandon(
+                                &q.raw,
+                                &raws[e],
+                                safe_sq_bound(results.threshold()),
+                            )? {
+                                Some(exact) => {
+                                    #[cfg(feature = "strict-invariants")]
+                                    crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
+                                    results.push(exact, e);
+                                }
+                                // The invariant lb ≤ exact holds here by
+                                // construction: lb ≤ threshold < exact.
+                                None => sapla_obs::counter!("index.knn.refine_abandoned"),
+                            }
                         } else {
                             tally.prune();
                         }
@@ -569,7 +703,7 @@ impl RTree {
                 }
             }
         }
-        let (retrieved, distances) = results.into_sorted();
+        let (retrieved, distances) = results.drain_sorted();
         Ok(SearchStats {
             retrieved,
             distances,

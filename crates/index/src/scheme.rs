@@ -11,13 +11,15 @@ use sapla_baselines::sax::gaussian_breakpoints;
 use sapla_baselines::{ReduceScratch, Reducer};
 use sapla_core::{Error, PrefixSums, Representation, Result, TimeSeries};
 use sapla_distance::{
-    dist_paa, dist_par, dist_par_sq_with, dist_pla, dist_s_sq, mindist, rep_distance,
+    dist_paa, dist_par, dist_par_sq_planned, dist_par_sq_planned_soa, dist_par_sq_with, dist_pla,
+    dist_s_sq, mindist, rep_distance, safe_sq_bound, QueryPlan, SoaSegs,
 };
 
 use crate::rect::HyperRect;
 
-/// A query prepared for index search: raw series, its prefix sums, and its
-/// reduced representation under the indexed method.
+/// A query prepared for index search: raw series, its prefix sums, its
+/// reduced representation under the indexed method, and — for linear
+/// representations — the query-compiled `Dist_PAR` plan.
 #[derive(Debug, Clone)]
 pub struct Query {
     /// The raw query series.
@@ -26,6 +28,11 @@ pub struct Query {
     pub sums: PrefixSums,
     /// The query's own reduced representation.
     pub rep: Representation,
+    /// Query-compiled `Dist_PAR` plan (linear representations only).
+    /// `None` disables the planned kernels — search falls back to the
+    /// unplanned reference path with identical results; the equivalence
+    /// proptests strip this field to pin that.
+    pub plan: Option<QueryPlan>,
 }
 
 impl Query {
@@ -51,11 +58,9 @@ impl Query {
         m: usize,
         scratch: &mut ReduceScratch,
     ) -> Result<Query> {
-        Ok(Query {
-            raw: raw.clone(),
-            sums: raw.prefix_sums(),
-            rep: reducer.reduce_with_scratch(raw, m, scratch)?,
-        })
+        let rep = reducer.reduce_with_scratch(raw, m, scratch)?;
+        let plan = rep.as_linear().map(QueryPlan::new);
+        Ok(Query { raw: raw.clone(), sums: raw.prefix_sums(), rep, plan })
     }
 }
 
@@ -108,6 +113,47 @@ pub trait Scheme: Send + Sync {
         self.rep_dist(q, rep)
     }
 
+    /// Whether this scheme's leaf refinement can run the query-compiled
+    /// `Dist_PAR` kernels over SoA candidate blocks (when the query
+    /// carries a plan). Trees consult this before taking the
+    /// [`Scheme::rep_dist_pruned_soa`] fast path.
+    fn supports_par_plan(&self) -> bool {
+        false
+    }
+
+    /// Threshold-aware leaf filter: `Some(d)` when the candidate passes
+    /// (`d <= threshold`, with `d` bitwise equal to
+    /// [`Scheme::rep_dist_with`]'s result), `None` when it is pruned.
+    /// The contract is that `rep_dist_pruned(..).is_some()` agrees
+    /// exactly with `rep_dist_with(..) <= threshold` — schemes may
+    /// early-abandon the distance computation as long as that holds.
+    /// The default computes the full distance and compares.
+    fn rep_dist_pruned(
+        &self,
+        q: &Query,
+        rep: &Representation,
+        threshold: f64,
+        scratch: &mut sapla_distance::ParScratch,
+    ) -> Result<Option<f64>> {
+        let d = self.rep_dist_with(q, rep, scratch)?;
+        Ok((d <= threshold).then_some(d))
+    }
+
+    /// [`Scheme::rep_dist_pruned`] over an SoA candidate view from a
+    /// tree's contiguous leaf block. Only called when
+    /// [`Scheme::supports_par_plan`] is true and the query carries a
+    /// plan; the default therefore errors.
+    fn rep_dist_pruned_soa(
+        &self,
+        q: &Query,
+        cand: SoaSegs<'_>,
+        threshold: f64,
+        scratch: &mut sapla_distance::ParScratch,
+    ) -> Result<Option<f64>> {
+        let _ = (q, cand, threshold, scratch);
+        Err(Error::UnsupportedRepresentation { operation: "SoA leaf refinement" })
+    }
+
     /// Distance between two representations (DBCH hull construction and
     /// node volumes).
     fn pair_dist(&self, a: &Representation, b: &Representation) -> Result<f64> {
@@ -122,7 +168,7 @@ pub trait Scheme: Send + Sync {
 /// [`Error::UnknownMethod`] on a name outside the closed set of Table 1.
 pub fn scheme_for(name: &str) -> Result<Box<dyn Scheme>> {
     match name {
-        "SAPLA" | "APLA" => Ok(Box::new(AdaptiveLinearScheme)),
+        "SAPLA" | "APLA" => Ok(Box::new(AdaptiveLinearScheme::default())),
         "APCA" => Ok(Box::new(ApcaScheme)),
         "PLA" => Ok(Box::new(PlaScheme)),
         "PAA" | "PAALM" => Ok(Box::new(PaaScheme)),
@@ -171,8 +217,25 @@ fn region_mindist(regions: &[(usize, usize, f64, f64)], raw: &[f64]) -> f64 {
 // ---------------------------------------------------------------------
 
 /// Scheme for SAPLA/APLA representations.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct AdaptiveLinearScheme;
+///
+/// When the query carries a [`QueryPlan`], every representation distance
+/// runs the query-compiled kernels (bit-identical results); with
+/// `abandon` set (the default), the threshold-aware leaf filter
+/// additionally early-abandons the window accumulation against
+/// [`safe_sq_bound`] of the running threshold — provably
+/// decision-identical to the full comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveLinearScheme {
+    /// Early-abandon the planned leaf filter (on by default; turning it
+    /// off is for the on/off equivalence tests and stock benchmarks).
+    pub abandon: bool,
+}
+
+impl Default for AdaptiveLinearScheme {
+    fn default() -> Self {
+        AdaptiveLinearScheme { abandon: true }
+    }
+}
 
 impl Scheme for AdaptiveLinearScheme {
     fn name(&self) -> &'static str {
@@ -222,8 +285,65 @@ impl Scheme for AdaptiveLinearScheme {
         rep: &Representation,
         scratch: &mut sapla_distance::ParScratch,
     ) -> Result<f64> {
-        dist_par_sq_with(scratch, expect_linear(&q.rep)?, expect_linear(rep)?).map(f64::sqrt)
+        let cand = expect_linear(rep)?;
+        let sq = match &q.plan {
+            // Planned, no abandoning: bit-identical to the unplanned walk.
+            Some(plan) => dist_par_sq_planned(plan, cand, scratch, f64::INFINITY)?,
+            None => dist_par_sq_with(scratch, expect_linear(&q.rep)?, cand)?,
+        };
+        Ok(sq.sqrt())
     }
+
+    fn supports_par_plan(&self) -> bool {
+        true
+    }
+
+    fn rep_dist_pruned(
+        &self,
+        q: &Query,
+        rep: &Representation,
+        threshold: f64,
+        scratch: &mut sapla_distance::ParScratch,
+    ) -> Result<Option<f64>> {
+        let Some(plan) = &q.plan else {
+            let d = self.rep_dist_with(q, rep, scratch)?;
+            return Ok((d <= threshold).then_some(d));
+        };
+        let bound = if self.abandon { safe_sq_bound(threshold) } else { f64::INFINITY };
+        let sq = dist_par_sq_planned(plan, expect_linear(rep)?, scratch, bound)?;
+        Ok(keep_below(sq, threshold))
+    }
+
+    fn rep_dist_pruned_soa(
+        &self,
+        q: &Query,
+        cand: SoaSegs<'_>,
+        threshold: f64,
+        scratch: &mut sapla_distance::ParScratch,
+    ) -> Result<Option<f64>> {
+        let Some(plan) = &q.plan else {
+            return Err(Error::UnsupportedRepresentation {
+                operation: "SoA leaf refinement without a query plan",
+            });
+        };
+        let bound = if self.abandon { safe_sq_bound(threshold) } else { f64::INFINITY };
+        let sq = dist_par_sq_planned_soa(plan, cand, scratch, bound)?;
+        Ok(keep_below(sq, threshold))
+    }
+}
+
+/// Turn a (possibly abandoned) planned `Dist_PAR²` into the leaf-filter
+/// decision. The `f64::INFINITY` abandon sentinel only arises under a
+/// finite threshold, where the reference comparison would prune too; a
+/// *genuine* infinite squared distance also (correctly) fails any finite
+/// threshold, and under `threshold = +∞` abandoning is disabled so the
+/// `INF <= INF` keep-decision matches the reference exactly.
+fn keep_below(sq: f64, threshold: f64) -> Option<f64> {
+    if sq.is_infinite() && threshold.is_finite() {
+        return None;
+    }
+    let d = sq.sqrt();
+    (d <= threshold).then_some(d)
 }
 
 // ---------------------------------------------------------------------
@@ -635,7 +755,7 @@ mod tests {
     #[test]
     fn adaptive_mindist_grows_with_query_offset() {
         let reducer = sapla_baselines::SaplaReducer::new();
-        let scheme = AdaptiveLinearScheme;
+        let scheme = AdaptiveLinearScheme::default();
         let db = series(3);
         let rep = reducer.reduce(&db, 12).unwrap();
         let rect = HyperRect::point(&scheme.feature(&rep).unwrap());
@@ -645,6 +765,7 @@ mod tests {
             raw: far_series.clone(),
             sums: far_series.prefix_sums(),
             rep: q_near.rep.clone(),
+            plan: q_near.plan.clone(),
         };
         let d_near = scheme.mindist(&q_near, &rect).unwrap();
         let d_far = scheme.mindist(&q_far, &rect).unwrap();

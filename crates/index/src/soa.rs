@@ -1,0 +1,135 @@
+//! Contiguous struct-of-arrays leaf blocks.
+//!
+//! Leaf refinement is a scan: one query against every entry of a leaf.
+//! The stored [`Representation`]s are per-entry heap objects, so that
+//! scan pointer-hops between allocations. A [`LeafBlock`] flattens a
+//! leaf's linear-segment coefficients into three contiguous arrays
+//! (`slopes[] / intercepts[] / endpoints[]`) with per-entry spans, so
+//! the planned `Dist_PAR` kernel walks cache-linear memory. Both trees
+//! keep one block per node, refreshed at every leaf mutation; a block
+//! over any non-linear entry marks itself unavailable and refinement
+//! falls back to the stored representations (identical results — the
+//! SoA view feeds the same generic walker and term function).
+
+use sapla_core::{Representation, Result};
+use sapla_distance::SoaSegs;
+
+/// One leaf's flattened segment coefficients (see module docs). Kept in
+/// a per-tree `Vec<LeafBlock>` parallel to the node arena; non-leaf
+/// slots simply stay empty. Rebuilds reuse the allocations, so
+/// steady-state insert/remove does not churn.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LeafBlock {
+    ok: bool,
+    slopes: Vec<f64>,
+    intercepts: Vec<f64>,
+    endpoints: Vec<usize>,
+    /// Per-entry `(first segment, segment count)` spans, aligned with
+    /// the leaf's entry list.
+    spans: Vec<(u32, u32)>,
+}
+
+impl LeafBlock {
+    /// Rebuild the block from a leaf's entry list. Marks itself
+    /// unavailable (and stops) at the first entry without a linear
+    /// representation.
+    pub fn rebuild(&mut self, entries: &[usize], reps: &[Representation]) {
+        self.slopes.clear();
+        self.intercepts.clear();
+        self.endpoints.clear();
+        self.spans.clear();
+        self.ok = true;
+        for &e in entries {
+            let Some(lin) = reps[e].as_linear() else {
+                self.ok = false;
+                return;
+            };
+            let start = self.slopes.len() as u32;
+            for seg in lin.segments() {
+                self.slopes.push(seg.a);
+                self.intercepts.push(seg.b);
+                self.endpoints.push(seg.r);
+            }
+            self.spans.push((start, lin.num_segments() as u32));
+        }
+    }
+
+    /// Mark the block unusable (e.g. the node was detached or turned
+    /// internal) without dropping its allocations.
+    pub fn invalidate(&mut self) {
+        self.ok = false;
+    }
+
+    /// Whether the block mirrors the leaf and every entry is linear.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Number of entries the block covers (leaf-list order).
+    pub fn num_entries(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// SoA view of the block's `j`-th entry (leaf-list order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SoaSegs::new`] shape check (which cannot fire on
+    /// a block built by [`LeafBlock::rebuild`], but the error path keeps
+    /// the no-panic contract).
+    pub fn entry(&self, j: usize) -> Result<SoaSegs<'_>> {
+        let (start, len) = self.spans[j];
+        let (s, e) = (start as usize, start as usize + len as usize);
+        SoaSegs::new(&self.slopes[s..e], &self.intercepts[s..e], &self.endpoints[s..e])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapla_core::{ConstantSegment, LinearSegment, PiecewiseConstant, PiecewiseLinear};
+
+    fn lin(coeffs: &[(f64, f64, usize)]) -> Representation {
+        Representation::Linear(
+            PiecewiseLinear::new(
+                coeffs.iter().map(|&(a, b, r)| LinearSegment { a, b, r }).collect(),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn rebuild_flattens_and_views_round_trip() {
+        let reps = vec![
+            lin(&[(1.0, 0.0, 3), (0.0, 4.0, 7)]),
+            lin(&[(0.5, 1.0, 7)]),
+            lin(&[(-1.0, 2.0, 2), (2.0, 0.0, 5), (0.0, 1.0, 7)]),
+        ];
+        let mut block = LeafBlock::default();
+        block.rebuild(&[2, 0], &reps);
+        assert!(block.is_ok());
+        let v0 = block.entry(0).unwrap();
+        assert_eq!(v0.num_segments(), 3);
+        assert_eq!(v0.series_len(), 8);
+        let v1 = block.entry(1).unwrap();
+        assert_eq!(v1.num_segments(), 2);
+        assert_eq!(v1.series_len(), 8);
+    }
+
+    #[test]
+    fn non_linear_entry_disables_block() {
+        let reps = vec![
+            lin(&[(1.0, 0.0, 7)]),
+            Representation::Constant(
+                PiecewiseConstant::new(vec![ConstantSegment { v: 1.0, r: 7 }]).unwrap(),
+            ),
+        ];
+        let mut block = LeafBlock::default();
+        block.rebuild(&[0, 1], &reps);
+        assert!(!block.is_ok());
+        block.rebuild(&[0], &reps);
+        assert!(block.is_ok());
+        block.invalidate();
+        assert!(!block.is_ok());
+    }
+}

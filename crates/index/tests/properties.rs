@@ -4,9 +4,10 @@
 use proptest::prelude::*;
 use sapla_baselines::{reduce_batch, reduce_batch_parallel, Paa, Pla, Reducer, SaplaReducer};
 use sapla_core::{Representation, TimeSeries};
+use sapla_index::scheme::AdaptiveLinearScheme;
 use sapla_index::{
-    ingest_parallel, knn_batch, linear_scan_knn, linear_scan_range, prepare_queries, scheme_for,
-    DbchTree, NodeDistRule, Query, RTree,
+    filtered_scan_knn, ingest_parallel, knn_batch, linear_scan_knn, linear_scan_range,
+    prepare_queries, scheme_for, DbchTree, NodeDistRule, Query, RTree, Scheme,
 };
 
 /// Random small database of regime-style series.
@@ -105,6 +106,54 @@ proptest! {
             for (&id, &d) in stats.retrieved.iter().zip(&stats.distances) {
                 let exact = q.raw.euclidean(&raws[id]).unwrap();
                 prop_assert!((exact - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The query-compiled `Dist_PAR` plan, the SoA leaf kernel, and the
+    /// early-abandoning bound change *how* the filter is computed, never
+    /// *what* it answers: with the plan on (abandoning on or off) and
+    /// with the plan stripped (the stock re-partitioning path), both
+    /// trees and the filtered scan return bit-identical stats —
+    /// retrieved ids, exact distances, and measured counts.
+    #[test]
+    fn planned_and_abandoning_searches_are_bit_identical(
+        raws in db_strategy(6..25),
+        k in 1usize..6,
+    ) {
+        let reducer = SaplaReducer::new();
+        let reps: Vec<Representation> =
+            raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let rtree = RTree::build(&AdaptiveLinearScheme::default(), reps.clone(), 2, 5).unwrap();
+        let dbch = DbchTree::build(&AdaptiveLinearScheme::default(), reps.clone(), 2, 5).unwrap();
+        let planned = Query::new(&raws[0], &reducer, 12).unwrap();
+        prop_assert!(planned.plan.is_some(), "SAPLA queries must carry a plan");
+        let mut stock = Query::new(&raws[0], &reducer, 12).unwrap();
+        stock.plan = None;
+        let abandon_on = AdaptiveLinearScheme::default();
+        let abandon_off = AdaptiveLinearScheme { abandon: false };
+        // (query, scheme) variants; the stripped-plan one is the
+        // pre-plan reference implementation.
+        let variants: [(&Query, &dyn Scheme, &str); 3] = [
+            (&stock, &abandon_on, "stock"),
+            (&planned, &abandon_on, "planned+abandon"),
+            (&planned, &abandon_off, "planned"),
+        ];
+        for (path, search) in [
+            ("rtree", Box::new(|q: &Query, s: &dyn Scheme| rtree.knn(q, k, s, &raws).unwrap())
+                as Box<dyn Fn(&Query, &dyn Scheme) -> sapla_index::SearchStats>),
+            ("dbch", Box::new(|q: &Query, s: &dyn Scheme| dbch.knn(q, k, s, &raws).unwrap())),
+            ("scan", Box::new(|q: &Query, s: &dyn Scheme| {
+                filtered_scan_knn(q, &reps, &raws, k, s).unwrap()
+            })),
+        ] {
+            let want = search(variants[0].0, variants[0].1);
+            for &(q, s, name) in &variants[1..] {
+                let got = search(q, s);
+                prop_assert_eq!(&got, &want, "{} / {}", path, name);
+                for (gd, wd) in got.distances.iter().zip(&want.distances) {
+                    prop_assert!(gd.to_bits() == wd.to_bits(), "{} / {}", path, name);
+                }
             }
         }
     }

@@ -87,6 +87,75 @@ fn warmed_reduce_into_allocates_nothing() {
     );
 }
 
+/// The planned `Dist_PAR` kernel's contract: once a query's plan is
+/// compiled, per-candidate evaluation is a fused walk that buffers
+/// nothing and is allocation-free — the property the per-worker scratch
+/// reuse in the parallel k-NN engine depends on.
+/// Exercised through both entry points (stored representation and SoA
+/// view) with the abandon bound both infinite and finite.
+#[test]
+fn warmed_planned_dist_par_allocates_nothing() {
+    use sapla_core::sapla::Sapla;
+    use sapla_distance::{
+        dist_par_sq_planned, dist_par_sq_planned_soa, safe_sq_bound, ParScratch, QueryPlan, SoaSegs,
+    };
+
+    let series: Vec<TimeSeries> = (0..6)
+        .map(|i| {
+            let v: Vec<f64> = (0..200)
+                .map(|t| ((t as f64 + i as f64 * 13.0) * 0.09).sin() * 5.0 + i as f64)
+                .collect();
+            TimeSeries::new(v).unwrap()
+        })
+        .collect();
+    let sapla = Sapla::with_segments(8);
+    let reps: Vec<_> = series.iter().map(|s| sapla.reduce(s).unwrap()).collect();
+    let cands: Vec<_> = reps[1..].to_vec();
+    let plan = QueryPlan::new(&reps[0]);
+    // Flattened SoA mirror of the candidates, like a leaf block.
+    let flat: Vec<(Vec<f64>, Vec<f64>, Vec<usize>)> = cands
+        .iter()
+        .map(|c| {
+            let segs = c.segments();
+            (
+                segs.iter().map(|s| s.a).collect(),
+                segs.iter().map(|s| s.b).collect(),
+                segs.iter().map(|s| s.r).collect(),
+            )
+        })
+        .collect();
+    let mut scratch = ParScratch::default();
+
+    let run = |scratch: &mut ParScratch| {
+        let mut acc = 0.0f64;
+        for (c, (a, b, r)) in cands.iter().zip(&flat) {
+            acc += dist_par_sq_planned(&plan, c, scratch, f64::INFINITY).unwrap();
+            let view = SoaSegs::new(a, b, r).unwrap();
+            acc += dist_par_sq_planned_soa(&plan, view, scratch, f64::INFINITY).unwrap();
+            // Finite abandon bound: tight enough to trigger on some
+            // candidates, exercising the sentinel path too.
+            acc += dist_par_sq_planned(&plan, c, scratch, safe_sq_bound(4.0)).unwrap();
+        }
+        std::hint::black_box(acc);
+    };
+
+    // Warm-up: performs obs call-site registration when that feature is
+    // on (the fused kernel itself has nothing to grow).
+    run(&mut scratch);
+    run(&mut scratch);
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    run(&mut scratch);
+    let after = ALLOC_CALLS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state planned Dist_PAR performed {} heap allocations",
+        after - before
+    );
+}
+
 /// Satellite of the sapla-obs PR: with the `obs` feature *off*, the
 /// instrumented hot paths must behave as if the instrumentation were
 /// never written — no metrics recorded, no span state, and (checked via
