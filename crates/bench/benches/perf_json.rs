@@ -49,6 +49,16 @@ fn main() {
         );
     }
 
+    if !report.serve.is_empty() {
+        println!("loopback daemon (one client, k = 4):");
+        for p in &report.serve {
+            println!(
+                "  n = {:5}  batch = {:3}  {:>12.0} ns/query  {:>10.0} queries/s",
+                p.n, p.batch, p.ns_per_query, p.queries_per_sec
+            );
+        }
+    }
+
     if let Some(path) = json_path {
         std::fs::write(&path, report.to_json())
             .unwrap_or_else(|e| panic!("perf_json: cannot write {path}: {e}"));

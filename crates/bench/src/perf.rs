@@ -11,7 +11,10 @@ use std::time::{Duration, Instant};
 
 use sapla_baselines::{reduce_batch, SaplaReducer};
 use sapla_data::{catalogue, Protocol};
-use sapla_index::{ingest_parallel, knn_batch, prepare_queries, scheme_for, NodeDistRule};
+use sapla_index::{
+    ingest_parallel, knn_batch, prepare_queries, scheme_for, Engine, EngineConfig, NodeDistRule,
+};
+use sapla_serve::{Client, Server, ServerConfig};
 
 use crate::time_it;
 
@@ -39,6 +42,9 @@ pub struct PerfGrid {
     /// abandoning). The before/after pair is how `BENCH_PR5.json`
     /// quantifies the planned kernels.
     pub use_plan: bool,
+    /// Wire-request batch sizes (queries per kNN request) for the
+    /// loopback daemon point; empty skips the serve measurement.
+    pub serve_batches: Vec<usize>,
 }
 
 impl PerfGrid {
@@ -54,6 +60,7 @@ impl PerfGrid {
             min_time: Duration::from_millis(250),
             threads: 1,
             use_plan: true,
+            serve_batches: vec![1, 8, 64],
         }
     }
 
@@ -68,6 +75,7 @@ impl PerfGrid {
             min_time: Duration::from_millis(20),
             threads: 1,
             use_plan: true,
+            serve_batches: vec![1, 8],
         }
     }
 }
@@ -127,6 +135,23 @@ pub struct KnnPoint {
     pub abandon_rate: f64,
 }
 
+/// One loopback-daemon throughput measurement: a single client sending
+/// kNN requests of `batch` queries each against an in-process
+/// `sapla-serve` daemon (TCP on localhost, k = 4). Includes wire
+/// encode/decode, query preparation, admission batching, and the
+/// engine search — the end-to-end service cost per query.
+#[derive(Debug, Clone)]
+pub struct ServePoint {
+    /// Series length.
+    pub n: usize,
+    /// Queries per wire request.
+    pub batch: usize,
+    /// Mean end-to-end time per query, nanoseconds.
+    pub ns_per_query: f64,
+    /// Queries answered per second (the headline serving number).
+    pub queries_per_sec: f64,
+}
+
 /// A full emitter run.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -140,6 +165,8 @@ pub struct PerfReport {
     pub index: Vec<IndexPoint>,
     /// k-NN kernel detail, aligned with `index`.
     pub knn: Vec<KnnPoint>,
+    /// Loopback daemon throughput at each request batch size.
+    pub serve: Vec<ServePoint>,
     /// Operation counts over the whole run (`sapla-obs` snapshot; empty
     /// unless the bench crate is built with `--features obs` — the stock
     /// build stays uninstrumented so the timings measure the zero-cost
@@ -286,14 +313,56 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
         });
     }
 
+    let serve = measure_serve(grid);
+
     PerfReport {
         threads: grid.threads,
         use_plan: grid.use_plan,
         reduce,
         index,
         knn,
+        serve,
         ops: sapla_obs::Snapshot::capture(),
     }
+}
+
+/// Loopback daemon throughput: one in-process server over the smallest
+/// grid length, one blocking client, k = 4 requests at each batch size.
+fn measure_serve(grid: &PerfGrid) -> Vec<ServePoint> {
+    let Some(&n) = grid.lens.iter().find(|&&n| n >= 2 * grid.segment_counts[0]) else {
+        return Vec::new();
+    };
+    if grid.serve_batches.is_empty() {
+        return Vec::new();
+    }
+    let m = 3 * grid.segment_counts[0];
+    let db = grid_series(n, grid.index_db);
+    let raw_queries = grid_series(n, grid.index_queries + grid.index_db).split_off(grid.index_db);
+    let cfg = EngineConfig { m, ..EngineConfig::default() };
+    let engine = Engine::build(cfg, Box::new(SaplaReducer::new()), db, grid.threads)
+        .expect("serve grid engine");
+    let server = Server::start(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig { threads: grid.threads, ..ServerConfig::default() },
+    )
+    .expect("serve grid server");
+    let mut client = Client::connect(server.addr()).expect("serve grid client");
+
+    let mut out = Vec::with_capacity(grid.serve_batches.len());
+    for &batch in &grid.serve_batches {
+        // Cycle the query pool up to the requested batch size.
+        let queries: Vec<Vec<f64>> =
+            (0..batch).map(|i| raw_queries[i % raw_queries.len()].values().to_vec()).collect();
+        let (_, ns_per_request) = measure(grid.min_time, || {
+            let resp = client.knn(&queries, 4).expect("serve grid request");
+            std::hint::black_box(&resp);
+        });
+        let ns_per_query = ns_per_request / batch as f64;
+        out.push(ServePoint { n, batch, ns_per_query, queries_per_sec: 1e9 / ns_per_query });
+    }
+    server.stop();
+    out
 }
 
 fn push_kv(out: &mut String, key: &str, value: f64) {
@@ -360,6 +429,18 @@ impl PerfReport {
             }
             s.push('\n');
         }
+        s.push_str("  ],\n  \"serve\": [\n");
+        for (i, p) in self.serve.iter().enumerate() {
+            s.push_str(&format!("    {{\"n\": {}, \"batch\": {}, ", p.n, p.batch));
+            push_kv(&mut s, "ns_per_query", p.ns_per_query);
+            s.push_str(", ");
+            push_kv(&mut s, "queries_per_sec", p.queries_per_sec);
+            s.push('}');
+            if i + 1 < self.serve.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
         s.push_str("  ],\n  \"ops\": ");
         // The snapshot serialises itself; embed it as a nested object
         // (inner indentation is cosmetic, the JSON stays valid).
@@ -389,6 +470,12 @@ mod tests {
         assert!(json.contains("\"refine_ns_per_candidate\""));
         assert!(json.contains("\"abandon_rate\""));
         assert!(json.contains("\"ns_per_series\""));
+        assert!(json.contains("\"serve\""));
+        assert!(json.contains("\"queries_per_sec\""));
+        assert_eq!(report.serve.len(), PerfGrid::quick().serve_batches.len());
+        for p in &report.serve {
+            assert!(p.ns_per_query > 0.0 && p.queries_per_sec > 0.0);
+        }
         // The ops section is always present; its content tracks the
         // feature state of this build.
         assert!(json.contains("\"ops\""));

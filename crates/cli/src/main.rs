@@ -23,8 +23,9 @@ use std::process::ExitCode;
 
 use sapla_baselines::{all_reducers, reduce_batch, reduce_batch_parallel, Reducer};
 use sapla_core::TimeSeries;
-use sapla_data::{catalogue, Protocol};
-use sapla_index::{knn_batch, prepare_queries, scheme_for, DbchTree, Query, RTree};
+use sapla_data::{catalogue, Dataset, Protocol};
+use sapla_index::{Engine, EngineConfig, TreeKind};
+use sapla_serve::{Server, ServerConfig};
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,15 +43,17 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("reduce") => cmd_reduce(&args[1..]),
         Some("knn") => cmd_knn(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("catalogue") => cmd_catalogue(),
         Some("demo") => cmd_demo(),
         Some("mine") => cmd_mine(&args[1..]),
         _ => {
             eprintln!(
-                "usage: sapla <reduce|knn|mine|catalogue|demo> [options]\n\
+                "usage: sapla <reduce|knn|serve|mine|catalogue|demo> [options]\n\
                  \n\
                  reduce <file|-> [files...] [--method NAME] [--coeffs M] [--threads T]\n\
-                 knn <dataset>    [--k K] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--threads T]\n\
+                 knn <dataset>    [--k K] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--shards S] [--threads T]\n\
+                 serve <dataset>  [--addr HOST:PORT] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--shards S] [--threads T]\n\
                  mine <discord|motif|segment|forecast|cluster> <dataset> [--k K] [--coeffs M] [--horizon H] [--changes C]\n\
                  catalogue\n\
                  demo\n\
@@ -211,12 +214,19 @@ fn cmd_reduce(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_knn(args: &[String]) -> Result<(), String> {
-    let name = args.first().ok_or("knn: missing dataset name (see `sapla catalogue`)")?;
-    let k: usize = flag(args, "--k", "4").parse().map_err(|_| "bad --k".to_string())?;
+/// Shared by `knn` and `serve`: load the dataset and build the engine
+/// the flags describe. Returns the dataset alongside the engine (the
+/// engine clones the series it indexes).
+fn engine_from_flags(name: &str, args: &[String]) -> Result<(Dataset, Engine), String> {
     let m: usize = flag(args, "--coeffs", "12").parse().map_err(|_| "bad --coeffs".to_string())?;
     let method = flag(args, "--method", "SAPLA");
-    let tree_kind = flag(args, "--tree", "dbch");
+    let tree = TreeKind::parse(&flag(args, "--tree", "dbch"))
+        .map_err(|_| "bad --tree (expected dbch or rtree)".to_string())?;
+    let shards: usize =
+        flag(args, "--shards", "1").parse().map_err(|_| "bad --shards".to_string())?;
+    if shards == 0 {
+        return Err("bad --shards (must be at least 1)".to_string());
+    }
     let threads = threads_flag(args)?;
     let reducer = reducer_by_name(&method)?;
     let spec = catalogue()
@@ -224,42 +234,62 @@ fn cmd_knn(args: &[String]) -> Result<(), String> {
         .find(|d| d.name.eq_ignore_ascii_case(name))
         .ok_or_else(|| format!("unknown dataset {name:?}"))?;
     let ds = spec.load(&Protocol::quick());
-    let scheme = scheme_for(reducer.name()).map_err(|e| e.to_string())?;
-    let reps = reduce_batch_parallel(reducer.as_ref(), &ds.series, m, threads)
-        .map_err(|e| e.to_string())?;
-    let (stats, batch) = match tree_kind.as_str() {
-        "rtree" => {
-            let q = Query::new(&ds.queries[0], reducer.as_ref(), m).map_err(|e| e.to_string())?;
-            let tree = RTree::build(scheme.as_ref(), reps, 2, 5).map_err(|e| e.to_string())?;
-            let stats = tree.knn(&q, k, scheme.as_ref(), &ds.series).map_err(|e| e.to_string())?;
-            (stats, None)
-        }
-        _ => {
-            let tree = DbchTree::build(scheme.as_ref(), reps, 2, 5).map_err(|e| e.to_string())?;
-            let queries = prepare_queries(&ds.queries, reducer.as_ref(), m, threads)
-                .map_err(|e| e.to_string())?;
-            let (mut per_query, batch) =
-                knn_batch(&tree, &queries, k, scheme.as_ref(), &ds.series, threads)
-                    .map_err(|e| e.to_string())?;
-            (per_query.swap_remove(0), Some(batch))
-        }
-    };
+    let cfg = EngineConfig { tree, m, shards, ..EngineConfig::default() };
+    let engine =
+        Engine::build(cfg, reducer, ds.series.clone(), threads).map_err(|e| e.to_string())?;
+    Ok((ds, engine))
+}
+
+fn cmd_knn(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("knn: missing dataset name (see `sapla catalogue`)")?;
+    let k: usize = flag(args, "--k", "4").parse().map_err(|_| "bad --k".to_string())?;
+    let threads = threads_flag(args)?;
+    let (ds, engine) = engine_from_flags(name, &args[1..])?;
+    // Both tree kinds answer the whole query set through the engine;
+    // `--threads` governs reduction, query preparation, and search.
+    let queries = engine.prepare(&ds.queries, threads).map_err(|e| e.to_string())?;
+    let (mut per_query, batch) = engine.knn(&queries, k, threads).map_err(|e| e.to_string())?;
+    let stats = per_query.swap_remove(0);
     let truth = ds.exact_knn(&ds.queries[0], k);
     println!("dataset: {} ({} series)", ds.name, ds.series.len());
-    println!("method: {} / {}", reducer.name(), tree_kind);
+    println!("method: {} / {}", engine.method(), engine.config().tree.name());
+    if engine.shard_count() > 1 {
+        println!("shards: {}", engine.shard_count());
+    }
     println!("retrieved: {:?}", stats.retrieved);
     println!("exact kNN: {truth:?}");
     println!("pruning power: {:.3}", stats.pruning_power());
     println!("accuracy: {:.3}", stats.accuracy(&truth));
-    if let Some(batch) = batch {
-        if batch.queries > 1 {
-            println!(
-                "batch: {} queries answered, pruning power {:.3}",
-                batch.queries,
-                batch.pruning_power()
-            );
-        }
+    if batch.queries > 1 {
+        println!(
+            "batch: {} queries answered, pruning power {:.3}",
+            batch.queries,
+            batch.pruning_power()
+        );
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("serve: missing dataset name (see `sapla catalogue`)")?;
+    let addr = flag(args, "--addr", "127.0.0.1:7878");
+    let threads = threads_flag(args)?;
+    let (ds, engine) = engine_from_flags(name, &args[1..])?;
+    println!(
+        "serving {}: {} series of length {}, tree {}, {} shard(s)",
+        ds.name,
+        engine.len(),
+        ds.series_len(),
+        engine.config().tree.name(),
+        engine.shard_count()
+    );
+    let cfg = ServerConfig { threads, ..ServerConfig::default() };
+    let server = Server::start(engine, addr.as_str(), cfg).map_err(|e| e.to_string())?;
+    // Tests (and scripts) bind --addr 127.0.0.1:0 and read the real
+    // port from this line.
+    println!("listening on {}", server.addr());
+    server.join();
+    println!("shut down");
     Ok(())
 }
 

@@ -1,6 +1,6 @@
 //! End-to-end tests of the `sapla` binary (spawned as a subprocess).
 
-use std::io::Write as _;
+use std::io::{BufRead as _, BufReader, Write as _};
 use std::process::{Command, Stdio};
 
 fn sapla() -> Command {
@@ -224,6 +224,81 @@ fn profile_json_without_path_fails_with_usage_error() {
 }
 
 #[test]
+fn knn_rtree_answers_the_whole_query_set_with_threads() {
+    // The R-tree path goes through the same Engine as the DBCH path
+    // now: it must honour --threads and report batch statistics for
+    // the full query set (Protocol::quick() ships 3 queries).
+    let (ok, out, err) = run(&["knn", "Burst_00", "--k", "3", "--tree", "rtree", "--threads", "2"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("SAPLA / rtree"), "tree name in report:\n{out}");
+    assert!(out.contains("batch: 3 queries answered"), "whole query set:\n{out}");
+    assert!(out.contains("pruning power"));
+}
+
+#[test]
+fn knn_rejects_unknown_tree_kind() {
+    let (ok, _, err) = run(&["knn", "Burst_00", "--tree", "btree"]);
+    assert!(!ok);
+    assert!(err.contains("--tree"), "stderr: {err}");
+}
+
+#[test]
+fn knn_sharded_engine_runs() {
+    let (ok, out, err) = run(&["knn", "Burst_00", "--k", "3", "--shards", "3"]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains("shards: 3"), "shard count in report:\n{out}");
+    assert!(out.contains("accuracy"));
+}
+
+/// End-to-end daemon test: spawn `sapla serve` on an ephemeral port,
+/// talk to it over the wire, and check its answers against `sapla knn`
+/// ground truth semantics (hits sorted by distance, self-match first).
+#[test]
+fn serve_answers_wire_queries_and_shuts_down() {
+    let mut child = sapla()
+        .args(["serve", "Burst_00", "--addr", "127.0.0.1:0", "--threads", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().expect("banner line").expect("utf8");
+    assert!(banner.contains("serving Burst_00"), "banner: {banner}");
+    assert!(banner.contains("length 256"), "banner: {banner}");
+    let listen = lines.next().expect("listen line").expect("utf8");
+    let addr = listen.strip_prefix("listening on ").unwrap_or_default().to_string();
+    assert!(!addr.is_empty(), "listen line: {listen}");
+
+    let mut client = sapla_serve::Client::connect(&addr).expect("connect");
+    // Two easy queries of the advertised length; hits must come back
+    // sorted by distance with k entries each.
+    let queries: Vec<Vec<f64>> =
+        (0..2).map(|q| (0..256).map(|t| ((t + q * 31) as f64 * 0.1).sin()).collect()).collect();
+    let got = client.knn(&queries, 3).expect("knn over the wire");
+    assert_eq!(got.per_query.len(), 2);
+    for r in &got.per_query {
+        assert_eq!(r.hits.len(), 3);
+        assert!(r.hits.windows(2).all(|w| w[0].1 <= w[1].1), "sorted by distance");
+        assert!(r.measured >= 3, "at least k exact refinements");
+    }
+    // A wrong-length query is an error response, not a hang or a crash.
+    assert!(client.knn(&[vec![1.0, 2.0, 3.0]], 2).is_err());
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("\"tree\": \"dbch\""), "stats: {stats}");
+    assert!(stats.contains("\"indexed\": 24"), "stats: {stats}");
+
+    client.shutdown().expect("shutdown");
+    // The banner reader still owns stdout; drain it for the farewell
+    // line, then reap the process.
+    let tail: Vec<String> = lines.map_while(Result::ok).collect();
+    let status = child.wait().expect("exit");
+    assert!(status.success(), "serve exited with {status}");
+    assert!(tail.iter().any(|l| l.contains("shut down")), "tail: {tail:?}");
+}
+
+#[test]
 fn reduce_with_unknown_method_fails() {
     let mut child = sapla()
         .args(["reduce", "-", "--method", "FFT"])
@@ -231,7 +306,10 @@ fn reduce_with_unknown_method_fails() {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn");
-    child.stdin.as_mut().unwrap().write_all(b"1\n2\n").unwrap();
+    // The child rejects the method before reading stdin, so it may
+    // already have exited and closed the pipe — a BrokenPipe here is
+    // expected, not a failure.
+    let _ = child.stdin.as_mut().unwrap().write_all(b"1\n2\n");
     let out = child.wait_with_output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown method"));

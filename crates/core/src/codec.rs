@@ -14,6 +14,12 @@
 //!
 //! A SAPLA segment costs 24 bytes — a length-1024 series at `N = 4`
 //! persists in 97 bytes, ~84× smaller than the raw `f64` samples.
+//!
+//! Counts travel as fixed-width `u32`s, so encoding **checks** every
+//! count instead of truncating with `as` — a truncated header would
+//! round-trip to *different* data. Decoding reads straight from the
+//! borrowed input slice (no upfront copy: reloading a snapshot peaks at
+//! the blob plus the decoded records, not 2× the blob).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -35,12 +41,39 @@ fn corrupt(reason: &'static str) -> Error {
     Error::MalformedRepresentation { reason }
 }
 
+/// Checked narrowing for every count the format stores as `u32`.
+/// `limit` is [`u32::MAX`] in production; tests lower it to prove the
+/// overflow path errors instead of truncating.
+fn checked_count(count: usize, limit: usize, what: &'static str) -> Result<u32> {
+    if count > limit {
+        return Err(Error::TooManyRecords { what, count, limit });
+    }
+    u32::try_from(count).map_err(|_| Error::TooManyRecords {
+        what,
+        count,
+        limit: u32::MAX as usize,
+    })
+}
+
 /// Encode one representation (no container header).
-pub fn encode_representation(rep: &Representation, out: &mut BytesMut) {
+///
+/// # Errors
+///
+/// [`Error::TooManyRecords`] when a segment / coefficient / symbol count
+/// does not fit the wire format's `u32` fields.
+pub fn encode_representation(rep: &Representation, out: &mut BytesMut) -> Result<()> {
+    encode_representation_impl(rep, out, u32::MAX as usize)
+}
+
+fn encode_representation_impl(
+    rep: &Representation,
+    out: &mut BytesMut,
+    limit: usize,
+) -> Result<()> {
     match rep {
         Representation::Linear(l) => {
             out.put_u8(KIND_LINEAR);
-            out.put_u32_le(l.num_segments() as u32);
+            out.put_u32_le(checked_count(l.num_segments(), limit, "segments")?);
             for seg in l.segments() {
                 out.put_f64_le(seg.a);
                 out.put_f64_le(seg.b);
@@ -49,7 +82,7 @@ pub fn encode_representation(rep: &Representation, out: &mut BytesMut) {
         }
         Representation::Constant(c) => {
             out.put_u8(KIND_CONSTANT);
-            out.put_u32_le(c.num_segments() as u32);
+            out.put_u32_le(checked_count(c.num_segments(), limit, "segments")?);
             for seg in c.segments() {
                 out.put_f64_le(seg.v);
                 out.put_u64_le(seg.r as u64);
@@ -58,7 +91,7 @@ pub fn encode_representation(rep: &Representation, out: &mut BytesMut) {
         Representation::Polynomial(p) => {
             out.put_u8(KIND_POLY);
             out.put_u64_le(p.n as u64);
-            out.put_u32_le(p.coeffs.len() as u32);
+            out.put_u32_le(checked_count(p.coeffs.len(), limit, "coefficients")?);
             for &c in &p.coeffs {
                 out.put_f64_le(c);
             }
@@ -66,11 +99,12 @@ pub fn encode_representation(rep: &Representation, out: &mut BytesMut) {
         Representation::Symbolic(w) => {
             out.put_u8(KIND_SYMBOLIC);
             out.put_u64_le(w.n as u64);
-            out.put_u32_le(w.alphabet_size as u32);
-            out.put_u32_le(w.symbols.len() as u32);
+            out.put_u32_le(checked_count(w.alphabet_size, limit, "alphabet symbols")?);
+            out.put_u32_le(checked_count(w.symbols.len(), limit, "symbols")?);
             out.put_slice(&w.symbols);
         }
     }
+    Ok(())
 }
 
 fn need(buf: &impl Buf, bytes: usize) -> Result<()> {
@@ -81,13 +115,14 @@ fn need(buf: &impl Buf, bytes: usize) -> Result<()> {
     }
 }
 
-/// Decode one representation (no container header).
+/// Decode one representation (no container header) from any [`Buf`] —
+/// a consumed [`Bytes`] cursor or a plain `&mut &[u8]` slice reader.
 ///
 /// # Errors
 ///
 /// [`Error::MalformedRepresentation`] on truncation, unknown kinds, or
 /// structurally invalid payloads (validation is re-run on decode).
-pub fn decode_representation(buf: &mut Bytes) -> Result<Representation> {
+pub fn decode_representation<B: Buf>(buf: &mut B) -> Result<Representation> {
     need(buf, 1)?;
     match buf.get_u8() {
         KIND_LINEAR => {
@@ -149,29 +184,40 @@ pub fn decode_representation(buf: &mut Bytes) -> Result<Representation> {
 ///
 /// let ts = TimeSeries::new((0..256).map(|t| (t as f64 * 0.05).sin()).collect())?;
 /// let rep = Representation::Linear(Sapla::with_segments(4).reduce(&ts)?);
-/// let blob = encode_collection(&[rep.clone()]);
+/// let blob = encode_collection(&[rep.clone()])?;
 /// assert!(blob.len() < 256 * 8 / 10, "at least 10x smaller than raw");
 /// assert_eq!(decode_collection(&blob)?, vec![rep]);
 /// # Ok::<(), sapla_core::Error>(())
 /// ```
-pub fn encode_collection(reps: &[Representation]) -> Bytes {
+///
+/// # Errors
+///
+/// [`Error::TooManyRecords`] when the record count (or any per-record
+/// count) exceeds the wire format's `u32` fields.
+pub fn encode_collection(reps: &[Representation]) -> Result<Bytes> {
+    encode_collection_impl(reps, u32::MAX as usize)
+}
+
+fn encode_collection_impl(reps: &[Representation], limit: usize) -> Result<Bytes> {
     let mut out = BytesMut::with_capacity(16 + reps.len() * 128);
     out.put_slice(MAGIC);
     out.put_u8(VERSION);
-    out.put_u32_le(reps.len() as u32);
+    out.put_u32_le(checked_count(reps.len(), limit, "records")?);
     for rep in reps {
-        encode_representation(rep, &mut out);
+        encode_representation_impl(rep, &mut out, limit)?;
     }
-    out.freeze()
+    Ok(out.freeze())
 }
 
-/// Decode a whole reduced database.
+/// Decode a whole reduced database, reading directly from `data` — no
+/// upfront copy of the blob, so peak memory on snapshot reload is the
+/// blob plus the decoded records.
 ///
 /// # Errors
 ///
 /// [`Error::MalformedRepresentation`] on a bad header or any bad record.
 pub fn decode_collection(data: &[u8]) -> Result<Vec<Representation>> {
-    let mut buf = Bytes::copy_from_slice(data);
+    let mut buf: &[u8] = data;
     need(&buf, 9)?;
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
@@ -224,7 +270,7 @@ mod tests {
     #[test]
     fn roundtrip_every_kind() {
         let reps = sample_reps();
-        let blob = encode_collection(&reps);
+        let blob = encode_collection(&reps).unwrap();
         let back = decode_collection(&blob).unwrap();
         assert_eq!(back, reps);
     }
@@ -233,7 +279,7 @@ mod tests {
     fn compression_ratio_is_large() {
         let ts = TimeSeries::new((0..1024).map(|t| (t as f64 * 0.01).sin()).collect()).unwrap();
         let rep = Representation::Linear(Sapla::with_segments(4).reduce(&ts).unwrap());
-        let blob = encode_collection(&[rep]);
+        let blob = encode_collection(&[rep]).unwrap();
         let raw_bytes = 1024 * 8;
         assert!(blob.len() * 50 < raw_bytes, "blob {} bytes vs raw {raw_bytes}", blob.len());
     }
@@ -241,7 +287,7 @@ mod tests {
     #[test]
     fn rejects_bad_magic_and_version() {
         let reps = sample_reps();
-        let blob = encode_collection(&reps);
+        let blob = encode_collection(&reps).unwrap();
         let mut bad = blob.to_vec();
         bad[0] = b'X';
         assert!(decode_collection(&bad).is_err());
@@ -253,7 +299,7 @@ mod tests {
     #[test]
     fn rejects_truncation_anywhere() {
         let reps = sample_reps();
-        let blob = encode_collection(&reps);
+        let blob = encode_collection(&reps).unwrap();
         for cut in [0, 5, 9, 15, blob.len() / 2, blob.len() - 1] {
             assert!(decode_collection(&blob[..cut]).is_err(), "cut at {cut}");
         }
@@ -261,7 +307,7 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        let blob = encode_collection(&sample_reps());
+        let blob = encode_collection(&sample_reps()).unwrap();
         let mut padded = blob.to_vec();
         padded.push(0);
         assert!(decode_collection(&padded).is_err());
@@ -271,7 +317,7 @@ mod tests {
     fn rejects_invalid_symbols() {
         let word =
             Representation::Symbolic(SymbolicWord { symbols: vec![0, 1], alphabet_size: 4, n: 8 });
-        let mut blob = encode_collection(&[word]).to_vec();
+        let mut blob = encode_collection(&[word]).unwrap().to_vec();
         // Corrupt the last symbol byte to exceed the alphabet.
         let last = blob.len() - 1;
         blob[last] = 200;
@@ -280,7 +326,137 @@ mod tests {
 
     #[test]
     fn empty_collection_roundtrips() {
-        let blob = encode_collection(&[]);
+        let blob = encode_collection(&[]).unwrap();
         assert_eq!(decode_collection(&blob).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn checked_count_errors_instead_of_truncating() {
+        // The old `as u32` would have mapped u32::MAX + 1 to 0 — a header
+        // that decodes an empty collection from a blob holding billions
+        // of records' payload bytes.
+        let over = u32::MAX as usize + 1;
+        let err = checked_count(over, u32::MAX as usize, "records").unwrap_err();
+        assert_eq!(
+            err,
+            Error::TooManyRecords { what: "records", count: over, limit: u32::MAX as usize }
+        );
+        assert!(err.to_string().contains("too many records"));
+        assert_eq!(
+            checked_count(u32::MAX as usize, u32::MAX as usize, "records").unwrap(),
+            u32::MAX
+        );
+        assert_eq!(checked_count(0, u32::MAX as usize, "records").unwrap(), 0);
+    }
+
+    #[test]
+    fn record_count_overflow_is_an_error_with_a_lowered_limit() {
+        // Synthetic override of the limit: 3 records against a limit of 2
+        // must refuse to encode, proving the checked path (the production
+        // limit of u32::MAX is unreachable in a test's memory budget).
+        let reps = sample_reps();
+        let err = encode_collection_impl(&reps, 2).unwrap_err();
+        assert_eq!(err, Error::TooManyRecords { what: "records", count: reps.len(), limit: 2 });
+    }
+
+    #[test]
+    fn segment_count_overflow_is_an_error_with_a_lowered_limit() {
+        let reps = sample_reps();
+        let mut out = BytesMut::new();
+        // sample_reps()[0] is a 4-segment linear representation.
+        let err = encode_representation_impl(&reps[0], &mut out, 3).unwrap_err();
+        assert_eq!(err, Error::TooManyRecords { what: "segments", count: 4, limit: 3 });
+        // Polynomial coefficient and symbolic symbol counts take the same
+        // checked path.
+        let mut out = BytesMut::new();
+        let err = encode_representation_impl(&reps[2], &mut out, 2).unwrap_err();
+        assert_eq!(err, Error::TooManyRecords { what: "coefficients", count: 3, limit: 2 });
+        let mut out = BytesMut::new();
+        let err = encode_representation_impl(&reps[3], &mut out, 3).unwrap_err();
+        assert!(matches!(err, Error::TooManyRecords { .. }));
+    }
+
+    #[test]
+    fn decode_from_borrowed_slice_and_bytes_cursor_agree() {
+        let reps = sample_reps();
+        let mut out = BytesMut::new();
+        for rep in &reps {
+            encode_representation(rep, &mut out).unwrap();
+        }
+        let blob = out.freeze();
+        let mut cursor = blob.clone();
+        let mut slice: &[u8] = &blob;
+        for rep in &reps {
+            assert_eq!(&decode_representation(&mut cursor).unwrap(), rep);
+            assert_eq!(&decode_representation(&mut slice).unwrap(), rep);
+        }
+        assert!(!cursor.has_remaining());
+        assert!(!slice.has_remaining());
+    }
+
+    /// Deterministic xorshift for the fuzz-style tests (no external rng).
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn random_blobs_error_and_never_panic() {
+        let mut rng = XorShift(0x5eed_cafe_f00d_d00d);
+        for round in 0..500 {
+            let len = (rng.next() % 257) as usize;
+            let blob: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+            // Random bytes essentially never start with the magic; decode
+            // must reject them (and must not panic on any of them).
+            if !blob.starts_with(MAGIC) {
+                assert!(decode_collection(&blob).is_err(), "round {round}");
+            } else {
+                let _ = decode_collection(&blob);
+            }
+        }
+    }
+
+    #[test]
+    fn random_payloads_behind_a_valid_header_never_panic() {
+        // Adversarial case: correct magic + version, garbage after — the
+        // decoder must walk the records and error out, never panic.
+        let mut rng = XorShift(0xbad5_eed5_bad5_eed5);
+        for _ in 0..500 {
+            let len = (rng.next() % 129) as usize;
+            let mut blob = Vec::with_capacity(9 + len);
+            blob.extend_from_slice(MAGIC);
+            blob.push(VERSION);
+            blob.extend_from_slice(&(rng.next() as u32 % 8).to_le_bytes());
+            blob.extend((0..len).map(|_| rng.next() as u8));
+            let _ = decode_collection(&blob);
+        }
+    }
+
+    #[test]
+    fn bit_flipped_blobs_never_panic() {
+        let blob = encode_collection(&sample_reps()).unwrap().to_vec();
+        for byte in 0..blob.len() {
+            for bit in 0..8 {
+                let mut flipped = blob.clone();
+                flipped[byte] ^= 1 << bit;
+                // A flipped payload coefficient may still decode (to other
+                // finite/NaN values); structural flips must error. Either
+                // way: a clean Result, never a panic.
+                match decode_collection(&flipped) {
+                    Ok(reps) => assert!(!reps.is_empty()),
+                    Err(e) => {
+                        let _ = e.to_string();
+                    }
+                }
+            }
+        }
     }
 }

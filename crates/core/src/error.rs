@@ -72,6 +72,26 @@ pub enum Error {
         /// The raw value that failed to parse.
         value: String,
     },
+    /// An index structural invariant was violated — hulls, cached leaf
+    /// blocks, or entry bookkeeping out of sync after mutations. Raised
+    /// by integrity validation (e.g. `DbchTree::validate`), never by
+    /// normal queries.
+    CorruptIndex {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A count (records in a collection, segments or symbols in one
+    /// record) exceeds what the codec's fixed-width wire format can
+    /// represent. Encoding fails instead of silently truncating the
+    /// count — a truncated header would decode to *different* data.
+    TooManyRecords {
+        /// What overflowed ("records", "segments", "coefficients", ...).
+        what: &'static str,
+        /// The count that does not fit.
+        count: usize,
+        /// The largest encodable count.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -108,6 +128,12 @@ impl fmt::Display for Error {
                     "invalid thread count {value:?}: expected a non-negative \
                      integer (0 = all hardware threads)"
                 )
+            }
+            Error::CorruptIndex { reason } => {
+                write!(f, "index integrity violation: {reason}")
+            }
+            Error::TooManyRecords { what, count, limit } => {
+                write!(f, "too many {what} for the codec: {count} exceeds the limit {limit}")
             }
         }
     }

@@ -66,6 +66,7 @@ mod naive;
 #[cfg(feature = "strict-invariants")]
 mod strict;
 
+pub use bytes::Bytes;
 pub use error::{Error, Result};
 pub use fit::{LineFit, SegStats};
 pub use ordf64::OrdF64;

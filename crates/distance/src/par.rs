@@ -135,6 +135,12 @@ impl<'a> SoaSegs<'a> {
     pub fn series_len(&self) -> usize {
         self.endpoints[self.endpoints.len() - 1] + 1
     }
+
+    /// The `i`-th segment as `(slope, intercept, endpoint)` — lets index
+    /// integrity checks compare a SoA view against stored segments.
+    pub fn seg(&self, i: usize) -> (f64, f64, usize) {
+        (self.slopes[i], self.intercepts[i], self.endpoints[i])
+    }
 }
 
 /// Accessor abstraction over a linear segmentation for the endpoint-union

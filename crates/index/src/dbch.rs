@@ -145,6 +145,12 @@ impl DbchTree {
         self.reps.is_empty()
     }
 
+    /// The indexed representations, by entry id (removed entries keep
+    /// their slot — ids are stable).
+    pub fn reps(&self) -> &[Representation] {
+        &self.reps
+    }
+
     /// Insert one more representation, returning its entry id.
     ///
     /// # Errors
@@ -230,7 +236,9 @@ impl DbchTree {
                 }
             }
         }
-        hits.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // (distance, id) — a strict total order, so multi-shard engines
+        // can merge per-shard hit lists deterministically.
+        hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         Ok(SearchStats {
             retrieved: hits.iter().map(|&(_, i)| i).collect(),
             distances: hits.iter().map(|&(d, _)| d).collect(),
@@ -281,6 +289,148 @@ impl DbchTree {
         self.collect_entries(self.root, &mut out);
         out.sort_unstable();
         out
+    }
+
+    /// Full structural integrity check, for stress tests and post-reload
+    /// verification. Walks every reachable node and verifies:
+    ///
+    /// * fill bounds (`min_fill ≤ |node| ≤ max_fill`, root exempt below),
+    /// * every entry id is unique and within the rep arena,
+    /// * each node's hull endpoints are reachable members of its subtree
+    ///   and the stored volume equals `Dist_PAR(u, l)` **bitwise**,
+    /// * each hull's volume equals a fresh recomputation over the node's
+    ///   current membership (bitwise — hulls may not go stale),
+    /// * every all-linear leaf's SoA [`LeafBlock`] mirrors its entry list
+    ///   coefficient-for-coefficient; internal nodes' blocks are
+    ///   invalidated.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::CorruptIndex`] naming the first violated
+    /// invariant; distance errors propagate unchanged.
+    pub fn validate(&self, scheme: &dyn Scheme) -> Result<()> {
+        fn corrupt(reason: &'static str) -> sapla_core::Error {
+            sapla_core::Error::CorruptIndex { reason }
+        }
+        let mut seen = Vec::new();
+        self.validate_rec(self.root, scheme, &mut seen)?;
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(corrupt("entry id stored in more than one leaf"));
+        }
+        Ok(())
+    }
+
+    fn validate_rec(&self, node: usize, scheme: &dyn Scheme, seen: &mut Vec<usize>) -> Result<()> {
+        fn corrupt(reason: &'static str) -> sapla_core::Error {
+            sapla_core::Error::CorruptIndex { reason }
+        }
+        let Some(n) = self.nodes.get(node) else {
+            return Err(corrupt("child id outside the node arena"));
+        };
+        let h = n.hull;
+        match &n.kind {
+            NodeKind::Leaf(entries) => {
+                if entries.is_empty() {
+                    if node != self.root {
+                        return Err(corrupt("empty non-root leaf"));
+                    }
+                    return Ok(());
+                }
+                if entries.len() > self.max_fill {
+                    return Err(corrupt("overfull leaf"));
+                }
+                if node != self.root && entries.len() < self.min_fill {
+                    return Err(corrupt("underfull non-root leaf"));
+                }
+                if entries.iter().any(|&e| e >= self.reps.len()) {
+                    return Err(corrupt("leaf entry outside the rep arena"));
+                }
+                if !entries.contains(&h.u) || !entries.contains(&h.l) {
+                    return Err(corrupt("leaf hull endpoint is not a member"));
+                }
+                if self.pair(scheme, h.u, h.l)?.to_bits() != h.volume.to_bits() {
+                    return Err(corrupt("leaf hull volume is not Dist(u, l)"));
+                }
+                if self.leaf_hull(scheme, entries)?.volume.to_bits() != h.volume.to_bits() {
+                    return Err(corrupt("stale leaf hull volume"));
+                }
+                self.validate_block(node, entries)?;
+                seen.extend_from_slice(entries);
+                Ok(())
+            }
+            NodeKind::Internal(children) => {
+                if children.is_empty() {
+                    return Err(corrupt("internal node without children"));
+                }
+                if children.len() > self.max_fill {
+                    return Err(corrupt("overfull internal node"));
+                }
+                if node != self.root && children.len() < self.min_fill {
+                    return Err(corrupt("underfull non-root internal node"));
+                }
+                if node == self.root && children.len() < 2 {
+                    return Err(corrupt("internal root not collapsed to its only child"));
+                }
+                if self.pair(scheme, h.u, h.l)?.to_bits() != h.volume.to_bits() {
+                    return Err(corrupt("internal hull volume is not Dist(u, l)"));
+                }
+                if self.internal_hull(scheme, children)?.volume.to_bits() != h.volume.to_bits() {
+                    return Err(corrupt("stale internal hull volume"));
+                }
+                if self.blocks.get(node).is_some_and(LeafBlock::is_ok) {
+                    return Err(corrupt("internal node still carries a live leaf block"));
+                }
+                let before = seen.len();
+                for &c in children {
+                    self.validate_rec(c, scheme, seen)?;
+                }
+                if !seen[before..].contains(&h.u) || !seen[before..].contains(&h.l) {
+                    return Err(corrupt("internal hull endpoint is not in the subtree"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Check one leaf's SoA block against its entry list (see
+    /// [`DbchTree::validate`]).
+    fn validate_block(&self, node: usize, entries: &[usize]) -> Result<()> {
+        fn corrupt(reason: &'static str) -> sapla_core::Error {
+            sapla_core::Error::CorruptIndex { reason }
+        }
+        let all_linear = entries.iter().all(|&e| self.reps[e].as_linear().is_some());
+        let Some(block) = self.blocks.get(node) else {
+            return Err(corrupt("leaf without a block slot"));
+        };
+        if !all_linear {
+            if block.is_ok() {
+                return Err(corrupt("leaf block live over non-linear entries"));
+            }
+            return Ok(());
+        }
+        if !block.is_ok() {
+            return Err(corrupt("leaf block invalidated for an all-linear leaf"));
+        }
+        if block.num_entries() != entries.len() {
+            return Err(corrupt("leaf block entry count out of sync"));
+        }
+        for (j, &e) in entries.iter().enumerate() {
+            let Some(lin) = self.reps[e].as_linear() else {
+                return Err(corrupt("leaf block entry lost its linear representation"));
+            };
+            let view = block.entry(j)?;
+            if view.num_segments() != lin.num_segments() {
+                return Err(corrupt("leaf block segment count out of sync"));
+            }
+            for (i, seg) in lin.segments().iter().enumerate() {
+                let (a, b, r) = view.seg(i);
+                if a.to_bits() != seg.a.to_bits() || b.to_bits() != seg.b.to_bits() || r != seg.r {
+                    return Err(corrupt("leaf block coefficients out of sync"));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn collect_entries(&self, node: usize, out: &mut Vec<usize>) {
@@ -802,6 +952,69 @@ mod tests {
         let shape = tree.shape();
         assert_eq!(shape.entries, 60);
         assert!(shape.height >= 2);
+    }
+
+    #[test]
+    fn validate_accepts_sound_trees_and_detects_planted_corruption() {
+        use sapla_core::Error;
+
+        let raws = dataset(40, 64);
+        let (tree, scheme) = build_sapla(&raws, 12);
+        tree.validate(scheme.as_ref()).unwrap();
+
+        // Empty and singleton trees are sound too.
+        let empty = DbchTree::build(scheme.as_ref(), vec![], 2, 5).unwrap();
+        empty.validate(scheme.as_ref()).unwrap();
+        let (single, scheme1) = build_sapla(&dataset(1, 64), 12);
+        single.validate(scheme1.as_ref()).unwrap();
+
+        // Plant a stale hull volume: validate must name it.
+        let (mut bad, scheme) = build_sapla(&raws, 12);
+        let leaf =
+            (0..bad.nodes.len()).find(|&n| matches!(bad.nodes[n].kind, NodeKind::Leaf(_))).unwrap();
+        bad.nodes[leaf].hull.volume += 1.0;
+        match bad.validate(scheme.as_ref()).unwrap_err() {
+            Error::CorruptIndex { reason } => assert!(reason.contains("hull"), "{reason}"),
+            other => panic!("unexpected error: {other:?}"),
+        }
+
+        // Plant a desynchronised leaf block (stale coefficients).
+        let (mut bad, scheme) = build_sapla(&raws, 12);
+        let leaf = (0..bad.nodes.len())
+            .find(|&n| matches!(&bad.nodes[n].kind, NodeKind::Leaf(e) if !e.is_empty()))
+            .unwrap();
+        bad.blocks[leaf].rebuild(&[0], &bad.reps);
+        match bad.validate(scheme.as_ref()).unwrap_err() {
+            Error::CorruptIndex { reason } => assert!(reason.contains("block"), "{reason}"),
+            other => panic!("unexpected error: {other:?}"),
+        }
+
+        // Plant a duplicated entry id across two leaves.
+        let (mut bad, scheme) = build_sapla(&raws, 12);
+        let leaves: Vec<usize> = (0..bad.nodes.len())
+            .filter(|&n| matches!(&bad.nodes[n].kind, NodeKind::Leaf(e) if !e.is_empty()))
+            .collect();
+        assert!(leaves.len() >= 2);
+        let stolen = match &bad.nodes[leaves[0]].kind {
+            NodeKind::Leaf(e) => e[0],
+            NodeKind::Internal(_) => unreachable!(),
+        };
+        if let NodeKind::Leaf(e) = &mut bad.nodes[leaves[1]].kind {
+            e.push(stolen);
+        }
+        let entries = match &bad.nodes[leaves[1]].kind {
+            NodeKind::Leaf(e) => e.clone(),
+            NodeKind::Internal(_) => unreachable!(),
+        };
+        bad.nodes[leaves[1]].hull = bad.leaf_hull(scheme.as_ref(), &entries).unwrap();
+        bad.refresh_block(leaves[1]);
+        // Which invariant fires first depends on tree layout (the theft
+        // can surface as a duplicate id, an overfull leaf, or a stale
+        // ancestor hull) — any CorruptIndex is a successful detection.
+        match bad.validate(scheme.as_ref()).unwrap_err() {
+            Error::CorruptIndex { .. } => {}
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,627 @@
+//! [`Engine`] — reusable kNN / range orchestration over a (possibly
+//! sharded) index, shared by the CLI, the bench harness, and
+//! `sapla-serve`.
+//!
+//! The engine owns everything a query needs: the indexing [`Scheme`],
+//! the [`Reducer`] that turns raw series into queries, the raw series
+//! (for exact refinement), and one or more index shards. Callers hand
+//! it raw query series (or pre-built [`Query`]s) and get back the same
+//! `(Vec<SearchStats>, BatchStats)` that [`knn_batch`] produces.
+//!
+//! # Sharding and determinism
+//!
+//! Entries are partitioned round-robin over `shards` independent trees:
+//! global id `g` lives in shard `g % shards` at local id `g / shards`.
+//! A kNN scatter-gathers: every `(query, shard)` pair runs top-`k`
+//! independently (fanned over the work-stealing engine with per-worker
+//! warm [`KnnScratch`]es), and per-query results merge by
+//! `(distance, global id)` — a strict total order, so the merge is
+//! deterministic at every thread count.
+//!
+//! With `shards == 1` the engine is **bit-identical** to the
+//! single-tree [`knn_batch`] path (pinned by proptest). With more
+//! shards the answer can differ from a single tree — the paper's
+//! node-distance rule is conditional, not a sound lower bound, so
+//! *which* candidates a tree refines depends on tree structure. The
+//! shard count is therefore part of the index configuration, not a
+//! tuning knob to vary between runs (see DESIGN.md, "Service
+//! architecture").
+
+use std::sync::Arc;
+
+use sapla_baselines::{reduce_batch_parallel, Reducer};
+use sapla_core::codec::{decode_collection, encode_collection};
+use sapla_core::{Bytes, Error, Representation, Result, TimeSeries};
+use sapla_parallel::par_try_map_init;
+
+use crate::dbch::{DbchTree, NodeDistRule};
+use crate::knn::{KnnScratch, SearchStats};
+use crate::parallel::{knn_batch, prepare_queries, BatchStats};
+use crate::rtree::RTree;
+use crate::scheme::{scheme_for, Query, Scheme};
+
+/// Which index structure backs each shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TreeKind {
+    /// The paper's DBCH-tree (hull bounds under `Dist_PAR`).
+    #[default]
+    Dbch,
+    /// The R-tree baseline over per-method feature MBRs.
+    Rtree,
+}
+
+impl TreeKind {
+    /// Parse a CLI / wire name (`"dbch"` or `"rtree"`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownMethod`] for anything else.
+    pub fn parse(name: &str) -> Result<TreeKind> {
+        match name {
+            "dbch" => Ok(TreeKind::Dbch),
+            "rtree" => Ok(TreeKind::Rtree),
+            other => Err(Error::UnknownMethod { name: format!("tree {other}") }),
+        }
+    }
+
+    /// The name [`TreeKind::parse`] accepts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeKind::Dbch => "dbch",
+            TreeKind::Rtree => "rtree",
+        }
+    }
+}
+
+/// Structural configuration of an [`Engine`]. Everything here shapes
+/// the index itself (and thus the answers, see the module docs on
+/// sharding) — per-call knobs like thread counts stay out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Index structure per shard.
+    pub tree: TreeKind,
+    /// Coefficient budget `M` for reduction.
+    pub m: usize,
+    /// Minimum node fill.
+    pub min_fill: usize,
+    /// Maximum node fill.
+    pub max_fill: usize,
+    /// Number of index shards (`0` is treated as `1`).
+    pub shards: usize,
+    /// DBCH node-distance rule (ignored by the R-tree).
+    pub rule: NodeDistRule,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            tree: TreeKind::Dbch,
+            m: 12,
+            min_fill: 2,
+            max_fill: 5,
+            shards: 1,
+            rule: NodeDistRule::Paper,
+        }
+    }
+}
+
+enum ShardIndex {
+    Dbch(DbchTree),
+    Rtree(RTree),
+}
+
+impl ShardIndex {
+    fn knn_with_scratch(
+        &self,
+        q: &Query,
+        k: usize,
+        scheme: &dyn Scheme,
+        raws: &[TimeSeries],
+        scratch: &mut KnnScratch,
+    ) -> Result<SearchStats> {
+        match self {
+            ShardIndex::Dbch(t) => t.knn_with_scratch(q, k, scheme, raws, scratch),
+            ShardIndex::Rtree(t) => t.knn_with_scratch(q, k, scheme, raws, scratch),
+        }
+    }
+
+    fn range(
+        &self,
+        q: &Query,
+        epsilon: f64,
+        scheme: &dyn Scheme,
+        raws: &[TimeSeries],
+    ) -> Result<SearchStats> {
+        match self {
+            ShardIndex::Dbch(t) => t.range(q, epsilon, scheme, raws),
+            ShardIndex::Rtree(t) => t.range(q, epsilon, scheme, raws),
+        }
+    }
+
+    fn reps(&self) -> &[Representation] {
+        match self {
+            ShardIndex::Dbch(t) => t.reps(),
+            ShardIndex::Rtree(t) => t.reps(),
+        }
+    }
+}
+
+struct Shard {
+    index: ShardIndex,
+    /// Raw series in local-id order (exact refinement reads these).
+    raws: Vec<TimeSeries>,
+}
+
+/// A self-contained, shareable similarity-search engine (see module
+/// docs). `Engine` is `Send + Sync`; long-lived services hold it in an
+/// `Arc` and swap the `Arc` on reload so in-flight queries finish
+/// against the index they started on.
+pub struct Engine {
+    cfg: EngineConfig,
+    scheme: Arc<dyn Scheme>,
+    reducer: Arc<dyn Reducer>,
+    shards: Vec<Shard>,
+    total: usize,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cfg", &self.cfg)
+            .field("method", &self.reducer.name())
+            .field("shards", &self.shards.len())
+            .field("total", &self.total)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Reduce `raws` (on up to `threads` workers) and build the sharded
+    /// index. The scheme is derived from the reducer's method name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduction, scheme-resolution, and tree-build failures.
+    pub fn build(
+        cfg: EngineConfig,
+        reducer: Box<dyn Reducer>,
+        raws: Vec<TimeSeries>,
+        threads: usize,
+    ) -> Result<Engine> {
+        let _span = sapla_obs::span!("engine.build");
+        let scheme: Arc<dyn Scheme> = Arc::from(scheme_for(reducer.name())?);
+        let reps = reduce_batch_parallel(reducer.as_ref(), &raws, cfg.m, threads)?;
+        Self::assemble(cfg, scheme, Arc::from(reducer), reps, raws)
+    }
+
+    /// Build from already-reduced representations (the snapshot-reload
+    /// path): `reps[g]` must be the reduction of `raws[g]`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::LengthMismatch`] when `reps` and `raws` disagree in
+    /// length; otherwise scheme-resolution / tree-build failures.
+    pub fn from_parts(
+        cfg: EngineConfig,
+        reducer: Box<dyn Reducer>,
+        reps: Vec<Representation>,
+        raws: Vec<TimeSeries>,
+    ) -> Result<Engine> {
+        if reps.len() != raws.len() {
+            return Err(Error::LengthMismatch { left: reps.len(), right: raws.len() });
+        }
+        let scheme: Arc<dyn Scheme> = Arc::from(scheme_for(reducer.name())?);
+        Self::assemble(cfg, scheme, Arc::from(reducer), reps, raws)
+    }
+
+    fn assemble(
+        cfg: EngineConfig,
+        scheme: Arc<dyn Scheme>,
+        reducer: Arc<dyn Reducer>,
+        reps: Vec<Representation>,
+        raws: Vec<TimeSeries>,
+    ) -> Result<Engine> {
+        let n_shards = cfg.shards.max(1);
+        let total = reps.len();
+        let mut shard_reps: Vec<Vec<Representation>> = Vec::with_capacity(n_shards);
+        let mut shard_raws: Vec<Vec<TimeSeries>> = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            let cap = total / n_shards + usize::from(s < total % n_shards);
+            shard_reps.push(Vec::with_capacity(cap));
+            shard_raws.push(Vec::with_capacity(cap));
+        }
+        for (g, (rep, raw)) in reps.into_iter().zip(raws).enumerate() {
+            shard_reps[g % n_shards].push(rep);
+            shard_raws[g % n_shards].push(raw);
+        }
+        let mut shards = Vec::with_capacity(n_shards);
+        for (reps, raws) in shard_reps.into_iter().zip(shard_raws) {
+            let index = match cfg.tree {
+                TreeKind::Dbch => ShardIndex::Dbch(DbchTree::build_with_rule(
+                    scheme.as_ref(),
+                    reps,
+                    cfg.min_fill,
+                    cfg.max_fill,
+                    cfg.rule,
+                )?),
+                TreeKind::Rtree => ShardIndex::Rtree(RTree::build(
+                    scheme.as_ref(),
+                    reps,
+                    cfg.min_fill,
+                    cfg.max_fill,
+                )?),
+            };
+            shards.push(Shard { index, raws });
+        }
+        Ok(Engine { cfg, scheme, reducer, shards, total })
+    }
+
+    /// Number of indexed series (over all shards).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// `true` iff no series are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of index shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine's structural configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The reduction method name (e.g. `"SAPLA"`).
+    #[must_use]
+    pub fn method(&self) -> &'static str {
+        self.reducer.name()
+    }
+
+    /// Reduce raw query series into [`Query`]s (parallel, warm
+    /// scratches; output order is input order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the earliest (by input order) reduction failure.
+    pub fn prepare(&self, raws: &[TimeSeries], threads: usize) -> Result<Vec<Query>> {
+        prepare_queries(raws, self.reducer.as_ref(), self.cfg.m, threads)
+    }
+
+    /// Answer a batch of k-NN queries: scatter every `(query, shard)`
+    /// pair over up to `threads` workers, gather per query by
+    /// `(distance, global id)`. With one shard this returns bit-for-bit
+    /// what [`knn_batch`] returns (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the earliest (by scatter order) search failure.
+    pub fn knn(
+        &self,
+        queries: &[Query],
+        k: usize,
+        threads: usize,
+    ) -> Result<(Vec<SearchStats>, BatchStats)> {
+        let _span = sapla_obs::span!("engine.knn");
+        let n_shards = self.shards.len();
+        if n_shards == 1 {
+            if let (Some(shard), ShardIndex::Dbch(tree)) =
+                (self.shards.first(), &self.shards[0].index)
+            {
+                // Single DBCH shard: take the established batch path
+                // directly (same results as the scatter-gather below;
+                // skips the trivial merge).
+                return knn_batch(tree, queries, k, self.scheme.as_ref(), &shard.raws, threads);
+            }
+        }
+        let tasks: Vec<(usize, usize)> =
+            (0..queries.len()).flat_map(|q| (0..n_shards).map(move |s| (q, s))).collect();
+        let partials =
+            par_try_map_init(&tasks, threads, KnnScratch::new, |scratch, _, &(qi, si)| {
+                let shard = &self.shards[si];
+                let stats = shard.index.knn_with_scratch(
+                    &queries[qi],
+                    k,
+                    self.scheme.as_ref(),
+                    &shard.raws,
+                    scratch,
+                )?;
+                sapla_obs::lane_counter!("engine.shard.measured", si, stats.measured as u64);
+                sapla_obs::lane_counter!("engine.shard.queries", si, 1);
+                Ok(stats)
+            })?;
+        let mut out = Vec::with_capacity(queries.len());
+        let mut measured_total = 0usize;
+        let mut merged: Vec<(f64, usize)> = Vec::new();
+        for qi in 0..queries.len() {
+            merged.clear();
+            let mut measured = 0usize;
+            for (si, stats) in partials[qi * n_shards..(qi + 1) * n_shards].iter().enumerate() {
+                measured += stats.measured;
+                for (&d, &local) in stats.distances.iter().zip(&stats.retrieved) {
+                    merged.push((d, local * n_shards + si));
+                }
+            }
+            // (distance, global id) is a strict total order over distinct
+            // entries — the merge is deterministic however shards raced.
+            merged.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            merged.truncate(k);
+            measured_total += measured;
+            out.push(SearchStats {
+                retrieved: merged.iter().map(|&(_, id)| id).collect(),
+                distances: merged.iter().map(|&(d, _)| d).collect(),
+                measured,
+                total: self.total,
+            });
+        }
+        let batch = BatchStats {
+            queries: queries.len(),
+            measured: measured_total,
+            candidates: queries.len() * self.total,
+        };
+        Ok((out, batch))
+    }
+
+    /// ε-range search over all shards, merged by `(distance, global id)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distance-computation failures.
+    pub fn range(&self, q: &Query, epsilon: f64) -> Result<SearchStats> {
+        let _span = sapla_obs::span!("engine.range");
+        let n_shards = self.shards.len();
+        let mut merged: Vec<(f64, usize)> = Vec::new();
+        let mut measured = 0usize;
+        for (si, shard) in self.shards.iter().enumerate() {
+            let stats = shard.index.range(q, epsilon, self.scheme.as_ref(), &shard.raws)?;
+            measured += stats.measured;
+            for (&d, &local) in stats.distances.iter().zip(&stats.retrieved) {
+                merged.push((d, local * n_shards + si));
+            }
+        }
+        merged.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        Ok(SearchStats {
+            retrieved: merged.iter().map(|&(_, id)| id).collect(),
+            distances: merged.iter().map(|&(d, _)| d).collect(),
+            measured,
+            total: self.total,
+        })
+    }
+
+    /// The indexed representations in global-id order (reassembled from
+    /// the shards).
+    #[must_use]
+    pub fn reps(&self) -> Vec<Representation> {
+        let n_shards = self.shards.len();
+        let mut out = Vec::with_capacity(self.total);
+        for g in 0..self.total {
+            out.push(self.shards[g % n_shards].index.reps()[g / n_shards].clone());
+        }
+        out
+    }
+
+    /// Serialize the indexed representations with [`sapla_core::codec`]
+    /// (the raw series are the caller's to persist — the codec stores
+    /// segments, not samples).
+    ///
+    /// # Errors
+    ///
+    /// Propagates codec encoding failures ([`Error::TooManyRecords`]).
+    pub fn snapshot(&self) -> Result<Bytes> {
+        let _span = sapla_obs::span!("engine.snapshot");
+        encode_collection(&self.reps())
+    }
+
+    /// Rebuild a fresh engine from a codec blob, reusing this engine's
+    /// configuration, scheme, reducer, and raw series. The blob must
+    /// describe the same membership (`len()` records) — the raws are
+    /// keyed by global id. `self` is untouched, so a service can keep
+    /// answering on the old engine until the new one is ready.
+    ///
+    /// # Errors
+    ///
+    /// Codec decode failures, [`Error::LengthMismatch`] on a record
+    /// count change, and tree-build failures.
+    pub fn reload_from_snapshot(&self, blob: &[u8]) -> Result<Engine> {
+        let _span = sapla_obs::span!("engine.reload");
+        let reps = decode_collection(blob)?;
+        if reps.len() != self.total {
+            return Err(Error::LengthMismatch { left: reps.len(), right: self.total });
+        }
+        let n_shards = self.shards.len();
+        let mut raws = Vec::with_capacity(self.total);
+        for g in 0..self.total {
+            raws.push(self.shards[g % n_shards].raws[g / n_shards].clone());
+        }
+        Self::assemble(self.cfg, Arc::clone(&self.scheme), Arc::clone(&self.reducer), reps, raws)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::ingest_parallel;
+    use sapla_baselines::SaplaReducer;
+
+    fn dataset(n_series: usize, len: usize) -> Vec<TimeSeries> {
+        (0..n_series)
+            .map(|i| {
+                TimeSeries::new(
+                    (0..len)
+                        .map(|t| {
+                            ((t + i * 13) as f64 * 0.19).sin() * (1.0 + (i % 4) as f64 * 0.3)
+                                + (i as f64 * 0.37).cos() * 0.4
+                        })
+                        .collect(),
+                )
+                .unwrap()
+                .znormalized()
+            })
+            .collect()
+    }
+
+    fn engine_with(shards: usize, tree: TreeKind, raws: &[TimeSeries]) -> Engine {
+        let cfg = EngineConfig { shards, tree, ..EngineConfig::default() };
+        Engine::build(cfg, Box::new(SaplaReducer::new()), raws.to_vec(), 2).unwrap()
+    }
+
+    #[test]
+    fn single_shard_matches_knn_batch_bit_for_bit() {
+        let raws = dataset(48, 64);
+        let reducer = SaplaReducer::new();
+        let scheme = scheme_for("SAPLA").unwrap();
+        let tree =
+            ingest_parallel(scheme.as_ref(), &reducer, &raws, 12, 2, 5, NodeDistRule::Paper, 2)
+                .unwrap();
+        let engine = engine_with(1, TreeKind::Dbch, &raws);
+        let queries = engine.prepare(&raws[..10], 2).unwrap();
+        let (want, want_batch) = knn_batch(&tree, &queries, 5, scheme.as_ref(), &raws, 2).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let (got, got_batch) = engine.knn(&queries, 5, threads).unwrap();
+            assert_eq!(got, want, "threads = {threads}");
+            for (g, w) in got.iter().zip(&want) {
+                for (gd, wd) in g.distances.iter().zip(&w.distances) {
+                    assert_eq!(gd.to_bits(), wd.to_bits());
+                }
+            }
+            assert_eq!(got_batch, want_batch, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_results_are_thread_count_invariant() {
+        let raws = dataset(60, 64);
+        for shards in [2usize, 3, 4] {
+            let engine = engine_with(shards, TreeKind::Dbch, &raws);
+            let queries = engine.prepare(&raws[..8], 2).unwrap();
+            let (want, want_batch) = engine.knn(&queries, 4, 1).unwrap();
+            for threads in [2usize, 4, 7] {
+                let (got, got_batch) = engine.knn(&queries, 4, threads).unwrap();
+                assert_eq!(got, want, "shards = {shards}, threads = {threads}");
+                assert_eq!(got_batch, want_batch);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_full_enumeration_matches_single_tree() {
+        // With k = |database| nothing can be pruned away structurally:
+        // every entry is retrieved, so shard layout must not change the
+        // answer set or its (distance, id) order.
+        let raws = dataset(30, 64);
+        let single = engine_with(1, TreeKind::Dbch, &raws);
+        let queries = single.prepare(&raws[..5], 2).unwrap();
+        let (want, _) = single.knn(&queries, raws.len(), 2).unwrap();
+        for shards in [2usize, 3] {
+            let engine = engine_with(shards, TreeKind::Dbch, &raws);
+            let (got, _) = engine.knn(&queries, raws.len(), 2).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.retrieved, w.retrieved, "shards = {shards}");
+                for (gd, wd) in g.distances.iter().zip(&w.distances) {
+                    assert_eq!(gd.to_bits(), wd.to_bits(), "shards = {shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rtree_engine_answers_whole_batches() {
+        let raws = dataset(40, 64);
+        let reducer = SaplaReducer::new();
+        let scheme = scheme_for("SAPLA").unwrap();
+        let engine = engine_with(1, TreeKind::Rtree, &raws);
+        let queries = engine.prepare(&raws[..6], 2).unwrap();
+        let (got, batch) = engine.knn(&queries, 3, 2).unwrap();
+        assert_eq!(got.len(), 6);
+        assert_eq!(batch.queries, 6);
+        assert_eq!(batch.candidates, 6 * raws.len());
+        // Sequential reference loop over the same tree.
+        let reps: Vec<_> = raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let tree = RTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+        for (qi, q) in queries.iter().enumerate() {
+            let want = tree.knn(q, 3, scheme.as_ref(), &raws).unwrap();
+            assert_eq!(got[qi], want, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn range_merge_matches_single_tree_on_one_shard() {
+        let raws = dataset(35, 64);
+        let engine = engine_with(1, TreeKind::Dbch, &raws);
+        let queries = engine.prepare(&raws[..3], 2).unwrap();
+        let reducer = SaplaReducer::new();
+        let scheme = scheme_for("SAPLA").unwrap();
+        let reps: Vec<_> = raws.iter().map(|s| reducer.reduce(s, 12).unwrap()).collect();
+        let tree = DbchTree::build(scheme.as_ref(), reps, 2, 5).unwrap();
+        for q in &queries {
+            let want = tree.range(q, 4.0, scheme.as_ref(), &raws).unwrap();
+            let got = engine.range(q, 4.0).unwrap();
+            assert_eq!(got, want);
+            assert!(!got.retrieved.is_empty(), "query itself is within epsilon");
+        }
+    }
+
+    #[test]
+    fn sharded_range_is_the_union_of_shard_hits() {
+        let raws = dataset(40, 64);
+        let single = engine_with(1, TreeKind::Dbch, &raws);
+        let queries = single.prepare(&raws[..4], 2).unwrap();
+        for shards in [2usize, 3] {
+            let engine = engine_with(shards, TreeKind::Dbch, &raws);
+            for q in &queries {
+                let want = single.range(q, 5.0).unwrap();
+                let got = engine.range(q, 5.0).unwrap();
+                // Range is exact (every surviving candidate is measured
+                // against epsilon), so the hit set is shard-invariant.
+                assert_eq!(got.retrieved, want.retrieved, "shards = {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_reload_preserves_answers() {
+        let raws = dataset(45, 64);
+        for shards in [1usize, 3] {
+            let engine = engine_with(shards, TreeKind::Dbch, &raws);
+            let queries = engine.prepare(&raws[..6], 2).unwrap();
+            let (want, _) = engine.knn(&queries, 4, 2).unwrap();
+            let blob = engine.snapshot().unwrap();
+            let reloaded = engine.reload_from_snapshot(&blob).unwrap();
+            assert_eq!(reloaded.len(), engine.len());
+            assert_eq!(reloaded.shard_count(), engine.shard_count());
+            let (got, _) = reloaded.knn(&queries, 4, 2).unwrap();
+            assert_eq!(got, want, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn reload_rejects_membership_changes_and_garbage() {
+        let raws = dataset(20, 64);
+        let engine = engine_with(2, TreeKind::Dbch, &raws);
+        let smaller = engine_with(1, TreeKind::Dbch, &raws[..10]);
+        let blob = smaller.snapshot().unwrap();
+        assert_eq!(
+            engine.reload_from_snapshot(&blob).unwrap_err(),
+            Error::LengthMismatch { left: 10, right: 20 }
+        );
+        assert!(engine.reload_from_snapshot(b"not a snapshot").is_err());
+    }
+
+    #[test]
+    fn tree_kind_parses_both_ways() {
+        assert_eq!(TreeKind::parse("dbch").unwrap(), TreeKind::Dbch);
+        assert_eq!(TreeKind::parse("rtree").unwrap(), TreeKind::Rtree);
+        assert!(TreeKind::parse("btree").is_err());
+        assert_eq!(TreeKind::Dbch.name(), "dbch");
+        assert_eq!(TreeKind::Rtree.name(), "rtree");
+    }
+}

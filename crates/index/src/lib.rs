@@ -24,6 +24,7 @@
 #![warn(clippy::all)]
 
 pub mod dbch;
+pub mod engine;
 pub mod knn;
 pub mod linear_scan;
 pub mod parallel;
@@ -34,6 +35,7 @@ pub(crate) mod soa;
 pub mod stats;
 
 pub use dbch::{DbchTree, NodeDistRule};
+pub use engine::{Engine, EngineConfig, TreeKind};
 pub use knn::{KnnScratch, SearchStats};
 pub use linear_scan::{filtered_scan_knn, linear_scan_knn, linear_scan_range};
 pub use parallel::{ingest_parallel, knn_batch, prepare_queries, BatchStats};

@@ -197,6 +197,12 @@ impl RTree {
         self.reps.is_empty()
     }
 
+    /// The indexed representations, by entry id (removed entries keep
+    /// their slot — ids are stable).
+    pub fn reps(&self) -> &[Representation] {
+        &self.reps
+    }
+
     /// Insert one more representation, returning its entry id.
     ///
     /// # Errors
@@ -287,7 +293,9 @@ impl RTree {
                 }
             }
         }
-        hits.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // (distance, id) — a strict total order, so multi-shard engines
+        // can merge per-shard hit lists deterministically.
+        hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         Ok(SearchStats {
             retrieved: hits.iter().map(|&(_, i)| i).collect(),
             distances: hits.iter().map(|&(d, _)| d).collect(),

@@ -1,0 +1,454 @@
+//! The daemon: accept loop, per-connection threads, admission-batching
+//! queue, and the batcher thread that feeds the engine (crate docs have
+//! the picture).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use bytes::Buf;
+use sapla_core::TimeSeries;
+use sapla_index::{BatchStats, Engine, Query, SearchStats};
+
+use crate::wire::{self, Request};
+use crate::Result;
+
+/// Per-instance knobs (everything index-shaped lives in
+/// [`sapla_index::EngineConfig`] instead).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads per engine call (`0` = all available cores).
+    pub threads: usize,
+    /// Per-frame byte cap (defaults to [`wire::MAX_FRAME`]).
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { threads: 0, max_frame: wire::MAX_FRAME }
+    }
+}
+
+/// One enqueued kNN request: prepared queries plus the channel its
+/// connection thread is blocked on.
+struct Job {
+    queries: Vec<Query>,
+    k: usize,
+    reply: mpsc::Sender<std::result::Result<(Vec<SearchStats>, BatchStats), String>>,
+}
+
+/// Plain atomic counters mirrored into the `stats` response. These are
+/// always live (unlike the `sapla-obs` registry, which compiles away
+/// without `--features obs`).
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    max_batch_queries: AtomicU64,
+    reloads: AtomicU64,
+    generation: AtomicU64,
+}
+
+struct Shared {
+    /// The serving engine. Readers clone the inner `Arc` and release
+    /// the lock immediately, so a reload (write lock + swap) never
+    /// waits on, or interrupts, in-flight queries.
+    engine: RwLock<Arc<Engine>>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Clones of every accepted connection's stream; shutdown closes
+    /// them so connection threads blocked in a read wake up and exit.
+    streams: Mutex<Vec<TcpStream>>,
+    counters: Counters,
+    threads: usize,
+    max_frame: usize,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn current_engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine.read().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// A running daemon. Dropping the handle does **not** stop the server;
+/// call [`Server::stop`] (or send a `shutdown` request and then
+/// [`Server::join`]).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port `0` for an ephemeral port) and start the
+    /// accept and batcher threads around `engine`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the listener cannot bind.
+    pub fn start(engine: Engine, addr: impl ToSocketAddrs, cfg: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: RwLock::new(Arc::new(engine)),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            streams: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+            threads: cfg.threads,
+            max_frame: cfg.max_frame,
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batch_loop(&shared))
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(&listener, &shared, &conns))
+        };
+        Ok(Server { shared, addr: local, accept: Some(accept), batcher: Some(batcher), conns })
+    }
+
+    /// The bound address (resolves port `0` to the real port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once a shutdown has been requested (via [`Server::stop`]
+    /// or a client `shutdown` command).
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Request shutdown and wait for every thread to finish. The
+    /// batcher drains already-queued work; open connections are closed
+    /// (clients mid-request see the socket drop).
+    pub fn stop(mut self) {
+        initiate_shutdown(&self.shared, self.addr);
+        self.join_threads();
+    }
+
+    /// Wait for the server to stop on its own (i.e. for a client's
+    /// `shutdown` command). Queued queries are drained first.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Connection threads exit once their peer closes or the
+        // shutdown flag is up and their reads drain; the accept loop
+        // has already stopped admitting new ones.
+        loop {
+            let handle = lock(&self.conns).pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        self.shared.available.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Flip the flag, wake the batcher, close every open connection (so
+/// threads blocked in a read exit), and poke the listener so its
+/// blocking `accept` returns.
+fn initiate_shutdown(shared: &Shared, addr: SocketAddr) {
+    shared.shutdown.store(true, Ordering::Release);
+    shared.available.notify_all();
+    for stream in lock(&shared.streams).drain(..) {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    // A throwaway connection unblocks `TcpListener::incoming`; the
+    // accept loop re-checks the flag before handling it.
+    drop(TcpStream::connect(addr));
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, conns: &Mutex<Vec<JoinHandle<()>>>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        register_stream(shared, &stream);
+        let local = listener.local_addr().ok();
+        let shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || connection_loop(stream, &shared, local));
+        lock(conns).push(handle);
+    }
+}
+
+/// Track a clone of the accepted stream for shutdown. The flag is
+/// re-checked under the registry lock: `initiate_shutdown` sets it
+/// before draining, so a racing registration either lands in the drain
+/// or closes itself here.
+fn register_stream(shared: &Shared, stream: &TcpStream) {
+    if let Ok(clone) = stream.try_clone() {
+        let mut registry = lock(&shared.streams);
+        if shared.shutdown.load(Ordering::Acquire) {
+            let _ = clone.shutdown(std::net::Shutdown::Both);
+        } else {
+            registry.push(clone);
+        }
+    }
+}
+
+/// Record request latency; consumes `started` even when obs is off so
+/// the disabled macro (which drops its arguments unevaluated) leaves no
+/// unused binding behind.
+fn record_latency(started: Instant) {
+    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    sapla_obs::hist!("serve.request.ns", ns);
+    let _ = ns;
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, local: Option<SocketAddr>) {
+    let _ = stream.set_nodelay(true);
+    // A clean close, socket death, or an oversized frame all end the
+    // conversation; only a well-formed frame keeps the loop alive.
+    while let Ok(Some(payload)) = wire::read_frame(&mut stream, shared.max_frame) {
+        let started = Instant::now();
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        sapla_obs::counter!("serve.requests");
+        let (response, shutdown_after) = match wire::decode_request(&payload) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                (handle_request(shared, req), is_shutdown)
+            }
+            Err(msg) => (wire::err_response(&msg), false),
+        };
+        record_latency(started);
+        if wire::write_frame(&mut stream, &response).is_err() {
+            break;
+        }
+        if shutdown_after {
+            if let Some(addr) = local {
+                initiate_shutdown(shared, addr);
+            } else {
+                shared.shutdown.store(true, Ordering::Release);
+                shared.available.notify_all();
+            }
+            break;
+        }
+    }
+}
+
+/// Serve one decoded request; every failure becomes an error response.
+fn handle_request(shared: &Arc<Shared>, req: Request) -> Vec<u8> {
+    match req {
+        Request::Knn { k, queries } => handle_knn(shared, k, &queries),
+        Request::Range { epsilon, query } => handle_range(shared, epsilon, query),
+        Request::Stats => wire::ok_text_response(&stats_json(shared)),
+        Request::Snapshot => match shared.current_engine().snapshot() {
+            Ok(blob) => wire::ok_blob_response(blob.chunk()),
+            Err(e) => wire::err_response(&e.to_string()),
+        },
+        Request::Reload { blob } => handle_reload(shared, blob),
+        Request::Shutdown => wire::ok_empty_response(),
+    }
+}
+
+fn handle_knn(shared: &Arc<Shared>, k: usize, queries: &[Vec<f64>]) -> Vec<u8> {
+    if k == 0 {
+        return wire::err_response("k must be at least 1");
+    }
+    if queries.is_empty() {
+        return wire::err_response("a kNN request needs at least one query");
+    }
+    let engine = shared.current_engine();
+    let raws: sapla_core::Result<Vec<TimeSeries>> =
+        queries.iter().map(|q| TimeSeries::new(q.clone())).collect();
+    let prepared = match raws.and_then(|r| engine.prepare(&r, shared.threads)) {
+        Ok(p) => p,
+        Err(e) => return wire::err_response(&e.to_string()),
+    };
+    // Hand the prepared queries to the batcher and block on the reply.
+    // Queries only depend on the reducer and `m`, both invariant across
+    // reloads, so they stay valid whichever engine generation answers.
+    let (tx, rx) = mpsc::channel();
+    {
+        // The flag is checked under the queue lock: the batcher only
+        // exits once the flag is up *and* the queue is empty (also
+        // under the lock), so a job admitted here is guaranteed an
+        // answer — no request can strand in `recv` below.
+        let mut queue = lock(&shared.queue);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return wire::err_response("server is shutting down");
+        }
+        queue.push_back(Job { queries: prepared, k, reply: tx });
+        sapla_obs::gauge_max!("serve.queue.depth.hwm", queue.len() as u64);
+    }
+    shared.available.notify_one();
+    match rx.recv() {
+        Ok(Ok((per_query, batch))) => {
+            wire::ok_knn_response(&per_query, batch.measured as u64, batch.candidates as u64)
+        }
+        Ok(Err(msg)) => wire::err_response(&msg),
+        Err(_) => wire::err_response("server is shutting down"),
+    }
+}
+
+fn handle_range(shared: &Arc<Shared>, epsilon: f64, query: Vec<f64>) -> Vec<u8> {
+    if !(epsilon.is_finite() && epsilon >= 0.0) {
+        return wire::err_response("epsilon must be finite and non-negative");
+    }
+    let engine = shared.current_engine();
+    let answer = TimeSeries::new(query)
+        .and_then(|raw| engine.prepare(std::slice::from_ref(&raw), 1))
+        .and_then(|qs| match qs.first() {
+            Some(q) => engine.range(q, epsilon),
+            None => Err(sapla_core::Error::EmptySeries),
+        });
+    match answer {
+        Ok(stats) => wire::ok_range_response(&stats),
+        Err(e) => wire::err_response(&e.to_string()),
+    }
+}
+
+fn handle_reload(shared: &Arc<Shared>, blob: Vec<u8>) -> Vec<u8> {
+    let engine = shared.current_engine();
+    // An empty blob means "rebuild from your own snapshot" — the
+    // round-trip exercises codec + rebuild without shipping bytes.
+    let own: Vec<u8>;
+    let blob: &[u8] = if blob.is_empty() {
+        match engine.snapshot() {
+            Ok(b) => {
+                own = b.chunk().to_vec();
+                &own
+            }
+            Err(e) => return wire::err_response(&e.to_string()),
+        }
+    } else {
+        &blob
+    };
+    match engine.reload_from_snapshot(blob) {
+        Ok(fresh) => {
+            let records = fresh.len() as u64;
+            *shared.engine.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(fresh);
+            shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
+            shared.counters.generation.fetch_add(1, Ordering::Relaxed);
+            sapla_obs::counter!("serve.reloads");
+            wire::ok_records_response(records)
+        }
+        Err(e) => wire::err_response(&e.to_string()),
+    }
+}
+
+fn stats_json(shared: &Shared) -> String {
+    let engine = shared.current_engine();
+    let c = &shared.counters;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"server\": {{\"tree\": \"{}\", \"method\": \"{}\", \"indexed\": {}, ",
+            "\"shards\": {}, \"generation\": {}, \"requests\": {}, \"batches\": {}, ",
+            "\"batched_queries\": {}, \"max_batch_queries\": {}, \"reloads\": {}}},\n",
+            "  \"obs\": {}\n",
+            "}}\n"
+        ),
+        engine.config().tree.name(),
+        engine.method(),
+        engine.len(),
+        engine.shard_count(),
+        c.generation.load(Ordering::Relaxed),
+        c.requests.load(Ordering::Relaxed),
+        c.batches.load(Ordering::Relaxed),
+        c.batched_queries.load(Ordering::Relaxed),
+        c.max_batch_queries.load(Ordering::Relaxed),
+        c.reloads.load(Ordering::Relaxed),
+        sapla_obs::Snapshot::capture().to_json().trim_end(),
+    )
+}
+
+/// Drain every waiting job in one gulp, group by `k`, and answer each
+/// group with a single engine call: admission batching. Exits when the
+/// shutdown flag is up *and* the queue is empty, so queries accepted
+/// before shutdown still get answers.
+fn batch_loop(shared: &Arc<Shared>) {
+    loop {
+        let jobs: Vec<Job> = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if !queue.is_empty() {
+                    break queue.drain(..).collect();
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.available.wait(queue).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        run_batch(shared, jobs);
+    }
+}
+
+fn run_batch(shared: &Arc<Shared>, mut jobs: Vec<Job>) {
+    let total_queries: usize = jobs.iter().map(|j| j.queries.len()).sum();
+    let c = &shared.counters;
+    c.batches.fetch_add(1, Ordering::Relaxed);
+    c.batched_queries.fetch_add(total_queries as u64, Ordering::Relaxed);
+    c.max_batch_queries.fetch_max(total_queries as u64, Ordering::Relaxed);
+    sapla_obs::hist!("serve.batch.jobs", jobs.len() as u64);
+    sapla_obs::hist!("serve.batch.queries", total_queries as u64);
+    let engine = shared.current_engine();
+
+    // Group coalesced jobs by k (BTreeMap: deterministic order), keep
+    // FIFO order within each group.
+    let mut by_k: BTreeMap<usize, Vec<Job>> = BTreeMap::new();
+    for job in jobs.drain(..) {
+        by_k.entry(job.k).or_default().push(job);
+    }
+    for (k, group) in by_k {
+        let mut all: Vec<Query> = Vec::new();
+        let mut counts = Vec::with_capacity(group.len());
+        let mut replies = Vec::with_capacity(group.len());
+        for mut job in group {
+            counts.push(job.queries.len());
+            all.append(&mut job.queries);
+            replies.push(job.reply);
+        }
+        match engine.knn(&all, k, shared.threads) {
+            Ok((mut per_query, batch)) => {
+                // Split the flat result vector back into per-job slices
+                // (front to back, same order we concatenated).
+                let mut rest = per_query.drain(..);
+                for (count, reply) in counts.iter().zip(replies) {
+                    let chunk: Vec<SearchStats> = rest.by_ref().take(*count).collect();
+                    // A dead receiver just means the client hung up.
+                    let _ = reply.send(Ok((chunk, batch)));
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for reply in replies {
+                    let _ = reply.send(Err(msg.clone()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Frame layer and request/response codec for the daemon (see the
+//! crate docs for the byte-level grammar). Parsing is fully checked:
+//! any malformed payload becomes an `Err(String)` — never a panic —
+//! which the server turns into an error response on that request.
+
+use std::io::{ErrorKind, Read, Write};
+
+use sapla_index::SearchStats;
+
+/// Hard ceiling on a single frame (request or response): 256 MiB.
+pub const MAX_FRAME: usize = 1 << 28;
+
+pub(crate) const OP_KNN: u8 = 0x01;
+pub(crate) const OP_RANGE: u8 = 0x02;
+pub(crate) const OP_STATS: u8 = 0x03;
+pub(crate) const OP_SNAPSHOT: u8 = 0x04;
+pub(crate) const OP_RELOAD: u8 = 0x05;
+pub(crate) const OP_SHUTDOWN: u8 = 0x06;
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Read one length-prefixed frame. `Ok(None)` is a clean end of stream
+/// (the peer closed between frames); any other short read is an error.
+pub(crate) fn read_frame(stream: &mut impl Read, max: usize) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len4 = [0u8; 4];
+    match stream.read_exact(&mut len4) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len4) as usize;
+    if len > max {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Write one length-prefixed frame.
+pub(crate) fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("refusing to send a {}-byte frame (cap {MAX_FRAME})", payload.len()),
+        ));
+    }
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Checked payload reader
+// ---------------------------------------------------------------------------
+
+/// Cursor over a frame payload with bounds-checked reads.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() < n {
+            return Err(format!("truncated payload: need {n} more bytes, have {}", self.buf.len()));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `len:u32`-prefixed byte string.
+    pub(crate) fn blob(&mut self) -> Result<&'a [u8], String> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Reject trailing garbage so protocol drift fails loudly.
+    pub(crate) fn finish(&self) -> Result<(), String> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after payload", self.buf.len()))
+        }
+    }
+}
+
+fn read_series(r: &mut Reader<'_>) -> Result<Vec<f64>, String> {
+    let n = r.u32()? as usize;
+    // 8 bytes per sample are still in the frame, so `n` is already
+    // bounded by MAX_FRAME / 8 — no separate cap needed.
+    let mut v = Vec::with_capacity(n.min(r.buf.len() / 8 + 1));
+    for _ in 0..n {
+        v.push(r.f64()?);
+    }
+    Ok(v)
+}
+
+fn put_series(out: &mut Vec<u8>, series: &[f64]) {
+    out.extend_from_slice(&(series.len() as u32).to_le_bytes());
+    for &x in series {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// A decoded client request.
+pub(crate) enum Request {
+    Knn { k: usize, queries: Vec<Vec<f64>> },
+    Range { epsilon: f64, query: Vec<f64> },
+    Stats,
+    Snapshot,
+    Reload { blob: Vec<u8> },
+    Shutdown,
+}
+
+pub(crate) fn decode_request(payload: &[u8]) -> Result<Request, String> {
+    let mut r = Reader::new(payload);
+    let op = r.u8()?;
+    let req = match op {
+        OP_KNN => {
+            let k = r.u32()? as usize;
+            let nq = r.u32()? as usize;
+            if nq > payload.len() {
+                return Err(format!("query count {nq} exceeds the payload size"));
+            }
+            let mut queries = Vec::with_capacity(nq);
+            for _ in 0..nq {
+                queries.push(read_series(&mut r)?);
+            }
+            Request::Knn { k, queries }
+        }
+        OP_RANGE => {
+            let epsilon = r.f64()?;
+            let query = read_series(&mut r)?;
+            Request::Range { epsilon, query }
+        }
+        OP_STATS => Request::Stats,
+        OP_SNAPSHOT => Request::Snapshot,
+        OP_RELOAD => Request::Reload { blob: r.blob()?.to_vec() },
+        OP_SHUTDOWN => Request::Shutdown,
+        other => return Err(format!("unknown opcode 0x{other:02x}")),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+pub(crate) fn encode_knn_request(queries: &[Vec<f64>], k: usize) -> Vec<u8> {
+    let samples: usize = queries.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(9 + 4 * queries.len() + 8 * samples);
+    out.push(OP_KNN);
+    out.extend_from_slice(&(k as u32).to_le_bytes());
+    out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+    for q in queries {
+        put_series(&mut out, q);
+    }
+    out
+}
+
+pub(crate) fn encode_range_request(query: &[f64], epsilon: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + 8 * query.len());
+    out.push(OP_RANGE);
+    out.extend_from_slice(&epsilon.to_bits().to_le_bytes());
+    put_series(&mut out, query);
+    out
+}
+
+pub(crate) fn encode_bare_request(op: u8) -> Vec<u8> {
+    vec![op]
+}
+
+pub(crate) fn encode_reload_request(blob: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + blob.len());
+    out.push(OP_RELOAD);
+    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    out.extend_from_slice(blob);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// One query's slice of a kNN response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnResult {
+    /// `(global id, exact distance)` pairs, ascending by
+    /// `(distance, id)`.
+    pub hits: Vec<(u64, f64)>,
+    /// Exact distance computations this query cost.
+    pub measured: u64,
+}
+
+/// A whole kNN response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnResponse {
+    /// Per-query results, in request order.
+    pub per_query: Vec<KnnResult>,
+    /// Exact distance computations over the *server-side batch* this
+    /// request rode in (admission coalescing may include concurrent
+    /// requests' queries).
+    pub batch_measured: u64,
+    /// `queries × indexed series` for that server-side batch.
+    pub batch_candidates: u64,
+}
+
+/// A range-query response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeResponse {
+    /// `(global id, exact distance)` pairs within epsilon, ascending by
+    /// `(distance, id)`.
+    pub hits: Vec<(u64, f64)>,
+    /// Exact distance computations performed.
+    pub measured: u64,
+}
+
+pub(crate) fn err_response(msg: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + msg.len());
+    out.push(STATUS_ERR);
+    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+fn put_hits(out: &mut Vec<u8>, stats: &SearchStats) {
+    out.extend_from_slice(&(stats.retrieved.len() as u32).to_le_bytes());
+    for (&id, &d) in stats.retrieved.iter().zip(&stats.distances) {
+        out.extend_from_slice(&(id as u64).to_le_bytes());
+        out.extend_from_slice(&d.to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(stats.measured as u64).to_le_bytes());
+}
+
+pub(crate) fn ok_knn_response(
+    per_query: &[SearchStats],
+    batch_measured: u64,
+    batch_candidates: u64,
+) -> Vec<u8> {
+    let hits: usize = per_query.iter().map(|s| s.retrieved.len()).sum();
+    let mut out = Vec::with_capacity(21 + 12 * per_query.len() + 16 * hits);
+    out.push(STATUS_OK);
+    out.extend_from_slice(&(per_query.len() as u32).to_le_bytes());
+    for stats in per_query {
+        put_hits(&mut out, stats);
+    }
+    out.extend_from_slice(&batch_measured.to_le_bytes());
+    out.extend_from_slice(&batch_candidates.to_le_bytes());
+    out
+}
+
+pub(crate) fn ok_range_response(stats: &SearchStats) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + 16 * stats.retrieved.len());
+    out.push(STATUS_OK);
+    put_hits(&mut out, stats);
+    out
+}
+
+pub(crate) fn ok_text_response(text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + text.len());
+    out.push(STATUS_OK);
+    out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+pub(crate) fn ok_blob_response(blob: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + blob.len());
+    out.push(STATUS_OK);
+    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    out.extend_from_slice(blob);
+    out
+}
+
+pub(crate) fn ok_records_response(records: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(STATUS_OK);
+    out.extend_from_slice(&records.to_le_bytes());
+    out
+}
+
+pub(crate) fn ok_empty_response() -> Vec<u8> {
+    vec![STATUS_OK]
+}
+
+/// Client side: peel the status byte; an error status yields the
+/// server's message as `Err`.
+pub(crate) fn check_status<'a>(payload: &'a [u8]) -> Result<Reader<'a>, String> {
+    let mut r = Reader::new(payload);
+    match r.u8()? {
+        STATUS_OK => Ok(r),
+        STATUS_ERR => {
+            let msg = r.blob()?;
+            Err(String::from_utf8_lossy(msg).into_owned())
+        }
+        other => Err(format!("unknown response status {other}")),
+    }
+}
+
+pub(crate) fn decode_knn_response(payload: &[u8]) -> Result<KnnResponse, String> {
+    let mut r = check_status(payload)?;
+    let nq = r.u32()? as usize;
+    let mut per_query = Vec::with_capacity(nq.min(payload.len() / 12 + 1));
+    for _ in 0..nq {
+        let n = r.u32()? as usize;
+        let mut hits = Vec::with_capacity(n.min(payload.len() / 16 + 1));
+        for _ in 0..n {
+            let id = r.u64()?;
+            let d = r.f64()?;
+            hits.push((id, d));
+        }
+        let measured = r.u64()?;
+        per_query.push(KnnResult { hits, measured });
+    }
+    let batch_measured = r.u64()?;
+    let batch_candidates = r.u64()?;
+    r.finish()?;
+    Ok(KnnResponse { per_query, batch_measured, batch_candidates })
+}
+
+pub(crate) fn decode_range_response(payload: &[u8]) -> Result<RangeResponse, String> {
+    let mut r = check_status(payload)?;
+    let n = r.u32()? as usize;
+    let mut hits = Vec::with_capacity(n.min(payload.len() / 16 + 1));
+    for _ in 0..n {
+        let id = r.u64()?;
+        let d = r.f64()?;
+        hits.push((id, d));
+    }
+    let measured = r.u64()?;
+    r.finish()?;
+    Ok(RangeResponse { hits, measured })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_over_an_in_memory_pipe() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(read_frame(&mut cursor, MAX_FRAME).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor, MAX_FRAME).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor, MAX_FRAME).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_errors() {
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut cursor: &[u8] = &huge;
+        assert!(read_frame(&mut cursor, MAX_FRAME).is_err());
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        buf.truncate(buf.len() - 2); // kill the tail mid-payload
+        let mut cursor: &[u8] = &buf;
+        assert!(read_frame(&mut cursor, MAX_FRAME).is_err(), "mid-frame EOF is not clean");
+    }
+
+    #[test]
+    fn knn_request_roundtrips() {
+        let queries = vec![vec![1.0, -2.5, 3.25], vec![0.0; 5]];
+        let payload = encode_knn_request(&queries, 7);
+        match decode_request(&payload).unwrap() {
+            Request::Knn { k, queries: got } => {
+                assert_eq!(k, 7);
+                assert_eq!(got, queries);
+            }
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn range_and_control_requests_roundtrip() {
+        let payload = encode_range_request(&[1.5, 2.5], 0.75);
+        match decode_request(&payload).unwrap() {
+            Request::Range { epsilon, query } => {
+                assert_eq!(epsilon.to_bits(), 0.75f64.to_bits());
+                assert_eq!(query, vec![1.5, 2.5]);
+            }
+            _ => panic!("wrong variant"),
+        }
+        assert!(matches!(decode_request(&encode_bare_request(OP_STATS)), Ok(Request::Stats)));
+        assert!(matches!(decode_request(&encode_bare_request(OP_SNAPSHOT)), Ok(Request::Snapshot)));
+        assert!(matches!(decode_request(&encode_bare_request(OP_SHUTDOWN)), Ok(Request::Shutdown)));
+        match decode_request(&encode_reload_request(b"blob!")).unwrap() {
+            Request::Reload { blob } => assert_eq!(blob, b"blob!"),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_error_and_never_panic() {
+        assert!(decode_request(&[]).is_err(), "empty payload");
+        assert!(decode_request(&[0xEE]).is_err(), "unknown opcode");
+        assert!(decode_request(&[OP_KNN, 1, 0]).is_err(), "truncated header");
+        // Query count larger than the payload could ever hold.
+        let mut p = vec![OP_KNN];
+        p.extend_from_slice(&5u32.to_le_bytes());
+        p.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request(&p).is_err());
+        // Trailing garbage after a well-formed request.
+        let mut p = encode_bare_request(OP_STATS);
+        p.push(0);
+        assert!(decode_request(&p).is_err());
+    }
+
+    #[test]
+    fn knn_response_roundtrips_bitwise() {
+        let per = vec![
+            SearchStats {
+                retrieved: vec![3, 1, 7],
+                distances: vec![0.5, 1.5, f64::MAX],
+                measured: 9,
+                total: 40,
+            },
+            SearchStats { retrieved: vec![], distances: vec![], measured: 0, total: 40 },
+        ];
+        let payload = ok_knn_response(&per, 123, 80);
+        let got = decode_knn_response(&payload).unwrap();
+        assert_eq!(got.per_query.len(), 2);
+        assert_eq!(got.per_query[0].hits[0], (3, 0.5));
+        assert_eq!(got.per_query[0].hits[2].1.to_bits(), f64::MAX.to_bits());
+        assert_eq!(got.per_query[0].measured, 9);
+        assert!(got.per_query[1].hits.is_empty());
+        assert_eq!(got.batch_measured, 123);
+        assert_eq!(got.batch_candidates, 80);
+    }
+
+    #[test]
+    fn error_responses_carry_the_message() {
+        let payload = err_response("engine exploded");
+        assert_eq!(decode_knn_response(&payload).unwrap_err(), "engine exploded");
+        assert_eq!(decode_range_response(&payload).unwrap_err(), "engine exploded");
+    }
+
+    #[test]
+    fn range_response_roundtrips() {
+        let stats = SearchStats {
+            retrieved: vec![4, 9],
+            distances: vec![0.25, 0.75],
+            measured: 6,
+            total: 20,
+        };
+        let got = decode_range_response(&ok_range_response(&stats)).unwrap();
+        assert_eq!(got.hits, vec![(4, 0.25), (9, 0.75)]);
+        assert_eq!(got.measured, 6);
+    }
+}

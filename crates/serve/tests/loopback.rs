@@ -1,0 +1,310 @@
+//! Loopback integration tests for the daemon: a real `TcpListener` on
+//! `127.0.0.1:0`, real client connections, concurrent load.
+//!
+//! The load-bearing property is pinned in
+//! [`concurrent_clients_get_bit_identical_answers`]: whatever admission
+//! batches the server happens to coalesce under concurrency, every
+//! query's answer is bit-identical to the single-process
+//! `Engine::knn` (= `knn_batch`) path.
+
+use std::sync::Arc;
+
+use sapla_baselines::SaplaReducer;
+use sapla_core::codec::decode_collection;
+use sapla_core::TimeSeries;
+use sapla_index::{Engine, EngineConfig, SearchStats, TreeKind};
+use sapla_serve::{Client, Server, ServerConfig};
+
+const LEN: usize = 64;
+
+fn samples(i: usize) -> Vec<f64> {
+    (0..LEN)
+        .map(|t| {
+            ((t + i * 13) as f64 * 0.19).sin() * (1.0 + (i % 4) as f64 * 0.3)
+                + (i as f64 * 0.37).cos() * 0.4
+        })
+        .collect()
+}
+
+fn dataset(n: usize) -> Vec<TimeSeries> {
+    (0..n).map(|i| TimeSeries::new(samples(i)).unwrap().znormalized()).collect()
+}
+
+/// Raw query vectors, already z-normalized to match the dataset.
+fn query_samples(n: usize) -> Vec<Vec<f64>> {
+    dataset(n).iter().map(|s| s.values().to_vec()).collect()
+}
+
+fn build_engine(raws: &[TimeSeries], shards: usize, tree: TreeKind) -> Engine {
+    let cfg = EngineConfig { shards, tree, ..EngineConfig::default() };
+    Engine::build(cfg, Box::new(SaplaReducer::new()), raws.to_vec(), 2).unwrap()
+}
+
+/// Local ground truth through the same engine code path the server
+/// batches into.
+fn local_answers(reference: &Engine, queries: &[Vec<f64>], k: usize) -> Vec<SearchStats> {
+    let raws: Vec<TimeSeries> =
+        queries.iter().map(|q| TimeSeries::new(q.clone()).unwrap()).collect();
+    let prepared = reference.prepare(&raws, 2).unwrap();
+    reference.knn(&prepared, k, 2).unwrap().0
+}
+
+fn assert_matches_local(got: &sapla_serve::KnnResponse, want: &[SearchStats], context: &str) {
+    assert_eq!(got.per_query.len(), want.len(), "{context}: query count");
+    for (qi, (g, w)) in got.per_query.iter().zip(want).enumerate() {
+        let want_hits: Vec<(u64, u64)> = w
+            .retrieved
+            .iter()
+            .zip(&w.distances)
+            .map(|(&id, &d)| (id as u64, d.to_bits()))
+            .collect();
+        let got_hits: Vec<(u64, u64)> = g.hits.iter().map(|&(id, d)| (id, d.to_bits())).collect();
+        assert_eq!(got_hits, want_hits, "{context}: query {qi} differs from the local engine");
+        assert_eq!(g.measured, w.measured as u64, "{context}: query {qi} measured");
+    }
+}
+
+#[test]
+fn serves_knn_bit_identical_to_the_local_batch_path() {
+    let raws = dataset(48);
+    let queries = query_samples(10);
+    let reference = build_engine(&raws, 1, TreeKind::Dbch);
+    let want = local_answers(&reference, &queries, 5);
+
+    let server = Server::start(
+        build_engine(&raws, 1, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let got = client.knn(&queries, 5).unwrap();
+    assert_matches_local(&got, &want, "sequential");
+    // A lone request is its own admission batch, so the batch counters
+    // must equal this very batch's.
+    let want_measured: usize = want.iter().map(|s| s.measured).sum();
+    assert_eq!(got.batch_measured, want_measured as u64);
+    assert_eq!(got.batch_candidates, (queries.len() * raws.len()) as u64);
+    server.stop();
+}
+
+#[test]
+fn sharded_server_agrees_with_a_local_sharded_engine() {
+    let raws = dataset(60);
+    let queries = query_samples(6);
+    let reference = build_engine(&raws, 3, TreeKind::Dbch);
+    let want = local_answers(&reference, &queries, 4);
+
+    let server = Server::start(
+        build_engine(&raws, 3, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let got = client.knn(&queries, 4).unwrap();
+    assert_matches_local(&got, &want, "sharded");
+    server.stop();
+}
+
+/// ≥2 concurrent connections hammer the daemon; coalesced or not, every
+/// reply must be bit-identical to the local engine. Mixed `k` values
+/// exercise the batcher's group-by-k splitting.
+#[test]
+fn concurrent_clients_get_bit_identical_answers() {
+    let raws = dataset(64);
+    let reference = Arc::new(build_engine(&raws, 1, TreeKind::Dbch));
+    let server = Server::start(
+        build_engine(&raws, 1, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 5;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|ci| {
+            let reference = Arc::clone(&reference);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let k = 3 + ci % 3; // three distinct k values across clients
+                for round in 0..ROUNDS {
+                    let queries: Vec<Vec<f64>> =
+                        (0..3).map(|j| samples(100 + ci * 31 + round * 7 + j)).collect();
+                    let want = local_answers(&reference, &queries, k);
+                    let got = client.knn(&queries, k).unwrap();
+                    let ctx = format!("client {ci} round {round}");
+                    assert_matches_local(&got, &want, &ctx);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    let total_queries = CLIENTS * ROUNDS * 3;
+    assert!(stats.contains("\"server\""), "stats is a JSON document: {stats}");
+    assert!(
+        stats.contains(&format!("\"batched_queries\": {total_queries}")),
+        "every query must ride an admission batch: {stats}"
+    );
+    assert!(!stats.contains("\"batches\": 0"), "at least one batch ran: {stats}");
+    if sapla_obs::enabled() {
+        // The obs registry must carry the serve-layer metrics and the
+        // engine's pruning counters (non-zero by construction: the
+        // queries above all measured candidates).
+        for name in
+            ["serve.requests", "serve.batch.queries", "serve.request.ns", "index.knn.queries"]
+        {
+            assert!(stats.contains(name), "obs snapshot should name {name}: {stats}");
+        }
+    }
+    server.stop();
+}
+
+#[test]
+fn range_queries_roundtrip() {
+    let raws = dataset(35);
+    let queries = query_samples(3);
+    let reference = build_engine(&raws, 1, TreeKind::Dbch);
+    let server = Server::start(
+        build_engine(&raws, 1, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for q in &queries {
+        let raw = TimeSeries::new(q.clone()).unwrap();
+        let prepared = reference.prepare(std::slice::from_ref(&raw), 1).unwrap();
+        let want = reference.range(&prepared[0], 4.0).unwrap();
+        let got = client.range(q, 4.0).unwrap();
+        let want_hits: Vec<(u64, u64)> = want
+            .retrieved
+            .iter()
+            .zip(&want.distances)
+            .map(|(&id, &d)| (id as u64, d.to_bits()))
+            .collect();
+        let got_hits: Vec<(u64, u64)> = got.hits.iter().map(|&(id, d)| (id, d.to_bits())).collect();
+        assert_eq!(got_hits, want_hits);
+        assert!(!got.hits.is_empty(), "the query itself is within epsilon");
+    }
+    assert!(client.range(&queries[0], -1.0).is_err(), "negative epsilon is rejected");
+    server.stop();
+}
+
+#[test]
+fn snapshot_reload_cycle_preserves_answers_and_survives_garbage() {
+    let raws = dataset(40);
+    let queries = query_samples(5);
+    let server = Server::start(
+        build_engine(&raws, 2, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let before = client.knn(&queries, 4).unwrap();
+
+    let blob = client.snapshot().unwrap();
+    assert_eq!(decode_collection(&blob).unwrap().len(), raws.len(), "snapshot is a codec blob");
+
+    // Explicit blob, then the empty-blob self-round-trip.
+    assert_eq!(client.reload(&blob).unwrap(), raws.len() as u64);
+    assert_eq!(client.reload(&[]).unwrap(), raws.len() as u64);
+    let after = client.knn(&queries, 4).unwrap();
+    assert_eq!(after.per_query, before.per_query, "reload must not change answers");
+
+    // Garbage and membership changes are rejected; the server keeps
+    // serving on the old engine.
+    assert!(client.reload(b"not a snapshot").is_err());
+    let smaller = build_engine(&raws[..10], 1, TreeKind::Dbch).snapshot().unwrap();
+    let mut smaller_bytes = Vec::new();
+    {
+        use bytes::Buf;
+        smaller_bytes.extend_from_slice(smaller.chunk());
+    }
+    assert!(client.reload(&smaller_bytes).is_err(), "membership change is rejected");
+    let still = client.knn(&queries, 4).unwrap();
+    assert_eq!(still.per_query, before.per_query);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("\"reloads\": 2"), "two successful reloads: {stats}");
+    assert!(stats.contains("\"generation\": 2"), "generation tracks reloads: {stats}");
+    server.stop();
+}
+
+#[test]
+fn rtree_backed_server_answers_batches() {
+    let raws = dataset(40);
+    let queries = query_samples(6);
+    let reference = build_engine(&raws, 1, TreeKind::Rtree);
+    let want = local_answers(&reference, &queries, 3);
+    let server = Server::start(
+        build_engine(&raws, 1, TreeKind::Rtree),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let got = client.knn(&queries, 3).unwrap();
+    assert_matches_local(&got, &want, "rtree");
+    server.stop();
+}
+
+#[test]
+fn malformed_requests_get_error_responses_not_disconnects() {
+    let raws = dataset(20);
+    let queries = query_samples(2);
+    let server = Server::start(
+        build_engine(&raws, 1, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    assert!(client.knn(&queries, 0).is_err(), "k = 0");
+    assert!(client.knn(&[], 3).is_err(), "no queries");
+    let bad = vec![vec![f64::NAN; LEN]];
+    assert!(client.knn(&bad, 3).is_err(), "non-finite samples");
+    let empty = vec![Vec::new()];
+    assert!(client.knn(&empty, 3).is_err(), "empty series");
+
+    // The same connection still works after every rejected request.
+    let ok = client.knn(&queries, 3).unwrap();
+    assert_eq!(ok.per_query.len(), 2);
+    server.stop();
+}
+
+#[test]
+fn wire_shutdown_drains_and_stops_the_server() {
+    let raws = dataset(20);
+    let queries = query_samples(2);
+    let server = Server::start(
+        build_engine(&raws, 1, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.knn(&queries, 2).unwrap();
+    client.shutdown().unwrap();
+    // join() returns only once the accept loop, connection threads, and
+    // batcher have all wound down.
+    server.join();
+    assert!(
+        Client::connect(addr).is_err() || {
+            // The OS may hand the port to a fresh connect() briefly; a
+            // request on it must fail either way.
+            let mut c = Client::connect(addr).unwrap();
+            c.knn(&queries, 1).is_err()
+        }
+    );
+}

@@ -22,7 +22,7 @@ fn main() {
     let reps = reduce_batch_parallel(&reducer, &ds.series, 24, 4).expect("reduce");
 
     // 2. Persist: the codec stores segments, not samples.
-    let blob = encode_collection(&reps);
+    let blob = encode_collection(&reps).expect("encode");
     let raw_bytes = ds.series.len() * ds.series_len() * 8;
     println!(
         "persisted {} reduced series in {} bytes (raw samples: {} bytes, {:.0}x smaller)",

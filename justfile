@@ -35,8 +35,18 @@ obs:
     cargo test -q -p sapla-obs -p sapla-core -p sapla-distance -p sapla-parallel -p sapla-baselines -p sapla-index -p sapla-integration
     cargo test -q -p sapla-cli --test cli profile_json
 
+# Daemon smoke: the wire/loopback suite of sapla-serve in every feature
+# state (stock, instrumented, strict), plus the end-to-end `sapla serve`
+# subprocess test. The obs run is what checks the `stats` wire command
+# reports non-zero batching and pruning counters.
+serve-smoke:
+    cargo test -q -p sapla-serve
+    cargo test -q -p sapla-serve --features obs
+    cargo test -q -p sapla-serve --features strict-invariants
+    cargo test -q -p sapla-cli --test cli serve
+
 # The full pre-merge gate.
-ci: tier1 lint audit obs
+ci: tier1 lint audit obs serve-smoke
 
 # Regenerate every paper table/figure (slow; see EXPERIMENTS.md).
 bench:

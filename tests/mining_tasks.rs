@@ -56,7 +56,7 @@ fn discords_and_motifs_compose_with_codec_roundtrips() {
     let reducer = SaplaReducer::new();
     let reps = reduce_batch_parallel(&reducer, &ds.series, 12, 4).unwrap();
 
-    let blob = encode_collection(&reps);
+    let blob = encode_collection(&reps).unwrap();
     let reloaded = decode_collection(&blob).unwrap();
     assert_eq!(reloaded, reps);
 

@@ -133,6 +133,24 @@ impl Buf for Bytes {
     }
 }
 
+/// Borrowed-slice reader (upstream `bytes` provides the same impl):
+/// reading consumes from the front by shrinking the slice, so decoding
+/// from `&data[..]` never copies the input up front.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
 impl std::ops::Deref for Bytes {
     type Target = [u8];
 
@@ -241,5 +259,24 @@ mod tests {
     fn reading_past_end_panics() {
         let mut b = Bytes::copy_from_slice(&[1]);
         let _ = b.get_u32_le();
+    }
+
+    #[test]
+    fn slice_buf_reads_without_copying() {
+        let data = [7u8, 0xEF, 0xBE, 0xAD, 0xDE, 1, 2, 3];
+        let mut r: &[u8] = &data;
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.chunk(), &[1, 2, 3]);
+        r.advance(3);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn slice_buf_advance_past_end_panics() {
+        let mut r: &[u8] = &[1, 2];
+        r.advance(3);
     }
 }
