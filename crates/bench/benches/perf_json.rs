@@ -1,7 +1,7 @@
 //! Machine-readable perf trajectory emitter.
 //!
 //! ```text
-//! cargo bench -p sapla-bench --bench perf_json -- [--quick] [--no-plan] [--json <path>]
+//! cargo bench -p sapla-bench --bench perf_json -- [--quick] [--no-plan] [--no-simd] [--json <path>]
 //! ```
 //!
 //! Runs the `(n, segments)` reduce-throughput and ingest/k-NN grid of
@@ -10,7 +10,9 @@
 //! `BENCH_PR2.json`). `--quick` switches to the tiny CI grid;
 //! `--no-plan` strips the precompiled query plans so searches take the
 //! stock re-partitioning `Dist_PAR` path (the baseline side of the
-//! planned-kernel comparison in `BENCH_PR5.json`).
+//! planned-kernel comparison in `BENCH_PR5.json`); `--no-simd` pins the
+//! whole run to the scalar kernels and skips the scalar-vs-dispatched
+//! A/B section.
 
 use sapla_bench::perf::{run, PerfGrid};
 
@@ -18,10 +20,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let no_plan = args.iter().any(|a| a == "--no-plan");
+    let no_simd = args.iter().any(|a| a == "--no-simd");
     let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
 
     let mut grid = if quick { PerfGrid::quick() } else { PerfGrid::full() };
     grid.use_plan = !no_plan;
+    if no_simd {
+        sapla_core::simd::force(sapla_core::simd::SimdLevel::Scalar)
+            .expect("scalar is always supported");
+        grid.simd_compare = false;
+    } else if let Err(e) = sapla_core::simd::init() {
+        eprintln!("perf_json: {e}");
+        std::process::exit(2);
+    }
     let report = run(&grid);
 
     println!("reduce throughput (threads = {}):", report.threads);
@@ -32,8 +43,9 @@ fn main() {
         );
     }
     println!(
-        "ingest + kNN (DBCH-tree, k = 4, plans {}):",
-        if report.use_plan { "on" } else { "off" }
+        "ingest + kNN (DBCH-tree, k = 4, plans {}, simd {}):",
+        if report.use_plan { "on" } else { "off" },
+        sapla_core::simd::active().name(),
     );
     for (p, kp) in report.index.iter().zip(&report.knn) {
         println!(
@@ -47,6 +59,21 @@ fn main() {
             kp.refine_ns_per_candidate,
             kp.abandon_rate * 100.0
         );
+    }
+
+    if !report.simd.is_empty() {
+        println!("simd A/B (planned batch kNN, k = 4):");
+        for p in &report.simd {
+            let speedup = p.scalar_ns_per_query / p.simd_ns_per_query;
+            print!(
+                "  n = {:5}  scalar {:>10.0} ns/query  {} {:>10.0} ns/query  ({speedup:.2}x)  blocks:",
+                p.n, p.scalar_ns_per_query, p.level, p.simd_ns_per_query
+            );
+            for (qb, ns) in &p.blocks {
+                print!("  {qb}->{ns:.0}ns");
+            }
+            println!();
+        }
     }
 
     if !report.serve.is_empty() {

@@ -10,9 +10,11 @@
 use std::time::{Duration, Instant};
 
 use sapla_baselines::{reduce_batch, SaplaReducer};
+use sapla_core::simd::{self, SimdLevel};
 use sapla_data::{catalogue, Protocol};
 use sapla_index::{
-    ingest_parallel, knn_batch, prepare_queries, scheme_for, Engine, EngineConfig, NodeDistRule,
+    ingest_parallel, knn_batch, knn_batch_with_block, prepare_queries, scheme_for, Engine,
+    EngineConfig, NodeDistRule,
 };
 use sapla_serve::{Client, Server, ServerConfig};
 
@@ -45,6 +47,13 @@ pub struct PerfGrid {
     /// Wire-request batch sizes (queries per kNN request) for the
     /// loopback daemon point; empty skips the serve measurement.
     pub serve_batches: Vec<usize>,
+    /// Query-block sizes for the query-major leaf-batch sweep in the
+    /// SIMD section (queries co-scheduled per worker chunk).
+    pub query_blocks: Vec<usize>,
+    /// When `false`, skip the scalar-vs-dispatched SIMD comparison
+    /// (e.g. the bench's `--no-simd` run, where the whole grid is
+    /// already pinned to the scalar kernels).
+    pub simd_compare: bool,
 }
 
 impl PerfGrid {
@@ -61,6 +70,8 @@ impl PerfGrid {
             threads: 1,
             use_plan: true,
             serve_batches: vec![1, 8, 64],
+            query_blocks: vec![1, 4, 16],
+            simd_compare: true,
         }
     }
 
@@ -76,6 +87,8 @@ impl PerfGrid {
             threads: 1,
             use_plan: true,
             serve_batches: vec![1, 8],
+            query_blocks: vec![1, 4, 16],
+            simd_compare: true,
         }
     }
 }
@@ -135,6 +148,27 @@ pub struct KnnPoint {
     pub abandon_rate: f64,
 }
 
+/// One SIMD A/B measurement over the planned k-NN path: the same
+/// DBCH-tree batch search forced through the scalar kernels and through
+/// the auto-detected vector level (answers are bit-identical — only the
+/// clock moves), plus a query-block sweep at the detected level showing
+/// how query-major co-scheduling amortises each SoA leaf load.
+#[derive(Debug, Clone)]
+pub struct SimdPoint {
+    /// Series length.
+    pub n: usize,
+    /// The auto-detected dispatch level the `simd_ns_per_query` side
+    /// ran at (`"off"` means this machine has no vector path).
+    pub level: String,
+    /// Mean k-NN time per query with kernels forced scalar, nanoseconds.
+    pub scalar_ns_per_query: f64,
+    /// Mean k-NN time per query at the detected level, nanoseconds.
+    pub simd_ns_per_query: f64,
+    /// `(query_block, ns_per_query)` at the detected level for each
+    /// sweep point in [`PerfGrid::query_blocks`].
+    pub blocks: Vec<(usize, f64)>,
+}
+
 /// One loopback-daemon throughput measurement: a single client sending
 /// kNN requests of `batch` queries each against an in-process
 /// `sapla-serve` daemon (TCP on localhost, k = 4). Includes wire
@@ -165,6 +199,10 @@ pub struct PerfReport {
     pub index: Vec<IndexPoint>,
     /// k-NN kernel detail, aligned with `index`.
     pub knn: Vec<KnnPoint>,
+    /// Scalar-vs-dispatched SIMD comparison and query-block sweep (one
+    /// point per series length; empty when [`PerfGrid::simd_compare`]
+    /// is off).
+    pub simd: Vec<SimdPoint>,
     /// Loopback daemon throughput at each request batch size.
     pub serve: Vec<ServePoint>,
     /// Operation counts over the whole run (`sapla-obs` snapshot; empty
@@ -313,6 +351,7 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
         });
     }
 
+    let simd = measure_simd(grid);
     let serve = measure_serve(grid);
 
     PerfReport {
@@ -321,9 +360,80 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
         reduce,
         index,
         knn,
+        simd,
         serve,
         ops: sapla_obs::Snapshot::capture(),
     }
+}
+
+/// Scalar-vs-dispatched A/B over the planned batch k-NN path, plus the
+/// query-block sweep. Forces the process-global dispatch level around
+/// each side and restores whatever was active on entry (so a bench run
+/// that pre-forced scalar stays scalar afterwards).
+fn measure_simd(grid: &PerfGrid) -> Vec<SimdPoint> {
+    if !grid.simd_compare {
+        return Vec::new();
+    }
+    let prev = simd::active();
+    let detected = simd::detect();
+    let reducer = SaplaReducer::new();
+    let scheme = scheme_for("SAPLA").unwrap();
+    let segments = grid.segment_counts[0];
+    let m = 3 * segments;
+    let mut out = Vec::new();
+    for &n in &grid.lens {
+        if n < 2 * segments {
+            continue;
+        }
+        let db = grid_series(n, grid.index_db);
+        let raw_queries =
+            grid_series(n.max(4), grid.index_queries + grid.index_db).split_off(grid.index_db);
+        let tree = ingest_parallel(
+            scheme.as_ref(),
+            &reducer,
+            &db,
+            m,
+            2,
+            5,
+            NodeDistRule::Paper,
+            grid.threads,
+        )
+        .expect("simd grid ingest");
+        let queries =
+            prepare_queries(&raw_queries, &reducer, m, grid.threads).expect("simd grid queries");
+        let per_query = 1.0 / queries.len() as f64;
+        let timed = |block: usize| {
+            let (_, ns) = measure(grid.min_time, || {
+                let out = knn_batch_with_block(
+                    &tree,
+                    &queries,
+                    4,
+                    scheme.as_ref(),
+                    &db,
+                    grid.threads,
+                    block,
+                )
+                .expect("simd grid knn");
+                std::hint::black_box(&out);
+            });
+            ns * per_query
+        };
+        simd::force(SimdLevel::Scalar).expect("scalar is always supported");
+        let scalar_ns_per_query = timed(sapla_index::DEFAULT_QUERY_BLOCK);
+        simd::force(detected).expect("detected level is supported");
+        let simd_ns_per_query = timed(sapla_index::DEFAULT_QUERY_BLOCK);
+        let blocks: Vec<(usize, f64)> =
+            grid.query_blocks.iter().map(|&qb| (qb, timed(qb))).collect();
+        out.push(SimdPoint {
+            n,
+            level: detected.name().to_string(),
+            scalar_ns_per_query,
+            simd_ns_per_query,
+            blocks,
+        });
+    }
+    simd::force(prev).expect("restoring the prior simd level");
+    out
 }
 
 /// Loopback daemon throughput: one in-process server over the smallest
@@ -429,6 +539,27 @@ impl PerfReport {
             }
             s.push('\n');
         }
+        s.push_str("  ],\n  \"simd\": [\n");
+        for (i, p) in self.simd.iter().enumerate() {
+            s.push_str(&format!("    {{\"n\": {}, \"level\": \"{}\", ", p.n, p.level));
+            push_kv(&mut s, "scalar_ns_per_query", p.scalar_ns_per_query);
+            s.push_str(", ");
+            push_kv(&mut s, "simd_ns_per_query", p.simd_ns_per_query);
+            s.push_str(", \"blocks\": [");
+            for (j, (qb, ns)) in p.blocks.iter().enumerate() {
+                s.push_str(&format!("{{\"query_block\": {qb}, "));
+                push_kv(&mut s, "ns_per_query", *ns);
+                s.push('}');
+                if j + 1 < p.blocks.len() {
+                    s.push_str(", ");
+                }
+            }
+            s.push_str("]}");
+            if i + 1 < self.simd.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
         s.push_str("  ],\n  \"serve\": [\n");
         for (i, p) in self.serve.iter().enumerate() {
             s.push_str(&format!("    {{\"n\": {}, \"batch\": {}, ", p.n, p.batch));
@@ -472,6 +603,15 @@ mod tests {
         assert!(json.contains("\"ns_per_series\""));
         assert!(json.contains("\"serve\""));
         assert!(json.contains("\"queries_per_sec\""));
+        assert!(json.contains("\"simd\""));
+        assert!(json.contains("\"scalar_ns_per_query\""));
+        assert!(json.contains("\"query_block\""));
+        assert_eq!(report.simd.len(), report.index.len());
+        for p in &report.simd {
+            assert!(p.scalar_ns_per_query > 0.0 && p.simd_ns_per_query > 0.0);
+            assert_eq!(p.blocks.len(), PerfGrid::quick().query_blocks.len());
+            assert!(p.blocks.iter().all(|&(qb, ns)| qb > 0 && ns > 0.0));
+        }
         assert_eq!(report.serve.len(), PerfGrid::quick().serve_batches.len());
         for p in &report.serve {
             assert!(p.ns_per_query > 0.0 && p.queries_per_sec > 0.0);
@@ -490,8 +630,14 @@ mod tests {
     fn quick_grid_runs_without_plans() {
         let mut grid = PerfGrid::quick();
         grid.use_plan = false;
+        // Also exercises the `--no-simd` shape: no A/B section, and no
+        // `simd::force` calls racing the other test in this process.
+        grid.simd_compare = false;
         let report = run(&grid);
         assert!(!report.index.is_empty());
-        assert!(report.to_json().contains("\"use_plan\": false"));
+        assert!(report.simd.is_empty());
+        let json = report.to_json();
+        assert!(json.contains("\"use_plan\": false"));
+        assert!(json.contains("\"simd\": [\n  ]"));
     }
 }

@@ -17,6 +17,11 @@
 //! snapshot as a table after the run) and `--profile-json PATH` (write it
 //! as JSON). Both need the binary built with `--features obs` (the
 //! default build) to report non-empty numbers.
+//!
+//! `--no-simd` forces the portable scalar kernels; otherwise dispatch is
+//! auto-detected, overridable with `SAPLA_SIMD=off|sse2|avx2|neon`
+//! (validated up front — a garbage value is an error, never a silent
+//! fallback). Answers are bit-identical at every level.
 
 use std::io::Read as _;
 use std::process::ExitCode;
@@ -40,6 +45,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Resolve SIMD dispatch before any kernel runs: `--no-simd` forces
+    // scalar, otherwise `SAPLA_SIMD` is validated eagerly so a garbage
+    // value errors out up front (same contract as `SAPLA_THREADS`).
+    let simd_result = if take_flag(&mut args, "--no-simd") {
+        sapla_core::simd::force(sapla_core::simd::SimdLevel::Scalar)
+    } else {
+        sapla_core::simd::init().map(|_| ())
+    };
+    if let Err(e) = simd_result {
+        eprintln!("sapla: {e}");
+        return ExitCode::from(2);
+    }
     let result = match args.first().map(String::as_str) {
         Some("reduce") => cmd_reduce(&args[1..]),
         Some("knn") => cmd_knn(&args[1..]),
@@ -58,7 +75,8 @@ fn main() -> ExitCode {
                  catalogue\n\
                  demo\n\
                  \n\
-                 global: --profile (print metrics table), --profile-json PATH (write metrics JSON)"
+                 global: --profile (print metrics table), --profile-json PATH (write metrics JSON),\n\
+                 \x20       --no-simd (force scalar kernels)"
             );
             return ExitCode::from(2);
         }

@@ -72,6 +72,14 @@ pub enum Error {
         /// The raw value that failed to parse.
         value: String,
     },
+    /// A SIMD level setting (`SAPLA_SIMD` or `--no-simd`) named an
+    /// unknown level, or one this CPU/build cannot execute.
+    InvalidSimd {
+        /// The raw value that failed to resolve.
+        value: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
     /// An index structural invariant was violated — hulls, cached leaf
     /// blocks, or entry bookkeeping out of sync after mutations. Raised
     /// by integrity validation (e.g. `DbchTree::validate`), never by
@@ -128,6 +136,9 @@ impl fmt::Display for Error {
                     "invalid thread count {value:?}: expected a non-negative \
                      integer (0 = all hardware threads)"
                 )
+            }
+            Error::InvalidSimd { value, reason } => {
+                write!(f, "invalid SIMD level {value:?}: {reason}")
             }
             Error::CorruptIndex { reason } => {
                 write!(f, "index integrity violation: {reason}")

@@ -51,6 +51,7 @@ pub mod ordf64;
 pub mod repr;
 pub mod sapla;
 pub mod series;
+pub mod simd;
 pub mod stream;
 
 mod endpoint_move;
@@ -75,3 +76,4 @@ pub use repr::{
     SymbolicWord,
 };
 pub use series::{PrefixSums, TimeSeries};
+pub use simd::SimdLevel;

@@ -114,10 +114,13 @@ impl TimeSeries {
     /// linear scans, and [`TimeSeries::euclidean`] itself) runs this
     /// accumulation, so their surviving values are bit-for-bit identical
     /// by construction. Four independent accumulators break the FP add
-    /// latency chain (and give the autovectoriser packed lanes); the
-    /// lane-combine order is fixed, and lanes only grow, so block-level
-    /// partial sums are monotone — an abandoned candidate's true squared
-    /// distance is provably above `bound_sq`.
+    /// latency chain; the lane-combine order is fixed, and lanes only
+    /// grow, so block-level partial sums are monotone — an abandoned
+    /// candidate's true squared distance is provably above `bound_sq`.
+    /// The accumulation runs in [`crate::simd`], dispatched at runtime
+    /// over SSE2/AVX2/NEON vector kernels pinned **bit-identical** to
+    /// the scalar lanes (see the module docs there), so which ISA ran is
+    /// unobservable in the results.
     ///
     /// # Errors
     ///
@@ -126,35 +129,7 @@ impl TimeSeries {
         if self.len() != other.len() {
             return Err(Error::LengthMismatch { left: self.len(), right: other.len() });
         }
-        let (a, b) = (self.values.as_slice(), other.values.as_slice());
-        // Check the bound once per block: cheap enough to abandon early,
-        // rare enough not to disturb the vectorised inner loop.
-        const BLOCK: usize = 64;
-        let mut acc = [0.0f64; 4];
-        let combine = |acc: &[f64; 4]| (acc[0] + acc[1]) + (acc[2] + acc[3]);
-        let n = a.len();
-        let mut i = 0usize;
-        while i < n {
-            let end = (i + BLOCK).min(n);
-            let lanes_end = i + (end - i) / 4 * 4;
-            while i < lanes_end {
-                for l in 0..4 {
-                    let d = a[i + l] - b[i + l];
-                    acc[l] += d * d;
-                }
-                i += 4;
-            }
-            // Tail shorter than a lane group: deterministic lane 0.
-            while i < end {
-                let d = a[i] - b[i];
-                acc[0] += d * d;
-                i += 1;
-            }
-            if combine(&acc) > bound_sq {
-                return Ok(None);
-            }
-        }
-        Ok(Some(combine(&acc)))
+        Ok(crate::simd::euclidean_sq_bounded(&self.values, &other.values, bound_sq))
     }
 
     /// Maximum absolute pointwise difference to another series of the same

@@ -1,0 +1,580 @@
+//! Runtime-dispatched SIMD kernels (x86-64 SSE2/AVX2, AArch64 NEON).
+//!
+//! The workspace's hot loops were shaped for vector lanes from the start:
+//! the Euclidean kernel accumulates into **four fixed lanes** combined in
+//! a **fixed order** (`(l0 + l1) + (l2 + l3)`), so mapping lanes onto
+//! hardware vectors changes *which registers* hold the partial sums but
+//! not one floating-point operation or its order. IEEE-754 basic
+//! operations (add/sub/mul/div) are correctly rounded per lane, so the
+//! SSE2 (2×2 lanes), AVX2 (1×4 lanes) and NEON (2×2 lanes) kernels
+//! below return results **bit-for-bit identical** to the scalar kernel —
+//! including every early-abandon decision, which compares the same
+//! combined partial sums against the same bound. No FMA is used
+//! anywhere: fusing would skip an intermediate rounding and break the
+//! bit-identity contract (and the baseline x86-64 target lowers
+//! `f64::mul_add` to a libm call anyway).
+//!
+//! Dispatch is resolved once and cached: hardware detection by default,
+//! overridable with `SAPLA_SIMD=off|sse2|avx2|neon` (validated eagerly by
+//! the front-ends via [`init`], exactly like `SAPLA_THREADS`) or
+//! programmatically with [`force`] (the CLI `--no-simd` flag, bench A/B
+//! runs). Kernels themselves can never fail on a bad override: [`active`]
+//! falls back to hardware detection if the environment value is invalid.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::error::{Error, Result};
+
+/// Environment variable overriding SIMD dispatch: `off`, `sse2`, `avx2`
+/// or `neon` (case-insensitive). Unknown values — and levels this
+/// CPU/build cannot run — are rejected by [`init`] with
+/// [`Error::InvalidSimd`].
+pub const SIMD_ENV: &str = "SAPLA_SIMD";
+
+/// An instruction-set level the SIMD kernels can dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar fallback — always available, and the reference
+    /// the vector kernels are pinned bit-identical to.
+    Scalar,
+    /// x86-64 SSE2 (baseline): two 2-lane `f64` vectors carry the scalar
+    /// kernel's four accumulators.
+    Sse2,
+    /// x86-64 AVX2: one 4-lane `f64` vector carries all four lanes.
+    Avx2,
+    /// AArch64 NEON (baseline there): two 2-lane `f64` vectors.
+    Neon,
+}
+
+impl SimdLevel {
+    /// `f64` lanes per vector operation (1 for scalar).
+    #[must_use]
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Sse2 | SimdLevel::Neon => 2,
+            SimdLevel::Avx2 => 4,
+        }
+    }
+
+    /// The name [`SimdLevel::parse`] accepts (`"off"` for scalar).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "off",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Neon => "neon",
+        }
+    }
+
+    /// Parse a `SAPLA_SIMD` / CLI value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSimd`] for anything other than `off`, `sse2`,
+    /// `avx2` or `neon` (case-insensitive).
+    pub fn parse(value: &str) -> Result<SimdLevel> {
+        let v = value.trim();
+        for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2, SimdLevel::Neon] {
+            if v.eq_ignore_ascii_case(level.name()) {
+                return Ok(level);
+            }
+        }
+        Err(Error::InvalidSimd {
+            value: value.to_string(),
+            reason: "expected off, sse2, avx2, or neon",
+        })
+    }
+
+    /// Whether this build, on this CPU, can execute the level's kernels.
+    #[must_use]
+    pub fn is_supported(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => true, // part of the x86-64 baseline
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            SimdLevel::Neon => true, // mandatory on AArch64
+            #[allow(unreachable_patterns)] // which arms remain is arch-dependent
+            _ => false,
+        }
+    }
+}
+
+/// Best level the current CPU supports (uncached; see [`active`]).
+#[must_use]
+pub fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if SimdLevel::Avx2.is_supported() {
+            SimdLevel::Avx2
+        } else {
+            SimdLevel::Sse2
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        SimdLevel::Neon
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        SimdLevel::Scalar
+    }
+}
+
+const UNSET: u8 = u8::MAX;
+static ACTIVE: AtomicU8 = AtomicU8::new(UNSET);
+
+fn code(level: SimdLevel) -> u8 {
+    match level {
+        SimdLevel::Scalar => 0,
+        SimdLevel::Sse2 => 1,
+        SimdLevel::Avx2 => 2,
+        SimdLevel::Neon => 3,
+    }
+}
+
+fn from_code(c: u8) -> SimdLevel {
+    match c {
+        1 => SimdLevel::Sse2,
+        2 => SimdLevel::Avx2,
+        3 => SimdLevel::Neon,
+        _ => SimdLevel::Scalar,
+    }
+}
+
+fn resolve_env() -> Result<SimdLevel> {
+    match std::env::var(SIMD_ENV) {
+        Ok(v) => {
+            let level = SimdLevel::parse(&v)?;
+            if !level.is_supported() {
+                return Err(Error::InvalidSimd {
+                    value: v,
+                    reason: "level is not supported by this CPU/build",
+                });
+            }
+            Ok(level)
+        }
+        Err(_) => Ok(detect()),
+    }
+}
+
+/// Resolve `SAPLA_SIMD` (or hardware detection) and cache the dispatch
+/// level. Front-ends call this eagerly so a garbage or unsupported value
+/// errors out up front, like `SAPLA_THREADS` does.
+///
+/// # Errors
+///
+/// [`Error::InvalidSimd`] on an unknown or unsupported `SAPLA_SIMD`.
+pub fn init() -> Result<SimdLevel> {
+    let level = resolve_env()?;
+    ACTIVE.store(code(level), Ordering::Relaxed);
+    Ok(level)
+}
+
+/// Force a dispatch level (`--no-simd` ⇒ `force(SimdLevel::Scalar)`;
+/// bench A/B runs pin each side). Overrides the environment.
+///
+/// # Errors
+///
+/// [`Error::InvalidSimd`] when this CPU/build cannot run `level`.
+pub fn force(level: SimdLevel) -> Result<()> {
+    if !level.is_supported() {
+        return Err(Error::InvalidSimd {
+            value: level.name().to_string(),
+            reason: "level is not supported by this CPU/build",
+        });
+    }
+    ACTIVE.store(code(level), Ordering::Relaxed);
+    Ok(())
+}
+
+/// The cached dispatch level, resolving it on first use. Unlike
+/// [`init`], this cannot fail: an invalid `SAPLA_SIMD` value falls back
+/// to hardware detection here, because distance kernels have no error
+/// channel for configuration problems — front-ends reject it via
+/// [`init`] before any kernel runs.
+#[must_use]
+pub fn active() -> SimdLevel {
+    let c = ACTIVE.load(Ordering::Relaxed);
+    if c != UNSET {
+        return from_code(c);
+    }
+    let level = resolve_env().unwrap_or_else(|_| detect());
+    ACTIVE.store(code(level), Ordering::Relaxed);
+    level
+}
+
+/// Block length between early-abandon bound checks: cheap enough to
+/// abandon early, rare enough not to disturb the vectorised inner loop.
+const BLOCK: usize = 64;
+
+/// The fixed lane-combine order every kernel uses.
+#[inline]
+fn combine4(acc: &[f64; 4]) -> f64 {
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Early-abandoning squared Euclidean kernel over raw slices, dispatched
+/// over [`active`]: `None` as soon as a block-level partial squared sum
+/// exceeds `bound_sq`, otherwise `Some` of the exact squared distance.
+/// Every dispatch target is bit-identical to the scalar kernel (see the
+/// module docs), so callers can ignore which one ran. Slices must have
+/// equal length (callers validate; see
+/// [`crate::TimeSeries::euclidean_sq_bounded`]).
+#[must_use]
+pub fn euclidean_sq_bounded(a: &[f64], b: &[f64], bound_sq: f64) -> Option<f64> {
+    euclidean_sq_bounded_with(active(), a, b, bound_sq)
+}
+
+/// [`euclidean_sq_bounded`] pinned to one [`SimdLevel`] — the hook the
+/// equivalence proptests use to cover every width on one machine. Levels
+/// this CPU/build cannot run fall back to scalar (same results by the
+/// bit-identity contract).
+#[must_use]
+pub fn euclidean_sq_bounded_with(
+    level: SimdLevel,
+    a: &[f64],
+    b: &[f64],
+    bound_sq: f64,
+) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    sapla_obs::lane_counter!("sapla.simd.lanes", level.lanes(), 1);
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => {
+            // SAFETY: SSE2 is part of the x86-64 baseline — always available.
+            unsafe { x86::euclid_sse2(a, b, bound_sq) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if SimdLevel::Avx2.is_supported() => {
+            // SAFETY: the guard verified AVX2 support at runtime.
+            unsafe { x86::euclid_avx2(a, b, bound_sq) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => {
+            // SAFETY: NEON is mandatory on AArch64 — always available.
+            unsafe { arm::euclid_neon(a, b, bound_sq) }
+        }
+        _ => euclid_scalar(a, b, bound_sq),
+    }
+}
+
+/// The portable reference kernel: four independent accumulators break
+/// the FP add latency chain, the lane-combine order is fixed, the tail
+/// shorter than a lane group goes deterministically into lane 0, and the
+/// bound is checked once per [`BLOCK`].
+// audit: no_alloc — the refinement hot loop must stay allocation-free.
+fn euclid_scalar(a: &[f64], b: &[f64], bound_sq: f64) -> Option<f64> {
+    let mut acc = [0.0f64; 4];
+    let n = a.len();
+    let mut i = 0usize;
+    while i < n {
+        let end = (i + BLOCK).min(n);
+        let lanes_end = i + (end - i) / 4 * 4;
+        while i < lanes_end {
+            for l in 0..4 {
+                let d = a[i + l] - b[i + l];
+                acc[l] += d * d;
+            }
+            i += 4;
+        }
+        // Tail shorter than a lane group: deterministic lane 0.
+        while i < end {
+            let d = a[i] - b[i];
+            acc[0] += d * d;
+            i += 1;
+        }
+        if combine4(&acc) > bound_sq {
+            return None;
+        }
+    }
+    Some(combine4(&acc))
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::BLOCK;
+    use std::arch::x86_64::{
+        __m128d, __m256d, _mm256_add_pd, _mm256_castpd256_pd128, _mm256_extractf128_pd,
+        _mm256_insertf128_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_setzero_pd, _mm256_sub_pd,
+        _mm_add_pd, _mm_add_sd, _mm_cvtsd_f64, _mm_loadu_pd, _mm_mul_pd, _mm_set_sd,
+        _mm_setzero_pd, _mm_sub_pd, _mm_unpackhi_pd,
+    };
+
+    /// `(l0 + l1) + (l2 + l3)` where `lo` holds scalar lanes 0–1 and
+    /// `hi` lanes 2–3 — the scalar kernel's fixed combine order.
+    #[target_feature(enable = "sse2")]
+    fn combine_m128d(lo: __m128d, hi: __m128d) -> f64 {
+        let l0 = _mm_cvtsd_f64(lo);
+        let l1 = _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo));
+        let l2 = _mm_cvtsd_f64(hi);
+        let l3 = _mm_cvtsd_f64(_mm_unpackhi_pd(hi, hi));
+        (l0 + l1) + (l2 + l3)
+    }
+
+    /// The scalar kernel with lanes 0–1 in `acc01` and 2–3 in `acc23`:
+    /// per lane the operation sequence is exactly the scalar one, so
+    /// every partial sum and abandon decision is bit-identical.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn euclid_sse2(a: &[f64], b: &[f64], bound_sq: f64) -> Option<f64> {
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        // SAFETY: every 2-lane load reads `p.add(j) .. p.add(j + 2)` with
+        // `j + 2 ≤ lanes_end ≤ n = a.len() = b.len()` (caller contract),
+        // in bounds of both slices; `_mm_loadu_pd` is alignment-free, and
+        // the scalar tail reads single elements below `end ≤ n`.
+        unsafe {
+            let mut acc01 = _mm_setzero_pd();
+            let mut acc23 = _mm_setzero_pd();
+            let mut i = 0usize;
+            while i < n {
+                let end = (i + BLOCK).min(n);
+                let lanes_end = i + (end - i) / 4 * 4;
+                while i < lanes_end {
+                    let d0 = _mm_sub_pd(_mm_loadu_pd(ap.add(i)), _mm_loadu_pd(bp.add(i)));
+                    let d1 = _mm_sub_pd(_mm_loadu_pd(ap.add(i + 2)), _mm_loadu_pd(bp.add(i + 2)));
+                    acc01 = _mm_add_pd(acc01, _mm_mul_pd(d0, d0));
+                    acc23 = _mm_add_pd(acc23, _mm_mul_pd(d1, d1));
+                    i += 4;
+                }
+                // Tail shorter than a lane group: deterministic lane 0.
+                while i < end {
+                    let d = *ap.add(i) - *bp.add(i);
+                    acc01 = _mm_add_sd(acc01, _mm_set_sd(d * d));
+                    i += 1;
+                }
+                if combine_m128d(acc01, acc23) > bound_sq {
+                    return None;
+                }
+            }
+            Some(combine_m128d(acc01, acc23))
+        }
+    }
+
+    /// All four scalar lanes in one 256-bit accumulator; lane `l` sees
+    /// exactly the scalar lane-`l` operation sequence.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn euclid_avx2(a: &[f64], b: &[f64], bound_sq: f64) -> Option<f64> {
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        // SAFETY: every 4-lane load reads `p.add(j) .. p.add(j + 4)` with
+        // `j + 4 ≤ lanes_end ≤ n = a.len() = b.len()` (caller contract),
+        // in bounds of both slices; `_mm256_loadu_pd` is alignment-free,
+        // and the scalar tail reads single elements below `end ≤ n`.
+        unsafe {
+            let mut acc = _mm256_setzero_pd();
+            let mut i = 0usize;
+            while i < n {
+                let end = (i + BLOCK).min(n);
+                let lanes_end = i + (end - i) / 4 * 4;
+                while i < lanes_end {
+                    let d = _mm256_sub_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+                    acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+                    i += 4;
+                }
+                // Tail shorter than a lane group: deterministic lane 0.
+                while i < end {
+                    let d = *ap.add(i) - *bp.add(i);
+                    let lo = _mm_add_sd(_mm256_castpd256_pd128(acc), _mm_set_sd(d * d));
+                    acc = _mm256_insertf128_pd::<0>(acc, lo);
+                    i += 1;
+                }
+                if combine_m256d(acc) > bound_sq {
+                    return None;
+                }
+            }
+            Some(combine_m256d(acc))
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn combine_m256d(acc: __m256d) -> f64 {
+        combine_m128d(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd::<1>(acc))
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use super::BLOCK;
+    use std::arch::aarch64::{
+        float64x2_t, vaddq_f64, vdupq_n_f64, vgetq_lane_f64, vld1q_f64, vmulq_f64, vsetq_lane_f64,
+        vsubq_f64,
+    };
+
+    /// `(l0 + l1) + (l2 + l3)` — the scalar kernel's fixed combine order.
+    #[target_feature(enable = "neon")]
+    fn combine(acc01: float64x2_t, acc23: float64x2_t) -> f64 {
+        let l0 = vgetq_lane_f64::<0>(acc01);
+        let l1 = vgetq_lane_f64::<1>(acc01);
+        let l2 = vgetq_lane_f64::<0>(acc23);
+        let l3 = vgetq_lane_f64::<1>(acc23);
+        (l0 + l1) + (l2 + l3)
+    }
+
+    /// The scalar kernel with lanes 0–1 in `acc01` and 2–3 in `acc23`;
+    /// per lane the operation sequence is exactly the scalar one.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn euclid_neon(a: &[f64], b: &[f64], bound_sq: f64) -> Option<f64> {
+        let n = a.len();
+        let (ap, bp) = (a.as_ptr(), b.as_ptr());
+        // SAFETY: every 2-lane load reads `p.add(j) .. p.add(j + 2)` with
+        // `j + 2 ≤ lanes_end ≤ n = a.len() = b.len()` (caller contract),
+        // in bounds of both slices; `vld1q_f64` is alignment-free, and
+        // the scalar tail reads single elements below `end ≤ n`.
+        unsafe {
+            let mut acc01 = vdupq_n_f64(0.0);
+            let mut acc23 = vdupq_n_f64(0.0);
+            let mut i = 0usize;
+            while i < n {
+                let end = (i + BLOCK).min(n);
+                let lanes_end = i + (end - i) / 4 * 4;
+                while i < lanes_end {
+                    let d0 = vsubq_f64(vld1q_f64(ap.add(i)), vld1q_f64(bp.add(i)));
+                    let d1 = vsubq_f64(vld1q_f64(ap.add(i + 2)), vld1q_f64(bp.add(i + 2)));
+                    acc01 = vaddq_f64(acc01, vmulq_f64(d0, d0));
+                    acc23 = vaddq_f64(acc23, vmulq_f64(d1, d1));
+                    i += 4;
+                }
+                // Tail shorter than a lane group: deterministic lane 0.
+                while i < end {
+                    let d = *ap.add(i) - *bp.add(i);
+                    acc01 = vsetq_lane_f64::<0>(vgetq_lane_f64::<0>(acc01) + d * d, acc01);
+                    i += 1;
+                }
+                if combine(acc01, acc23) > bound_sq {
+                    return None;
+                }
+            }
+            Some(combine(acc01, acc23))
+        }
+    }
+}
+
+/// Every level that can execute on this CPU/build — what the equivalence
+/// proptests iterate to pin SIMD-vs-scalar bit-identity on one machine.
+#[must_use]
+pub fn supported_levels() -> Vec<SimdLevel> {
+    [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2, SimdLevel::Neon]
+        .into_iter()
+        .filter(|l| l.is_supported())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_known_levels_case_insensitively() {
+        assert_eq!(SimdLevel::parse("off").unwrap(), SimdLevel::Scalar);
+        assert_eq!(SimdLevel::parse("SSE2").unwrap(), SimdLevel::Sse2);
+        assert_eq!(SimdLevel::parse("Avx2").unwrap(), SimdLevel::Avx2);
+        assert_eq!(SimdLevel::parse(" neon ").unwrap(), SimdLevel::Neon);
+        for garbage in ["", "avx512", "2", "on", "scalar yes"] {
+            let err = SimdLevel::parse(garbage).unwrap_err();
+            assert!(matches!(err, Error::InvalidSimd { .. }), "{garbage:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn detect_is_supported_and_names_round_trip() {
+        let level = detect();
+        assert!(level.is_supported());
+        assert_eq!(SimdLevel::parse(level.name()).unwrap(), level);
+        assert!(SimdLevel::Scalar.is_supported(), "scalar is always available");
+        assert!(supported_levels().contains(&SimdLevel::Scalar));
+        assert!(supported_levels().contains(&level));
+    }
+
+    #[test]
+    fn force_and_active_round_trip() {
+        // All kernels are bit-identical, so flipping the global level
+        // cannot perturb concurrently running tests.
+        force(SimdLevel::Scalar).unwrap();
+        assert_eq!(active(), SimdLevel::Scalar);
+        let best = detect();
+        force(best).unwrap();
+        assert_eq!(active(), best);
+        #[cfg(target_arch = "x86_64")]
+        assert!(force(SimdLevel::Neon).is_err(), "NEON must be rejected on x86-64");
+    }
+
+    fn series(n: usize, salt: u64) -> Vec<f64> {
+        (0..n).map(|t| ((t as f64) * 0.173 + salt as f64 * 0.711).sin() * 3.0).collect()
+    }
+
+    #[test]
+    fn all_supported_levels_match_scalar_bitwise() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 127, 128, 256, 1000] {
+            let a = series(n, 1);
+            let b = series(n, 2);
+            let reference = euclid_scalar(&a, &b, f64::INFINITY);
+            for level in supported_levels() {
+                let got = euclidean_sq_bounded_with(level, &a, &b, f64::INFINITY);
+                assert_eq!(
+                    reference.map(f64::to_bits),
+                    got.map(f64::to_bits),
+                    "level {} at n = {n}",
+                    level.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abandon_decisions_match_scalar_on_every_level() {
+        let a = series(300, 3);
+        let b = series(300, 4);
+        let full = euclid_scalar(&a, &b, f64::INFINITY).unwrap();
+        // Bounds straddling block partial sums: all levels must agree
+        // exactly on None vs Some (and bits when Some).
+        for frac in [0.0, 0.1, 0.25, 0.5, 0.9, 0.999, 1.0, 1.001, 2.0] {
+            let bound = full * frac;
+            let reference = euclid_scalar(&a, &b, bound);
+            for level in supported_levels() {
+                let got = euclidean_sq_bounded_with(level, &a, &b, bound);
+                assert_eq!(
+                    reference.map(f64::to_bits),
+                    got.map(f64::to_bits),
+                    "level {} at bound {bound}",
+                    level.name()
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(128))]
+
+        /// Tier-1 bit-identity pin: every dispatch width returns the
+        /// scalar kernel's exact bits — value *and* abandon decision —
+        /// on arbitrary inputs, lengths and bounds.
+        #[test]
+        fn simd_euclid_is_bit_identical_across_widths(
+            data in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 0..200),
+            frac in 0.0f64..2.0,
+        ) {
+            let a: Vec<f64> = data.iter().map(|&(x, _)| x).collect();
+            let b: Vec<f64> = data.iter().map(|&(_, y)| y).collect();
+            let full = euclid_scalar(&a, &b, f64::INFINITY).unwrap_or(0.0);
+            for bound in [f64::INFINITY, full * frac] {
+                let reference = euclid_scalar(&a, &b, bound);
+                for level in supported_levels() {
+                    let got = euclidean_sq_bounded_with(level, &a, &b, bound);
+                    proptest::prop_assert_eq!(
+                        reference.map(f64::to_bits),
+                        got.map(f64::to_bits),
+                        "level {} bound {}",
+                        level.name(),
+                        bound
+                    );
+                }
+            }
+        }
+    }
+}

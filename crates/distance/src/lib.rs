@@ -45,6 +45,8 @@ pub mod pla;
 pub mod plan;
 pub mod sax;
 
+mod simd_terms;
+
 pub use ae::dist_ae;
 pub use cheby::dist_cheby;
 pub use dist_s::dist_s_sq;

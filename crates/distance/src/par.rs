@@ -254,6 +254,10 @@ pub(crate) fn walk_windows<Q: SegSource, C: SegSource>(
 /// the planned kernel's early abandoning stay decision-identical to the
 /// complete evaluation.
 // audit: no_alloc — the window walk must stay allocation-free.
+// `inline(always)`: the planned kernel's level-specialised wrappers need
+// the walker collapsed into their `#[target_feature]` frame so the packed
+// term kernel inlines (see `crate::plan::staged_walk`).
+#[inline(always)]
 pub(crate) fn walk_windows_until<Q: SegSource, C: SegSource>(
     qs: Q,
     cs: C,

@@ -14,11 +14,15 @@
 //! Bit-identity contract: without abandoning (bound = `+∞`) the planned
 //! kernels return values **bit-for-bit identical** to
 //! [`crate::dist_par_sq`] — same generic endpoint-union walker, same
-//! shared Eq. 12 term function, same left-to-right summation order. At
-//! the union sizes adaptive representations produce (tens of windows), a
-//! fused walk beats a stage-then-vectorise split: staging per-window
-//! deltas into scratch arrays costs more in stores and a second pass
-//! than packed multiplies recover. See DESIGN.md §"Search kernels".
+//! Eq. 12 term arithmetic, same left-to-right summation order. When a
+//! SIMD level is active ([`sapla_core::simd::active`]), the walk stages
+//! up to four windows' deltas in fixed stack arrays and evaluates their
+//! terms with one packed pass (`simd_terms`), then adds them to the
+//! running sum **sequentially in walk order** with the abandon check
+//! after every term — each lane replays the scalar term's operation
+//! sequence, so sums, abandon decisions, and therefore results stay
+//! bitwise identical across all dispatch widths. See DESIGN.md §"SIMD
+//! dispatch & query-major batching".
 
 use sapla_core::{Error, PiecewiseLinear, Result};
 
@@ -141,17 +145,47 @@ pub fn dist_par_sq_planned_soa(
     Ok(planned_eval(plan, cand, scratch, abandon_sq))
 }
 
-/// The fused merge-walk: one pass over the endpoint union, per-window
-/// Eq. 12 term added to a single running sum in walk order (bit-identical
-/// to the streaming reference — same walker, same term function, same
-/// summation order), with the walk cut short the moment the partial sum
-/// exceeds `abandon_sq`. Partial sums of the non-negative terms are
-/// monotone, so an abandoned candidate is exactly one the full comparison
-/// would prune too. (The obvious `f64::mul_add` formulation of the term
-/// is *slower* here: the baseline x86-64 target has no FMA, so `mul_add`
-/// lowers to a libm call per term.)
-// audit: no_alloc — a single fused walk, nothing staged.
+/// The merge-walk behind both planned entry points, dispatching on the
+/// process-wide SIMD level (cached in [`sapla_core::simd::active`]).
+// audit: no_alloc — a fused walk over fixed stack arrays.
 fn planned_eval<C: SegSource>(
+    plan: &QueryPlan,
+    cand: C,
+    scratch: &mut ParScratch,
+    abandon_sq: f64,
+) -> f64 {
+    planned_eval_with(sapla_core::simd::active(), plan, cand, scratch, abandon_sq)
+}
+
+/// Windows staged per packed term evaluation. Matches the widest vector
+/// width (AVX2: four f64 lanes); narrower levels run the same group as
+/// two 2-lane passes so the staging pattern — and thus the abandon
+/// schedule — is identical at every level.
+const GROUP: usize = 4;
+
+/// [`planned_eval`] with the SIMD level pinned — the hook width-sweeping
+/// bit-identity tests drive.
+///
+/// `Scalar` runs the original fused walk: one pass over the endpoint
+/// union, per-window Eq. 12 term added to a single running sum in walk
+/// order, the walk cut short the moment the partial sum exceeds
+/// `abandon_sq`. (The obvious `f64::mul_add` formulation of the term is
+/// *slower* here: the baseline x86-64 target has no FMA, so `mul_add`
+/// lowers to a libm call per term.)
+///
+/// SIMD levels stage up to [`GROUP`] windows' `(Δa, Δb, l)` in stack
+/// arrays, evaluate the group's terms with one packed pass
+/// ([`crate::simd_terms`], bit-identical per lane), then accumulate
+/// them sequentially with the abandon check after every term; the tail
+/// group flushes through the scalar term. Same adds in the same order ⇒
+/// same sum bits and the same abandon decision as the scalar walk — the
+/// only divergence is that the walk itself may advance up to `GROUP − 1`
+/// windows past the abandon point before the group boundary notices,
+/// which is invisible in the result (the abandoned sentinel is `+∞`
+/// either way; only the observability window counters shift).
+// audit: no_alloc — a fused walk over fixed stack arrays.
+pub(crate) fn planned_eval_with<C: SegSource>(
+    level: sapla_core::SimdLevel,
     plan: &QueryPlan,
     cand: C,
     scratch: &mut ParScratch,
@@ -160,15 +194,30 @@ fn planned_eval<C: SegSource>(
     let _ = scratch;
     sapla_obs::counter!("dist.par.evals");
     sapla_obs::counter!("dist.par.plan_hits");
-    let mut sum = 0.0f64;
-    let mut abandoned = false;
-    let mut _windows = 0u64;
-    walk_windows_until(plan, cand, |w| {
-        sum += dist_s_sq_terms(w.qa - w.ca, w.qb - w.cb, w.len as f64);
-        _windows += 1;
-        abandoned = sum > abandon_sq;
-        !abandoned
-    });
+    // Each arm is a whole-walk function compiled under its own target
+    // feature so the packed term kernel inlines into the walk (a
+    // per-group call into a `#[target_feature]` function costs more than
+    // the packed pass saves at typical union sizes).
+    let (sum, abandoned, _windows) = match level {
+        #[cfg(target_arch = "x86_64")]
+        sapla_core::SimdLevel::Sse2 => {
+            // SAFETY: SSE2 is part of the x86-64 baseline — always available.
+            unsafe { staged_walk_sse2(plan, cand, abandon_sq) }
+        }
+        #[cfg(target_arch = "x86_64")]
+        sapla_core::SimdLevel::Avx2 if sapla_core::SimdLevel::Avx2.is_supported() => {
+            // SAFETY: the guard verified AVX2 support at runtime.
+            unsafe { staged_walk_avx2(plan, cand, abandon_sq) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        sapla_core::SimdLevel::Neon => {
+            // SAFETY: NEON is mandatory on AArch64 — always available.
+            unsafe { staged_walk_neon(plan, cand, abandon_sq) }
+        }
+        // Scalar, and SIMD levels this CPU/build cannot run: the fused
+        // reference walk (same bits by the bit-identity contract).
+        _ => scalar_walk(plan, cand, abandon_sq),
+    };
     sapla_obs::counter!("dist.s.evals", _windows);
     sapla_obs::hist!("dist.par.windows", _windows);
     if abandoned {
@@ -177,6 +226,110 @@ fn planned_eval<C: SegSource>(
     } else {
         sum
     }
+}
+
+/// The original fused reference walk: per-window Eq. 12 term added to a
+/// single running sum in walk order, cut short the moment the partial
+/// sum exceeds `abandon_sq`. Returns `(sum, abandoned, windows)`.
+// audit: no_alloc — a single fused walk, nothing staged.
+fn scalar_walk<C: SegSource>(plan: &QueryPlan, cand: C, abandon_sq: f64) -> (f64, bool, u64) {
+    let mut sum = 0.0f64;
+    let mut abandoned = false;
+    let mut windows = 0u64;
+    walk_windows_until(plan, cand, |w| {
+        sum += dist_s_sq_terms(w.qa - w.ca, w.qb - w.cb, w.len as f64);
+        windows += 1;
+        abandoned = sum > abandon_sq;
+        !abandoned
+    });
+    (sum, abandoned, windows)
+}
+
+/// The staged walk body shared by every vector level: group windows in
+/// stack arrays, evaluate each full group with `terms4` (a packed pass),
+/// accumulate sequentially with the abandon check after every term, and
+/// flush the tail group through the scalar term. Must stay
+/// `#[inline(always)]` — the level wrappers below rely on the whole body
+/// (walker included) collapsing into their `#[target_feature]` frame so
+/// the packed kernel inlines.
+// audit: no_alloc — a fused walk over fixed stack arrays.
+#[inline(always)]
+fn staged_walk<C: SegSource>(
+    plan: &QueryPlan,
+    cand: C,
+    abandon_sq: f64,
+    mut terms4: impl FnMut(&[f64; GROUP], &[f64; GROUP], &[f64; GROUP], &mut [f64; GROUP]),
+) -> (f64, bool, u64) {
+    let mut sum = 0.0f64;
+    let mut abandoned = false;
+    let mut windows = 0u64;
+    let mut da = [0.0f64; GROUP];
+    let mut db = [0.0f64; GROUP];
+    let mut lf = [0.0f64; GROUP];
+    let mut terms = [0.0f64; GROUP];
+    let mut fill = 0usize;
+    walk_windows_until(plan, cand, |w| {
+        da[fill] = w.qa - w.ca;
+        db[fill] = w.qb - w.cb;
+        lf[fill] = w.len as f64;
+        fill += 1;
+        windows += 1;
+        if fill < GROUP {
+            return true;
+        }
+        fill = 0;
+        terms4(&da, &db, &lf, &mut terms);
+        for &t in &terms {
+            sum += t;
+            if sum > abandon_sq {
+                abandoned = true;
+                return false;
+            }
+        }
+        true
+    });
+    if !abandoned {
+        for k in 0..fill {
+            sum += dist_s_sq_terms(da[k], db[k], lf[k]);
+            if sum > abandon_sq {
+                abandoned = true;
+                break;
+            }
+        }
+    }
+    (sum, abandoned, windows)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+fn staged_walk_sse2<C: SegSource>(plan: &QueryPlan, cand: C, abandon_sq: f64) -> (f64, bool, u64) {
+    // The closure inherits this function's target feature, so the packed
+    // kernel call inlines instead of going through a cross-feature call.
+    staged_walk(plan, cand, abandon_sq, |da, db, lf, out| {
+        // SAFETY: this wrapper (and thus the closure) runs with SSE2
+        // enabled — the kernel's only requirement.
+        unsafe { crate::simd_terms::terms_sse2(da, db, lf, out) }
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn staged_walk_avx2<C: SegSource>(plan: &QueryPlan, cand: C, abandon_sq: f64) -> (f64, bool, u64) {
+    staged_walk(plan, cand, abandon_sq, |da, db, lf, out| {
+        // SAFETY: this wrapper (and thus the closure) runs with AVX2
+        // enabled — the kernel's only requirement.
+        unsafe { crate::simd_terms::terms_avx2(da, db, lf, out) }
+    })
+}
+
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+fn staged_walk_neon<C: SegSource>(plan: &QueryPlan, cand: C, abandon_sq: f64) -> (f64, bool, u64) {
+    staged_walk(plan, cand, abandon_sq, |da, db, lf, out| {
+        // SAFETY: this wrapper (and thus the closure) runs with NEON
+        // enabled — the kernel's only requirement.
+        unsafe { crate::simd_terms::terms_neon(da, db, lf, out) }
+    })
 }
 
 #[cfg(test)]
@@ -322,6 +475,46 @@ mod tests {
             } else {
                 // Abandoned: the reference must prune this candidate too.
                 proptest::prop_assert!(!ref_keep);
+            }
+        }
+
+        /// Tier-1 SIMD pin: every supported dispatch width returns the
+        /// scalar walk's exact bits — with and without an abandon bound,
+        /// and with the same abandon decision — on arbitrary interleaved
+        /// segmentations.
+        #[test]
+        fn planned_eval_is_bit_identical_across_simd_widths(
+            len in 16usize..96,
+            q_gaps in proptest::collection::vec(1usize..7, 24),
+            c_gaps in proptest::collection::vec(1usize..7, 24),
+            q_coeffs in proptest::collection::vec((-2.0f64..2.0, -5.0f64..5.0), 24),
+            c_coeffs in proptest::collection::vec((-2.0f64..2.0, -5.0f64..5.0), 24),
+            frac in 0.0f64..2.0,
+        ) {
+            use sapla_core::simd::{supported_levels, SimdLevel};
+
+            let q = build_pl(len, &q_gaps, &q_coeffs);
+            let c = build_pl(len, &c_gaps, &c_coeffs);
+            let plan = QueryPlan::new(&q);
+            let mut scratch = ParScratch::default();
+            let scalar = planned_eval_with(
+                SimdLevel::Scalar, &plan, c.segments(), &mut scratch, f64::INFINITY);
+            let bound = safe_sq_bound(scalar.sqrt() * frac);
+            let scalar_bounded = planned_eval_with(
+                SimdLevel::Scalar, &plan, c.segments(), &mut scratch, bound);
+            for level in supported_levels() {
+                let full = planned_eval_with(
+                    level, &plan, c.segments(), &mut scratch, f64::INFINITY);
+                proptest::prop_assert_eq!(
+                    scalar.to_bits(), full.to_bits(), "full, level {}", level.name());
+                let bounded = planned_eval_with(
+                    level, &plan, c.segments(), &mut scratch, bound);
+                proptest::prop_assert_eq!(
+                    scalar_bounded.to_bits(),
+                    bounded.to_bits(),
+                    "bounded, level {}",
+                    level.name()
+                );
             }
         }
     }

@@ -1,0 +1,329 @@
+//! Query-major batched k-NN: evaluate a block of queries against each
+//! leaf while its SoA mirror is cache-hot.
+//!
+//! The classic driver is query-at-a-time: one query walks the whole
+//! tree, streaming every surviving leaf block through the planned
+//! kernel, before the next query starts — so with `Q` queries each leaf
+//! block is pulled through the cache up to `Q` times. This module flips
+//! the inner loop. A block of queries advances in *rounds*: in each
+//! round every still-active query walks its own best-first frontier
+//! (internal nodes expanded inline) until it yields its next leaf; the
+//! pending `(leaf, query)` pairs are then sorted by leaf and evaluated
+//! leaf-by-leaf, so all queries that reached the same leaf in the same
+//! round run over its slopes/intercepts/endpoints back-to-back.
+//!
+//! **Bit-identity.** Each query's result is a pure function of the tree
+//! and its own search state — candidate heap, node queue, thresholds —
+//! none of which is shared across queries. The round structure only
+//! interleaves *which query runs next*; within one query the operation
+//! sequence (node pops, bound computations, filter decisions,
+//! refinements, heap pushes) is exactly the sequential one. The
+//! `knn_batch` / engine regression tests pin this bitwise over the
+//! DBCH-tree, the R-tree, and the linear scan at several thread counts.
+//!
+//! Implemented over the [`BatchTree`] trait so the DBCH-tree and the
+//! R-tree share one driver — and one copy of the leaf filter/refinement
+//! body ([`eval_leaf_entries`]), which their sequential searches use
+//! too.
+
+use std::cmp::Reverse;
+
+use sapla_core::{Error, OrdF64, Representation, Result, TimeSeries};
+use sapla_distance::{euclidean_early_abandon, safe_sq_bound, ParScratch};
+
+use crate::knn::{HullMemo, KnnHeap, KnnScratch, SearchStats, SearchTally};
+use crate::scheme::{Query, Scheme};
+use crate::soa::LeafBlock;
+
+/// How many queries ride in one co-scheduled block by default. Large
+/// enough that shared leaves amortise a block fetch across many
+/// queries, small enough that a block's heaps and scratches stay
+/// resident next to the leaf data (the perf harness sweeps 1/4/16).
+pub const DEFAULT_QUERY_BLOCK: usize = 16;
+
+/// One node of a [`BatchTree`], as the driver sees it.
+pub(crate) enum NodeView<'a> {
+    /// Child node ids.
+    Internal(&'a [usize]),
+    /// Entry ids held by a leaf.
+    Leaf(&'a [usize]),
+}
+
+/// The tree shape the query-major driver walks — implemented by
+/// [`crate::dbch::DbchTree`] (hull bounds) and [`crate::rtree::RTree`]
+/// (MINDIST bounds), and by the engine's shard wrapper.
+pub(crate) trait BatchTree {
+    /// Root node id (meaningless when [`BatchTree::is_empty`]).
+    fn root(&self) -> usize;
+    /// `true` iff the tree holds no entries.
+    fn is_empty(&self) -> bool;
+    /// Stored representations, entry-id order.
+    fn reps(&self) -> &[Representation];
+    /// Children of an internal node / entries of a leaf.
+    fn node_view(&self, nid: usize) -> NodeView<'_>;
+    /// The leaf's SoA mirror, if coherent with `n_entries` entries.
+    fn leaf_block(&self, nid: usize, n_entries: usize) -> Option<&LeafBlock>;
+    /// Query-to-node bound (hull rule / MINDIST). The DBCH-tree records
+    /// the squared hull-representative distances it computes in `memo`
+    /// for bitwise replay at the leaf filter; the R-tree's MINDIST has
+    /// nothing to memoise and leaves it untouched.
+    fn node_bound(
+        &self,
+        q: &Query,
+        scheme: &dyn Scheme,
+        nid: usize,
+        dist: &mut ParScratch,
+        memo: &mut HullMemo,
+    ) -> Result<f64>;
+    /// Per-level fanout accounting hook (the DBCH-tree's lane counter;
+    /// the R-tree reports nothing, matching its sequential search).
+    fn count_fanout(&self, _depth: usize, _children: usize) {}
+}
+
+/// Per-worker state for [`knn_query_major`]: one warm [`KnnScratch`]
+/// per in-flight query plus the round's pending `(leaf, query)` pairs.
+/// Reuse never changes results — every buffer is reset per block.
+#[derive(Default)]
+pub(crate) struct BlockScratch {
+    scratches: Vec<KnnScratch>,
+    pending: Vec<(usize, usize)>,
+}
+
+impl BlockScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Evaluate one leaf's entries for one query: representation filter
+/// (SoA planned kernel when a coherent block is supplied, AoS
+/// otherwise) then early-abandoning exact refinement. This is the
+/// single copy of the body the DBCH-tree and R-tree sequential searches
+/// used to duplicate; the query-major driver calls it per `(leaf,
+/// query)` pair.
+#[allow(clippy::too_many_arguments)] // the flattened per-query search state
+pub(crate) fn eval_leaf_entries(
+    q: &Query,
+    scheme: &dyn Scheme,
+    raws: &[TimeSeries],
+    reps: &[Representation],
+    entries: &[usize],
+    block: Option<&LeafBlock>,
+    results: &mut KnnHeap,
+    dist: &mut ParScratch,
+    memo: &HullMemo,
+    tally: &mut SearchTally,
+) -> Result<()> {
+    tally.consider(entries.len());
+    for (j, &e) in entries.iter().enumerate() {
+        let threshold = results.threshold();
+        // While the result heap is not yet full the threshold is ∞ and
+        // no filter can prune, so the representation distance is
+        // skipped outright — the keep-decision is identical (`d ≤ ∞`).
+        // Strict-invariants builds still evaluate it to keep the
+        // lb ≤ exact audit on every candidate.
+        let skip_filter = threshold.is_infinite() && !cfg!(feature = "strict-invariants");
+        let kept = if skip_filter {
+            Some(f64::INFINITY)
+        } else if let Some(kept) = memo.filter(e, threshold) {
+            // A hull representative this query already evaluated fully
+            // during node bounding: replaying the memoised square is
+            // the identical decision and kept value (see `HullMemo`).
+            sapla_obs::counter!("index.hull_memo.hits");
+            kept
+        } else {
+            match block {
+                Some(b) => scheme.rep_dist_pruned_soa(q, b.entry(j)?, threshold, dist)?,
+                None => scheme.rep_dist_pruned(q, &reps[e], threshold, dist)?,
+            }
+        };
+        if kept.is_some() {
+            tally.measure();
+            // Early-abandoning refinement: an abandoned candidate has
+            // exact > threshold *strictly* (the safe_sq_bound slack
+            // absorbs the t² rounding), so pushing it would pop it
+            // straight back out — skipping the push leaves the heap
+            // bit-identical.
+            match euclidean_early_abandon(&q.raw, &raws[e], safe_sq_bound(results.threshold()))? {
+                Some(exact) => {
+                    #[cfg(feature = "strict-invariants")]
+                    crate::scheme::assert_lb_le_exact(q, &reps[e], exact)?;
+                    results.push(exact, e);
+                }
+                // The invariant lb ≤ exact holds here by construction:
+                // lb ≤ threshold < exact.
+                None => sapla_obs::counter!("index.knn.refine_abandoned"),
+            }
+        } else {
+            tally.prune();
+        }
+    }
+    Ok(())
+}
+
+/// Keep the earliest-by-query-index error: queries are independent, so
+/// running every one to completion-or-failure and surfacing the
+/// smallest index's error reproduces exactly what a sequential
+/// query-by-query loop reports.
+fn note_err(slot: &mut Option<(usize, Error)>, qi: usize, e: Error) {
+    if slot.as_ref().is_none_or(|(q, _)| qi < *q) {
+        *slot = Some((qi, e));
+    }
+}
+
+/// Answer a block of k-NN queries query-major (see module docs):
+/// round-based co-scheduling with per-leaf grouped evaluation. Results
+/// are bit-for-bit the sequential per-query searches', in query order;
+/// on failure the earliest (by query index) error is returned, as a
+/// sequential loop would.
+pub(crate) fn knn_query_major<T: BatchTree + ?Sized>(
+    tree: &T,
+    queries: &[Query],
+    k: usize,
+    scheme: &dyn Scheme,
+    raws: &[TimeSeries],
+    scratch: &mut BlockScratch,
+) -> Result<Vec<SearchStats>> {
+    let BlockScratch { scratches, pending } = scratch;
+    scratches.resize_with(scratches.len().max(queries.len()), KnnScratch::new);
+    let mut tallies = vec![SearchTally::default(); queries.len()];
+    let mut done = vec![false; queries.len()];
+    let mut first_err: Option<(usize, Error)> = None;
+
+    // Seed every query's frontier with the root, in query order.
+    for (qi, q) in queries.iter().enumerate() {
+        let s = scratches[qi].reset(k);
+        if tree.is_empty() {
+            done[qi] = true;
+            continue;
+        }
+        match tree.node_bound(q, scheme, tree.root(), &mut s.dist, &mut s.hull) {
+            Ok(d) => s.nodes.push(Reverse((OrdF64::new(d), tree.root(), 0))),
+            Err(e) => {
+                done[qi] = true;
+                note_err(&mut first_err, qi, e);
+            }
+        }
+    }
+
+    loop {
+        // Advance phase: each active query walks its best-first
+        // frontier until it yields its next leaf (or finishes).
+        pending.clear();
+        for (qi, q) in queries.iter().enumerate() {
+            if done[qi] {
+                continue;
+            }
+            let s = &mut scratches[qi];
+            let tally = &mut tallies[qi];
+            loop {
+                let Some(Reverse((d, nid, depth))) = s.nodes.pop() else {
+                    done[qi] = true;
+                    break;
+                };
+                if d.get() > s.results.threshold() {
+                    // Best-first order: the popped node *and* everything
+                    // still queued behind it are beyond the threshold.
+                    tally.prune_nodes(1 + s.nodes.len());
+                    s.nodes.clear();
+                    done[qi] = true;
+                    break;
+                }
+                tally.visit_node();
+                match tree.node_view(nid) {
+                    NodeView::Internal(children) => {
+                        tree.count_fanout(depth, children.len());
+                        let mut failed = false;
+                        for &c in children {
+                            match tree.node_bound(q, scheme, c, &mut s.dist, &mut s.hull) {
+                                Ok(node_d) => {
+                                    if node_d <= s.results.threshold() {
+                                        s.nodes.push(Reverse((OrdF64::new(node_d), c, depth + 1)));
+                                    } else {
+                                        tally.prune_node();
+                                    }
+                                }
+                                Err(e) => {
+                                    note_err(&mut first_err, qi, e);
+                                    failed = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if failed {
+                            done[qi] = true;
+                            s.nodes.clear();
+                            break;
+                        }
+                    }
+                    NodeView::Leaf(_) => {
+                        pending.push((nid, qi));
+                        break;
+                    }
+                }
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        // Evaluate phase: group this round's pending pairs by leaf, so
+        // a leaf's SoA block is fetched once and stays hot for every
+        // query that reached it; within a leaf, queries run in query
+        // order ((nid, qi) sort — deterministic, pairs are distinct).
+        pending.sort_unstable();
+        let mut i = 0;
+        while i < pending.len() {
+            let nid = pending[i].0;
+            let mut end = i + 1;
+            while end < pending.len() && pending[end].0 == nid {
+                end += 1;
+            }
+            sapla_obs::counter!("sapla.knn.leaf_batches");
+            sapla_obs::hist!("sapla.knn.query_block", (end - i) as u64);
+            let entries = match tree.node_view(nid) {
+                NodeView::Leaf(entries) => entries,
+                // Only leaves are ever pushed to `pending`.
+                NodeView::Internal(_) => unreachable!(),
+            };
+            for &(_, qi) in &pending[i..end] {
+                let q = &queries[qi];
+                let s = &mut scratches[qi];
+                let use_soa = scheme.supports_par_plan() && q.plan.is_some();
+                let block = if use_soa { tree.leaf_block(nid, entries.len()) } else { None };
+                if let Err(e) = eval_leaf_entries(
+                    q,
+                    scheme,
+                    raws,
+                    tree.reps(),
+                    entries,
+                    block,
+                    &mut s.results,
+                    &mut s.dist,
+                    &s.hull,
+                    &mut tallies[qi],
+                ) {
+                    note_err(&mut first_err, qi, e);
+                    done[qi] = true;
+                    s.nodes.clear();
+                }
+            }
+            i = end;
+        }
+    }
+
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    let mut out = Vec::with_capacity(queries.len());
+    for (qi, tally) in tallies.into_iter().enumerate() {
+        let (mut retrieved, mut distances) = (Vec::with_capacity(k), Vec::with_capacity(k));
+        scratches[qi].results.drain_into(&mut retrieved, &mut distances);
+        out.push(SearchStats {
+            retrieved,
+            distances,
+            measured: tally.finish_knn(),
+            total: tree.reps().len(),
+        });
+    }
+    Ok(out)
+}

@@ -15,7 +15,7 @@ use std::cmp::Reverse;
 use sapla_core::{OrdF64, Representation, Result, TimeSeries};
 use sapla_distance::{euclidean_early_abandon, safe_sq_bound};
 
-use crate::knn::{KnnScratch, SearchStats, SearchTally};
+use crate::knn::{HullMemo, KnnScratch, SearchStats, SearchTally};
 use crate::scheme::{Query, Scheme};
 use crate::soa::LeafBlock;
 use crate::stats::TreeShape;
@@ -181,11 +181,12 @@ impl DbchTree {
         let mut hits: Vec<(f64, usize)> = Vec::new();
         let mut tally = SearchTally::default();
         let mut dist_scratch = sapla_distance::ParScratch::default();
+        let mut memo = HullMemo::default();
         let use_soa = scheme.supports_par_plan() && q.plan.is_some();
         if !self.is_empty() {
             let mut stack = vec![self.root];
             while let Some(nid) = stack.pop() {
-                if self.node_dist(q, scheme, nid, &mut dist_scratch)? > epsilon {
+                if self.node_dist(q, scheme, nid, &mut dist_scratch, &mut memo)? > epsilon {
                     tally.prune_node();
                     continue;
                 }
@@ -199,19 +200,28 @@ impl DbchTree {
                             .get(nid)
                             .filter(|b| use_soa && b.is_ok() && b.num_entries() == entries.len());
                         for (j, &e) in entries.iter().enumerate() {
-                            let kept = match block {
-                                Some(b) => scheme.rep_dist_pruned_soa(
-                                    q,
-                                    b.entry(j)?,
-                                    epsilon,
-                                    &mut dist_scratch,
-                                )?,
-                                None => scheme.rep_dist_pruned(
-                                    q,
-                                    &self.reps[e],
-                                    epsilon,
-                                    &mut dist_scratch,
-                                )?,
+                            // Hull representatives were already fully
+                            // evaluated by `node_dist`; replaying the
+                            // memoised square is the identical decision
+                            // and value (see `HullMemo`).
+                            let kept = if let Some(kept) = memo.filter(e, epsilon) {
+                                sapla_obs::counter!("index.hull_memo.hits");
+                                kept
+                            } else {
+                                match block {
+                                    Some(b) => scheme.rep_dist_pruned_soa(
+                                        q,
+                                        b.entry(j)?,
+                                        epsilon,
+                                        &mut dist_scratch,
+                                    )?,
+                                    None => scheme.rep_dist_pruned(
+                                        q,
+                                        &self.reps[e],
+                                        epsilon,
+                                        &mut dist_scratch,
+                                    )?,
+                                }
                             };
                             if kept.is_some() {
                                 tally.measure();
@@ -731,6 +741,31 @@ impl DbchTree {
         Ok(sibling)
     }
 
+    /// Distance from the query to one hull representative, memoised per
+    /// query: hull representatives recur across nodes (an internal
+    /// hull's are drawn from its children's) and reappear as ordinary
+    /// leaf entries, so the squared distance is cached on first
+    /// evaluation and every re-use is `sq.sqrt()` — bitwise the fresh
+    /// evaluation (see [`HullMemo`]).
+    fn hull_rep_dist(
+        &self,
+        q: &Query,
+        scheme: &dyn Scheme,
+        entry: usize,
+        dist: &mut sapla_distance::ParScratch,
+        memo: &mut HullMemo,
+    ) -> Result<f64> {
+        if let Some(sq) = memo.get(entry) {
+            sapla_obs::counter!("index.hull_memo.hits");
+            return Ok(sq.sqrt());
+        }
+        let (d, sq) = scheme.rep_dist_sq_with(q, &self.reps[entry], dist)?;
+        if let Some(sq) = sq {
+            memo.insert(entry, sq);
+        }
+        Ok(d)
+    }
+
     /// Query-to-node distance (Section 5.3).
     fn node_dist(
         &self,
@@ -738,10 +773,11 @@ impl DbchTree {
         scheme: &dyn Scheme,
         node: usize,
         dist: &mut sapla_distance::ParScratch,
+        memo: &mut HullMemo,
     ) -> Result<f64> {
         let h = self.nodes[node].hull;
-        let du = scheme.rep_dist_with(q, &self.reps[h.u], dist)?;
-        let dl = scheme.rep_dist_with(q, &self.reps[h.l], dist)?;
+        let du = self.hull_rep_dist(q, scheme, h.u, dist, memo)?;
+        let dl = self.hull_rep_dist(q, scheme, h.l, dist, memo)?;
         Ok(match self.rule {
             NodeDistRule::Paper => {
                 if du < h.volume && dl < h.volume {
@@ -795,10 +831,10 @@ impl DbchTree {
     ) -> Result<SearchStats> {
         debug_assert_eq!(raws.len(), self.reps.len());
         scratch.reset(k);
-        let KnnScratch { results, nodes: heap, dist } = scratch;
+        let KnnScratch { results, nodes: heap, dist, hull } = scratch;
         let mut tally = SearchTally::default();
         if !self.is_empty() {
-            let d = self.node_dist(q, scheme, self.root, dist)?;
+            let d = self.node_dist(q, scheme, self.root, dist, hull)?;
             heap.push(Reverse((OrdF64::new(d), self.root, 0)));
         }
         let use_soa = scheme.supports_par_plan() && q.plan.is_some();
@@ -814,7 +850,7 @@ impl DbchTree {
                 NodeKind::Internal(children) => {
                     sapla_obs::lane_counter!("index.knn.fanout", depth, children.len() as u64);
                     for &c in children {
-                        let node_d = self.node_dist(q, scheme, c, dist)?;
+                        let node_d = self.node_dist(q, scheme, c, dist, hull)?;
                         if node_d <= results.threshold() {
                             heap.push(Reverse((OrdF64::new(node_d), c, depth + 1)));
                         } else {
@@ -823,59 +859,14 @@ impl DbchTree {
                     }
                 }
                 NodeKind::Leaf(entries) => {
-                    tally.consider(entries.len());
                     let block = self
                         .blocks
                         .get(nid)
                         .filter(|b| use_soa && b.is_ok() && b.num_entries() == entries.len());
-                    for (j, &e) in entries.iter().enumerate() {
-                        let threshold = results.threshold();
-                        // While the result heap is not yet full the
-                        // threshold is ∞ and no filter can prune, so the
-                        // representation distance is skipped outright —
-                        // the keep-decision is identical (`d ≤ ∞`).
-                        // Strict-invariants builds still evaluate it to
-                        // keep the lb ≤ exact audit on every candidate.
-                        let skip_filter =
-                            threshold.is_infinite() && !cfg!(feature = "strict-invariants");
-                        let kept = if skip_filter {
-                            Some(f64::INFINITY)
-                        } else {
-                            match block {
-                                Some(b) => {
-                                    scheme.rep_dist_pruned_soa(q, b.entry(j)?, threshold, dist)?
-                                }
-                                None => {
-                                    scheme.rep_dist_pruned(q, &self.reps[e], threshold, dist)?
-                                }
-                            }
-                        };
-                        if kept.is_some() {
-                            tally.measure();
-                            // Early-abandoning refinement: an abandoned
-                            // candidate has exact > threshold *strictly*
-                            // (the safe_sq_bound slack absorbs the t²
-                            // rounding), so pushing it would pop it
-                            // straight back out — skipping the push
-                            // leaves the heap bit-identical.
-                            match euclidean_early_abandon(
-                                &q.raw,
-                                &raws[e],
-                                safe_sq_bound(results.threshold()),
-                            )? {
-                                Some(exact) => {
-                                    #[cfg(feature = "strict-invariants")]
-                                    crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
-                                    results.push(exact, e);
-                                }
-                                // The invariant lb ≤ exact holds here by
-                                // construction: lb ≤ threshold < exact.
-                                None => sapla_obs::counter!("index.knn.refine_abandoned"),
-                            }
-                        } else {
-                            tally.prune();
-                        }
-                    }
+                    crate::batched::eval_leaf_entries(
+                        q, scheme, raws, &self.reps, entries, block, results, dist, hull,
+                        &mut tally,
+                    )?;
                 }
             }
         }
@@ -895,7 +886,44 @@ impl DbchTree {
         self.walk(self.root, 1, &mut shape);
         shape
     }
+}
 
+impl crate::batched::BatchTree for DbchTree {
+    fn root(&self) -> usize {
+        self.root
+    }
+    fn is_empty(&self) -> bool {
+        DbchTree::is_empty(self)
+    }
+    fn reps(&self) -> &[Representation] {
+        &self.reps
+    }
+    fn node_view(&self, nid: usize) -> crate::batched::NodeView<'_> {
+        match &self.nodes[nid].kind {
+            NodeKind::Internal(c) => crate::batched::NodeView::Internal(c),
+            NodeKind::Leaf(e) => crate::batched::NodeView::Leaf(e),
+        }
+    }
+    fn leaf_block(&self, nid: usize, n_entries: usize) -> Option<&LeafBlock> {
+        self.blocks.get(nid).filter(|b| b.is_ok() && b.num_entries() == n_entries)
+    }
+    fn node_bound(
+        &self,
+        q: &Query,
+        scheme: &dyn Scheme,
+        nid: usize,
+        dist: &mut sapla_distance::ParScratch,
+        memo: &mut HullMemo,
+    ) -> Result<f64> {
+        self.node_dist(q, scheme, nid, dist, memo)
+    }
+    fn count_fanout(&self, depth: usize, children: usize) {
+        let (_depth, _children) = (depth, children);
+        sapla_obs::lane_counter!("index.knn.fanout", _depth, _children as u64);
+    }
+}
+
+impl DbchTree {
     fn walk(&self, node: usize, depth: usize, shape: &mut TreeShape) {
         shape.height = shape.height.max(depth);
         match &self.nodes[node].kind {

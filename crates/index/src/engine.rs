@@ -12,9 +12,10 @@
 //!
 //! Entries are partitioned round-robin over `shards` independent trees:
 //! global id `g` lives in shard `g % shards` at local id `g / shards`.
-//! A kNN scatter-gathers: every `(query, shard)` pair runs top-`k`
-//! independently (fanned over the work-stealing engine with per-worker
-//! warm [`KnnScratch`]es), and per-query results merge by
+//! A kNN scatter-gathers: every `(query block, shard)` pair runs top-`k`
+//! independently (fanned over the work-stealing engine, each block
+//! answered by the query-major co-scheduled driver of [`crate::batched`]
+//! with per-worker warm scratches), and per-query results merge by
 //! `(distance, global id)` — a strict total order, so the merge is
 //! deterministic at every thread count.
 //!
@@ -34,8 +35,9 @@ use sapla_core::codec::{decode_collection, encode_collection};
 use sapla_core::{Bytes, Error, Representation, Result, TimeSeries};
 use sapla_parallel::par_try_map_init;
 
+use crate::batched::{knn_query_major, BlockScratch};
 use crate::dbch::{DbchTree, NodeDistRule};
-use crate::knn::{KnnScratch, SearchStats};
+use crate::knn::SearchStats;
 use crate::parallel::{knn_batch, prepare_queries, BatchStats};
 use crate::rtree::RTree;
 use crate::scheme::{scheme_for, Query, Scheme};
@@ -112,17 +114,11 @@ enum ShardIndex {
 }
 
 impl ShardIndex {
-    fn knn_with_scratch(
-        &self,
-        q: &Query,
-        k: usize,
-        scheme: &dyn Scheme,
-        raws: &[TimeSeries],
-        scratch: &mut KnnScratch,
-    ) -> Result<SearchStats> {
+    /// The shard's tree as the query-major driver's trait object.
+    fn as_batch_tree(&self) -> &dyn crate::batched::BatchTree {
         match self {
-            ShardIndex::Dbch(t) => t.knn_with_scratch(q, k, scheme, raws, scratch),
-            ShardIndex::Rtree(t) => t.knn_with_scratch(q, k, scheme, raws, scratch),
+            ShardIndex::Dbch(t) => t,
+            ShardIndex::Rtree(t) => t,
         }
     }
 
@@ -297,10 +293,11 @@ impl Engine {
         prepare_queries(raws, self.reducer.as_ref(), self.cfg.m, threads)
     }
 
-    /// Answer a batch of k-NN queries: scatter every `(query, shard)`
-    /// pair over up to `threads` workers, gather per query by
-    /// `(distance, global id)`. With one shard this returns bit-for-bit
-    /// what [`knn_batch`] returns (see module docs).
+    /// Answer a batch of k-NN queries: chunk the queries into
+    /// query-major blocks ([`crate::batched`]), scatter every
+    /// `(block, shard)` pair over up to `threads` workers, gather per
+    /// query by `(distance, global id)`. With one shard this returns
+    /// bit-for-bit what [`knn_batch`] returns (see module docs).
     ///
     /// # Errors
     ///
@@ -323,20 +320,27 @@ impl Engine {
                 return knn_batch(tree, queries, k, self.scheme.as_ref(), &shard.raws, threads);
             }
         }
+        let block = crate::batched::DEFAULT_QUERY_BLOCK;
+        let blocks: Vec<&[Query]> = queries.chunks(block).collect();
         let tasks: Vec<(usize, usize)> =
-            (0..queries.len()).flat_map(|q| (0..n_shards).map(move |s| (q, s))).collect();
+            (0..blocks.len()).flat_map(|b| (0..n_shards).map(move |s| (b, s))).collect();
         let partials =
-            par_try_map_init(&tasks, threads, KnnScratch::new, |scratch, _, &(qi, si)| {
+            par_try_map_init(&tasks, threads, BlockScratch::new, |scratch, _, &(bi, si)| {
                 let shard = &self.shards[si];
-                let stats = shard.index.knn_with_scratch(
-                    &queries[qi],
+                let stats = knn_query_major(
+                    shard.index.as_batch_tree(),
+                    blocks[bi],
                     k,
                     self.scheme.as_ref(),
                     &shard.raws,
                     scratch,
                 )?;
-                sapla_obs::lane_counter!("engine.shard.measured", si, stats.measured as u64);
-                sapla_obs::lane_counter!("engine.shard.queries", si, 1);
+                sapla_obs::lane_counter!(
+                    "engine.shard.measured",
+                    si,
+                    stats.iter().map(|s| s.measured as u64).sum::<u64>()
+                );
+                sapla_obs::lane_counter!("engine.shard.queries", si, blocks[bi].len() as u64);
                 Ok(stats)
             })?;
         let mut out = Vec::with_capacity(queries.len());
@@ -345,7 +349,9 @@ impl Engine {
         for qi in 0..queries.len() {
             merged.clear();
             let mut measured = 0usize;
-            for (si, stats) in partials[qi * n_shards..(qi + 1) * n_shards].iter().enumerate() {
+            let (bi, off) = (qi / block, qi % block);
+            for si in 0..n_shards {
+                let stats = &partials[bi * n_shards + si][off];
                 measured += stats.measured;
                 for (&d, &local) in stats.distances.iter().zip(&stats.retrieved) {
                     merged.push((d, local * n_shards + si));

@@ -220,9 +220,77 @@ impl Default for KnnHeap {
     }
 }
 
+/// Per-query memo of squared hull-representative distances, keyed by
+/// entry id. DBCH node bounds fully evaluate the representation
+/// distance against the two hull representatives of every node they
+/// score, and the same entries recur — an internal hull's
+/// representatives are drawn from its children's, and every hull
+/// representative is also an ordinary leaf entry. Caching the
+/// **squared** distance lets each re-use return the identical value:
+/// the distance is `sq.sqrt()` everywhere, the filter decision reduces
+/// to `sq.sqrt() <= threshold` on the exact full square (early
+/// abandoning only prunes candidates whose full square exceeds the
+/// bound — the Eq. 12 terms are clamped ≥ 0, so partial sums are
+/// monotone), and square-rooting the cached square is bit-for-bit the
+/// fresh evaluation. Caching the root instead would *not* round-trip.
+///
+/// Only schemes that return a square from
+/// [`crate::scheme::Scheme::rep_dist_sq_with`] participate; for others
+/// the memo stays empty and every path takes the stock evaluation.
+#[derive(Debug, Default)]
+pub(crate) struct HullMemo {
+    // Squared distance per entry id; NaN ⇒ not recorded.
+    sq: Vec<f64>,
+    touched: Vec<usize>,
+}
+
+impl HullMemo {
+    /// The memoised squared distance for entry `id`, if recorded.
+    pub fn get(&self, id: usize) -> Option<f64> {
+        match self.sq.get(id) {
+            Some(v) if !v.is_nan() => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Replay a leaf-filter decision from the memo: `Some(kept)` when
+    /// entry `id` is recorded, where `kept` is exactly what the
+    /// scheme's pruned evaluation would decide (`d = sq.sqrt()`, kept
+    /// iff `d <= threshold`).
+    pub fn filter(&self, id: usize, threshold: f64) -> Option<Option<f64>> {
+        let sq = self.get(id)?;
+        let d = sq.sqrt();
+        Some((d <= threshold).then_some(d))
+    }
+
+    /// Record the squared distance for entry `id`. First write wins —
+    /// the square is a pure function of (query, entry), so any repeat
+    /// is bitwise the stored value anyway. A NaN square is stored but
+    /// never returned by [`HullMemo::get`]; re-evaluation reproduces it.
+    // audit: no_alloc — grows to the largest entry id once, then reuses.
+    pub fn insert(&mut self, id: usize, sq: f64) {
+        if id >= self.sq.len() {
+            self.sq.resize(id + 1, f64::NAN);
+        }
+        if self.sq[id].is_nan() {
+            self.sq[id] = sq;
+            self.touched.push(id);
+        }
+    }
+
+    /// Forget every recorded entry in O(recorded), keeping allocations.
+    pub fn clear(&mut self) {
+        for &id in &self.touched {
+            self.sq[id] = f64::NAN;
+        }
+        self.touched.clear();
+    }
+}
+
 /// Reusable per-search buffers for [`DbchTree::knn_with_scratch`]
 /// (`DbchTree` is in [`crate::dbch`]): the candidate heap, the best-first
-/// node queue, and the `Dist_PAR` partition buffer. One instance per
+/// node queue, the `Dist_PAR` partition buffer, and the per-query
+/// [`HullMemo`]. One instance per
 /// worker turns steady-state k-NN into an allocation-free loop, which is
 /// what the parallel multi-query engine in [`crate::parallel`] relies on.
 ///
@@ -240,6 +308,7 @@ pub struct KnnScratch {
     pub(crate) nodes:
         std::collections::BinaryHeap<std::cmp::Reverse<(sapla_core::OrdF64, usize, usize)>>,
     pub(crate) dist: sapla_distance::ParScratch,
+    pub(crate) hull: HullMemo,
 }
 
 impl KnnScratch {
@@ -252,6 +321,7 @@ impl KnnScratch {
     pub(crate) fn reset(&mut self, k: usize) -> &mut Self {
         self.results.reset(k);
         self.nodes.clear();
+        self.hull.clear();
         self
     }
 }

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub(crate) mod batched;
 pub mod dbch;
 pub mod engine;
 pub mod knn;
@@ -34,11 +35,14 @@ pub mod scheme;
 pub(crate) mod soa;
 pub mod stats;
 
+pub use batched::DEFAULT_QUERY_BLOCK;
 pub use dbch::{DbchTree, NodeDistRule};
 pub use engine::{Engine, EngineConfig, TreeKind};
 pub use knn::{KnnScratch, SearchStats};
-pub use linear_scan::{filtered_scan_knn, linear_scan_knn, linear_scan_range};
-pub use parallel::{ingest_parallel, knn_batch, prepare_queries, BatchStats};
+pub use linear_scan::{
+    filtered_scan_knn, filtered_scan_knn_batch, linear_scan_knn, linear_scan_range,
+};
+pub use parallel::{ingest_parallel, knn_batch, knn_batch_with_block, prepare_queries, BatchStats};
 pub use rect::HyperRect;
 pub use rtree::RTree;
 pub use scheme::{scheme_for, Query, Scheme};

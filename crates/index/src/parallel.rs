@@ -9,10 +9,14 @@
 //!   order-dependent, and keeping it sequential makes the parallel tree
 //!   structurally identical to the sequential one.
 //! * **Multi-query k-NN** — each search only reads the tree, so
-//!   [`knn_batch`] fans queries out across workers. Every worker owns a
-//!   [`KnnScratch`] (candidate heap, node queue, `Dist_PAR` partition
-//!   buffer) created once and reused for all its queries, and batch-wide
-//!   counters aggregate lock-free over atomics while the searches run.
+//!   [`knn_batch`] chunks queries into contiguous blocks and fans the
+//!   blocks out across workers; each block runs through the query-major
+//!   co-scheduled driver ([`crate::batched`]), which evaluates every
+//!   query that reaches a leaf in the same round back-to-back while the
+//!   leaf's SoA block is cache-hot. Every worker owns the block driver's
+//!   scratch (per-query [`crate::knn::KnnScratch`]es, pending pairs)
+//!   created once and reused for all its blocks, and batch-wide counters
+//!   aggregate lock-free over atomics while the searches run.
 //!
 //! Both paths return **bit-for-bit** the sequential results for any
 //! thread count: output order is input order, scratch reuse does not
@@ -25,8 +29,9 @@ use sapla_baselines::{reduce_batch_parallel, ReduceScratch, Reducer};
 use sapla_core::{Result, TimeSeries};
 use sapla_parallel::par_try_map_init;
 
+use crate::batched::{knn_query_major, BlockScratch, DEFAULT_QUERY_BLOCK};
 use crate::dbch::{DbchTree, NodeDistRule};
-use crate::knn::{KnnScratch, SearchStats};
+use crate::knn::SearchStats;
 use crate::scheme::{Query, Scheme};
 
 /// Batch-wide search counters, aggregated lock-free (atomic adds from
@@ -100,13 +105,16 @@ pub fn prepare_queries(
 }
 
 /// Answer many k-NN queries against one tree on up to `threads`
-/// work-stealing workers (`0` = the hardware count).
+/// work-stealing workers (`0` = the hardware count), with the default
+/// query-major block size ([`DEFAULT_QUERY_BLOCK`]).
 ///
 /// Per-query results come back in query order and are **bit-for-bit**
 /// what a sequential [`DbchTree::knn`] loop returns — searches are
-/// read-only and per-worker [`KnnScratch`] reuse does not perturb
-/// distances. The returned [`BatchStats`] is aggregated lock-free while
-/// the batch runs and always equals the sum over the per-query stats.
+/// read-only, per-worker scratch reuse does not perturb distances, and
+/// the query-major co-scheduling only reorders *which query runs next*,
+/// never a query's own operation sequence (see [`crate::batched`]). The
+/// returned [`BatchStats`] is aggregated lock-free while the batch runs
+/// and always equals the sum over the per-query stats.
 ///
 /// # Errors
 ///
@@ -119,13 +127,39 @@ pub fn knn_batch(
     raws: &[TimeSeries],
     threads: usize,
 ) -> Result<(Vec<SearchStats>, BatchStats)> {
+    knn_batch_with_block(tree, queries, k, scheme, raws, threads, DEFAULT_QUERY_BLOCK)
+}
+
+/// [`knn_batch`] with an explicit query-major block size: queries are
+/// chunked into contiguous blocks of `query_block` (≥ 1), each block is
+/// answered by [`crate::batched`]'s round-based co-scheduled driver on
+/// one worker, and blocks fan out over the work-stealing engine.
+/// `query_block = 1` degenerates to query-at-a-time; results are
+/// bit-identical at every block size and thread count (the perf harness
+/// sweeps 1/4/16).
+///
+/// # Errors
+///
+/// Propagates the earliest (by query order) search failure.
+#[allow(clippy::too_many_arguments)] // knn_batch + the block-size knob
+pub fn knn_batch_with_block(
+    tree: &DbchTree,
+    queries: &[Query],
+    k: usize,
+    scheme: &dyn Scheme,
+    raws: &[TimeSeries],
+    threads: usize,
+    query_block: usize,
+) -> Result<(Vec<SearchStats>, BatchStats)> {
     let _span = sapla_obs::span!("index.knn_batch");
     let measured = AtomicUsize::new(0);
-    let per_query = par_try_map_init(queries, threads, KnnScratch::new, |scratch, _, q| {
-        let stats = tree.knn_with_scratch(q, k, scheme, raws, scratch)?;
-        measured.fetch_add(stats.measured, Ordering::Relaxed);
+    let chunks: Vec<&[Query]> = queries.chunks(query_block.max(1)).collect();
+    let per_chunk = par_try_map_init(&chunks, threads, BlockScratch::new, |scratch, _, &chunk| {
+        let stats = knn_query_major(tree, chunk, k, scheme, raws, scratch)?;
+        measured.fetch_add(stats.iter().map(|s| s.measured).sum(), Ordering::Relaxed);
         Ok(stats)
     })?;
+    let per_query: Vec<SearchStats> = per_chunk.into_iter().flatten().collect();
     let batch = BatchStats {
         queries: queries.len(),
         measured: measured.into_inner(),
@@ -137,6 +171,7 @@ pub fn knn_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::knn::KnnScratch;
     use crate::scheme::scheme_for;
     use sapla_baselines::SaplaReducer;
     use sapla_core::Error;
@@ -218,6 +253,39 @@ mod tests {
             assert_eq!(batch.queries, queries.len());
             assert_eq!(batch.candidates, queries.len() * tree.len());
             assert!(batch.pruning_power() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn query_block_size_never_changes_results() {
+        let raws = dataset(60, 64);
+        let reducer = SaplaReducer::new();
+        let scheme = scheme_for("SAPLA").unwrap();
+        let tree =
+            ingest_parallel(scheme.as_ref(), &reducer, &raws, 12, 2, 5, NodeDistRule::Paper, 2)
+                .unwrap();
+        let queries = prepare_queries(&raws[..17], &reducer, 12, 2).unwrap();
+        let sequential: Vec<SearchStats> =
+            queries.iter().map(|q| tree.knn(q, 5, scheme.as_ref(), &raws).unwrap()).collect();
+        for block in [1usize, 4, 16, 64] {
+            for threads in [1usize, 2, 4, 7] {
+                let (per_query, _) = knn_batch_with_block(
+                    &tree,
+                    &queries,
+                    5,
+                    scheme.as_ref(),
+                    &raws,
+                    threads,
+                    block,
+                )
+                .unwrap();
+                assert_eq!(per_query, sequential, "block = {block}, threads = {threads}");
+                for (p, s) in per_query.iter().zip(&sequential) {
+                    for (pd, sd) in p.distances.iter().zip(&s.distances) {
+                        assert_eq!(pd.to_bits(), sd.to_bits(), "block = {block}");
+                    }
+                }
+            }
         }
     }
 

@@ -628,7 +628,7 @@ impl RTree {
     ) -> Result<SearchStats> {
         debug_assert_eq!(raws.len(), self.reps.len());
         scratch.reset(k);
-        let KnnScratch { results, nodes: heap, dist } = scratch;
+        let KnnScratch { results, nodes: heap, dist, hull } = scratch;
         let mut tally = SearchTally::default();
         let use_soa = scheme.supports_par_plan() && q.plan.is_some();
         if !self.is_empty() {
@@ -655,59 +655,14 @@ impl RTree {
                     }
                 }
                 NodeKind::Leaf(entries) => {
-                    tally.consider(entries.len());
                     let block = self
                         .blocks
                         .get(nid)
                         .filter(|b| use_soa && b.is_ok() && b.num_entries() == entries.len());
-                    for (j, &e) in entries.iter().enumerate() {
-                        let threshold = results.threshold();
-                        // While the result heap is not yet full the
-                        // threshold is ∞ and no filter can prune, so the
-                        // representation distance is skipped outright —
-                        // the keep-decision is identical (`d ≤ ∞`).
-                        // Strict-invariants builds still evaluate it to
-                        // keep the lb ≤ exact audit on every candidate.
-                        let skip_filter =
-                            threshold.is_infinite() && !cfg!(feature = "strict-invariants");
-                        let kept = if skip_filter {
-                            Some(f64::INFINITY)
-                        } else {
-                            match block {
-                                Some(b) => {
-                                    scheme.rep_dist_pruned_soa(q, b.entry(j)?, threshold, dist)?
-                                }
-                                None => {
-                                    scheme.rep_dist_pruned(q, &self.reps[e], threshold, dist)?
-                                }
-                            }
-                        };
-                        if kept.is_some() {
-                            tally.measure();
-                            // Early-abandoning refinement: an abandoned
-                            // candidate has exact > threshold *strictly*
-                            // (the safe_sq_bound slack absorbs the t²
-                            // rounding), so pushing it would pop it
-                            // straight back out — skipping the push
-                            // leaves the heap bit-identical.
-                            match euclidean_early_abandon(
-                                &q.raw,
-                                &raws[e],
-                                safe_sq_bound(results.threshold()),
-                            )? {
-                                Some(exact) => {
-                                    #[cfg(feature = "strict-invariants")]
-                                    crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
-                                    results.push(exact, e);
-                                }
-                                // The invariant lb ≤ exact holds here by
-                                // construction: lb ≤ threshold < exact.
-                                None => sapla_obs::counter!("index.knn.refine_abandoned"),
-                            }
-                        } else {
-                            tally.prune();
-                        }
-                    }
+                    crate::batched::eval_leaf_entries(
+                        q, scheme, raws, &self.reps, entries, block, results, dist, hull,
+                        &mut tally,
+                    )?;
                 }
             }
         }
@@ -726,7 +681,43 @@ impl RTree {
         self.walk(self.root, 1, &mut shape);
         shape
     }
+}
 
+impl crate::batched::BatchTree for RTree {
+    fn root(&self) -> usize {
+        self.root
+    }
+    fn is_empty(&self) -> bool {
+        RTree::is_empty(self)
+    }
+    fn reps(&self) -> &[Representation] {
+        &self.reps
+    }
+    fn node_view(&self, nid: usize) -> crate::batched::NodeView<'_> {
+        match &self.nodes[nid].kind {
+            NodeKind::Internal(c) => crate::batched::NodeView::Internal(c),
+            NodeKind::Leaf(e) => crate::batched::NodeView::Leaf(e),
+        }
+    }
+    fn leaf_block(&self, nid: usize, n_entries: usize) -> Option<&LeafBlock> {
+        self.blocks.get(nid).filter(|b| b.is_ok() && b.num_entries() == n_entries)
+    }
+    fn node_bound(
+        &self,
+        q: &Query,
+        scheme: &dyn Scheme,
+        nid: usize,
+        _dist: &mut sapla_distance::ParScratch,
+        // MINDIST bounds come from rectangles, not entry distances —
+        // nothing to memoise; the memo stays empty and the leaf filter
+        // always takes the stock evaluation.
+        _memo: &mut crate::knn::HullMemo,
+    ) -> Result<f64> {
+        scheme.mindist(q, &self.nodes[nid].rect)
+    }
+}
+
+impl RTree {
     fn walk(&self, node: usize, depth: usize, shape: &mut TreeShape) {
         shape.height = shape.height.max(depth);
         match &self.nodes[node].kind {

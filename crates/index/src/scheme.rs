@@ -113,6 +113,25 @@ pub trait Scheme: Send + Sync {
         self.rep_dist(q, rep)
     }
 
+    /// [`Scheme::rep_dist_with`] plus its memoisable squared form.
+    /// Schemes that compute the distance as `sq.sqrt()` over an exact
+    /// squared accumulation return `(sq.sqrt(), Some(sq))` and promise
+    /// that **every** filter decision ([`Scheme::rep_dist_pruned`] /
+    /// [`Scheme::rep_dist_pruned_soa`]) is equivalent to
+    /// `sq.sqrt() <= threshold` with kept value `sq.sqrt()` — that lets
+    /// callers cache `sq` per (query, entry) and replay later
+    /// evaluations of the same pair bitwise (the DBCH hull memo in
+    /// [`crate::knn`]). The default returns no square, which disables
+    /// such caching.
+    fn rep_dist_sq_with(
+        &self,
+        q: &Query,
+        rep: &Representation,
+        scratch: &mut sapla_distance::ParScratch,
+    ) -> Result<(f64, Option<f64>)> {
+        Ok((self.rep_dist_with(q, rep, scratch)?, None))
+    }
+
     /// Whether this scheme's leaf refinement can run the query-compiled
     /// `Dist_PAR` kernels over SoA candidate blocks (when the query
     /// carries a plan). Trees consult this before taking the
@@ -285,13 +304,27 @@ impl Scheme for AdaptiveLinearScheme {
         rep: &Representation,
         scratch: &mut sapla_distance::ParScratch,
     ) -> Result<f64> {
+        self.rep_dist_sq_with(q, rep, scratch).map(|(d, _)| d)
+    }
+
+    // `Dist_PAR` is `sq.sqrt()` in every path, the planned filters
+    // decide via `keep_below` (abandon ⟺ full square > bound, by the
+    // monotone ≥ 0 Eq. 12 terms), and the unplanned filter compares
+    // `sq.sqrt() <= threshold` directly — so the square is memoisable
+    // per the trait contract.
+    fn rep_dist_sq_with(
+        &self,
+        q: &Query,
+        rep: &Representation,
+        scratch: &mut sapla_distance::ParScratch,
+    ) -> Result<(f64, Option<f64>)> {
         let cand = expect_linear(rep)?;
         let sq = match &q.plan {
             // Planned, no abandoning: bit-identical to the unplanned walk.
             Some(plan) => dist_par_sq_planned(plan, cand, scratch, f64::INFINITY)?,
             None => dist_par_sq_with(scratch, expect_linear(&q.rep)?, cand)?,
         };
-        Ok(sq.sqrt())
+        Ok((sq.sqrt(), Some(sq)))
     }
 
     fn supports_par_plan(&self) -> bool {

@@ -45,8 +45,15 @@ serve-smoke:
     cargo test -q -p sapla-serve --features strict-invariants
     cargo test -q -p sapla-cli --test cli serve
 
+# SIMD dispatch safety net: the whole suite pinned to the scalar
+# kernels through the env override (the bit-identity contract means no
+# result may change), then the quick perf grid with dispatch disabled.
+simd-off:
+    SAPLA_SIMD=off cargo test -q
+    cargo bench -p sapla-bench --bench perf_json -- --quick --no-simd
+
 # The full pre-merge gate.
-ci: tier1 lint audit obs serve-smoke
+ci: tier1 lint audit obs serve-smoke simd-off
 
 # Regenerate every paper table/figure (slow; see EXPERIMENTS.md).
 bench:
