@@ -86,7 +86,7 @@ pub fn parse(source: &str) -> Result<Vec<AllowEntry>, Vec<String>> {
         };
 
     for (idx, raw) in source.lines().enumerate() {
-        let lineno = idx as u32 + 1;
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;

@@ -1,0 +1,381 @@
+//! Block structure over the token stream: the layer between the lexer
+//! and the block-sensitive lints.
+//!
+//! The PR-3 lints work on a flat token stream with ad-hoc brace
+//! matching, which is enough for "is there a SAFETY comment above this
+//! token" but not for questions like *which function does this
+//! `get_unchecked` live in* or *is this `Condvar::wait` inside a loop*.
+//! This module builds, in one pass, a tree of `{ … }` blocks (with
+//! parent links and a loop/other classification) and a list of `fn`
+//! items (with their modifiers, attributes, and body block), then
+//! answers containment queries over token indices.
+//!
+//! It is still not a parser — generics, patterns and expressions are
+//! never analysed. The only structural facts extracted are the ones
+//! brace/bracket matching can establish exactly:
+//!
+//! * every `{` / `}` pair, its nesting parent, and whether the block is
+//!   the body of a `loop` / `while` / `for` (found by scanning backwards
+//!   from the `{` to the start of its statement);
+//! * every `fn` item: name, whether the token run between its leading
+//!   attributes and the `fn` keyword contains `unsafe`, whether any
+//!   attribute mentions `target_feature`, the token index where its
+//!   leading comments/attributes begin (so lints can search contract
+//!   comments), and its body block if it has one;
+//! * every `unsafe` token introducing an `unsafe { … }` block.
+
+use crate::lexer::{Tok, TokKind};
+
+/// How a `{ … }` block is introduced, as far as the lints care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Body of `loop`, `while`, `while let` or `for` — the kinds of
+    /// block whose re-entry re-checks a predicate.
+    Loop,
+    /// Anything else: fn bodies, `if`/`else`/`match` arms, `unsafe`
+    /// blocks, plain scopes, struct literals, …
+    Other,
+}
+
+/// One `{ … }` pair.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Token index of the `{`.
+    pub open: usize,
+    /// Token index of the matching `}` (or the last token of the file
+    /// when unbalanced — the lexer tolerates syntax errors, so we do
+    /// too).
+    pub close: usize,
+    /// Index into [`BlockTree::blocks`] of the enclosing block.
+    pub parent: Option<usize>,
+    /// Loop body or not.
+    pub kind: BlockKind,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name (`?` for `fn` tokens without one, which a
+    /// valid file never has).
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token index where the item's leading comments/attributes start —
+    /// the left edge for "is there a contract comment on this fn".
+    pub lead_start: usize,
+    /// Index into [`BlockTree::blocks`] of the body, `None` for trait
+    /// method declarations (`fn f();`).
+    pub body: Option<usize>,
+    /// `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Carries a `#[target_feature(…)]` attribute.
+    pub target_feature: bool,
+}
+
+/// The block structure of one file.
+#[derive(Debug, Default)]
+pub struct BlockTree {
+    /// All blocks, in order of their `{` token.
+    pub blocks: Vec<Block>,
+    /// All `fn` items, in order of their `fn` token.
+    pub fns: Vec<FnItem>,
+    /// Token indices of `unsafe` tokens that introduce `unsafe { … }`
+    /// blocks (not `unsafe fn` / `unsafe impl` / `unsafe trait`).
+    pub unsafe_blocks: Vec<usize>,
+}
+
+impl BlockTree {
+    /// Build the tree for a lexed file.
+    pub fn build(toks: &[Tok]) -> Self {
+        let mut tree = BlockTree::default();
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_punct("{") {
+                let kind = block_kind(toks, i);
+                tree.blocks.push(Block {
+                    open: i,
+                    close: toks.len().saturating_sub(1),
+                    parent: stack.last().copied(),
+                    kind,
+                });
+                stack.push(tree.blocks.len() - 1);
+            } else if t.is_punct("}") {
+                if let Some(b) = stack.pop() {
+                    tree.blocks[b].close = i;
+                }
+            } else if t.is_ident("fn") {
+                tree.push_fn(toks, i);
+            } else if t.is_ident("unsafe") {
+                let next = toks[i + 1..].iter().find(|n| n.kind != TokKind::Comment);
+                if next.is_some_and(|n| n.is_punct("{")) {
+                    tree.unsafe_blocks.push(i);
+                }
+            }
+        }
+        // Attach fn bodies: the first block whose `{` follows the `fn`
+        // token before any `;` at the item's level. The signature scan
+        // in `push_fn` recorded the body `{` index; resolve it here.
+        for f in &mut tree.fns {
+            if let Some(open) = f.body {
+                f.body = tree.blocks.iter().position(|b| b.open == open);
+            }
+        }
+        tree
+    }
+
+    fn push_fn(&mut self, toks: &[Tok], fn_idx: usize) {
+        let name = toks
+            .get(fn_idx + 1)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map_or_else(|| "?".to_string(), |t| t.text.clone());
+        // Walk backwards over modifiers, attributes and comments to the
+        // item's left edge, noting `unsafe` and `#[target_feature]`.
+        let mut is_unsafe = false;
+        let mut target_feature = false;
+        let mut lead_start = fn_idx;
+        let mut k = fn_idx;
+        while k > 0 {
+            let t = &toks[k - 1];
+            let keep = match t.kind {
+                TokKind::Comment => true,
+                TokKind::Str => true, // extern "C"
+                TokKind::Ident => matches!(
+                    t.text.as_str(),
+                    "pub"
+                        | "crate"
+                        | "in"
+                        | "super"
+                        | "self"
+                        | "const"
+                        | "async"
+                        | "unsafe"
+                        | "extern"
+                        | "default"
+                ),
+                TokKind::Punct => t.text == "(" || t.text == ")" || t.text == "]",
+                _ => false,
+            };
+            if !keep {
+                break;
+            }
+            if t.is_ident("unsafe") {
+                is_unsafe = true;
+            }
+            if t.is_punct("]") {
+                // Swallow the whole attribute, checking its contents.
+                let mut depth = 1usize;
+                let mut j = k - 1;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if toks[j].is_punct("]") {
+                        depth += 1;
+                    } else if toks[j].is_punct("[") {
+                        depth -= 1;
+                    }
+                }
+                if toks[j..k].iter().any(|a| a.is_ident("target_feature")) {
+                    target_feature = true;
+                }
+                if j > 0 && toks[j - 1].is_punct("#") {
+                    j -= 1;
+                }
+                k = j;
+                lead_start = k;
+                continue;
+            }
+            k -= 1;
+            lead_start = k;
+        }
+        // Forward scan for the body `{` or the declaration's `;`,
+        // skipping bracketed groups so array types in the signature
+        // (`[f64; 4]`) don't end the item early. Signatures contain no
+        // braces in this codebase (no const-expr default generics), so
+        // the first top-level `{` / `;` decides.
+        let mut body = None;
+        let mut depth = 0usize;
+        for (j, t) in toks.iter().enumerate().skip(fn_idx) {
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth = depth.saturating_sub(1);
+            } else if depth == 0 && t.is_punct(";") {
+                break;
+            } else if depth == 0 && t.is_punct("{") {
+                body = Some(j); // resolved to a block index in `build`
+                break;
+            }
+        }
+        self.fns.push(FnItem { name, fn_tok: fn_idx, lead_start, body, is_unsafe, target_feature });
+    }
+
+    /// Index of the innermost block containing token `tok`, if any.
+    pub fn innermost(&self, tok: usize) -> Option<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.open < tok && tok <= b.close)
+            .max_by_key(|(_, b)| b.open)
+            .map(|(i, _)| i)
+    }
+
+    /// Index (into `fns`) of the innermost fn whose body contains `tok`.
+    pub fn enclosing_fn(&self, tok: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.body
+                    .and_then(|b| self.blocks.get(b))
+                    .is_some_and(|b| b.open < tok && tok <= b.close)
+            })
+            .max_by_key(|(_, f)| f.fn_tok)
+            .map(|(i, _)| i)
+    }
+
+    /// True when token `tok` sits inside a loop body without leaving the
+    /// body of fn `f` (loops in *enclosing* fns don't count: a closure's
+    /// `wait` inside an outer loop is still not predicate-checked).
+    pub fn in_loop_within_fn(&self, tok: usize, f: usize) -> bool {
+        let Some(body) = self.fns.get(f).and_then(|f| f.body) else {
+            return false;
+        };
+        let mut cur = self.innermost(tok);
+        while let Some(b) = cur {
+            if self.blocks[b].kind == BlockKind::Loop {
+                return true;
+            }
+            if b == body {
+                return false;
+            }
+            cur = self.blocks[b].parent;
+        }
+        false
+    }
+}
+
+/// Classify the block opened at token `open` by walking backwards to
+/// the start of its controlling statement. Stops at statement
+/// boundaries (`;`, `{`, `}`, `=>`) and at the first control keyword;
+/// bracketed groups (`(…)`, `[…]`) are skipped whole so `while
+/// pred(a, b) {` and `for x in v[..n] {` classify on the keyword, not
+/// their contents.
+fn block_kind(toks: &[Tok], open: usize) -> BlockKind {
+    let mut k = open;
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        match t.kind {
+            TokKind::Comment => {}
+            TokKind::Punct => match t.text.as_str() {
+                ";" | "{" | "}" | "=>" => return BlockKind::Other,
+                ")" | "]" => {
+                    let close_sym = t.text.clone();
+                    let open_sym = if close_sym == ")" { "(" } else { "[" };
+                    let mut depth = 1usize;
+                    while k > 0 && depth > 0 {
+                        k -= 1;
+                        if toks[k].is_punct(&close_sym) {
+                            depth += 1;
+                        } else if toks[k].is_punct(open_sym) {
+                            depth -= 1;
+                        }
+                    }
+                }
+                _ => {}
+            },
+            TokKind::Ident => match t.text.as_str() {
+                "loop" | "while" | "for" => return BlockKind::Loop,
+                "if" | "else" | "match" | "unsafe" | "async" | "move" | "try" => {
+                    return BlockKind::Other
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    BlockKind::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fn_items_and_bodies() {
+        let toks = lex("/// docs\n#[inline]\npub unsafe fn danger(x: usize) -> usize { x }\n\
+             fn plain() {}\ntrait T { fn decl(&self); }\n");
+        let tree = BlockTree::build(&toks);
+        let names: Vec<&str> = tree.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["danger", "plain", "decl"]);
+        assert!(tree.fns[0].is_unsafe && !tree.fns[1].is_unsafe);
+        assert!(tree.fns[0].body.is_some());
+        assert!(tree.fns[2].body.is_none());
+        // The lead of `danger` reaches back over the attribute and doc.
+        assert_eq!(tree.fns[0].lead_start, 0);
+    }
+
+    #[test]
+    fn target_feature_detection() {
+        let toks = lex("#[inline]\n#[target_feature(enable = \"avx2\")]\nfn fast() {}\n\
+             #[cold]\nfn slow() {}\n");
+        let tree = BlockTree::build(&toks);
+        assert!(tree.fns[0].target_feature);
+        assert!(!tree.fns[1].target_feature);
+    }
+
+    #[test]
+    fn loop_kinds() {
+        let src = "fn f(v: Vec<u32>) {\n\
+                   loop { body(); }\n\
+                   while cond(a, b) { body(); }\n\
+                   while let Some(x) = it.next() { body(); }\n\
+                   for x in v[..n].iter() { body(); }\n\
+                   if c { body(); }\n\
+                   match x { _ => { body(); } }\n\
+                   let s = Foo { a: 1 };\n\
+                   }\n";
+        let toks = lex(src);
+        let tree = BlockTree::build(&toks);
+        let loops = tree.blocks.iter().filter(|b| b.kind == BlockKind::Loop).count();
+        assert_eq!(loops, 4, "loop/while/while-let/for and nothing else");
+    }
+
+    #[test]
+    fn containment_queries() {
+        let src = "fn outer() { loop { inner_tok(); } }\nfn flat() { other_tok(); }\n";
+        let toks = lex(src);
+        let tree = BlockTree::build(&toks);
+        let inner = toks.iter().position(|t| t.is_ident("inner_tok")).unwrap();
+        let other = toks.iter().position(|t| t.is_ident("other_tok")).unwrap();
+        let f0 = tree.enclosing_fn(inner).unwrap();
+        assert_eq!(tree.fns[f0].name, "outer");
+        assert!(tree.in_loop_within_fn(inner, f0));
+        let f1 = tree.enclosing_fn(other).unwrap();
+        assert_eq!(tree.fns[f1].name, "flat");
+        assert!(!tree.in_loop_within_fn(other, f1));
+    }
+
+    #[test]
+    fn unsafe_blocks_are_attributed() {
+        let src = "unsafe fn f() { unsafe { raw(); } }\nunsafe impl Send for X {}\n";
+        let toks = lex(src);
+        let tree = BlockTree::build(&toks);
+        assert_eq!(tree.unsafe_blocks.len(), 1);
+        let f = tree.enclosing_fn(tree.unsafe_blocks[0]).unwrap();
+        assert_eq!(tree.fns[f].name, "f");
+    }
+
+    #[test]
+    fn loop_in_enclosing_fn_does_not_count() {
+        // A nested fn inside a loop: its tokens are in the loop block
+        // textually, but not within the nested fn's own loop.
+        let src = "fn outer() { loop { fn nested() { tok(); } } }\n";
+        let toks = lex(src);
+        let tree = BlockTree::build(&toks);
+        let tok = toks.iter().position(|t| t.is_ident("tok")).unwrap();
+        let f = tree.enclosing_fn(tok).unwrap();
+        assert_eq!(tree.fns[f].name, "nested");
+        assert!(!tree.in_loop_within_fn(tok, f));
+    }
+}

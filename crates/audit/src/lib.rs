@@ -3,27 +3,33 @@
 //!
 //! Two subsystems:
 //!
-//! 1. **Lint pass** ([`lexer`], [`lints`], [`allowlist`], [`walk`],
-//!    [`run_audit`]): a dependency-free, hand-rolled Rust lexer drives
-//!    four project-specific lints over every `crates/*/src/**/*.rs`
-//!    file. Violations must be fixed or allowlisted in `audit.toml`
-//!    with a one-line justification; the `sapla-audit` binary exits
-//!    nonzero on any unallowlisted finding *or* any stale allowlist
-//!    entry, and CI runs it as a blocking gate (`just audit`).
+//! 1. **Lint pass** ([`lexer`], [`block`], [`lints`], [`lock_order`],
+//!    [`allowlist`], [`walk`], [`run_audit`]): a dependency-free,
+//!    hand-rolled Rust lexer plus a brace-tree/item parser drive seven
+//!    project-specific lints over every `crates/*/src/**/*.rs` file —
+//!    six per-file ([`lints`]) and one cross-file lock-acquisition
+//!    analysis ([`lock_order`]). Violations must be fixed or
+//!    allowlisted in `audit.toml` with a one-line justification; the
+//!    `sapla-audit` binary exits nonzero on any unallowlisted finding
+//!    *or* any stale allowlist entry, and CI runs it as a blocking
+//!    gate (`just audit`).
 //!
 //! 2. **Interleaving explorer** (in `sapla-parallel`'s `model` module,
 //!    behind its `audit-model` feature; exercised by this crate's
-//!    `tests/model.rs`): a deterministic scheduler that enumerates
-//!    interleavings of the work-stealing deque protocol with bounded
-//!    preemptions, asserting no index is lost, duplicated, or doubly
-//!    claimed, and that every schedule terminates. Any failing
+//!    `tests/model.rs` and `tests/model_serve.rs`): a deterministic
+//!    scheduler that enumerates interleavings — of the work-stealing
+//!    deque protocol and, via `model::Mutex`/`model::Condvar` shims
+//!    with spurious-wakeup injection and deadlock detection, of the
+//!    serve admission queue — with bounded preemptions. Any failing
 //!    schedule prints a replayable schedule ID.
 //!
 //! See DESIGN.md, "Static analysis & model checking".
 
 pub mod allowlist;
+pub mod block;
 pub mod lexer;
 pub mod lints;
+pub mod lock_order;
 pub mod walk;
 
 use std::fmt::Write as _;
@@ -118,17 +124,26 @@ pub fn run_audit(root: &Path) -> Result<Report, AuditError> {
 
     let mut report = Report { files: files.len(), ..Report::default() };
     let mut used = vec![false; entries.len()];
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for file in &files {
         let source = fs::read_to_string(&file.abs)
             .map_err(|e| AuditError::Io(format!("read {}: {e}", file.abs.display())))?;
-        for finding in lints::lint_file(&file.rel, &source) {
-            match entries.iter().position(|e| e.matches(&finding)) {
-                Some(idx) => {
-                    used[idx] = true;
-                    report.allowlisted.push((finding, entries[idx].clone()));
-                }
-                None => report.violations.push(finding),
+        sources.push((file.rel.clone(), source));
+    }
+    let mut findings = Vec::new();
+    for (rel, source) in &sources {
+        findings.extend(lints::lint_file(rel, source));
+    }
+    // The lock-acquisition graph is cross-file: an inconsistent order
+    // needs both directions, wherever each lives.
+    findings.extend(lock_order::analyze(&sources));
+    for finding in findings {
+        match entries.iter().position(|e| e.matches(&finding)) {
+            Some(idx) => {
+                used[idx] = true;
+                report.allowlisted.push((finding, entries[idx].clone()));
             }
+            None => report.violations.push(finding),
         }
     }
     report.unused_allows =

@@ -1,7 +1,9 @@
 //! The project lints, run over the token stream of one file at a time.
 //!
-//! Four lints, each encoding a contract the workspace's correctness
-//! story depends on (see DESIGN.md "Static analysis & model checking"):
+//! Six per-file lints, each encoding a contract the workspace's
+//! correctness story depends on (see DESIGN.md "Static analysis &
+//! model checking"; the cross-file `lock-order` lint lives in
+//! [`crate::lock_order`]):
 //!
 //! * `unsafe-safety` — every `unsafe` block or `unsafe impl` must be
 //!   preceded by a `// SAFETY:` comment justifying it. Applies
@@ -16,7 +18,27 @@
 //!   allocating calls (`Vec::new`, `to_vec`, `collect`, `clone`,
 //!   `Box::new`, `format!`, `vec!`, …). This turns the zero-allocation
 //!   contract of the hot reduce/kNN paths into a per-function gate.
+//! * `unsafe-bounds` — block-structured (uses [`crate::block`]): every
+//!   raw memory access inside an `unsafe` block (`get_unchecked`,
+//!   pointer `.add(…)`/`.offset(…)`, `from_raw_parts`, vector
+//!   load/store intrinsics, …) must be covered, in the *same function*,
+//!   by a `debug_assert!`-family bounds check or a comment documenting
+//!   the length invariant (`in bounds`, `len()`, `fixed-size`, …); and
+//!   every `#[target_feature]` fn must either be `unsafe` or carry a
+//!   `SAFETY:` contract comment explaining why safe callers are sound.
+//!   Applies everywhere, including tests.
+//! * `cast-truncate` — narrowing `as` casts in non-test library code
+//!   must become checked `try_from` conversions or carry a justified
+//!   `// audit: cast_ok — <reason>` annotation on the same line or the
+//!   line above. Casts to `u8`/`u16`/`u32`/`i8`/`i16`/`i32`/`f32`
+//!   always count as narrowing; casts to the wide integer types only
+//!   when the source expression shows float evidence (a float literal,
+//!   `f64`/`f32`, or `floor`/`ceil`/`round`/`trunc`/`sqrt`), since
+//!   float→int `as` saturates and silently drops fractions. Known
+//!   false negative: a bare identifier of float type (`qs as usize`)
+//!   carries no token-level evidence and is not flagged.
 
+use crate::block::BlockTree;
 use crate::lexer::{lex, Tok, TokKind};
 
 /// One diagnostic: a lint fired at a source location.
@@ -26,7 +48,8 @@ pub struct Finding {
     pub path: String,
     /// 1-based source line.
     pub line: u32,
-    /// Lint name (`unsafe-safety`, `no-panic`, `float-eq`, `no-alloc`).
+    /// Lint name (`unsafe-safety`, `no-panic`, `float-eq`, `no-alloc`,
+    /// `unsafe-bounds`, `cast-truncate`, `lock-order`).
     pub lint: &'static str,
     /// Human-readable message.
     pub message: String,
@@ -64,6 +87,12 @@ pub fn lint_file(rel_path: &str, source: &str) -> Vec<Finding> {
         }
     }
     lint_no_alloc(rel_path, &toks, &lines, &mut out);
+
+    let tree = BlockTree::build(&toks);
+    lint_unsafe_bounds(rel_path, &toks, &lines, &tree, &mut out);
+    if !exempt_crate {
+        lint_cast_truncate(rel_path, &toks, &lines, &in_test, &mut out);
+    }
 
     out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.lint.cmp(b.lint)));
     out
@@ -388,5 +417,288 @@ fn lint_no_alloc(rel_path: &str, toks: &[Tok], lines: &[&str], out: &mut Vec<Fin
             }
         }
         i = close + 1;
+    }
+}
+
+/// Raw-access names that are method calls on pointers (`p.add(…)`),
+/// requiring a preceding `.` so free functions of the same name don't
+/// fire.
+const RAW_DOT_ONLY: &[&str] = &["add", "offset", "sub", "byte_add", "byte_offset", "byte_sub"];
+/// Raw-access names unambiguous in any call position.
+const RAW_ANYWHERE: &[&str] = &[
+    "get_unchecked",
+    "get_unchecked_mut",
+    "from_raw_parts",
+    "from_raw_parts_mut",
+    "copy_nonoverlapping",
+    "read_unaligned",
+    "write_unaligned",
+    "read_volatile",
+    "write_volatile",
+    "set_len",
+    "assume_init",
+];
+/// Bounds-checking macros whose presence in the enclosing fn counts as
+/// coverage (any of them, invoked with `!`).
+const BOUNDS_ASSERTS: &[&str] =
+    &["debug_assert", "debug_assert_eq", "debug_assert_ne", "assert", "assert_eq", "assert_ne"];
+/// Comment phrases accepted as a documented length invariant.
+const INVARIANT_PHRASES: &[&str] =
+    &["in bounds", "bounds", "len()", "length", "fixed-size", "capacity"];
+
+/// True when token `k` is a raw memory access in call position: a
+/// pointer-offset method, an unchecked accessor, or a SIMD load/store
+/// intrinsic (`_mm*load*`, `vld1q_f64`, …).
+fn raw_access(toks: &[Tok], k: usize) -> Option<&str> {
+    let t = &toks[k];
+    if t.kind != TokKind::Ident || !toks.get(k + 1).is_some_and(|n| n.is_punct("(")) {
+        return None;
+    }
+    let name = t.text.as_str();
+    let after_dot = k > 0 && toks[k - 1].is_punct(".");
+    let intrinsic = (name.starts_with("_mm")
+        && ["load", "store", "gather", "scatter"].iter().any(|op| name.contains(op)))
+        || name.starts_with("vld")
+        || name.starts_with("vst");
+    if (after_dot && RAW_DOT_ONLY.contains(&name)) || RAW_ANYWHERE.contains(&name) || intrinsic {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// `unsafe-bounds`: raw accesses inside `unsafe` blocks need a bounds
+/// check or documented length invariant in the same function, and safe
+/// `#[target_feature]` fns need a `SAFETY:` contract comment.
+fn lint_unsafe_bounds(
+    rel_path: &str,
+    toks: &[Tok],
+    lines: &[&str],
+    tree: &BlockTree,
+    out: &mut Vec<Finding>,
+) {
+    for &u in &tree.unsafe_blocks {
+        // The block this `unsafe` introduces.
+        let Some(open) = (u + 1..toks.len()).find(|&k| toks[k].is_punct("{")) else {
+            continue;
+        };
+        let Some(block) = tree.blocks.iter().find(|b| b.open == open) else {
+            continue;
+        };
+        let raw = (block.open..=block.close).find_map(|k| raw_access(toks, k).map(|n| (k, n)));
+        let Some((raw_tok, raw_name)) = raw else {
+            continue;
+        };
+        // Coverage is searched over the whole enclosing fn, from its
+        // leading comments/attributes to the end of its body; an
+        // `unsafe` block outside any fn falls back to its own extent.
+        let (cover_start, cover_end, fn_name) = match tree.enclosing_fn(u) {
+            Some(f) => {
+                let item = &tree.fns[f];
+                let end = item.body.map_or(block.close, |b| tree.blocks[b].close);
+                (item.lead_start, end, item.name.clone())
+            }
+            None => (u, block.close, "?".to_string()),
+        };
+        let covered = toks[cover_start..=cover_end].iter().enumerate().any(|(off, t)| {
+            let k = cover_start + off;
+            match t.kind {
+                TokKind::Comment => {
+                    let lower = t.text.to_lowercase();
+                    INVARIANT_PHRASES.iter().any(|p| lower.contains(p))
+                }
+                TokKind::Ident => {
+                    BOUNDS_ASSERTS.contains(&t.text.as_str())
+                        && toks.get(k + 1).is_some_and(|n| n.is_punct("!"))
+                }
+                _ => false,
+            }
+        });
+        if !covered {
+            out.push(finding(
+                rel_path,
+                lines,
+                toks[raw_tok].line,
+                "unsafe-bounds",
+                format!(
+                    "raw access `{raw_name}` in `unsafe` block of fn `{fn_name}` with no \
+                     `debug_assert!` bounds check or length-invariant comment in the function"
+                ),
+            ));
+        }
+    }
+    for f in &tree.fns {
+        if !f.target_feature || f.is_unsafe {
+            continue;
+        }
+        let contract = toks[f.lead_start..f.fn_tok]
+            .iter()
+            .any(|t| t.kind == TokKind::Comment && t.text.contains("SAFETY"));
+        if !contract {
+            out.push(finding(
+                rel_path,
+                lines,
+                toks[f.fn_tok].line,
+                "unsafe-bounds",
+                format!(
+                    "safe `#[target_feature]` fn `{}` without a `SAFETY:` contract comment \
+                     explaining why safe callers are sound",
+                    f.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Cast targets that always narrow (from any integer in practical use).
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+/// Wide integer targets: narrowing only from floats, so they are
+/// flagged only when the source expression shows float evidence.
+const WIDE_TARGETS: &[&str] = &["usize", "u64", "u128", "isize", "i64", "i128"];
+/// Method names that mark a source expression as float-valued.
+const FLOAT_EVIDENCE_FNS: &[&str] = &["floor", "ceil", "round", "trunc", "sqrt"];
+
+/// `cast-truncate`: narrowing `as` casts need `try_from` or a justified
+/// `// audit: cast_ok` annotation.
+fn lint_cast_truncate(
+    rel_path: &str,
+    toks: &[Tok],
+    lines: &[&str],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("as") || in_test(i) {
+            continue;
+        }
+        let Some(target) = toks[i + 1..]
+            .iter()
+            .find(|t| t.kind != TokKind::Comment)
+            .filter(|t| t.kind == TokKind::Ident)
+        else {
+            continue;
+        };
+        let target = target.text.as_str();
+        let narrow = NARROW_TARGETS.contains(&target);
+        if !narrow && !WIDE_TARGETS.contains(&target) {
+            continue;
+        }
+        if !narrow {
+            // Wide targets: only float sources narrow. Walk the postfix
+            // chain of the source expression backwards and look for
+            // float evidence anywhere in it (including call arguments).
+            let start = cast_source_start(toks, i);
+            let evidence = toks[start..i].iter().any(|t| {
+                t.kind == TokKind::Float
+                    || (t.kind == TokKind::Ident
+                        && (t.text == "f64"
+                            || t.text == "f32"
+                            || FLOAT_EVIDENCE_FNS.contains(&t.text.as_str())))
+            });
+            if !evidence {
+                continue;
+            }
+        }
+        let lineno = toks[i].line;
+        match cast_annotation(lines, lineno) {
+            Some(true) => {}
+            Some(false) => out.push(finding(
+                rel_path,
+                lines,
+                lineno,
+                "cast-truncate",
+                "`// audit: cast_ok` without a justification — say why the value fits".to_string(),
+            )),
+            None => out.push(finding(
+                rel_path,
+                lines,
+                lineno,
+                "cast-truncate",
+                format!(
+                    "narrowing `as {target}` cast in library code — use `try_from` (existing \
+                     error variants: `TooManyRecords`/`CorruptIndex`) or annotate the line with \
+                     `// audit: cast_ok — <why the value fits>`"
+                ),
+            )),
+        }
+    }
+}
+
+/// Look for an `audit: cast_ok` annotation on `lineno` or in the run
+/// of `//` comment lines directly above it. `Some(true)` = annotated
+/// with a justification, `Some(false)` = annotated but bare, `None` =
+/// no annotation.
+fn cast_annotation(lines: &[&str], lineno: u32) -> Option<bool> {
+    let marker = "audit: cast_ok";
+    let check = |text: &str| {
+        text.find(marker).map(|at| {
+            let reason =
+                text[at + marker.len()..].trim_start_matches([' ', '\t', '-', '—', ':', ',']);
+            reason.trim().len() >= 10
+        })
+    };
+    let at = lineno as usize; // 1-based
+    if let Some(hit) = lines.get(at.wrapping_sub(1)).and_then(|l| check(l)) {
+        return Some(hit);
+    }
+    let mut k = at.wrapping_sub(1); // 0-based index of the line above
+    while k > 0 && lines.get(k - 1).is_some_and(|l| l.trim_start().starts_with("//")) {
+        k -= 1;
+        if let Some(hit) = check(lines[k]) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+/// Token index where the postfix chain of the expression ending just
+/// before the `as` at `as_idx` begins. Walks left over `expr.method(…)`
+/// / `path::seg` / `x[i]` / `(grouped)` links; the returned range is
+/// only used to scan for float evidence, so over-shooting into a
+/// receiver is harmless and under-shooting (stopping at an operator)
+/// only loses evidence the operator's operand would carry anyway.
+fn cast_source_start(toks: &[Tok], as_idx: usize) -> usize {
+    let prev = |from: usize| (0..from).rev().find(|&k| toks[k].kind != TokKind::Comment);
+    let Some(mut i) = prev(as_idx) else {
+        return as_idx;
+    };
+    loop {
+        let t = &toks[i];
+        if t.is_punct(")") || t.is_punct("]") {
+            // Jump to the matching opener, then keep following the
+            // chain through a callee/receiver before it.
+            let close_sym = t.text.clone();
+            let open_sym = if close_sym == ")" { "(" } else { "[" };
+            let mut depth = 1usize;
+            let mut j = i;
+            while j > 0 && depth > 0 {
+                j -= 1;
+                if toks[j].is_punct(&close_sym) {
+                    depth += 1;
+                } else if toks[j].is_punct(open_sym) {
+                    depth -= 1;
+                }
+            }
+            match prev(j) {
+                Some(p)
+                    if toks[p].kind == TokKind::Ident
+                        || toks[p].is_punct(")")
+                        || toks[p].is_punct("]") =>
+                {
+                    i = p;
+                }
+                _ => return j,
+            }
+        } else if matches!(t.kind, TokKind::Ident | TokKind::Int | TokKind::Float) {
+            match prev(i) {
+                Some(p) if toks[p].is_punct(".") || toks[p].is_punct("::") => match prev(p) {
+                    Some(q) => i = q,
+                    None => return p,
+                },
+                _ => return i,
+            }
+        } else {
+            return i + 1;
+        }
     }
 }

@@ -1,0 +1,256 @@
+//! Interleaving exploration of the `sapla-serve` admission queue.
+//!
+//! `crates/serve/src/server.rs` coordinates three parties around one
+//! `Mutex<VecDeque<Job>> + Condvar + AtomicBool` triple: connection
+//! threads enqueue jobs (`handle_knn`), the batcher drains them
+//! (`batch_loop`), and shutdown raises the flag and wakes the batcher
+//! (`raise_shutdown_flag`). [`QueueModel`] re-expresses that protocol
+//! over the model-aware primitives in `sapla_parallel::model` — a
+//! [`Mutex`]/[`Condvar`] pair whose lock, wait, and notify operations
+//! are scheduling steps, plus the already-instrumented [`AtomicCell`]
+//! for the shutdown flag — so the CHESS-style explorer can enumerate
+//! every interleaving up to a preemption bound and check:
+//!
+//! * **Accepted ⇒ answered exactly once**: a job admitted under the
+//!   queue lock is answered by the batcher even when shutdown races it.
+//! * **Rejected ⇒ never answered**: a job refused at admission is not
+//!   silently processed.
+//! * **Termination**: every schedule finishes — no deadlock, no lost
+//!   wakeup stranding the batcher, within the step budget.
+//!
+//! The pre-fix `initiate_shutdown` stored the flag *outside* the queue
+//! lock; [`QueueModel::stop_buggy`] reproduces it and the explorer
+//! finds the lost-wakeup deadlock (the historical `Server::stop` hang).
+//! [`QueueModel::stop_fixed`] mirrors the shipped code and passes the
+//! same exploration exhaustively, with and without injected spurious
+//! wakeups.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use sapla_parallel::model::{explore, run_schedule_spurious, Condvar, Mutex, Policy, RunTrace};
+use sapla_parallel::AtomicCell;
+
+/// Generous step budget: the largest harness below takes ~40 steps.
+const MAX_STEPS: usize = 2000;
+
+/// The serve admission protocol, reduced to its synchronisation
+/// skeleton: jobs are plain ids, "answering" is bumping a counter.
+struct QueueModel {
+    queue: Mutex<VecDeque<usize>>,
+    available: Condvar,
+    shutdown: AtomicCell,
+}
+
+impl QueueModel {
+    fn new() -> Self {
+        QueueModel {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicCell::new(0),
+        }
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire) == 1
+    }
+
+    /// Mirrors `handle_knn`'s admission block: the flag is checked
+    /// under the queue lock, so an admitted job is guaranteed a
+    /// batcher pass (the batcher only exits with the lock held, flag
+    /// up, queue empty).
+    fn enqueue(&self, job: usize) -> bool {
+        {
+            let mut q = self.queue.lock();
+            if self.shutting_down() {
+                return false;
+            }
+            q.push_back(job);
+        }
+        self.available.notify_one();
+        true
+    }
+
+    /// Mirrors `batch_loop`: drain everything in one gulp or exit once
+    /// the flag is up and the queue is empty, waiting in a
+    /// predicate-checked loop otherwise.
+    fn batch_loop(&self, answered: &[AtomicUsize]) {
+        loop {
+            let jobs: Vec<usize> = {
+                let mut q = self.queue.lock();
+                loop {
+                    if !q.is_empty() {
+                        break q.drain(..).collect();
+                    }
+                    if self.shutting_down() {
+                        return;
+                    }
+                    q = self.available.wait(q);
+                }
+            };
+            for j in jobs {
+                answered[j].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The pre-fix `initiate_shutdown`: flag stored *outside* the
+    /// queue lock. The store + notify can land between the batcher's
+    /// flag check and its wait — the notify finds no waiter, the
+    /// batcher sleeps forever (lost wakeup ⇒ `Server::stop` hang).
+    fn stop_buggy(&self) {
+        self.shutdown.store(1, Ordering::Release);
+        self.available.notify_all();
+    }
+
+    /// Mirrors the shipped `raise_shutdown_flag`: the store happens
+    /// under the queue lock, so it cannot land inside the batcher's
+    /// check-then-wait window (the batcher holds the lock throughout).
+    fn stop_fixed(&self) {
+        {
+            let _q = self.queue.lock();
+            self.shutdown.store(1, Ordering::Release);
+        }
+        self.available.notify_all();
+    }
+}
+
+/// One controlled execution of batcher vs. enqueuer vs. stopper,
+/// asserting the queue invariants. `stop` selects the shutdown variant
+/// under test; `spurious` is the injected spurious-wakeup budget.
+fn run_queue(replay: &[usize], policy: Policy, spurious: usize, stop: fn(&QueueModel)) -> RunTrace {
+    let model = QueueModel::new();
+    let answered = [AtomicUsize::new(0)];
+    let accepted = AtomicBool::new(false);
+    let trace = run_schedule_spurious(3, replay, policy, MAX_STEPS, spurious, |tid| match tid {
+        0 => model.batch_loop(&answered),
+        1 => {
+            if model.enqueue(0) {
+                accepted.store(true, Ordering::Relaxed);
+            }
+        }
+        _ => stop(&model),
+    });
+    assert!(!trace.exceeded_budget, "schedule {} hit the step budget", trace.schedule_id());
+    let n = answered[0].load(Ordering::Relaxed);
+    if accepted.load(Ordering::Relaxed) {
+        assert_eq!(
+            n,
+            1,
+            "admitted job answered {n} times (lost if 0) under schedule {}",
+            trace.schedule_id()
+        );
+    } else {
+        assert_eq!(n, 0, "rejected job was answered under schedule {}", trace.schedule_id());
+    }
+    trace
+}
+
+/// The shipped shutdown protocol survives an exhaustive enumeration:
+/// every interleaving of enqueue vs. batcher-drain vs. shutdown-drain
+/// up to 4 preemptions terminates with the queue invariants intact.
+/// The schedule count is pinned so a protocol or model change that
+/// silently shrinks the explored space fails loudly.
+#[test]
+fn fixed_stop_is_exhaustively_clean() {
+    let out = explore(4, 100_000, |replay| {
+        run_queue(replay, Policy::Continue, 0, QueueModel::stop_fixed)
+    });
+    assert!(!out.capped, "enumeration must run to completion, not hit the cap");
+    assert_eq!(out.schedules, 1737, "explored schedule count changed — retune the pin");
+}
+
+/// Same exploration with one injected spurious wakeup allowed per run:
+/// the predicate loops re-check their conditions, so a wakeup without
+/// a notify must change nothing.
+#[test]
+fn fixed_stop_tolerates_spurious_wakeups() {
+    let out = explore(4, 100_000, |replay| {
+        run_queue(replay, Policy::Continue, 1, QueueModel::stop_fixed)
+    });
+    assert!(!out.capped, "enumeration must run to completion, not hit the cap");
+    assert_eq!(out.schedules, 12_021, "explored schedule count changed — retune the pin");
+}
+
+/// The checker must *find* the historical `Server::stop` hang, not
+/// just bless the fix: with the flag stored outside the queue lock,
+/// some schedule loses the wakeup and the batcher blocks forever —
+/// reported as a model deadlock.
+#[test]
+fn buggy_stop_deadlocks_on_a_lost_wakeup() {
+    let caught = std::panic::catch_unwind(|| {
+        explore(4, 100_000, |replay| run_queue(replay, Policy::Continue, 0, QueueModel::stop_buggy))
+    });
+    let payload = caught.expect_err("the lost wakeup must deadlock some schedule");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("deadlock"), "expected a model deadlock report, got: {msg}");
+}
+
+/// Spurious-wakeup injection must be able to break code that treats a
+/// wakeup as a notification: a batcher that waits with `if` instead of
+/// a predicate loop pops an empty queue when woken spuriously. With no
+/// budget the naive code passes (every wakeup really is a notify);
+/// with a budget of 1 the explorer finds the failure.
+#[test]
+fn spurious_injection_catches_an_if_instead_of_while_wait() {
+    let naive = |replay: &[usize], spurious: usize| {
+        let model = QueueModel::new();
+        let answered = [AtomicUsize::new(0)];
+        let trace =
+            run_schedule_spurious(2, replay, Policy::Continue, MAX_STEPS, spurious, |tid| {
+                match tid {
+                    0 => {
+                        let mut q = model.queue.lock();
+                        if q.is_empty() {
+                            // BUG (planted): `if`, not a predicate loop.
+                            q = model.available.wait(q);
+                        }
+                        match q.pop_front() {
+                            Some(j) => {
+                                answered[j].fetch_add(1, Ordering::Relaxed);
+                            }
+                            None => {
+                                panic!("spurious wakeup handed the naive batcher an empty queue")
+                            }
+                        }
+                    }
+                    _ => {
+                        model.enqueue(0);
+                    }
+                }
+            });
+        assert!(!trace.exceeded_budget, "schedule {} hit the step budget", trace.schedule_id());
+        trace
+    };
+
+    let clean = explore(4, 100_000, |replay| naive(replay, 0));
+    assert!(!clean.capped);
+
+    let caught = std::panic::catch_unwind(|| explore(4, 100_000, |replay| naive(replay, 1)));
+    let payload = caught.expect_err("a spurious wakeup must break the if-wait");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("spurious wakeup"), "expected the planted failure, got: {msg}");
+}
+
+/// Seeded randomized long-run mode over the fixed protocol with
+/// spurious wakeups allowed. Tunable without recompiling:
+/// `SAPLA_AUDIT_RANDOM_RUNS` (iterations) and `SAPLA_AUDIT_SEED`
+/// (base seed, decimal) — a nightly job can run hundreds of thousands.
+#[test]
+fn randomized_long_run_mode() {
+    let runs: u64 =
+        std::env::var("SAPLA_AUDIT_RANDOM_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    let seed: u64 =
+        std::env::var("SAPLA_AUDIT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0x5AB1A);
+    for i in 0..runs {
+        run_queue(&[], Policy::Random(seed.wrapping_add(i)), 1, QueueModel::stop_fixed);
+    }
+}

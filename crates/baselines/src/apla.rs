@@ -86,6 +86,8 @@ impl Apla {
                     }
                 }
                 cur[m] = best;
+                // audit: cast_ok — boundary index < series length, and the
+                // codec caps records far below u32::MAX.
                 par[m] = best_a as u32;
             }
             prev = cur;

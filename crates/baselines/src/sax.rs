@@ -109,6 +109,8 @@ impl Sax {
             .into_iter()
             .map(|(s, e)| {
                 let mean = sums.sum(s, e) / (e - s) as f64;
+                // audit: cast_ok — partition_point ≤ breakpoints.len() =
+                // alphabet_size − 1 ≤ 255.
                 breakpoints.partition_point(|&b| b < mean) as u8
             })
             .collect();

@@ -308,6 +308,10 @@ mod x86 {
 
     /// `(l0 + l1) + (l2 + l3)` where `lo` holds scalar lanes 0–1 and
     /// `hi` lanes 2–3 — the scalar kernel's fixed combine order.
+    ///
+    /// SAFETY contract: safe despite `#[target_feature]` because its
+    /// `__m128d` arguments can only be produced inside SSE2-enabled
+    /// code, so every caller already runs with the feature on.
     #[target_feature(enable = "sse2")]
     fn combine_m128d(lo: __m128d, hi: __m128d) -> f64 {
         let l0 = _mm_cvtsd_f64(lo);
@@ -392,6 +396,9 @@ mod x86 {
         }
     }
 
+    /// SAFETY contract: safe despite `#[target_feature]` because its
+    /// `__m256d` argument can only be produced inside AVX2-enabled
+    /// code, so every caller already runs with the feature on.
     #[target_feature(enable = "avx2")]
     fn combine_m256d(acc: __m256d) -> f64 {
         combine_m128d(_mm256_castpd256_pd128(acc), _mm256_extractf128_pd::<1>(acc))
@@ -407,6 +414,10 @@ mod arm {
     };
 
     /// `(l0 + l1) + (l2 + l3)` — the scalar kernel's fixed combine order.
+    ///
+    /// SAFETY contract: safe despite `#[target_feature]` because its
+    /// `float64x2_t` arguments can only be produced inside NEON-enabled
+    /// code, and NEON is mandatory on AArch64 anyway.
     #[target_feature(enable = "neon")]
     fn combine(acc01: float64x2_t, acc23: float64x2_t) -> f64 {
         let l0 = vgetq_lane_f64::<0>(acc01);

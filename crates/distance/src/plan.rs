@@ -300,6 +300,9 @@ fn staged_walk<C: SegSource>(
     (sum, abandoned, windows)
 }
 
+// SAFETY contract: safe despite `#[target_feature]` — callers outside
+// SSE2 code must (and do, in `planned_eval_with`) verify SSE2 before
+// the call; the body has no other requirement.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
 fn staged_walk_sse2<C: SegSource>(plan: &QueryPlan, cand: C, abandon_sq: f64) -> (f64, bool, u64) {
@@ -312,6 +315,9 @@ fn staged_walk_sse2<C: SegSource>(plan: &QueryPlan, cand: C, abandon_sq: f64) ->
     })
 }
 
+// SAFETY contract: safe despite `#[target_feature]` — callers outside
+// AVX2 code must (and do, in `planned_eval_with`) verify AVX2 before
+// the call; the body has no other requirement.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 fn staged_walk_avx2<C: SegSource>(plan: &QueryPlan, cand: C, abandon_sq: f64) -> (f64, bool, u64) {
@@ -322,6 +328,8 @@ fn staged_walk_avx2<C: SegSource>(plan: &QueryPlan, cand: C, abandon_sq: f64) ->
     })
 }
 
+// SAFETY contract: safe despite `#[target_feature]` — NEON is
+// mandatory on AArch64, so any caller on this target already has it.
 #[cfg(target_arch = "aarch64")]
 #[target_feature(enable = "neon")]
 fn staged_walk_neon<C: SegSource>(plan: &QueryPlan, cand: C, abandon_sq: f64) -> (f64, bool, u64) {

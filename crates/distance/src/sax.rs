@@ -9,6 +9,7 @@ use sapla_core::{Error, Result, SymbolicWord};
 /// otherwise the gap between the separating breakpoints.
 fn cell(breakpoints: &[f64], a: u8, b: u8) -> f64 {
     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    // audit: cast_ok — u8 → i16 widens losslessly (both casts).
     if hi as i16 - lo as i16 <= 1 {
         0.0
     } else {

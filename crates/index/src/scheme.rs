@@ -281,7 +281,9 @@ impl Scheme for AdaptiveLinearScheme {
             let (alo, ahi) = rect.dim(3 * i);
             let (blo, bhi) = rect.dim(3 * i + 1);
             let (rlo, rhi) = rect.dim(3 * i + 2);
+            // audit: cast_ok — window start, clamped non-negative by max(0.0).
             let t0 = (prev_r_lo + 1.0).max(0.0) as usize;
+            // audit: cast_ok — window end, clamped into [0, n) by min().
             let t1 = (rhi.min((n - 1) as f64)) as usize;
             let lmax = (t1 as f64 - prev_r_lo).max(1.0);
             // Value envelope of a·u + b over u ∈ [0, lmax−1], a ∈ [alo,
@@ -412,7 +414,9 @@ impl Scheme for ApcaScheme {
         for i in 0..segs {
             let (vlo, vhi) = rect.dim(2 * i);
             let (rlo, rhi) = rect.dim(2 * i + 1);
+            // audit: cast_ok — window start, clamped non-negative by max(0.0).
             let t0 = (prev_r_lo + 1.0).max(0.0) as usize;
+            // audit: cast_ok — window end, clamped into [0, n) by min().
             let t1 = (rhi.min((n - 1) as f64)) as usize;
             regions.push((t0, t1, vlo, vhi));
             prev_r_lo = rlo;

@@ -44,12 +44,15 @@ impl LeafBlock {
                 self.ok = false;
                 return;
             };
+            // audit: cast_ok — a leaf block holds ≤ fanout records × their
+            // segments, far below u32::MAX (codec caps record counts).
             let start = self.slopes.len() as u32;
             for seg in lin.segments() {
                 self.slopes.push(seg.a);
                 self.intercepts.push(seg.b);
                 self.endpoints.push(seg.r);
             }
+            // audit: cast_ok — per-record segment count, bounded as above.
             self.spans.push((start, lin.num_segments() as u32));
         }
     }

@@ -254,6 +254,7 @@ fn push_json_key(s: &mut String, name: &str) {
             '"' => s.push_str("\\\""),
             '\\' => s.push_str("\\\\"),
             '\n' => s.push_str("\\n"),
+            // audit: cast_ok — char → u32 is lossless by definition.
             c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
             c => s.push(c),
         }

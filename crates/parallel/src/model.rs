@@ -20,6 +20,34 @@
 //! model run, even in a build with the feature enabled) pass through
 //! [`yield_point`] with a single thread-local read.
 //!
+//! ## Blocking primitives
+//!
+//! [`Mutex`] and [`Condvar`] are model-aware drop-ins for their
+//! `std::sync` namesakes (plain pass-throughs outside a model run):
+//!
+//! * `Mutex::lock` is one scheduling step; a contended lock parks the
+//!   thread as *blocked* — blocked threads are not runnable, so the
+//!   explorer never wastes schedules spinning on them, and unlocking
+//!   re-enables every thread blocked on that mutex.
+//! * `Condvar::wait` yields once *while still holding the mutex* and
+//!   then releases-and-blocks in a single atomic transition, exactly
+//!   std's contract: a notifier that holds the mutex can never land
+//!   between the caller's last predicate check and the block (it is
+//!   blocked on the mutex itself), while a notifier that does *not*
+//!   hold the mutex can — which is precisely the lost-wakeup window
+//!   the serve admission-queue model checks for.
+//! * `notify_one` is modelled as `notify_all`. Waking more threads
+//!   than std would is sound: any extra wakeup is indistinguishable
+//!   from a spurious wakeup, which std permits at any time.
+//! * [`run_schedule_spurious`] grants a *spurious-wakeup budget*: a
+//!   thread blocked on a condvar counts as runnable while budget
+//!   remains, and granting it a step wakes it with no notification —
+//!   the explorer then enumerates spurious-wakeup interleavings too.
+//! * If every unfinished thread is blocked and no spurious budget
+//!   remains, the run is a **deadlock**: the blocked threads abort
+//!   with a `model deadlock` panic and the failing schedule id is
+//!   reported like any other failure.
+//!
 //! ## What the model does and does not cover
 //!
 //! Operations execute one at a time, so the exploration is sound for
@@ -28,11 +56,15 @@
 //! atomic operations. It does not model weak-memory reordering — the
 //! protocol's orderings (`Acquire`/`Release`/`AcqRel` on a single word)
 //! are the standard message-passing pattern whose SC approximation is
-//! exact for single-variable protocols.
+//! exact for single-variable protocols. Guard-protected data is not
+//! instrumented (mutual exclusion already serialises it); scheduling
+//! points are atomic-cell operations, lock acquisitions, the
+//! pre-release instant of `wait`, and notifies.
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
 /// One scheduling decision: which thread was granted the step, and which
 /// threads were runnable when the decision was taken (ascending ids).
@@ -62,6 +94,7 @@ impl RunTrace {
     /// A compact replayable name for this schedule: the granted thread id
     /// at every step, as a digit string (model runs use ≤ 10 threads).
     pub fn schedule_id(&self) -> String {
+        // audit: cast_ok — `chosen` indexes ≤ 10 model threads.
         self.choices.iter().map(|c| char::from(b'0' + (c.chosen as u8 % 10))).collect()
     }
 }
@@ -89,28 +122,44 @@ pub enum Policy {
 enum Status {
     Running,
     Waiting,
+    /// Parked on a contended [`Mutex`]; not runnable until its holder
+    /// unlocks. The payload is the mutex's model id.
+    BlockedMutex(u64),
+    /// Parked in [`Condvar::wait`]; runnable only via a notify or (while
+    /// spurious budget remains) a spurious grant. The payload is the
+    /// condvar's model id.
+    BlockedCondvar(u64),
     Finished,
 }
 
 struct State {
     current: Option<usize>,
     status: Vec<Status>,
-    /// When set, yield points stop parking: the run was aborted (budget)
-    /// and the remaining threads drain at full speed.
+    /// When set, yield points stop parking: the run was aborted (budget
+    /// or panic) and the remaining threads drain at full speed. Threads
+    /// blocked on model primitives abort instead (they may never be
+    /// woken once scheduling stops).
     free_run: bool,
+    /// Set by the coordinator when no thread is runnable but some are
+    /// still blocked: the schedule deadlocked. Blocked threads observe
+    /// the flag and panic so the run terminates and reports.
+    deadlock: bool,
+    /// Remaining spurious wakeups the coordinator may inject (granting a
+    /// step to a condvar-blocked thread with no notify).
+    spurious_left: usize,
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
 
 struct Inner {
-    state: Mutex<State>,
-    cv: Condvar,
+    state: StdMutex<State>,
+    cv: StdCondvar,
 }
 
 thread_local! {
     static REGISTRATION: RefCell<Option<(usize, Arc<Inner>)>> = const { RefCell::new(None) };
 }
 
-fn lock(inner: &Inner) -> std::sync::MutexGuard<'_, State> {
+fn lock(inner: &Inner) -> StdMutexGuard<'_, State> {
     inner.state.lock().unwrap_or_else(|p| p.into_inner())
 }
 
@@ -172,15 +221,36 @@ pub fn run_schedule<F>(
 where
     F: Fn(usize) + Sync,
 {
+    run_schedule_spurious(n_threads, replay, policy, max_steps, 0, body)
+}
+
+/// [`run_schedule`] with a spurious-wakeup budget: up to
+/// `spurious_budget` times per run, the coordinator may grant a step to
+/// a thread blocked in [`Condvar::wait`] with no notify having occurred
+/// — the wakeup std's contract allows at any time. With a budget of 0
+/// (the [`run_schedule`] default) condvar waiters wake only on notifies.
+pub fn run_schedule_spurious<F>(
+    n_threads: usize,
+    replay: &[usize],
+    policy: Policy,
+    max_steps: usize,
+    spurious_budget: usize,
+    body: F,
+) -> RunTrace
+where
+    F: Fn(usize) + Sync,
+{
     assert!((1..=10).contains(&n_threads), "model runs use 1..=10 threads");
     let inner = Arc::new(Inner {
-        state: Mutex::new(State {
+        state: StdMutex::new(State {
             current: None,
             status: vec![Status::Running; n_threads],
             free_run: false,
+            deadlock: false,
+            spurious_left: spurious_budget,
             panic: None,
         }),
-        cv: Condvar::new(),
+        cv: StdCondvar::new(),
     });
     let mut choices: Vec<Choice> = Vec::new();
     let mut exceeded_budget = false;
@@ -223,15 +293,28 @@ where
                 st = inner.cv.wait(st).unwrap_or_else(|p| p.into_inner());
                 continue;
             }
-            let all_parked =
-                st.status.iter().all(|&s| matches!(s, Status::Waiting | Status::Finished));
+            let all_parked = st.status.iter().all(|&s| !matches!(s, Status::Running));
             if !all_parked {
                 st = inner.cv.wait(st).unwrap_or_else(|p| p.into_inner());
                 continue;
             }
-            let enabled: Vec<usize> =
-                (0..n_threads).filter(|&t| st.status[t] == Status::Waiting).collect();
-            debug_assert!(!enabled.is_empty(), "all parked but none waiting");
+            let enabled: Vec<usize> = (0..n_threads)
+                .filter(|&t| match st.status[t] {
+                    Status::Waiting => true,
+                    Status::BlockedCondvar(_) => st.spurious_left > 0,
+                    _ => false,
+                })
+                .collect();
+            if enabled.is_empty() {
+                // Every unfinished thread is blocked on a mutex or
+                // condvar and no spurious budget remains: deadlock.
+                // Blocked threads observe the flag and abort-panic, so
+                // the scope joins and the schedule id is reported.
+                st.deadlock = true;
+                inner.cv.notify_all();
+                st = inner.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
             let step = choices.len();
             let chosen = if let Some(&want) = replay.get(step) {
                 if enabled.contains(&want) {
@@ -254,6 +337,11 @@ where
                 continue;
             }
             choices.push(Choice { chosen, enabled });
+            if matches!(st.status[chosen], Status::BlockedCondvar(_)) {
+                // Granting a condvar-blocked thread with no notify is a
+                // spurious wakeup; spend one unit of budget.
+                st.spurious_left -= 1;
+            }
             // Grant the step and wait for the thread to consume it.
             st.current = Some(chosen);
             inner.cv.notify_all();
@@ -368,5 +456,274 @@ where
         if !advanced {
             return ExploreOutcome { schedules, capped: false };
         }
+    }
+}
+
+static NEXT_SYNC_ID: AtomicU64 = AtomicU64::new(1);
+
+fn plain_lock<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn try_acquire<'a, T>(m: &'a StdMutex<T>) -> Option<StdMutexGuard<'a, T>> {
+    match m.try_lock() {
+        Ok(g) => Some(g),
+        Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        Err(std::sync::TryLockError::WouldBlock) => None,
+    }
+}
+
+/// Abort the current model thread: the run can no longer schedule it
+/// (deadlock, or a free-run drain while it was blocked — once
+/// scheduling stops, a blocked thread may never be woken). The panic
+/// unwinds through the harness body, so the thread scope joins and the
+/// coordinator reports the failing schedule id like any other failure.
+fn abort_model_thread(why: &str) -> ! {
+    panic!("model thread aborted: {why}")
+}
+
+/// Why a blocked park ended.
+enum Park {
+    /// The coordinator granted this thread a step (its blocked status
+    /// was already consumed back to `Running`).
+    Granted,
+    /// The run stopped scheduling (step budget or a panicking peer);
+    /// the thread was flipped back to `Running` and must finish on its
+    /// own.
+    FreeRun,
+}
+
+/// Park the calling thread until the coordinator grants it a step.
+/// The caller has already recorded a `Blocked*` status for `tid` and
+/// woken the coordinator. Panics (aborting the run) on deadlock.
+fn park_blocked(tid: usize, inner: &Inner, mut st: StdMutexGuard<'_, State>) -> Park {
+    loop {
+        if st.deadlock {
+            drop(st);
+            abort_model_thread("deadlock: every unfinished thread is blocked");
+        }
+        if st.free_run {
+            st.status[tid] = Status::Running;
+            return Park::FreeRun;
+        }
+        if st.current == Some(tid) {
+            st.current = None;
+            st.status[tid] = Status::Running;
+            return Park::Granted;
+        }
+        st = inner.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+/// Flip every thread parked with the given blocked status back to
+/// `Waiting` (runnable) and wake the parked threads so they observe it.
+fn wake_blocked(st: &mut State, inner: &Inner, which: Status) {
+    for s in &mut st.status {
+        if *s == which {
+            *s = Status::Waiting;
+        }
+    }
+    inner.cv.notify_all();
+}
+
+/// A model-aware drop-in for `std::sync::Mutex` (see the module docs):
+/// inside a model run, `lock` is one scheduling step and contention
+/// parks the thread as blocked — not runnable, so the explorer never
+/// burns schedules spinning on a held lock. Outside a model run every
+/// operation passes straight through to `std`. Poisoning is absorbed
+/// with `into_inner`: model harnesses report failures by panicking, and
+/// a poisoned lock must not cascade secondary failures into the drain.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: u64,
+    raw: StdMutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a model-aware mutex.
+    pub fn new(value: T) -> Self {
+        Self { id: NEXT_SYNC_ID.fetch_add(1, Ordering::Relaxed), raw: StdMutex::new(value) }
+    }
+
+    /// Acquire the lock, parking as blocked while it is contended.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let reg = REGISTRATION.with(|r| r.borrow().clone());
+        let Some((tid, inner)) = reg else {
+            return MutexGuard { mutex: self, raw: Some(plain_lock(&self.raw)) };
+        };
+        // The acquire attempt is one scheduling step.
+        yield_point();
+        loop {
+            if let Some(g) = try_acquire(&self.raw) {
+                return MutexGuard { mutex: self, raw: Some(g) };
+            }
+            let mut st = lock(&inner);
+            if st.free_run {
+                // Scheduling has stopped but the holder is draining
+                // freely and will unlock; a plain blocking lock is the
+                // correct fallback.
+                drop(st);
+                return MutexGuard { mutex: self, raw: Some(plain_lock(&self.raw)) };
+            }
+            st.status[tid] = Status::BlockedMutex(self.id);
+            inner.cv.notify_all();
+            match park_blocked(tid, &inner, st) {
+                // Granted after an unlock: re-try. Another granted
+                // thread may have re-acquired first, in which case we
+                // block again — a legal std behaviour.
+                Park::Granted => {}
+                Park::FreeRun => {
+                    return MutexGuard { mutex: self, raw: Some(plain_lock(&self.raw)) }
+                }
+            }
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`]; unlocking re-enables every thread blocked
+/// on the mutex. Unlocking is deliberately *not* a scheduling step: it
+/// is observable only through a later acquisition, and every
+/// acquisition yields first, so no interleaving is lost by merging the
+/// unlock into the holder's next step.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    /// `Some` until dropped or consumed by [`Condvar::wait`]; an
+    /// `Option` so both paths can release first and notify after.
+    raw: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.raw {
+            Some(g) => g,
+            // Invariant: `raw` is consumed only by drop and by
+            // Condvar::wait, both of which take `self` out of reach.
+            None => unreachable!(),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.raw {
+            Some(g) => g,
+            None => unreachable!(),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let Some(g) = self.raw.take() else { return };
+        drop(g);
+        let reg = REGISTRATION.with(|r| r.borrow().clone());
+        let Some((_tid, inner)) = reg else { return };
+        let mut st = lock(&inner);
+        wake_blocked(&mut st, &inner, Status::BlockedMutex(self.mutex.id));
+    }
+}
+
+/// A model-aware drop-in for `std::sync::Condvar` (see the module
+/// docs). `wait` yields once while still holding the mutex — the
+/// lost-wakeup window for notifiers that do not hold it — and then
+/// releases-and-blocks in one atomic transition; `notify_one` is
+/// modelled as `notify_all` (extra wakeups are legal spurious
+/// wakeups).
+#[derive(Debug)]
+pub struct Condvar {
+    id: u64,
+    raw: StdCondvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// A fresh model-aware condition variable.
+    pub fn new() -> Self {
+        Self { id: NEXT_SYNC_ID.fetch_add(1, Ordering::Relaxed), raw: StdCondvar::new() }
+    }
+
+    /// Release `guard`'s mutex and block until notified (or spuriously
+    /// woken, when the run carries a spurious budget), then re-acquire.
+    /// Callers must re-check their predicate in a loop, exactly as with
+    /// `std`.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex = guard.mutex;
+        let Some(raw_guard) = guard.raw.take() else {
+            // Guard invariant: `raw` is always Some here; defensive.
+            return mutex.lock();
+        };
+        let reg = REGISTRATION.with(|r| r.borrow().clone());
+        let Some((tid, inner)) = reg else {
+            let g = self.raw.wait(raw_guard).unwrap_or_else(|p| p.into_inner());
+            return MutexGuard { mutex, raw: Some(g) };
+        };
+        // The last instant before the atomic release-and-block is a
+        // scheduling point taken *while still holding the mutex*: a
+        // notifier that does not hold the mutex may interleave here and
+        // its notification is lost (no one is blocked yet) — the
+        // classic lost-wakeup window. A notifier that holds the mutex
+        // cannot reach its notify until we release, which is std's
+        // atomicity guarantee.
+        yield_point();
+        {
+            let mut st = lock(&inner);
+            if st.free_run {
+                // Scheduling stopped before we blocked; with no
+                // coordinator there may never be a wakeup to drain us.
+                drop(raw_guard);
+                drop(st);
+                abort_model_thread("free-run drain reached Condvar::wait");
+            }
+            // Atomic release-and-block: flip to blocked and drop the
+            // guard under the coordinator lock, then re-enable any
+            // thread blocked on the mutex we just released.
+            st.status[tid] = Status::BlockedCondvar(self.id);
+            drop(raw_guard);
+            wake_blocked(&mut st, &inner, Status::BlockedMutex(mutex.id));
+            match park_blocked(tid, &inner, st) {
+                Park::Granted => {}
+                Park::FreeRun => abort_model_thread("free-run drain reached Condvar::wait"),
+            }
+        }
+        // Woken (notified or spurious): re-acquire. A fresh scheduling
+        // step that may itself block on the mutex.
+        mutex.lock()
+    }
+
+    /// Wake every thread blocked on this condvar. One scheduling step.
+    pub fn notify_all(&self) {
+        let reg = REGISTRATION.with(|r| r.borrow().clone());
+        let Some((_tid, inner)) = reg else {
+            self.raw.notify_all();
+            return;
+        };
+        yield_point();
+        let mut st = lock(&inner);
+        wake_blocked(&mut st, &inner, Status::BlockedCondvar(self.id));
+    }
+
+    /// Modelled as [`Condvar::notify_all`]: waking more threads than
+    /// `std` would is indistinguishable from spurious wakeups, which
+    /// are legal at any time, so every real behaviour is preserved.
+    pub fn notify_one(&self) {
+        let reg = REGISTRATION.with(|r| r.borrow().clone());
+        let Some((_tid, _inner)) = reg else {
+            self.raw.notify_one();
+            return;
+        };
+        self.notify_all();
     }
 }

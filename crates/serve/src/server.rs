@@ -168,19 +168,33 @@ impl Server {
                 None => break,
             }
         }
-        self.shared.available.notify_all();
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
         }
     }
 }
 
+/// Raise the shutdown flag *while holding the queue lock*, then wake
+/// the batcher. Holding the lock for the store is what makes the
+/// wakeup reliable: the batcher checks the flag and enters its wait
+/// under the same lock, so a store made outside it could land between
+/// that check and the wait — the notify would find no waiter and the
+/// batcher would sleep forever (`Server::stop` hang). The admission
+/// queue model (`crates/audit/tests/model_serve.rs`) reproduces that
+/// lost wakeup against the unlocked variant and verifies this one.
+fn raise_shutdown_flag(shared: &Shared) {
+    {
+        let _queue = lock(&shared.queue);
+        shared.shutdown.store(true, Ordering::Release);
+    }
+    shared.available.notify_all();
+}
+
 /// Flip the flag, wake the batcher, close every open connection (so
 /// threads blocked in a read exit), and poke the listener so its
 /// blocking `accept` returns.
 fn initiate_shutdown(shared: &Shared, addr: SocketAddr) {
-    shared.shutdown.store(true, Ordering::Release);
-    shared.available.notify_all();
+    raise_shutdown_flag(shared);
     for stream in lock(&shared.streams).drain(..) {
         let _ = stream.shutdown(std::net::Shutdown::Both);
     }
@@ -250,8 +264,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, local: Option<So
             if let Some(addr) = local {
                 initiate_shutdown(shared, addr);
             } else {
-                shared.shutdown.store(true, Ordering::Release);
-                shared.available.notify_all();
+                raise_shutdown_flag(shared);
             }
             break;
         }

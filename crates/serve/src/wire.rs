@@ -53,9 +53,19 @@ pub(crate) fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::R
             format!("refusing to send a {}-byte frame (cap {MAX_FRAME})", payload.len()),
         ));
     }
-    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(ErrorKind::InvalidData, "frame length exceeds u32"))?;
+    stream.write_all(&len.to_le_bytes())?;
     stream.write_all(payload)?;
     stream.flush()
+}
+
+/// Append a `u32` little-endian length/count prefix. Wire counts are
+/// `u32`; a value that does not fit saturates, which yields a payload
+/// the `MAX_FRAME` cap rejects at `write_frame` time instead of a
+/// silently wrapped length reaching the peer.
+fn put_len(out: &mut Vec<u8>, n: usize) {
+    out.extend_from_slice(&u32::try_from(n).unwrap_or(u32::MAX).to_le_bytes());
 }
 
 // ---------------------------------------------------------------------------
@@ -131,7 +141,7 @@ fn read_series(r: &mut Reader<'_>) -> Result<Vec<f64>, String> {
 }
 
 fn put_series(out: &mut Vec<u8>, series: &[f64]) {
-    out.extend_from_slice(&(series.len() as u32).to_le_bytes());
+    put_len(out, series.len());
     for &x in series {
         out.extend_from_slice(&x.to_bits().to_le_bytes());
     }
@@ -186,8 +196,8 @@ pub(crate) fn encode_knn_request(queries: &[Vec<f64>], k: usize) -> Vec<u8> {
     let samples: usize = queries.iter().map(Vec::len).sum();
     let mut out = Vec::with_capacity(9 + 4 * queries.len() + 8 * samples);
     out.push(OP_KNN);
-    out.extend_from_slice(&(k as u32).to_le_bytes());
-    out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+    put_len(&mut out, k);
+    put_len(&mut out, queries.len());
     for q in queries {
         put_series(&mut out, q);
     }
@@ -209,7 +219,7 @@ pub(crate) fn encode_bare_request(op: u8) -> Vec<u8> {
 pub(crate) fn encode_reload_request(blob: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(5 + blob.len());
     out.push(OP_RELOAD);
-    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    put_len(&mut out, blob.len());
     out.extend_from_slice(blob);
     out
 }
@@ -254,13 +264,13 @@ pub struct RangeResponse {
 pub(crate) fn err_response(msg: &str) -> Vec<u8> {
     let mut out = Vec::with_capacity(5 + msg.len());
     out.push(STATUS_ERR);
-    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    put_len(&mut out, msg.len());
     out.extend_from_slice(msg.as_bytes());
     out
 }
 
 fn put_hits(out: &mut Vec<u8>, stats: &SearchStats) {
-    out.extend_from_slice(&(stats.retrieved.len() as u32).to_le_bytes());
+    put_len(out, stats.retrieved.len());
     for (&id, &d) in stats.retrieved.iter().zip(&stats.distances) {
         out.extend_from_slice(&(id as u64).to_le_bytes());
         out.extend_from_slice(&d.to_bits().to_le_bytes());
@@ -276,7 +286,7 @@ pub(crate) fn ok_knn_response(
     let hits: usize = per_query.iter().map(|s| s.retrieved.len()).sum();
     let mut out = Vec::with_capacity(21 + 12 * per_query.len() + 16 * hits);
     out.push(STATUS_OK);
-    out.extend_from_slice(&(per_query.len() as u32).to_le_bytes());
+    put_len(&mut out, per_query.len());
     for stats in per_query {
         put_hits(&mut out, stats);
     }
@@ -295,7 +305,7 @@ pub(crate) fn ok_range_response(stats: &SearchStats) -> Vec<u8> {
 pub(crate) fn ok_text_response(text: &str) -> Vec<u8> {
     let mut out = Vec::with_capacity(5 + text.len());
     out.push(STATUS_OK);
-    out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+    put_len(&mut out, text.len());
     out.extend_from_slice(text.as_bytes());
     out
 }
@@ -303,7 +313,7 @@ pub(crate) fn ok_text_response(text: &str) -> Vec<u8> {
 pub(crate) fn ok_blob_response(blob: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(5 + blob.len());
     out.push(STATUS_OK);
-    out.extend_from_slice(&(blob.len() as u32).to_le_bytes());
+    put_len(&mut out, blob.len());
     out.extend_from_slice(blob);
     out
 }

@@ -308,3 +308,33 @@ fn wire_shutdown_drains_and_stops_the_server() {
         }
     );
 }
+
+/// Regression: `Server::stop` must terminate even when shutdown races
+/// the batcher's check-then-wait entry. The pre-fix `initiate_shutdown`
+/// stored the shutdown flag *outside* the queue lock, so its notify
+/// could land between the batcher's flag check and its wait — nobody
+/// was waiting yet, the wakeup was lost, and `stop()` hung joining the
+/// batcher. The admission-queue model in
+/// `crates/audit/tests/model_serve.rs` reproduces that lost wakeup
+/// deterministically; this test guards the wiring under real threads,
+/// where an immediate stop lands close to the batcher's wait entry.
+#[test]
+fn stop_terminates_promptly_even_when_racing_the_batcher() {
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let raws = dataset(8);
+        for _ in 0..50 {
+            let server = Server::start(
+                build_engine(&raws, 1, TreeKind::Dbch),
+                "127.0.0.1:0",
+                ServerConfig::default(),
+            )
+            .unwrap();
+            server.stop();
+        }
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(std::time::Duration::from_secs(120))
+        .expect("Server::stop hung: a shutdown wakeup was lost");
+}

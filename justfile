@@ -11,14 +11,21 @@ lint:
     cargo fmt --all --check
 
 # Static analysis + model checking: the custom lint pass over every
-# crate, the audit crate's own fixture/explorer tests, and the
-# strict-invariants runtime layer.
+# crate (all seven lints workspace-blocking), the audit crate's own
+# fixture/explorer tests, and the strict-invariants runtime layer.
 audit:
     cargo run -q -p sapla-audit
     cargo test -q -p sapla-audit
     cargo test -q -p sapla-core --features strict-invariants
     cargo test -q -p sapla-distance --features strict-invariants
     cargo test -q -p sapla-index --features strict-invariants
+
+# Condvar-aware model check of the sapla-serve admission queue:
+# exhaustive enumeration with pinned schedule counts, the lost-wakeup
+# and if-wait canaries, and the seeded randomized long-run (tune with
+# SAPLA_AUDIT_RANDOM_RUNS / SAPLA_AUDIT_SEED without recompiling).
+audit-model-serve:
+    cargo test -q -p sapla-audit --test model_serve
 
 # Observability: the instrumented feature matrix must stay green, the
 # uninstrumented state must too (the CLI is excluded from the second run:
@@ -53,7 +60,7 @@ simd-off:
     cargo bench -p sapla-bench --bench perf_json -- --quick --no-simd
 
 # The full pre-merge gate.
-ci: tier1 lint audit obs serve-smoke simd-off
+ci: tier1 lint audit audit-model-serve obs serve-smoke simd-off
 
 # Regenerate every paper table/figure (slow; see EXPERIMENTS.md).
 bench:
