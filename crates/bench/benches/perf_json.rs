@@ -86,6 +86,17 @@ fn main() {
         }
     }
 
+    if !report.obs_overhead.is_empty() {
+        println!("flight recorder on/off A/B (loopback, k = 4):");
+        for p in &report.obs_overhead {
+            println!(
+                "  n = {:5}  batch = {:3}  armed {:>10.0} q/s  disarmed {:>10.0} q/s  \
+                 overhead {:+.2}%",
+                p.n, p.batch, p.recorder_on_qps, p.recorder_off_qps, p.overhead_pct
+            );
+        }
+    }
+
     if let Some(path) = json_path {
         std::fs::write(&path, report.to_json())
             .unwrap_or_else(|e| panic!("perf_json: cannot write {path}: {e}"));

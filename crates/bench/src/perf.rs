@@ -186,6 +186,28 @@ pub struct ServePoint {
     pub queries_per_sec: f64,
 }
 
+/// One recorder-on vs recorder-off loopback A/B point: the same
+/// single-client kNN workload as [`ServePoint`] measured with the
+/// flight recorder armed and disarmed. The windowed sketches and
+/// counters stay on in both sides (they are part of the build); the
+/// knob isolates the per-request ring-write cost. In a stock
+/// (obs-less) build both sides run the compiled-out stubs and the
+/// overhead is pure measurement noise around zero.
+#[derive(Debug, Clone)]
+pub struct ObsOverheadPoint {
+    /// Series length.
+    pub n: usize,
+    /// Queries per wire request.
+    pub batch: usize,
+    /// Queries per second with the flight recorder armed.
+    pub recorder_on_qps: f64,
+    /// Queries per second with the flight recorder disarmed.
+    pub recorder_off_qps: f64,
+    /// `(off - on) / off * 100`: the throughput the recorder costs,
+    /// in percent (negative values are noise).
+    pub overhead_pct: f64,
+}
+
 /// A full emitter run.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -205,6 +227,9 @@ pub struct PerfReport {
     pub simd: Vec<SimdPoint>,
     /// Loopback daemon throughput at each request batch size.
     pub serve: Vec<ServePoint>,
+    /// Flight-recorder on/off loopback A/B, aligned with `serve`'s
+    /// batch sizes.
+    pub obs_overhead: Vec<ObsOverheadPoint>,
     /// Operation counts over the whole run (`sapla-obs` snapshot; empty
     /// unless the bench crate is built with `--features obs` — the stock
     /// build stays uninstrumented so the timings measure the zero-cost
@@ -353,6 +378,7 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
 
     let simd = measure_simd(grid);
     let serve = measure_serve(grid);
+    let obs_overhead = measure_obs_overhead(grid);
 
     PerfReport {
         threads: grid.threads,
@@ -362,6 +388,7 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
         knn,
         simd,
         serve,
+        obs_overhead,
         ops: sapla_obs::Snapshot::capture(),
     }
 }
@@ -475,6 +502,68 @@ fn measure_serve(grid: &PerfGrid) -> Vec<ServePoint> {
     out
 }
 
+/// Recorder-armed vs recorder-disarmed loopback A/B over the same
+/// server and client. Loopback throughput on a shared box drifts far
+/// more second-to-second than the recorder's few dozen atomic stores
+/// cost, so block measurements (one timed side, then the other) report
+/// noise. Instead the sides alternate *request by request* — adjacent
+/// requests see the same machine state, so drift cancels in the ratio
+/// and only the armed/disarmed difference accumulates. The recorder is
+/// re-armed on exit (its process-global default).
+fn measure_obs_overhead(grid: &PerfGrid) -> Vec<ObsOverheadPoint> {
+    let Some(&n) = grid.lens.iter().find(|&&n| n >= 2 * grid.segment_counts[0]) else {
+        return Vec::new();
+    };
+    if grid.serve_batches.is_empty() {
+        return Vec::new();
+    }
+    let m = 3 * grid.segment_counts[0];
+    let db = grid_series(n, grid.index_db);
+    let raw_queries = grid_series(n, grid.index_queries + grid.index_db).split_off(grid.index_db);
+    let cfg = EngineConfig { m, ..EngineConfig::default() };
+    let engine = Engine::build(cfg, Box::new(SaplaReducer::new()), db, grid.threads)
+        .expect("obs overhead engine");
+    let server = Server::start(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig { threads: grid.threads, ..ServerConfig::default() },
+    )
+    .expect("obs overhead server");
+    let mut client = Client::connect(server.addr()).expect("obs overhead client");
+
+    let mut out = Vec::with_capacity(grid.serve_batches.len());
+    for &batch in &grid.serve_batches {
+        let queries: Vec<Vec<f64>> =
+            (0..batch).map(|i| raw_queries[i % raw_queries.len()].values().to_vec()).collect();
+        let mut request = |armed: bool| {
+            sapla_obs::recorder::set_armed(armed);
+            let start = Instant::now();
+            let resp = client.knn(&queries, 4).expect("obs overhead request");
+            std::hint::black_box(&resp);
+            start.elapsed().as_nanos()
+        };
+        // Warm-up both sides, then alternate until each side has
+        // accumulated the grid's measuring time.
+        request(true);
+        request(false);
+        let mut on = (0u128, 0u64);
+        let mut off = (0u128, 0u64);
+        let min_ns = grid.min_time.as_nanos();
+        while on.0 < min_ns || off.0 < min_ns {
+            on = (on.0 + request(true), on.1 + 1);
+            off = (off.0 + request(false), off.1 + 1);
+        }
+        let qps = |(ns, reqs): (u128, u64)| (reqs * batch as u64) as f64 / (ns as f64 / 1e9);
+        let recorder_on_qps = qps(on);
+        let recorder_off_qps = qps(off);
+        let overhead_pct = (recorder_off_qps - recorder_on_qps) / recorder_off_qps * 100.0;
+        out.push(ObsOverheadPoint { n, batch, recorder_on_qps, recorder_off_qps, overhead_pct });
+    }
+    sapla_obs::recorder::set_armed(true);
+    server.stop();
+    out
+}
+
 fn push_kv(out: &mut String, key: &str, value: f64) {
     out.push('"');
     out.push_str(key);
@@ -572,6 +661,21 @@ impl PerfReport {
             }
             s.push('\n');
         }
+        s.push_str("  ],\n  \"obs_overhead\": [\n");
+        for (i, p) in self.obs_overhead.iter().enumerate() {
+            s.push_str(&format!("    {{\"n\": {}, \"batch\": {}, ", p.n, p.batch));
+            push_kv(&mut s, "recorder_on_qps", p.recorder_on_qps);
+            s.push_str(", ");
+            push_kv(&mut s, "recorder_off_qps", p.recorder_off_qps);
+            // Two decimals: the acceptance bar is a 5% budget, so tenths
+            // of a percent matter.
+            s.push_str(&format!(", \"overhead_pct\":{:.2}", p.overhead_pct));
+            s.push('}');
+            if i + 1 < self.obs_overhead.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
         s.push_str("  ],\n  \"ops\": ");
         // The snapshot serialises itself; embed it as a nested object
         // (inner indentation is cosmetic, the JSON stays valid).
@@ -616,6 +720,16 @@ mod tests {
         for p in &report.serve {
             assert!(p.ns_per_query > 0.0 && p.queries_per_sec > 0.0);
         }
+        assert!(json.contains("\"obs_overhead\""));
+        assert!(json.contains("\"recorder_on_qps\""));
+        assert!(json.contains("\"overhead_pct\""));
+        assert_eq!(report.obs_overhead.len(), PerfGrid::quick().serve_batches.len());
+        for p in &report.obs_overhead {
+            assert!(p.recorder_on_qps > 0.0 && p.recorder_off_qps > 0.0);
+            assert!(p.overhead_pct.is_finite());
+        }
+        // The recorder is re-armed after the A/B (it's process-global).
+        assert_eq!(sapla_obs::recorder::armed(), sapla_obs::enabled());
         // The ops section is always present; its content tracks the
         // feature state of this build.
         assert!(json.contains("\"ops\""));

@@ -30,7 +30,7 @@ use sapla_baselines::{all_reducers, reduce_batch, reduce_batch_parallel, Reducer
 use sapla_core::TimeSeries;
 use sapla_data::{catalogue, Dataset, Protocol};
 use sapla_index::{Engine, EngineConfig, TreeKind};
-use sapla_serve::{Server, ServerConfig};
+use sapla_serve::{Client, MetricsFormat, Server, ServerConfig};
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +61,7 @@ fn main() -> ExitCode {
         Some("reduce") => cmd_reduce(&args[1..]),
         Some("knn") => cmd_knn(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("catalogue") => cmd_catalogue(),
         Some("demo") => cmd_demo(),
         Some("mine") => cmd_mine(&args[1..]),
@@ -70,7 +71,8 @@ fn main() -> ExitCode {
                  \n\
                  reduce <file|-> [files...] [--method NAME] [--coeffs M] [--threads T]\n\
                  knn <dataset>    [--k K] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--shards S] [--threads T]\n\
-                 serve <dataset>  [--addr HOST:PORT] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--shards S] [--threads T]\n\
+                 serve <dataset>  [--addr HOST:PORT] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--shards S] [--threads T] [--slow-ms N]\n\
+                 stats            [--addr HOST:PORT] [--metrics | --metrics-json]\n\
                  mine <discord|motif|segment|forecast|cluster> <dataset> [--k K] [--coeffs M] [--horizon H] [--changes C]\n\
                  catalogue\n\
                  demo\n\
@@ -292,6 +294,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("serve: missing dataset name (see `sapla catalogue`)")?;
     let addr = flag(args, "--addr", "127.0.0.1:7878");
     let threads = threads_flag(args)?;
+    // `--slow-ms N`: copy the stage trace of any request slower than N
+    // milliseconds into the slow-query log (served back by OP_METRICS).
+    let slow_ms = if args.iter().any(|a| a == "--slow-ms") {
+        Some(flag(args, "--slow-ms", "0").parse().map_err(|_| "bad --slow-ms".to_string())?)
+    } else {
+        None
+    };
     let (ds, engine) = engine_from_flags(name, &args[1..])?;
     println!(
         "serving {}: {} series of length {}, tree {}, {} shard(s)",
@@ -301,13 +310,39 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         engine.config().tree.name(),
         engine.shard_count()
     );
-    let cfg = ServerConfig { threads, ..ServerConfig::default() };
+    let cfg = ServerConfig { threads, slow_ms, ..ServerConfig::default() };
     let server = Server::start(engine, addr.as_str(), cfg).map_err(|e| e.to_string())?;
     // Tests (and scripts) bind --addr 127.0.0.1:0 and read the real
     // port from this line.
     println!("listening on {}", server.addr());
     server.join();
     println!("shut down");
+    Ok(())
+}
+
+/// Query a running daemon for its stats document (default), its
+/// Prometheus-style text exposition (`--metrics`), or the extended
+/// metrics JSON with `latency` and `trace` sections (`--metrics-json`).
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr", "127.0.0.1:7878");
+    let want_text = args.iter().any(|a| a == "--metrics");
+    let want_json = args.iter().any(|a| a == "--metrics-json");
+    if want_text && want_json {
+        return Err("stats: pass at most one of --metrics / --metrics-json".to_string());
+    }
+    let mut client = Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    let doc = if want_text {
+        client.metrics(MetricsFormat::Text)
+    } else if want_json {
+        client.metrics(MetricsFormat::Json)
+    } else {
+        client.stats()
+    }
+    .map_err(|e| e.to_string())?;
+    print!("{doc}");
+    if !doc.ends_with('\n') {
+        println!();
+    }
     Ok(())
 }
 

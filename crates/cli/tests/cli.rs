@@ -299,6 +299,56 @@ fn serve_answers_wire_queries_and_shuts_down() {
 }
 
 #[test]
+fn stats_subcommand_fetches_metrics_from_a_running_server() {
+    let mut child = sapla()
+        .args(["serve", "Burst_00", "--addr", "127.0.0.1:0", "--threads", "2", "--slow-ms", "0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn");
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let _banner = lines.next().expect("banner line").expect("utf8");
+    let listen = lines.next().expect("listen line").expect("utf8");
+    let addr = listen.strip_prefix("listening on ").unwrap_or_default().to_string();
+    assert!(!addr.is_empty(), "listen line: {listen}");
+
+    // Give the metrics something to report.
+    let mut client = sapla_serve::Client::connect(&addr).expect("connect");
+    let queries: Vec<Vec<f64>> =
+        (0..2).map(|q| (0..256).map(|t| ((t + q * 17) as f64 * 0.1).cos()).collect()).collect();
+    client.knn(&queries, 3).expect("knn over the wire");
+
+    // Plain stats document.
+    let (ok, out, err) = run(&["stats", "--addr", &addr]);
+    assert!(ok, "stats failed: {err}");
+    assert!(out.contains("\"server\""), "stats: {out}");
+
+    // Prometheus-style text exposition.
+    let (ok, out, err) = run(&["stats", "--addr", &addr, "--metrics"]);
+    assert!(ok, "stats --metrics failed: {err}");
+    assert!(out.contains("# TYPE sapla_server counter"), "text exposition: {out}");
+    assert!(out.contains("sapla_server{name=\"requests\"}"), "text exposition: {out}");
+    assert!(out.contains("sapla_slow_threshold_ns 0"), "slow threshold: {out}");
+
+    // Extended JSON with latency and trace sections.
+    let (ok, out, err) = run(&["stats", "--addr", &addr, "--metrics-json"]);
+    assert!(ok, "stats --metrics-json failed: {err}");
+    for key in ["\"latency\"", "\"trace\"", "\"slow_threshold_ns\": 0"] {
+        assert!(out.contains(key), "metrics json missing {key}: {out}");
+    }
+
+    // Asking for both formats at once is rejected client-side.
+    let (ok, _, err) = run(&["stats", "--addr", &addr, "--metrics", "--metrics-json"]);
+    assert!(!ok);
+    assert!(err.contains("at most one"), "stderr: {err}");
+
+    client.shutdown().expect("shutdown");
+    let _ = lines.map_while(Result::ok).count();
+    assert!(child.wait().expect("exit").success());
+}
+
+#[test]
 fn reduce_with_unknown_method_fails() {
     let mut child = sapla()
         .args(["reduce", "-", "--method", "FFT"])

@@ -317,7 +317,13 @@ impl Engine {
                 // Single DBCH shard: take the established batch path
                 // directly (same results as the scatter-gather below;
                 // skips the trivial merge).
-                return knn_batch(tree, queries, k, self.scheme.as_ref(), &shard.raws, threads);
+                let start_ns = sapla_obs::clock::now_ns();
+                let answer =
+                    knn_batch(tree, queries, k, self.scheme.as_ref(), &shard.raws, threads);
+                let dur = sapla_obs::clock::now_ns().saturating_sub(start_ns);
+                sapla_obs::windowed!("engine.shard.knn.ns", 0, dur);
+                let _ = dur;
+                return answer;
             }
         }
         let block = crate::batched::DEFAULT_QUERY_BLOCK;
@@ -327,6 +333,7 @@ impl Engine {
         let partials =
             par_try_map_init(&tasks, threads, BlockScratch::new, |scratch, _, &(bi, si)| {
                 let shard = &self.shards[si];
+                let start_ns = sapla_obs::clock::now_ns();
                 let stats = knn_query_major(
                     shard.index.as_batch_tree(),
                     blocks[bi],
@@ -335,6 +342,12 @@ impl Engine {
                     &shard.raws,
                     scratch,
                 )?;
+                // Per-shard execution time, windowed per shard lane so
+                // `OP_METRICS` can surface a slow shard's last-minute
+                // percentiles next to its lifetime totals.
+                let dur = sapla_obs::clock::now_ns().saturating_sub(start_ns);
+                sapla_obs::windowed!("engine.shard.knn.ns", si, dur);
+                let _ = dur;
                 sapla_obs::lane_counter!(
                     "engine.shard.measured",
                     si,

@@ -1,0 +1,95 @@
+//! The observability clock: monotonic nanoseconds since a process-wide
+//! epoch, with an injectable manual mode for deterministic tests.
+//!
+//! Both the flight recorder ([`crate::recorder`]) and the windowed
+//! sketches ([`crate::sketch`]) read time through [`now_ns`], so a test
+//! that installs a [`TestClock`] controls trace timestamps *and* window
+//! rotation from one knob. With the `obs` feature off the clock is a
+//! constant zero (nothing reads it).
+
+#[cfg(feature = "obs")]
+mod enabled {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    static TEST_MODE: AtomicBool = AtomicBool::new(false);
+    static TEST_NOW: AtomicU64 = AtomicU64::new(0);
+
+    /// Nanoseconds since the first call (or the [`TestClock`] value when
+    /// one is installed). Monotonic; saturates at `u64::MAX` (~584 years).
+    // audit: no_alloc
+    #[must_use]
+    pub fn now_ns() -> u64 {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            return TEST_NOW.load(Ordering::Relaxed);
+        }
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// RAII guard that replaces the wall clock with a manually advanced
+    /// counter (starting at the value given to [`TestClock::install`]).
+    /// Dropping the guard restores the real clock. Tests that install
+    /// one must serialize with each other — the mode is process-global.
+    #[must_use = "dropping the guard restores the real clock"]
+    pub struct TestClock(());
+
+    impl TestClock {
+        /// Switch the clock to manual mode at `start_ns`.
+        pub fn install(start_ns: u64) -> TestClock {
+            TEST_NOW.store(start_ns, Ordering::Relaxed);
+            TEST_MODE.store(true, Ordering::Relaxed);
+            TestClock(())
+        }
+
+        /// Move the manual clock forward by `ns`.
+        pub fn advance(&self, ns: u64) {
+            TEST_NOW.fetch_add(ns, Ordering::Relaxed);
+        }
+
+        /// Set the manual clock to an absolute value.
+        pub fn set(&self, ns: u64) {
+            TEST_NOW.store(ns, Ordering::Relaxed);
+        }
+    }
+
+    impl Drop for TestClock {
+        fn drop(&mut self) {
+            TEST_MODE.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use enabled::{now_ns, TestClock};
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    /// Always 0 with the feature off (nothing records time).
+    #[must_use]
+    pub fn now_ns() -> u64 {
+        0
+    }
+
+    /// No-op stand-in so test helpers compile in both feature states.
+    #[must_use = "dropping the guard restores the real clock"]
+    pub struct TestClock(());
+
+    impl TestClock {
+        /// No-op with the feature off.
+        pub fn install(_start_ns: u64) -> TestClock {
+            TestClock(())
+        }
+
+        /// No-op with the feature off.
+        pub fn advance(&self, _ns: u64) {}
+
+        /// No-op with the feature off.
+        pub fn set(&self, _ns: u64) {}
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+pub use disabled::{now_ns, TestClock};

@@ -92,3 +92,27 @@ macro_rules! span {
         $crate::SpanGuard
     };
 }
+
+/// Feature off: expands to `()`.
+#[macro_export]
+macro_rules! windowed {
+    ($name:literal, $lane:expr, $v:expr) => {
+        ()
+    };
+}
+
+/// Feature off: expands to `()`.
+#[macro_export]
+macro_rules! register_hist {
+    ($name:literal) => {
+        ()
+    };
+}
+
+/// Feature off: expands to `()`.
+#[macro_export]
+macro_rules! register_windowed {
+    ($name:literal) => {
+        ()
+    };
+}

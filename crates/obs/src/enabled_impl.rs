@@ -11,12 +11,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+use crate::sketch::WindowedHist;
 use crate::{HistSnapshot, Snapshot, MAX_LANES, MAX_SPAN_DEPTH};
 
 /// Power-of-two histogram buckets: bucket `i` holds values whose bit
 /// length is `i` (bucket 0 holds zero). 44 buckets cover durations up to
 /// ~73 minutes in nanoseconds; larger values fold into the last bucket.
-const BUCKETS: usize = 44;
+pub(crate) const BUCKETS: usize = 44;
 
 // Interior mutability is the point of these consts: they exist only as
 // repeat-expression initializers for atomic arrays in `const fn new`.
@@ -28,6 +29,7 @@ enum Entry {
     Gauge(&'static MaxGauge),
     Lanes(&'static LaneCounter),
     Hist(&'static Histogram),
+    Windowed(&'static WindowedHist),
 }
 
 static REGISTRY: Mutex<Vec<Entry>> = Mutex::new(Vec::new());
@@ -43,6 +45,12 @@ fn register_entry(flag: &AtomicBool, entry: Entry) {
     if !flag.swap(true, Ordering::AcqRel) {
         reg.push(entry);
     }
+}
+
+/// Registration hook for [`WindowedHist`] (lives in `crate::sketch`, so
+/// it cannot name the private [`Entry`] type itself).
+pub(crate) fn register_windowed_entry(flag: &AtomicBool, w: &'static WindowedHist) {
+    register_entry(flag, Entry::Windowed(w));
 }
 
 /// A named monotonic event counter.
@@ -156,11 +164,17 @@ impl Histogram {
     // audit: no_alloc
     #[inline]
     pub fn record(&'static self, v: u64) {
-        let bits = 64 - v.leading_zeros() as usize;
-        let idx = if bits < BUCKETS { bits } else { BUCKETS - 1 };
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) {
+            self.register();
+        }
+    }
+
+    /// Register without recording, so idle histograms still surface (as
+    /// zero-count rows) in snapshots — the pre-registration pattern.
+    pub fn register_only(&'static self) {
         if !self.registered.load(Ordering::Relaxed) {
             self.register();
         }
@@ -172,15 +186,26 @@ impl Histogram {
     }
 }
 
-/// Inclusive upper bound of bucket `idx` (values with bit length `idx`).
-fn bucket_upper_bound(idx: usize) -> u64 {
-    if idx == 0 {
-        0
-    } else if idx >= BUCKETS - 1 {
-        u64::MAX
+/// Bucket index of value `v`: its bit length, folded into the last
+/// bucket past [`BUCKETS`].
+// audit: no_alloc
+#[inline]
+pub(crate) fn bucket_index(v: u64) -> usize {
+    let bits = 64 - v.leading_zeros() as usize;
+    if bits < BUCKETS {
+        bits
     } else {
-        (1u64 << idx) - 1
+        BUCKETS - 1
     }
+}
+
+/// `[lower, upper)` bounds of bucket `idx`. Bucket 0 is `[0, 1)` (only
+/// zero); bucket `i > 0` is `[2^(i-1), 2^i)`; the last bucket's upper
+/// bound saturates at `u64::MAX`.
+pub(crate) fn bucket_bounds(idx: usize) -> (u64, u64) {
+    let lower = if idx == 0 { 0 } else { 1u64 << (idx - 1) };
+    let upper = if idx >= BUCKETS - 1 { u64::MAX } else { 1u64 << idx };
+    (lower, upper)
 }
 
 // ---------------------------------------------------------------------------
@@ -305,6 +330,7 @@ pub fn capture() -> Snapshot {
     let mut gauges: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut lanes: BTreeMap<&'static str, [u64; MAX_LANES]> = BTreeMap::new();
     let mut hists: BTreeMap<&'static str, (u64, u64, [u64; BUCKETS])> = BTreeMap::new();
+    let mut wins: BTreeMap<(&'static str, usize), crate::sketch::enabled::WinAcc> = BTreeMap::new();
     {
         let reg = lock_registry();
         for entry in reg.iter() {
@@ -333,6 +359,7 @@ pub fn capture() -> Snapshot {
                         *dst += src.load(Ordering::Relaxed);
                     }
                 }
+                Entry::Windowed(w) => w.accumulate(&mut wins),
             }
         }
     }
@@ -356,10 +383,14 @@ pub fn capture() -> Snapshot {
                     .iter()
                     .enumerate()
                     .filter(|&(_, &c)| c > 0)
-                    .map(|(i, &c)| (bucket_upper_bound(i), c))
+                    .map(|(i, &c)| {
+                        let (lo, hi) = bucket_bounds(i);
+                        (lo, hi, c)
+                    })
                     .collect(),
             })
             .collect(),
+        windows: wins.into_iter().map(|((n, lane), acc)| acc.into_snapshot(n, lane)).collect(),
     }
 }
 
@@ -383,6 +414,7 @@ pub fn reset() {
                     b.store(0, Ordering::Relaxed);
                 }
             }
+            Entry::Windowed(w) => w.reset(),
         }
     }
 }
@@ -442,5 +474,36 @@ macro_rules! span {
         static __SAPLA_OBS_SW: $crate::LaneCounter =
             $crate::LaneCounter::new(concat!($name, ".worker_ns"));
         $crate::SpanGuard::enter($name, &__SAPLA_OBS_SH, &__SAPLA_OBS_SW)
+    }};
+}
+
+/// Record into a windowed percentile sketch:
+/// `windowed!("serve.stage.queue", 0, ns)` (lane, value).
+#[macro_export]
+macro_rules! windowed {
+    ($name:literal, $lane:expr, $v:expr) => {{
+        static __SAPLA_OBS_W: $crate::sketch::WindowedHist =
+            $crate::sketch::WindowedHist::new($name);
+        __SAPLA_OBS_W.record($lane, $v);
+    }};
+}
+
+/// Pre-register a histogram so it appears (count 0) before first use.
+#[macro_export]
+macro_rules! register_hist {
+    ($name:literal) => {{
+        static __SAPLA_OBS_RH: $crate::Histogram = $crate::Histogram::new($name);
+        __SAPLA_OBS_RH.register_only();
+    }};
+}
+
+/// Pre-register a windowed sketch so its lane-0 row appears (count 0)
+/// before first use.
+#[macro_export]
+macro_rules! register_windowed {
+    ($name:literal) => {{
+        static __SAPLA_OBS_RW: $crate::sketch::WindowedHist =
+            $crate::sketch::WindowedHist::new($name);
+        __SAPLA_OBS_RW.register_only();
     }};
 }

@@ -40,6 +40,10 @@ mod disabled_impl;
 #[cfg(not(feature = "obs"))]
 pub use disabled_impl::{capture, current_span, reset, span_depth, worker, SpanGuard};
 
+pub mod clock;
+pub mod recorder;
+pub mod sketch;
+
 /// `true` when this build carries instrumentation (`--features obs`).
 #[must_use]
 pub const fn enabled() -> bool {
@@ -71,6 +75,9 @@ pub struct Snapshot {
     pub lanes: Vec<(String, Vec<u64>)>,
     /// Value distributions (span durations in ns, partition sizes, ...).
     pub histograms: Vec<HistSnapshot>,
+    /// Windowed percentile rows (one per `(name, lane)`), covering the
+    /// last [`sketch::WINDOWS`] × [`sketch::WINDOW_NS`] of wall time.
+    pub windows: Vec<WindowSnapshot>,
 }
 
 /// Exported state of one histogram.
@@ -81,8 +88,35 @@ pub struct HistSnapshot {
     pub count: u64,
     /// Sum of recorded values (ns for span histograms).
     pub sum: u64,
-    /// `(inclusive upper bound, count)` per non-empty power-of-two bucket.
-    pub buckets: Vec<(u64, u64)>,
+    /// `(lower inclusive, upper exclusive, count)` per non-empty
+    /// power-of-two bucket, self-describing so consumers need not
+    /// re-derive the edges. The last bucket's upper bound saturates at
+    /// `u64::MAX`.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// Exported state of one windowed-percentile row: counts, the true
+/// observed max, and bucket-resolution percentiles over the live
+/// windows of one [`sketch::WindowedHist`] lane.
+#[derive(Debug, Clone, Default)]
+pub struct WindowSnapshot {
+    pub name: String,
+    /// Lane index (serve stages use lane 0; per-shard rows the shard id).
+    pub lane: usize,
+    /// Values recorded in the live windows.
+    pub count: u64,
+    /// Sum of those values (ns for latency sketches).
+    pub sum: u64,
+    /// True maximum observed in the live windows.
+    pub max: u64,
+    /// Median, clamped to `max` (bucket resolution, see `sketch` docs).
+    pub p50: u64,
+    /// 95th percentile, clamped to `max`.
+    pub p95: u64,
+    /// 99th percentile, clamped to `max`.
+    pub p99: u64,
+    /// `(lower inclusive, upper exclusive, count)` per non-empty bucket.
+    pub buckets: Vec<(u64, u64, u64)>,
 }
 
 impl HistSnapshot {
@@ -111,6 +145,7 @@ impl Snapshot {
             && self.gauges.is_empty()
             && self.lanes.is_empty()
             && self.histograms.is_empty()
+            && self.windows.is_empty()
     }
 
     /// Hand-rolled JSON export, in the `perf_json` style (no serde).
@@ -175,23 +210,31 @@ impl Snapshot {
             s.push_str(&h.count.to_string());
             s.push_str(", \"sum\": ");
             s.push_str(&h.sum.to_string());
-            s.push_str(", \"buckets\": [");
-            for (j, (le, n)) in h.buckets.iter().enumerate() {
-                if j > 0 {
-                    s.push(',');
-                }
-                s.push('[');
-                s.push_str(&le.to_string());
-                s.push(',');
-                s.push_str(&n.to_string());
-                s.push(']');
-            }
-            s.push_str("]}");
+            s.push_str(", \"buckets\": ");
+            push_json_buckets(&mut s, &h.buckets);
+            s.push('}');
         }
         if !self.histograms.is_empty() {
             s.push_str("\n  ");
         }
-        s.push_str("}\n}\n");
+        s.push_str("},\n  \"windows\": [");
+        for (i, w) in self.windows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\"name\": ");
+            push_json_string(&mut s, &w.name);
+            s.push_str(&format!(
+                ", \"lane\": {}, \"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": ",
+                w.lane, w.count, w.sum, w.max, w.p50, w.p95, w.p99
+            ));
+            push_json_buckets(&mut s, &w.buckets);
+            s.push('}');
+        }
+        if !self.windows.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
         s
     }
 
@@ -214,6 +257,7 @@ impl Snapshot {
             .chain(self.gauges.iter().map(|(n, _)| n.len()))
             .chain(self.lanes.iter().map(|(n, _)| n.len()))
             .chain(self.histograms.iter().map(|h| h.name.len()))
+            .chain(self.windows.iter().map(|w| w.name.len()))
             .max()
             .unwrap_or(0);
         for (name, v) in &self.counters {
@@ -231,25 +275,31 @@ impl Snapshot {
             ));
         }
         for h in &self.histograms {
-            let max_le = h.buckets.last().map_or(0, |&(le, _)| le);
+            let max_lt = h.buckets.last().map_or(0, |&(_, hi, _)| hi);
             out.push_str(&format!(
-                "hist     {:<width$}  count {}  sum {}  mean {:.1}  max<= {}\n",
+                "hist     {:<width$}  count {}  sum {}  mean {:.1}  max< {}\n",
                 h.name,
                 h.count,
                 h.sum,
                 h.mean(),
-                max_le
+                max_lt
+            ));
+        }
+        for w in &self.windows {
+            out.push_str(&format!(
+                "window   {:<width$}  lane {}  count {}  p50 {}  p95 {}  p99 {}  max {}\n",
+                w.name, w.lane, w.count, w.p50, w.p95, w.p99, w.max
             ));
         }
         out
     }
 }
 
-/// Append `"name": ` with minimal escaping (metric names are ASCII
-/// identifiers with dots, but stay safe on arbitrary input).
-fn push_json_key(s: &mut String, name: &str) {
+/// Append a quoted JSON string with minimal escaping (metric names are
+/// ASCII identifiers with dots, but stay safe on arbitrary input).
+fn push_json_string(s: &mut String, v: &str) {
     s.push('"');
-    for c in name.chars() {
+    for c in v.chars() {
         match c {
             '"' => s.push_str("\\\""),
             '\\' => s.push_str("\\\\"),
@@ -259,5 +309,29 @@ fn push_json_key(s: &mut String, name: &str) {
             c => s.push(c),
         }
     }
-    s.push_str("\": ");
+    s.push('"');
+}
+
+/// Append `"name": ` (see [`push_json_string`] for the quoting).
+fn push_json_key(s: &mut String, name: &str) {
+    push_json_string(s, name);
+    s.push_str(": ");
+}
+
+/// Append `[[lower,upper,count], ...]` for self-describing buckets.
+fn push_json_buckets(s: &mut String, buckets: &[(u64, u64, u64)]) {
+    s.push('[');
+    for (j, (lo, hi, n)) in buckets.iter().enumerate() {
+        if j > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        s.push_str(&lo.to_string());
+        s.push(',');
+        s.push_str(&hi.to_string());
+        s.push(',');
+        s.push_str(&n.to_string());
+        s.push(']');
+    }
+    s.push(']');
 }

@@ -1,0 +1,260 @@
+//! Windowed latency sketches: rotating time-bucketed histograms that
+//! answer "p50/p95/p99/max over the last minute" instead of process
+//! lifetime.
+//!
+//! A [`WindowedHist`] keeps [`WINDOWS`] rotating windows of
+//! [`WINDOW_NS`] nanoseconds each, per lane (lane = serve stage shard,
+//! worker id, …; indices at or above [`WIN_LANES`] fold into the last
+//! lane). Each window is a power-of-two-bucket histogram like the
+//! lifetime [`crate::Histogram`], plus a true-max cell so reported
+//! percentiles can be clamped to an actually-observed value. Recording
+//! is lock-free relaxed atomics and allocation-free; a window whose
+//! epoch has passed is re-claimed by CAS and zeroed in place by the
+//! claimant.
+//!
+//! # Accuracy caveats
+//!
+//! Values racing a window rotation may land in a window that is being
+//! zeroed (lost) or in the outgoing window (counted one rotation early).
+//! Totals are approximate by design — these sketches answer operational
+//! "last minute" questions; exact lifetime totals live in the plain
+//! histograms. Percentiles are bucket upper bounds (power-of-two
+//! resolution) clamped to the observed max, so
+//! `p50 ≤ p95 ≤ p99 ≤ max` always holds.
+//!
+//! Time comes from [`crate::clock::now_ns`], so tests drive rotation
+//! deterministically through [`crate::clock::TestClock`].
+
+/// Rotating windows per lane. 6 × 10 s ⇒ percentiles cover the last
+/// minute.
+pub const WINDOWS: usize = 6;
+/// Width of one window in nanoseconds (10 s).
+pub const WINDOW_NS: u64 = 10_000_000_000;
+/// Lanes per windowed sketch (serve stages use lane 0; per-shard rows
+/// use the shard index). Indices at or above this fold into the last.
+pub const WIN_LANES: usize = 8;
+
+#[cfg(feature = "obs")]
+pub(crate) mod enabled {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    use super::{WINDOWS, WINDOW_NS, WIN_LANES};
+    use crate::clock;
+    use crate::enabled_impl::{bucket_bounds, bucket_index, register_windowed_entry, BUCKETS};
+    use crate::WindowSnapshot;
+
+    // Repeat-expression initializers for the const constructor (same
+    // pattern as the atomic arrays in `enabled_impl`).
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO_U64: AtomicU64 = AtomicU64::new(0);
+
+    /// One rotating window: the absolute window number it currently
+    /// holds (`0` = never claimed; stored as `window index + 1`), its
+    /// counts, and its bucket array.
+    pub(crate) struct WinSlot {
+        epoch: AtomicU64,
+        count: AtomicU64,
+        sum: AtomicU64,
+        max: AtomicU64,
+        buckets: [AtomicU64; BUCKETS],
+    }
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY_SLOT: WinSlot = WinSlot {
+        epoch: AtomicU64::new(0),
+        count: AtomicU64::new(0),
+        sum: AtomicU64::new(0),
+        max: AtomicU64::new(0),
+        buckets: [ZERO_U64; BUCKETS],
+    };
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const EMPTY_LANE: [WinSlot; WINDOWS] = [EMPTY_SLOT; WINDOWS];
+
+    /// A named windowed sketch (see the module docs).
+    pub struct WindowedHist {
+        name: &'static str,
+        lanes: [[WinSlot; WINDOWS]; WIN_LANES],
+        registered: AtomicBool,
+    }
+
+    impl WindowedHist {
+        #[must_use]
+        pub const fn new(name: &'static str) -> Self {
+            WindowedHist {
+                name,
+                lanes: [EMPTY_LANE; WIN_LANES],
+                registered: AtomicBool::new(false),
+            }
+        }
+
+        /// Record `v` into lane `lane`'s current window.
+        // audit: no_alloc
+        #[inline]
+        pub fn record(&'static self, lane: usize, v: u64) {
+            let lane = if lane < WIN_LANES { lane } else { WIN_LANES - 1 };
+            // +1 so epoch 0 can mean "never claimed".
+            let win = clock::now_ns() / WINDOW_NS + 1;
+            // cast_ok: reduced modulo WINDOWS (= 6) first, so the value
+            // always fits usize.
+            let slot = &self.lanes[lane][(win % WINDOWS as u64) as usize];
+            let cur = slot.epoch.load(Ordering::Relaxed);
+            if cur != win {
+                // Claim the slot for the new window; exactly one racer
+                // wins and zeroes it (see module docs for the race
+                // semantics at the rotation edge).
+                if slot
+                    .epoch
+                    .compare_exchange(cur, win, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    slot.count.store(0, Ordering::Relaxed);
+                    slot.sum.store(0, Ordering::Relaxed);
+                    slot.max.store(0, Ordering::Relaxed);
+                    for b in &slot.buckets {
+                        b.store(0, Ordering::Relaxed);
+                    }
+                }
+            }
+            slot.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            slot.count.fetch_add(1, Ordering::Relaxed);
+            slot.sum.fetch_add(v, Ordering::Relaxed);
+            slot.max.fetch_max(v, Ordering::Relaxed);
+            if !self.registered.load(Ordering::Relaxed) {
+                self.register();
+            }
+        }
+
+        /// Register without recording, so idle sketches still surface
+        /// (as all-zero rows) in snapshots — the pre-registration
+        /// pattern.
+        pub fn register_only(&'static self) {
+            if !self.registered.load(Ordering::Relaxed) {
+                self.register();
+            }
+        }
+
+        #[cold]
+        fn register(&'static self) {
+            register_windowed_entry(&self.registered, self);
+        }
+
+        /// Forget every window (epoch back to "never claimed"); stays
+        /// registered, so the lane-0 zero row keeps appearing.
+        pub(crate) fn reset(&'static self) {
+            for slots in &self.lanes {
+                for slot in slots {
+                    slot.epoch.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+
+        /// Fold this sketch's live windows into the capture
+        /// accumulator, merging same-named call sites. Lane 0 is always
+        /// emitted (zeros surface); higher lanes only once touched.
+        pub(crate) fn accumulate(&'static self, acc: &mut BTreeMap<(&'static str, usize), WinAcc>) {
+            let now_win = clock::now_ns() / WINDOW_NS + 1;
+            // Live = claimed within the last WINDOWS windows (including
+            // the current one).
+            let oldest_live = now_win.saturating_sub(WINDOWS as u64 - 1);
+            for (lane, slots) in self.lanes.iter().enumerate() {
+                let mut touched = false;
+                let mut merged = WinAcc::default();
+                for slot in slots {
+                    let epoch = slot.epoch.load(Ordering::Relaxed);
+                    if epoch == 0 {
+                        continue;
+                    }
+                    touched = true;
+                    if epoch < oldest_live {
+                        continue; // expired: older than the last minute
+                    }
+                    merged.count += slot.count.load(Ordering::Relaxed);
+                    merged.sum += slot.sum.load(Ordering::Relaxed);
+                    merged.max = merged.max.max(slot.max.load(Ordering::Relaxed));
+                    for (dst, src) in merged.buckets.iter_mut().zip(&slot.buckets) {
+                        *dst += src.load(Ordering::Relaxed);
+                    }
+                }
+                if lane == 0 || touched {
+                    let entry = acc.entry((self.name, lane)).or_default();
+                    entry.merge(&merged);
+                }
+            }
+        }
+    }
+
+    /// Capture-time accumulator for one `(name, lane)` row.
+    pub(crate) struct WinAcc {
+        count: u64,
+        sum: u64,
+        max: u64,
+        buckets: [u64; BUCKETS],
+    }
+
+    impl Default for WinAcc {
+        fn default() -> Self {
+            WinAcc { count: 0, sum: 0, max: 0, buckets: [0; BUCKETS] }
+        }
+    }
+
+    impl WinAcc {
+        fn merge(&mut self, other: &WinAcc) {
+            self.count += other.count;
+            self.sum += other.sum;
+            self.max = self.max.max(other.max);
+            for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+                *dst += src;
+            }
+        }
+
+        /// Smallest bucket upper bound whose cumulative count reaches
+        /// quantile `q_num / q_den`, clamped to the observed max so
+        /// `p50 ≤ p95 ≤ p99 ≤ max` holds by construction.
+        fn percentile(&self, q_num: u64, q_den: u64) -> u64 {
+            if self.count == 0 {
+                return 0;
+            }
+            let rank = (self.count * q_num).div_ceil(q_den).max(1);
+            let mut cum = 0u64;
+            for (i, &c) in self.buckets.iter().enumerate() {
+                cum += c;
+                if cum >= rank {
+                    // Inclusive upper value of bucket i is its exclusive
+                    // upper bound minus one (bucket 0 holds only zero).
+                    let (_, upper) = bucket_bounds(i);
+                    let inclusive = if i == 0 { 0 } else { upper.saturating_sub(1) };
+                    return inclusive.min(self.max);
+                }
+            }
+            self.max
+        }
+
+        pub(crate) fn into_snapshot(self, name: &str, lane: usize) -> WindowSnapshot {
+            WindowSnapshot {
+                name: name.to_string(),
+                lane,
+                count: self.count,
+                sum: self.sum,
+                max: self.max,
+                p50: self.percentile(1, 2),
+                p95: self.percentile(19, 20),
+                p99: self.percentile(99, 100),
+                buckets: self
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, &c)| {
+                        let (lo, hi) = bucket_bounds(i);
+                        (lo, hi, c)
+                    })
+                    .collect(),
+            }
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use enabled::WindowedHist;

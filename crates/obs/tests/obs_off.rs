@@ -1,7 +1,7 @@
 //! Behavior of the stub build. Compiled only WITHOUT `--features obs`.
 #![cfg(not(feature = "obs"))]
 
-use sapla_obs::{counter, gauge_max, hist, lane_counter, span, Snapshot};
+use sapla_obs::{counter, gauge_max, hist, lane_counter, span, windowed, Snapshot};
 
 #[test]
 fn disabled_build_records_nothing() {
@@ -11,6 +11,9 @@ fn disabled_build_records_nothing() {
     lane_counter!("test.off.lanes", 1, 2);
     gauge_max!("test.off.gauge", 9);
     hist!("test.off.hist", 3);
+    windowed!("test.off.win", 0, 4);
+    sapla_obs::register_hist!("test.off.pre.hist");
+    sapla_obs::register_windowed!("test.off.pre.win");
     {
         let _span = span!("test.off.span");
         assert_eq!(sapla_obs::span_depth(), 0);
@@ -25,5 +28,21 @@ fn disabled_build_records_nothing() {
     let json = snap.to_json();
     assert!(json.contains("\"enabled\": false"));
     assert!(json.contains("\"counters\": {}"));
+    assert!(json.contains("\"windows\": []"));
     assert!(snap.render_table().contains("disabled"));
+}
+
+#[test]
+fn disabled_recorder_and_clock_are_inert() {
+    use sapla_obs::recorder::{self, Meta, Stage};
+    assert_eq!(sapla_obs::clock::now_ns(), 0);
+    let t = recorder::begin();
+    assert!(!t.is_some());
+    recorder::stage(t, Stage::Decode, 0, 5);
+    recorder::set_meta(t, Meta::K, 3);
+    assert_eq!(recorder::end(t), 0);
+    assert!(!recorder::armed());
+    assert!(recorder::fetch(t).is_none());
+    assert!(recorder::recent(8).is_empty());
+    recorder::reset();
 }

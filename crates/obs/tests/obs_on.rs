@@ -3,7 +3,7 @@
 
 use std::sync::{Mutex, PoisonError};
 
-use sapla_obs::{counter, gauge_max, hist, lane_counter, span, Snapshot};
+use sapla_obs::{counter, gauge_max, hist, lane_counter, span, windowed, Snapshot};
 
 /// Metrics are process-global; serialize tests that assert on exact
 /// values so `reset()` in one test cannot race another's increments.
@@ -85,8 +85,9 @@ fn histogram_counts_sums_and_buckets() {
     let h = snap.histograms.iter().find(|h| h.name == "test.hist").cloned().unwrap_or_default();
     assert_eq!(h.count, 3);
     assert_eq!(h.sum, 1024);
-    // 0 -> bucket 0 (le 0), 1 -> bucket 1 (le 1), 1023 -> bucket 10 (le 1023).
-    assert_eq!(h.buckets, vec![(0, 1), (1, 1), (1023, 1)]);
+    // Buckets are self-describing [lower, upper) ranges with counts:
+    // 0 -> [0,1), 1 -> [1,2), 1023 -> [512,1024).
+    assert_eq!(h.buckets, vec![(0, 1, 1), (1, 2, 1), (512, 1024, 1)]);
     assert!((h.mean() - 1024.0 / 3.0).abs() < 1e-9);
 }
 
@@ -143,7 +144,14 @@ fn json_is_balanced_and_carries_sections() {
     counter!("test.json \"quoted\"", 1);
     let snap = Snapshot::capture();
     let json = snap.to_json();
-    for key in ["\"enabled\": true", "\"counters\"", "\"gauges\"", "\"lanes\"", "\"histograms\""] {
+    for key in [
+        "\"enabled\": true",
+        "\"counters\"",
+        "\"gauges\"",
+        "\"lanes\"",
+        "\"histograms\"",
+        "\"windows\"",
+    ] {
         assert!(json.contains(key), "missing {key} in {json}");
     }
     assert!(json.contains("test.json \\\"quoted\\\""));
@@ -152,4 +160,153 @@ fn json_is_balanced_and_carries_sections() {
     assert_eq!(opens, closes, "unbalanced JSON:\n{json}");
     let table = snap.render_table();
     assert!(table.contains("counter"));
+}
+
+fn window_row<'a>(
+    snap: &'a Snapshot,
+    name: &str,
+    lane: usize,
+) -> Option<&'a sapla_obs::WindowSnapshot> {
+    snap.windows.iter().find(|w| w.name == name && w.lane == lane)
+}
+
+#[test]
+fn windowed_percentiles_are_monotone_and_clamped_to_max() {
+    let _g = lock();
+    sapla_obs::reset();
+    let clock = sapla_obs::clock::TestClock::install(0);
+    for v in [10u64, 20, 30, 1000, 5000] {
+        windowed!("test.win.mono", 0, v);
+    }
+    let snap = Snapshot::capture();
+    let w = window_row(&snap, "test.win.mono", 0).expect("window row present");
+    assert_eq!(w.count, 5);
+    assert_eq!(w.sum, 6060);
+    assert_eq!(w.max, 5000);
+    assert!(w.p50 <= w.p95, "p50 {} > p95 {}", w.p50, w.p95);
+    assert!(w.p95 <= w.p99, "p95 {} > p99 {}", w.p95, w.p99);
+    assert!(w.p99 <= w.max, "p99 {} > max {}", w.p99, w.max);
+    // p99 falls in the 5000 bucket [4096, 8192) and clamps to the true max.
+    assert_eq!(w.p99, 5000);
+    // Buckets are self-describing [lower, upper) triples summing to count.
+    assert_eq!(w.buckets.iter().map(|&(_, _, c)| c).sum::<u64>(), 5);
+    for &(lo, hi, _) in &w.buckets {
+        assert!(lo < hi);
+    }
+    drop(clock);
+}
+
+#[test]
+fn windowed_rotation_expires_old_windows() {
+    let _g = lock();
+    sapla_obs::reset();
+    let clock = sapla_obs::clock::TestClock::install(0);
+    windowed!("test.win.rotate", 0, 100);
+    // Advance past the full horizon: the old window must drop out.
+    clock.advance(sapla_obs::sketch::WINDOW_NS * sapla_obs::sketch::WINDOWS as u64);
+    windowed!("test.win.rotate", 0, 7);
+    let snap = Snapshot::capture();
+    let w = window_row(&snap, "test.win.rotate", 0).expect("window row present");
+    assert_eq!(w.count, 1, "expired window still counted: {w:?}");
+    assert_eq!(w.max, 7);
+
+    // Within the horizon both windows are live.
+    sapla_obs::reset();
+    windowed!("test.win.rotate2", 0, 100);
+    clock.advance(sapla_obs::sketch::WINDOW_NS);
+    windowed!("test.win.rotate2", 0, 7);
+    let snap = Snapshot::capture();
+    let w = window_row(&snap, "test.win.rotate2", 0).expect("window row present");
+    assert_eq!(w.count, 2);
+    assert_eq!(w.max, 100);
+    drop(clock);
+}
+
+#[test]
+fn windowed_lanes_split_and_fold() {
+    let _g = lock();
+    sapla_obs::reset();
+    let clock = sapla_obs::clock::TestClock::install(0);
+    windowed!("test.win.lanes", 1, 5);
+    windowed!("test.win.lanes", sapla_obs::sketch::WIN_LANES + 3, 9);
+    let snap = Snapshot::capture();
+    // Lane 0 always surfaces (pre-registration zeros), lane 1 and the
+    // folded last lane carry the records.
+    assert_eq!(window_row(&snap, "test.win.lanes", 0).map(|w| w.count), Some(0));
+    assert_eq!(window_row(&snap, "test.win.lanes", 1).map(|w| w.count), Some(1));
+    let last = window_row(&snap, "test.win.lanes", sapla_obs::sketch::WIN_LANES - 1);
+    assert_eq!(last.map(|w| w.max), Some(9));
+    drop(clock);
+}
+
+#[test]
+fn register_macros_surface_zero_rows() {
+    let _g = lock();
+    sapla_obs::reset();
+    sapla_obs::register_hist!("test.pre.hist");
+    sapla_obs::register_windowed!("test.pre.win");
+    let snap = Snapshot::capture();
+    let h = snap.histograms.iter().find(|h| h.name == "test.pre.hist");
+    assert_eq!(h.map(|h| h.count), Some(0));
+    assert_eq!(window_row(&snap, "test.pre.win", 0).map(|w| w.count), Some(0));
+}
+
+#[test]
+fn recorder_traces_decompose_into_stages() {
+    use sapla_obs::recorder::{self, Meta, Stage};
+    let _g = lock();
+    sapla_obs::reset();
+    let clock = sapla_obs::clock::TestClock::install(1_000);
+    recorder::reset();
+    recorder::set_armed(true);
+
+    let t = recorder::begin();
+    assert!(t.is_some());
+    clock.advance(50);
+    recorder::stage(t, Stage::Decode, 1_000, 1_050);
+    clock.advance(200);
+    recorder::stage(t, Stage::Queue, 1_050, 1_250);
+    recorder::set_meta(t, Meta::K, 5);
+    clock.advance(700);
+    recorder::stage(t, Stage::Execute, 1_250, 1_950);
+    clock.advance(50);
+    let total = recorder::end(t);
+    assert_eq!(total, 1_000);
+
+    let dump = recorder::fetch(t).expect("trace still in ring");
+    assert_eq!(dump.total_ns, 1_000);
+    assert_eq!(dump.meta[Meta::K as usize], 5);
+    assert_eq!(dump.stages, vec![("decode", 0, 50), ("queue", 50, 200), ("execute", 250, 700)]);
+    assert!(dump.stage_sum_ns() <= dump.total_ns);
+    let recent = recorder::recent(8);
+    assert!(recent.iter().any(|d| d.id == t.0));
+    drop(clock);
+}
+
+#[test]
+fn recorder_ring_overwrites_and_drops_stale_writes() {
+    use sapla_obs::recorder::{self, Stage, TRACE_CAPACITY};
+    let _g = lock();
+    sapla_obs::reset();
+    let clock = sapla_obs::clock::TestClock::install(0);
+    recorder::reset();
+    recorder::set_armed(true);
+
+    let old = recorder::begin();
+    // Wrap the ring: `old`'s slot is reused by a newer generation.
+    for _ in 0..TRACE_CAPACITY {
+        let t = recorder::begin();
+        recorder::end(t);
+    }
+    recorder::stage(old, Stage::Decode, 0, 99);
+    assert_eq!(recorder::end(old), 0, "stale end must be dropped");
+    assert!(recorder::fetch(old).is_none(), "overwritten trace must not resolve");
+
+    // Disarmed: begin is a no-op.
+    recorder::set_armed(false);
+    let t = recorder::begin();
+    assert!(!t.is_some());
+    assert_eq!(recorder::end(t), 0);
+    recorder::set_armed(true);
+    drop(clock);
 }

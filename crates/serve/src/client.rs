@@ -5,7 +5,7 @@
 
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::wire::{self, KnnResponse, RangeResponse};
+use crate::wire::{self, KnnResponse, MetricsFormat, RangeResponse};
 use crate::{Result, ServeError};
 
 /// A blocking connection to a running [`crate::Server`].
@@ -63,6 +63,23 @@ impl Client {
     /// As for [`Client::knn`].
     pub fn stats(&mut self) -> Result<String> {
         let payload = self.roundtrip(&wire::encode_bare_request(wire::OP_STATS))?;
+        let mut r = wire::check_status(&payload).map_err(ServeError::Protocol)?;
+        let text = r.blob().map_err(ServeError::Protocol)?;
+        let text = String::from_utf8_lossy(text).into_owned();
+        r.finish().map_err(ServeError::Protocol)?;
+        Ok(text)
+    }
+
+    /// The server's metrics exposition: JSON (stats extended with
+    /// `latency` percentile rows and `trace` sections — recent flight
+    /// recorder traces and the `--slow-ms` slow-query log) or a
+    /// Prometheus-style text document.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::knn`].
+    pub fn metrics(&mut self, format: MetricsFormat) -> Result<String> {
+        let payload = self.roundtrip(&wire::encode_metrics_request(format))?;
         let mut r = wire::check_status(&payload).map_err(ServeError::Protocol)?;
         let text = r.blob().map_err(ServeError::Protocol)?;
         let text = String::from_utf8_lossy(text).into_owned();

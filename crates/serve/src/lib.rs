@@ -42,6 +42,7 @@
 //!   RELOAD   (0x05) := blen:u32 blob[blen]          (blen = 0 ⇒ reload
 //!                                                    from own snapshot)
 //!   SHUTDOWN (0x06) := —
+//!   METRICS  (0x07) := format:u8                    (0 = JSON, 1 = text)
 //! response := status:u8 body
 //!   status 1 (error) := mlen:u32 utf8[mlen]
 //!   KNN ok   := nq:u32 { n:u32 (id:u64 dist:f64){n} measured:u64 }{nq}
@@ -51,6 +52,8 @@
 //!   SNAPSHOT ok := blen:u32 blob[blen]              (codec collection)
 //!   RELOAD ok   := records:u64
 //!   SHUTDOWN ok := —
+//!   METRICS ok  := tlen:u32 utf8[tlen]              (JSON or Prometheus-
+//!                                                    style text document)
 //! ```
 //!
 //! Malformed frames, non-finite samples, or engine failures produce an
@@ -58,12 +61,13 @@
 //! a frame the peer never completes (socket death) ends a connection.
 
 mod client;
+mod metrics;
 mod server;
 mod wire;
 
 pub use client::Client;
 pub use server::{Server, ServerConfig};
-pub use wire::{KnnResponse, KnnResult, RangeResponse, MAX_FRAME};
+pub use wire::{KnnResponse, KnnResult, MetricsFormat, RangeResponse, MAX_FRAME};
 
 /// Failures surfaced to embedders and clients of the daemon.
 #[derive(Debug)]

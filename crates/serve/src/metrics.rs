@@ -1,0 +1,189 @@
+//! `OP_METRICS` exposition builders: the extended JSON document
+//! (stats + `latency` + `trace` sections) and a Prometheus-style text
+//! format. Both are built from the same inputs — the `server` counters,
+//! the `sapla-obs` snapshot, the flight-recorder ring, and the server's
+//! slow-query log — so the two formats never disagree on a value's
+//! source, only on its spelling.
+
+use sapla_obs::recorder::{self, TraceDump, META_NAMES};
+use sapla_obs::Snapshot;
+
+/// Most recent completed traces included in the `trace.recent` section.
+const RECENT_TRACES: usize = 16;
+
+fn push_trace(out: &mut String, d: &TraceDump, indent: &str) {
+    out.push_str(&format!(
+        "{{\"id\": {}, \"total_ns\": {}, \"stage_sum_ns\": {}, \"meta\": {{",
+        d.id,
+        d.total_ns,
+        d.stage_sum_ns()
+    ));
+    for (i, (name, v)) in META_NAMES.iter().zip(d.meta).enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\": {v}"));
+    }
+    out.push_str("}, \"stages\": [");
+    for (i, &(name, off, dur)) in d.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{indent}  {{\"name\": \"{name}\", \"start_ns\": {off}, \"dur_ns\": {dur}}}"
+        ));
+    }
+    if !d.stages.is_empty() {
+        out.push('\n');
+        out.push_str(indent);
+    }
+    out.push_str("]}");
+}
+
+fn push_trace_array(out: &mut String, traces: &[TraceDump], indent: &str) {
+    out.push('[');
+    for (i, d) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(indent);
+        push_trace(out, d, indent);
+    }
+    if !traces.is_empty() {
+        out.push('\n');
+        // Closing bracket sits one level shallower than the elements.
+        out.push_str(indent.strip_suffix("  ").unwrap_or(indent));
+    }
+    out.push(']');
+}
+
+/// The `OP_METRICS` JSON document: the `stats` payload extended with a
+/// `latency` section (windowed percentile rows) and a `trace` section
+/// (recorder state, recent traces, and the slow-query log).
+pub(crate) fn metrics_json(server_obj: &str, slow_ns: Option<u64>, slow: &[TraceDump]) -> String {
+    let snap = Snapshot::capture();
+    let mut out = String::new();
+    out.push_str("{\n  \"server\": ");
+    out.push_str(server_obj);
+    out.push_str(",\n  \"obs\": ");
+    out.push_str(snap.to_json().trim_end());
+    out.push_str(",\n  \"latency\": [");
+    for (i, w) in snap.windows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "\n    {{\"name\": \"{}\", \"lane\": {}, \"count\": {}, ",
+                "\"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}"
+            ),
+            w.name, w.lane, w.count, w.p50, w.p95, w.p99, w.max
+        ));
+    }
+    if !snap.windows.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"trace\": {\"armed\": ");
+    out.push_str(if recorder::armed() { "true" } else { "false" });
+    out.push_str(", \"slow_threshold_ns\": ");
+    match slow_ns {
+        Some(ns) => out.push_str(&ns.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"recent\": ");
+    push_trace_array(&mut out, &recorder::recent(RECENT_TRACES), "    ");
+    out.push_str(", \"slow\": ");
+    push_trace_array(&mut out, slow, "    ");
+    out.push_str("}\n}\n");
+    out
+}
+
+/// One Prometheus-style sample line: `metric{name="...",...} value`.
+fn sample(out: &mut String, metric: &str, labels: &[(&str, &str)], value: u64) {
+    out.push_str(metric);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            // Metric names are ASCII identifiers with dots; escape the
+            // reserved characters anyway so arbitrary names stay valid.
+            for c in v.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Prometheus-style text exposition of the same state `metrics_json`
+/// reports: server counters, obs counters/gauges/lanes, self-describing
+/// histogram buckets, windowed percentiles, and slow-log gauges.
+pub(crate) fn metrics_text(
+    server_counters: &[(&'static str, u64)],
+    slow_ns: Option<u64>,
+    slow: &[TraceDump],
+) -> String {
+    let snap = Snapshot::capture();
+    let mut out = String::new();
+    out.push_str("# TYPE sapla_server counter\n");
+    for &(name, v) in server_counters {
+        sample(&mut out, "sapla_server", &[("name", name)], v);
+    }
+    out.push_str("# TYPE sapla_counter counter\n");
+    for (name, v) in &snap.counters {
+        sample(&mut out, "sapla_counter", &[("name", name)], *v);
+    }
+    out.push_str("# TYPE sapla_gauge gauge\n");
+    for (name, v) in &snap.gauges {
+        sample(&mut out, "sapla_gauge", &[("name", name)], *v);
+    }
+    out.push_str("# TYPE sapla_lane counter\n");
+    for (name, lanes) in &snap.lanes {
+        for (lane, v) in lanes.iter().enumerate() {
+            sample(&mut out, "sapla_lane", &[("name", name), ("lane", &lane.to_string())], *v);
+        }
+    }
+    out.push_str("# TYPE sapla_hist histogram\n");
+    for h in &snap.histograms {
+        sample(&mut out, "sapla_hist_count", &[("name", &h.name)], h.count);
+        sample(&mut out, "sapla_hist_sum", &[("name", &h.name)], h.sum);
+        for &(lo, hi, c) in &h.buckets {
+            sample(
+                &mut out,
+                "sapla_hist_bucket",
+                &[("name", &h.name), ("lower", &lo.to_string()), ("upper", &hi.to_string())],
+                c,
+            );
+        }
+    }
+    out.push_str("# TYPE sapla_window gauge\n");
+    for w in &snap.windows {
+        let lane = w.lane.to_string();
+        let labels: &[(&str, &str)] = &[("name", &w.name), ("lane", &lane)];
+        sample(&mut out, "sapla_window_count", labels, w.count);
+        sample(&mut out, "sapla_window_p50_ns", labels, w.p50);
+        sample(&mut out, "sapla_window_p95_ns", labels, w.p95);
+        sample(&mut out, "sapla_window_p99_ns", labels, w.p99);
+        sample(&mut out, "sapla_window_max_ns", labels, w.max);
+    }
+    out.push_str("# TYPE sapla_slow gauge\n");
+    if let Some(ns) = slow_ns {
+        sample(&mut out, "sapla_slow_threshold_ns", &[], ns);
+    }
+    sample(&mut out, "sapla_slow_log_size", &[], slow.len() as u64);
+    out
+}

@@ -14,9 +14,13 @@ use std::time::Instant;
 use bytes::Buf;
 use sapla_core::TimeSeries;
 use sapla_index::{BatchStats, Engine, Query, SearchStats};
+use sapla_obs::recorder::{self, Meta, Stage, TraceDump, TraceId};
 
-use crate::wire::{self, Request};
-use crate::Result;
+use crate::wire::{self, MetricsFormat, Request};
+use crate::{metrics, Result};
+
+/// Most traces the slow-query log retains (oldest evicted first).
+const SLOW_LOG_CAP: usize = 32;
 
 /// Per-instance knobs (everything index-shaped lives in
 /// [`sapla_index::EngineConfig`] instead).
@@ -26,11 +30,15 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Per-frame byte cap (defaults to [`wire::MAX_FRAME`]).
     pub max_frame: usize,
+    /// Copy any request slower than this many milliseconds end-to-end
+    /// into the slow-query log served by `OP_METRICS` (`None` = off).
+    /// Needs the `obs` feature; without it the log stays empty.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { threads: 0, max_frame: wire::MAX_FRAME }
+        ServerConfig { threads: 0, max_frame: wire::MAX_FRAME, slow_ms: None }
     }
 }
 
@@ -40,6 +48,10 @@ struct Job {
     queries: Vec<Query>,
     k: usize,
     reply: mpsc::Sender<std::result::Result<(Vec<SearchStats>, BatchStats), String>>,
+    /// Flight-recorder handle of the originating request.
+    trace: TraceId,
+    /// Obs-clock enqueue timestamp: the queue-wait stage's start.
+    enqueued_ns: u64,
 }
 
 /// Plain atomic counters mirrored into the `stats` response. These are
@@ -69,6 +81,11 @@ struct Shared {
     counters: Counters,
     threads: usize,
     max_frame: usize,
+    /// `--slow-ms` converted to nanoseconds (`None` = slow log off).
+    slow_ns: Option<u64>,
+    /// Bounded log of completed stage traces that overran `slow_ns`.
+    /// Locked alone, never nested with `queue` or `streams`.
+    slow_log: Mutex<VecDeque<TraceDump>>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -102,6 +119,7 @@ impl Server {
     pub fn start(engine: Engine, addr: impl ToSocketAddrs, cfg: ServerConfig) -> Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        preregister_metrics();
         let shared = Arc::new(Shared {
             engine: RwLock::new(Arc::new(engine)),
             queue: Mutex::new(VecDeque::new()),
@@ -111,6 +129,8 @@ impl Server {
             counters: Counters::default(),
             threads: cfg.threads,
             max_frame: cfg.max_frame,
+            slow_ns: cfg.slow_ms.map(|ms| ms.saturating_mul(1_000_000)),
+            slow_log: Mutex::new(VecDeque::new()),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let batcher = {
@@ -232,13 +252,71 @@ fn register_stream(shared: &Shared, stream: &TcpStream) {
     }
 }
 
+/// Register every serve metric before the first request, so `stats` /
+/// `OP_METRICS` surface zero rows for idle stages instead of omitting
+/// them. Call sites merge by name, so these zero-touch registrations
+/// alias the hot-path statics in every snapshot.
+fn preregister_metrics() {
+    sapla_obs::counter!("serve.requests", 0);
+    sapla_obs::counter!("serve.reloads", 0);
+    sapla_obs::gauge_max!("serve.queue.depth.hwm", 0);
+    sapla_obs::register_hist!("serve.request.ns");
+    sapla_obs::register_hist!("serve.batch.jobs");
+    sapla_obs::register_hist!("serve.batch.queries");
+    sapla_obs::register_windowed!("serve.request");
+    sapla_obs::register_windowed!("serve.stage.decode");
+    sapla_obs::register_windowed!("serve.stage.prepare");
+    sapla_obs::register_windowed!("serve.stage.queue");
+    sapla_obs::register_windowed!("serve.stage.batch");
+    sapla_obs::register_windowed!("serve.stage.execute");
+    sapla_obs::register_windowed!("serve.stage.merge");
+    sapla_obs::register_windowed!("serve.stage.reply");
+    sapla_obs::register_windowed!("engine.shard.knn.ns");
+}
+
+/// Record one stage interval into the flight recorder *and* that
+/// stage's windowed percentile sketch (macro names must be literals, so
+/// the stage → sketch fanout is spelled out).
+fn record_stage(trace: TraceId, stage: Stage, start_ns: u64, end_ns: u64) {
+    recorder::stage(trace, stage, start_ns, end_ns);
+    let dur = end_ns.saturating_sub(start_ns);
+    match stage {
+        Stage::Decode => sapla_obs::windowed!("serve.stage.decode", 0, dur),
+        Stage::Prepare => sapla_obs::windowed!("serve.stage.prepare", 0, dur),
+        Stage::Queue => sapla_obs::windowed!("serve.stage.queue", 0, dur),
+        Stage::Batch => sapla_obs::windowed!("serve.stage.batch", 0, dur),
+        Stage::Execute => sapla_obs::windowed!("serve.stage.execute", 0, dur),
+        Stage::Merge => sapla_obs::windowed!("serve.stage.merge", 0, dur),
+        Stage::Reply => sapla_obs::windowed!("serve.stage.reply", 0, dur),
+    }
+    let _ = dur;
+}
+
 /// Record request latency; consumes `started` even when obs is off so
 /// the disabled macro (which drops its arguments unevaluated) leaves no
 /// unused binding behind.
 fn record_latency(started: Instant) {
     let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     sapla_obs::hist!("serve.request.ns", ns);
+    sapla_obs::windowed!("serve.request", 0, ns);
     let _ = ns;
+}
+
+/// Copy a finished over-threshold trace into the bounded slow-query
+/// log. The log lock is taken alone (never nested with `queue` or
+/// `streams`), so it cannot participate in a lock cycle.
+fn note_slow(shared: &Shared, trace: TraceId, elapsed_ns: u64) {
+    let Some(threshold) = shared.slow_ns else { return };
+    if elapsed_ns < threshold {
+        return;
+    }
+    if let Some(dump) = recorder::fetch(trace) {
+        let mut log = lock(&shared.slow_log);
+        if log.len() == SLOW_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(dump);
+    }
 }
 
 fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, local: Option<SocketAddr>) {
@@ -247,17 +325,26 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, local: Option<So
     // conversation; only a well-formed frame keeps the loop alive.
     while let Ok(Some(payload)) = wire::read_frame(&mut stream, shared.max_frame) {
         let started = Instant::now();
+        let trace = recorder::begin();
+        let decode_start = sapla_obs::clock::now_ns();
         shared.counters.requests.fetch_add(1, Ordering::Relaxed);
         sapla_obs::counter!("serve.requests");
-        let (response, shutdown_after) = match wire::decode_request(&payload) {
+        let decoded = wire::decode_request(&payload);
+        record_stage(trace, Stage::Decode, decode_start, sapla_obs::clock::now_ns());
+        let (response, shutdown_after) = match decoded {
             Ok(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
-                (handle_request(shared, req), is_shutdown)
+                (handle_request(shared, req, trace), is_shutdown)
             }
             Err(msg) => (wire::err_response(&msg), false),
         };
+        let reply_start = sapla_obs::clock::now_ns();
+        let write_ok = wire::write_frame(&mut stream, &response).is_ok();
+        record_stage(trace, Stage::Reply, reply_start, sapla_obs::clock::now_ns());
+        let elapsed_ns = recorder::end(trace);
         record_latency(started);
-        if wire::write_frame(&mut stream, &response).is_err() {
+        note_slow(shared, trace, elapsed_ns);
+        if !write_ok {
             break;
         }
         if shutdown_after {
@@ -272,9 +359,9 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>, local: Option<So
 }
 
 /// Serve one decoded request; every failure becomes an error response.
-fn handle_request(shared: &Arc<Shared>, req: Request) -> Vec<u8> {
+fn handle_request(shared: &Arc<Shared>, req: Request, trace: TraceId) -> Vec<u8> {
     match req {
-        Request::Knn { k, queries } => handle_knn(shared, k, &queries),
+        Request::Knn { k, queries } => handle_knn(shared, k, &queries, trace),
         Request::Range { epsilon, query } => handle_range(shared, epsilon, query),
         Request::Stats => wire::ok_text_response(&stats_json(shared)),
         Request::Snapshot => match shared.current_engine().snapshot() {
@@ -283,16 +370,38 @@ fn handle_request(shared: &Arc<Shared>, req: Request) -> Vec<u8> {
         },
         Request::Reload { blob } => handle_reload(shared, blob),
         Request::Shutdown => wire::ok_empty_response(),
+        Request::Metrics { format } => {
+            let text = match format {
+                MetricsFormat::Json => metrics::metrics_json(
+                    &server_section(shared),
+                    shared.slow_ns,
+                    &slow_log_copy(shared),
+                ),
+                MetricsFormat::Text => metrics::metrics_text(
+                    &shared.counters.export(),
+                    shared.slow_ns,
+                    &slow_log_copy(shared),
+                ),
+            };
+            wire::ok_text_response(&text)
+        }
     }
 }
 
-fn handle_knn(shared: &Arc<Shared>, k: usize, queries: &[Vec<f64>]) -> Vec<u8> {
+/// Clone the slow log for exposition (held briefly, lock taken alone).
+fn slow_log_copy(shared: &Shared) -> Vec<TraceDump> {
+    lock(&shared.slow_log).iter().cloned().collect()
+}
+
+fn handle_knn(shared: &Arc<Shared>, k: usize, queries: &[Vec<f64>], trace: TraceId) -> Vec<u8> {
     if k == 0 {
         return wire::err_response("k must be at least 1");
     }
     if queries.is_empty() {
         return wire::err_response("a kNN request needs at least one query");
     }
+    let prepare_start = sapla_obs::clock::now_ns();
+    recorder::set_meta(trace, Meta::K, k as u64);
     let engine = shared.current_engine();
     let raws: sapla_core::Result<Vec<TimeSeries>> =
         queries.iter().map(|q| TimeSeries::new(q.clone())).collect();
@@ -300,10 +409,12 @@ fn handle_knn(shared: &Arc<Shared>, k: usize, queries: &[Vec<f64>]) -> Vec<u8> {
         Ok(p) => p,
         Err(e) => return wire::err_response(&e.to_string()),
     };
+    record_stage(trace, Stage::Prepare, prepare_start, sapla_obs::clock::now_ns());
     // Hand the prepared queries to the batcher and block on the reply.
     // Queries only depend on the reducer and `m`, both invariant across
     // reloads, so they stay valid whichever engine generation answers.
     let (tx, rx) = mpsc::channel();
+    let enqueued_ns = sapla_obs::clock::now_ns();
     {
         // The flag is checked under the queue lock: the batcher only
         // exits once the flag is up *and* the queue is empty (also
@@ -313,7 +424,7 @@ fn handle_knn(shared: &Arc<Shared>, k: usize, queries: &[Vec<f64>]) -> Vec<u8> {
         if shared.shutdown.load(Ordering::Acquire) {
             return wire::err_response("server is shutting down");
         }
-        queue.push_back(Job { queries: prepared, k, reply: tx });
+        queue.push_back(Job { queries: prepared, k, reply: tx, trace, enqueued_ns });
         sapla_obs::gauge_max!("serve.queue.depth.hwm", queue.len() as u64);
     }
     shared.available.notify_one();
@@ -372,17 +483,29 @@ fn handle_reload(shared: &Arc<Shared>, blob: Vec<u8>) -> Vec<u8> {
     }
 }
 
-fn stats_json(shared: &Shared) -> String {
+impl Counters {
+    /// Name/value pairs for the text exposition.
+    fn export(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("requests", self.requests.load(Ordering::Relaxed)),
+            ("batches", self.batches.load(Ordering::Relaxed)),
+            ("batched_queries", self.batched_queries.load(Ordering::Relaxed)),
+            ("max_batch_queries", self.max_batch_queries.load(Ordering::Relaxed)),
+            ("reloads", self.reloads.load(Ordering::Relaxed)),
+            ("generation", self.generation.load(Ordering::Relaxed)),
+        ]
+    }
+}
+
+/// The `"server"` JSON object shared by `stats` and `OP_METRICS`.
+fn server_section(shared: &Shared) -> String {
     let engine = shared.current_engine();
     let c = &shared.counters;
     format!(
         concat!(
-            "{{\n",
-            "  \"server\": {{\"tree\": \"{}\", \"method\": \"{}\", \"indexed\": {}, ",
+            "{{\"tree\": \"{}\", \"method\": \"{}\", \"indexed\": {}, ",
             "\"shards\": {}, \"generation\": {}, \"requests\": {}, \"batches\": {}, ",
-            "\"batched_queries\": {}, \"max_batch_queries\": {}, \"reloads\": {}}},\n",
-            "  \"obs\": {}\n",
-            "}}\n"
+            "\"batched_queries\": {}, \"max_batch_queries\": {}, \"reloads\": {}}}"
         ),
         engine.config().tree.name(),
         engine.method(),
@@ -394,6 +517,13 @@ fn stats_json(shared: &Shared) -> String {
         c.batched_queries.load(Ordering::Relaxed),
         c.max_batch_queries.load(Ordering::Relaxed),
         c.reloads.load(Ordering::Relaxed),
+    )
+}
+
+fn stats_json(shared: &Shared) -> String {
+    format!(
+        "{{\n  \"server\": {},\n  \"obs\": {}\n}}\n",
+        server_section(shared),
         sapla_obs::Snapshot::capture().to_json().trim_end(),
     )
 }
@@ -430,6 +560,14 @@ fn run_batch(shared: &Arc<Shared>, mut jobs: Vec<Job>) {
     sapla_obs::hist!("serve.batch.queries", total_queries as u64);
     let engine = shared.current_engine();
 
+    // Queue wait ends for every drained job at this moment.
+    let drained_ns = sapla_obs::clock::now_ns();
+    for job in &jobs {
+        record_stage(job.trace, Stage::Queue, job.enqueued_ns, drained_ns);
+        recorder::set_meta(job.trace, Meta::BatchJobs, jobs.len() as u64);
+        recorder::set_meta(job.trace, Meta::BatchQueries, total_queries as u64);
+    }
+
     // Group coalesced jobs by k (BTreeMap: deterministic order), keep
     // FIFO order within each group.
     let mut by_k: BTreeMap<usize, Vec<Job>> = BTreeMap::new();
@@ -439,19 +577,37 @@ fn run_batch(shared: &Arc<Shared>, mut jobs: Vec<Job>) {
     for (k, group) in by_k {
         let mut all: Vec<Query> = Vec::new();
         let mut counts = Vec::with_capacity(group.len());
+        let mut traces = Vec::with_capacity(group.len());
         let mut replies = Vec::with_capacity(group.len());
         for mut job in group {
             counts.push(job.queries.len());
+            traces.push(job.trace);
             all.append(&mut job.queries);
             replies.push(job.reply);
         }
-        match engine.knn(&all, k, shared.threads) {
+        // Batch formation ends (and the cohort's execute begins) here;
+        // every rider shares the cohort's execute interval.
+        let exec_start = sapla_obs::clock::now_ns();
+        for &trace in &traces {
+            record_stage(trace, Stage::Batch, drained_ns, exec_start);
+            recorder::set_meta(trace, Meta::CohortQueries, all.len() as u64);
+        }
+        let answer = engine.knn(&all, k, shared.threads);
+        let exec_end = sapla_obs::clock::now_ns();
+        for &trace in &traces {
+            record_stage(trace, Stage::Execute, exec_start, exec_end);
+        }
+        match answer {
             Ok((mut per_query, batch)) => {
                 // Split the flat result vector back into per-job slices
                 // (front to back, same order we concatenated).
                 let mut rest = per_query.drain(..);
-                for (count, reply) in counts.iter().zip(replies) {
+                for ((count, reply), trace) in counts.iter().zip(replies).zip(traces) {
                     let chunk: Vec<SearchStats> = rest.by_ref().take(*count).collect();
+                    // Stamp the merge before the send: the connection
+                    // thread wakes on the send and starts its reply
+                    // stage, which must not overlap this one.
+                    record_stage(trace, Stage::Merge, exec_end, sapla_obs::clock::now_ns());
                     // A dead receiver just means the client hung up.
                     let _ = reply.send(Ok((chunk, batch)));
                 }

@@ -16,9 +16,30 @@ pub(crate) const OP_STATS: u8 = 0x03;
 pub(crate) const OP_SNAPSHOT: u8 = 0x04;
 pub(crate) const OP_RELOAD: u8 = 0x05;
 pub(crate) const OP_SHUTDOWN: u8 = 0x06;
+pub(crate) const OP_METRICS: u8 = 0x07;
 
 const STATUS_OK: u8 = 0;
 const STATUS_ERR: u8 = 1;
+
+/// Exposition format selector carried in an `OP_METRICS` request body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MetricsFormat {
+    /// The hand-rolled JSON document (stats + `latency` + `trace`).
+    Json = 0,
+    /// Prometheus-style text exposition.
+    Text = 1,
+}
+
+impl MetricsFormat {
+    fn from_wire(b: u8) -> Result<MetricsFormat, String> {
+        match b {
+            0 => Ok(MetricsFormat::Json),
+            1 => Ok(MetricsFormat::Text),
+            other => Err(format!("unknown metrics format {other}")),
+        }
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Framing
@@ -159,6 +180,7 @@ pub(crate) enum Request {
     Snapshot,
     Reload { blob: Vec<u8> },
     Shutdown,
+    Metrics { format: MetricsFormat },
 }
 
 pub(crate) fn decode_request(payload: &[u8]) -> Result<Request, String> {
@@ -186,6 +208,7 @@ pub(crate) fn decode_request(payload: &[u8]) -> Result<Request, String> {
         OP_SNAPSHOT => Request::Snapshot,
         OP_RELOAD => Request::Reload { blob: r.blob()?.to_vec() },
         OP_SHUTDOWN => Request::Shutdown,
+        OP_METRICS => Request::Metrics { format: MetricsFormat::from_wire(r.u8()?)? },
         other => return Err(format!("unknown opcode 0x{other:02x}")),
     };
     r.finish()?;
@@ -214,6 +237,11 @@ pub(crate) fn encode_range_request(query: &[f64], epsilon: f64) -> Vec<u8> {
 
 pub(crate) fn encode_bare_request(op: u8) -> Vec<u8> {
     vec![op]
+}
+
+pub(crate) fn encode_metrics_request(format: MetricsFormat) -> Vec<u8> {
+    // audit: cast_ok — MetricsFormat is a fieldless enum with variants 0 and 1.
+    vec![OP_METRICS, format as u8]
 }
 
 pub(crate) fn encode_reload_request(blob: &[u8]) -> Vec<u8> {
@@ -436,6 +464,20 @@ mod tests {
             Request::Reload { blob } => assert_eq!(blob, b"blob!"),
             _ => panic!("wrong variant"),
         }
+    }
+
+    #[test]
+    fn metrics_requests_roundtrip_and_malformed_ones_error() {
+        for format in [MetricsFormat::Json, MetricsFormat::Text] {
+            match decode_request(&encode_metrics_request(format)) {
+                Ok(Request::Metrics { format: got }) => assert_eq!(got, format),
+                _ => panic!("wrong variant for {format:?}"),
+            }
+        }
+        // Missing format byte, unknown format, trailing garbage.
+        assert!(decode_request(&[OP_METRICS]).is_err());
+        assert!(decode_request(&[OP_METRICS, 9]).is_err());
+        assert!(decode_request(&[OP_METRICS, 0, 0]).is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use sapla_baselines::SaplaReducer;
 use sapla_core::codec::decode_collection;
 use sapla_core::TimeSeries;
 use sapla_index::{Engine, EngineConfig, SearchStats, TreeKind};
-use sapla_serve::{Client, Server, ServerConfig};
+use sapla_serve::{Client, MetricsFormat, Server, ServerConfig};
 
 const LEN: usize = 64;
 
@@ -307,6 +307,208 @@ fn wire_shutdown_drains_and_stops_the_server() {
             c.knn(&queries, 1).is_err()
         }
     );
+}
+
+fn assert_balanced(json: &str, context: &str) {
+    let opens = json.matches(['{', '[']).count();
+    let closes = json.matches(['}', ']']).count();
+    assert_eq!(opens, closes, "{context}: unbalanced JSON:\n{json}");
+}
+
+#[test]
+fn metrics_exposition_parses_in_both_formats() {
+    let raws = dataset(30);
+    let queries = query_samples(4);
+    let server = Server::start(
+        build_engine(&raws, 2, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.knn(&queries, 3).unwrap();
+
+    let json = client.metrics(MetricsFormat::Json).unwrap();
+    assert_balanced(&json, "metrics json");
+    for key in ["\"server\"", "\"obs\"", "\"latency\"", "\"trace\"", "\"armed\"", "\"recent\""] {
+        assert!(json.contains(key), "metrics JSON missing {key}:\n{json}");
+    }
+
+    let text = client.metrics(MetricsFormat::Text).unwrap();
+    assert!(text.contains("# TYPE sapla_server counter"), "text exposition header:\n{text}");
+    assert!(
+        text.lines().any(|l| l.starts_with("sapla_server{name=\"requests\"} ")),
+        "server counters as samples:\n{text}"
+    );
+    assert!(text.contains("sapla_slow_log_size 0"), "slow log off => empty:\n{text}");
+
+    if sapla_obs::enabled() {
+        // Stage rows surface over the wire (pre-registered, and the kNN
+        // above exercised them), with self-describing buckets.
+        for name in ["serve.stage.queue", "serve.stage.execute", "serve.request"] {
+            assert!(json.contains(name), "metrics JSON missing stage row {name}:\n{json}");
+            assert!(text.contains(name), "metrics text missing stage row {name}:\n{text}");
+        }
+        assert!(
+            text.lines().any(|l| l.starts_with("sapla_hist_bucket{name=\"serve.request.ns\"")),
+            "histogram buckets carry bounds:\n{text}"
+        );
+        // In-process view of the same registry: every percentile row the
+        // exposition reports must be monotone and clamped to its max.
+        let snap = sapla_obs::Snapshot::capture();
+        assert!(!snap.windows.is_empty());
+        for w in &snap.windows {
+            assert!(
+                w.p50 <= w.p95 && w.p95 <= w.p99 && w.p99 <= w.max,
+                "percentiles must be monotone: {w:?}"
+            );
+        }
+    }
+    server.stop();
+}
+
+#[test]
+fn metrics_surface_preregistered_stage_rows_before_traffic() {
+    let raws = dataset(12);
+    let server = Server::start(
+        build_engine(&raws, 1, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // No kNN traffic on this server: idle stages must still be listed
+    // (zeros rather than omissions), per the pre-registration pattern.
+    let json = client.metrics(MetricsFormat::Json).unwrap();
+    assert_balanced(&json, "idle metrics json");
+    if sapla_obs::enabled() {
+        for stage in ["decode", "prepare", "queue", "batch", "execute", "merge", "reply"] {
+            let name = format!("serve.stage.{stage}");
+            assert!(json.contains(&name), "idle metrics must name {name}:\n{json}");
+        }
+        for name in ["serve.request.ns", "serve.batch.jobs", "engine.shard.knn.ns"] {
+            assert!(json.contains(name), "idle metrics must name {name}:\n{json}");
+        }
+    }
+    server.stop();
+}
+
+#[test]
+fn traces_decompose_end_to_end_latency_into_stages() {
+    if !sapla_obs::enabled() {
+        return; // the recorder compiles away without obs
+    }
+    let raws = dataset(40);
+    let queries = query_samples(3);
+    let server = Server::start(
+        build_engine(&raws, 2, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // k = 6 is unique to this test, so its traces are identifiable even
+    // with other loopback tests hammering the shared recorder ring.
+    client.knn(&queries, 6).unwrap();
+
+    let k_idx = sapla_obs::recorder::Meta::K as usize;
+    let traces: Vec<_> = sapla_obs::recorder::recent(sapla_obs::recorder::TRACE_CAPACITY)
+        .into_iter()
+        .filter(|d| d.meta[k_idx] == 6)
+        .collect();
+    assert!(!traces.is_empty(), "the k=6 request must have left a trace");
+    for d in &traces {
+        let names: Vec<&str> = d.stages.iter().map(|&(n, _, _)| n).collect();
+        for stage in ["decode", "prepare", "queue", "batch", "execute", "merge", "reply"] {
+            assert!(names.contains(&stage), "trace {d:?} is missing stage {stage}");
+        }
+        assert!(d.total_ns > 0, "completed trace has an end stamp: {d:?}");
+        assert!(
+            d.stage_sum_ns() <= d.total_ns,
+            "stages are disjoint sub-intervals, so their sum is bounded by \
+             the end-to-end latency: {d:?}"
+        );
+        let nq = d.meta[sapla_obs::recorder::Meta::BatchQueries as usize];
+        assert!(nq >= queries.len() as u64, "the batch carried at least our queries: {d:?}");
+    }
+
+    // The same decomposition is retrievable over the wire.
+    let json = client.metrics(MetricsFormat::Json).unwrap();
+    for stage in ["\"decode\"", "\"queue\"", "\"execute\"", "\"reply\""] {
+        assert!(json.contains(stage), "wire metrics must carry stage names:\n{json}");
+    }
+    server.stop();
+}
+
+#[test]
+fn slow_query_log_captures_over_threshold_requests() {
+    let raws = dataset(30);
+    let queries = query_samples(2);
+    // Threshold 0 ms: every completed request is deliberately "slow",
+    // which keeps the test deterministic without real delays.
+    let cfg = ServerConfig { slow_ms: Some(0), ..ServerConfig::default() };
+    let server = Server::start(build_engine(&raws, 1, TreeKind::Dbch), "127.0.0.1:0", cfg).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    client.knn(&queries, 5).unwrap();
+
+    let json = client.metrics(MetricsFormat::Json).unwrap();
+    assert_balanced(&json, "slow-log metrics json");
+    assert!(json.contains("\"slow_threshold_ns\": 0"), "threshold surfaces:\n{json}");
+    let text = client.metrics(MetricsFormat::Text).unwrap();
+    assert!(text.contains("sapla_slow_threshold_ns 0"), "threshold in text:\n{text}");
+    if sapla_obs::enabled() {
+        let slow = json.split("\"slow\": ").nth(1).unwrap_or("");
+        assert!(
+            slow.contains("\"stages\""),
+            "the slow log must carry complete stage traces:\n{json}"
+        );
+        assert!(
+            !text.contains("sapla_slow_log_size 0"),
+            "at least one request overran the 0ms threshold:\n{text}"
+        );
+    } else {
+        assert!(json.contains("\"slow\": []"), "recorder off => empty slow log:\n{json}");
+    }
+    server.stop();
+}
+
+/// Hand-rolled frames (the wire module is private): malformed
+/// `OP_METRICS` bodies must produce error *responses*, never a panic or
+/// a dropped connection.
+#[test]
+fn malformed_metrics_frames_get_error_responses() {
+    use std::io::{Read, Write};
+
+    fn roundtrip_raw(stream: &mut std::net::TcpStream, payload: &[u8]) -> Vec<u8> {
+        let len = u32::try_from(payload.len()).unwrap();
+        stream.write_all(&len.to_le_bytes()).unwrap();
+        stream.write_all(payload).unwrap();
+        stream.flush().unwrap();
+        let mut len4 = [0u8; 4];
+        stream.read_exact(&mut len4).unwrap();
+        let mut response = vec![0u8; u32::from_le_bytes(len4) as usize];
+        stream.read_exact(&mut response).unwrap();
+        response
+    }
+
+    let raws = dataset(12);
+    let server = Server::start(
+        build_engine(&raws, 1, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+
+    // Truncated (no format byte), unknown format, trailing garbage.
+    for bad in [&[0x07u8][..], &[0x07, 0x09], &[0x07, 0x00, 0x00]] {
+        let response = roundtrip_raw(&mut stream, bad);
+        assert_eq!(response.first(), Some(&1u8), "status ERR for {bad:?}: {response:?}");
+    }
+    // The connection survives and a well-formed request still answers.
+    let response = roundtrip_raw(&mut stream, &[0x07, 0x00]);
+    assert_eq!(response.first(), Some(&0u8), "valid OP_METRICS after errors");
+    server.stop();
 }
 
 /// Regression: `Server::stop` must terminate even when shutdown races

@@ -52,6 +52,17 @@ serve-smoke:
     cargo test -q -p sapla-serve --features strict-invariants
     cargo test -q -p sapla-cli --test cli serve
 
+# Request tracing & metrics exposition: the OP_METRICS / flight
+# recorder / slow-log loopback tests under the instrumented build, the
+# `sapla stats --metrics` subprocess round-trip, and the perf report's
+# obs_overhead section (validated by a Rust test, no jq).
+metrics:
+    cargo test -q -p sapla-serve --features obs metrics
+    cargo test -q -p sapla-serve --features obs traces_decompose
+    cargo test -q -p sapla-serve --features obs slow_query_log
+    cargo test -q -p sapla-cli --test cli stats_subcommand
+    cargo test -q -p sapla-bench --lib --features obs quick_grid_runs_and_serialises
+
 # SIMD dispatch safety net: the whole suite pinned to the scalar
 # kernels through the env override (the bit-identity contract means no
 # result may change), then the quick perf grid with dispatch disabled.
@@ -60,7 +71,7 @@ simd-off:
     cargo bench -p sapla-bench --bench perf_json -- --quick --no-simd
 
 # The full pre-merge gate.
-ci: tier1 lint audit audit-model-serve obs serve-smoke simd-off
+ci: tier1 lint audit audit-model-serve obs serve-smoke metrics simd-off
 
 # Regenerate every paper table/figure (slow; see EXPERIMENTS.md).
 bench:

@@ -189,6 +189,15 @@ fn obs_off_is_free() {
     // Capturing a snapshot in a disabled build must not allocate either:
     // there is no registry to walk.
     let snap = sapla_obs::Snapshot::capture();
+    // The request-tracing surfaces are equally inert when disabled: the
+    // flight recorder, the windowed sketches, and the obs clock all
+    // compile to no-ops.
+    let trace = sapla_obs::recorder::begin();
+    sapla_obs::recorder::stage(trace, sapla_obs::recorder::Stage::Decode, 0, 1);
+    sapla_obs::recorder::set_meta(trace, sapla_obs::recorder::Meta::K, 4);
+    let total = sapla_obs::recorder::end(trace);
+    sapla_obs::windowed!("zero.alloc.window", 0, 1);
+    let clock = sapla_obs::clock::now_ns();
     let after = ALLOC_CALLS.load(Ordering::Relaxed);
 
     assert_eq!(
@@ -200,4 +209,7 @@ fn obs_off_is_free() {
     assert!(snap.is_empty(), "disabled build recorded metrics: {snap:?}");
     assert_eq!(sapla_obs::span_depth(), 0);
     assert_eq!(sapla_obs::worker::get(), 0);
+    assert_eq!(trace, sapla_obs::recorder::TraceId::NONE);
+    assert_eq!((total, clock), (0, 0));
+    assert!(!sapla_obs::recorder::armed());
 }
