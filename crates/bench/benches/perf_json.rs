@@ -97,6 +97,17 @@ fn main() {
         }
     }
 
+    if !report.cold_start.is_empty() {
+        println!("cold start (in-memory rebuild vs snapshot load):");
+        for p in &report.cold_start {
+            println!(
+                "  n = {:5}  db = {:5}  build {:>12.0} ns  load {:>12.0} ns  ({:.1}x)  \
+                 {:>9} bytes  {:>8.1} MiB/s",
+                p.n, p.db, p.build_ns, p.load_ns, p.speedup, p.file_bytes, p.load_mb_per_s
+            );
+        }
+    }
+
     if let Some(path) = json_path {
         std::fs::write(&path, report.to_json())
             .unwrap_or_else(|e| panic!("perf_json: cannot write {path}: {e}"));

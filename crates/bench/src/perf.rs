@@ -54,6 +54,9 @@ pub struct PerfGrid {
     /// (e.g. the bench's `--no-simd` run, where the whole grid is
     /// already pinned to the scalar kernels).
     pub simd_compare: bool,
+    /// Database sizes for the cold-start section (in-memory rebuild vs
+    /// `sapla-store` snapshot load); empty skips the measurement.
+    pub cold_start_dbs: Vec<usize>,
 }
 
 impl PerfGrid {
@@ -72,6 +75,7 @@ impl PerfGrid {
             serve_batches: vec![1, 8, 64],
             query_blocks: vec![1, 4, 16],
             simd_compare: true,
+            cold_start_dbs: vec![256, 1024, 4096],
         }
     }
 
@@ -89,6 +93,7 @@ impl PerfGrid {
             serve_batches: vec![1, 8],
             query_blocks: vec![1, 4, 16],
             simd_compare: true,
+            cold_start_dbs: vec![64, 256],
         }
     }
 }
@@ -208,6 +213,28 @@ pub struct ObsOverheadPoint {
     pub overhead_pct: f64,
 }
 
+/// One cold-start comparison: building the engine from raw series
+/// in memory (reduction + O(n log n) tree insertion) versus loading the
+/// same engine from a `sapla-store` snapshot file (O(file size) I/O +
+/// validation + one linear SoA rebuild).
+#[derive(Debug, Clone)]
+pub struct ColdStartPoint {
+    /// Series length.
+    pub n: usize,
+    /// Database size (series in the index).
+    pub db: usize,
+    /// Mean wall time of `Engine::build`, nanoseconds.
+    pub build_ns: f64,
+    /// Mean wall time of `Engine::from_snapshot_file`, nanoseconds.
+    pub load_ns: f64,
+    /// `build_ns / load_ns` — how much faster the snapshot cold-start is.
+    pub speedup: f64,
+    /// Snapshot file size in bytes.
+    pub file_bytes: u64,
+    /// Load throughput, snapshot MiB per second.
+    pub load_mb_per_s: f64,
+}
+
 /// A full emitter run.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -230,6 +257,9 @@ pub struct PerfReport {
     /// Flight-recorder on/off loopback A/B, aligned with `serve`'s
     /// batch sizes.
     pub obs_overhead: Vec<ObsOverheadPoint>,
+    /// Snapshot-load vs in-memory-rebuild cold-start comparison, one
+    /// point per [`PerfGrid::cold_start_dbs`] entry.
+    pub cold_start: Vec<ColdStartPoint>,
     /// Operation counts over the whole run (`sapla-obs` snapshot; empty
     /// unless the bench crate is built with `--features obs` — the stock
     /// build stays uninstrumented so the timings measure the zero-cost
@@ -379,6 +409,7 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
     let simd = measure_simd(grid);
     let serve = measure_serve(grid);
     let obs_overhead = measure_obs_overhead(grid);
+    let cold_start = measure_cold_start(grid);
 
     PerfReport {
         threads: grid.threads,
@@ -389,8 +420,50 @@ pub fn run(grid: &PerfGrid) -> PerfReport {
         simd,
         serve,
         obs_overhead,
+        cold_start,
         ops: sapla_obs::Snapshot::capture(),
     }
+}
+
+/// In-memory rebuild vs snapshot-file load over increasing database
+/// sizes. The build side repeats the full `Engine::build` (reduction +
+/// tree insertion); the load side repeats `Engine::from_snapshot_file`
+/// against a file written once per point and deleted afterwards.
+fn measure_cold_start(grid: &PerfGrid) -> Vec<ColdStartPoint> {
+    let Some(&n) = grid.lens.iter().find(|&&n| n >= 2 * grid.segment_counts[0]) else {
+        return Vec::new();
+    };
+    let m = 3 * grid.segment_counts[0];
+    let cfg = EngineConfig { m, ..EngineConfig::default() };
+    let mut out = Vec::with_capacity(grid.cold_start_dbs.len());
+    for &db_size in &grid.cold_start_dbs {
+        let db = grid_series(n, db_size);
+        let engine = Engine::build(cfg, Box::new(SaplaReducer::new()), db.clone(), grid.threads)
+            .expect("cold start reference build");
+        let path = std::env::temp_dir()
+            .join(format!("sapla-cold-start-{}-{db_size}.snap", std::process::id()));
+        let file_bytes = engine.write_snapshot_file(&path, None).expect("cold start snapshot");
+        let (_, build_ns) = measure(grid.min_time, || {
+            let built = Engine::build(cfg, Box::new(SaplaReducer::new()), db.clone(), grid.threads)
+                .expect("cold start build");
+            std::hint::black_box(&built);
+        });
+        let (_, load_ns) = measure(grid.min_time, || {
+            let loaded = Engine::from_snapshot_file(&path).expect("cold start load");
+            std::hint::black_box(&loaded);
+        });
+        let _ = std::fs::remove_file(&path);
+        out.push(ColdStartPoint {
+            n,
+            db: db_size,
+            build_ns,
+            load_ns,
+            speedup: build_ns / load_ns,
+            file_bytes,
+            load_mb_per_s: file_bytes as f64 / (1024.0 * 1024.0) / (load_ns / 1e9),
+        });
+    }
+    out
 }
 
 /// Scalar-vs-dispatched A/B over the planned batch k-NN path, plus the
@@ -676,6 +749,26 @@ impl PerfReport {
             }
             s.push('\n');
         }
+        s.push_str("  ],\n  \"cold_start\": [\n");
+        for (i, p) in self.cold_start.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"n\": {}, \"db\": {}, \"file_bytes\": {}, ",
+                p.n, p.db, p.file_bytes
+            ));
+            push_kv(&mut s, "build_ns", p.build_ns);
+            s.push_str(", ");
+            push_kv(&mut s, "load_ns", p.load_ns);
+            s.push_str(", ");
+            push_kv(&mut s, "load_mb_per_s", p.load_mb_per_s);
+            // Two decimals: the acceptance bar is a 10x speedup, so
+            // hundredths matter near the threshold.
+            s.push_str(&format!(", \"speedup\":{:.2}", p.speedup));
+            s.push('}');
+            if i + 1 < self.cold_start.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
         s.push_str("  ],\n  \"ops\": ");
         // The snapshot serialises itself; embed it as a nested object
         // (inner indentation is cosmetic, the JSON stays valid).
@@ -727,6 +820,15 @@ mod tests {
         for p in &report.obs_overhead {
             assert!(p.recorder_on_qps > 0.0 && p.recorder_off_qps > 0.0);
             assert!(p.overhead_pct.is_finite());
+        }
+        assert!(json.contains("\"cold_start\""));
+        assert!(json.contains("\"file_bytes\""));
+        assert!(json.contains("\"load_mb_per_s\""));
+        assert_eq!(report.cold_start.len(), PerfGrid::quick().cold_start_dbs.len());
+        for p in &report.cold_start {
+            assert!(p.build_ns > 0.0 && p.load_ns > 0.0);
+            assert!(p.file_bytes > 0 && p.load_mb_per_s > 0.0);
+            assert!(p.speedup.is_finite() && p.speedup > 0.0);
         }
         // The recorder is re-armed after the A/B (it's process-global).
         assert_eq!(sapla_obs::recorder::armed(), sapla_obs::enabled());

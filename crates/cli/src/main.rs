@@ -3,9 +3,18 @@
 //! ```text
 //! sapla reduce <file|-> [files...] [--method SAPLA] [--coeffs 12] [--threads 0]
 //! sapla knn <dataset> [--k 4] [--method SAPLA] [--tree dbch|rtree] [--threads 0]
+//! sapla build-index <dataset> --index-file PATH [--quantize EPS]    persist a snapshot
 //! sapla catalogue                                        list the 117 synthetic datasets
 //! sapla demo                                             the paper's Fig. 1 walkthrough
 //! ```
+//!
+//! `build-index` builds the index once and writes it as a `sapla-store`
+//! snapshot; `knn --index-file PATH` and `serve --index-file PATH` then
+//! cold-start by loading that file (O(file size) I/O, no rebuild). When
+//! the file does not exist yet they build from the dataset flags and
+//! write it, so the second invocation is the fast one. A daemon started
+//! with `--index-file` also re-reads the file on an empty-blob reload,
+//! letting an operator republish the index out-of-band.
 //!
 //! `--threads 0` (the default) uses every hardware thread; any other value
 //! pins the worker count. When `--threads` is absent the `SAPLA_THREADS`
@@ -61,17 +70,19 @@ fn main() -> ExitCode {
         Some("reduce") => cmd_reduce(&args[1..]),
         Some("knn") => cmd_knn(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("build-index") => cmd_build_index(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("catalogue") => cmd_catalogue(),
         Some("demo") => cmd_demo(),
         Some("mine") => cmd_mine(&args[1..]),
         _ => {
             eprintln!(
-                "usage: sapla <reduce|knn|serve|mine|catalogue|demo> [options]\n\
+                "usage: sapla <reduce|knn|serve|build-index|mine|catalogue|demo> [options]\n\
                  \n\
                  reduce <file|-> [files...] [--method NAME] [--coeffs M] [--threads T]\n\
-                 knn <dataset>    [--k K] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--shards S] [--threads T]\n\
-                 serve <dataset>  [--addr HOST:PORT] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--shards S] [--threads T] [--slow-ms N]\n\
+                 knn <dataset>    [--k K] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--shards S] [--threads T] [--index-file PATH]\n\
+                 serve <dataset>  [--addr HOST:PORT] [--method NAME] [--tree dbch|rtree] [--coeffs M] [--shards S] [--threads T] [--slow-ms N] [--index-file PATH]\n\
+                 build-index <dataset> --index-file PATH [--method NAME] [--tree dbch|rtree] [--coeffs M] [--shards S] [--threads T] [--quantize EPS]\n\
                  stats            [--addr HOST:PORT] [--metrics | --metrics-json]\n\
                  mine <discord|motif|segment|forecast|cluster> <dataset> [--k K] [--coeffs M] [--horizon H] [--changes C]\n\
                  catalogue\n\
@@ -234,6 +245,26 @@ fn cmd_reduce(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn load_dataset(name: &str) -> Result<Dataset, String> {
+    let spec = catalogue()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    Ok(spec.load(&Protocol::quick()))
+}
+
+/// `--quantize EPS`: write ε-quantized leaves into the snapshot. The
+/// engine validates the step (finite, positive, DBCH-only).
+fn quantize_flag(args: &[String]) -> Result<Option<f64>, String> {
+    if args.iter().any(|a| a == "--quantize") {
+        let step: f64 =
+            flag(args, "--quantize", "0").parse().map_err(|_| "bad --quantize".to_string())?;
+        Ok(Some(step))
+    } else {
+        Ok(None)
+    }
+}
+
 /// Shared by `knn` and `serve`: load the dataset and build the engine
 /// the flags describe. Returns the dataset alongside the engine (the
 /// engine clones the series it indexes).
@@ -249,22 +280,77 @@ fn engine_from_flags(name: &str, args: &[String]) -> Result<(Dataset, Engine), S
     }
     let threads = threads_flag(args)?;
     let reducer = reducer_by_name(&method)?;
-    let spec = catalogue()
-        .into_iter()
-        .find(|d| d.name.eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
-    let ds = spec.load(&Protocol::quick());
+    let ds = load_dataset(name)?;
     let cfg = EngineConfig { tree, m, shards, ..EngineConfig::default() };
     let engine =
         Engine::build(cfg, reducer, ds.series.clone(), threads).map_err(|e| e.to_string())?;
     Ok((ds, engine))
 }
 
+/// `--index-file PATH` handling shared by `knn` and `serve`: when the
+/// snapshot exists, cold-start from it (O(file size) load, the build
+/// flags are ignored — the file is authoritative); otherwise build from
+/// the dataset flags and persist the snapshot so the *next* start is
+/// the fast one. Returns the path alongside the pair so `serve` can
+/// hand it to the daemon for reload-from-file.
+fn engine_via_index_file(
+    name: &str,
+    args: &[String],
+) -> Result<(Dataset, Engine, Option<std::path::PathBuf>), String> {
+    let Some(raw) = take_path(args) else {
+        let (ds, engine) = engine_from_flags(name, args)?;
+        return Ok((ds, engine, None));
+    };
+    let path = std::path::PathBuf::from(raw);
+    if path.exists() {
+        let ds = load_dataset(name)?;
+        let engine = Engine::from_snapshot_file(&path).map_err(|e| e.to_string())?;
+        println!("loaded index snapshot {} ({} series)", path.display(), engine.len());
+        Ok((ds, engine, Some(path)))
+    } else {
+        let (ds, engine) = engine_from_flags(name, args)?;
+        let bytes =
+            engine.write_snapshot_file(&path, quantize_flag(args)?).map_err(|e| e.to_string())?;
+        println!("wrote index snapshot {} ({bytes} bytes)", path.display());
+        Ok((ds, engine, Some(path)))
+    }
+}
+
+fn take_path(args: &[String]) -> Option<String> {
+    args.iter().position(|a| a == "--index-file").and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn cmd_build_index(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("build-index: missing dataset name (see `sapla catalogue`)")?;
+    let path = take_path(args)
+        .ok_or("build-index: missing --index-file PATH (where to write the snapshot)")?;
+    let quantize = quantize_flag(args)?;
+    let (ds, engine) = engine_from_flags(name, &args[1..])?;
+    let started = std::time::Instant::now();
+    let bytes = engine
+        .write_snapshot_file(std::path::Path::new(&path), quantize)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "indexed {}: {} series, method {} / {}, {} shard(s)",
+        ds.name,
+        engine.len(),
+        engine.method(),
+        engine.config().tree.name(),
+        engine.shard_count()
+    );
+    println!(
+        "wrote {path}: {bytes} bytes{} in {:.1} ms",
+        if quantize.is_some() { " (quantized leaves)" } else { "" },
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
 fn cmd_knn(args: &[String]) -> Result<(), String> {
     let name = args.first().ok_or("knn: missing dataset name (see `sapla catalogue`)")?;
     let k: usize = flag(args, "--k", "4").parse().map_err(|_| "bad --k".to_string())?;
     let threads = threads_flag(args)?;
-    let (ds, engine) = engine_from_flags(name, &args[1..])?;
+    let (ds, engine, _) = engine_via_index_file(name, &args[1..])?;
     // Both tree kinds answer the whole query set through the engine;
     // `--threads` governs reduction, query preparation, and search.
     let queries = engine.prepare(&ds.queries, threads).map_err(|e| e.to_string())?;
@@ -301,7 +387,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     } else {
         None
     };
-    let (ds, engine) = engine_from_flags(name, &args[1..])?;
+    let (ds, engine, index_file) = engine_via_index_file(name, &args[1..])?;
     println!(
         "serving {}: {} series of length {}, tree {}, {} shard(s)",
         ds.name,
@@ -310,7 +396,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         engine.config().tree.name(),
         engine.shard_count()
     );
-    let cfg = ServerConfig { threads, slow_ms, ..ServerConfig::default() };
+    let cfg = ServerConfig { threads, slow_ms, index_file, ..ServerConfig::default() };
     let server = Server::start(engine, addr.as_str(), cfg).map_err(|e| e.to_string())?;
     // Tests (and scripts) bind --addr 127.0.0.1:0 and read the real
     // port from this line.

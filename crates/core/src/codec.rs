@@ -4,7 +4,8 @@
 //! Format (little-endian):
 //!
 //! ```text
-//! collection := magic "SAPL" | version u8 | count u32 | record*
+//! collection := magic "SAPL" | version u8 | endian u16 | payload_len u32
+//!               | count u32 | record*
 //! record     := kind u8 | body
 //! linear     := kind 0 | n_segs u32 | (a f64, b f64, r u64)*
 //! constant   := kind 1 | n_segs u32 | (v f64, r u64)*
@@ -13,7 +14,15 @@
 //! ```
 //!
 //! A SAPLA segment costs 24 bytes — a length-1024 series at `N = 4`
-//! persists in 97 bytes, ~84× smaller than the raw `f64` samples.
+//! persists in ~100 bytes, ~80× smaller than the raw `f64` samples.
+//!
+//! The version-2 container header carries a byte-order mark (`0xFEFF`
+//! written little-endian — a byte-swapped writer's output reads back as
+//! `0xFFFE` and is rejected) and the exact payload byte length, checked
+//! against the input before any record is decoded. Header-level
+//! mismatches (magic, version, endianness, length) raise
+//! [`Error::CorruptIndex`]; structurally invalid *records* keep raising
+//! [`Error::MalformedRepresentation`].
 //!
 //! Counts travel as fixed-width `u32`s, so encoding **checks** every
 //! count instead of truncating with `as` — a truncated header would
@@ -30,7 +39,13 @@ use crate::repr::{
 };
 
 const MAGIC: &[u8; 4] = b"SAPL";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
+/// Byte-order mark, always written little-endian. A writer that emitted
+/// native big-endian fields would produce `0xFFFE` here, and decode
+/// refuses the blob instead of misreading every count and coefficient.
+const ENDIAN_MARK: u16 = 0xFEFF;
+/// magic (4) + version (1) + endian mark (2) + payload_len (4) + count (4).
+const HEADER_LEN: usize = 15;
 
 const KIND_LINEAR: u8 = 0;
 const KIND_CONSTANT: u8 = 1;
@@ -39,6 +54,10 @@ const KIND_SYMBOLIC: u8 = 3;
 
 fn corrupt(reason: &'static str) -> Error {
     Error::MalformedRepresentation { reason }
+}
+
+fn container(reason: &'static str) -> Error {
+    Error::CorruptIndex { reason }
 }
 
 /// Checked narrowing for every count the format stores as `u32`.
@@ -199,13 +218,21 @@ pub fn encode_collection(reps: &[Representation]) -> Result<Bytes> {
 }
 
 fn encode_collection_impl(reps: &[Representation], limit: usize) -> Result<Bytes> {
-    let mut out = BytesMut::with_capacity(16 + reps.len() * 128);
+    let count = checked_count(reps.len(), limit, "records")?;
+    let mut payload = BytesMut::with_capacity(reps.len() * 128);
+    for rep in reps {
+        encode_representation_impl(rep, &mut payload, limit)?;
+    }
+    // The header stores the exact payload byte length so decode can
+    // check it *before* walking any record.
+    let payload_len = checked_count(payload.len(), u32::MAX as usize, "payload bytes")?;
+    let mut out = BytesMut::with_capacity(HEADER_LEN + payload.len());
     out.put_slice(MAGIC);
     out.put_u8(VERSION);
-    out.put_u32_le(checked_count(reps.len(), limit, "records")?);
-    for rep in reps {
-        encode_representation_impl(rep, &mut out, limit)?;
-    }
+    out.put_slice(&ENDIAN_MARK.to_le_bytes());
+    out.put_u32_le(payload_len);
+    out.put_u32_le(count);
+    out.put_slice(&payload);
     Ok(out.freeze())
 }
 
@@ -215,25 +242,38 @@ fn encode_collection_impl(reps: &[Representation], limit: usize) -> Result<Bytes
 ///
 /// # Errors
 ///
-/// [`Error::MalformedRepresentation`] on a bad header or any bad record.
+/// [`Error::CorruptIndex`] on a bad container header (magic, version,
+/// endianness mark, payload length); [`Error::MalformedRepresentation`]
+/// on any bad record.
 pub fn decode_collection(data: &[u8]) -> Result<Vec<Representation>> {
     let mut buf: &[u8] = data;
-    need(&buf, 9)?;
+    if buf.remaining() < HEADER_LEN {
+        return Err(container("truncated collection header"));
+    }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(corrupt("bad magic"));
+        return Err(container("bad magic"));
     }
     if buf.get_u8() != VERSION {
-        return Err(corrupt("unsupported version"));
+        return Err(container("unsupported version"));
     }
+    let mut mark = [0u8; 2];
+    buf.copy_to_slice(&mut mark);
+    if u16::from_le_bytes(mark) != ENDIAN_MARK {
+        return Err(container("endianness mark mismatch"));
+    }
+    let payload_len = buf.get_u32_le() as usize;
     let count = buf.get_u32_le() as usize;
+    if buf.remaining() != payload_len {
+        return Err(container("payload length mismatch"));
+    }
     let mut out = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
         out.push(decode_representation(&mut buf)?);
     }
     if buf.has_remaining() {
-        return Err(corrupt("trailing bytes after collection"));
+        return Err(container("trailing bytes after collection"));
     }
     Ok(out)
 }
@@ -290,10 +330,31 @@ mod tests {
         let blob = encode_collection(&reps).unwrap();
         let mut bad = blob.to_vec();
         bad[0] = b'X';
-        assert!(decode_collection(&bad).is_err());
+        assert!(matches!(decode_collection(&bad), Err(Error::CorruptIndex { .. })));
         let mut bad = blob.to_vec();
         bad[4] = 99;
-        assert!(decode_collection(&bad).is_err());
+        assert!(matches!(decode_collection(&bad), Err(Error::CorruptIndex { .. })));
+    }
+
+    #[test]
+    fn rejects_endianness_mark_mismatch() {
+        let blob = encode_collection(&sample_reps()).unwrap();
+        // A byte-swapped writer would emit the mark as 0xFFFE.
+        let mut swapped = blob.to_vec();
+        swapped.swap(5, 6);
+        let err = decode_collection(&swapped).unwrap_err();
+        assert_eq!(err, Error::CorruptIndex { reason: "endianness mark mismatch" });
+    }
+
+    #[test]
+    fn rejects_payload_length_mismatch() {
+        let blob = encode_collection(&sample_reps()).unwrap();
+        // Bump the declared payload length without changing the payload:
+        // the length check must fire before any record is decoded.
+        let mut bad = blob.to_vec();
+        bad[7] = bad[7].wrapping_add(1);
+        let err = decode_collection(&bad).unwrap_err();
+        assert_eq!(err, Error::CorruptIndex { reason: "payload length mismatch" });
     }
 
     #[test]
@@ -426,14 +487,18 @@ mod tests {
 
     #[test]
     fn random_payloads_behind_a_valid_header_never_panic() {
-        // Adversarial case: correct magic + version, garbage after — the
-        // decoder must walk the records and error out, never panic.
+        // Adversarial case: a fully consistent container header (magic,
+        // version, endian mark, *correct* payload length), garbage records
+        // after — the decoder must walk the records and error out, never
+        // panic.
         let mut rng = XorShift(0xbad5_eed5_bad5_eed5);
         for _ in 0..500 {
             let len = (rng.next() % 129) as usize;
-            let mut blob = Vec::with_capacity(9 + len);
+            let mut blob = Vec::with_capacity(HEADER_LEN + len);
             blob.extend_from_slice(MAGIC);
             blob.push(VERSION);
+            blob.extend_from_slice(&ENDIAN_MARK.to_le_bytes());
+            blob.extend_from_slice(&(len as u32).to_le_bytes());
             blob.extend_from_slice(&(rng.next() as u32 % 8).to_le_bytes());
             blob.extend((0..len).map(|_| rng.next() as u8));
             let _ = decode_collection(&blob);

@@ -100,6 +100,15 @@ pub enum Error {
         /// The largest encodable count.
         limit: usize,
     },
+    /// An I/O failure while reading or writing a snapshot file. The
+    /// underlying `std::io::Error` is flattened to a message so the
+    /// error stays `Clone + Eq` for the test suites.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The flattened I/O error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -145,6 +154,9 @@ impl fmt::Display for Error {
             }
             Error::TooManyRecords { what, count, limit } => {
                 write!(f, "too many {what} for the codec: {count} exceeds the limit {limit}")
+            }
+            Error::Io { path, message } => {
+                write!(f, "i/o error on {path:?}: {message}")
             }
         }
     }

@@ -78,6 +78,14 @@ pub(crate) trait BatchTree {
     /// Per-level fanout accounting hook (the DBCH-tree's lane counter;
     /// the R-tree reports nothing, matching its sequential search).
     fn count_fanout(&self, _depth: usize, _children: usize) {}
+    /// Additive `Dist_LB` slack the strict-invariants audit must allow
+    /// for this tree's stored representations (non-zero only for trees
+    /// loaded from quantized snapshot leaves, where the stored `Ĉ~` is
+    /// perturbed from the least-squares `Ĉ` by at most this much in the
+    /// windowed metric).
+    fn lb_slack(&self) -> f64 {
+        0.0
+    }
 }
 
 /// Per-worker state for [`knn_query_major`]: one warm [`KnnScratch`]
@@ -113,7 +121,10 @@ pub(crate) fn eval_leaf_entries(
     dist: &mut ParScratch,
     memo: &HullMemo,
     tally: &mut SearchTally,
+    lb_slack: f64,
 ) -> Result<()> {
+    // Consumed only by the strict-invariants audit below.
+    let _ = lb_slack;
     tally.consider(entries.len());
     for (j, &e) in entries.iter().enumerate() {
         let threshold = results.threshold();
@@ -147,7 +158,7 @@ pub(crate) fn eval_leaf_entries(
             match euclidean_early_abandon(&q.raw, &raws[e], safe_sq_bound(results.threshold()))? {
                 Some(exact) => {
                     #[cfg(feature = "strict-invariants")]
-                    crate::scheme::assert_lb_le_exact(q, &reps[e], exact)?;
+                    crate::scheme::assert_lb_le_exact(q, &reps[e], exact, lb_slack)?;
                     results.push(exact, e);
                 }
                 // The invariant lb ≤ exact holds here by construction:
@@ -301,6 +312,7 @@ pub(crate) fn knn_query_major<T: BatchTree + ?Sized>(
                     &mut s.dist,
                     &s.hull,
                     &mut tallies[qi],
+                    tree.lb_slack(),
                 ) {
                     note_err(&mut first_err, qi, e);
                     done[qi] = true;

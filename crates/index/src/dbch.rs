@@ -86,6 +86,30 @@ pub struct DbchTree {
     /// leaf mutation; leaf refinement takes the cache-linear planned
     /// kernel through them when the query carries a plan.
     blocks: Vec<LeafBlock>,
+    /// Additive `Dist_LB` slack for the strict-invariants audit: `0.0`
+    /// for built trees, the maximum per-record quantization perturbation
+    /// (in the windowed metric) for trees loaded from quantized
+    /// snapshot leaves. See [`crate::scheme::assert_lb_le_exact`].
+    pub(crate) lb_slack: f64,
+}
+
+/// One node of a [`DbchTree`] in exported, layout-stable form — the
+/// unit the snapshot writer persists and [`DbchTree::from_raw_parts`]
+/// consumes. Node ids are positions in the exported arena, preserved
+/// verbatim so a reloaded tree replays searches bit-for-bit (heap
+/// tie-breaking orders on node id).
+#[derive(Debug, Clone)]
+pub(crate) struct RawDbchNode {
+    /// Leaf (entry ids) or internal (child node ids)?
+    pub is_leaf: bool,
+    /// Children ids (internal) or entry ids (leaf).
+    pub ids: Vec<usize>,
+    /// Hull endpoint entry id ("upper").
+    pub hull_u: usize,
+    /// Hull endpoint entry id ("lower").
+    pub hull_l: usize,
+    /// Stored hull volume (`Dist_PAR(u, l)` under the tree's reps).
+    pub volume: f64,
 }
 
 impl DbchTree {
@@ -127,6 +151,7 @@ impl DbchTree {
             reps,
             rule,
             blocks: Vec::new(),
+            lb_slack: 0.0,
         };
         tree.refresh_block(0);
         for id in 0..tree.reps.len() {
@@ -233,7 +258,12 @@ impl DbchTree {
                                     safe_sq_bound(epsilon),
                                 )? {
                                     #[cfg(feature = "strict-invariants")]
-                                    crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
+                                    crate::scheme::assert_lb_le_exact(
+                                        q,
+                                        &self.reps[e],
+                                        exact,
+                                        self.lb_slack,
+                                    )?;
                                     if exact <= epsilon {
                                         hits.push((exact, e));
                                     }
@@ -299,6 +329,126 @@ impl DbchTree {
         self.collect_entries(self.root, &mut out);
         out.sort_unstable();
         out
+    }
+
+    /// Root node id, for the snapshot writer.
+    pub(crate) fn root_id(&self) -> usize {
+        self.root
+    }
+
+    /// Export the node arena verbatim — same slot order, same ids — so a
+    /// tree reconstructed from the export replays best-first searches
+    /// bit-for-bit (the traversal heap tie-breaks on node id).
+    pub(crate) fn raw_nodes(&self) -> Vec<RawDbchNode> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let (is_leaf, ids) = match &n.kind {
+                    NodeKind::Internal(c) => (false, c.clone()),
+                    NodeKind::Leaf(e) => (true, e.clone()),
+                };
+                RawDbchNode {
+                    is_leaf,
+                    ids,
+                    hull_u: n.hull.u,
+                    hull_l: n.hull.l,
+                    volume: n.hull.volume,
+                }
+            })
+            .collect()
+    }
+
+    /// Reassemble a tree from persisted parts without re-running the
+    /// O(n log n) insertion build: the node arena is adopted verbatim
+    /// after a structural walk, then the SoA leaf blocks are rebuilt in
+    /// one linear pass. Every malformed input is an `Err`, never a panic.
+    ///
+    /// Validated here: fill-factor sanity, root in range, the graph
+    /// under `root` is a tree (no node visited twice) covering the whole
+    /// arena (no detached slots), internal fanout non-empty, leaf entry
+    /// ids unique / in range / covering `reps` exactly, hull endpoints
+    /// in range and volumes finite. Semantic hull tightness is *not*
+    /// re-derived here — exact-leaf loads can run [`Self::validate`] on
+    /// top, quantized loads intentionally keep the written volumes.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::CorruptIndex`] naming the violated invariant.
+    pub(crate) fn from_raw_parts(
+        min_fill: usize,
+        max_fill: usize,
+        rule: NodeDistRule,
+        root: usize,
+        raw: Vec<RawDbchNode>,
+        reps: Vec<Representation>,
+        lb_slack: f64,
+    ) -> Result<DbchTree> {
+        fn corrupt(reason: &'static str) -> sapla_core::Error {
+            sapla_core::Error::CorruptIndex { reason }
+        }
+        if min_fill < 1 || max_fill < 2 * min_fill {
+            return Err(corrupt("snapshot fill factors violate min/max constraints"));
+        }
+        if !lb_slack.is_finite() || lb_slack < 0.0 {
+            return Err(corrupt("snapshot lb slack is not a finite non-negative value"));
+        }
+        if root >= raw.len() {
+            return Err(corrupt("snapshot root id outside the node arena"));
+        }
+        let mut visited = vec![false; raw.len()];
+        let mut seen_entry = vec![false; reps.len()];
+        let mut n_entries = 0usize;
+        // Iterative walk (adversarial inputs could nest deeper than the
+        // call stack tolerates).
+        let mut stack = vec![root];
+        while let Some(nid) = stack.pop() {
+            let node =
+                raw.get(nid).ok_or_else(|| corrupt("snapshot child id outside the node arena"))?;
+            if std::mem::replace(&mut visited[nid], true) {
+                return Err(corrupt("snapshot node arena contains a cycle or shared child"));
+            }
+            if node.hull_u >= reps.len().max(1) || node.hull_l >= reps.len().max(1) {
+                return Err(corrupt("snapshot hull endpoint outside the rep arena"));
+            }
+            if !node.volume.is_finite() || node.volume < 0.0 {
+                return Err(corrupt("snapshot hull volume is not a finite non-negative value"));
+            }
+            if node.is_leaf {
+                for &e in &node.ids {
+                    if e >= reps.len() {
+                        return Err(corrupt("snapshot leaf entry outside the rep arena"));
+                    }
+                    if std::mem::replace(&mut seen_entry[e], true) {
+                        return Err(corrupt("snapshot entry id stored in more than one leaf"));
+                    }
+                    n_entries += 1;
+                }
+            } else {
+                if node.ids.is_empty() {
+                    return Err(corrupt("snapshot internal node has no children"));
+                }
+                stack.extend(node.ids.iter().copied());
+            }
+        }
+        if visited.iter().any(|v| !v) {
+            return Err(corrupt("snapshot node arena contains detached nodes"));
+        }
+        if n_entries != reps.len() {
+            return Err(corrupt("snapshot leaves do not cover the rep arena exactly"));
+        }
+        let nodes = raw
+            .into_iter()
+            .map(|n| Node {
+                hull: Hull { u: n.hull_u, l: n.hull_l, volume: n.volume },
+                kind: if n.is_leaf { NodeKind::Leaf(n.ids) } else { NodeKind::Internal(n.ids) },
+            })
+            .collect::<Vec<_>>();
+        let mut tree =
+            DbchTree { min_fill, max_fill, root, nodes, reps, rule, blocks: Vec::new(), lb_slack };
+        for nid in 0..tree.nodes.len() {
+            tree.refresh_block(nid);
+        }
+        Ok(tree)
     }
 
     /// Full structural integrity check, for stress tests and post-reload
@@ -864,8 +1014,17 @@ impl DbchTree {
                         .get(nid)
                         .filter(|b| use_soa && b.is_ok() && b.num_entries() == entries.len());
                     crate::batched::eval_leaf_entries(
-                        q, scheme, raws, &self.reps, entries, block, results, dist, hull,
+                        q,
+                        scheme,
+                        raws,
+                        &self.reps,
+                        entries,
+                        block,
+                        results,
+                        dist,
+                        hull,
                         &mut tally,
+                        self.lb_slack,
                     )?;
                 }
             }
@@ -920,6 +1079,9 @@ impl crate::batched::BatchTree for DbchTree {
     fn count_fanout(&self, depth: usize, children: usize) {
         let (_depth, _children) = (depth, children);
         sapla_obs::lane_counter!("index.knn.fanout", _depth, _children as u64);
+    }
+    fn lb_slack(&self) -> f64 {
+        self.lb_slack
     }
 }
 

@@ -108,7 +108,7 @@ impl Default for EngineConfig {
     }
 }
 
-enum ShardIndex {
+pub(crate) enum ShardIndex {
     Dbch(DbchTree),
     Rtree(RTree),
 }
@@ -135,7 +135,7 @@ impl ShardIndex {
         }
     }
 
-    fn reps(&self) -> &[Representation] {
+    pub(crate) fn reps(&self) -> &[Representation] {
         match self {
             ShardIndex::Dbch(t) => t.reps(),
             ShardIndex::Rtree(t) => t.reps(),
@@ -143,10 +143,10 @@ impl ShardIndex {
     }
 }
 
-struct Shard {
-    index: ShardIndex,
+pub(crate) struct Shard {
+    pub(crate) index: ShardIndex,
     /// Raw series in local-id order (exact refinement reads these).
-    raws: Vec<TimeSeries>,
+    pub(crate) raws: Vec<TimeSeries>,
 }
 
 /// A self-contained, shareable similarity-search engine (see module
@@ -154,11 +154,18 @@ struct Shard {
 /// `Arc` and swap the `Arc` on reload so in-flight queries finish
 /// against the index they started on.
 pub struct Engine {
-    cfg: EngineConfig,
-    scheme: Arc<dyn Scheme>,
-    reducer: Arc<dyn Reducer>,
-    shards: Vec<Shard>,
-    total: usize,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) scheme: Arc<dyn Scheme>,
+    pub(crate) reducer: Arc<dyn Reducer>,
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) total: usize,
+    /// Additive `Dist_LB` slack the strict-invariants audit must allow:
+    /// `0.0` for engines built from raw series, the maximum per-record
+    /// quantization perturbation for engines loaded from a quantized
+    /// snapshot (see `crate::snapshot`). Survives `reload_from_snapshot`
+    /// because the reps stay perturbed relative to the raw series even
+    /// after a rebuild.
+    pub(crate) lb_slack: f64,
 }
 
 impl std::fmt::Debug for Engine {
@@ -188,7 +195,7 @@ impl Engine {
         let _span = sapla_obs::span!("engine.build");
         let scheme: Arc<dyn Scheme> = Arc::from(scheme_for(reducer.name())?);
         let reps = reduce_batch_parallel(reducer.as_ref(), &raws, cfg.m, threads)?;
-        Self::assemble(cfg, scheme, Arc::from(reducer), reps, raws)
+        Self::assemble(cfg, scheme, Arc::from(reducer), reps, raws, 0.0)
     }
 
     /// Build from already-reduced representations (the snapshot-reload
@@ -208,7 +215,7 @@ impl Engine {
             return Err(Error::LengthMismatch { left: reps.len(), right: raws.len() });
         }
         let scheme: Arc<dyn Scheme> = Arc::from(scheme_for(reducer.name())?);
-        Self::assemble(cfg, scheme, Arc::from(reducer), reps, raws)
+        Self::assemble(cfg, scheme, Arc::from(reducer), reps, raws, 0.0)
     }
 
     fn assemble(
@@ -217,6 +224,7 @@ impl Engine {
         reducer: Arc<dyn Reducer>,
         reps: Vec<Representation>,
         raws: Vec<TimeSeries>,
+        lb_slack: f64,
     ) -> Result<Engine> {
         let n_shards = cfg.shards.max(1);
         let total = reps.len();
@@ -234,13 +242,20 @@ impl Engine {
         let mut shards = Vec::with_capacity(n_shards);
         for (reps, raws) in shard_reps.into_iter().zip(shard_raws) {
             let index = match cfg.tree {
-                TreeKind::Dbch => ShardIndex::Dbch(DbchTree::build_with_rule(
-                    scheme.as_ref(),
-                    reps,
-                    cfg.min_fill,
-                    cfg.max_fill,
-                    cfg.rule,
-                )?),
+                TreeKind::Dbch => {
+                    let mut tree = DbchTree::build_with_rule(
+                        scheme.as_ref(),
+                        reps,
+                        cfg.min_fill,
+                        cfg.max_fill,
+                        cfg.rule,
+                    )?;
+                    // A quantized-snapshot lineage keeps its audit slack
+                    // across rebuilds (the reps are still perturbed
+                    // relative to the raws).
+                    tree.lb_slack = lb_slack;
+                    ShardIndex::Dbch(tree)
+                }
                 TreeKind::Rtree => ShardIndex::Rtree(RTree::build(
                     scheme.as_ref(),
                     reps,
@@ -250,7 +265,7 @@ impl Engine {
             };
             shards.push(Shard { index, raws });
         }
-        Ok(Engine { cfg, scheme, reducer, shards, total })
+        Ok(Engine { cfg, scheme, reducer, shards, total, lb_slack })
     }
 
     /// Number of indexed series (over all shards).
@@ -461,7 +476,81 @@ impl Engine {
         for g in 0..self.total {
             raws.push(self.shards[g % n_shards].raws[g / n_shards].clone());
         }
-        Self::assemble(self.cfg, Arc::clone(&self.scheme), Arc::clone(&self.reducer), reps, raws)
+        Self::assemble(
+            self.cfg,
+            Arc::clone(&self.scheme),
+            Arc::clone(&self.reducer),
+            reps,
+            raws,
+            self.lb_slack,
+        )
+    }
+
+    /// The additive `Dist_LB` slack carried by this engine's trees —
+    /// `0.0` unless the engine descends from a quantized snapshot (see
+    /// [`Engine::write_snapshot_file`]).
+    #[must_use]
+    pub fn lb_slack(&self) -> f64 {
+        self.lb_slack
+    }
+
+    /// Serialize the **whole** engine — raw series, representations
+    /// (exact SoA coefficient arenas, or ε-quantized ones when
+    /// `quantize` is set), and every shard's fully-built tree — into
+    /// the `sapla-store` arena container, in memory.
+    ///
+    /// Loading the image with [`Engine::from_snapshot_image`] skips
+    /// reduction *and* the O(n log n) tree build: arenas are validated,
+    /// reinterpreted, and adopted verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::UnsupportedRepresentation`] when `quantize`
+    /// is combined with an R-tree engine or non-linear representations;
+    /// encoding failures otherwise.
+    pub fn snapshot_image(&self, quantize: Option<f64>) -> Result<Vec<u8>> {
+        crate::snapshot::write_image(self, quantize)
+    }
+
+    /// [`Engine::snapshot_image`] + write the image to `path`,
+    /// returning the file size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Encoding failures, plus [`sapla_core::Error::Io`] on filesystem
+    /// failures.
+    pub fn write_snapshot_file(
+        &self,
+        path: &std::path::Path,
+        quantize: Option<f64>,
+    ) -> Result<u64> {
+        let _span = sapla_obs::span!("engine.snapshot.write");
+        crate::snapshot::write_file(self, path, quantize)
+    }
+
+    /// Reconstruct an engine from a snapshot image produced by
+    /// [`Engine::snapshot_image`]: O(file size) validation and bulk
+    /// materialization, no reduction, no insertion build.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::CorruptIndex`] for any malformed, truncated
+    /// or tampered image (never a panic); scheme/reducer resolution
+    /// failures for unknown method names.
+    pub fn from_snapshot_image(data: &[u8]) -> Result<Engine> {
+        crate::snapshot::load_image(data)
+    }
+
+    /// Read `path` and reconstruct the engine it holds — the daemon
+    /// cold-start path.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::Io`] on filesystem failures, otherwise as
+    /// [`Engine::from_snapshot_image`].
+    pub fn from_snapshot_file(path: &std::path::Path) -> Result<Engine> {
+        let _span = sapla_obs::span!("engine.snapshot.load");
+        crate::snapshot::load_file(path)
     }
 }
 
@@ -633,6 +722,116 @@ mod tests {
             Error::LengthMismatch { left: 10, right: 20 }
         );
         assert!(engine.reload_from_snapshot(b"not a snapshot").is_err());
+    }
+
+    #[test]
+    fn snapshot_image_roundtrip_is_bit_identical() {
+        let raws = dataset(40, 64);
+        for shards in [1usize, 3] {
+            let engine = engine_with(shards, TreeKind::Dbch, &raws);
+            let queries = engine.prepare(&raws[..6], 2).unwrap();
+            let (want, _) = engine.knn(&queries, 4, 2).unwrap();
+            let image = engine.snapshot_image(None).unwrap();
+            let loaded = Engine::from_snapshot_image(&image).unwrap();
+            assert_eq!(loaded.len(), engine.len());
+            assert_eq!(loaded.shard_count(), engine.shard_count());
+            assert_eq!(loaded.method(), engine.method());
+            assert_eq!(loaded.config(), engine.config());
+            assert_eq!(loaded.lb_slack(), 0.0);
+            let (got, _) = loaded.knn(&queries, 4, 2).unwrap();
+            // Includes `measured`: the loaded tree replays the exact
+            // same traversal, not just the same answers.
+            assert_eq!(got, want, "shards = {shards}");
+            for (g, w) in got.iter().zip(&want) {
+                for (gd, wd) in g.distances.iter().zip(&w.distances) {
+                    assert_eq!(gd.to_bits(), wd.to_bits(), "shards = {shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rtree_snapshot_roundtrip_preserves_answers() {
+        let raws = dataset(36, 64);
+        let engine = engine_with(2, TreeKind::Rtree, &raws);
+        let queries = engine.prepare(&raws[..5], 2).unwrap();
+        let (want, _) = engine.knn(&queries, 3, 2).unwrap();
+        let loaded = Engine::from_snapshot_image(&engine.snapshot_image(None).unwrap()).unwrap();
+        let (got, _) = loaded.knn(&queries, 3, 2).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn constant_rep_snapshot_takes_the_blob_path() {
+        // PAA produces Constant representations — no SoA arenas, the
+        // hardened codec blob carries the collection instead.
+        let raws = dataset(24, 64);
+        let cfg = EngineConfig { shards: 2, ..EngineConfig::default() };
+        let engine = Engine::build(cfg, Box::new(sapla_baselines::Paa), raws.clone(), 2).unwrap();
+        let queries = engine.prepare(&raws[..4], 2).unwrap();
+        let (want, _) = engine.knn(&queries, 3, 2).unwrap();
+        let loaded = Engine::from_snapshot_image(&engine.snapshot_image(None).unwrap()).unwrap();
+        assert_eq!(loaded.method(), "PAA");
+        let (got, _) = loaded.knn(&queries, 3, 2).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quantized_snapshot_loads_with_slack_and_finds_self() {
+        let raws = dataset(40, 64);
+        let engine = engine_with(1, TreeKind::Dbch, &raws);
+        let exact = engine.snapshot_image(None).unwrap();
+        let image = engine.snapshot_image(Some(1e-3)).unwrap();
+        assert!(image.len() < exact.len(), "{} vs {}", image.len(), exact.len());
+        let loaded = Engine::from_snapshot_image(&image).unwrap();
+        assert!(loaded.lb_slack() > 0.0);
+        let queries = engine.prepare(&raws[..6], 2).unwrap();
+        let (got, _) = loaded.knn(&queries, 3, 2).unwrap();
+        // Refinement distances are exact Euclidean over the raw series
+        // (which the snapshot keeps bitwise), so every query still
+        // finds itself at distance zero.
+        for (qi, s) in got.iter().enumerate() {
+            assert_eq!(s.retrieved[0], qi, "query {qi}");
+            assert_eq!(s.distances[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn quantize_rejects_rtree_and_bad_steps() {
+        let raws = dataset(16, 64);
+        let rt = engine_with(1, TreeKind::Rtree, &raws);
+        assert!(rt.snapshot_image(Some(0.01)).is_err());
+        let db = engine_with(1, TreeKind::Dbch, &raws);
+        assert!(db.snapshot_image(Some(0.0)).is_err());
+        assert!(db.snapshot_image(Some(-1.0)).is_err());
+        assert!(db.snapshot_image(Some(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip_via_disk() {
+        let raws = dataset(20, 64);
+        let engine = engine_with(2, TreeKind::Dbch, &raws);
+        let path = std::env::temp_dir().join("sapla_engine_roundtrip.snap");
+        let bytes = engine.write_snapshot_file(&path, None).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), bytes);
+        let loaded = Engine::from_snapshot_file(&path).unwrap();
+        assert_eq!(loaded.len(), 20);
+        assert_eq!(loaded.shard_count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reload_keeps_quantized_slack() {
+        // An engine descended from a quantized snapshot keeps its audit
+        // slack across codec-blob reloads: the reps stay perturbed
+        // relative to the raws even after the trees are rebuilt.
+        let raws = dataset(24, 64);
+        let engine = engine_with(1, TreeKind::Dbch, &raws);
+        let loaded =
+            Engine::from_snapshot_image(&engine.snapshot_image(Some(0.01)).unwrap()).unwrap();
+        let blob = loaded.snapshot().unwrap();
+        let re = loaded.reload_from_snapshot(&blob).unwrap();
+        assert_eq!(re.lb_slack().to_bits(), loaded.lb_slack().to_bits());
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod parallel;
 pub mod rect;
 pub mod rtree;
 pub mod scheme;
+pub(crate) mod snapshot;
 pub(crate) mod soa;
 pub mod stats;
 

@@ -72,7 +72,7 @@ pub fn filtered_scan_knn(
             match euclidean_early_abandon(&q.raw, &raws[i], safe_sq_bound(threshold))? {
                 Some(exact) => {
                     #[cfg(feature = "strict-invariants")]
-                    crate::scheme::assert_lb_le_exact(q, rep, exact)?;
+                    crate::scheme::assert_lb_le_exact(q, rep, exact, 0.0)?;
                     results.push(exact, i);
                 }
                 None => sapla_obs::counter!("index.knn.refine_abandoned"),
@@ -133,7 +133,7 @@ pub fn filtered_scan_knn_batch(
                     match euclidean_early_abandon(&q.raw, &raws[i], safe_sq_bound(threshold))? {
                         Some(exact) => {
                             #[cfg(feature = "strict-invariants")]
-                            crate::scheme::assert_lb_le_exact(q, rep, exact)?;
+                            crate::scheme::assert_lb_le_exact(q, rep, exact, 0.0)?;
                             heap.push(exact, i);
                         }
                         None => sapla_obs::counter!("index.knn.refine_abandoned"),

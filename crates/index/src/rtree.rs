@@ -32,6 +32,22 @@ struct Node {
     kind: NodeKind,
 }
 
+/// One node of an [`RTree`] in exported, layout-stable form — the unit
+/// the snapshot writer persists and [`RTree::from_raw_parts`] consumes.
+/// Node ids are positions in the exported arena, preserved verbatim so
+/// a reloaded tree replays searches bit-for-bit.
+#[derive(Debug, Clone)]
+pub(crate) struct RawRtreeNode {
+    /// Leaf (entry ids) or internal (child node ids)?
+    pub is_leaf: bool,
+    /// Children ids (internal) or entry ids (leaf).
+    pub ids: Vec<usize>,
+    /// Bounding rectangle, lower corner.
+    pub rect_lo: Vec<f64>,
+    /// Bounding rectangle, upper corner.
+    pub rect_hi: Vec<f64>,
+}
+
 /// An R-tree over reduced representations.
 ///
 /// ```
@@ -280,7 +296,12 @@ impl RTree {
                                     safe_sq_bound(epsilon),
                                 )? {
                                     #[cfg(feature = "strict-invariants")]
-                                    crate::scheme::assert_lb_le_exact(q, &self.reps[e], exact)?;
+                                    crate::scheme::assert_lb_le_exact(
+                                        q,
+                                        &self.reps[e],
+                                        exact,
+                                        0.0,
+                                    )?;
                                     if exact <= epsilon {
                                         hits.push((exact, e));
                                     }
@@ -354,6 +375,133 @@ impl RTree {
             }
             NodeKind::Leaf(entries) => out.extend_from_slice(entries),
         }
+    }
+
+    /// Root node id, for the snapshot writer.
+    pub(crate) fn root_id(&self) -> usize {
+        self.root
+    }
+
+    /// The extracted feature vectors, by entry id, for the snapshot
+    /// writer (persisted so a load skips re-extraction).
+    pub(crate) fn feature_vectors(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Export the node arena verbatim — same slot order, same ids — so a
+    /// tree reconstructed from the export replays best-first searches
+    /// bit-for-bit (the traversal heap tie-breaks on node id).
+    pub(crate) fn raw_nodes(&self) -> Vec<RawRtreeNode> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let (is_leaf, ids) = match &n.kind {
+                    NodeKind::Internal(c) => (false, c.clone()),
+                    NodeKind::Leaf(e) => (true, e.clone()),
+                };
+                RawRtreeNode {
+                    is_leaf,
+                    ids,
+                    rect_lo: n.rect.lo.clone(),
+                    rect_hi: n.rect.hi.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Reassemble a tree from persisted parts without re-running the
+    /// insertion build *or* feature extraction: nodes, rectangles and
+    /// feature vectors are adopted verbatim after a structural walk,
+    /// then the SoA leaf blocks are rebuilt in one linear pass. Every
+    /// malformed input is an `Err`, never a panic.
+    ///
+    /// Validated here: fill-factor sanity, root in range, the graph
+    /// under `root` is a tree covering the whole arena, internal fanout
+    /// non-empty, leaf entry ids unique / in range / covering `reps`
+    /// exactly, one feature vector per rep, and rectangles with matched
+    /// lo/hi arity, finite bounds and `lo ≤ hi` per dimension. MINDIST
+    /// containment of the stored rects is *not* re-derived — the
+    /// proptest suite pins loaded answers to freshly-built ones instead.
+    ///
+    /// # Errors
+    ///
+    /// [`sapla_core::Error::CorruptIndex`] naming the violated invariant.
+    pub(crate) fn from_raw_parts(
+        min_fill: usize,
+        max_fill: usize,
+        root: usize,
+        raw: Vec<RawRtreeNode>,
+        reps: Vec<Representation>,
+        features: Vec<Vec<f64>>,
+    ) -> Result<RTree> {
+        fn corrupt(reason: &'static str) -> sapla_core::Error {
+            sapla_core::Error::CorruptIndex { reason }
+        }
+        if min_fill < 1 || max_fill < 2 * min_fill {
+            return Err(corrupt("snapshot fill factors violate min/max constraints"));
+        }
+        if features.len() != reps.len() {
+            return Err(corrupt("snapshot feature arena does not match the rep arena"));
+        }
+        if root >= raw.len() {
+            return Err(corrupt("snapshot root id outside the node arena"));
+        }
+        let mut visited = vec![false; raw.len()];
+        let mut seen_entry = vec![false; reps.len()];
+        let mut n_entries = 0usize;
+        // Iterative walk (adversarial inputs could nest deeper than the
+        // call stack tolerates).
+        let mut stack = vec![root];
+        while let Some(nid) = stack.pop() {
+            let node =
+                raw.get(nid).ok_or_else(|| corrupt("snapshot child id outside the node arena"))?;
+            if std::mem::replace(&mut visited[nid], true) {
+                return Err(corrupt("snapshot node arena contains a cycle or shared child"));
+            }
+            if node.rect_lo.len() != node.rect_hi.len() {
+                return Err(corrupt("snapshot rectangle lo/hi arity mismatch"));
+            }
+            for (&lo, &hi) in node.rect_lo.iter().zip(&node.rect_hi) {
+                if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                    return Err(corrupt("snapshot rectangle bounds are inverted or non-finite"));
+                }
+            }
+            if node.is_leaf {
+                for &e in &node.ids {
+                    if e >= reps.len() {
+                        return Err(corrupt("snapshot leaf entry outside the rep arena"));
+                    }
+                    if std::mem::replace(&mut seen_entry[e], true) {
+                        return Err(corrupt("snapshot entry id stored in more than one leaf"));
+                    }
+                    n_entries += 1;
+                }
+            } else {
+                if node.ids.is_empty() {
+                    return Err(corrupt("snapshot internal node has no children"));
+                }
+                stack.extend(node.ids.iter().copied());
+            }
+        }
+        if visited.iter().any(|v| !v) {
+            return Err(corrupt("snapshot node arena contains detached nodes"));
+        }
+        if n_entries != reps.len() {
+            return Err(corrupt("snapshot leaves do not cover the rep arena exactly"));
+        }
+        let nodes = raw
+            .into_iter()
+            .map(|n| Node {
+                rect: HyperRect { lo: n.rect_lo, hi: n.rect_hi },
+                kind: if n.is_leaf { NodeKind::Leaf(n.ids) } else { NodeKind::Internal(n.ids) },
+            })
+            .collect::<Vec<_>>();
+        let mut tree =
+            RTree { min_fill, max_fill, root, nodes, reps, features, blocks: Vec::new() };
+        for nid in 0..tree.nodes.len() {
+            tree.refresh_block(nid);
+        }
+        Ok(tree)
     }
 
     /// Returns `(found, this node should be detached)`.
@@ -661,7 +809,7 @@ impl RTree {
                         .filter(|b| use_soa && b.is_ok() && b.num_entries() == entries.len());
                     crate::batched::eval_leaf_entries(
                         q, scheme, raws, &self.reps, entries, block, results, dist, hull,
-                        &mut tally,
+                        &mut tally, 0.0,
                     )?;
                 }
             }

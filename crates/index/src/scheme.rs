@@ -70,14 +70,27 @@ impl Query {
 /// representation and the exact Euclidean distance in hand, recompute the
 /// bound and require it to hold. `Dist_PAR` is deliberately **not**
 /// checked here: the paper's Theorems 4.2/4.3 make it conditional.
+///
+/// `slack` widens the bound for quantized snapshot leaves: a stored
+/// representation `Ĉ~` perturbed from the least-squares projection `Ĉ`
+/// by at most `δ` in the windowed metric satisfies
+/// `Dist_LB(Q, Ĉ~) ≤ Dist(Q, C) + δ` (triangle inequality in the
+/// projection subspace — endpoints are preserved exactly, so `Q`
+/// projects onto the *same* subspace). Exact trees pass `0.0` and keep
+/// the original unconditional contract.
 #[cfg(feature = "strict-invariants")]
-pub(crate) fn assert_lb_le_exact(q: &Query, rep: &Representation, exact: f64) -> Result<()> {
+pub(crate) fn assert_lb_le_exact(
+    q: &Query,
+    rep: &Representation,
+    exact: f64,
+    slack: f64,
+) -> Result<()> {
     if let Some(linear) = rep.as_linear() {
         let lb = sapla_distance::dist_lb(&q.sums, linear)?;
         assert!(
-            lb <= exact + 1e-6 * (1.0 + exact),
-            "strict-invariants: Dist_LB = {lb} exceeds the exact Euclidean distance {exact}; \
-             the unconditional lower-bound contract is broken"
+            lb <= exact + slack + 1e-6 * (1.0 + exact),
+            "strict-invariants: Dist_LB = {lb} exceeds the exact Euclidean distance {exact} \
+             (+ quantization slack {slack}); the lower-bound contract is broken"
         );
     }
     Ok(())

@@ -1,0 +1,124 @@
+//! Property tests pinning snapshot persistence to the live engine:
+//! exact-leaf snapshots must replay searches **bit-identically**, and
+//! ε-quantized snapshots must stay within the derived perturbation
+//! bound while keeping GEMINI pruning sound (the strict-invariants
+//! builds of CI re-check `Dist_LB ≤ exact + slack` inside every
+//! refinement these searches perform).
+
+use proptest::prelude::*;
+use sapla_core::TimeSeries;
+use sapla_index::{Engine, EngineConfig, TreeKind};
+
+/// Random small database of regime-style series.
+fn db_strategy(n_series: std::ops::Range<usize>) -> impl Strategy<Value = Vec<TimeSeries>> {
+    (
+        n_series,
+        proptest::collection::vec((-3.0f64..3.0, -0.2f64..0.2, 0.0f64..std::f64::consts::TAU), 40),
+    )
+        .prop_map(|(count, params)| {
+            (0..count)
+                .map(|i| {
+                    let (lvl, slope, phase) = params[i % params.len()];
+                    TimeSeries::new(
+                        (0..48)
+                            .map(|t| {
+                                let x = t as f64;
+                                lvl + slope * x + ((x * 0.4) + phase + i as f64).sin()
+                            })
+                            .collect(),
+                    )
+                    .unwrap()
+                    .znormalized()
+                })
+                .collect()
+        })
+}
+
+fn engine(raws: &[TimeSeries], shards: usize, tree: TreeKind) -> Engine {
+    let cfg = EngineConfig { shards, tree, ..EngineConfig::default() };
+    Engine::build(cfg, Box::new(sapla_baselines::SaplaReducer::new()), raws.to_vec(), 2).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Exact-leaf snapshots are a pure serialization: the loaded engine
+    /// answers every query with bit-identical distances, identical ids,
+    /// and identical measured counts — i.e. it replays the very same
+    /// traversal the builder would.
+    #[test]
+    fn exact_snapshot_knn_is_bit_identical(
+        raws in db_strategy(6..28),
+        k in 1usize..6,
+        shards in 1usize..4,
+        rtree in 0usize..2,
+    ) {
+        let tree = if rtree == 1 { TreeKind::Rtree } else { TreeKind::Dbch };
+        let built = engine(&raws, shards, tree);
+        let queries = built.prepare(&raws[..raws.len().min(5)], 2).unwrap();
+        let (want, want_batch) = built.knn(&queries, k, 2).unwrap();
+        let image = built.snapshot_image(None).unwrap();
+        let loaded = Engine::from_snapshot_image(&image).unwrap();
+        prop_assert_eq!(loaded.config(), built.config());
+        let (got, got_batch) = loaded.knn(&queries, k, 2).unwrap();
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(got_batch, want_batch);
+        for (g, w) in got.iter().zip(&want) {
+            for (gd, wd) in g.distances.iter().zip(&w.distances) {
+                prop_assert!(gd.to_bits() == wd.to_bits());
+            }
+        }
+    }
+
+    /// ε-quantized snapshots: answers carry **exact** Euclidean
+    /// distances (refinement reads the bit-preserved raws), every
+    /// returned distance is achievable by some database member, the
+    /// carried slack obeys the write-time bound, and under
+    /// strict-invariants every refinement inside these searches
+    /// re-proves `Dist_LB ≤ exact + slack`.
+    #[test]
+    fn quantized_snapshot_stays_epsilon_bounded(
+        raws in db_strategy(6..24),
+        k in 1usize..5,
+        step in 1e-4f64..5e-2,
+    ) {
+        let built = engine(&raws, 1, TreeKind::Dbch);
+        let image = built.snapshot_image(Some(step)).unwrap();
+        let loaded = Engine::from_snapshot_image(&image).unwrap();
+        // δ = √(Σ_j dist_s_sq) with per-coefficient error ≤ ε/2 over
+        // windows summing to n points, so δ ≤ (ε/2)·(1 + u_max)·√n is a
+        // very loose ceiling; the write-time value must sit under it.
+        let n = raws[0].len() as f64;
+        prop_assert!(loaded.lb_slack() >= 0.0);
+        prop_assert!(loaded.lb_slack() <= 0.5 * step * (1.0 + n) * n.sqrt());
+        let queries = loaded.prepare(&raws[..raws.len().min(4)], 2).unwrap();
+        let (got, _) = loaded.knn(&queries, k, 2).unwrap();
+        for (qi, stats) in got.iter().enumerate() {
+            // Distances are exact: re-derivable from the raw series.
+            for (&id, &d) in stats.retrieved.iter().zip(&stats.distances) {
+                let exact = raws[qi].euclidean(&raws[id]).unwrap();
+                prop_assert!((exact - d).abs() < 1e-9);
+            }
+            prop_assert_eq!(stats.retrieved[0], qi, "self is its own 1-NN at distance 0");
+            prop_assert!(stats.distances[0] == 0.0);
+        }
+    }
+
+    /// The container rejects, never panics on, arbitrary corruption of
+    /// a real snapshot image: any single-byte change is caught by the
+    /// checksum, and truncation at any point is an error.
+    #[test]
+    fn corrupted_engine_snapshots_error_cleanly(
+        raws in db_strategy(4..10),
+        byte_seed in 0u64..u64::MAX,
+    ) {
+        let built = engine(&raws, 1, TreeKind::Dbch);
+        let image = built.snapshot_image(None).unwrap();
+        let at = (byte_seed as usize) % image.len();
+        let mut mutated = image.clone();
+        mutated[at] ^= 1u8 << (byte_seed % 8);
+        prop_assert!(Engine::from_snapshot_image(&mutated).is_err());
+        let cut = (byte_seed as usize) % image.len();
+        prop_assert!(Engine::from_snapshot_image(&image[..cut]).is_err());
+    }
+}

@@ -39,8 +39,9 @@
 //!   RANGE    (0x02) := epsilon:f64 series
 //!   STATS    (0x03) := —
 //!   SNAPSHOT (0x04) := —
-//!   RELOAD   (0x05) := blen:u32 blob[blen]          (blen = 0 ⇒ reload
-//!                                                    from own snapshot)
+//!   RELOAD   (0x05) := blen:u32 blob[blen]          (blen = 0 ⇒ re-read the
+//!                                                    configured index file,
+//!                                                    else own snapshot)
 //!   SHUTDOWN (0x06) := —
 //!   METRICS  (0x07) := format:u8                    (0 = JSON, 1 = text)
 //! response := status:u8 body

@@ -24,7 +24,7 @@ const SLOW_LOG_CAP: usize = 32;
 
 /// Per-instance knobs (everything index-shaped lives in
 /// [`sapla_index::EngineConfig`] instead).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads per engine call (`0` = all available cores).
     pub threads: usize,
@@ -34,11 +34,16 @@ pub struct ServerConfig {
     /// into the slow-query log served by `OP_METRICS` (`None` = off).
     /// Needs the `obs` feature; without it the log stays empty.
     pub slow_ms: Option<u64>,
+    /// On-disk `sapla-store` snapshot backing this instance. When set,
+    /// an empty-blob `reload` request re-reads this file (an O(file
+    /// size) cold-start-style load — membership may change between
+    /// generations) instead of round-tripping the in-memory codec blob.
+    pub index_file: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { threads: 0, max_frame: wire::MAX_FRAME, slow_ms: None }
+        ServerConfig { threads: 0, max_frame: wire::MAX_FRAME, slow_ms: None, index_file: None }
     }
 }
 
@@ -86,6 +91,9 @@ struct Shared {
     /// Bounded log of completed stage traces that overran `slow_ns`.
     /// Locked alone, never nested with `queue` or `streams`.
     slow_log: Mutex<VecDeque<TraceDump>>,
+    /// Snapshot file an empty-blob `reload` re-reads (see
+    /// [`ServerConfig::index_file`]).
+    index_file: Option<std::path::PathBuf>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -131,6 +139,7 @@ impl Server {
             max_frame: cfg.max_frame,
             slow_ns: cfg.slow_ms.map(|ms| ms.saturating_mul(1_000_000)),
             slow_log: Mutex::new(VecDeque::new()),
+            index_file: cfg.index_file,
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let batcher = {
@@ -454,10 +463,31 @@ fn handle_range(shared: &Arc<Shared>, epsilon: f64, query: Vec<f64>) -> Vec<u8> 
     }
 }
 
+fn swap_engine(shared: &Arc<Shared>, fresh: Engine) -> Vec<u8> {
+    let records = fresh.len() as u64;
+    *shared.engine.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(fresh);
+    shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
+    shared.counters.generation.fetch_add(1, Ordering::Relaxed);
+    sapla_obs::counter!("serve.reloads");
+    wire::ok_records_response(records)
+}
+
 fn handle_reload(shared: &Arc<Shared>, blob: Vec<u8>) -> Vec<u8> {
     let engine = shared.current_engine();
-    // An empty blob means "rebuild from your own snapshot" — the
-    // round-trip exercises codec + rebuild without shipping bytes.
+    if blob.is_empty() {
+        if let Some(path) = &shared.index_file {
+            // Backed by an on-disk snapshot: re-read the file. The file
+            // carries everything (raws, reps, fully-built trees), so
+            // this is the cold-start load — O(file size), and the new
+            // generation's membership may differ from the old one's.
+            return match Engine::from_snapshot_file(path) {
+                Ok(fresh) => swap_engine(shared, fresh),
+                Err(e) => wire::err_response(&e.to_string()),
+            };
+        }
+    }
+    // Otherwise an empty blob means "rebuild from your own snapshot" —
+    // the round-trip exercises codec + rebuild without shipping bytes.
     let own: Vec<u8>;
     let blob: &[u8] = if blob.is_empty() {
         match engine.snapshot() {
@@ -471,14 +501,7 @@ fn handle_reload(shared: &Arc<Shared>, blob: Vec<u8>) -> Vec<u8> {
         &blob
     };
     match engine.reload_from_snapshot(blob) {
-        Ok(fresh) => {
-            let records = fresh.len() as u64;
-            *shared.engine.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(fresh);
-            shared.counters.reloads.fetch_add(1, Ordering::Relaxed);
-            shared.counters.generation.fetch_add(1, Ordering::Relaxed);
-            sapla_obs::counter!("serve.reloads");
-            wire::ok_records_response(records)
-        }
+        Ok(fresh) => swap_engine(shared, fresh),
         Err(e) => wire::err_response(&e.to_string()),
     }
 }

@@ -240,6 +240,41 @@ fn snapshot_reload_cycle_preserves_answers_and_survives_garbage() {
 }
 
 #[test]
+fn empty_reload_rereads_the_configured_snapshot_file() {
+    let raws = dataset(30);
+    let queries = query_samples(4);
+    let path = std::env::temp_dir().join(format!("sapla-serve-reload-{}.snap", std::process::id()));
+    let server = Server::start(
+        build_engine(&raws[..10], 1, TreeKind::Dbch),
+        "127.0.0.1:0",
+        ServerConfig { index_file: Some(path.clone()), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Publish a *larger* index to the snapshot file, then reload with an
+    // empty blob: the file is authoritative, so membership may change —
+    // unlike the codec path, which pins the record count.
+    build_engine(&raws, 2, TreeKind::Dbch).write_snapshot_file(&path, None).unwrap();
+    assert_eq!(client.reload(&[]).unwrap(), raws.len() as u64);
+    let got = client.knn(&queries, 3).unwrap();
+    let want = local_answers(&build_engine(&raws, 2, TreeKind::Dbch), &queries, 3);
+    assert_matches_local(&got, &want, "reload-from-file");
+
+    // Non-empty blobs still take the codec round-trip path.
+    let blob = client.snapshot().unwrap();
+    assert_eq!(client.reload(&blob).unwrap(), raws.len() as u64);
+
+    // A vanished file is an error response, not a crash, and the server
+    // keeps answering on the generation it already has.
+    std::fs::remove_file(&path).unwrap();
+    assert!(client.reload(&[]).is_err(), "missing index file is a clean error");
+    let still = client.knn(&queries, 3).unwrap();
+    assert_eq!(still.per_query, got.per_query);
+    server.stop();
+}
+
+#[test]
 fn rtree_backed_server_answers_batches() {
     let raws = dataset(40);
     let queries = query_samples(6);

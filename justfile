@@ -63,6 +63,19 @@ metrics:
     cargo test -q -p sapla-cli --test cli stats_subcommand
     cargo test -q -p sapla-bench --lib --features obs quick_grid_runs_and_serialises
 
+# Zero-copy snapshot persistence: the sapla-store container fuzz suite
+# (truncation / bit-flip / misalignment — every failure an Err, never a
+# panic), then the engine snapshot round-trip tests and the
+# bit-identity / quantization-bound property tests, stock and under
+# strict-invariants (which re-proves `Dist_LB ≤ exact + slack` inside
+# every refinement the snapshot-loaded trees perform).
+persist:
+    cargo test -q -p sapla-store
+    cargo test -q -p sapla-index --lib snapshot
+    cargo test -q -p sapla-index --test snapshot_props
+    cargo test -q -p sapla-index --features strict-invariants --lib snapshot
+    cargo test -q -p sapla-index --features strict-invariants --test snapshot_props
+
 # SIMD dispatch safety net: the whole suite pinned to the scalar
 # kernels through the env override (the bit-identity contract means no
 # result may change), then the quick perf grid with dispatch disabled.
@@ -71,7 +84,7 @@ simd-off:
     cargo bench -p sapla-bench --bench perf_json -- --quick --no-simd
 
 # The full pre-merge gate.
-ci: tier1 lint audit audit-model-serve obs serve-smoke metrics simd-off
+ci: tier1 lint audit audit-model-serve obs serve-smoke metrics persist simd-off
 
 # Regenerate every paper table/figure (slow; see EXPERIMENTS.md).
 bench:
