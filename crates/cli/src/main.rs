@@ -309,9 +309,18 @@ fn engine_via_index_file(
         Ok((ds, engine, Some(path)))
     } else {
         let (ds, engine) = engine_from_flags(name, args)?;
+        let quantize = quantize_flag(args)?;
         let bytes =
-            engine.write_snapshot_file(&path, quantize_flag(args)?).map_err(|e| e.to_string())?;
+            engine.write_snapshot_file(&path, quantize).map_err(|e| e.to_string())?;
         println!("wrote index snapshot {} ({bytes} bytes)", path.display());
+        // A quantized snapshot serves from perturbed leaf reps; reload
+        // from the file just written so this first (cold) invocation
+        // answers exactly like every later start that loads the file.
+        let engine = if quantize.is_some() {
+            Engine::from_snapshot_file(&path).map_err(|e| e.to_string())?
+        } else {
+            engine
+        };
         Ok((ds, engine, Some(path)))
     }
 }

@@ -123,11 +123,17 @@ pub(crate) fn eval_leaf_entries(
     tally: &mut SearchTally,
     lb_slack: f64,
 ) -> Result<()> {
-    // Consumed only by the strict-invariants audit below.
-    let _ = lb_slack;
     tally.consider(entries.len());
     for (j, &e) in entries.iter().enumerate() {
         let threshold = results.threshold();
+        // Quantized-lineage trees store reps perturbed by up to
+        // `lb_slack` in the windowed metric, so their Dist_LB can
+        // overshoot the true distance by that much. Widening the filter
+        // cutoff restores soundness: a candidate is pruned only when
+        // even `lb - lb_slack` (a true lower bound) exceeds the
+        // threshold. Exact-lineage trees have slack 0 and `t + 0.0` is
+        // bitwise `t`, so their decisions are untouched.
+        let prune_at = threshold + lb_slack;
         // While the result heap is not yet full the threshold is ∞ and
         // no filter can prune, so the representation distance is
         // skipped outright — the keep-decision is identical (`d ≤ ∞`).
@@ -136,7 +142,7 @@ pub(crate) fn eval_leaf_entries(
         let skip_filter = threshold.is_infinite() && !cfg!(feature = "strict-invariants");
         let kept = if skip_filter {
             Some(f64::INFINITY)
-        } else if let Some(kept) = memo.filter(e, threshold) {
+        } else if let Some(kept) = memo.filter(e, prune_at) {
             // A hull representative this query already evaluated fully
             // during node bounding: replaying the memoised square is
             // the identical decision and kept value (see `HullMemo`).
@@ -144,8 +150,8 @@ pub(crate) fn eval_leaf_entries(
             kept
         } else {
             match block {
-                Some(b) => scheme.rep_dist_pruned_soa(q, b.entry(j)?, threshold, dist)?,
-                None => scheme.rep_dist_pruned(q, &reps[e], threshold, dist)?,
+                Some(b) => scheme.rep_dist_pruned_soa(q, b.entry(j)?, prune_at, dist)?,
+                None => scheme.rep_dist_pruned(q, &reps[e], prune_at, dist)?,
             }
         };
         if kept.is_some() {
@@ -196,6 +202,10 @@ pub(crate) fn knn_query_major<T: BatchTree + ?Sized>(
     scratch: &mut BlockScratch,
 ) -> Result<Vec<SearchStats>> {
     let BlockScratch { scratches, pending } = scratch;
+    // Node bounds over quantized-lineage reps can overshoot the true
+    // distance by up to this much; every node-pruning comparison below
+    // is widened by it (bitwise no-op for exact trees, slack 0.0).
+    let slack = tree.lb_slack();
     scratches.resize_with(scratches.len().max(queries.len()), KnnScratch::new);
     let mut tallies = vec![SearchTally::default(); queries.len()];
     let mut done = vec![false; queries.len()];
@@ -232,7 +242,7 @@ pub(crate) fn knn_query_major<T: BatchTree + ?Sized>(
                     done[qi] = true;
                     break;
                 };
-                if d.get() > s.results.threshold() {
+                if d.get() > s.results.threshold() + slack {
                     // Best-first order: the popped node *and* everything
                     // still queued behind it are beyond the threshold.
                     tally.prune_nodes(1 + s.nodes.len());
@@ -248,7 +258,7 @@ pub(crate) fn knn_query_major<T: BatchTree + ?Sized>(
                         for &c in children {
                             match tree.node_bound(q, scheme, c, &mut s.dist, &mut s.hull) {
                                 Ok(node_d) => {
-                                    if node_d <= s.results.threshold() {
+                                    if node_d <= s.results.threshold() + slack {
                                         s.nodes.push(Reverse((OrdF64::new(node_d), c, depth + 1)));
                                     } else {
                                         tally.prune_node();

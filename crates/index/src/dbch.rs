@@ -208,10 +208,15 @@ impl DbchTree {
         let mut dist_scratch = sapla_distance::ParScratch::default();
         let mut memo = HullMemo::default();
         let use_soa = scheme.supports_par_plan() && q.plan.is_some();
+        // Quantized-lineage bounds can overshoot the true distance by up
+        // to `lb_slack`; widening the pruning cutoff keeps the search
+        // sound (exact hits are still gated on `exact <= epsilon`
+        // below). Exact trees have slack 0.0 — bitwise no-op.
+        let prune_at = epsilon + self.lb_slack;
         if !self.is_empty() {
             let mut stack = vec![self.root];
             while let Some(nid) = stack.pop() {
-                if self.node_dist(q, scheme, nid, &mut dist_scratch, &mut memo)? > epsilon {
+                if self.node_dist(q, scheme, nid, &mut dist_scratch, &mut memo)? > prune_at {
                     tally.prune_node();
                     continue;
                 }
@@ -229,7 +234,7 @@ impl DbchTree {
                             // evaluated by `node_dist`; replaying the
                             // memoised square is the identical decision
                             // and value (see `HullMemo`).
-                            let kept = if let Some(kept) = memo.filter(e, epsilon) {
+                            let kept = if let Some(kept) = memo.filter(e, prune_at) {
                                 sapla_obs::counter!("index.hull_memo.hits");
                                 kept
                             } else {
@@ -237,13 +242,13 @@ impl DbchTree {
                                     Some(b) => scheme.rep_dist_pruned_soa(
                                         q,
                                         b.entry(j)?,
-                                        epsilon,
+                                        prune_at,
                                         &mut dist_scratch,
                                     )?,
                                     None => scheme.rep_dist_pruned(
                                         q,
                                         &self.reps[e],
-                                        epsilon,
+                                        prune_at,
                                         &mut dist_scratch,
                                     )?,
                                 }
@@ -988,8 +993,12 @@ impl DbchTree {
             heap.push(Reverse((OrdF64::new(d), self.root, 0)));
         }
         let use_soa = scheme.supports_par_plan() && q.plan.is_some();
+        // Quantized-lineage node bounds can overshoot by up to
+        // `lb_slack`; widen every node-pruning comparison by it (slack
+        // is 0.0 on exact trees, so `t + 0.0` is bitwise `t`).
+        let slack = self.lb_slack;
         while let Some(Reverse((d, nid, depth))) = heap.pop() {
-            if d.get() > results.threshold() {
+            if d.get() > results.threshold() + slack {
                 // Best-first order: the popped node *and* everything
                 // still queued behind it are beyond the threshold.
                 tally.prune_nodes(1 + heap.len());
@@ -1001,7 +1010,7 @@ impl DbchTree {
                     sapla_obs::lane_counter!("index.knn.fanout", depth, children.len() as u64);
                     for &c in children {
                         let node_d = self.node_dist(q, scheme, c, dist, hull)?;
-                        if node_d <= results.threshold() {
+                        if node_d <= results.threshold() + slack {
                             heap.push(Reverse((OrdF64::new(node_d), c, depth + 1)));
                         } else {
                             tally.prune_node();

@@ -40,11 +40,21 @@
 //! obeys the triangle inequality across them:
 //! `Dist_LB(Q, Ĉ~) ≤ Dist_LB(Q, C) + δ ≤ Dist(Q, C) + δ` where
 //! `δ = √(Σ_j dist_s_sq(a_j, b_j, â_j, b̂_j, L_j))` is computed at write
-//! time from the *actual* rounding deltas (not the ε·√n worst case). The
-//! per-shard maximum `δ` rides along as [`K_QREP_SLACK`] and widens the
-//! strict-invariants `Dist_LB ≤ exact` audit; pruning itself never
-//! consults it — quantization only ever weakens lower bounds, which
-//! keeps GEMINI search sound (it can refine more, never miss more).
+//! time from the *actual* rounding deltas (not the ε·√n worst case).
+//! Rounding moves coefficients in either direction, so the quantized
+//! bound can **overshoot** the true distance by up to `δ` — a naive
+//! `lb > threshold` prune over `Ĉ~` would be unsound. The per-shard
+//! maximum `δ` therefore rides along as [`K_QREP_SLACK`] and every
+//! pruning comparison in the loaded tree (node hull bounds and the leaf
+//! representation filter alike) is widened by it: a candidate is
+//! dismissed only when `lb > threshold + δ`, i.e. when even the true
+//! lower bound `lb − δ` rules it out. Since `Dist_LB(Q, Ĉ~) ≤
+//! Dist(Q, C) + δ`, every candidate the quantized tree prunes would
+//! also have been pruned by the exact tree at the same threshold —
+//! quantization never introduces new misses, and refinement reads the
+//! bit-preserved raw series, so answers match the exact tree's
+//! wherever the underlying scheme/rule bounds are unconditional. The
+//! same `δ` also widens the strict-invariants `Dist_LB ≤ exact` audit.
 //! Node hull volumes are recomputed over the dequantized reps at write
 //! time so the stored tree is self-consistent.
 

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 use sapla_core::TimeSeries;
-use sapla_index::{Engine, EngineConfig, TreeKind};
+use sapla_index::{Engine, EngineConfig, NodeDistRule, TreeKind};
 
 /// Random small database of regime-style series.
 fn db_strategy(n_series: std::ops::Range<usize>) -> impl Strategy<Value = Vec<TimeSeries>> {
@@ -101,6 +101,52 @@ proptest! {
             }
             prop_assert_eq!(stats.retrieved[0], qi, "self is its own 1-NN at distance 0");
             prop_assert!(stats.distances[0] == 0.0);
+        }
+    }
+
+    /// Quantized snapshots never falsely dismiss a true neighbour: with
+    /// an unconditional pipeline (PLA's `dist_pla` leaf filter, which is
+    /// a true lower bound for identical segmentations, under the
+    /// Triangle node rule) the quantized-loaded engine's kNN must match
+    /// a brute-force linear scan over the raws rank for rank. Rounding
+    /// can push the stored bound *above* the true distance by up to the
+    /// carried slack, so this holds only because every pruning
+    /// comparison is widened by `lb_slack` — the false-dismissal
+    /// regression this test pins.
+    #[test]
+    fn quantized_snapshot_matches_linear_scan_ground_truth(
+        raws in db_strategy(8..24),
+        k in 1usize..5,
+        step in 1e-3f64..2e-1,
+    ) {
+        let cfg = EngineConfig { rule: NodeDistRule::Triangle, ..EngineConfig::default() };
+        let built =
+            Engine::build(cfg, Box::new(sapla_baselines::Pla::new()), raws.to_vec(), 2).unwrap();
+        let image = built.snapshot_image(Some(step)).unwrap();
+        let loaded = Engine::from_snapshot_image(&image).unwrap();
+        let queries = loaded.prepare(&raws[..raws.len().min(4)], 2).unwrap();
+        let (got, _) = loaded.knn(&queries, k, 2).unwrap();
+        for (qi, stats) in got.iter().enumerate() {
+            // Brute-force ground truth, ordered like the engine merge
+            // ((distance, id) total order).
+            let mut truth: Vec<(f64, usize)> = raws
+                .iter()
+                .enumerate()
+                .map(|(id, s)| (raws[qi].euclidean(s).unwrap(), id))
+                .collect();
+            truth.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            prop_assert_eq!(stats.retrieved.len(), k.min(raws.len()));
+            for (rank, (&id, &d)) in stats.retrieved.iter().zip(&stats.distances).enumerate() {
+                // Distance spectrum matches exactly per rank; ids may
+                // permute only within ties.
+                prop_assert!(
+                    (d - truth[rank].0).abs() < 1e-9,
+                    "query {} rank {}: engine {} vs ground truth {} (step {})",
+                    qi, rank, d, truth[rank].0, step
+                );
+                let exact = raws[qi].euclidean(&raws[id]).unwrap();
+                prop_assert!((exact - d).abs() < 1e-9);
+            }
         }
     }
 
